@@ -1,0 +1,154 @@
+// Baseline shootout — every localization method in the repository on the
+// same workloads, quantifying the paper's Table-of-related-work claims:
+// each baseline only works on its own trajectory shape, while LION runs on
+// all of them; accuracy is comparable where a baseline applies; and the
+// compute cost separates grid search from model fitting from LION's linear
+// solve.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "baseline/hyperbola.hpp"
+#include "baseline/parabola.hpp"
+#include "baseline/tagspin.hpp"
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/smooth.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+namespace {
+
+constexpr int kTrials = 25;
+
+signal::PhaseProfile synth(const std::vector<Vec3>& positions,
+                           const Vec3& target, rf::Rng& rng) {
+  signal::PhaseProfile p;
+  for (const auto& pos : positions) {
+    p.push_back({pos,
+                 rf::distance_phase(linalg::distance(pos, target)) + 0.4 +
+                     rng.gaussian(0.1),
+                 0.0});
+  }
+  signal::smooth_in_place(p, 9);
+  return p;
+}
+
+std::vector<Vec3> line_scan() {
+  std::vector<Vec3> ps;
+  for (double x = -0.4; x <= 0.4 + 1e-12; x += 0.005) ps.push_back({x, 0, 0});
+  return ps;
+}
+
+std::vector<Vec3> circle_scan() {
+  std::vector<Vec3> ps;
+  for (int i = 0; i < 160; ++i) {
+    const double a = rf::kTwoPi * i / 160.0;
+    ps.push_back({0.2 * std::cos(a), 0.2 * std::sin(a), 0.0});
+  }
+  return ps;
+}
+
+struct Score {
+  double err_sum = 0.0;
+  double time_sum = 0.0;
+  int solved = 0;
+  void print(const char* name) const {
+    if (solved == 0) {
+      std::printf("  %-14s %-12s %-12s (trajectory shape unsupported)\n",
+                  name, "n/a", "n/a");
+      return;
+    }
+    std::printf("  %-14s %-12.2f %-12.4f (%d/%d solved)\n", name,
+                err_sum / solved * 100.0, time_sum / solved, solved, kTrials);
+  }
+};
+
+template <typename Fn>
+void attempt(Score& score, const Vec3& truth, Fn&& solve) {
+  bench::Timer t;
+  try {
+    const Vec3 fix = solve();
+    score.time_sum += t.seconds();
+    score.err_sum += std::hypot(fix[0] - truth[0], fix[1] - truth[1]);
+    score.solved += 1;
+  } catch (const std::exception&) {
+    // Method does not support this scan shape (or failed): recorded by
+    // the solved counter.
+  }
+}
+
+void shootout(const char* title, const std::vector<Vec3>& positions,
+              const Vec3& target, std::uint64_t seed) {
+  std::printf("\n%s — target (%.2f, %.2f)\n", title, target[0], target[1]);
+  std::printf("  %-14s %-12s %-12s\n", "method", "err[cm]", "time[s]");
+  Score lion_score, holo, hyper, para, spin;
+  rf::Rng rng(seed);
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto profile = synth(positions, target, rng);
+
+    attempt(lion_score, target, [&] {
+      core::LocalizerConfig cfg;
+      cfg.target_dim = 2;
+      cfg.pair_interval = 0.2;
+      cfg.side_hint = target;  // deployment side knowledge
+      return core::LinearLocalizer(cfg).locate(profile).position;
+    });
+
+    attempt(holo, target, [&] {
+      baseline::HologramConfig cfg;
+      cfg.min_corner = target - Vec3{0.06, 0.06, 0.0};
+      cfg.max_corner = target + Vec3{0.06, 0.06, 0.0};
+      cfg.min_corner[2] = cfg.max_corner[2] = 0.0;
+      cfg.grid_size = 0.002;
+      return baseline::locate_hologram(profile, cfg).position;
+    });
+
+    attempt(hyper, target, [&] {
+      const auto pairs = core::spread_pairs(profile, 0.15, 600, 2);
+      baseline::HyperbolaConfig cfg;
+      cfg.initial_guess = target + Vec3{0.1, -0.2, 0.0};
+      return baseline::locate_hyperbola(profile, pairs, cfg).position;
+    });
+
+    attempt(para, target, [&] {
+      baseline::ParabolaConfig cfg;
+      cfg.side_hint = target;
+      return baseline::locate_parabola(profile, cfg).position;
+    });
+
+    attempt(spin, target, [&] {
+      return baseline::locate_tagspin(profile, {}).position;
+    });
+  }
+
+  lion_score.print("LION");
+  holo.print("hologram");
+  hyper.print("hyperbola");
+  para.print("parabola");
+  spin.print("tagspin");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Baseline shootout — all methods, shared workloads",
+                "LION runs on every trajectory shape at linear-solve cost; "
+                "each baseline is competitive only on its own shape");
+
+  shootout("linear scan (conveyor-style)", line_scan(), {0.1, 0.8, 0.0}, 11);
+  shootout("circular scan (turntable)", circle_scan(), {0.0, 0.7, 0.0}, 13);
+
+  std::printf(
+      "\nreading: the parabola method only fits linear scans, tagspin only\n"
+      "circular ones, the hyperbola solver needs a good initial guess, and\n"
+      "the hologram needs a search box; LION handles both shapes with one\n"
+      "code path (paper Secs. III, V-F2, VI).\n");
+  return 0;
+}

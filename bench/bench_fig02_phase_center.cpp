@@ -1,0 +1,96 @@
+// Fig. 2 — the phase-center/physical-center mismatch.
+//
+// Paper setup: a tag 65 cm in front of the antenna is swept across the
+// horizontal (y in the paper's antenna-plane frame; our x) and vertical
+// (z) directions. The unwrapped phase is smallest where the tag passes the
+// *electrical* phase center — and that valley sits 2-3 cm away from the
+// physical center taken as the origin.
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+
+namespace {
+
+// Position (along the sweep axis) of the unwrapped-phase valley: a
+// quadratic fit around the raw minimum (the valley bottom is flat, so the
+// bare argmin wanders with noise; the vertex of the local parabola is the
+// robust estimate).
+double valley_position(const signal::PhaseProfile& profile, int axis) {
+  std::size_t argmin = 0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (profile[i].phase < profile[argmin].phase) argmin = i;
+  }
+  const double center = profile[argmin].position[axis];
+  // Fit phase = a s^2 + b s + c over the +/-15 cm neighbourhood.
+  std::vector<std::array<double, 3>> rows;
+  std::vector<double> target;
+  for (const auto& p : profile) {
+    const double s = p.position[axis] - center;
+    if (std::abs(s) > 0.15) continue;
+    rows.push_back({s * s, s, 1.0});
+    target.push_back(p.phase);
+  }
+  if (rows.size() < 5) return center;
+  linalg::Matrix a(rows.size(), 3);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rows[r][c];
+  }
+  const auto fit = linalg::solve_least_squares(a, target);
+  if (fit.x[0] <= 0.0) return center;
+  return center - fit.x[1] / (2.0 * fit.x[0]);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 2 — phase center vs physical center",
+                "measured phase valleys appear ~2-3 cm away from the "
+                "physical center for both sweep directions");
+
+  std::printf("\n%-10s %-12s %-18s %-18s %-14s\n", "antenna", "sweep axis",
+              "valley offset[cm]", "true offset[cm]", "|displ|[cm]");
+
+  for (std::uint32_t id = 0; id < 4; ++id) {
+    // Physical center at the origin; the tag plane 65 cm in front (-y).
+    auto antenna = rf::make_antenna({0.0, 0.0, 0.0}, id);
+    auto scenario = sim::Scenario::Builder{}
+                        .environment(sim::EnvironmentKind::kLabClean)
+                        .add_antenna(antenna)
+                        .add_tag()
+                        .seed(1000 + id)
+                        .build();
+
+    // Horizontal sweep: x from -0.3 to 0.3 at depth 0.65 m.
+    sim::LinearTrajectory horiz({-0.3, -0.65, 0.0}, {0.3, -0.65, 0.0}, 0.1);
+    const auto horiz_profile =
+        signal::preprocess(scenario.sweep(0, 0, horiz));
+    const double vx = valley_position(horiz_profile, 0);
+
+    // Vertical sweep: z from -0.3 to 0.3.
+    sim::LinearTrajectory vert({0.0, -0.65, -0.3}, {0.0, -0.65, 0.3}, 0.1);
+    const auto vert_profile = signal::preprocess(scenario.sweep(0, 0, vert));
+    const double vz = valley_position(vert_profile, 2);
+
+    const auto& d = antenna.phase_center_displacement;
+    std::printf("A%-9u %-12s %-18.2f %-18.2f %-14.2f\n", id, "horizontal",
+                vx * 100.0, d[0] * 100.0, d.norm() * 100.0);
+    std::printf("%-10s %-12s %-18.2f %-18.2f\n", "", "vertical", vz * 100.0,
+                d[2] * 100.0);
+  }
+
+  std::printf(
+      "\nreading: the valley along each axis tracks the hidden displacement\n"
+      "component — the electrical center, not the ruler-measured one, is\n"
+      "what the phase sees. Calibration is necessary (paper Sec. II-A).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 3 — hardware phase offsets differ per antenna and per tag.
+//
+// Paper setup: 4 Laird S9028PCL antennas x 4 ImpinJ E41-B tags, the tag
+// fixed 1 m in front of the antenna, 500 phase reads per pair. Replacing
+// either the antenna or the tag shifts the reported phase even though the
+// geometry is unchanged — the theta_T + theta_R terms of Eq. (1).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "linalg/stats.hpp"
+#include "rf/phase_model.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+
+int main() {
+  bench::banner("Fig. 3 — phase offsets across antenna-tag pairs",
+                "each pair clusters tightly (white noise only) but pairs "
+                "differ by large constant offsets");
+
+  auto builder = sim::Scenario::Builder{}
+                     .environment(sim::EnvironmentKind::kLabClean)
+                     .seed(42);
+  for (int a = 0; a < 4; ++a) {
+    builder.add_antenna({0.0, 1.0, 0.0});
+  }
+  for (int t = 0; t < 4; ++t) builder.add_tag();
+  auto scenario = builder.build();
+
+  std::printf("\nmean reported phase [rad] over 500 static reads at 1 m\n");
+  std::printf("%-10s", "");
+  for (int t = 0; t < 4; ++t) std::printf("   tag%-5d", t);
+  std::printf("  spread(std) within a pair\n");
+
+  std::vector<double> all_means;
+  for (std::size_t a = 0; a < 4; ++a) {
+    std::printf("antenna%-3zu", a);
+    double worst_std = 0.0;
+    for (std::size_t t = 0; t < 4; ++t) {
+      const auto reads = scenario.read_static(a, t, {0.0, 0.0, 0.0}, 500);
+      std::vector<double> phases;
+      for (const auto& r : reads) phases.push_back(r.phase);
+      const double mean = rf::circular_mean(phases);
+      // Spread around the circular mean.
+      std::vector<double> dev;
+      for (double p : phases) {
+        dev.push_back(rf::wrap_phase_symmetric(p - mean));
+      }
+      worst_std = std::max(worst_std, linalg::stddev(dev));
+      all_means.push_back(mean);
+      std::printf("   %8.3f", mean);
+    }
+    std::printf("   %.3f rad\n", worst_std);
+  }
+
+  // Quantify: within-pair noise vs across-pair offset spread.
+  std::printf("\nwithin-pair noise is ~0.05-0.2 rad; across-pair offsets span "
+              "%.2f rad\n",
+              linalg::max_value(all_means) - linalg::min_value(all_means));
+  std::printf(
+      "reading: relative phase between different hardware units is\n"
+      "meaningless without offset calibration (paper Sec. II-B).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 4 — anatomy and cost of the hologram baseline.
+//
+// Paper setup: two simulated tag positions at (-0.3, 0) and (0.3, 0), the
+// antenna at (0.5, 0.5); the likelihood image over a 1x1 m area with 1 mm
+// grid shows hyperbola-shaped ridges, and generating even this simple
+// hologram takes ~0.8 s. Weighting sharpens the peak (Fig. 4b).
+
+#include <cstdio>
+
+#include "baseline/hologram.hpp"
+#include "bench/common.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 4 — hologram likelihood structure and cost",
+                "grids of high likelihood form hyperbolas; a 1 m^2 hologram "
+                "at 1 mm grid takes ~0.8 s to build");
+
+  const Vec3 antenna{0.5, 0.5, 0.0};
+  const Vec3 t1{-0.3, 0.0, 0.0};
+  const Vec3 t2{0.3, 0.0, 0.0};
+
+  rf::Rng rng(7);
+  signal::PhaseProfile profile;
+  for (const Vec3& t : {t1, t2}) {
+    profile.push_back({t,
+                       rf::distance_phase(linalg::distance(t, antenna)) +
+                           rng.gaussian(0.1),
+                       0.0});
+  }
+
+  // Likelihood along a horizontal slice through the antenna: the ridge
+  // crossing marks the hyperbola.
+  std::printf("\nlikelihood slice at y = 0.5 (2 measurements):\n  x[m]:  ");
+  for (double x = 0.0; x <= 1.0 + 1e-9; x += 0.1) std::printf(" %5.2f", x);
+  std::printf("\n  L   :  ");
+  for (double x = 0.0; x <= 1.0 + 1e-9; x += 0.1) {
+    std::printf(" %5.2f", baseline::hologram_likelihood(
+                              profile, 0, {x, 0.5, 0.0},
+                              rf::kDefaultWavelength));
+  }
+
+  // Cost: full 1 m^2 hologram at 1 mm, like the paper's example.
+  baseline::HologramConfig cfg;
+  cfg.min_corner = {0.0, 0.0, 0.0};
+  cfg.max_corner = {1.0, 1.0, 0.0};
+  cfg.grid_size = 0.001;
+  cfg.augmented = false;
+  bench::Timer timer;
+  const auto plain = baseline::locate_hologram(profile, cfg);
+  const double plain_s = timer.seconds();
+
+  cfg.augmented = true;
+  timer.reset();
+  const auto weighted = baseline::locate_hologram(profile, cfg);
+  const double weighted_s = timer.seconds();
+
+  std::printf("\n\n%-28s %-12s %-12s %-10s\n", "variant", "cells", "time[s]",
+              "peak");
+  std::printf("%-28s %-12zu %-12.3f %-10.3f\n", "plain hologram", plain.cells,
+              plain_s, plain.peak_likelihood);
+  std::printf("%-28s %-12zu %-12.3f %-10.3f\n", "weighted (augmented)",
+              weighted.cells, weighted_s, weighted.peak_likelihood);
+  std::printf("paper reference: ~0.8 s for this hologram on a MacBook i5\n");
+  std::printf(
+      "\nreading: cost scales with area/grid^2 (and /grid^3 in 3D) — the\n"
+      "motivation for LION's linear model (paper Sec. II-C).\n");
+  return 0;
+}

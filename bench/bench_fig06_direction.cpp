@@ -1,0 +1,100 @@
+// Fig. 6 — LION vs hologram for a single antenna at different directions.
+//
+// Paper setup: the tag moves on a circle of radius 0.3 m about the origin;
+// the antenna sits 1 m from the origin at 0, 45 and 90 degrees. Phases get
+// N(0, 0.1) noise; 100 trials per position. Claims: (1) LION's distance
+// error matches the hologram's; (2) the error distributes along the line
+// from the trajectory center to the antenna (the hyperbola-asymptote
+// effect), so the per-axis split depends on direction.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/smooth.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+namespace {
+
+signal::PhaseProfile circular_profile(const Vec3& antenna, double sigma,
+                                      rf::Rng& rng) {
+  signal::PhaseProfile p;
+  constexpr int kSamples = 360;
+  for (int i = 0; i < kSamples; ++i) {
+    const double a = rf::kTwoPi * i / kSamples;
+    const Vec3 pos{0.3 * std::cos(a), 0.3 * std::sin(a), 0.0};
+    p.push_back({pos,
+                 rf::distance_phase(linalg::distance(pos, antenna)) +
+                     rng.gaussian(sigma),
+                 0.0});
+  }
+  // Shared preprocessing (Sec. IV-A2) for both methods.
+  signal::smooth_in_place(p, 9);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fig. 6 — single-antenna localization at different directions",
+      "LION ~= hologram in distance error; per-axis errors rotate with the "
+      "antenna direction (errors lie along center->antenna)");
+
+  const double kDeg[] = {0.0, 45.0, 90.0};
+  std::printf("\n%-12s %-10s %-12s %-12s %-12s\n", "direction", "method",
+              "dist[cm]", "x-err[cm]", "y-err[cm]");
+
+  for (double deg : kDeg) {
+    const double rad = deg * rf::kPi / 180.0;
+    const Vec3 antenna{std::cos(rad), std::sin(rad), 0.0};
+
+    std::vector<double> lion_d, lion_x, lion_y;
+    std::vector<double> holo_d, holo_x, holo_y;
+    rf::Rng rng(static_cast<std::uint64_t>(deg) + 5);
+
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto profile = circular_profile(antenna, 0.1, rng);
+
+      core::LocalizerConfig cfg;
+      cfg.target_dim = 2;
+      cfg.pair_interval = 0.25;
+      const auto lion_fix = core::LinearLocalizer(cfg).locate(profile);
+      lion_d.push_back(linalg::distance(lion_fix.position, antenna));
+      lion_x.push_back(std::abs(lion_fix.position[0] - antenna[0]));
+      lion_y.push_back(std::abs(lion_fix.position[1] - antenna[1]));
+
+      // Hologram over a 10 cm box around the truth, 2 mm grid (kept small
+      // so 100 trials stay tractable; same data as LION).
+      baseline::HologramConfig hcfg;
+      hcfg.min_corner = antenna - Vec3{0.05, 0.05, 0.0};
+      hcfg.max_corner = antenna + Vec3{0.05, 0.05, 0.0};
+      hcfg.min_corner[2] = hcfg.max_corner[2] = 0.0;
+      hcfg.grid_size = 0.002;
+      const auto holo_fix = baseline::locate_hologram(profile, hcfg);
+      holo_d.push_back(linalg::distance(holo_fix.position, antenna));
+      holo_x.push_back(std::abs(holo_fix.position[0] - antenna[0]));
+      holo_y.push_back(std::abs(holo_fix.position[1] - antenna[1]));
+    }
+
+    std::printf("%-12.0f %-10s %-12.2f %-12.2f %-12.2f\n", deg, "LION",
+                linalg::mean(lion_d) * 100.0, linalg::mean(lion_x) * 100.0,
+                linalg::mean(lion_y) * 100.0);
+    std::printf("%-12s %-10s %-12.2f %-12.2f %-12.2f\n", "", "hologram",
+                linalg::mean(holo_d) * 100.0, linalg::mean(holo_x) * 100.0,
+                linalg::mean(holo_y) * 100.0);
+  }
+
+  std::printf(
+      "\nreading: distance error is steady across directions and matches\n"
+      "the hologram's; the x/y split flips between 0 and 90 degrees — the\n"
+      "error lies along the trajectory-center -> antenna line (Sec. III-A).\n");
+  return 0;
+}

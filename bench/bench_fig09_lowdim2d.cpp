@@ -1,0 +1,77 @@
+// Fig. 9 — lower-dimension 2D localization with a linear trajectory.
+//
+// Paper setup: tag moves from -0.3 m to 0.3 m along the x-axis, antenna at
+// (0.2, 1) m, N(0, 0.1) noise, 100 trials. The trajectory is rank-1, so
+// the y coordinate must be recovered from d_r (Observation 2). Claim: LION
+// works with the linear trajectory and matches the hologram (CDF in the
+// paper is sub-2 cm for most trials).
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/smooth.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 9 — 2D localization with a single linear trajectory",
+                "lower-dimension recovery via d_r works: LION achieves "
+                "hologram-level accuracy on a rank-1 scan");
+
+  const Vec3 antenna{0.2, 1.0, 0.0};
+  std::vector<double> lion_err;
+  std::vector<double> holo_err;
+  rf::Rng rng(99);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    signal::PhaseProfile profile;
+    for (double x = -0.3; x <= 0.3 + 1e-12; x += 0.005) {
+      const Vec3 pos{x, 0.0, 0.0};
+      profile.push_back({pos,
+                         rf::distance_phase(linalg::distance(pos, antenna)) +
+                             rng.gaussian(0.1),
+                         0.0});
+    }
+    // Shared preprocessing (Sec. IV-A2): both methods get the smoothed
+    // profile, exactly as the paper's pipeline feeds them.
+    signal::smooth_in_place(profile, 9);
+
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.pair_interval = 0.2;
+    cfg.side_hint = Vec3{0.0, 1.0, 0.0};
+    const auto fix = core::LinearLocalizer(cfg).locate(profile);
+    lion_err.push_back(linalg::distance(fix.position, antenna));
+
+    baseline::HologramConfig hcfg;
+    hcfg.min_corner = {0.1, 0.9, 0.0};
+    hcfg.max_corner = {0.3, 1.1, 0.0};
+    hcfg.grid_size = 0.002;
+    const auto holo = baseline::locate_hologram(profile, hcfg);
+    holo_err.push_back(linalg::distance(holo.position, antenna));
+  }
+
+  for (auto& e : lion_err) e *= 100.0;
+  for (auto& e : holo_err) e *= 100.0;
+
+  std::printf("\n");
+  bench::print_cdf_header("cm");
+  bench::print_cdf_deciles("LION (linear scan)", lion_err);
+  bench::print_cdf_deciles("hologram", holo_err);
+
+  const auto ls = linalg::summarize(lion_err);
+  const auto hs = linalg::summarize(holo_err);
+  std::printf("\nmean distance error: LION %.2f cm, hologram %.2f cm "
+              "(100 trials)\n",
+              ls.mean, hs.mean);
+  std::printf(
+      "reading: comparable CDFs — the single linear trajectory suffices\n"
+      "for 2D localization (paper Sec. III-C1).\n");
+  return 0;
+}

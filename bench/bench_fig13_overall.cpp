@@ -1,0 +1,255 @@
+// Fig. 13 — overall accuracy and time: LION vs DAH, with/without
+// phase-center calibration, 2D and 3D.
+//
+// Paper setup: a calibrated (or not) antenna locates the initial position
+// of a tag moving on the linear slide. Headline claims:
+//   (a) calibration improves accuracy ~6x (2D) and ~2.1x (3D);
+//       LION edges DAH: 0.48 vs 0.69 cm (2D), 2.33 vs 2.61 cm (3D);
+//   (b) LION runs in ~0.02 s (2D) / ~1.8 s (3D) while DAH, even with the
+//       search cut to a (20 cm)^2 / (20 cm)^3 box at 1 mm, is far slower
+//       in 3D.
+// Substitution note: our 3D DAH uses a 2.5 mm grid to keep the harness
+// single-machine friendly; the cost *ratio* vs 2D is what matters.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+namespace {
+
+struct Case {
+  double lion_err_cm = 0.0;
+  double dah_err_cm = 0.0;
+  double lion_s = 0.0;
+  double dah_s = 0.0;
+};
+
+// Locate the start of a conveyor run with both methods, given the antenna
+// center estimate in use (calibrated or physical).
+Case run_trials(sim::Scenario& scenario, const Vec3& antenna_center,
+                bool three_d) {
+  Case out;
+  std::vector<double> lion_errs, dah_errs;
+  const int trials = three_d ? 4 : 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Vec3 start{-0.45 + 0.05 * trial, 0.0, 0.0};
+
+    // Conveyor pass(es): one line for 2D, two depth-offset lines for 3D.
+    std::vector<sim::PhaseSample> samples = scenario.sweep(
+        0, 0, sim::LinearTrajectory(start, start + Vec3{0.8, 0.0, 0.0}, 0.1));
+    if (three_d) {
+      const Vec3 start2 = start + Vec3{0.0, -0.2, 0.0};
+      auto second = scenario.sweep(
+          0, 0,
+          sim::LinearTrajectory(start2, start2 + Vec3{0.8, 0.0, 0.0}, 0.1));
+      // Tag carried from the end of pass 1 to the start of pass 2: stitch.
+      auto p1 = signal::preprocess(samples);
+      auto p2 = signal::preprocess(second);
+      // Junction endpoints are ~0.82 m apart, so resolve the 2*pi ambiguity
+      // geometrically instead: both profiles share the reference antenna,
+      // and we simply keep them as one list with per-profile unwrapping —
+      // the pairing below never pairs across the two passes' baselines
+      // because LION uses phase *differences within* the combined system.
+      // For correctness we re-anchor pass 2's phases by the noiseless
+      // expectation at its first point (emulating the paper's manual
+      // adjustment of profiles, Sec. IV-B).
+      const double expected_gap = rf::distance_delta_to_phase(
+          linalg::distance(antenna_center, p2.front().position) -
+          linalg::distance(antenna_center, p1.back().position));
+      const double shift = (p1.back().phase + expected_gap) - p2.front().phase;
+      const double k = std::round(shift / rf::kTwoPi) * rf::kTwoPi;
+      samples.clear();
+      signal::PhaseProfile combined = p1;
+      for (auto& pt : p2) {
+        combined.push_back({pt.position, pt.phase + k, pt.t});
+      }
+      // LION on the combined profile (virtual positions trick).
+      std::vector<core::TagScanPoint> scan;
+      for (const auto& pt : combined) {
+        scan.push_back({pt.position - start, pt.phase});
+      }
+      core::LocalizerConfig cfg;
+      cfg.target_dim = 3;
+      cfg.pair_interval = 0.2;
+      cfg.side_hint = start;
+      bench::Timer t;
+      const auto fix = core::locate_tag_start(antenna_center, scan, cfg);
+      out.lion_s += t.seconds();
+      lion_errs.push_back(linalg::distance(fix.position, start));
+
+      // DAH over a (20 cm)^3 box at 2.5 mm around the truth.
+      signal::PhaseProfile sub;
+      for (std::size_t i = 0; i < combined.size(); i += 20) {
+        sub.push_back(combined[i]);
+      }
+      // The hologram searches tag-start space via the same virtual trick.
+      signal::PhaseProfile virt;
+      for (const auto& pt : sub) {
+        virt.push_back({antenna_center - (pt.position - start), pt.phase, 0.0});
+      }
+      baseline::HologramConfig hcfg;
+      hcfg.min_corner = start - Vec3{0.1, 0.1, 0.1};
+      hcfg.max_corner = start + Vec3{0.1, 0.1, 0.1};
+      hcfg.grid_size = 0.0025;
+      t.reset();
+      const auto dah = baseline::locate_hologram(virt, hcfg);
+      out.dah_s += t.seconds();
+      dah_errs.push_back(linalg::distance(dah.position, start));
+    } else {
+      const auto profile = signal::preprocess(samples);
+      // The paper's default 2D pipeline: WLS with the scanning range and
+      // interval chosen adaptively by the residual rule.
+      signal::PhaseProfile virt_full;
+      for (const auto& pt : profile) {
+        virt_full.push_back(
+            {antenna_center - (pt.position - start), pt.phase, pt.t});
+      }
+      core::AdaptiveConfig acfg;
+      acfg.base.target_dim = 2;
+      acfg.base.side_hint = start;
+      acfg.range_center_x = 0.5 * (virt_full.front().position[0] +
+                                   virt_full.back().position[0]);
+      bench::Timer t;
+      const auto fix = core::locate_adaptive(virt_full, acfg);
+      out.lion_s += t.seconds();
+      lion_errs.push_back(bench::planar_error(fix.position, start));
+
+      signal::PhaseProfile virt;
+      for (std::size_t i = 0; i < profile.size(); i += 4) {
+        virt.push_back(
+            {antenna_center - (profile[i].position - start),
+             profile[i].phase, 0.0});
+      }
+      baseline::HologramConfig hcfg;
+      hcfg.min_corner = start - Vec3{0.1, 0.1, 0.0};
+      hcfg.max_corner = start + Vec3{0.1, 0.1, 0.0};
+      hcfg.min_corner[2] = hcfg.max_corner[2] = 0.0;
+      hcfg.grid_size = 0.001;
+      bench::Timer t2;
+      const auto dah = baseline::locate_hologram(virt, hcfg);
+      out.dah_s += t2.seconds();
+      dah_errs.push_back(bench::planar_error(dah.position, start));
+    }
+  }
+  out.lion_err_cm = linalg::mean(lion_errs) * 100.0;
+  out.dah_err_cm = linalg::mean(dah_errs) * 100.0;
+  out.lion_s /= trials;
+  out.dah_s /= trials;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 13 — overall accuracy and time consumption",
+                "calibration: ~6x (2D) / ~2.1x (3D) accuracy gain; LION "
+                "slightly beats DAH; LION 0.02 s (2D) / 1.8 s (3D) vs DAH "
+                "far slower in 3D");
+
+  // Two rigs, like the paper's: the 2D experiments put tag and antenna at
+  // the same height; the 3D experiments give the antenna a 10 cm height
+  // offset so the z coordinate is genuinely unknown. Each antenna is
+  // calibrated once with the three-line rig.
+  auto make_scenario = [](double z, std::uint32_t unit, std::uint64_t seed) {
+    return sim::Scenario::Builder{}
+        .environment(sim::EnvironmentKind::kLabClean)
+        .add_antenna(rf::make_antenna({0.0, 0.8, z}, unit))
+        .add_tag()
+        .seed(seed)
+        .build();
+  };
+  // Three 2D antenna units so the calibration gain reflects the expected
+  // in-plane displacement rather than one unit's luck of the draw (the 3D
+  // case keeps one unit: its DAH search dominates the harness runtime).
+  std::vector<sim::Scenario> scenarios2d;
+  scenarios2d.push_back(make_scenario(0.0, 0, 131));
+  scenarios2d.push_back(make_scenario(0.0, 7, 231));
+  scenarios2d.push_back(make_scenario(0.0, 11, 331));
+  auto scenario3d = make_scenario(0.1, 3, 132);
+
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  auto calibrate = [&](sim::Scenario& s) {
+    const auto profile = signal::preprocess(s.sweep(0, 0, rig.build()));
+    return core::calibrate_phase_center(
+        profile, s.antennas()[0].physical_center, {});
+  };
+  std::vector<core::CenterCalibration> cals2d;
+  for (auto& s : scenarios2d) {
+    cals2d.push_back(calibrate(s));
+    std::printf("2D unit A%u: displacement %.2f cm, calibration error %.2f cm\n",
+                s.antennas()[0].id,
+                s.antennas()[0].phase_center_displacement.norm() * 100.0,
+                linalg::distance(cals2d.back().estimated_center,
+                                 s.antennas()[0].phase_center()) *
+                    100.0);
+  }
+  const auto cal3d = calibrate(scenario3d);
+  std::printf("3D unit A%u: displacement %.2f cm, calibration error %.2f cm\n",
+              scenario3d.antennas()[0].id,
+              scenario3d.antennas()[0].phase_center_displacement.norm() *
+                  100.0,
+              linalg::distance(cal3d.estimated_center,
+                               scenario3d.antennas()[0].phase_center()) *
+                  100.0);
+
+  std::printf("\n%-8s %-14s %-12s %-12s %-12s %-12s\n", "case", "calibration",
+              "LION[cm]", "DAH[cm]", "LION[s]", "DAH[s]");
+
+  struct Row {
+    const char* name;
+    bool three_d;
+    bool calibrated;
+  };
+  const Row rows[] = {
+      {"2D+", false, true},
+      {"2D-", false, false},
+      {"3D+", true, true},
+      {"3D-", true, false},
+  };
+  double c2d_lion = 0, u2d_lion = 0, c3d_lion = 0, u3d_lion = 0;
+  for (const Row& row : rows) {
+    Case c;
+    if (row.three_d) {
+      const Vec3 center = row.calibrated
+                              ? cal3d.estimated_center
+                              : scenario3d.antennas()[0].physical_center;
+      c = run_trials(scenario3d, center, true);
+    } else {
+      for (std::size_t u = 0; u < scenarios2d.size(); ++u) {
+        const Vec3 center =
+            row.calibrated ? cals2d[u].estimated_center
+                           : scenarios2d[u].antennas()[0].physical_center;
+        const Case one = run_trials(scenarios2d[u], center, false);
+        c.lion_err_cm += one.lion_err_cm / scenarios2d.size();
+        c.dah_err_cm += one.dah_err_cm / scenarios2d.size();
+        c.lion_s += one.lion_s / scenarios2d.size();
+        c.dah_s += one.dah_s / scenarios2d.size();
+      }
+    }
+    std::printf("%-8s %-14s %-12.2f %-12.2f %-12.4f %-12.3f\n", row.name,
+                row.calibrated ? "with" : "without", c.lion_err_cm,
+                c.dah_err_cm, c.lion_s, c.dah_s);
+    if (row.three_d && row.calibrated) c3d_lion = c.lion_err_cm;
+    if (row.three_d && !row.calibrated) u3d_lion = c.lion_err_cm;
+    if (!row.three_d && row.calibrated) c2d_lion = c.lion_err_cm;
+    if (!row.three_d && !row.calibrated) u2d_lion = c.lion_err_cm;
+  }
+
+  std::printf("\ncalibration gain: 2D %.1fx (paper ~6x), 3D %.1fx "
+              "(paper ~2.1x)\n",
+              u2d_lion / c2d_lion, u3d_lion / c3d_lion);
+  std::printf("paper absolute reference: LION 0.48/2.33 cm, DAH 0.69/2.61 cm "
+              "(2D/3D, calibrated)\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Fig. 14 — impact of height and depth.
+//
+// (a) 3D localization of the antenna at P1..P6 (y = 0.6/0.8/1.0 m,
+//     z = 0/0.2 m) from two x-lines at y=0 and y=-0.2 in the z=0 plane.
+//     Claim: per-axis errors < 1.5 cm up to 0.8 m depth, then grow —
+//     especially along y and z (phase insensitivity at depth).
+// (b) 2D conveyor tracking at depths 0.6..1.6 m, LION vs DAH. Claim: LION
+//     stays ~0.45 cm throughout; DAH blows past 2.5 cm beyond 1.4 m as
+//     multipath grows with depth (LION's adaptive selection filters it).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+namespace {
+
+// ---- part (a): 3D antenna localization at P1..P6 ------------------------
+
+void part_a() {
+  std::printf("\n(a) 3D antenna localization from two planar lines\n");
+  std::printf("%-6s %-18s %-10s %-10s %-10s %-10s\n", "pos",
+              "antenna (y,z)[m]", "dist[cm]", "x[cm]", "y[cm]", "z[cm]");
+
+  int idx = 1;
+  for (double z : {0.0, 0.2}) {
+    for (double y : {0.6, 0.8, 1.0}) {
+      rf::Antenna antenna;
+      antenna.physical_center = {0.0, y, z};
+      // Isolate the geometry effect: no hidden displacement here.
+      auto scenario = sim::Scenario::Builder{}
+                          .environment(sim::EnvironmentKind::kLabClean)
+                          .add_antenna(antenna)
+                          .add_tag()
+                          .seed(140 + idx)
+                          .build();
+
+      std::vector<double> dist, ex, ey, ez;
+      for (int trial = 0; trial < 8; ++trial) {
+        // Two x-lines at y=0 and y=-0.2, both z=0 — rank 2, z recovered.
+        sim::PiecewiseLinearTrajectory traj(
+            {{-0.55, 0.0, 0.0},
+             {0.55, 0.0, 0.0},
+             {0.55, -0.2, 0.0},
+             {-0.55, -0.2, 0.0}},
+            0.1);
+        const auto profile = signal::preprocess(scenario.sweep(0, 0, traj));
+        core::LocalizerConfig cfg;
+        cfg.target_dim = 3;
+        cfg.pair_interval = 0.2;
+        cfg.side_hint = Vec3{0.0, y, 1.0};  // antenna above the scan plane
+        const auto fix = core::LinearLocalizer(cfg).locate(profile);
+        const Vec3 truth = antenna.phase_center();
+        dist.push_back(linalg::distance(fix.position, truth));
+        ex.push_back(std::abs(fix.position[0] - truth[0]));
+        ey.push_back(std::abs(fix.position[1] - truth[1]));
+        ez.push_back(std::abs(fix.position[2] - truth[2]));
+      }
+      std::printf("P%-5d (%.1f, %.1f)%8s %-10.2f %-10.2f %-10.2f %-10.2f\n",
+                  idx, y, z, "", linalg::mean(dist) * 100.0,
+                  linalg::mean(ex) * 100.0, linalg::mean(ey) * 100.0,
+                  linalg::mean(ez) * 100.0);
+      ++idx;
+    }
+  }
+  std::printf("reading: errors grow with depth, dominated by y/z — the\n"
+              "20 cm depth spread is insufficient at range (Sec. V-C1).\n");
+}
+
+// ---- part (b): 2D conveyor tracking vs depth ----------------------------
+
+void part_b() {
+  std::printf("\n(b) 2D tag tracking vs depth, LION (adaptive) vs DAH\n");
+  std::printf("%-10s %-12s %-12s\n", "depth[m]", "LION[cm]", "DAH[cm]");
+
+  for (double depth = 0.6; depth <= 1.6 + 1e-9; depth += 0.2) {
+    // Multipath whose *relative* influence grows with depth: (1) a small
+    // metal fixture near the conveyor's far end — localized structured
+    // interference that window selection can dodge but take-all-
+    // measurements methods cannot; (2) the room's diffuse reverberant
+    // floor, position-independent while the LoS field decays as 1/d.
+    auto reflectors = sim::make_reflectors(sim::EnvironmentKind::kLabTypical);
+    rf::NoiseModel noise = sim::make_noise(sim::EnvironmentKind::kLabTypical);
+    noise.diffuse_amplitude = 0.03;
+    std::vector<rf::Scatterer> scatterers{{{0.6, 0.3, 0.0}, 0.02}};
+    rf::Antenna antenna;
+    antenna.physical_center = {0.0, depth, 0.0};
+    auto scenario = sim::Scenario::Builder{}
+                        .channel(rf::Channel(noise, reflectors, scatterers))
+                        .add_antenna(antenna)
+                        .add_tag()
+                        .seed(1400 + static_cast<std::uint64_t>(depth * 10))
+                        .build();
+    const Vec3 center = antenna.phase_center();
+
+    std::vector<double> lion_errs, dah_errs;
+    for (int trial = 0; trial < 6; ++trial) {
+      const Vec3 start{-0.4 + 0.02 * trial, 0.0, 0.0};
+      const auto raw = scenario.sweep(
+          0, 0,
+          sim::LinearTrajectory(start, start + Vec3{0.9, 0.0, 0.0}, 0.1));
+
+      // LION's full robust pipeline: RSSI-gate the deep fades, filter
+      // impulses, unwrap, smooth — then adaptive range/interval selection.
+      // DAH, as published, "takes all measurements as input": it gets the
+      // plain unwrap+smooth profile.
+      signal::PreprocessConfig robust;
+      robust.rssi_gate_db = 6.0;
+      robust.smoothing_window_m = 0.02;
+      const auto lion_profile = signal::preprocess(raw, robust);
+      const auto profile = signal::preprocess(raw);
+
+      signal::PhaseProfile virt;
+      for (const auto& pt : lion_profile) {
+        virt.push_back({center - (pt.position - start), pt.phase, pt.t});
+      }
+      core::AdaptiveConfig acfg;
+      acfg.base.target_dim = 2;
+      acfg.base.side_hint = start;
+      acfg.base.method = core::SolveMethod::kIterativeReweighted;
+      acfg.range_center_x = 0.5 * (virt.front().position[0] +
+                                   virt.back().position[0]);
+      const auto fix = core::locate_adaptive(virt, acfg);
+      lion_errs.push_back(bench::planar_error(fix.position, start));
+
+      // DAH takes all measurements as-is.
+      signal::PhaseProfile dah_virt;
+      for (const auto& pt : profile) {
+        dah_virt.push_back({center - (pt.position - start), pt.phase, pt.t});
+      }
+      signal::PhaseProfile sub;
+      for (std::size_t i = 0; i < dah_virt.size(); i += 4) {
+        sub.push_back(dah_virt[i]);
+      }
+      baseline::HologramConfig hcfg;
+      hcfg.min_corner = start - Vec3{0.08, 0.08, 0.0};
+      hcfg.max_corner = start + Vec3{0.08, 0.08, 0.0};
+      hcfg.min_corner[2] = hcfg.max_corner[2] = 0.0;
+      hcfg.grid_size = 0.002;
+      const auto dah = baseline::locate_hologram(sub, hcfg);
+      dah_errs.push_back(bench::planar_error(dah.position, start));
+    }
+    std::printf("%-10.1f %-12.2f %-12.2f\n", depth,
+                linalg::mean(lion_errs) * 100.0,
+                linalg::mean(dah_errs) * 100.0);
+  }
+  std::printf("paper reference: LION ~0.45 cm flat; DAH ~0.55 cm until "
+              "1.2 m, >2.5 cm at 1.4 m+\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 14 — impact of height and depth",
+                "3D accurate within 0.8 m depth; 2D LION flat with depth "
+                "while DAH degrades sharply beyond 1.4 m");
+  part_a();
+  part_b();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 15 — impact of the weight (WLS vs LS).
+//
+// Paper setup: tag on the x-axis at depth 0.8 m, 30 random tag positions,
+// locate with the weighted least square method vs the plain least square
+// method. Claim: WLS 0.43 cm vs LS 0.92 cm mean distance error — the
+// weights suppress multipath-corrupted equations.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 15 — weighted vs ordinary least squares",
+                "WLS 0.43 cm vs LS 0.92 cm mean error (CDF separation)");
+
+  rf::Antenna antenna;
+  antenna.physical_center = {0.0, 0.8, 0.0};
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna(antenna)
+                      .add_tag()
+                      .seed(150)
+                      .build();
+  const Vec3 center = antenna.phase_center();
+
+  std::vector<double> ls_err, wls_err;
+  rf::Rng pos_rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec3 start{pos_rng.uniform(-0.5, -0.2), 0.0, 0.0};
+    auto raw = scenario.sweep(
+        0, 0, sim::LinearTrajectory(start, start + Vec3{0.9, 0.0, 0.0}, 0.1));
+    // Substitution for the paper's lab multipath hot spot: while the tag
+    // crosses a short NLoS stretch (a cable tray shadows the LoS and a
+    // specular path dominates), the reported phase carries a coherent
+    // offset. This is the structured corruption the residual-based weights
+    // exist to suppress; plain LS averages it into the fix.
+    for (auto& s : raw) {
+      if (s.position[0] > 0.35 && s.position[0] < 0.43) {
+        s.phase = rf::wrap_phase(s.phase + 1.0);
+      }
+    }
+    const auto profile = signal::preprocess(raw);
+
+    std::vector<core::TagScanPoint> scan;
+    for (const auto& pt : profile) {
+      scan.push_back({pt.position - start, pt.phase});
+    }
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.pair_interval = 0.2;
+    cfg.side_hint = start;
+
+    cfg.method = core::SolveMethod::kLeastSquares;
+    ls_err.push_back(
+        bench::planar_error(core::locate_tag_start(center, scan, cfg).position,
+                            start) *
+        100.0);
+    cfg.method = core::SolveMethod::kIterativeReweighted;
+    wls_err.push_back(
+        bench::planar_error(core::locate_tag_start(center, scan, cfg).position,
+                            start) *
+        100.0);
+  }
+
+  std::printf("\n");
+  bench::print_cdf_header("cm");
+  bench::print_cdf_deciles("LS", ls_err);
+  bench::print_cdf_deciles("WLS", wls_err);
+  std::printf("\nmean distance error: WLS %.2f cm, LS %.2f cm (30 positions)\n",
+              linalg::mean(wls_err), linalg::mean(ls_err));
+  std::printf("paper reference: WLS 0.43 cm, LS 0.92 cm\n");
+  return 0;
+}

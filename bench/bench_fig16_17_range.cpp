@@ -1,0 +1,93 @@
+// Fig. 16 + 17 — impact of the scanning range, and the residual as the
+// adaptive-selection cue.
+//
+// Paper setup: interval fixed at 25 cm, scanning range swept 60..110 cm.
+// Claims: (16) the mean WLS residual is closest to zero at the best range
+// (80 cm); (17) the distance error is U-shaped — small ranges give
+// near-parallel radical lines (plane-wave regime), large ranges drag in
+// noisy off-main-beam samples.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 16/17 — impact of scanning range",
+                "best accuracy at ~80 cm where the mean WLS residual is "
+                "closest to zero; worse below (plane waves) and above "
+                "(off-beam noise)");
+
+  // A 52-degree-beam antenna at 0.8 m depth: an 80 cm scan stays inside
+  // the main beam, a 110 cm scan pokes well out of it, where both the
+  // noise inflation and the antenna's off-axis *phase pattern* (coherent
+  // bias) kick in — the paper's mechanism for the right side of the U.
+  rf::Antenna antenna;
+  antenna.physical_center = {0.0, 0.8, 0.0};
+  antenna.beamwidth_rad = 52.0 * rf::kPi / 180.0;
+  antenna.pattern_coefficient = 1.5;
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna(antenna)
+                      .add_tag()
+                      .seed(160)
+                      .build();
+  const Vec3 center = antenna.phase_center();
+
+  std::printf("\n%-12s %-18s %-14s\n", "range[cm]", "mean residual[e-3]",
+              "dist err[cm]");
+
+  double best_range = 0.0;
+  double best_resid = 1e9;
+  double err_at_best = 0.0;
+  for (double range = 0.6; range <= 1.1 + 1e-9; range += 0.1) {
+    std::vector<double> errs, resids;
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vec3 start{-0.6, 0.0, 0.0};
+      const auto profile = signal::preprocess(scenario.sweep(
+          0, 0,
+          sim::LinearTrajectory(start, start + Vec3{1.2, 0.0, 0.0}, 0.1)));
+      signal::PhaseProfile virt;
+      for (const auto& pt : profile) {
+        virt.push_back({center - (pt.position - start), pt.phase, pt.t});
+      }
+      const double cx =
+          0.5 * (virt.front().position[0] + virt.back().position[0]);
+      const auto windowed = core::restrict_to_x_range(virt, cx, range);
+      core::LocalizerConfig cfg;
+      cfg.target_dim = 2;
+      cfg.pair_interval = 0.25;
+      cfg.side_hint = start;
+      // Pure interval pairing: the experiment's x_o is exactly the paper's
+      // scanning-interval parameter, so no ladder rungs beyond it.
+      const auto pairs = core::interval_pairs(windowed, 0.25, 0.02);
+      const auto fix =
+          core::LinearLocalizer(cfg).locate_with_pairs(windowed, pairs);
+      errs.push_back(bench::planar_error(fix.position, start) * 100.0);
+      resids.push_back(fix.mean_residual * 1e3);
+    }
+    const double mean_resid = linalg::mean(resids);
+    const double mean_err = linalg::mean(errs);
+    std::printf("%-12.0f %-18.3f %-14.2f\n", range * 100.0, mean_resid,
+                mean_err);
+    if (std::abs(mean_resid) < best_resid) {
+      best_resid = std::abs(mean_resid);
+      best_range = range;
+      err_at_best = mean_err;
+    }
+  }
+
+  std::printf("\nresidual-selected range: %.0f cm (err %.2f cm)\n",
+              best_range * 100.0, err_at_best);
+  std::printf("paper reference: residual closest to zero at 80 cm, matching "
+              "the minimum distance error\n");
+  return 0;
+}

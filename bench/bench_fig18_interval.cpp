@@ -1,0 +1,70 @@
+// Fig. 18 — impact of the scanning interval.
+//
+// Paper setup: range fixed at 80 cm, interval swept 10..35 cm. Claim: the
+// distance error drops sharply once the interval reaches ~20 cm (larger
+// intervals mean larger phase differences, so noise matters relatively
+// less) and the mean residual again flags the best interval.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 18 — impact of scanning interval",
+                "error decreases markedly up to ~20 cm interval; the "
+                "residual identifies the good settings");
+
+  rf::Antenna antenna;
+  antenna.physical_center = {0.0, 0.8, 0.0};
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna(antenna)
+                      .add_tag()
+                      .seed(180)
+                      .build();
+  const Vec3 center = antenna.phase_center();
+
+  std::printf("\n%-14s %-18s %-14s\n", "interval[cm]", "mean residual[e-3]",
+              "dist err[cm]");
+
+  for (double interval = 0.10; interval <= 0.35 + 1e-9; interval += 0.05) {
+    std::vector<double> errs, resids;
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vec3 start{-0.6, 0.0, 0.0};
+      const auto profile = signal::preprocess(scenario.sweep(
+          0, 0,
+          sim::LinearTrajectory(start, start + Vec3{1.2, 0.0, 0.0}, 0.1)));
+      signal::PhaseProfile virt;
+      for (const auto& pt : profile) {
+        virt.push_back({center - (pt.position - start), pt.phase, pt.t});
+      }
+      const double cx =
+          0.5 * (virt.front().position[0] + virt.back().position[0]);
+      const auto windowed = core::restrict_to_x_range(virt, cx, 0.8);
+      core::LocalizerConfig cfg;
+      cfg.target_dim = 2;
+      cfg.pair_interval = interval;
+      cfg.side_hint = start;
+      // Pure interval pairing so the sweep isolates the x_o parameter.
+      const auto pairs = core::interval_pairs(windowed, interval, 0.02);
+      const auto fix =
+          core::LinearLocalizer(cfg).locate_with_pairs(windowed, pairs);
+      errs.push_back(bench::planar_error(fix.position, start) * 100.0);
+      resids.push_back(fix.mean_residual * 1e3);
+    }
+    std::printf("%-14.0f %-18.3f %-14.2f\n", interval * 100.0,
+                linalg::mean(resids), linalg::mean(errs));
+  }
+
+  std::printf("\npaper reference: error drops significantly once the interval "
+              "reaches 20 cm; the 20 cm residual is closest to zero\n");
+  return 0;
+}

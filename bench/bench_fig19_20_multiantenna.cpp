@@ -1,0 +1,127 @@
+// Fig. 19 + 20 — case study: locating a static tag with multiple antennas,
+// the scenario where phase calibration matters most.
+//
+// Paper setup: three antennas in a line, 30 cm apart, physical centers
+// aligned at 1 m height; a static tag at (-10 cm, 80 cm) from the middle
+// antenna. Calibration uses the Fig. 11 rig (y0 = z0 = 20 cm, depth of L1
+// 70 cm). Claims:
+//  (19) the three antennas have distinct center displacements and offsets
+//       (paper: 3.98 / 2.74 / 4.07 rad);
+//  (20) the differential hologram's error drops 8.49 cm -> 5.76 cm with
+//       center calibration -> 4.68 cm with center+offset calibration
+//       (~1.8x total).
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 19/20 — multi-antenna tag localization case study",
+                "per-antenna center displacements and offsets differ; "
+                "calibration improves the hologram fix 8.49 -> 5.76 -> "
+                "4.68 cm (~1.8x)");
+
+  // Three antennas 30 cm apart, 70 cm behind the calibration rig plane.
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna({-0.3, 0.7, 0.0})
+                      .add_antenna({0.0, 0.7, 0.0})
+                      .add_antenna({0.3, 0.7, 0.0})
+                      .add_tag()
+                      .seed(190)
+                      .build();
+
+  // ---- Fig. 19: calibrate each antenna with the three-line rig ---------
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  rig.y0 = 0.2;
+  rig.z0 = 0.2;
+
+  std::vector<core::AntennaCalibration> cals(3);
+  std::printf("\n(Fig. 19) per-antenna calibration results\n");
+  std::printf("%-8s %-26s %-12s %-14s\n", "antenna", "displacement (x,y,z)[cm]",
+              "|displ|[cm]", "offset[rad]");
+  for (std::size_t a = 0; a < 3; ++a) {
+    const auto samples = scenario.sweep(a, 0, rig.build());
+    const auto profile = signal::preprocess(samples);
+    core::AdaptiveConfig acfg;
+    acfg.range_center_x = 0.0;
+    cals[a].antenna_index = a;
+    cals[a].center = core::calibrate_phase_center(
+        profile, scenario.antennas()[a].physical_center, acfg);
+    cals[a].phase_offset = core::calibrate_phase_offset(
+        samples, cals[a].center.estimated_center);
+    const Vec3& d = cals[a].center.displacement;
+    const double true_offset =
+        rf::wrap_phase(scenario.antennas()[a].reader_offset_rad +
+                       scenario.tags()[0].tag_offset_rad);
+    std::printf("A%-7zu (%5.2f, %5.2f, %5.2f)%7s %-12.2f %.2f (true %.2f)\n",
+                a + 1, d[0] * 100.0, d[1] * 100.0, d[2] * 100.0, "",
+                d.norm() * 100.0, cals[a].phase_offset, true_offset);
+  }
+
+  // ---- Fig. 20: differential hologram under three calibration levels ---
+  const Vec3 tag_pos{-0.1, 0.8, 0.0};
+  auto collect = [&](std::size_t a) {
+    const auto reads = scenario.read_static(a, 0, tag_pos, 300);
+    std::vector<double> phases;
+    for (const auto& r : reads) phases.push_back(r.phase);
+    return rf::circular_mean(phases);
+  };
+  const double measured[3] = {collect(0), collect(1), collect(2)};
+
+  // Three antennas yield only two independent phase differences, so the
+  // differential hologram has exact alias peaks ~11 cm from the truth; a
+  // deployment prior tighter than the alias spacing (the tag sits in a
+  // known tray slot, +/-8 cm) is required to make the search well-posed.
+  baseline::HologramConfig hcfg;
+  hcfg.min_corner = tag_pos - Vec3{0.08, 0.08, 0.0};
+  hcfg.max_corner = tag_pos + Vec3{0.08, 0.08, 0.0};
+  hcfg.min_corner[2] = hcfg.max_corner[2] = 0.0;
+  hcfg.grid_size = 0.002;
+
+  struct Level {
+    const char* name;
+    bool use_estimated_center;
+    bool use_offsets;
+  };
+  const Level levels[] = {
+      {"no calibration", false, false},
+      {"center calibration", true, false},
+      {"center + offset calibration", true, true},
+  };
+
+  std::printf("\n(Fig. 20) differential hologram fix of the tag at "
+              "(-10, 80) cm\n");
+  std::printf("%-30s %-12s\n", "calibration level", "error[cm]");
+  for (const Level& level : levels) {
+    std::vector<baseline::AntennaReading> readings;
+    for (std::size_t a = 0; a < 3; ++a) {
+      baseline::AntennaReading r;
+      r.antenna_position = level.use_estimated_center
+                               ? cals[a].center.estimated_center
+                               : scenario.antennas()[a].physical_center;
+      r.phase = measured[a];
+      // Offsets only make sense relatively; subtracting each antenna's
+      // estimate implements the paper's pairwise-difference elimination.
+      r.offset = level.use_offsets ? cals[a].phase_offset : 0.0;
+      readings.push_back(r);
+    }
+    const auto fix = baseline::locate_tag_multi_antenna(readings, hcfg);
+    std::printf("%-30s %-12.2f\n", level.name,
+                linalg::distance(fix.position, tag_pos) * 100.0);
+  }
+
+  std::printf("\npaper reference: 8.49 cm -> 5.76 cm -> 4.68 cm\n");
+  return 0;
+}

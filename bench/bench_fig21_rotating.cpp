@@ -1,0 +1,65 @@
+// Fig. 21 — antenna localization with a rotating tag (turntable scan).
+//
+// Paper setup: a tag rotates on a turntable 70 cm in front of a calibrated
+// antenna, radius swept over several values. Claims: the x-axis error
+// (perpendicular to the center->antenna line) is smaller than the y-axis
+// error (along it), and errors shrink as the radius grows.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  bench::banner("Fig. 21 — localization with a rotating (circular) scan",
+                "x error < y error (errors lie along center->antenna); "
+                "error decreases with rotation radius");
+
+  rf::Antenna antenna;
+  antenna.physical_center = {0.0, 0.7, 0.0};
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna(antenna)
+                      .add_tag()
+                      .seed(210)
+                      .build();
+  const Vec3 truth = antenna.phase_center();
+
+  std::printf("\n%-12s %-12s %-12s %-12s\n", "radius[cm]", "dist[cm]",
+              "x-err[cm]", "y-err[cm]");
+
+  for (double radius : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    std::vector<double> d, ex, ey;
+    for (int trial = 0; trial < 10; ++trial) {
+      sim::CircularTrajectory traj({0.0, 0.0, 0.0}, radius, {0.0, 0.0, 1.0},
+                                   0.8, 1.0,
+                                   0.3 * trial /* vary start angle */);
+      const auto profile = signal::preprocess(scenario.sweep(0, 0, traj));
+      core::LocalizerConfig cfg;
+      cfg.target_dim = 2;
+      cfg.pair_interval = std::min(0.25, 1.2 * radius);
+      cfg.side_hint = Vec3{0.0, 0.7, 0.0};
+      const auto fix = core::LinearLocalizer(cfg).locate(profile);
+      d.push_back(linalg::distance(fix.position, truth));
+      ex.push_back(std::abs(fix.position[0] - truth[0]));
+      ey.push_back(std::abs(fix.position[1] - truth[1]));
+    }
+    std::printf("%-12.0f %-12.2f %-12.2f %-12.2f\n", radius * 100.0,
+                linalg::mean(d) * 100.0, linalg::mean(ex) * 100.0,
+                linalg::mean(ey) * 100.0);
+  }
+
+  std::printf(
+      "\nreading: any known trajectory shape works — circular scanning\n"
+      "replaces multi-line scanning where that is more convenient\n"
+      "(paper Sec. V-F2).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) of the hot paths behind Fig. 13(b)'s
+// time-consumption claim: system assembly, the LS/WLS/IRLS solves, the
+// end-to-end LION localization, and the hologram cell scan they replace.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baseline/hologram.hpp"
+#include "core/lion.hpp"
+#include "linalg/lstsq.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/unwrap.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+namespace {
+
+signal::PhaseProfile make_profile(std::size_t n) {
+  rf::Rng rng(1);
+  const Vec3 target{0.1, 0.8, 0.0};
+  signal::PhaseProfile p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = -0.55 + 1.1 * static_cast<double>(i) /
+                                 static_cast<double>(n - 1);
+    for (double y : {0.0, -0.2}) {
+      const Vec3 pos{x, y, 0.0};
+      p.push_back({pos,
+                   rf::distance_phase(linalg::distance(pos, target)) +
+                       rng.gaussian(0.1),
+                   0.0});
+    }
+  }
+  return p;
+}
+
+void BM_Unwrap(benchmark::State& state) {
+  rf::Rng rng(2);
+  std::vector<double> wrapped;
+  for (int i = 0; i < 5000; ++i) {
+    wrapped.push_back(rf::wrap_phase(0.13 * i + rng.gaussian(0.1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::unwrap(wrapped));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_Unwrap);
+
+void BM_BuildSystem(benchmark::State& state) {
+  const auto profile = make_profile(static_cast<std::size_t>(state.range(0)));
+  const auto frame = core::analyze_frame(profile, 2);
+  const auto pairs = core::ladder_pairs(profile, 0.2, 0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_system(
+        profile, frame, pairs, profile.size() / 2, rf::kDefaultWavelength));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_BuildSystem)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SolveLs(benchmark::State& state) {
+  const auto profile = make_profile(1024);
+  const auto frame = core::analyze_frame(profile, 2);
+  const auto pairs = core::ladder_pairs(profile, 0.2, 0.02);
+  const auto sys = core::build_system(profile, frame, pairs,
+                                      profile.size() / 2,
+                                      rf::kDefaultWavelength);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_least_squares(sys.a, sys.k));
+  }
+}
+BENCHMARK(BM_SolveLs);
+
+void BM_SolveIrls(benchmark::State& state) {
+  const auto profile = make_profile(1024);
+  const auto frame = core::analyze_frame(profile, 2);
+  const auto pairs = core::ladder_pairs(profile, 0.2, 0.02);
+  const auto sys = core::build_system(profile, frame, pairs,
+                                      profile.size() / 2,
+                                      rf::kDefaultWavelength);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_irls(sys.a, sys.k));
+  }
+}
+BENCHMARK(BM_SolveIrls);
+
+void BM_LionLocate2D(benchmark::State& state) {
+  const auto profile = make_profile(static_cast<std::size_t>(state.range(0)));
+  core::LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.pair_interval = 0.2;
+  const core::LinearLocalizer localizer(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localizer.locate(profile));
+  }
+}
+BENCHMARK(BM_LionLocate2D)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HologramPerCell(benchmark::State& state) {
+  const auto profile = make_profile(128);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    baseline::HologramConfig cfg;
+    cfg.min_corner = {0.05, 0.75, 0.0};
+    cfg.max_corner = {0.15, 0.85, 0.0};
+    cfg.grid_size = 0.005;  // 21 x 21 cells
+    cfg.augmented = false;
+    const auto r = baseline::locate_hologram(profile, cfg);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_HologramPerCell);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Shared helpers for the figure-reproduction bench harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper's evaluation
+// and prints the same rows/series the paper reports, plus the paper's
+// numbers for side-by-side comparison. Absolute values differ (our
+// substrate is a simulator, not the authors' testbed); the *shape* — who
+// wins, by what factor, where the knees are — is what must match.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "linalg/stats.hpp"
+#include "linalg/vec.hpp"
+
+namespace lion::bench {
+
+/// In-plane (xy) distance — the error metric of every 2D experiment. The
+/// 2D localizer reports its fix inside the virtual scan plane (whose
+/// height is the antenna's z), while the tag lives in its own plane; the
+/// z offset between the two planes is known a priori in a 2D task and
+/// must not count as error.
+inline double planar_error(const linalg::Vec3& a, const linalg::Vec3& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Print a banner naming the figure being reproduced.
+inline void banner(const std::string& figure, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Print an empirical CDF as a compact series (value at each decile).
+inline void print_cdf_deciles(const std::string& label,
+                              const std::vector<double>& samples) {
+  std::printf("%-24s", label.c_str());
+  for (int decile = 10; decile <= 100; decile += 10) {
+    std::printf(" %7.3f", linalg::percentile(samples, decile));
+  }
+  std::printf("\n");
+}
+
+inline void print_cdf_header(const std::string& unit) {
+  std::printf("%-24s", ("CDF deciles [" + unit + "]").c_str());
+  for (int decile = 10; decile <= 100; decile += 10) {
+    std::printf("    p%-3d", decile);
+  }
+  std::printf("\n");
+}
+
+}  // namespace lion::bench

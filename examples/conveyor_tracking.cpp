@@ -1,0 +1,78 @@
+// Conveyor tracking — the paper's industrial motivation.
+//
+// A warehouse conveyor carries tagged parcels past a reader antenna at a
+// known speed. The parcel's displacement over time is known (belt encoder)
+// but its absolute slot on the belt is not. After a one-time phase-center
+// calibration of the antenna, LION pinpoints each parcel's slot from a
+// single pass — in ~milliseconds per parcel, fitting an edge node.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/lion.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+int main() {
+  // --- Testbed: antenna 0.8 m behind the belt, typical warehouse RF ------
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(2024)
+                      .build();
+  const rf::Antenna& antenna = scenario.antennas()[0];
+
+  // --- One-time calibration with the three-line rig ----------------------
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  const auto cal_profile =
+      signal::preprocess(scenario.sweep(0, 0, rig.build()));
+  const auto cal =
+      core::calibrate_phase_center(cal_profile, antenna.physical_center, {});
+  std::printf("calibrated antenna: center displacement %.2f cm "
+              "(estimation error %.2f cm)\n\n",
+              cal.displacement.norm() * 100.0,
+              linalg::distance(cal.estimated_center, antenna.phase_center()) *
+                  100.0);
+
+  // --- Track ten parcels at unknown belt slots ---------------------------
+  std::printf("%-8s %-16s %-16s %-10s\n", "parcel", "true slot x[cm]",
+              "estimated x[cm]", "error[cm]");
+  rf::Rng slot_rng(99);
+  double total_err = 0.0;
+  const int parcels = 10;
+  for (int parcel = 0; parcel < parcels; ++parcel) {
+    const Vec3 start{slot_rng.uniform(-0.5, -0.2), 0.0, 0.0};
+    const auto samples = scenario.sweep(
+        0, 0,
+        sim::LinearTrajectory(start, start + Vec3{0.9, 0.0, 0.0}, 0.1));
+    const auto profile = signal::preprocess(samples);
+
+    // Known relative motion: displacement since the first read.
+    std::vector<core::TagScanPoint> scan;
+    for (const auto& pt : profile) {
+      scan.push_back({pt.position - start, pt.phase});
+    }
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.method = core::SolveMethod::kIterativeReweighted;
+    cfg.side_hint = Vec3{0.0, 0.0, 0.0};  // parcels are on the belt plane
+    const auto fix =
+        core::locate_tag_start(cal.estimated_center, scan, cfg);
+
+    const double err_x = std::abs(fix.position[0] - start[0]);
+    const double err_y = std::abs(fix.position[1] - start[1]);
+    const double err = std::hypot(err_x, err_y);
+    total_err += err;
+    std::printf("%-8d %-16.1f %-16.1f %-10.2f\n", parcel, start[0] * 100.0,
+                fix.position[0] * 100.0, err * 100.0);
+  }
+  std::printf("\nmean slot error: %.2f cm over %d parcels\n",
+              total_err / parcels * 100.0, parcels);
+  return total_err / parcels < 0.05 ? 0 : 1;
+}

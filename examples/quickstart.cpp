@@ -1,0 +1,77 @@
+// Quickstart: calibrate one antenna's phase center and offset with LION.
+//
+// A tag is driven along the Fig. 11 three-line rig in front of a simulated
+// COTS antenna whose electrical phase center is (unknown to us) a few
+// centimetres away from its physical center. We preprocess the phase
+// stream, localize the antenna in 3D with the adaptive sweep, and compare
+// the recovered displacement and hardware offset against the hidden ground
+// truth.
+
+#include <cstdio>
+
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+
+int main() {
+  // --- 1. Build a simulated testbed -------------------------------------
+  // Antenna 80 cm behind the tag plane (the paper's default depth),
+  // auto-generated per-unit quirks: a hidden 2-3 cm phase-center
+  // displacement and a random reader offset.
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(7)
+                      .build();
+  const rf::Antenna& antenna = scenario.antennas()[0];
+
+  // --- 2. Scan: tag traverses the three-line rig ------------------------
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  rig.y0 = 0.2;   // L3 is 20 cm behind L1
+  rig.z0 = 0.2;   // L2 is 20 cm above L1
+  rig.speed = 0.1;  // 10 cm/s, like the paper's slide
+  const auto samples = scenario.sweep(0, 0, rig.build());
+  std::printf("collected %zu phase samples along the rig\n", samples.size());
+
+  // --- 3. Preprocess: unwrap + smooth ------------------------------------
+  const auto profile = signal::preprocess(samples);
+
+  // --- 4. Calibrate the phase center (3D adaptive localization) ----------
+  core::AdaptiveConfig cfg;
+  cfg.base.method = core::SolveMethod::kWeightedLeastSquares;
+  const auto center =
+      core::calibrate_phase_center(profile, antenna.physical_center, cfg);
+
+  const linalg::Vec3 truth = antenna.phase_center();
+  const double err = linalg::distance(center.estimated_center, truth);
+  std::printf("\nphysical center    : (%.4f, %.4f, %.4f) m\n",
+              antenna.physical_center[0], antenna.physical_center[1],
+              antenna.physical_center[2]);
+  std::printf("true phase center  : (%.4f, %.4f, %.4f) m\n", truth[0],
+              truth[1], truth[2]);
+  std::printf("estimated center   : (%.4f, %.4f, %.4f) m\n",
+              center.estimated_center[0], center.estimated_center[1],
+              center.estimated_center[2]);
+  std::printf("estimation error   : %.2f cm\n", err * 100.0);
+  std::printf("center displacement: %.2f cm (true %.2f cm)\n",
+              center.displacement.norm() * 100.0,
+              antenna.phase_center_displacement.norm() * 100.0);
+  std::printf("adaptive choice    : range %.2f m, interval %.2f m\n",
+              center.details.best_range, center.details.best_interval);
+
+  // --- 5. Calibrate the phase offset (Eq. 17) ----------------------------
+  const double offset =
+      core::calibrate_phase_offset(samples, center.estimated_center);
+  const double true_offset = rf::wrap_phase(
+      antenna.reader_offset_rad + scenario.tags()[0].tag_offset_rad);
+  std::printf("\nphase offset       : %.3f rad (true %.3f rad, error %.3f)\n",
+              offset, true_offset, rf::circular_distance(offset, true_offset));
+
+  return err < 0.05 ? 0 : 1;  // sanity: within 5 cm
+}

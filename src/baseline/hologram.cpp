@@ -1,0 +1,165 @@
+#include "baseline/hologram.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::baseline {
+
+namespace {
+
+// Number of grid steps along one axis (at least 1).
+std::size_t steps(double lo, double hi, double g) {
+  if (hi < lo) throw std::invalid_argument("hologram: inverted search box");
+  return static_cast<std::size_t>(std::floor((hi - lo) / g)) + 1;
+}
+
+}  // namespace
+
+double hologram_likelihood(const signal::PhaseProfile& profile,
+                           std::size_t reference_index, const Vec3& candidate,
+                           double wavelength,
+                           const std::vector<double>* weights) {
+  const auto& ref = profile[reference_index];
+  const double d_ref = linalg::distance(candidate, ref.position);
+  double re = 0.0;
+  double im = 0.0;
+  double total_w = 0.0;
+  for (std::size_t t = 0; t < profile.size(); ++t) {
+    const double w = weights ? (*weights)[t] : 1.0;
+    const double d_t = linalg::distance(candidate, profile[t].position);
+    const double predicted =
+        rf::distance_delta_to_phase(d_t - d_ref, wavelength);
+    const double measured = profile[t].phase - ref.phase;
+    const double err = measured - predicted;
+    re += w * std::cos(err);
+    im += w * std::sin(err);
+    total_w += w;
+  }
+  if (total_w == 0.0) return 0.0;
+  return std::sqrt(re * re + im * im) / total_w;
+}
+
+HologramResult locate_hologram(const signal::PhaseProfile& profile,
+                               const HologramConfig& config) {
+  if (profile.empty()) {
+    throw std::invalid_argument("locate_hologram: empty profile");
+  }
+  const std::size_t ref =
+      config.reference_index == static_cast<std::size_t>(-1)
+          ? profile.size() / 2
+          : config.reference_index;
+  if (ref >= profile.size()) {
+    throw std::invalid_argument("locate_hologram: reference out of range");
+  }
+  const double g = config.grid_size;
+  if (g <= 0.0) {
+    throw std::invalid_argument("locate_hologram: grid size must be positive");
+  }
+  const std::size_t nx = steps(config.min_corner[0], config.max_corner[0], g);
+  const std::size_t ny = steps(config.min_corner[1], config.max_corner[1], g);
+  const std::size_t nz = steps(config.min_corner[2], config.max_corner[2], g);
+
+  auto scan = [&](const std::vector<double>* weights) {
+    HologramResult best;
+    best.peak_likelihood = -1.0;
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t iz = 0; iz < nz; ++iz) {
+          const Vec3 cand{
+              config.min_corner[0] + static_cast<double>(ix) * g,
+              config.min_corner[1] + static_cast<double>(iy) * g,
+              config.min_corner[2] + static_cast<double>(iz) * g};
+          const double like = hologram_likelihood(profile, ref, cand,
+                                                  config.wavelength, weights);
+          ++best.cells;
+          if (like > best.peak_likelihood) {
+            best.peak_likelihood = like;
+            best.position = cand;
+          }
+        }
+      }
+    }
+    return best;
+  };
+
+  HologramResult first = scan(nullptr);
+  if (!config.augmented) return first;
+
+  // Augmentation: weight each measurement by its phase agreement at the
+  // provisional peak, then re-score. Clean samples (mostly line-of-sight)
+  // agree and gain weight; multipath-corrupted ones are suppressed.
+  const auto& ref_point = profile[ref];
+  const double d_ref = linalg::distance(first.position, ref_point.position);
+  std::vector<double> weights(profile.size());
+  for (std::size_t t = 0; t < profile.size(); ++t) {
+    const double d_t = linalg::distance(first.position, profile[t].position);
+    const double predicted =
+        rf::distance_delta_to_phase(d_t - d_ref, config.wavelength);
+    const double err = rf::wrap_phase_symmetric(
+        (profile[t].phase - ref_point.phase) - predicted);
+    weights[t] = std::exp(-(err * err));
+  }
+  HologramResult second = scan(&weights);
+  second.cells += first.cells;
+  return second;
+}
+
+HologramResult locate_tag_multi_antenna(
+    const std::vector<AntennaReading>& readings,
+    const HologramConfig& config) {
+  if (readings.size() < 2) {
+    throw std::invalid_argument(
+        "locate_tag_multi_antenna: need at least two antennas");
+  }
+  const double g = config.grid_size;
+  if (g <= 0.0) {
+    throw std::invalid_argument(
+        "locate_tag_multi_antenna: grid size must be positive");
+  }
+  const std::size_t nx = steps(config.min_corner[0], config.max_corner[0], g);
+  const std::size_t ny = steps(config.min_corner[1], config.max_corner[1], g);
+  const std::size_t nz = steps(config.min_corner[2], config.max_corner[2], g);
+
+  HologramResult best;
+  best.peak_likelihood = -1.0;
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t iz = 0; iz < nz; ++iz) {
+        const Vec3 cand{config.min_corner[0] + static_cast<double>(ix) * g,
+                        config.min_corner[1] + static_cast<double>(iy) * g,
+                        config.min_corner[2] + static_cast<double>(iz) * g};
+        double re = 0.0;
+        double im = 0.0;
+        double n = 0.0;
+        for (std::size_t a = 0; a < readings.size(); ++a) {
+          for (std::size_t b = a + 1; b < readings.size(); ++b) {
+            const double da =
+                linalg::distance(cand, readings[a].antenna_position);
+            const double db =
+                linalg::distance(cand, readings[b].antenna_position);
+            const double predicted =
+                rf::distance_delta_to_phase(da - db, config.wavelength);
+            const double measured = (readings[a].phase - readings[a].offset) -
+                                    (readings[b].phase - readings[b].offset);
+            const double err = measured - predicted;
+            re += std::cos(err);
+            im += std::sin(err);
+            n += 1.0;
+          }
+        }
+        const double like = n > 0.0 ? std::sqrt(re * re + im * im) / n : 0.0;
+        ++best.cells;
+        if (like > best.peak_likelihood) {
+          best.peak_likelihood = like;
+          best.position = cand;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lion::baseline

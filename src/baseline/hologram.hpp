@@ -1,0 +1,72 @@
+// Hologram-based localization — the Tagoram DAH baseline (Sec. II-C, [2]).
+//
+// The surveillance area is cut into grid cells; each cell is scored by how
+// well the *phase differences* it predicts match the measured ones, and the
+// best cell wins. Accuracy scales with grid resolution and search volume,
+// which is exactly the computation-cost weakness LION attacks: a 2D
+// 1-2 m^2 hologram at 1 mm takes ~1 s, 3D far worse (Fig. 13b).
+//
+// Two variants are provided:
+//  * locate_hologram             — moving tag scan, one antenna (the paper's
+//                                  antenna-localization / DAH comparator);
+//  * locate_tag_multi_antenna    — static tag, several antennas, pairwise
+//                                  phase differences (the Fig. 20 case
+//                                  study, where calibration matters most).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "rf/constants.hpp"
+#include "signal/profile.hpp"
+
+namespace lion::baseline {
+
+using linalg::Vec3;
+
+/// Search-volume and scoring configuration.
+struct HologramConfig {
+  Vec3 min_corner{};  ///< search box corner (inclusive)
+  Vec3 max_corner{};  ///< opposite corner; equal z collapses to a 2D search
+  double grid_size = 0.001;  ///< cell edge [m] (paper default 1 mm)
+  double wavelength = rf::kDefaultWavelength;
+  /// Differential *augmented* hologram: after the first pass, re-weight
+  /// measurements by their agreement at the provisional peak and re-score
+  /// (Tagoram's likelihood augmentation, Fig. 4b).
+  bool augmented = true;
+  /// Reference sample index for phase differences; SIZE_MAX = middle.
+  std::size_t reference_index = static_cast<std::size_t>(-1);
+};
+
+/// Result of a hologram search.
+struct HologramResult {
+  Vec3 position{};              ///< best-likelihood cell center
+  double peak_likelihood = 0.0; ///< normalized to [0, 1]
+  std::size_t cells = 0;        ///< cells evaluated (cost proxy)
+};
+
+/// Score one candidate position against a scan profile (exposed so tests
+/// can check hyperbola-shaped likelihood ridges, Fig. 4).
+double hologram_likelihood(const signal::PhaseProfile& profile,
+                           std::size_t reference_index, const Vec3& candidate,
+                           double wavelength,
+                           const std::vector<double>* weights = nullptr);
+
+/// Locate a static target (the antenna) from a moving-tag scan profile.
+/// Throws std::invalid_argument on an empty profile or a degenerate box.
+HologramResult locate_hologram(const signal::PhaseProfile& profile,
+                               const HologramConfig& config);
+
+/// One antenna's reading of a static tag.
+struct AntennaReading {
+  Vec3 antenna_position{};  ///< (calibrated or physical) phase center
+  double phase = 0.0;       ///< measured wrapped phase [rad]
+  double offset = 0.0;      ///< calibrated hardware offset to subtract [rad]
+};
+
+/// Locate a static tag from >= 2 antennas via pairwise phase differences.
+HologramResult locate_tag_multi_antenna(
+    const std::vector<AntennaReading>& readings, const HologramConfig& config);
+
+}  // namespace lion::baseline

@@ -1,0 +1,87 @@
+#include "baseline/hyperbola.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.hpp"
+#include "linalg/matrix.hpp"
+#include "rf/phase_model.hpp"
+
+namespace lion::baseline {
+
+HyperbolaResult locate_hyperbola(const signal::PhaseProfile& profile,
+                                 const std::vector<core::IndexPair>& pairs,
+                                 const HyperbolaConfig& config) {
+  if (pairs.empty()) {
+    throw std::invalid_argument("locate_hyperbola: no pairs");
+  }
+  const std::size_t ref =
+      config.reference_index == static_cast<std::size_t>(-1)
+          ? profile.size() / 2
+          : config.reference_index;
+  if (ref >= profile.size()) {
+    throw std::invalid_argument("locate_hyperbola: reference out of range");
+  }
+
+  // Distance deltas from the unwrapped phases (Eq. 6).
+  std::vector<double> dd(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    dd[i] = rf::phase_to_distance_delta(profile[i].phase - profile[ref].phase,
+                                        config.wavelength);
+  }
+
+  const std::size_t dims = config.planar ? 2 : 3;
+  Vec3 p = config.initial_guess;
+
+  HyperbolaResult out;
+  double lambda = 1e-6;  // Levenberg damping
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    linalg::Matrix jac(pairs.size(), dims);
+    std::vector<double> residual(pairs.size());
+    double ss = 0.0;
+    for (std::size_t r = 0; r < pairs.size(); ++r) {
+      const auto [i, j] = pairs[r];
+      const Vec3 di = p - profile[i].position;
+      const Vec3 dj = p - profile[j].position;
+      const double ni = std::max(di.norm(), 1e-9);
+      const double nj = std::max(dj.norm(), 1e-9);
+      residual[r] = (ni - nj) - (dd[i] - dd[j]);
+      ss += residual[r] * residual[r];
+      for (std::size_t c = 0; c < dims; ++c) {
+        jac(r, c) = di[c] / ni - dj[c] / nj;
+      }
+    }
+    out.rms_residual = std::sqrt(ss / static_cast<double>(pairs.size()));
+    out.iterations = iter;
+
+    // Damped normal equations: (J^T J + lambda I) step = -J^T r.
+    linalg::Matrix gram = jac.gram();
+    for (std::size_t d = 0; d < dims; ++d) gram(d, d) += lambda;
+    std::vector<double> rhs = jac.transpose_multiply(residual);
+    for (double& v : rhs) v = -v;
+
+    std::vector<double> step;
+    try {
+      step = linalg::solve_square(gram, rhs);
+    } catch (const std::domain_error&) {
+      lambda *= 10.0;
+      continue;
+    }
+
+    double step_norm = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      p[d] += step[d];
+      step_norm += step[d] * step[d];
+    }
+    step_norm = std::sqrt(step_norm);
+    lambda = std::max(lambda * 0.5, 1e-12);
+    if (step_norm < config.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.position = p;
+  return out;
+}
+
+}  // namespace lion::baseline

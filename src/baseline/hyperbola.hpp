@@ -1,0 +1,51 @@
+// Hyperbola-based localization baseline (Sec. VI, [6, 14-19]).
+//
+// A pair of scan positions with a measured distance *difference* puts the
+// target on one branch of a hyperbola (2D) / hyperboloid (3D). Unlike
+// LION's radical lines, the intersection problem stays quadratic, so the
+// standard approach is nonlinear least squares over the residuals
+//
+//   r_ij(p) = (|p - P_i| - |p - P_j|) - (dd_i - dd_j)
+//
+// solved with Gauss-Newton (with Levenberg damping for robustness). This is
+// the "seconds to solve lots of quadratic equations" comparator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pairing.hpp"
+#include "linalg/vec.hpp"
+#include "rf/constants.hpp"
+#include "signal/profile.hpp"
+
+namespace lion::baseline {
+
+using linalg::Vec3;
+
+/// Solver configuration.
+struct HyperbolaConfig {
+  double wavelength = rf::kDefaultWavelength;
+  Vec3 initial_guess{};          ///< starting point for Gauss-Newton
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-10;      ///< stop when the step is below this [m]
+  bool planar = true;            ///< solve in 2D (z fixed to the guess's z)
+  std::size_t reference_index = static_cast<std::size_t>(-1);  ///< middle
+};
+
+/// Result of the nonlinear solve.
+struct HyperbolaResult {
+  Vec3 position{};
+  double rms_residual = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Locate the target from a scan profile and a pair set (same pair inputs
+/// as LION, so head-to-head comparisons share the measurement set).
+/// Throws std::invalid_argument on empty pairs or an out-of-range reference.
+HyperbolaResult locate_hyperbola(const signal::PhaseProfile& profile,
+                                 const std::vector<core::IndexPair>& pairs,
+                                 const HyperbolaConfig& config);
+
+}  // namespace lion::baseline

@@ -1,0 +1,74 @@
+#include "baseline/parabola.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/frame.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+
+namespace lion::baseline {
+
+ParabolaResult locate_parabola(const signal::PhaseProfile& profile,
+                               const ParabolaConfig& config) {
+  if (profile.size() < 3) {
+    throw std::invalid_argument("locate_parabola: need at least 3 samples");
+  }
+  const core::TrajectoryFrame frame = core::analyze_frame(profile, 2);
+  if (frame.rank != 1) {
+    throw std::invalid_argument(
+        "locate_parabola: requires a straight-line scan");
+  }
+
+  // Quadratic fit of phase against the along-scan coordinate s.
+  linalg::Matrix design(profile.size(), 3);
+  std::vector<double> target(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double s = frame.to_local(profile[i].position)[0];
+    design(i, 0) = s * s;
+    design(i, 1) = s;
+    design(i, 2) = 1.0;
+    target[i] = profile[i].phase;
+  }
+  const auto fit = linalg::solve_least_squares(design, target);
+  const double a = fit.x[0];
+  const double b = fit.x[1];
+  if (a <= 0.0) {
+    throw std::invalid_argument(
+        "locate_parabola: no phase valley in the scan window (target foot "
+        "outside the scan, or phase decreasing throughout)");
+  }
+
+  ParabolaResult out;
+  out.curvature = a;
+  out.s0 = -b / (2.0 * a);
+  out.depth = 2.0 * rf::kPi / (config.wavelength * a);
+
+  // The parabolic approximation is only trustworthy when the scan actually
+  // passes (near) the perpendicular foot; reject fits whose vertex lies far
+  // outside the scan window.
+  double s_min = frame.to_local(profile.front().position)[0];
+  double s_max = s_min;
+  for (const auto& p : profile) {
+    const double s = frame.to_local(p.position)[0];
+    s_min = std::min(s_min, s);
+    s_max = std::max(s_max, s);
+  }
+  const double margin = 0.5 * (s_max - s_min);
+  if (out.s0 < s_min - margin || out.s0 > s_max + margin) {
+    throw std::invalid_argument(
+        "locate_parabola: fitted vertex lies outside the scan window (the "
+        "scan never passed the target's perpendicular foot)");
+  }
+
+  const Vec3 plus = frame.from_local({out.s0}, out.depth);
+  const Vec3 minus = frame.from_local({out.s0}, -out.depth);
+  out.position = linalg::squared_distance(plus, config.side_hint) <=
+                         linalg::squared_distance(minus, config.side_hint)
+                     ? plus
+                     : minus;
+  return out;
+}
+
+}  // namespace lion::baseline

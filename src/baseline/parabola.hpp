@@ -1,0 +1,45 @@
+// Parabola-fit localization baseline (Sec. VI, [8]).
+//
+// For a *straight* scan past the target, the unwrapped phase against the
+// along-scan coordinate s is approximately parabolic near the perpendicular
+// foot:
+//
+//   theta(s) ~= (4*pi/lambda) * (d0 + (s - s0)^2 / (2 d0))
+//
+// so a quadratic fit theta = a s^2 + b s + c yields the foot s0 = -b/(2a)
+// and the perpendicular distance d0 = 2*pi / (lambda * a). The method is
+// 2D-only and linear-scan-only — exactly the limitation the paper calls out
+// — but it is fast and a useful comparator on conveyor-style scans.
+#pragma once
+
+#include "linalg/vec.hpp"
+#include "rf/constants.hpp"
+#include "signal/profile.hpp"
+
+namespace lion::baseline {
+
+using linalg::Vec3;
+
+/// Configuration for the parabola fit.
+struct ParabolaConfig {
+  double wavelength = rf::kDefaultWavelength;
+  /// A point on the side of the scan line where the target lies (the fit
+  /// only yields the unsigned perpendicular distance).
+  Vec3 side_hint{0.0, 1.0, 0.0};
+};
+
+/// Result of the parabola fit.
+struct ParabolaResult {
+  Vec3 position{};      ///< estimated target position (scan plane, z of scan)
+  double s0 = 0.0;      ///< along-scan foot coordinate [m]
+  double depth = 0.0;   ///< perpendicular distance d0 [m]
+  double curvature = 0.0;  ///< fitted quadratic coefficient a
+};
+
+/// Fit on a straight-line scan profile. Throws std::invalid_argument when
+/// the profile has fewer than 3 points, is not (nearly) collinear, or the
+/// fitted curvature is non-positive (no phase valley in the scan window).
+ParabolaResult locate_parabola(const signal::PhaseProfile& profile,
+                               const ParabolaConfig& config);
+
+}  // namespace lion::baseline

@@ -1,0 +1,99 @@
+#include "baseline/tagspin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/frame.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/stats.hpp"
+#include "rf/phase_model.hpp"
+
+namespace lion::baseline {
+
+TagspinResult locate_tagspin(const signal::PhaseProfile& profile,
+                             const TagspinConfig& config) {
+  if (profile.size() < 8) {
+    throw std::invalid_argument("locate_tagspin: need at least 8 samples");
+  }
+  // The scan must span a plane: use the 2-axis frame of the positions.
+  const core::TrajectoryFrame frame = core::analyze_frame(profile, 3);
+  if (frame.rank != 2) {
+    throw std::invalid_argument("locate_tagspin: scan is not planar");
+  }
+
+  // Verify circularity and recover per-sample rotation angle + radius.
+  std::vector<double> angles(profile.size());
+  std::vector<double> radii(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const auto q = frame.to_local(profile[i].position);
+    angles[i] = std::atan2(q[1], q[0]);
+    radii[i] = std::hypot(q[0], q[1]);
+  }
+  const double radius = linalg::mean(radii);
+  if (radius <= 0.0 || linalg::stddev(radii) > 0.05 * radius) {
+    throw std::invalid_argument("locate_tagspin: scan is not circular");
+  }
+
+  // Stage 1 — bearing from the sinusoid fit theta = a + b cos + c sin.
+  linalg::Matrix design(profile.size(), 3);
+  std::vector<double> target(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = std::cos(angles[i]);
+    design(i, 2) = std::sin(angles[i]);
+    target[i] = profile[i].phase;
+  }
+  const auto fit = linalg::solve_least_squares(design, target);
+  const double bearing = std::atan2(-fit.x[2], -fit.x[1]);
+
+  // Stage 2 — range via golden-section search on the exact model
+  //   theta(alpha) = theta0 + (4 pi / lambda) * d(alpha),
+  //   d(alpha) = sqrt(dc^2 + R^2 - 2 dc R cos(alpha - phi)),
+  // scoring by the variance of (measured - predicted) (theta0 drops out).
+  auto cost = [&](double dc) {
+    std::vector<double> errs(profile.size());
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      const double d = std::sqrt(dc * dc + radius * radius -
+                                 2.0 * dc * radius *
+                                     std::cos(angles[i] - bearing));
+      errs[i] = profile[i].phase - rf::distance_phase(d, config.wavelength);
+    }
+    return linalg::variance(errs);
+  };
+
+  const double gr = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = config.min_range;
+  double hi = config.max_range;
+  double m1 = hi - gr * (hi - lo);
+  double m2 = lo + gr * (hi - lo);
+  double c1 = cost(m1);
+  double c2 = cost(m2);
+  for (std::size_t it = 0; it < config.range_iterations; ++it) {
+    if (c1 < c2) {
+      hi = m2;
+      m2 = m1;
+      c2 = c1;
+      m1 = hi - gr * (hi - lo);
+      c1 = cost(m1);
+    } else {
+      lo = m1;
+      m1 = m2;
+      c1 = c2;
+      m2 = lo + gr * (hi - lo);
+      c2 = cost(m2);
+    }
+  }
+  const double range = 0.5 * (lo + hi);
+
+  TagspinResult out;
+  out.bearing = bearing;
+  out.range = range;
+  out.rms_residual = std::sqrt(cost(range));
+  // Back to global coordinates: center + range * (cos, sin) in the frame.
+  out.position = frame.from_local(
+      {range * std::cos(bearing), range * std::sin(bearing)}, 0.0);
+  return out;
+}
+
+}  // namespace lion::baseline

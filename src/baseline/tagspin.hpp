@@ -1,0 +1,49 @@
+// Tagspin-style circular-scan localization baseline (Sec. VI, [7]).
+//
+// A tag spinning on a turntable of radius R emulates a circular antenna
+// array. In the far field the unwrapped phase against the rotation angle is
+// sinusoidal,
+//
+//   theta(alpha) ~= A - (4*pi*R/lambda) * cos(alpha - phi),
+//
+// so a linear fit in (1, cos alpha, sin alpha) yields the bearing phi of
+// the target from the turntable center. The range is then recovered by a
+// 1D golden-section search over the exact circular-scan phase model. The
+// method is inherently tied to circular scans — the trajectory-shape
+// limitation the paper contrasts LION against.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vec.hpp"
+#include "rf/constants.hpp"
+#include "signal/profile.hpp"
+
+namespace lion::baseline {
+
+using linalg::Vec3;
+
+/// Configuration for the circular-scan solver.
+struct TagspinConfig {
+  double wavelength = rf::kDefaultWavelength;
+  /// Range-search bracket [m] for the golden-section stage.
+  double min_range = 0.1;
+  double max_range = 5.0;
+  std::size_t range_iterations = 60;
+};
+
+/// Result of the circular-scan solve.
+struct TagspinResult {
+  Vec3 position{};       ///< estimated target position (in the scan plane)
+  double bearing = 0.0;  ///< angle of the target from the scan center [rad]
+  double range = 0.0;    ///< distance from the scan center [m]
+  double rms_residual = 0.0;
+};
+
+/// Locate a static target from a circular scan profile. The scan must be
+/// (nearly) planar and circular; throws std::invalid_argument otherwise or
+/// when fewer than 8 samples are available.
+TagspinResult locate_tagspin(const signal::PhaseProfile& profile,
+                             const TagspinConfig& config);
+
+}  // namespace lion::baseline

@@ -1,0 +1,81 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pairing.hpp"
+
+namespace lion::core {
+
+AdaptiveResult locate_adaptive(const signal::PhaseProfile& profile,
+                               const AdaptiveConfig& config) {
+  if (config.ranges.empty() || config.intervals.empty()) {
+    throw std::invalid_argument("locate_adaptive: empty candidate lists");
+  }
+  AdaptiveResult out;
+  out.candidates.reserve(config.ranges.size() * config.intervals.size());
+
+  for (double range : config.ranges) {
+    const auto windowed =
+        restrict_to_x_range(profile, config.range_center_x, range);
+    for (double interval : config.intervals) {
+      AdaptiveCandidate cand;
+      cand.range = range;
+      cand.interval = interval;
+      LocalizerConfig lc = config.base;
+      lc.pair_interval = interval;
+      // A fresh reference per window: the configured index refers to the
+      // full profile, which may be cropped away.
+      if (!lc.reference_index || *lc.reference_index >= windowed.size()) {
+        lc.reference_index = windowed.size() / 2;
+      }
+      try {
+        cand.result = LinearLocalizer(lc).locate(windowed);
+        cand.usable = cand.result.equations >= config.min_equations &&
+                      cand.result.condition <= config.max_condition &&
+                      std::isfinite(cand.result.position[0]) &&
+                      std::isfinite(cand.result.position[1]) &&
+                      std::isfinite(cand.result.position[2]);
+      } catch (const std::exception&) {
+        cand.usable = false;
+      }
+      out.candidates.push_back(std::move(cand));
+    }
+  }
+
+  std::vector<const AdaptiveCandidate*> usable;
+  for (const auto& c : out.candidates) {
+    if (c.usable) usable.push_back(&c);
+  }
+  if (usable.empty()) {
+    throw std::invalid_argument(
+        "locate_adaptive: no parameter combination produced a solution");
+  }
+
+  std::sort(usable.begin(), usable.end(),
+            [](const AdaptiveCandidate* a, const AdaptiveCandidate* b) {
+              return std::abs(a->result.mean_residual) <
+                     std::abs(b->result.mean_residual);
+            });
+
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(config.keep_fraction *
+                       static_cast<double>(usable.size()))));
+
+  Vec3 avg{};
+  double avg_dr = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    avg += usable[i]->result.position;
+    avg_dr += usable[i]->result.reference_distance;
+    out.selected.push_back(*usable[i]);
+  }
+  out.position = avg / static_cast<double>(keep);
+  out.reference_distance = avg_dr / static_cast<double>(keep);
+  out.best_range = usable.front()->range;
+  out.best_interval = usable.front()->interval;
+  return out;
+}
+
+}  // namespace lion::core

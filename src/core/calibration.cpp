@@ -1,0 +1,48 @@
+#include "core/calibration.hpp"
+
+#include <stdexcept>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::core {
+
+CenterCalibration calibrate_phase_center(const signal::PhaseProfile& profile,
+                                         const Vec3& physical_center,
+                                         AdaptiveConfig config) {
+  config.base.target_dim = 3;
+  // The experimenter's own measurement is the natural side hint: the true
+  // phase center is centimetres away, never on the other side of the rig.
+  if (!config.base.side_hint) config.base.side_hint = physical_center;
+
+  CenterCalibration out;
+  out.details = locate_adaptive(profile, config);
+  out.estimated_center = out.details.position;
+  out.displacement = out.estimated_center - physical_center;
+  return out;
+}
+
+double calibrate_phase_offset(const std::vector<sim::PhaseSample>& samples,
+                              const Vec3& phase_center, double wavelength) {
+  if (samples.empty()) {
+    throw std::invalid_argument("calibrate_phase_offset: no samples");
+  }
+  std::vector<double> diffs;
+  diffs.reserve(samples.size());
+  for (const auto& s : samples) {
+    const double d = linalg::distance(phase_center, s.position);
+    const double predicted = rf::distance_phase(d, wavelength);
+    diffs.push_back(rf::wrap_phase(s.phase - predicted));
+  }
+  return rf::circular_mean(diffs);
+}
+
+double relative_offset(const AntennaCalibration& a,
+                       const AntennaCalibration& b) {
+  return rf::wrap_phase(a.phase_offset - b.phase_offset);
+}
+
+double remove_offset(double measured_phase, double phase_offset) {
+  return rf::wrap_phase(measured_phase - phase_offset);
+}
+
+}  // namespace lion::core

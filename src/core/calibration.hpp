@@ -1,0 +1,61 @@
+// Phase calibration (Sec. IV-C): the paper's end goal.
+//
+// Phase-center calibration pinpoints the antenna's electrical phase center
+// by localizing it with a tag scan; the displacement from the ruler-measured
+// physical center is then applied to all downstream geometry. Phase-offset
+// calibration (Eq. 17) extracts the constant hardware rotation
+// theta_T + theta_R so multi-antenna phase-difference methods can cancel it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/localizer.hpp"
+#include "signal/profile.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::core {
+
+/// Result of phase-center calibration for one antenna.
+struct CenterCalibration {
+  Vec3 estimated_center{};  ///< localized electrical phase center
+  Vec3 displacement{};      ///< estimated_center - believed physical center
+  AdaptiveResult details;   ///< full adaptive-sweep record
+};
+
+/// Calibrate the phase center: localize the antenna in 3D from a
+/// preprocessed scan profile (typically the Fig. 11 three-line rig) using
+/// the adaptive sweep, and report the displacement from the believed
+/// physical center.
+CenterCalibration calibrate_phase_center(const signal::PhaseProfile& profile,
+                                         const Vec3& physical_center,
+                                         AdaptiveConfig config);
+
+/// Phase-offset calibration (Eq. 17): the circular mean over samples of
+/// (measured wrapped phase - distance-predicted phase), using the
+/// *calibrated* phase center for distances. Samples carry raw wrapped
+/// phases, not unwrapped ones. Returns a value in [0, 2*pi). Throws
+/// std::invalid_argument on empty input.
+double calibrate_phase_offset(const std::vector<sim::PhaseSample>& samples,
+                              const Vec3& phase_center,
+                              double wavelength = rf::kDefaultWavelength);
+
+/// Complete calibration record for one antenna.
+struct AntennaCalibration {
+  std::size_t antenna_index = 0;
+  CenterCalibration center;
+  double phase_offset = 0.0;  ///< theta_T + theta_R estimate [rad]
+};
+
+/// Offsets are only meaningful relatively (the tag's theta_T is shared and
+/// cannot be split out, Sec. IV-C2): difference of two calibrations'
+/// offsets, wrapped to [0, 2*pi).
+double relative_offset(const AntennaCalibration& a,
+                       const AntennaCalibration& b);
+
+/// Correct a wrapped phase measurement with a calibrated offset: returns
+/// the distance-only phase wrapped to [0, 2*pi).
+double remove_offset(double measured_phase, double phase_offset);
+
+}  // namespace lion::core

@@ -1,0 +1,26 @@
+// Umbrella header for the LION core library.
+//
+// Typical calibration flow:
+//
+//   #include "core/lion.hpp"
+//
+//   // 1. Scan: move a tag along a known trajectory, collect samples.
+//   // 2. Preprocess: unwrap + smooth into a PhaseProfile.
+//   auto profile = lion::signal::preprocess(samples);
+//   // 3. Calibrate the phase center (3D adaptive localization).
+//   auto center = lion::core::calibrate_phase_center(
+//       profile, believed_physical_center, {});
+//   // 4. Calibrate the phase offset from raw wrapped samples.
+//   double offset = lion::core::calibrate_phase_offset(
+//       samples, center.estimated_center);
+#pragma once
+
+#include "core/adaptive.hpp"
+#include "core/calibration.hpp"
+#include "core/frame.hpp"
+#include "core/localizer.hpp"
+#include "core/offset_graph.hpp"
+#include "core/pairing.hpp"
+#include "core/radical.hpp"
+#include "core/tag_locator.hpp"
+#include "core/tracker.hpp"

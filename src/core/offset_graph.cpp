@@ -1,0 +1,155 @@
+#include "core/offset_graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::core {
+
+namespace {
+
+bool present(double v) { return v != kMissingOffset; }
+
+// Connectivity of the bipartite measurement graph via BFS over antennas
+// and tags.
+bool graph_connected(const linalg::Matrix& m) {
+  const std::size_t na = m.rows();
+  const std::size_t nt = m.cols();
+  std::vector<char> seen_a(na, 0);
+  std::vector<char> seen_t(nt, 0);
+  std::vector<std::size_t> queue_a{0};
+  seen_a[0] = 1;
+  std::vector<std::size_t> queue_t;
+  while (!queue_a.empty() || !queue_t.empty()) {
+    if (!queue_a.empty()) {
+      const std::size_t a = queue_a.back();
+      queue_a.pop_back();
+      for (std::size_t t = 0; t < nt; ++t) {
+        if (present(m(a, t)) && !seen_t[t]) {
+          seen_t[t] = 1;
+          queue_t.push_back(t);
+        }
+      }
+    } else {
+      const std::size_t t = queue_t.back();
+      queue_t.pop_back();
+      for (std::size_t a = 0; a < na; ++a) {
+        if (present(m(a, t)) && !seen_a[a]) {
+          seen_a[a] = 1;
+          queue_a.push_back(a);
+        }
+      }
+    }
+  }
+  for (char s : seen_a) {
+    if (!s) return false;
+  }
+  for (char s : seen_t) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OffsetDecomposition decompose_offsets(const linalg::Matrix& measured,
+                                      std::size_t max_iterations,
+                                      double tolerance) {
+  const std::size_t na = measured.rows();
+  const std::size_t nt = measured.cols();
+  if (na == 0 || nt == 0) {
+    throw std::invalid_argument("decompose_offsets: empty matrix");
+  }
+  for (std::size_t a = 0; a < na; ++a) {
+    bool any = false;
+    for (std::size_t t = 0; t < nt; ++t) any = any || present(measured(a, t));
+    if (!any) {
+      throw std::invalid_argument(
+          "decompose_offsets: an antenna has no calibrated pair");
+    }
+  }
+  for (std::size_t t = 0; t < nt; ++t) {
+    bool any = false;
+    for (std::size_t a = 0; a < na; ++a) any = any || present(measured(a, t));
+    if (!any) {
+      throw std::invalid_argument(
+          "decompose_offsets: a tag has no calibrated pair");
+    }
+  }
+  if (!graph_connected(measured)) {
+    throw std::invalid_argument(
+        "decompose_offsets: measurement graph is disconnected — the gauges "
+        "of the components cannot be reconciled");
+  }
+
+  OffsetDecomposition out;
+  out.antenna_offsets.assign(na, 0.0);
+  out.tag_offsets.assign(nt, 0.0);
+
+  // Alternate circular means: given taus, each rho is the circular mean of
+  // Theta[a][t] - tau_t over measured t; symmetrically for taus, then
+  // re-anchor the gauge at tau_0 = 0.
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    double max_change = 0.0;
+
+    for (std::size_t a = 0; a < na; ++a) {
+      std::vector<double> estimates;
+      for (std::size_t t = 0; t < nt; ++t) {
+        if (!present(measured(a, t))) continue;
+        estimates.push_back(
+            rf::wrap_phase(measured(a, t) - out.tag_offsets[t]));
+      }
+      const double next = rf::circular_mean(estimates);
+      max_change = std::max(
+          max_change, rf::circular_distance(next, out.antenna_offsets[a]));
+      out.antenna_offsets[a] = next;
+    }
+
+    for (std::size_t t = 0; t < nt; ++t) {
+      std::vector<double> estimates;
+      for (std::size_t a = 0; a < na; ++a) {
+        if (!present(measured(a, t))) continue;
+        estimates.push_back(
+            rf::wrap_phase(measured(a, t) - out.antenna_offsets[a]));
+      }
+      const double next = rf::circular_mean(estimates);
+      max_change = std::max(max_change,
+                            rf::circular_distance(next, out.tag_offsets[t]));
+      out.tag_offsets[t] = next;
+    }
+
+    // Re-anchor the gauge: tau_0 = 0.
+    const double gauge = out.tag_offsets[0];
+    for (double& tau : out.tag_offsets) tau = rf::wrap_phase(tau - gauge);
+    for (double& rho : out.antenna_offsets) {
+      rho = rf::wrap_phase(rho + gauge);
+    }
+
+    out.iterations = iter + 1;
+    if (max_change < tolerance) break;
+  }
+
+  // Residual.
+  double ss = 0.0;
+  std::size_t count = 0;
+  for (std::size_t a = 0; a < na; ++a) {
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (!present(measured(a, t))) continue;
+      const double r = rf::circular_distance(
+          measured(a, t), predicted_pair_offset(out, a, t));
+      ss += r * r;
+      ++count;
+    }
+  }
+  out.rms_residual = count ? std::sqrt(ss / static_cast<double>(count)) : 0.0;
+  return out;
+}
+
+double predicted_pair_offset(const OffsetDecomposition& d, std::size_t antenna,
+                             std::size_t tag) {
+  return rf::wrap_phase(d.antenna_offsets.at(antenna) + d.tag_offsets.at(tag));
+}
+
+}  // namespace lion::core

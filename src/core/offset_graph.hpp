@@ -1,0 +1,54 @@
+// Bipartite offset decomposition (Sec. IV-C2).
+//
+// A single calibration only yields the *combined* offset theta_T + theta_R
+// of one tag-antenna pair — the two cannot be split from one measurement.
+// But calibrating a grid of pairs (several antennas, several tags) gives
+// wrapped observations
+//
+//     Theta[a][t] = (rho_a + tau_t) mod 2*pi
+//
+// which determine every antenna offset rho_a and tag offset tau_t up to a
+// single shared gauge constant (add c to every rho, subtract c from every
+// tau). We fix the gauge as tau_0 = 0 and solve the circular least-squares
+// problem by alternating circular means — robust to noise, wrap-around and
+// missing pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace lion::core {
+
+/// Marker for a pair that was never calibrated.
+inline constexpr double kMissingOffset = -1.0e9;
+
+/// Result of the decomposition.
+struct OffsetDecomposition {
+  /// Per-antenna offsets rho_a in [0, 2*pi), gauge tau_0 = 0.
+  std::vector<double> antenna_offsets;
+  /// Per-tag offsets tau_t in [0, 2*pi); tau_0 == 0 by construction.
+  std::vector<double> tag_offsets;
+  /// RMS circular residual of Theta[a][t] - (rho_a + tau_t) [rad].
+  double rms_residual = 0.0;
+  /// Alternating iterations performed.
+  std::size_t iterations = 0;
+};
+
+/// Decompose a grid of measured pair offsets.
+///
+/// `measured` is antennas x tags; entries equal to kMissingOffset are
+/// skipped (the pair was not calibrated). Throws std::invalid_argument when
+/// the matrix is empty, any antenna or tag has no measured pair at all, or
+/// the measurement graph is disconnected (offsets of disconnected groups
+/// have independent gauges and cannot be reconciled).
+OffsetDecomposition decompose_offsets(const linalg::Matrix& measured,
+                                      std::size_t max_iterations = 50,
+                                      double tolerance = 1e-10);
+
+/// Predicted pair offset for a decomposition: (rho_a + tau_t) mod 2*pi.
+double predicted_pair_offset(const OffsetDecomposition& d, std::size_t antenna,
+                             std::size_t tag);
+
+}  // namespace lion::core

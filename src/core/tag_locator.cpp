@@ -1,0 +1,23 @@
+#include "core/tag_locator.hpp"
+
+namespace lion::core {
+
+signal::PhaseProfile virtual_profile(const Vec3& antenna_phase_center,
+                                     const std::vector<TagScanPoint>& scan) {
+  signal::PhaseProfile profile;
+  profile.reserve(scan.size());
+  for (const auto& p : scan) {
+    profile.push_back(
+        {antenna_phase_center - p.displacement, p.phase, 0.0});
+  }
+  return profile;
+}
+
+LocalizationResult locate_tag_start(const Vec3& antenna_phase_center,
+                                    const std::vector<TagScanPoint>& scan,
+                                    const LocalizerConfig& config) {
+  const auto profile = virtual_profile(antenna_phase_center, scan);
+  return LinearLocalizer(config).locate(profile);
+}
+
+}  // namespace lion::core

@@ -1,0 +1,40 @@
+// Tag localization with a calibrated antenna (Sec. V-C2's conveyor case).
+//
+// Locating a tag whose *relative* motion is known (a conveyor carries it at
+// known speed along a known direction; only the absolute start point is
+// unknown) is the mirror image of antenna localization:
+//
+//   |A - (T0 + s_t)| = |(A - s_t) - T0|
+//
+// so feeding the localizer a virtual profile of positions A - s_t with the
+// same phases estimates the tag start T0 directly — same math, same
+// lower-dimension handling (a straight conveyor gives a rank-1 virtual
+// scan, so the cross-conveyor coordinate is recovered from d_r).
+#pragma once
+
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "signal/profile.hpp"
+
+namespace lion::core {
+
+/// One tag-scan observation: known displacement from the (unknown) start
+/// position, and the unwrapped phase measured there.
+struct TagScanPoint {
+  Vec3 displacement{};  ///< tag position minus tag start position
+  double phase = 0.0;   ///< unwrapped phase [rad]
+};
+
+/// Build the virtual profile A - s_t used to localize the tag start.
+signal::PhaseProfile virtual_profile(const Vec3& antenna_phase_center,
+                                     const std::vector<TagScanPoint>& scan);
+
+/// Estimate the tag's start position. `config.side_hint` should point into
+/// the half-space the tag is known to occupy (e.g. "in front of the
+/// antenna"). Throws like LinearLocalizer::locate.
+LocalizationResult locate_tag_start(const Vec3& antenna_phase_center,
+                                    const std::vector<TagScanPoint>& scan,
+                                    const LocalizerConfig& config);
+
+}  // namespace lion::core

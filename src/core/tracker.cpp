@@ -1,0 +1,73 @@
+#include "core/tracker.hpp"
+
+#include <stdexcept>
+
+namespace lion::core {
+
+ConveyorTracker::ConveyorTracker(TrackerConfig config)
+    : config_(std::move(config)) {
+  if (config_.belt_direction.norm() == 0.0) {
+    throw std::invalid_argument("ConveyorTracker: zero belt direction");
+  }
+  config_.belt_direction = config_.belt_direction.normalized();
+  if (config_.belt_speed <= 0.0) {
+    throw std::invalid_argument("ConveyorTracker: speed must be positive");
+  }
+  if (config_.window < 8) {
+    throw std::invalid_argument("ConveyorTracker: window too small");
+  }
+  if (config_.hop == 0) {
+    throw std::invalid_argument("ConveyorTracker: hop must be positive");
+  }
+}
+
+TrackFix ConveyorTracker::solve_window() const {
+  TrackFix fix;
+  const double t0 = buffer_.front().t;
+  fix.t = buffer_.back().t;
+
+  // Window samples -> preprocessed profile. The samples' `position` field
+  // is unused here (the tag's absolute position is the unknown); instead
+  // the known displacement since t0 is encoded for preprocessing via a
+  // virtual position so smoothing/unwrapping see the true geometry order.
+  std::vector<sim::PhaseSample> window_samples(buffer_.begin(), buffer_.end());
+  for (auto& s : window_samples) {
+    s.position = config_.belt_speed * (s.t - t0) * config_.belt_direction;
+  }
+  const auto profile =
+      signal::preprocess(window_samples, config_.preprocess);
+  if (profile.size() < 8) return fix;  // invalid
+
+  std::vector<TagScanPoint> scan;
+  scan.reserve(profile.size());
+  for (const auto& pt : profile) {
+    scan.push_back({pt.position, pt.phase});
+  }
+  try {
+    const auto result = locate_tag_start(config_.antenna_phase_center, scan,
+                                         config_.localizer);
+    fix.start = result.position;
+    fix.position = result.position + config_.belt_speed * (fix.t - t0) *
+                                         config_.belt_direction;
+    fix.sigma = result.position_sigma;
+    fix.mean_residual = result.mean_residual;
+    fix.valid = true;
+  } catch (const std::exception&) {
+    fix.valid = false;
+  }
+  return fix;
+}
+
+std::optional<TrackFix> ConveyorTracker::push(const sim::PhaseSample& sample) {
+  buffer_.push_back(sample);
+  if (buffer_.size() < config_.window) return std::nullopt;
+
+  TrackFix fix = solve_window();
+  fixes_.push_back(fix);
+  for (std::size_t i = 0; i < config_.hop && !buffer_.empty(); ++i) {
+    buffer_.pop_front();
+  }
+  return fix;
+}
+
+}  // namespace lion::core

@@ -1,0 +1,193 @@
+#include "io/csv.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lion::io {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(trim(field));
+  return out;
+}
+
+double parse_double(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("csv: non-numeric field '" + s + "' on line " +
+                                std::to_string(line_no));
+  }
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Column order; -1 means "not present".
+struct Layout {
+  int x = 0;
+  int y = 1;
+  int z = 2;
+  int phase = 3;
+  int rssi = 4;
+  int channel = 5;
+  int t = 6;
+  int max_index() const {
+    return std::max({x, y, z, phase, rssi, channel, t});
+  }
+};
+
+// Detect a header row and build the layout from it; returns nullopt-like
+// flag via `has_header`.
+Layout parse_header(const std::vector<std::string>& fields, bool& has_header) {
+  Layout layout;
+  layout.rssi = layout.channel = layout.t = -1;
+  bool any_name = false;
+  Layout named;
+  named.x = named.y = named.z = named.phase = -1;
+  named.rssi = named.channel = named.t = -1;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::string f = lower(fields[i]);
+    const int idx = static_cast<int>(i);
+    if (f == "x") {
+      named.x = idx;
+      any_name = true;
+    } else if (f == "y") {
+      named.y = idx;
+      any_name = true;
+    } else if (f == "z") {
+      named.z = idx;
+      any_name = true;
+    } else if (f == "phase" || f == "phase_rad") {
+      named.phase = idx;
+      any_name = true;
+    } else if (f == "rssi" || f == "rssi_dbm") {
+      named.rssi = idx;
+      any_name = true;
+    } else if (f == "channel") {
+      named.channel = idx;
+      any_name = true;
+    } else if (f == "t" || f == "time" || f == "timestamp") {
+      named.t = idx;
+      any_name = true;
+    }
+  }
+  if (!any_name) {
+    has_header = false;
+    // Positional: first four mandatory, extras in canonical order.
+    Layout pos;
+    pos.rssi = fields.size() > 4 ? 4 : -1;
+    pos.channel = fields.size() > 5 ? 5 : -1;
+    pos.t = fields.size() > 6 ? 6 : -1;
+    return pos;
+  }
+  has_header = true;
+  if (named.x < 0 || named.y < 0 || named.z < 0 || named.phase < 0) {
+    throw std::invalid_argument(
+        "csv: header must name at least x, y, z and phase");
+  }
+  return named;
+}
+
+}  // namespace
+
+std::vector<sim::PhaseSample> read_samples_csv(std::istream& in) {
+  std::vector<sim::PhaseSample> out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool layout_known = false;
+  Layout layout;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto fields = split_fields(stripped);
+
+    if (!layout_known) {
+      bool has_header = false;
+      layout = parse_header(fields, has_header);
+      layout_known = true;
+      if (has_header) continue;  // consume the header row
+    }
+
+    if (static_cast<int>(fields.size()) <= layout.phase ||
+        static_cast<int>(fields.size()) <= layout.z) {
+      throw std::invalid_argument("csv: too few columns on line " +
+                                  std::to_string(line_no));
+    }
+    sim::PhaseSample s;
+    s.position[0] = parse_double(fields[static_cast<std::size_t>(layout.x)],
+                                 line_no);
+    s.position[1] = parse_double(fields[static_cast<std::size_t>(layout.y)],
+                                 line_no);
+    s.position[2] = parse_double(fields[static_cast<std::size_t>(layout.z)],
+                                 line_no);
+    s.phase = parse_double(fields[static_cast<std::size_t>(layout.phase)],
+                           line_no);
+    if (layout.rssi >= 0 &&
+        static_cast<int>(fields.size()) > layout.rssi) {
+      s.rssi_dbm = parse_double(fields[static_cast<std::size_t>(layout.rssi)],
+                                line_no);
+    }
+    if (layout.channel >= 0 &&
+        static_cast<int>(fields.size()) > layout.channel) {
+      s.channel = static_cast<std::uint32_t>(parse_double(
+          fields[static_cast<std::size_t>(layout.channel)], line_no));
+    }
+    if (layout.t >= 0 && static_cast<int>(fields.size()) > layout.t) {
+      s.t = parse_double(fields[static_cast<std::size_t>(layout.t)], line_no);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<sim::PhaseSample> read_samples_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open '" + path + "'");
+  return read_samples_csv(f);
+}
+
+void write_samples_csv(std::ostream& out,
+                       const std::vector<sim::PhaseSample>& samples) {
+  out << "x,y,z,phase,rssi,channel,t\n";
+  for (const auto& s : samples) {
+    out << s.position[0] << ',' << s.position[1] << ',' << s.position[2]
+        << ',' << s.phase << ',' << s.rssi_dbm << ',' << s.channel << ','
+        << s.t << '\n';
+  }
+}
+
+void write_samples_csv_file(const std::string& path,
+                            const std::vector<sim::PhaseSample>& samples) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open '" + path + "'");
+  write_samples_csv(f, samples);
+}
+
+}  // namespace lion::io

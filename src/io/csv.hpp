@@ -1,0 +1,44 @@
+// CSV interchange for phase-sample streams.
+//
+// Real deployments log reader output as CSV; this module reads and writes
+// the library's canonical column set so the CLI (and user scripts) can run
+// LION without touching C++:
+//
+//     x,y,z,phase[,rssi[,channel[,t]]]
+//
+// with positions in metres, phase in radians (wrapped or unwrapped — the
+// preprocessing handles both), RSSI in dBm, channel as an integer index,
+// and t in seconds. A header row naming the columns is accepted in any
+// order; without a header the first four (or more) columns are taken in
+// canonical order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/reader.hpp"
+
+namespace lion::io {
+
+/// Parse a CSV stream of phase samples.
+///
+/// Skips blank lines and lines starting with '#'. Throws
+/// std::invalid_argument on malformed rows (wrong column count,
+/// non-numeric fields) with the line number in the message.
+std::vector<sim::PhaseSample> read_samples_csv(std::istream& in);
+
+/// Convenience: parse from a file path. Throws std::runtime_error when the
+/// file cannot be opened.
+std::vector<sim::PhaseSample> read_samples_csv_file(const std::string& path);
+
+/// Write samples with the canonical header (x,y,z,phase,rssi,channel,t).
+void write_samples_csv(std::ostream& out,
+                       const std::vector<sim::PhaseSample>& samples);
+
+/// Convenience: write to a file path. Throws std::runtime_error when the
+/// file cannot be opened.
+void write_samples_csv_file(const std::string& path,
+                            const std::vector<sim::PhaseSample>& samples);
+
+}  // namespace lion::io

@@ -1,0 +1,93 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lion::linalg {
+
+EigenDecomposition symmetric_eigen(const Matrix& input) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("symmetric_eigen: matrix not square");
+  }
+  const std::size_t n = input.rows();
+  // Symmetrize from the lower triangle.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      a(i, j) = input(i, j);
+      a(j, i) = input(i, j);
+    }
+  }
+  Matrix v = Matrix::identity(n);
+
+  constexpr int kMaxSweeps = 64;
+  constexpr double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    // Off-diagonal Frobenius mass.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    }
+    if (off < kTol * kTol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+std::size_t spd_rank(const EigenDecomposition& eig, double tol) {
+  if (eig.values.empty()) return 0;
+  const double scale = std::max(std::abs(eig.values.front()), 1e-300);
+  std::size_t rank = 0;
+  for (double v : eig.values) {
+    if (v > tol * scale) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace lion::linalg

@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Used by the localizers to find the affine rank and principal frame of a
+// scan trajectory: eigenvectors of the position covariance give the
+// directions the tag actually moved in, and near-zero eigenvalues flag the
+// lower-dimension cases of Sec. III-C.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace lion::linalg {
+
+/// Result of a symmetric eigendecomposition.
+struct EigenDecomposition {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// Column k of this matrix is the eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+/// Only the lower triangle is read. Throws std::invalid_argument for
+/// non-square input; accuracy ~1e-12 relative for the small (<=4x4)
+/// matrices used here.
+EigenDecomposition symmetric_eigen(const Matrix& a);
+
+/// Number of eigenvalues above `tol * max(|eigenvalue|, 1e-300)` — the
+/// numerical rank of an SPD matrix such as a covariance.
+std::size_t spd_rank(const EigenDecomposition& eig, double tol = 1e-9);
+
+}  // namespace lion::linalg

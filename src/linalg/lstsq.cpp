@@ -1,0 +1,115 @@
+#include "linalg/lstsq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.hpp"
+#include "linalg/stats.hpp"
+
+namespace lion::linalg {
+
+namespace {
+
+// Fill residual/summary fields of a result whose x is already set.
+void finalize(const Matrix& a, const std::vector<double>& b,
+              LstsqResult& out) {
+  out.residuals = a.multiply(out.x);
+  for (std::size_t i = 0; i < b.size(); ++i) out.residuals[i] -= b[i];
+  out.mean_residual = mean(out.residuals);
+  double ss = 0.0;
+  for (double r : out.residuals) ss += r * r;
+  out.rms_residual =
+      out.residuals.empty()
+          ? 0.0
+          : std::sqrt(ss / static_cast<double>(out.residuals.size()));
+}
+
+std::vector<double> solve_normal_or_qr(const Matrix& a,
+                                       const std::vector<double>& b,
+                                       const std::vector<double>* weights) {
+  if (a.rows() < a.cols()) {
+    throw std::domain_error("least squares: underdetermined system");
+  }
+  const Matrix gram = weights ? a.weighted_gram(*weights) : a.gram();
+  const std::vector<double> rhs =
+      weights ? a.weighted_transpose_multiply(*weights, b)
+              : a.transpose_multiply(b);
+  if (const auto chol = Cholesky::factor(gram)) return chol->solve(rhs);
+  // Normal equations failed (rank-deficient or badly conditioned): fall back
+  // to QR on the (row-scaled, for WLS) design matrix.
+  Matrix design = a;
+  std::vector<double> target = b;
+  if (weights) {
+    for (std::size_t r = 0; r < design.rows(); ++r) {
+      const double s = std::sqrt(std::max(0.0, (*weights)[r]));
+      for (std::size_t c = 0; c < design.cols(); ++c) design(r, c) *= s;
+      target[r] *= s;
+    }
+  }
+  return HouseholderQR(std::move(design)).solve(target);
+}
+
+}  // namespace
+
+LstsqResult solve_least_squares(const Matrix& a,
+                                const std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  }
+  LstsqResult out;
+  out.x = solve_normal_or_qr(a, b, nullptr);
+  out.weights.assign(a.rows(), 1.0);
+  finalize(a, b, out);
+  return out;
+}
+
+LstsqResult solve_weighted_least_squares(const Matrix& a,
+                                         const std::vector<double>& b,
+                                         const std::vector<double>& weights) {
+  if (b.size() != a.rows() || weights.size() != a.rows()) {
+    throw std::invalid_argument(
+        "solve_weighted_least_squares: size mismatch");
+  }
+  LstsqResult out;
+  out.x = solve_normal_or_qr(a, b, &weights);
+  out.weights = weights;
+  finalize(a, b, out);
+  return out;
+}
+
+std::vector<double> gaussian_residual_weights(
+    const std::vector<double>& residuals, double min_sigma) {
+  const double mu = mean(residuals);
+  const double sigma = std::max(stddev(residuals), min_sigma);
+  std::vector<double> w(residuals.size());
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    const double z = (residuals[i] - mu) / sigma;
+    w[i] = std::exp(-0.5 * z * z);
+  }
+  return w;
+}
+
+LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
+                       const IrlsOptions& options) {
+  LstsqResult current = solve_least_squares(a, b);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const auto weights =
+        gaussian_residual_weights(current.residuals, options.min_sigma);
+    LstsqResult next = solve_weighted_least_squares(a, b, weights);
+    next.iterations = iter + 1;
+    double delta = 0.0;
+    for (std::size_t i = 0; i < next.x.size(); ++i) {
+      delta = std::max(delta, std::abs(next.x[i] - current.x[i]));
+    }
+    current = std::move(next);
+    if (delta < options.tolerance) {
+      current.converged = true;
+      return current;
+    }
+  }
+  current.converged = false;
+  return current;
+}
+
+}  // namespace lion::linalg

@@ -1,0 +1,55 @@
+// Least-squares solvers: ordinary, weighted, and iteratively reweighted.
+//
+// These implement Eq. (13)-(16) of the paper:
+//   X* = (A^T A)^{-1} A^T K                 (ordinary LS)
+//   X* = (A^T W A)^{-1} A^T W K             (weighted LS)
+// with Gaussian residual weights w_i = exp(-(r_i - mu)^2 / (2 sigma^2))
+// refreshed each iteration until the estimate stabilizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace lion::linalg {
+
+/// Result of a least-squares solve.
+struct LstsqResult {
+  std::vector<double> x;          ///< optimal solution
+  std::vector<double> residuals;  ///< per-row residual r_i = A_i x - k_i
+  std::vector<double> weights;    ///< final per-row weights (all 1 for OLS)
+  double mean_residual = 0.0;     ///< average of residuals
+  double rms_residual = 0.0;      ///< root-mean-square residual
+  std::size_t iterations = 0;     ///< reweighting iterations performed
+  bool converged = true;          ///< false if iteration cap was hit
+};
+
+/// Ordinary least squares via the normal equations (Cholesky fast path, QR
+/// fallback for ill-conditioned systems). Throws std::domain_error when the
+/// system is rank deficient.
+LstsqResult solve_least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Weighted least squares with fixed per-row weights.
+LstsqResult solve_weighted_least_squares(const Matrix& a,
+                                         const std::vector<double>& b,
+                                         const std::vector<double>& weights);
+
+/// Options for iteratively-reweighted least squares.
+struct IrlsOptions {
+  std::size_t max_iterations = 20;  ///< cap on reweighting rounds
+  double tolerance = 1e-9;          ///< stop when ||x_k - x_{k-1}||_inf < tol
+  double min_sigma = 1e-12;         ///< residual-spread floor (all-equal case)
+};
+
+/// Iteratively-reweighted least squares with the paper's Gaussian weight
+/// function (Eq. 15): start from OLS, compute residuals, set
+/// w_i = exp(-(r_i - mu)^2 / (2 sigma^2)), re-solve, repeat to convergence.
+LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
+                       const IrlsOptions& options = {});
+
+/// The paper's Eq. (15) weight vector for a given residual vector.
+std::vector<double> gaussian_residual_weights(
+    const std::vector<double>& residuals, double min_sigma = 1e-12);
+
+}  // namespace lion::linalg

@@ -1,0 +1,204 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lion::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const std::vector<double>& entries) {
+  Matrix m(entries.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) m(i, i) = entries[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("Matrix*: shape mismatch");
+  }
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      double* orow = out.row_data(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("Matrix::multiply: size mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Matrix Matrix::weighted_gram(const std::vector<double>& w) const {
+  if (w.size() != rows_) {
+    throw std::invalid_argument("Matrix::weighted_gram: weight size mismatch");
+  }
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double ri = wr * row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_multiply(
+    const std::vector<double>& v) const {
+  if (v.size() != rows_) {
+    throw std::invalid_argument("Matrix::transpose_multiply: size mismatch");
+  }
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::weighted_transpose_multiply(
+    const std::vector<double>& w, const std::vector<double>& v) const {
+  if (w.size() != rows_ || v.size() != rows_) {
+    throw std::invalid_argument(
+        "Matrix::weighted_transpose_multiply: size mismatch");
+  }
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    const double wv = w[r] * v[r];
+    if (wv == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * wv;
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r ? "\n[" : "[");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c) os << ", ";
+      os << m(r, c);
+    }
+    os << ']';
+  }
+  return os;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lion::linalg

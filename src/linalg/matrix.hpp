@@ -1,0 +1,110 @@
+// Dynamically-sized dense row-major matrix.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace lion::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized at runtime; the LION systems are tall-skinny (N equations x <=4
+/// unknowns), so the storage layout favours row-wise construction and
+/// traversal.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Constant-filled matrix.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from the given entries.
+  static Matrix diagonal(const std::vector<double>& entries);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Pointer to the start of row r (contiguous, cols() entries).
+  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product.
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  /// Matrix-vector product (b as a column vector).
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  /// A^T * A — the (cols x cols) Gram matrix, computed without forming A^T.
+  Matrix gram() const;
+
+  /// A^T * diag(w) * A for per-row weights w (w.size() == rows()).
+  Matrix weighted_gram(const std::vector<double>& w) const;
+
+  /// A^T * v for a column vector v (v.size() == rows()).
+  std::vector<double> transpose_multiply(const std::vector<double>& v) const;
+
+  /// A^T * diag(w) * v.
+  std::vector<double> weighted_transpose_multiply(
+      const std::vector<double>& w, const std::vector<double>& v) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max absolute entry.
+  double max_abs() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// True when every entry of a and b differs by at most tol.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace lion::linalg

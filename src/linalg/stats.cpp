@@ -1,0 +1,92 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lion::linalg {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) {
+  if (v.empty()) throw std::invalid_argument("median: empty input");
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p outside [0, 100]");
+  }
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double min_value(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double rms(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(samples.size());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cdf.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+Summary summarize(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("summarize: empty input");
+  Summary s;
+  s.mean = mean(v);
+  s.stddev = stddev(v);
+  s.median = median(v);
+  s.p90 = percentile(v, 90.0);
+  s.min = min_value(v);
+  s.max = max_value(v);
+  s.count = v.size();
+  return s;
+}
+
+}  // namespace lion::linalg

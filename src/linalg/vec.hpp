@@ -1,0 +1,158 @@
+// Small fixed-size vector types used throughout LION.
+//
+// The library deliberately hand-rolls its linear algebra: the target
+// deployment is an edge node where pulling in a full BLAS/Eigen stack is
+// unwanted, and the LION solve itself only ever needs tiny dense systems
+// (<= 4 unknowns) plus tall-skinny least squares.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <stdexcept>
+
+namespace lion::linalg {
+
+/// Fixed-size dense vector of doubles.
+///
+/// Supports the usual element-wise arithmetic, dot product and Euclidean
+/// norm. All operations are constexpr-friendly and allocation-free.
+template <std::size_t N>
+class Vec {
+ public:
+  constexpr Vec() : data_{} {}
+
+  constexpr Vec(std::initializer_list<double> init) : data_{} {
+    if (init.size() != N) {
+      throw std::invalid_argument("Vec: initializer size mismatch");
+    }
+    std::size_t i = 0;
+    for (double v : init) data_[i++] = v;
+  }
+
+  static constexpr std::size_t size() { return N; }
+
+  constexpr double& operator[](std::size_t i) { return data_[i]; }
+  constexpr double operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked access.
+  constexpr double& at(std::size_t i) {
+    if (i >= N) throw std::out_of_range("Vec::at");
+    return data_[i];
+  }
+  constexpr double at(std::size_t i) const {
+    if (i >= N) throw std::out_of_range("Vec::at");
+    return data_[i];
+  }
+
+  constexpr Vec& operator+=(const Vec& o) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  constexpr Vec& operator-=(const Vec& o) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  constexpr Vec& operator*=(double s) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] *= s;
+    return *this;
+  }
+  constexpr Vec& operator/=(double s) {
+    for (std::size_t i = 0; i < N; ++i) data_[i] /= s;
+    return *this;
+  }
+
+  friend constexpr Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend constexpr Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend constexpr Vec operator*(Vec a, double s) { return a *= s; }
+  friend constexpr Vec operator*(double s, Vec a) { return a *= s; }
+  friend constexpr Vec operator/(Vec a, double s) { return a /= s; }
+  friend constexpr Vec operator-(Vec a) { return a *= -1.0; }
+
+  friend constexpr bool operator==(const Vec& a, const Vec& b) {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Dot product.
+  constexpr double dot(const Vec& o) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < N; ++i) s += data_[i] * o.data_[i];
+    return s;
+  }
+
+  /// Squared Euclidean norm.
+  constexpr double squared_norm() const { return dot(*this); }
+
+  /// Euclidean norm.
+  double norm() const { return std::sqrt(squared_norm()); }
+
+  /// Unit vector in the same direction. Throws for the zero vector.
+  Vec normalized() const {
+    const double n = norm();
+    if (n == 0.0) throw std::domain_error("Vec::normalized: zero vector");
+    return *this / n;
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  std::array<double, N> data_;
+};
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+using Vec4 = Vec<4>;
+
+/// Euclidean distance between two points.
+template <std::size_t N>
+double distance(const Vec<N>& a, const Vec<N>& b) {
+  return (a - b).norm();
+}
+
+/// Squared Euclidean distance (avoids the sqrt when only ordering matters).
+template <std::size_t N>
+constexpr double squared_distance(const Vec<N>& a, const Vec<N>& b) {
+  return (a - b).squared_norm();
+}
+
+/// 2D cross product (z-component of the 3D cross of embedded vectors).
+constexpr double cross(const Vec2& a, const Vec2& b) {
+  return a[0] * b[1] - a[1] * b[0];
+}
+
+/// 3D cross product.
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return Vec3{a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+              a[0] * b[1] - a[1] * b[0]};
+}
+
+/// Lift a 2D point into 3D at the given z.
+constexpr Vec3 lift(const Vec2& p, double z = 0.0) {
+  return Vec3{p[0], p[1], z};
+}
+
+/// Drop the z coordinate of a 3D point.
+constexpr Vec2 drop_z(const Vec3& p) { return Vec2{p[0], p[1]}; }
+
+template <std::size_t N>
+std::ostream& operator<<(std::ostream& os, const Vec<N>& v) {
+  os << '(';
+  for (std::size_t i = 0; i < N; ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+}  // namespace lion::linalg

@@ -1,0 +1,61 @@
+#include "rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::rf {
+
+double Antenna::off_boresight_angle(const Vec3& point) const {
+  const Vec3 dir = point - phase_center();
+  const double n = dir.norm() * boresight.norm();
+  if (n == 0.0) return 0.0;
+  const double c = std::clamp(dir.dot(boresight) / n, -1.0, 1.0);
+  return std::acos(c);
+}
+
+double Antenna::field_gain(const Vec3& point) const {
+  const double angle = off_boresight_angle(point);
+  // cos^n pattern with n chosen so that gain(beamwidth/2) = 2^{-1/2}
+  // (half power in field terms is -3 dB power = 1/sqrt(2) field).
+  const double half = 0.5 * beamwidth_rad;
+  const double cos_half = std::cos(half);
+  if (cos_half <= 0.0) return 1.0;  // degenerate ultra-wide beam
+  const double n = std::log(1.0 / std::sqrt(2.0)) / std::log(cos_half);
+  const double c = std::cos(angle);
+  constexpr double kBacklobe = 0.1;  // -20 dB field floor behind the antenna
+  if (c <= 0.0) return kBacklobe;
+  return std::max(kBacklobe, std::pow(c, n));
+}
+
+double Antenna::pattern_phase(const Vec3& point) const {
+  if (pattern_coefficient == 0.0) return 0.0;
+  const double half = 0.5 * beamwidth_rad;
+  if (half <= 0.0) return 0.0;
+  const double excess = off_boresight_angle(point) - half;
+  if (excess <= 0.0) return 0.0;
+  const double z = excess / half;
+  return pattern_coefficient * z * z;
+}
+
+Antenna make_antenna(const Vec3& physical_center, std::uint32_t id) {
+  // Derive stable per-unit quirks from the id so experiments are
+  // reproducible: displacement magnitude 2-3 cm (Fig. 2), offset anywhere
+  // on the circle (Fig. 3).
+  Rng rng(0xA57E77A0ULL + id * 0x9E3779B97F4A7C15ULL);
+  Antenna a;
+  a.physical_center = physical_center;
+  a.id = id;
+  const double magnitude = rng.uniform(0.02, 0.03);
+  // Isotropic random direction: patch-array phase centers wander both
+  // laterally and along boresight (feed-network depth).
+  Vec3 dir{rng.gaussian(1.0), rng.gaussian(1.0), rng.gaussian(1.0)};
+  if (dir.norm() == 0.0) dir = Vec3{1.0, 0.0, 0.0};
+  a.phase_center_displacement = dir.normalized() * magnitude;
+  a.reader_offset_rad = rng.uniform(0.0, kTwoPi);
+  return a;
+}
+
+}  // namespace lion::rf

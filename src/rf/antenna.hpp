@@ -1,0 +1,74 @@
+// Antenna model.
+//
+// The crux of the paper: a COTS antenna's *electrical* phase center — the
+// point signals effectively radiate from — sits a few centimetres away from
+// the *physical* center that an experimenter measures with a ruler. The
+// simulator keeps the displacement as hidden ground truth; localization code
+// only ever sees the physical center, exactly like the paper's testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/vec.hpp"
+#include "rf/constants.hpp"
+
+namespace lion::rf {
+
+using linalg::Vec3;
+
+/// Static description of one antenna.
+struct Antenna {
+  /// Where the experimenter believes the antenna is (ruler measurement).
+  Vec3 physical_center{};
+
+  /// Ground-truth offset from the physical center to the electrical phase
+  /// center. Hidden from the localization algorithms; typically 2-3 cm for
+  /// the Laird S9028PCL per the paper's Fig. 2.
+  Vec3 phase_center_displacement{};
+
+  /// Reader transmit/receive chain phase offset theta_R [rad].
+  double reader_offset_rad = 0.0;
+
+  /// Boresight (facing direction), unit vector. Defaults to -y: the paper's
+  /// rigs put the antenna behind the tag plane looking toward it.
+  Vec3 boresight{0.0, -1.0, 0.0};
+
+  /// Full half-power beamwidth [rad]. Laird S9028PCL is ~70 degrees.
+  double beamwidth_rad = 70.0 * kPi / 180.0;
+
+  /// Phase-pattern coefficient [rad]: real antennas are only "phase flat"
+  /// inside the main beam — off axis the radiated phase deviates (the
+  /// effective phase center moves). Modeled as a round-trip phase error of
+  /// pattern_coefficient * ((angle - beam/2) / (beam/2))^2 for angles
+  /// beyond the half-beam, zero inside. This coherent bias (distinct from
+  /// the off-beam *noise* inflation) is what degrades wide scanning ranges
+  /// in Fig. 16-17. Zero disables.
+  double pattern_coefficient = 0.0;
+
+  /// Identifier used in multi-antenna experiments and reports.
+  std::uint32_t id = 0;
+
+  /// The true phase center (hidden ground truth).
+  Vec3 phase_center() const {
+    return physical_center + phase_center_displacement;
+  }
+
+  /// Angle between the boresight and the direction to a point, in [0, pi].
+  double off_boresight_angle(const Vec3& point) const;
+
+  /// Normalized field gain toward a point: 1 on boresight, cos^n falloff
+  /// calibrated so gain = 1/sqrt(2) (half power) at beamwidth/2, floored at
+  /// a -20 dB backlobe.
+  double field_gain(const Vec3& point) const;
+
+  /// Round-trip phase-pattern deviation toward a point [rad]; zero inside
+  /// the main beam, quadratic beyond (see pattern_coefficient).
+  double pattern_phase(const Vec3& point) const;
+};
+
+/// Convenience builder: an antenna at the given physical center facing the
+/// -y direction with a reproducible pseudo-random displacement and reader
+/// offset derived from `id` (each physical antenna unit has its own quirks).
+Antenna make_antenna(const Vec3& physical_center, std::uint32_t id);
+
+}  // namespace lion::rf

@@ -1,0 +1,127 @@
+#include "rf/channel.hpp"
+
+#include <cmath>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::rf {
+
+Vec3 Reflector::mirror(const Vec3& p) const {
+  const Vec3 n = normal.normalized();
+  const double dist = (p - point).dot(n);
+  return p - 2.0 * dist * n;
+}
+
+std::complex<double> Channel::one_way_channel(const Antenna& antenna,
+                                              const Vec3& tag_position) const {
+  return one_way_channel_at(antenna, tag_position, wavelength_);
+}
+
+std::complex<double> Channel::one_way_channel_at(const Antenna& antenna,
+                                                 const Vec3& tag_position,
+                                                 double wavelength_m) const {
+  using namespace std::complex_literals;
+  const Vec3 source = antenna.phase_center();
+
+  // Line of sight.
+  const double d0 = linalg::distance(source, tag_position);
+  const double g0 = antenna.field_gain(tag_position);
+  std::complex<double> h =
+      (g0 / std::max(d0, 1e-6)) *
+      std::exp(1i * (kTwoPi * d0 / wavelength_m));
+
+  // One specular bounce per reflector, via the image source. The bounce
+  // point is where the image->tag segment crosses the reflector plane; the
+  // antenna gain is evaluated toward that departure direction.
+  for (const Reflector& r : reflectors_) {
+    const Vec3 image = r.mirror(source);
+    const Vec3 n = r.normal.normalized();
+    const Vec3 seg = tag_position - image;
+    const double denom = seg.dot(n);
+    if (std::abs(denom) < 1e-12) continue;  // ray parallel to the plane
+    const double t = (r.point - image).dot(n) / denom;
+    if (t <= 0.0 || t >= 1.0) continue;  // no specular point on the segment
+    const Vec3 bounce = image + t * seg;
+    const double dr = linalg::distance(image, tag_position);
+    const double gr = antenna.field_gain(bounce);
+    const double amp = r.coefficient * gr / std::max(dr, 1e-6);
+    double phase = kTwoPi * dr / wavelength_m;
+    if (r.phase_flip) phase += kPi;
+    h += amp * std::exp(1i * phase);
+  }
+
+  // Point scatterers: antenna -> scatterer -> tag.
+  for (const Scatterer& s : scatterers_) {
+    const double d_as = linalg::distance(source, s.position);
+    const double d_st = linalg::distance(s.position, tag_position);
+    const double amp = s.reflectivity * antenna.field_gain(s.position) /
+                       std::max(d_as * d_st, 1e-6);
+    const double phase = kTwoPi * (d_as + d_st) / wavelength_m;
+    h += amp * std::exp(1i * phase);
+  }
+  return h;
+}
+
+double Channel::effective_sigma(const Antenna& antenna,
+                                const Vec3& tag_pos) const {
+  const double half = 0.5 * antenna.beamwidth_rad;
+  const double angle = antenna.off_boresight_angle(tag_pos);
+  const double excess = std::max(0.0, angle - half) / half;
+  return noise_.phase_sigma * (1.0 + noise_.off_beam_gain * excess);
+}
+
+double Channel::noiseless_phase(const Antenna& antenna, const Tag& tag,
+                                const Vec3& tag_position) const {
+  return noiseless_phase_at(antenna, tag, tag_position, wavelength_);
+}
+
+double Channel::noiseless_phase_at(const Antenna& antenna, const Tag& tag,
+                                   const Vec3& tag_position,
+                                   double wavelength_m) const {
+  const std::complex<double> h =
+      one_way_channel_at(antenna, tag_position, wavelength_m);
+  // Reciprocity: round-trip phase is twice the one-way argument.
+  return wrap_phase(2.0 * std::arg(h) + antenna.pattern_phase(tag_position) +
+                    tag.tag_offset_rad + antenna.reader_offset_rad);
+}
+
+std::optional<Observation> Channel::read(const Antenna& antenna,
+                                         const Tag& tag,
+                                         const Vec3& tag_position,
+                                         Rng& rng) const {
+  return read_at(antenna, tag, tag_position, rng, wavelength_);
+}
+
+std::optional<Observation> Channel::read_at(const Antenna& antenna,
+                                            const Tag& tag,
+                                            const Vec3& tag_position, Rng& rng,
+                                            double wavelength_m) const {
+  std::complex<double> h =
+      one_way_channel_at(antenna, tag_position, wavelength_m);
+  if (noise_.diffuse_amplitude > 0.0) {
+    const double s = noise_.diffuse_amplitude / std::sqrt(2.0);
+    h += std::complex<double>(rng.gaussian(s), rng.gaussian(s));
+  }
+  const double incident = std::abs(h);
+  if (incident < tag.sensitivity_floor) return std::nullopt;
+
+  double phase = 2.0 * std::arg(h) + antenna.pattern_phase(tag_position) +
+                 tag.tag_offset_rad + antenna.reader_offset_rad;
+  phase += rng.gaussian(effective_sigma(antenna, tag_position));
+  phase = wrap_phase(phase);
+  if (noise_.quantization_steps > 0) {
+    const double step = kTwoPi / noise_.quantization_steps;
+    phase = wrap_phase(std::round(phase / step) * step);
+  }
+
+  Observation obs;
+  obs.phase = phase;
+  // Round-trip backscatter field ~ |h|^2 * efficiency; report in dB with a
+  // nominal reader constant so values land in the familiar -70..-30 range.
+  const double rt_field = incident * incident * tag.backscatter_efficiency;
+  obs.rssi_dbm = 20.0 * std::log10(std::max(rt_field, 1e-12)) + 0.5;
+  obs.true_distance = linalg::distance(antenna.phase_center(), tag_position);
+  return obs;
+}
+
+}  // namespace lion::rf

@@ -1,0 +1,145 @@
+// Propagation channel: line-of-sight + image-method specular multipath +
+// measurement noise.
+//
+// The simulator computes a one-way complex channel
+//
+//   h = sum_k A_k * exp(+j * 2*pi * d_k / lambda)
+//
+// over the LoS path and each reflector's image path, and reports the
+// round-trip backscatter phase arg(h^2) = 2*arg(h) (reciprocal channel)
+// plus the hardware offsets of Eq. (1), Gaussian phase noise, and optional
+// reader quantization. The +j sign convention makes the reported phase
+// increase with distance, matching theta_d = (2*pi/lambda) * 2d.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "rf/antenna.hpp"
+#include "rf/constants.hpp"
+#include "rf/rng.hpp"
+#include "rf/tag.hpp"
+
+namespace lion::rf {
+
+/// A point scatterer (metal fixture, shelf corner, motor housing): re-rad-
+/// iates the incident field from a fixed position. Its contribution to the
+/// one-way channel is reflectivity * g / (d_as * d_st) with path phase
+/// 2*pi*(d_as + d_st)/lambda — strongly *localized*: it matters most when
+/// the tag passes close by, which is exactly the structured multipath that
+/// window selection can dodge but take-all-measurements methods cannot.
+struct Scatterer {
+  Vec3 position{};
+  /// Radar-cross-section-like coefficient [m]; 0.05-0.2 is a small metal
+  /// fixture.
+  double reflectivity = 0.1;
+};
+
+/// An infinite specular reflector plane (floor, wall, metal shelf).
+struct Reflector {
+  Vec3 point{};   ///< any point on the plane
+  Vec3 normal{};  ///< unit normal
+  /// Field reflection coefficient magnitude in [0, 1]; sign flip (the pi
+  /// phase jump of a conductor) is folded in via `phase_flip`.
+  double coefficient = 0.3;
+  bool phase_flip = true;  ///< reflect with an extra pi rotation
+
+  /// Mirror a point across the plane.
+  Vec3 mirror(const Vec3& p) const;
+};
+
+/// Measurement-noise configuration.
+struct NoiseModel {
+  /// Std-dev of additive Gaussian phase noise on boresight [rad]. The
+  /// paper's simulations use N(0, 0.1).
+  double phase_sigma = 0.1;
+
+  /// Extra noise multiplier growth outside the antenna main beam: effective
+  /// sigma = phase_sigma * (1 + off_beam_gain * max(0, angle - beam/2) /
+  /// (beam/2)). Reproduces the paper's Fig. 16-17 degradation when the
+  /// scanning range exceeds the main beam.
+  double off_beam_gain = 3.0;
+
+  /// Reader phase quantization steps per 2*pi; ImpinJ reports 12-bit
+  /// (4096). Zero disables quantization.
+  unsigned quantization_steps = 4096;
+
+  /// Diffuse (Rayleigh) multipath: a zero-mean complex-Gaussian term of
+  /// this RMS field amplitude added to the one-way channel on every read.
+  /// A room's reverberant floor is roughly position-independent while the
+  /// line-of-sight field decays as 1/d, so the diffuse term's influence on
+  /// the reported phase *grows with distance* — the paper's Fig. 14(b)
+  /// regime where far-field reads turn heavy-tailed. Zero disables.
+  double diffuse_amplitude = 0.0;
+};
+
+/// One simulated read.
+struct Observation {
+  double phase = 0.0;          ///< reported wrapped phase [0, 2*pi)
+  double rssi_dbm = 0.0;       ///< received backscatter power estimate
+  double true_distance = 0.0;  ///< hidden ground truth, one-way [m]
+};
+
+/// Channel simulator for a fixed environment.
+class Channel {
+ public:
+  Channel(NoiseModel noise, std::vector<Reflector> reflectors,
+          std::vector<Scatterer> scatterers = {},
+          double wavelength_m = kDefaultWavelength)
+      : noise_(noise),
+        reflectors_(std::move(reflectors)),
+        scatterers_(std::move(scatterers)),
+        wavelength_(wavelength_m) {}
+
+  /// Free-space channel with default noise.
+  Channel() : Channel(NoiseModel{}, {}) {}
+
+  /// Simulate one read of `tag` at `tag_position` by `antenna`.
+  /// Returns nullopt when the incident field is below the tag's sensitivity
+  /// floor (tag not powered — read misses happen far off beam / far away).
+  std::optional<Observation> read(const Antenna& antenna, const Tag& tag,
+                                  const Vec3& tag_position, Rng& rng) const;
+
+  /// Like read(), but at an explicit carrier wavelength — used by the
+  /// frequency-hopping reader simulation (US-band readers must hop; every
+  /// channel sees the same geometry at a slightly different wavelength).
+  std::optional<Observation> read_at(const Antenna& antenna, const Tag& tag,
+                                     const Vec3& tag_position, Rng& rng,
+                                     double wavelength_m) const;
+
+  /// Noise-free wrapped phase for ground-truth assertions in tests.
+  double noiseless_phase(const Antenna& antenna, const Tag& tag,
+                         const Vec3& tag_position) const;
+
+  /// Noise-free wrapped phase at an explicit wavelength.
+  double noiseless_phase_at(const Antenna& antenna, const Tag& tag,
+                            const Vec3& tag_position,
+                            double wavelength_m) const;
+
+  /// One-way complex channel between a radiating point and the tag
+  /// (exposed for tests and for the hologram baseline's forward model).
+  std::complex<double> one_way_channel(const Antenna& antenna,
+                                       const Vec3& tag_position) const;
+
+  /// One-way channel at an explicit wavelength.
+  std::complex<double> one_way_channel_at(const Antenna& antenna,
+                                          const Vec3& tag_position,
+                                          double wavelength_m) const;
+
+  double wavelength() const { return wavelength_; }
+  const NoiseModel& noise() const { return noise_; }
+  const std::vector<Reflector>& reflectors() const { return reflectors_; }
+  const std::vector<Scatterer>& scatterers() const { return scatterers_; }
+
+ private:
+  double effective_sigma(const Antenna& antenna, const Vec3& tag_pos) const;
+
+  NoiseModel noise_;
+  std::vector<Reflector> reflectors_;
+  std::vector<Scatterer> scatterers_;
+  double wavelength_;
+};
+
+}  // namespace lion::rf

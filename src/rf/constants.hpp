@@ -1,0 +1,50 @@
+// Physical constants and UHF RFID channel plans.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lion::rf {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Pi to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Carrier frequency used throughout the paper's evaluation [Hz]
+/// (ImpinJ R420 fixed at 920.625 MHz, Sec. V-A).
+inline constexpr double kDefaultFrequencyHz = 920.625e6;
+
+/// Wavelength for a carrier frequency [m].
+constexpr double wavelength(double frequency_hz) {
+  return kSpeedOfLight / frequency_hz;
+}
+
+/// Default wavelength (~32.6 cm; half-wavelength ~16 cm as the paper notes).
+inline constexpr double kDefaultWavelength = wavelength(kDefaultFrequencyHz);
+
+/// A regulatory channel plan (used when simulating frequency hopping).
+struct ChannelPlan {
+  double start_hz;    ///< first channel center
+  double spacing_hz;  ///< channel separation
+  std::size_t count;  ///< number of channels
+
+  /// Center frequency of channel i (i < count).
+  constexpr double channel_hz(std::size_t i) const {
+    return start_hz + spacing_hz * static_cast<double>(i);
+  }
+};
+
+/// FCC US plan: 50 channels, 902.75-927.25 MHz, 500 kHz spacing.
+inline constexpr ChannelPlan kFccPlan{902.75e6, 500e3, 50};
+
+/// ETSI EU lower band plan: 4 channels 865.7-867.5 MHz, 600 kHz spacing.
+inline constexpr ChannelPlan kEtsiPlan{865.7e6, 600e3, 4};
+
+/// China 920-925 MHz plan: 16 channels, 250 kHz spacing, from 920.625 MHz —
+/// the paper's operating frequency is this plan's channel 0.
+inline constexpr ChannelPlan kChinaPlan{920.625e6, 250e3, 16};
+
+}  // namespace lion::rf

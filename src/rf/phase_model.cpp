@@ -1,0 +1,43 @@
+#include "rf/phase_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lion::rf {
+
+double wrap_phase(double radians) {
+  double r = std::fmod(radians, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  return r;
+}
+
+double wrap_phase_symmetric(double radians) {
+  double r = std::fmod(radians + kPi, kTwoPi);
+  if (r <= 0.0) r += kTwoPi;
+  return r - kPi;
+}
+
+double reported_phase(double distance_m, double tag_offset_rad,
+                      double reader_offset_rad, double wavelength_m) {
+  return wrap_phase(distance_phase(distance_m, wavelength_m) +
+                    tag_offset_rad + reader_offset_rad);
+}
+
+double circular_distance(double a_rad, double b_rad) {
+  return std::abs(wrap_phase_symmetric(a_rad - b_rad));
+}
+
+double circular_mean(const std::vector<double>& angles_rad) {
+  if (angles_rad.empty()) {
+    throw std::invalid_argument("circular_mean: empty input");
+  }
+  double s = 0.0;
+  double c = 0.0;
+  for (double a : angles_rad) {
+    s += std::sin(a);
+    c += std::cos(a);
+  }
+  return wrap_phase(std::atan2(s, c));
+}
+
+}  // namespace lion::rf

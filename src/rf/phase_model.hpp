@@ -1,0 +1,56 @@
+// The backscatter phase model of Eq. (1):
+//
+//   theta = (theta_d + theta_T + theta_R) mod 2*pi,
+//   theta_d = (2*pi / lambda) * 2d
+//
+// where d is the one-way antenna-tag distance (the signal travels 2d round
+// trip), theta_T is the tag's reflection offset and theta_R the reader
+// transmit/receive chain offset.
+#pragma once
+
+#include <vector>
+
+#include "rf/constants.hpp"
+
+namespace lion::rf {
+
+/// Wrap an angle into [0, 2*pi).
+double wrap_phase(double radians);
+
+/// Wrap an angle into (-pi, pi].
+double wrap_phase_symmetric(double radians);
+
+/// Distance-induced phase rotation theta_d for a one-way distance d [m].
+constexpr double distance_phase(double distance_m,
+                                double wavelength_m = kDefaultWavelength) {
+  return kTwoPi / wavelength_m * 2.0 * distance_m;
+}
+
+/// Full reported phase per Eq. (1): wrapped sum of the distance term and the
+/// hardware offsets.
+double reported_phase(double distance_m, double tag_offset_rad,
+                      double reader_offset_rad,
+                      double wavelength_m = kDefaultWavelength);
+
+/// Invert the distance term: one-way distance change corresponding to an
+/// (unwrapped) phase change, Eq. (6): delta_d = lambda/(4*pi) * delta_theta.
+constexpr double phase_to_distance_delta(
+    double phase_delta_rad, double wavelength_m = kDefaultWavelength) {
+  return wavelength_m / (4.0 * kPi) * phase_delta_rad;
+}
+
+/// Forward direction of Eq. (6): phase change for a one-way distance change.
+constexpr double distance_delta_to_phase(
+    double distance_delta_m, double wavelength_m = kDefaultWavelength) {
+  return 4.0 * kPi / wavelength_m * distance_delta_m;
+}
+
+/// Smallest absolute angular difference between two wrapped phases, in
+/// [0, pi]. Useful for comparing calibrated offsets.
+double circular_distance(double a_rad, double b_rad);
+
+/// Circular mean of wrapped angles (atan2 of averaged unit vectors).
+/// Returns a value in [0, 2*pi). Throws on empty input.
+double circular_mean(const std::vector<double>& angles_rad);
+
+}  // namespace lion::rf

@@ -1,0 +1,17 @@
+#include "rf/tag.hpp"
+
+#include "rf/constants.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::rf {
+
+Tag make_tag(std::uint32_t id) {
+  Rng rng(0x7A6DEED5ULL + id * 0x9E3779B97F4A7C15ULL);
+  Tag t;
+  t.id = id;
+  t.tag_offset_rad = rng.uniform(0.0, kTwoPi);
+  t.backscatter_efficiency = rng.uniform(0.4, 0.6);
+  return t;
+}
+
+}  // namespace lion::rf

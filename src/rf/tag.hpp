@@ -1,0 +1,32 @@
+// Passive UHF tag model.
+//
+// A tag contributes its own constant phase rotation theta_T (chip input
+// impedance + antenna matching vary unit to unit, Fig. 3 of the paper) and
+// a backscatter power loss that together with the channel determines RSSI.
+#pragma once
+
+#include <cstdint>
+
+namespace lion::rf {
+
+/// Static description of one tag.
+struct Tag {
+  /// Reflection-characteristic phase offset theta_T [rad].
+  double tag_offset_rad = 0.0;
+
+  /// Backscatter field-amplitude efficiency in (0, 1]; affects RSSI only.
+  double backscatter_efficiency = 0.5;
+
+  /// Minimum field amplitude at the tag required to power the chip; reads
+  /// with less incident power are dropped by the reader simulator.
+  double sensitivity_floor = 0.0;
+
+  /// Identifier used in multi-tag experiments and reports.
+  std::uint32_t id = 0;
+};
+
+/// Convenience builder: a tag with reproducible per-unit quirks derived
+/// from `id` (offset anywhere on the circle, efficiency 0.4-0.6).
+Tag make_tag(std::uint32_t id);
+
+}  // namespace lion::rf

@@ -1,0 +1,94 @@
+#include "signal/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lion::signal {
+
+PhaseProfile from_samples(const std::vector<sim::PhaseSample>& samples) {
+  PhaseProfile p;
+  p.reserve(samples.size());
+  for (const auto& s : samples) {
+    p.push_back({s.position, s.phase, s.t});
+  }
+  return p;
+}
+
+std::vector<double> arc_lengths(const PhaseProfile& profile) {
+  std::vector<double> arcs(profile.size(), 0.0);
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    arcs[i] = arcs[i - 1] + linalg::distance(profile[i - 1].position,
+                                             profile[i].position);
+  }
+  return arcs;
+}
+
+double phase_at_arc(const PhaseProfile& profile, double arc) {
+  if (profile.empty()) {
+    throw std::invalid_argument("phase_at_arc: empty profile");
+  }
+  const auto arcs = arc_lengths(profile);
+  if (arc <= arcs.front()) return profile.front().phase;
+  if (arc >= arcs.back()) return profile.back().phase;
+  const auto it = std::upper_bound(arcs.begin(), arcs.end(), arc);
+  const auto hi = static_cast<std::size_t>(std::distance(arcs.begin(), it));
+  const std::size_t lo = hi - 1;
+  const double span = arcs[hi] - arcs[lo];
+  const double u = span > 0.0 ? (arc - arcs[lo]) / span : 0.0;
+  return profile[lo].phase + u * (profile[hi].phase - profile[lo].phase);
+}
+
+const ProfilePoint& nearest_point(const PhaseProfile& profile,
+                                  const Vec3& query) {
+  if (profile.empty()) {
+    throw std::invalid_argument("nearest_point: empty profile");
+  }
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double d = linalg::squared_distance(profile[i].position, query);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return profile[best];
+}
+
+double phase_near(const PhaseProfile& profile, const Vec3& query) {
+  if (profile.empty()) {
+    throw std::invalid_argument("phase_near: empty profile");
+  }
+  // Find the nearest point, then project the query onto the segment toward
+  // whichever neighbour is closer, interpolating phase linearly.
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double d = linalg::squared_distance(profile[i].position, query);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  auto interp_on = [&](std::size_t a, std::size_t b) -> double {
+    const Vec3 seg = profile[b].position - profile[a].position;
+    const double len2 = seg.squared_norm();
+    if (len2 == 0.0) return profile[a].phase;
+    const double u = std::clamp(
+        (query - profile[a].position).dot(seg) / len2, 0.0, 1.0);
+    return profile[a].phase + u * (profile[b].phase - profile[a].phase);
+  };
+  if (profile.size() == 1) return profile[0].phase;
+  if (best == 0) return interp_on(0, 1);
+  if (best + 1 == profile.size()) return interp_on(best - 1, best);
+  // Pick the neighbouring segment the query projects into more naturally.
+  const double d_prev =
+      linalg::squared_distance(profile[best - 1].position, query);
+  const double d_next =
+      linalg::squared_distance(profile[best + 1].position, query);
+  return d_prev < d_next ? interp_on(best - 1, best) : interp_on(best, best + 1);
+}
+
+}  // namespace lion::signal

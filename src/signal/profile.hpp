@@ -1,0 +1,46 @@
+// PhaseProfile: an ordered sequence of (position, unwrapped phase) points —
+// the preprocessed input every localizer consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::signal {
+
+using linalg::Vec3;
+
+/// One preprocessed point: known tag position and *unwrapped* phase.
+struct ProfilePoint {
+  Vec3 position{};
+  double phase = 0.0;  ///< unwrapped (continuous) phase [rad]
+  double t = 0.0;      ///< original timestamp [s]
+};
+
+/// An ordered phase profile along a scan.
+using PhaseProfile = std::vector<ProfilePoint>;
+
+/// Build a profile from raw reader samples without unwrapping (phases are
+/// copied as-is). Mostly a conversion helper for tests.
+PhaseProfile from_samples(const std::vector<sim::PhaseSample>& samples);
+
+/// Linearly interpolate the profile's phase at an arbitrary position along
+/// the scan's arc length. `arc` is distance travelled from the first point.
+/// Throws std::invalid_argument on an empty profile.
+double phase_at_arc(const PhaseProfile& profile, double arc);
+
+/// Cumulative arc length of each profile point (same size as profile).
+std::vector<double> arc_lengths(const PhaseProfile& profile);
+
+/// Nearest profile point to a query position. Throws on empty profile.
+const ProfilePoint& nearest_point(const PhaseProfile& profile,
+                                  const Vec3& query);
+
+/// Interpolated phase at the profile point nearest to `query`, refined by
+/// linear interpolation between its two bracketing neighbours. Returns the
+/// nearest point's phase at the profile ends. Throws on empty profile.
+double phase_near(const PhaseProfile& profile, const Vec3& query);
+
+}  // namespace lion::signal

@@ -1,0 +1,142 @@
+#include "signal/smooth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::signal {
+
+namespace {
+
+// Clamp a window to odd and compute the half width.
+std::size_t half_width(std::size_t window) {
+  if (window <= 1) return 0;
+  if (window % 2 == 0) ++window;
+  return window / 2;
+}
+
+}  // namespace
+
+std::vector<double> moving_average(const std::vector<double>& values,
+                                   std::size_t window) {
+  const std::size_t h = half_width(window);
+  if (h == 0) return values;
+  std::vector<double> out(values.size());
+  // Prefix sums keep this O(n) regardless of window size.
+  std::vector<double> prefix(values.size() + 1, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t lo = i >= h ? i - h : 0;
+    const std::size_t hi = std::min(i + h, values.size() - 1);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> moving_median(const std::vector<double>& values,
+                                  std::size_t window) {
+  const std::size_t h = half_width(window);
+  if (h == 0) return values;
+  std::vector<double> out(values.size());
+  std::vector<double> buf;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t lo = i >= h ? i - h : 0;
+    const std::size_t hi = std::min(i + h, values.size() - 1);
+    buf.assign(values.begin() + static_cast<std::ptrdiff_t>(lo),
+               values.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+    const std::size_t mid = buf.size() / 2;
+    std::nth_element(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(mid),
+                     buf.end());
+    if (buf.size() % 2 == 1) {
+      out[i] = buf[mid];
+    } else {
+      const double hi_v = buf[mid];
+      const double lo_v = *std::max_element(
+          buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(mid));
+      out[i] = 0.5 * (lo_v + hi_v);
+    }
+  }
+  return out;
+}
+
+void smooth_in_place(PhaseProfile& profile, std::size_t window) {
+  std::vector<double> phases(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) phases[i] = profile[i].phase;
+  phases = moving_average(phases, window);
+  for (std::size_t i = 0; i < profile.size(); ++i) profile[i].phase = phases[i];
+}
+
+std::size_t reject_outliers(PhaseProfile& profile, std::size_t window,
+                            double threshold) {
+  if (profile.empty()) return 0;
+  std::vector<double> phases(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) phases[i] = profile[i].phase;
+  const auto med = moving_median(phases, window);
+  PhaseProfile kept;
+  kept.reserve(profile.size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (std::abs(phases[i] - med[i]) > threshold) {
+      ++removed;
+    } else {
+      kept.push_back(profile[i]);
+    }
+  }
+  profile = std::move(kept);
+  return removed;
+}
+
+std::size_t reject_wrapped_impulses(std::vector<sim::PhaseSample>& samples,
+                                    double threshold) {
+  if (samples.size() < 3 || threshold <= 0.0) return 0;
+  std::vector<sim::PhaseSample> kept;
+  kept.reserve(samples.size());
+  kept.push_back(samples[0]);
+  std::size_t removed = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double jump =
+        rf::circular_distance(samples[i].phase, kept.back().phase);
+    if (jump <= threshold) {
+      kept.push_back(samples[i]);
+      continue;
+    }
+    // Look ahead: if the next sample agrees with this one, the *previous*
+    // accepted sample was the wild one (e.g. a corrupted stream head) —
+    // accept the current sample and move on.
+    if (i + 1 < samples.size() &&
+        rf::circular_distance(samples[i + 1].phase, samples[i].phase) <=
+            threshold) {
+      kept.push_back(samples[i]);
+      continue;
+    }
+    ++removed;
+  }
+  samples = std::move(kept);
+  return removed;
+}
+
+std::size_t reject_low_rssi(std::vector<sim::PhaseSample>& samples,
+                            double below_median_db) {
+  if (samples.empty() || below_median_db <= 0.0) return 0;
+  std::vector<double> rssi(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    rssi[i] = samples[i].rssi_dbm;
+  }
+  std::nth_element(rssi.begin(),
+                   rssi.begin() + static_cast<std::ptrdiff_t>(rssi.size() / 2),
+                   rssi.end());
+  const double cutoff = rssi[rssi.size() / 2] - below_median_db;
+  std::vector<sim::PhaseSample> kept;
+  kept.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (s.rssi_dbm >= cutoff) kept.push_back(s);
+  }
+  const std::size_t removed = samples.size() - kept.size();
+  samples = std::move(kept);
+  return removed;
+}
+
+}  // namespace lion::signal

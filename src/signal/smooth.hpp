@@ -1,0 +1,49 @@
+// Phase-profile smoothing (Sec. IV-A2): a moving-average filter knocks down
+// white measurement noise on the unwrapped profile; a median filter is
+// offered as a robust alternative for impulsive outliers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/profile.hpp"
+
+namespace lion::signal {
+
+/// Centered moving average with the given odd window (even windows are
+/// rounded up). Edges use the available shrunken window. window <= 1 is a
+/// no-op copy.
+std::vector<double> moving_average(const std::vector<double>& values,
+                                   std::size_t window);
+
+/// Centered moving median, same windowing rules as moving_average.
+std::vector<double> moving_median(const std::vector<double>& values,
+                                  std::size_t window);
+
+/// Smooth a profile's phases in place with a moving average.
+void smooth_in_place(PhaseProfile& profile, std::size_t window);
+
+/// Remove points whose phase deviates from the local median by more than
+/// `threshold` radians (impulse rejection). Returns the number removed.
+std::size_t reject_outliers(PhaseProfile& profile, std::size_t window,
+                            double threshold);
+
+/// Remove impulsive corruption from a *wrapped* sample stream before
+/// unwrapping. A single wild read (collision, decode error) would derail
+/// the unwrap accumulator by a multiple of 2*pi, shifting everything after
+/// it; this filter drops samples whose circular jump from the last accepted
+/// sample exceeds `threshold` radians — unless the *next* sample agrees
+/// with them (look-ahead confirmation), which heals a corrupted first
+/// sample. Returns the number of samples removed.
+std::size_t reject_wrapped_impulses(std::vector<sim::PhaseSample>& samples,
+                                    double threshold);
+
+/// Drop reads whose RSSI is more than `below_median_db` under the stream's
+/// median RSSI. In a fading channel the phase is wildest exactly when the
+/// resultant field is in a deep fade — which is also when RSSI collapses —
+/// so gating on RSSI removes the heavy-tailed phase outliers before they
+/// reach the unwrapper. Returns the number of samples removed.
+std::size_t reject_low_rssi(std::vector<sim::PhaseSample>& samples,
+                            double below_median_db);
+
+}  // namespace lion::signal

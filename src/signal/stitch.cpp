@@ -1,0 +1,103 @@
+#include "signal/stitch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+#include "signal/smooth.hpp"
+#include "signal/unwrap.hpp"
+
+namespace lion::signal {
+
+using rf::kTwoPi;
+
+PhaseProfile stitch_continuous(const std::vector<PhaseProfile>& parts) {
+  PhaseProfile all;
+  for (const auto& p : parts) {
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  unwrap_in_place(all);
+  return all;
+}
+
+PhaseProfile stitch_profiles(const std::vector<PhaseProfile>& parts,
+                             double max_junction_gap) {
+  PhaseProfile out;
+  for (const auto& part : parts) {
+    if (part.empty()) continue;
+    if (out.empty()) {
+      out = part;
+      continue;
+    }
+    const ProfilePoint& tail = out.back();
+    const ProfilePoint& head = part.front();
+    const double gap = linalg::distance(tail.position, head.position);
+    if (gap > max_junction_gap) {
+      throw std::invalid_argument(
+          "stitch_profiles: junction endpoints farther apart than the "
+          "unambiguous half-wavelength gap");
+    }
+    // Junction endpoints are close, so their true phases are close too;
+    // shift the whole incoming profile by the 2*pi multiple that makes the
+    // junction jump smallest.
+    const double jump = head.phase - tail.phase;
+    const double shift = -std::round(jump / kTwoPi) * kTwoPi;
+    for (const ProfilePoint& p : part) {
+      out.push_back({p.position, p.phase + shift, p.t});
+    }
+  }
+  return out;
+}
+
+PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
+                        const PreprocessConfig& config) {
+  std::vector<sim::PhaseSample> cleaned = samples;
+  if (config.rssi_gate_db > 0.0) {
+    reject_low_rssi(cleaned, config.rssi_gate_db);
+  }
+  if (config.impulse_threshold > 0.0) {
+    reject_wrapped_impulses(cleaned, config.impulse_threshold);
+  }
+  PhaseProfile profile = unwrap_samples(cleaned);
+  if (config.outlier_threshold > 0.0) {
+    reject_outliers(profile, config.outlier_window, config.outlier_threshold);
+  }
+  std::size_t window = config.smoothing_window;
+  if (config.smoothing_window_m > 0.0 && profile.size() > 2) {
+    const auto arcs = arc_lengths(profile);
+    const double spacing =
+        arcs.back() / static_cast<double>(profile.size() - 1);
+    if (spacing > 0.0) {
+      window = static_cast<std::size_t>(config.smoothing_window_m / spacing);
+    }
+  }
+  if (window > 1) {
+    smooth_in_place(profile, window);
+  }
+  return profile;
+}
+
+std::vector<std::uint32_t> channels_present(
+    const std::vector<sim::PhaseSample>& samples) {
+  std::vector<std::uint32_t> out;
+  for (const auto& s : samples) {
+    if (std::find(out.begin(), out.end(), s.channel) == out.end()) {
+      out.push_back(s.channel);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<sim::PhaseSample> select_channel(
+    const std::vector<sim::PhaseSample>& samples, std::uint32_t channel) {
+  std::vector<sim::PhaseSample> out;
+  for (const auto& s : samples) {
+    if (s.channel == channel) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace lion::signal

@@ -1,0 +1,72 @@
+// Cross-trajectory profile stitching and the preprocessing pipeline
+// (Sec. IV-A + IV-B).
+//
+// When the calibration scan is driven as separate line sweeps, each sweep's
+// unwrapped profile carries its own arbitrary 2*pi*k baseline; phase
+// *differences across sweeps* are then meaningless. The paper's remedy is
+// to keep the stream continuous (drive the tag from the end of one line to
+// the start of the next) — `stitch_continuous` implements exactly that by
+// unwrapping across the junction. `stitch_profiles` additionally handles
+// separately-recorded sweeps whose junction endpoints are physically close.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "signal/profile.hpp"
+
+namespace lion::signal {
+
+/// Concatenate profiles recorded as one continuous movement: phases are
+/// re-unwrapped across each junction so the result is a single continuous
+/// profile. Empty inputs are skipped.
+PhaseProfile stitch_continuous(const std::vector<PhaseProfile>& parts);
+
+/// Stitch separately-recorded sweeps: each subsequent profile is shifted by
+/// the multiple of 2*pi that minimizes the phase jump across the junction.
+/// Requires junction endpoints to be within `max_junction_gap` metres
+/// (default half wavelength ~0.16 m) — otherwise the 2*pi*k ambiguity
+/// cannot be resolved and std::invalid_argument is thrown.
+PhaseProfile stitch_profiles(const std::vector<PhaseProfile>& parts,
+                             double max_junction_gap = 0.16);
+
+/// Preprocessing configuration (impulse rejection -> unwrap -> outlier
+/// rejection -> smoothing).
+struct PreprocessConfig {
+  /// Pre-unwrap circular jump threshold [rad] dropping impulsive reads
+  /// before they can derail the unwrap accumulator; <=0 disables. The
+  /// default is far above legitimate sample-to-sample motion (<0.1 rad at
+  /// 100 Hz and 10 cm/s) yet well below a 2*pi-scale impulse.
+  double impulse_threshold = 1.2;
+  /// RSSI gate: drop reads more than this many dB under the stream's
+  /// median RSSI (deep fades carry wild phases); <=0 disables.
+  double rssi_gate_db = 0.0;
+  std::size_t smoothing_window = 9;   ///< moving-average window; <=1 disables
+  /// Metric smoothing window [m of trajectory]: when > 0 it overrides
+  /// `smoothing_window`, sizing the moving average from the stream's
+  /// median sample spacing. A reader at 120 Hz and 10 cm/s spaces samples
+  /// ~0.8 mm apart, so a fixed 9-sample window smooths almost nothing;
+  /// a metric window adapts to the actual density.
+  double smoothing_window_m = 0.0;
+  std::size_t outlier_window = 11;    ///< median window for impulse rejection
+  double outlier_threshold = 0.0;     ///< radians; <=0 disables rejection
+};
+
+/// Run the full Sec. IV-A pipeline on raw reader samples.
+PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
+                        const PreprocessConfig& config = {});
+
+/// Channel indices present in a (possibly frequency-hopped) stream,
+/// ascending.
+std::vector<std::uint32_t> channels_present(
+    const std::vector<sim::PhaseSample>& samples);
+
+/// Keep only the reads taken on one carrier channel. A hopped stream mixes
+/// wavelengths, so its phases cannot be unwrapped as one sequence — each
+/// channel must be preprocessed (and localized, with that channel's
+/// wavelength) on its own.
+std::vector<sim::PhaseSample> select_channel(
+    const std::vector<sim::PhaseSample>& samples, std::uint32_t channel);
+
+}  // namespace lion::signal

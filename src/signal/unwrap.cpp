@@ -1,0 +1,58 @@
+#include "signal/unwrap.hpp"
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+#include "rf/phase_model.hpp"
+
+namespace lion::signal {
+
+using rf::kPi;
+using rf::kTwoPi;
+
+// Unwrapping maps each raw jump into (-pi, pi] — any larger apparent jump
+// is a wrap artifact of the modulo in Eq. (1), because consecutive reads of
+// a tag moving at ~10 cm/s sampled at >=100 Hz can never move half a
+// wavelength. A jump of exactly pi is genuinely ambiguous; the symmetric
+// wrap resolves it as +pi, deterministically.
+
+std::vector<double> unwrap(const std::vector<double>& wrapped) {
+  std::vector<double> out;
+  out.reserve(wrapped.size());
+  double accumulated = 0.0;
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    if (i > 0) {
+      const double raw_jump = wrapped[i] - wrapped[i - 1];
+      // Fast path keeps in-range jumps bit-exact; only true wraps adjust.
+      if (raw_jump > kPi || raw_jump <= -kPi) {
+        accumulated += rf::wrap_phase_symmetric(raw_jump) - raw_jump;
+      }
+    }
+    out.push_back(wrapped[i] + accumulated);
+  }
+  return out;
+}
+
+PhaseProfile unwrap_samples(const std::vector<sim::PhaseSample>& samples) {
+  PhaseProfile profile = from_samples(samples);
+  unwrap_in_place(profile);
+  return profile;
+}
+
+void unwrap_in_place(PhaseProfile& profile) {
+  double accumulated = 0.0;
+  double prev_raw = 0.0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double raw = profile[i].phase;
+    if (i > 0) {
+      const double raw_jump = raw - prev_raw;
+      if (raw_jump > kPi || raw_jump <= -kPi) {
+        accumulated += rf::wrap_phase_symmetric(raw_jump) - raw_jump;
+      }
+    }
+    prev_raw = raw;
+    profile[i].phase = raw + accumulated;
+  }
+}
+
+}  // namespace lion::signal

@@ -1,0 +1,28 @@
+// Phase unwrapping (Sec. IV-A1).
+//
+// Wrapped phases live in [0, 2*pi); while the tag moves, consecutive reads
+// differ by far less than pi (displacement << half wavelength at >=100 Hz
+// and ~10 cm/s), so any jump of at least pi must be a wrap: add/subtract
+// multiples of 2*pi until consecutive differences fall below pi.
+#pragma once
+
+#include <vector>
+
+#include "signal/profile.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::signal {
+
+/// Unwrap a raw wrapped phase sequence in place-order: the first value is
+/// kept, subsequent values are shifted by multiples of 2*pi so every
+/// consecutive jump is < pi in magnitude.
+std::vector<double> unwrap(const std::vector<double>& wrapped);
+
+/// Unwrap reader samples into a continuous PhaseProfile (positions and
+/// timestamps are carried through).
+PhaseProfile unwrap_samples(const std::vector<sim::PhaseSample>& samples);
+
+/// Unwrap an existing profile's phases in place.
+void unwrap_in_place(PhaseProfile& profile);
+
+}  // namespace lion::signal

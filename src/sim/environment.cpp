@@ -1,0 +1,83 @@
+#include "sim/environment.hpp"
+
+#include <stdexcept>
+
+namespace lion::sim {
+
+using rf::NoiseModel;
+using rf::Reflector;
+
+std::vector<Reflector> make_reflectors(EnvironmentKind kind) {
+  // Floor 1 m below the rig plane (the paper mounts everything at 1 m).
+  // The rig sits 1 m above a carpeted lab floor: a weak specular bounce.
+  const Reflector floor{
+      .point = {0.0, 0.0, -1.0}, .normal = {0.0, 0.0, 1.0},
+      .coefficient = 0.12, .phase_flip = true};
+  // Side wall 2.5 m off to +x.
+  const Reflector side_wall{
+      .point = {2.5, 0.0, 0.0}, .normal = {-1.0, 0.0, 0.0},
+      .coefficient = 0.2, .phase_flip = true};
+  // Back wall 3 m behind the tag plane (opposite the antenna).
+  const Reflector back_wall{
+      .point = {0.0, -3.0, 0.0}, .normal = {0.0, 1.0, 0.0},
+      .coefficient = 0.2, .phase_flip = true};
+  // Metal shelf close to the rig: strong reflector.
+  const Reflector shelf{
+      .point = {-1.2, 0.5, 0.0}, .normal = {1.0, 0.0, 0.0},
+      .coefficient = 0.45, .phase_flip = true};
+
+  switch (kind) {
+    case EnvironmentKind::kFreeSpace:
+      return {};
+    case EnvironmentKind::kLabClean:
+      return {floor};
+    case EnvironmentKind::kLabTypical:
+      return {floor, side_wall};
+    case EnvironmentKind::kLabHarsh:
+      return {floor, side_wall, back_wall, shelf};
+  }
+  throw std::invalid_argument("make_reflectors: unknown environment");
+}
+
+NoiseModel make_noise(EnvironmentKind kind) {
+  NoiseModel n;
+  switch (kind) {
+    case EnvironmentKind::kFreeSpace:
+      n.phase_sigma = 0.1;  // the paper's simulation default N(0, 0.1)
+      n.off_beam_gain = 0.0;
+      break;
+    case EnvironmentKind::kLabClean:
+      n.phase_sigma = 0.06;
+      n.off_beam_gain = 2.0;
+      break;
+    case EnvironmentKind::kLabTypical:
+      n.phase_sigma = 0.1;
+      n.off_beam_gain = 3.0;
+      break;
+    case EnvironmentKind::kLabHarsh:
+      n.phase_sigma = 0.18;
+      n.off_beam_gain = 4.0;
+      break;
+  }
+  return n;
+}
+
+rf::Channel make_channel(EnvironmentKind kind) {
+  return rf::Channel(make_noise(kind), make_reflectors(kind));
+}
+
+const char* environment_name(EnvironmentKind kind) {
+  switch (kind) {
+    case EnvironmentKind::kFreeSpace:
+      return "free-space";
+    case EnvironmentKind::kLabClean:
+      return "lab-clean";
+    case EnvironmentKind::kLabTypical:
+      return "lab-typical";
+    case EnvironmentKind::kLabHarsh:
+      return "lab-harsh";
+  }
+  return "unknown";
+}
+
+}  // namespace lion::sim

@@ -1,0 +1,34 @@
+// Environment presets: reflector layouts and noise levels that mimic the
+// paper's lab (Fig. 12) at different severities.
+#pragma once
+
+#include <vector>
+
+#include "rf/channel.hpp"
+
+namespace lion::sim {
+
+/// Noise/multipath severity for a scenario.
+enum class EnvironmentKind {
+  kFreeSpace,   ///< no reflectors, baseline N(0, 0.1) phase noise
+  kLabClean,    ///< floor reflection only, light noise
+  kLabTypical,  ///< floor + one side wall, the default evaluation setting
+  kLabHarsh,    ///< floor + two walls + metal shelf, heavy noise
+};
+
+/// Build the channel for a preset. The coordinate convention matches the
+/// paper's rig: tag trajectory near the origin in the z=0 plane, antenna at
+/// positive y ("depth" axis), height along z, floor at z = -1 m (the rig
+/// sits at 1 m height, Sec. V-A).
+rf::Channel make_channel(EnvironmentKind kind);
+
+/// The reflector set of a preset, exposed for tests and custom channels.
+std::vector<rf::Reflector> make_reflectors(EnvironmentKind kind);
+
+/// The noise model of a preset.
+rf::NoiseModel make_noise(EnvironmentKind kind);
+
+/// Human-readable preset name for bench output.
+const char* environment_name(EnvironmentKind kind);
+
+}  // namespace lion::sim

@@ -1,0 +1,79 @@
+#include "sim/reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lion::sim {
+
+std::vector<PhaseSample> ReaderSim::sweep(const rf::Antenna& antenna,
+                                          const rf::Tag& tag,
+                                          const Trajectory& trajectory,
+                                          rf::Rng& rng) const {
+  std::vector<PhaseSample> out;
+  const double dt = 1.0 / config_.read_rate_hz;
+  const double total = trajectory.duration();
+  out.reserve(static_cast<std::size_t>(total / dt) + 1);
+
+  for (double t = 0.0; t <= total; t += dt) {
+    double read_t = t;
+    if (config_.timing_jitter_s > 0.0) {
+      read_t += rng.uniform(-config_.timing_jitter_s, config_.timing_jitter_s);
+      read_t = std::clamp(read_t, 0.0, total);
+    }
+    if (config_.miss_probability > 0.0 &&
+        rng.bernoulli(config_.miss_probability)) {
+      continue;
+    }
+    const Vec3 true_pos = trajectory.position(read_t);
+
+    // Frequency hopping: round-robin channel per dwell window.
+    std::uint32_t chan = 0;
+    double wavelength = channel_.wavelength();
+    if (config_.hopping) {
+      const auto count = config_.hopping->count;
+      chan = static_cast<std::uint32_t>(
+          static_cast<std::size_t>(read_t / config_.hop_dwell_s) % count);
+      wavelength = rf::wavelength(config_.hopping->channel_hz(chan));
+    }
+    const auto obs =
+        channel_.read_at(antenna, tag, true_pos, rng, wavelength);
+    if (!obs) continue;  // tag not powered at this position
+
+    PhaseSample s;
+    s.t = read_t;
+    s.channel = chan;
+    s.position = true_pos;
+    if (config_.position_jitter_m > 0.0) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        s.position[i] += rng.gaussian(config_.position_jitter_m);
+      }
+    }
+    s.phase = obs->phase;
+    s.rssi_dbm = obs->rssi_dbm;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<PhaseSample> ReaderSim::read_static(const rf::Antenna& antenna,
+                                                const rf::Tag& tag,
+                                                const Vec3& tag_position,
+                                                std::size_t count,
+                                                rf::Rng& rng) const {
+  std::vector<PhaseSample> out;
+  out.reserve(count);
+  const double dt = 1.0 / config_.read_rate_hz;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto obs = channel_.read(antenna, tag, tag_position, rng);
+    if (!obs) continue;
+    PhaseSample s;
+    s.t = static_cast<double>(i) * dt;
+    s.position = tag_position;
+    s.phase = obs->phase;
+    s.rssi_dbm = obs->rssi_dbm;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace lion::sim

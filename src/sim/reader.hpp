@@ -1,0 +1,72 @@
+// Reader simulator: turns (antenna, tag, trajectory, channel) into the
+// timed phase-sample stream an LLRP reader would deliver.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rf/constants.hpp"
+
+#include "rf/antenna.hpp"
+#include "rf/channel.hpp"
+#include "rf/rng.hpp"
+#include "rf/tag.hpp"
+#include "sim/trajectory.hpp"
+
+namespace lion::sim {
+
+/// One timed read as delivered by the reader.
+struct PhaseSample {
+  double t = 0.0;        ///< read timestamp [s]
+  Vec3 position{};       ///< commanded tag position at t (known trajectory)
+  double phase = 0.0;    ///< reported wrapped phase [0, 2*pi)
+  double rssi_dbm = 0.0; ///< reported RSSI
+  std::uint32_t channel = 0;  ///< carrier channel index (0 when not hopping)
+};
+
+/// Reader behaviour knobs.
+struct ReaderConfig {
+  double read_rate_hz = 120.0;    ///< nominal inventory rate (paper: >100 Hz)
+  double timing_jitter_s = 0.0;   ///< uniform +/- jitter on read instants
+  double position_jitter_m = 0.0; ///< ruler error on the commanded position
+  double miss_probability = 0.0;  ///< random read misses (collisions etc.)
+
+  /// Frequency hopping: when set, the reader cycles round-robin through
+  /// this plan's channels, dwelling `hop_dwell_s` on each (FCC requires
+  /// <= 0.4 s). The paper's China-band reader sits on one channel — leave
+  /// unset to reproduce that. Hopped streams must be split per channel
+  /// before unwrapping (signal::split_by_channel).
+  std::optional<rf::ChannelPlan> hopping;
+  double hop_dwell_s = 0.2;
+};
+
+/// Simulates a reader interrogating one tag moved along a trajectory.
+class ReaderSim {
+ public:
+  ReaderSim(rf::Channel channel, ReaderConfig config)
+      : channel_(std::move(channel)), config_(config) {}
+
+  /// Sweep the whole trajectory, producing a chronological sample stream.
+  /// Misses (tag unpowered or random collision) are simply absent samples.
+  std::vector<PhaseSample> sweep(const rf::Antenna& antenna,
+                                 const rf::Tag& tag,
+                                 const Trajectory& trajectory,
+                                 rf::Rng& rng) const;
+
+  /// Collect `count` reads of a static tag (for Fig. 3-style offset studies).
+  std::vector<PhaseSample> read_static(const rf::Antenna& antenna,
+                                       const rf::Tag& tag,
+                                       const Vec3& tag_position,
+                                       std::size_t count, rf::Rng& rng) const;
+
+  const rf::Channel& channel() const { return channel_; }
+  const ReaderConfig& config() const { return config_; }
+
+ private:
+  rf::Channel channel_;
+  ReaderConfig config_;
+};
+
+}  // namespace lion::sim

@@ -1,0 +1,33 @@
+#include "sim/scenario.hpp"
+
+namespace lion::sim {
+
+std::vector<PhaseSample> Scenario::sweep(std::size_t antenna_index,
+                                         std::size_t tag_index,
+                                         const Trajectory& trajectory) {
+  return reader_.sweep(antennas_.at(antenna_index), tags_.at(tag_index),
+                       trajectory, rng_);
+}
+
+std::vector<PhaseSample> Scenario::read_static(std::size_t antenna_index,
+                                               std::size_t tag_index,
+                                               const Vec3& tag_position,
+                                               std::size_t count) {
+  return reader_.read_static(antennas_.at(antenna_index), tags_.at(tag_index),
+                             tag_position, count, rng_);
+}
+
+Scenario Scenario::Builder::build() {
+  if (antennas_.empty()) {
+    throw std::invalid_argument("Scenario: at least one antenna required");
+  }
+  if (tags_.empty()) {
+    throw std::invalid_argument("Scenario: at least one tag required");
+  }
+  rf::Channel ch =
+      custom_channel_ ? std::move(*custom_channel_) : make_channel(kind_);
+  return Scenario(std::move(antennas_), std::move(tags_),
+                  ReaderSim(std::move(ch), reader_config_), rf::Rng(seed_));
+}
+
+}  // namespace lion::sim

@@ -1,0 +1,138 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+
+namespace lion::sim {
+
+// --------------------------------------------------------- LinearTrajectory
+
+LinearTrajectory::LinearTrajectory(const Vec3& start, const Vec3& end,
+                                   double speed_mps)
+    : start_(start), end_(end), speed_(speed_mps) {
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("LinearTrajectory: speed must be positive");
+  }
+  const double length = linalg::distance(start, end);
+  if (length == 0.0) {
+    throw std::invalid_argument("LinearTrajectory: zero-length segment");
+  }
+  duration_ = length / speed_mps;
+}
+
+Vec3 LinearTrajectory::position(double t) const {
+  const double u = std::clamp(t / duration_, 0.0, 1.0);
+  return start_ + u * (end_ - start_);
+}
+
+// ------------------------------------------------------- CircularTrajectory
+
+CircularTrajectory::CircularTrajectory(const Vec3& center, double radius,
+                                       const Vec3& normal,
+                                       double angular_speed_rps, double turns,
+                                       double start_angle)
+    : center_(center),
+      radius_(radius),
+      angular_speed_(angular_speed_rps),
+      start_angle_(start_angle) {
+  if (radius <= 0.0) {
+    throw std::invalid_argument("CircularTrajectory: radius must be positive");
+  }
+  if (angular_speed_rps <= 0.0 || turns <= 0.0) {
+    throw std::invalid_argument(
+        "CircularTrajectory: angular speed and turns must be positive");
+  }
+  if (normal.norm() == 0.0) {
+    throw std::invalid_argument("CircularTrajectory: zero normal");
+  }
+  // Build an orthonormal in-plane basis (u, v).
+  const Vec3 n = normal.normalized();
+  Vec3 seed = std::abs(n[0]) < 0.9 ? Vec3{1.0, 0.0, 0.0} : Vec3{0.0, 1.0, 0.0};
+  u_ = cross(n, seed).normalized();
+  v_ = cross(n, u_);
+  duration_ = turns * rf::kTwoPi / angular_speed_rps;
+}
+
+Vec3 CircularTrajectory::position(double t) const {
+  const double tt = std::clamp(t, 0.0, duration_);
+  const double a = start_angle_ + angular_speed_ * tt;
+  return center_ + radius_ * (std::cos(a) * u_ + std::sin(a) * v_);
+}
+
+// ----------------------------------------------- PiecewiseLinearTrajectory
+
+PiecewiseLinearTrajectory::PiecewiseLinearTrajectory(
+    std::vector<Vec3> waypoints, double speed_mps)
+    : waypoints_(std::move(waypoints)), speed_(speed_mps) {
+  if (waypoints_.size() < 2) {
+    throw std::invalid_argument(
+        "PiecewiseLinearTrajectory: need at least two waypoints");
+  }
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument(
+        "PiecewiseLinearTrajectory: speed must be positive");
+  }
+  cumulative_time_.resize(waypoints_.size(), 0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    const double len = linalg::distance(waypoints_[i - 1], waypoints_[i]);
+    cumulative_time_[i] = cumulative_time_[i - 1] + len / speed_mps;
+  }
+  total_time_ = cumulative_time_.back();
+  if (total_time_ == 0.0) {
+    throw std::invalid_argument(
+        "PiecewiseLinearTrajectory: zero-length path");
+  }
+}
+
+std::size_t PiecewiseLinearTrajectory::segment_index(double t) const {
+  const double tt = std::clamp(t, 0.0, total_time_);
+  const auto it = std::upper_bound(cumulative_time_.begin(),
+                                   cumulative_time_.end(), tt);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(cumulative_time_.begin(), it));
+  // idx is the first waypoint with arrival time > tt; segment is idx-1.
+  return std::min(idx == 0 ? 0 : idx - 1, waypoints_.size() - 2);
+}
+
+Vec3 PiecewiseLinearTrajectory::position(double t) const {
+  const double tt = std::clamp(t, 0.0, total_time_);
+  const std::size_t s = segment_index(tt);
+  const double t0 = cumulative_time_[s];
+  const double t1 = cumulative_time_[s + 1];
+  const double u = t1 > t0 ? (tt - t0) / (t1 - t0) : 0.0;
+  return waypoints_[s] + u * (waypoints_[s + 1] - waypoints_[s]);
+}
+
+// ----------------------------------------------------------- ThreeLineRig
+
+PiecewiseLinearTrajectory ThreeLineRig::build() const {
+  if (x_max <= x_min) {
+    throw std::invalid_argument("ThreeLineRig: x_max must exceed x_min");
+  }
+  // L1 left-to-right, transit up to L2, right-to-left, transit to L3,
+  // left-to-right. Transits are short so the phase stream stays continuous.
+  const std::vector<Vec3> waypoints{
+      point_on_line(0, x_min), point_on_line(0, x_max),  // L1
+      point_on_line(1, x_max), point_on_line(1, x_min),  // L2 (reverse)
+      point_on_line(2, x_min), point_on_line(2, x_max),  // L3
+  };
+  return PiecewiseLinearTrajectory(waypoints, speed);
+}
+
+Vec3 ThreeLineRig::point_on_line(int line, double x) const {
+  switch (line) {
+    case 0:
+      return Vec3{x, 0.0, 0.0};
+    case 1:
+      return Vec3{x, 0.0, z0};
+    case 2:
+      return Vec3{x, -y0, 0.0};
+    default:
+      throw std::invalid_argument("ThreeLineRig: line must be 0, 1 or 2");
+  }
+}
+
+}  // namespace lion::sim

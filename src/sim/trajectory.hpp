@@ -1,0 +1,120 @@
+// Tag trajectories: the known paths a tag is moved along during
+// calibration scanning (motorized slide, turntable, multi-line rigs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace lion::sim {
+
+using linalg::Vec3;
+
+/// A continuous, known tag path parameterized by time.
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+
+  /// Tag position at time t (seconds), t in [0, duration()].
+  virtual Vec3 position(double t) const = 0;
+
+  /// Total traversal time [s].
+  virtual double duration() const = 0;
+};
+
+/// Straight-line constant-speed segment — the paper's motorized sliding
+/// track (Sec. V-A: 2.5 m range at 10 cm/s).
+class LinearTrajectory final : public Trajectory {
+ public:
+  /// Throws std::invalid_argument when speed <= 0 or start == end.
+  LinearTrajectory(const Vec3& start, const Vec3& end, double speed_mps);
+
+  Vec3 position(double t) const override;
+  double duration() const override { return duration_; }
+
+  const Vec3& start() const { return start_; }
+  const Vec3& end() const { return end_; }
+  double speed() const { return speed_; }
+
+ private:
+  Vec3 start_;
+  Vec3 end_;
+  double speed_;
+  double duration_;
+};
+
+/// Constant-angular-speed circle — the paper's turntable rig (Fig. 21).
+/// The circle lies in the plane through `center` orthogonal to `normal`.
+class CircularTrajectory final : public Trajectory {
+ public:
+  /// `turns` full revolutions starting at `start_angle` (radians measured
+  /// in the plane). Throws std::invalid_argument on non-positive radius,
+  /// angular speed or turns, or a zero normal.
+  CircularTrajectory(const Vec3& center, double radius, const Vec3& normal,
+                     double angular_speed_rps, double turns = 1.0,
+                     double start_angle = 0.0);
+
+  Vec3 position(double t) const override;
+  double duration() const override { return duration_; }
+
+  const Vec3& center() const { return center_; }
+  double radius() const { return radius_; }
+
+ private:
+  Vec3 center_;
+  double radius_;
+  Vec3 u_;  // in-plane basis
+  Vec3 v_;
+  double angular_speed_;
+  double start_angle_;
+  double duration_;
+};
+
+/// A chain of straight segments traversed at constant speed, with an
+/// optional dwell (pause) at interior joints. Models the paper's Fig. 11
+/// rig where a tag moves along L1, hops to L2, then to L3: when
+/// `include_transits` is true the connecting moves are part of the path, so
+/// the phase stream stays continuous and unwrappable across lines.
+class PiecewiseLinearTrajectory final : public Trajectory {
+ public:
+  /// Throws std::invalid_argument with fewer than two waypoints,
+  /// non-positive speed, or zero-length total path.
+  PiecewiseLinearTrajectory(std::vector<Vec3> waypoints, double speed_mps);
+
+  Vec3 position(double t) const override;
+  double duration() const override { return total_time_; }
+
+  const std::vector<Vec3>& waypoints() const { return waypoints_; }
+
+  /// Index of the segment active at time t (clamped at the ends).
+  std::size_t segment_index(double t) const;
+
+ private:
+  std::vector<Vec3> waypoints_;
+  std::vector<double> cumulative_time_;  // arrival time at each waypoint
+  double speed_;
+  double total_time_;
+};
+
+/// The paper's Fig. 11 three-parallel-line calibration rig.
+///
+/// L1 runs along the x-axis at (y=0, z=0); L2 is L1 shifted by +z0 (same
+/// xy-plane... actually xz: above L1); L3 is L1 shifted by -y0 (behind L1).
+/// The tag traverses L1, transits to L2, traverses it, transits to L3 and
+/// traverses it, producing one continuous phase stream.
+struct ThreeLineRig {
+  double x_min = -0.5;  ///< scan start along x [m]
+  double x_max = 0.5;   ///< scan end along x [m]
+  double y0 = 0.2;      ///< spacing of L3 behind L1 [m]
+  double z0 = 0.2;      ///< spacing of L2 above L1 [m]
+  double speed = 0.1;   ///< tag speed [m/s] (paper: 10 cm/s)
+
+  /// Build the continuous trajectory L1 -> L2 -> L3 (with transits).
+  PiecewiseLinearTrajectory build() const;
+
+  /// Line origins for pairing: position on line k (0=L1, 1=L2, 2=L3) at x.
+  Vec3 point_on_line(int line, double x) const;
+};
+
+}  // namespace lion::sim

@@ -1,0 +1,271 @@
+#include "baseline/hologram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::baseline {
+namespace {
+
+signal::PhaseProfile synthetic(const std::vector<Vec3>& positions,
+                               const Vec3& target, double sigma = 0.0,
+                               std::uint64_t seed = 1) {
+  rf::Rng rng(seed);
+  signal::PhaseProfile p;
+  for (const auto& pos : positions) {
+    const double d = linalg::distance(pos, target);
+    p.push_back(
+        {pos, rf::distance_phase(d) + 0.9 + rng.gaussian(sigma), 0.0});
+  }
+  return p;
+}
+
+std::vector<Vec3> scan_line() {
+  std::vector<Vec3> ps;
+  for (double x = -0.4; x <= 0.4 + 1e-12; x += 0.01) ps.push_back({x, 0.0, 0.0});
+  return ps;
+}
+
+TEST(Hologram, LikelihoodPeaksAtTruth) {
+  const Vec3 target{0.1, 0.6, 0.0};
+  const auto profile = synthetic(scan_line(), target);
+  const double at_truth = hologram_likelihood(
+      profile, profile.size() / 2, target, rf::kDefaultWavelength);
+  EXPECT_NEAR(at_truth, 1.0, 1e-9);
+  const double off = hologram_likelihood(profile, profile.size() / 2,
+                                         {0.3, 0.4, 0.0},
+                                         rf::kDefaultWavelength);
+  EXPECT_LT(off, at_truth);
+}
+
+TEST(Hologram, LikelihoodRidgeFollowsHyperbola) {
+  // With only two measurements the high-likelihood set is a hyperbola
+  // branch (Fig. 4): points with the same distance *difference* to the two
+  // tag positions score 1.
+  const Vec3 t1{-0.3, 0.0, 0.0};
+  const Vec3 t2{0.3, 0.0, 0.0};
+  const Vec3 target{0.5, 0.5, 0.0};
+  const auto profile = synthetic({t1, t2}, target);
+  const double dd = linalg::distance(target, t1) - linalg::distance(target, t2);
+  // Another point on the same hyperbola branch (numerically constructed):
+  // walk along y and solve for x giving the same distance difference.
+  auto on_branch = [&](double y) {
+    double lo = -1.0;
+    double hi = 2.0;
+    for (int it = 0; it < 80; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const Vec3 p{mid, y, 0.0};
+      const double f =
+          linalg::distance(p, t1) - linalg::distance(p, t2) - dd;
+      if (f > 0) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    return Vec3{0.5 * (lo + hi), y, 0.0};
+  };
+  for (double y : {0.2, 0.8, 1.2}) {
+    const Vec3 p = on_branch(y);
+    EXPECT_NEAR(hologram_likelihood(profile, 0, p, rf::kDefaultWavelength),
+                1.0, 1e-6)
+        << "y=" << y;
+  }
+}
+
+TEST(Hologram, LocatesTargetOnCoarseGrid) {
+  const Vec3 target{0.1, 0.6, 0.0};
+  const auto profile = synthetic(scan_line(), target, 0.05, 3);
+  HologramConfig cfg;
+  cfg.min_corner = {-0.1, 0.4, 0.0};
+  cfg.max_corner = {0.3, 0.8, 0.0};
+  cfg.grid_size = 0.005;
+  const auto r = locate_hologram(profile, cfg);
+  EXPECT_LT(linalg::distance(r.position, target), 0.02);
+  EXPECT_GT(r.peak_likelihood, 0.5);
+}
+
+TEST(Hologram, CellCountMatchesBox) {
+  const auto profile = synthetic(scan_line(), {0.0, 0.5, 0.0});
+  HologramConfig cfg;
+  cfg.min_corner = {0.0, 0.0, 0.0};
+  cfg.max_corner = {0.1, 0.1, 0.0};
+  cfg.grid_size = 0.01;
+  cfg.augmented = false;
+  const auto r = locate_hologram(profile, cfg);
+  EXPECT_EQ(r.cells, 121u);  // 11 x 11 x 1
+}
+
+TEST(Hologram, AugmentedDoublesCellWork) {
+  const auto profile = synthetic(scan_line(), {0.0, 0.5, 0.0});
+  HologramConfig cfg;
+  cfg.min_corner = {-0.05, 0.45, 0.0};
+  cfg.max_corner = {0.05, 0.55, 0.0};
+  cfg.grid_size = 0.01;
+  cfg.augmented = true;
+  const auto r = locate_hologram(profile, cfg);
+  EXPECT_EQ(r.cells, 2u * 121u);
+}
+
+TEST(Hologram, AugmentationImprovesUnderMultipathLikeCorruption) {
+  // Corrupt one third of the samples with a constant phase bias (a crude
+  // stand-in for a multipath cluster) and check the augmented pass is no
+  // worse than the plain pass.
+  const Vec3 target{0.05, 0.55, 0.0};
+  auto profile = synthetic(scan_line(), target, 0.03, 7);
+  for (std::size_t i = 0; i < profile.size() / 3; ++i) {
+    profile[i].phase += 0.8;
+  }
+  HologramConfig cfg;
+  cfg.min_corner = {-0.1, 0.4, 0.0};
+  cfg.max_corner = {0.2, 0.7, 0.0};
+  cfg.grid_size = 0.005;
+  cfg.augmented = false;
+  const auto plain = locate_hologram(profile, cfg);
+  cfg.augmented = true;
+  const auto augmented = locate_hologram(profile, cfg);
+  EXPECT_LE(linalg::distance(augmented.position, target),
+            linalg::distance(plain.position, target) + 0.005);
+}
+
+TEST(Hologram, ValidatesArguments) {
+  const auto profile = synthetic(scan_line(), {0.0, 0.5, 0.0});
+  HologramConfig cfg;
+  cfg.min_corner = {0.0, 0.0, 0.0};
+  cfg.max_corner = {0.1, 0.1, 0.0};
+  cfg.grid_size = 0.0;
+  EXPECT_THROW(locate_hologram(profile, cfg), std::invalid_argument);
+  cfg.grid_size = 0.01;
+  EXPECT_THROW(locate_hologram({}, cfg), std::invalid_argument);
+  cfg.reference_index = 9999;
+  EXPECT_THROW(locate_hologram(profile, cfg), std::invalid_argument);
+  HologramConfig inverted;
+  inverted.min_corner = {0.1, 0.0, 0.0};
+  inverted.max_corner = {0.0, 0.1, 0.0};
+  EXPECT_THROW(locate_hologram(profile, inverted), std::invalid_argument);
+}
+
+TEST(Hologram, ThreeDimensionalSearch) {
+  // Full 3D box: the search must recover all three coordinates from a
+  // 3D-diverse scan.
+  std::vector<Vec3> ps;
+  for (double x = -0.4; x <= 0.4 + 1e-12; x += 0.02) {
+    ps.push_back({x, 0.0, 0.0});
+    ps.push_back({x, -0.2, 0.0});
+    ps.push_back({x, 0.0, 0.2});
+  }
+  const Vec3 target{0.05, 0.6, 0.1};
+  const auto profile = synthetic(ps, target, 0.02, 5);
+  HologramConfig cfg;
+  cfg.min_corner = target - Vec3{0.04, 0.04, 0.04};
+  cfg.max_corner = target + Vec3{0.04, 0.04, 0.04};
+  cfg.grid_size = 0.004;
+  const auto r = locate_hologram(profile, cfg);
+  EXPECT_LT(linalg::distance(r.position, target), 0.015);
+  // ~21^3 cells, two passes (augmented); the exact per-axis step count can
+  // land on 20 or 21 depending on float rounding of the box edges.
+  EXPECT_GE(r.cells, 2u * 20u * 20u * 20u);
+  EXPECT_LE(r.cells, 2u * 22u * 22u * 22u);
+}
+
+TEST(Hologram, CostScalesWithVolumeNotAccuracy) {
+  // The cost driver the paper attacks: halving the grid size in 3D is 8x
+  // the cells.
+  const auto profile = synthetic(scan_line(), {0.0, 0.5, 0.0});
+  HologramConfig coarse;
+  coarse.min_corner = {-0.04, 0.46, -0.04};
+  coarse.max_corner = {0.04, 0.54, 0.04};
+  coarse.grid_size = 0.02;
+  coarse.augmented = false;
+  HologramConfig fine = coarse;
+  fine.grid_size = 0.01;
+  const auto c = locate_hologram(profile, coarse);
+  const auto f = locate_hologram(profile, fine);
+  EXPECT_EQ(c.cells, 5u * 5u * 5u);
+  EXPECT_EQ(f.cells, 9u * 9u * 9u);
+}
+
+TEST(MultiAntennaHologram, LocatesStaticTag) {
+  const Vec3 tag{-0.1, 0.8, 0.0};
+  std::vector<AntennaReading> readings;
+  for (double x : {-0.3, 0.0, 0.3}) {
+    AntennaReading r;
+    r.antenna_position = {x, 0.0, 0.0};
+    r.phase = rf::wrap_phase(
+        rf::distance_phase(linalg::distance(tag, r.antenna_position)));
+    readings.push_back(r);
+  }
+  HologramConfig cfg;
+  cfg.min_corner = {-0.3, 0.6, 0.0};
+  cfg.max_corner = {0.1, 1.0, 0.0};
+  cfg.grid_size = 0.005;
+  const auto res = locate_tag_multi_antenna(readings, cfg);
+  EXPECT_LT(linalg::distance(res.position, tag), 0.02);
+}
+
+TEST(MultiAntennaHologram, OffsetCorrectionApplied) {
+  // Give each antenna a distinct hardware offset; with offsets passed in,
+  // the fix should match the clean case.
+  const Vec3 tag{0.0, 0.7, 0.0};
+  const double offsets[] = {1.1, 2.3, 0.4};
+  std::vector<AntennaReading> readings;
+  int k = 0;
+  for (double x : {-0.3, 0.0, 0.3}) {
+    AntennaReading r;
+    r.antenna_position = {x, 0.0, 0.0};
+    r.phase = rf::wrap_phase(
+        rf::distance_phase(linalg::distance(tag, r.antenna_position)) +
+        offsets[k]);
+    r.offset = offsets[k];
+    ++k;
+    readings.push_back(r);
+  }
+  HologramConfig cfg;
+  cfg.min_corner = {-0.2, 0.5, 0.0};
+  cfg.max_corner = {0.2, 0.9, 0.0};
+  cfg.grid_size = 0.005;
+  const auto res = locate_tag_multi_antenna(readings, cfg);
+  EXPECT_LT(linalg::distance(res.position, tag), 0.02);
+}
+
+TEST(MultiAntennaHologram, UncorrectedOffsetsBiasTheFix) {
+  const Vec3 tag{0.0, 0.7, 0.0};
+  const double offsets[] = {1.1, 2.9, 0.4};
+  std::vector<AntennaReading> corrected;
+  std::vector<AntennaReading> uncorrected;
+  int k = 0;
+  for (double x : {-0.3, 0.0, 0.3}) {
+    AntennaReading r;
+    r.antenna_position = {x, 0.0, 0.0};
+    r.phase = rf::wrap_phase(
+        rf::distance_phase(linalg::distance(tag, r.antenna_position)) +
+        offsets[k]);
+    AntennaReading u = r;
+    r.offset = offsets[k];
+    ++k;
+    corrected.push_back(r);
+    uncorrected.push_back(u);
+  }
+  HologramConfig cfg;
+  cfg.min_corner = {-0.2, 0.5, 0.0};
+  cfg.max_corner = {0.2, 0.9, 0.0};
+  cfg.grid_size = 0.005;
+  const auto good = locate_tag_multi_antenna(corrected, cfg);
+  const auto bad = locate_tag_multi_antenna(uncorrected, cfg);
+  EXPECT_LT(linalg::distance(good.position, tag),
+            linalg::distance(bad.position, tag));
+}
+
+TEST(MultiAntennaHologram, RequiresTwoAntennas) {
+  HologramConfig cfg;
+  cfg.max_corner = {0.1, 0.1, 0.0};
+  EXPECT_THROW(locate_tag_multi_antenna({AntennaReading{}}, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lion::baseline

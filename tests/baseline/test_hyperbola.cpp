@@ -1,0 +1,133 @@
+#include "baseline/hyperbola.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pairing.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::baseline {
+namespace {
+
+signal::PhaseProfile synthetic(const std::vector<Vec3>& positions,
+                               const Vec3& target, double sigma = 0.0,
+                               std::uint64_t seed = 1) {
+  rf::Rng rng(seed);
+  signal::PhaseProfile p;
+  for (const auto& pos : positions) {
+    const double d = linalg::distance(pos, target);
+    p.push_back(
+        {pos, rf::distance_phase(d) + 0.4 + rng.gaussian(sigma), 0.0});
+  }
+  return p;
+}
+
+std::vector<Vec3> two_lines() {
+  std::vector<Vec3> ps;
+  for (double x = -0.5; x <= 0.5 + 1e-12; x += 0.01) {
+    ps.push_back({x, 0.0, 0.0});
+    ps.push_back({x, -0.2, 0.0});
+  }
+  return ps;
+}
+
+TEST(Hyperbola, ConvergesToTruthNoiseless) {
+  const Vec3 target{0.1, 0.8, 0.0};
+  const auto profile = synthetic(two_lines(), target);
+  const auto pairs = core::spread_pairs(profile, 0.2, 500);
+  HyperbolaConfig cfg;
+  cfg.initial_guess = {0.0, 0.5, 0.0};
+  const auto r = locate_hyperbola(profile, pairs, cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-5);
+  EXPECT_NEAR(r.rms_residual, 0.0, 1e-6);
+}
+
+TEST(Hyperbola, NoisyDataCentimetreAccuracy) {
+  const Vec3 target{0.0, 0.9, 0.0};
+  const auto profile = synthetic(two_lines(), target, 0.1, 9);
+  const auto pairs = core::spread_pairs(profile, 0.2, 800);
+  HyperbolaConfig cfg;
+  cfg.initial_guess = {0.1, 0.6, 0.0};
+  const auto r = locate_hyperbola(profile, pairs, cfg);
+  EXPECT_LT(linalg::distance(r.position, target), 0.03);
+}
+
+TEST(Hyperbola, InsensitiveToReasonableInitialGuess) {
+  const Vec3 target{-0.1, 0.7, 0.0};
+  const auto profile = synthetic(two_lines(), target);
+  const auto pairs = core::spread_pairs(profile, 0.2, 500);
+  for (const Vec3 guess : {Vec3{0.0, 0.3, 0.0}, Vec3{0.3, 1.2, 0.0},
+                           Vec3{-0.4, 0.5, 0.0}}) {
+    HyperbolaConfig cfg;
+    cfg.initial_guess = guess;
+    const auto r = locate_hyperbola(profile, pairs, cfg);
+    EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-4);
+  }
+}
+
+TEST(Hyperbola, PlanarFlagKeepsZFixed) {
+  const Vec3 target{0.0, 0.8, 0.0};
+  const auto profile = synthetic(two_lines(), target);
+  const auto pairs = core::spread_pairs(profile, 0.2, 300);
+  HyperbolaConfig cfg;
+  cfg.initial_guess = {0.0, 0.5, 0.123};
+  cfg.planar = true;
+  const auto r = locate_hyperbola(profile, pairs, cfg);
+  EXPECT_DOUBLE_EQ(r.position[2], 0.123);
+}
+
+TEST(Hyperbola, ThreeDSolveWithThreeLineScan) {
+  std::vector<Vec3> ps;
+  for (double x = -0.5; x <= 0.5 + 1e-12; x += 0.01) {
+    ps.push_back({x, 0.0, 0.0});
+    ps.push_back({x, 0.0, 0.2});
+    ps.push_back({x, -0.2, 0.0});
+  }
+  const Vec3 target{0.0, 0.8, 0.1};
+  const auto profile = synthetic(ps, target);
+  const auto pairs = core::spread_pairs(profile, 0.2, 800);
+  HyperbolaConfig cfg;
+  cfg.initial_guess = {0.0, 0.5, 0.0};
+  cfg.planar = false;
+  const auto r = locate_hyperbola(profile, pairs, cfg);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-4);
+}
+
+TEST(Hyperbola, IterationsReported) {
+  const auto profile = synthetic(two_lines(), {0.0, 0.8, 0.0});
+  const auto pairs = core::spread_pairs(profile, 0.2, 200);
+  HyperbolaConfig cfg;
+  cfg.initial_guess = {0.2, 0.4, 0.0};
+  const auto r = locate_hyperbola(profile, pairs, cfg);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_LE(r.iterations, cfg.max_iterations);
+}
+
+TEST(Hyperbola, ValidatesArguments) {
+  const auto profile = synthetic(two_lines(), {0.0, 0.8, 0.0});
+  HyperbolaConfig cfg;
+  EXPECT_THROW(locate_hyperbola(profile, {}, cfg), std::invalid_argument);
+  cfg.reference_index = 99999;
+  EXPECT_THROW(
+      locate_hyperbola(profile, core::spread_pairs(profile, 0.2, 10), cfg),
+      std::invalid_argument);
+}
+
+TEST(Hyperbola, IterationCapStopsSolver) {
+  const auto profile = synthetic(two_lines(), {0.0, 0.8, 0.0}, 0.1, 4);
+  const auto pairs = core::spread_pairs(profile, 0.2, 200);
+  HyperbolaConfig cfg;
+  cfg.initial_guess = {0.0, 0.4, 0.0};
+  cfg.max_iterations = 2;
+  cfg.tolerance = 0.0;  // can never converge by tolerance
+  const auto r = locate_hyperbola(profile, pairs, cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 2u);
+}
+
+}  // namespace
+}  // namespace lion::baseline

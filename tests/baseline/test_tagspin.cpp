@@ -1,0 +1,117 @@
+#include "baseline/tagspin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::baseline {
+namespace {
+
+signal::PhaseProfile circular_scan(const Vec3& center, double radius,
+                                   const Vec3& target, double sigma = 0.0,
+                                   std::uint64_t seed = 1,
+                                   std::size_t n = 180) {
+  rf::Rng rng(seed);
+  signal::PhaseProfile p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rf::kTwoPi * static_cast<double>(i) /
+                     static_cast<double>(n);
+    const Vec3 pos = center + Vec3{radius * std::cos(a),
+                                   radius * std::sin(a), 0.0};
+    const double d = linalg::distance(pos, target);
+    p.push_back(
+        {pos, rf::distance_phase(d) + 0.2 + rng.gaussian(sigma), 0.0});
+  }
+  return p;
+}
+
+TEST(Tagspin, RecoversBearingAndRange) {
+  const Vec3 center{0.0, 0.0, 0.0};
+  const Vec3 target{0.0, 0.7, 0.0};  // bearing pi/2, range 0.7
+  const auto profile = circular_scan(center, 0.15, target);
+  const auto r = locate_tagspin(profile, {});
+  EXPECT_NEAR(r.range, 0.7, 0.02);
+  EXPECT_LT(linalg::distance(r.position, target), 0.03);
+}
+
+TEST(Tagspin, WorksForVariousBearings) {
+  const Vec3 center{0.0, 0.0, 0.0};
+  for (double bearing : {0.0, 1.0, 2.5, 4.0}) {
+    const Vec3 target{0.8 * std::cos(bearing), 0.8 * std::sin(bearing), 0.0};
+    const auto profile = circular_scan(center, 0.15, target, 0.0,
+                                       7 + static_cast<std::uint64_t>(
+                                               bearing * 10));
+    const auto r = locate_tagspin(profile, {});
+    EXPECT_LT(linalg::distance(r.position, target), 0.05)
+        << "bearing " << bearing;
+  }
+}
+
+TEST(Tagspin, LargerRadiusImprovesAccuracy) {
+  // Same noise, two rotation radii: the larger radius gives more phase
+  // leverage (the paper's Fig. 21 trend).
+  const Vec3 center{0.0, 0.0, 0.0};
+  const Vec3 target{0.0, 0.7, 0.0};
+  double err_small = 0.0;
+  double err_large = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto small = circular_scan(center, 0.05, target, 0.1, seed);
+    const auto large = circular_scan(center, 0.20, target, 0.1, seed);
+    err_small += linalg::distance(locate_tagspin(small, {}).position, target);
+    err_large += linalg::distance(locate_tagspin(large, {}).position, target);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(Tagspin, NoisyScanStillDecimetreOrBetter) {
+  const Vec3 center{0.0, 0.0, 0.0};
+  const Vec3 target{0.3, 0.6, 0.0};
+  const auto profile = circular_scan(center, 0.2, target, 0.1, 21);
+  const auto r = locate_tagspin(profile, {});
+  EXPECT_LT(linalg::distance(r.position, target), 0.1);
+}
+
+TEST(Tagspin, RejectsNonCircularScan) {
+  signal::PhaseProfile line;
+  for (double x = -0.3; x <= 0.3; x += 0.01) {
+    line.push_back({{x, 0.0, 0.0}, 0.0, 0.0});
+  }
+  EXPECT_THROW(locate_tagspin(line, {}), std::invalid_argument);
+}
+
+TEST(Tagspin, RejectsEllipticalScan) {
+  signal::PhaseProfile ellipse;
+  for (int i = 0; i < 90; ++i) {
+    const double a = rf::kTwoPi * i / 90.0;
+    ellipse.push_back({{0.3 * std::cos(a), 0.1 * std::sin(a), 0.0}, 0.0, 0.0});
+  }
+  EXPECT_THROW(locate_tagspin(ellipse, {}), std::invalid_argument);
+}
+
+TEST(Tagspin, RejectsTooFewSamples) {
+  signal::PhaseProfile tiny;
+  for (int i = 0; i < 5; ++i) {
+    const double a = rf::kTwoPi * i / 5.0;
+    tiny.push_back({{0.2 * std::cos(a), 0.2 * std::sin(a), 0.0}, 0.0, 0.0});
+  }
+  EXPECT_THROW(locate_tagspin(tiny, {}), std::invalid_argument);
+}
+
+TEST(Tagspin, RangeBracketRespected) {
+  const Vec3 center{0.0, 0.0, 0.0};
+  const Vec3 target{0.0, 0.9, 0.0};
+  const auto profile = circular_scan(center, 0.15, target);
+  TagspinConfig cfg;
+  cfg.min_range = 0.3;
+  cfg.max_range = 2.0;
+  const auto r = locate_tagspin(profile, cfg);
+  EXPECT_GE(r.range, 0.3);
+  EXPECT_LE(r.range, 2.0);
+}
+
+}  // namespace
+}  // namespace lion::baseline

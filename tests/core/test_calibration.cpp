@@ -1,0 +1,146 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion::core {
+namespace {
+
+using linalg::Vec3;
+
+// A full simulated calibration scan for one antenna.
+struct CalScan {
+  sim::Scenario scenario;
+  std::vector<sim::PhaseSample> samples;
+  signal::PhaseProfile profile;
+};
+
+CalScan make_scan(std::uint64_t seed,
+                  sim::EnvironmentKind env = sim::EnvironmentKind::kLabClean) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(env)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(seed)
+                      .build();
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  auto samples = scenario.sweep(0, 0, rig.build());
+  auto profile = signal::preprocess(samples);
+  return {std::move(scenario), std::move(samples), std::move(profile)};
+}
+
+TEST(CenterCalibration, RecoversHiddenDisplacement) {
+  auto scan = make_scan(11);
+  const auto& antenna = scan.scenario.antennas()[0];
+  const auto cal = calibrate_phase_center(scan.profile,
+                                          antenna.physical_center, {});
+  const double err =
+      linalg::distance(cal.estimated_center, antenna.phase_center());
+  EXPECT_LT(err, 0.02) << "estimated " << cal.estimated_center;
+  // The displacement estimate must clearly beat the no-calibration
+  // assumption (displacement zero, i.e. error = true displacement norm).
+  EXPECT_LT(err, antenna.phase_center_displacement.norm());
+}
+
+TEST(CenterCalibration, DisplacementIsEstimateMinusPhysical) {
+  auto scan = make_scan(12);
+  const auto& antenna = scan.scenario.antennas()[0];
+  const auto cal = calibrate_phase_center(scan.profile,
+                                          antenna.physical_center, {});
+  const Vec3 expected = cal.estimated_center - antenna.physical_center;
+  EXPECT_NEAR(linalg::distance(cal.displacement, expected), 0.0, 1e-12);
+}
+
+TEST(CenterCalibration, DetailsExposeAdaptiveSweep) {
+  auto scan = make_scan(13);
+  const auto cal = calibrate_phase_center(
+      scan.profile, scan.scenario.antennas()[0].physical_center, {});
+  EXPECT_FALSE(cal.details.candidates.empty());
+  EXPECT_FALSE(cal.details.selected.empty());
+  EXPECT_GT(cal.details.best_range, 0.0);
+}
+
+TEST(CenterCalibration, PhysicalCenterActsAsSideHint) {
+  // Even with no explicit hint, the estimate must land on the antenna's
+  // side of the rig (positive y), not the mirror side.
+  auto scan = make_scan(14);
+  const auto cal = calibrate_phase_center(
+      scan.profile, scan.scenario.antennas()[0].physical_center, {});
+  EXPECT_GT(cal.estimated_center[1], 0.0);
+}
+
+TEST(OffsetCalibration, RecoversCombinedHardwareOffset) {
+  auto scan = make_scan(15);
+  const auto& antenna = scan.scenario.antennas()[0];
+  const auto& tag = scan.scenario.tags()[0];
+  // Use the true phase center: isolates the offset-estimation error.
+  const double offset =
+      calibrate_phase_offset(scan.samples, antenna.phase_center());
+  const double truth =
+      rf::wrap_phase(antenna.reader_offset_rad + tag.tag_offset_rad);
+  EXPECT_LT(rf::circular_distance(offset, truth), 0.25);
+}
+
+TEST(OffsetCalibration, CenterErrorDegradesOffset) {
+  auto scan = make_scan(16);
+  const auto& antenna = scan.scenario.antennas()[0];
+  const double good =
+      calibrate_phase_offset(scan.samples, antenna.phase_center());
+  const double bad = calibrate_phase_offset(
+      scan.samples, antenna.phase_center() + Vec3{0.0, 0.05, 0.0});
+  const double truth = rf::wrap_phase(antenna.reader_offset_rad +
+                                      scan.scenario.tags()[0].tag_offset_rad);
+  EXPECT_LT(rf::circular_distance(good, truth),
+            rf::circular_distance(bad, truth) + 0.2);
+}
+
+TEST(OffsetCalibration, ResultInCircle) {
+  auto scan = make_scan(17);
+  const double offset = calibrate_phase_offset(
+      scan.samples, scan.scenario.antennas()[0].phase_center());
+  EXPECT_GE(offset, 0.0);
+  EXPECT_LT(offset, rf::kTwoPi);
+}
+
+TEST(OffsetCalibration, ThrowsOnEmptySamples) {
+  EXPECT_THROW(calibrate_phase_offset({}, Vec3{}), std::invalid_argument);
+}
+
+TEST(RelativeOffset, CancelsSharedTagContribution) {
+  // Two antennas calibrated with the same tag: the difference of offsets
+  // equals the difference of reader offsets (theta_T cancels).
+  AntennaCalibration a;
+  a.phase_offset = rf::wrap_phase(1.0 + 2.5);  // theta_T=1.0, theta_R=2.5
+  AntennaCalibration b;
+  b.phase_offset = rf::wrap_phase(1.0 + 0.7);
+  EXPECT_NEAR(relative_offset(a, b), rf::wrap_phase(2.5 - 0.7), 1e-12);
+}
+
+TEST(RemoveOffset, InvertsEquationOne) {
+  const double d = 1.23;
+  const double offset = 2.2;
+  const double measured = rf::reported_phase(d, offset, 0.0);
+  const double corrected = remove_offset(measured, offset);
+  EXPECT_NEAR(corrected, rf::wrap_phase(rf::distance_phase(d)), 1e-12);
+}
+
+TEST(RemoveOffset, ResultAlwaysWrapped) {
+  for (double m = 0.0; m < rf::kTwoPi; m += 0.7) {
+    for (double o = 0.0; o < rf::kTwoPi; o += 0.9) {
+      const double c = remove_offset(m, o);
+      EXPECT_GE(c, 0.0);
+      EXPECT_LT(c, rf::kTwoPi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lion::core

@@ -1,0 +1,156 @@
+#include "core/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lion::core {
+namespace {
+
+signal::PhaseProfile points(std::initializer_list<Vec3> ps) {
+  signal::PhaseProfile p;
+  for (const auto& v : ps) p.push_back({v, 0.0, 0.0});
+  return p;
+}
+
+signal::PhaseProfile line_along(const Vec3& dir, const Vec3& origin,
+                                int n = 21) {
+  signal::PhaseProfile p;
+  for (int i = 0; i < n; ++i) {
+    const double s = -0.5 + static_cast<double>(i) / (n - 1);
+    p.push_back({origin + s * dir, 0.0, 0.0});
+  }
+  return p;
+}
+
+TEST(Frame, LineAlongXHasRankOne) {
+  const auto f = analyze_frame(line_along({1.0, 0.0, 0.0}, {}), 2);
+  EXPECT_EQ(f.rank, 1u);
+  ASSERT_EQ(f.axes.size(), 1u);
+  EXPECT_NEAR(std::abs(f.axes[0][0]), 1.0, 1e-9);
+}
+
+TEST(Frame, DiagonalLineInPlaneHasRankOne) {
+  const auto f = analyze_frame(line_along({1.0, 1.0, 0.0}, {}), 2);
+  EXPECT_EQ(f.rank, 1u);
+  EXPECT_NEAR(std::abs(f.axes[0][0]), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(std::abs(f.axes[0][1]), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Frame, PlanarScatterHasRankTwoIn2D) {
+  const auto p = points({{0.0, 0.0, 0.0},
+                         {1.0, 0.0, 0.0},
+                         {0.0, 1.0, 0.0},
+                         {1.0, 1.0, 0.0},
+                         {0.5, 0.3, 0.0}});
+  const auto f = analyze_frame(p, 2);
+  EXPECT_EQ(f.rank, 2u);
+  EXPECT_FALSE(f.has_perpendicular);
+}
+
+TEST(Frame, PlanarScatterHasRankTwoIn3DWithNormal) {
+  const auto p = points({{0.0, 0.0, 0.0},
+                         {1.0, 0.0, 0.0},
+                         {0.0, 1.0, 0.0},
+                         {1.0, 1.0, 0.0},
+                         {0.4, 0.7, 0.0}});
+  const auto f = analyze_frame(p, 3);
+  EXPECT_EQ(f.rank, 2u);
+  ASSERT_TRUE(f.has_perpendicular);
+  EXPECT_NEAR(std::abs(f.perpendicular[2]), 1.0, 1e-9);
+}
+
+TEST(Frame, LinearScanIn2DGetsInPlaneNormal) {
+  const auto f = analyze_frame(line_along({1.0, 0.0, 0.0}, {}), 2);
+  ASSERT_TRUE(f.has_perpendicular);
+  EXPECT_NEAR(std::abs(f.perpendicular[1]), 1.0, 1e-9);
+  EXPECT_NEAR(f.perpendicular[2], 0.0, 1e-12);
+}
+
+TEST(Frame, FullRank3DScatter) {
+  const auto p = points({{0.0, 0.0, 0.0},
+                         {1.0, 0.0, 0.0},
+                         {0.0, 1.0, 0.0},
+                         {0.0, 0.0, 1.0},
+                         {1.0, 1.0, 1.0}});
+  const auto f = analyze_frame(p, 3);
+  EXPECT_EQ(f.rank, 3u);
+  EXPECT_FALSE(f.has_perpendicular);
+}
+
+TEST(Frame, LineIn3DIsRankOneNoPerpendicular) {
+  // Deficit of 2: no unique perpendicular.
+  const auto f = analyze_frame(line_along({1.0, 0.0, 0.0}, {}), 3);
+  EXPECT_EQ(f.rank, 1u);
+  EXPECT_FALSE(f.has_perpendicular);
+}
+
+TEST(Frame, CentroidIsMean) {
+  const auto p = points({{0.0, 0.0, 0.0}, {2.0, 4.0, 6.0}});
+  const auto f = analyze_frame(p, 3);
+  EXPECT_NEAR(f.centroid[0], 1.0, 1e-12);
+  EXPECT_NEAR(f.centroid[1], 2.0, 1e-12);
+  EXPECT_NEAR(f.centroid[2], 3.0, 1e-12);
+}
+
+TEST(Frame, ToLocalFromLocalRoundTrip) {
+  const auto p = points({{0.0, 0.0, 0.0},
+                         {1.0, 0.2, 0.0},
+                         {0.3, 1.0, 0.0},
+                         {0.9, 0.8, 0.0}});
+  const auto f = analyze_frame(p, 2);
+  ASSERT_EQ(f.rank, 2u);
+  for (const auto& pt : p) {
+    const auto local = f.to_local(pt.position);
+    const Vec3 back = f.from_local(local);
+    EXPECT_NEAR(linalg::distance(back, pt.position), 0.0, 1e-9);
+  }
+}
+
+TEST(Frame, FromLocalPerpendicularOffset) {
+  const auto f = analyze_frame(line_along({1.0, 0.0, 0.0}, {}), 2);
+  ASSERT_TRUE(f.has_perpendicular);
+  const Vec3 p = f.from_local({0.1}, 0.5);
+  // 0.5 m off the x-axis line in the y direction (sign of normal may vary).
+  EXPECT_NEAR(std::abs(p[1]), 0.5, 1e-9);
+}
+
+TEST(Frame, FromLocalSizeMismatchThrows) {
+  const auto f = analyze_frame(line_along({1.0, 0.0, 0.0}, {}), 2);
+  EXPECT_THROW(f.from_local({0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(Frame, SpreadReflectsExtent) {
+  const auto f = analyze_frame(line_along({1.0, 0.0, 0.0}, {}, 101), 2);
+  ASSERT_EQ(f.spread.size(), 1u);
+  // RMS of uniform [-0.5, 0.5] is ~0.29.
+  EXPECT_NEAR(f.spread[0], 0.29, 0.03);
+}
+
+TEST(Frame, ValidatesArguments) {
+  const auto p = line_along({1.0, 0.0, 0.0}, {});
+  EXPECT_THROW(analyze_frame(p, 1), std::invalid_argument);
+  EXPECT_THROW(analyze_frame(p, 4), std::invalid_argument);
+  EXPECT_THROW(analyze_frame({}, 2), std::invalid_argument);
+  EXPECT_THROW(analyze_frame(points({{1.0, 1.0, 1.0}}), 2),
+               std::invalid_argument);
+}
+
+TEST(Frame, AxesAreOrthonormal) {
+  const auto p = points({{0.0, 0.0, 0.0},
+                         {1.0, 0.1, 0.0},
+                         {0.2, 1.0, 0.3},
+                         {0.8, 0.9, 0.7},
+                         {0.4, 0.2, 0.9}});
+  const auto f = analyze_frame(p, 3);
+  for (std::size_t i = 0; i < f.axes.size(); ++i) {
+    EXPECT_NEAR(f.axes[i].norm(), 1.0, 1e-9);
+    for (std::size_t j = i + 1; j < f.axes.size(); ++j) {
+      EXPECT_NEAR(f.axes[i].dot(f.axes[j]), 0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lion::core

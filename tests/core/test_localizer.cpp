@@ -1,0 +1,286 @@
+#include "core/localizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::core {
+namespace {
+
+using linalg::Vec3;
+
+signal::PhaseProfile synthetic(const std::vector<Vec3>& positions,
+                               const Vec3& target, double noise_sigma = 0.0,
+                               std::uint64_t seed = 1) {
+  rf::Rng rng(seed);
+  signal::PhaseProfile p;
+  for (const auto& pos : positions) {
+    const double d = linalg::distance(pos, target);
+    p.push_back(
+        {pos, rf::distance_phase(d) + 0.777 + rng.gaussian(noise_sigma), 0.0});
+  }
+  return p;
+}
+
+std::vector<Vec3> dense_line(double x0, double x1, double y, double z,
+                             double step = 0.005) {
+  std::vector<Vec3> ps;
+  for (double x = x0; x <= x1 + 1e-12; x += step) ps.push_back({x, y, z});
+  return ps;
+}
+
+std::vector<Vec3> two_lines_2d() {
+  auto ps = dense_line(-0.5, 0.5, 0.0, 0.0);
+  const auto second = dense_line(-0.5, 0.5, -0.2, 0.0);
+  ps.insert(ps.end(), second.begin(), second.end());
+  return ps;
+}
+
+TEST(Localizer, FullRank2DNoiselessIsExact) {
+  const Vec3 target{0.2, 0.9, 0.0};
+  const auto profile = synthetic(two_lines_2d(), target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.method = SolveMethod::kLeastSquares;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-6);
+  EXPECT_EQ(r.trajectory_rank, 2u);
+  EXPECT_FALSE(r.perpendicular_recovered);
+  EXPECT_NEAR(r.rms_residual, 0.0, 1e-9);
+}
+
+TEST(Localizer, ReferenceDistanceMatchesGeometry) {
+  const Vec3 target{0.0, 0.8, 0.0};
+  const auto profile = synthetic(two_lines_2d(), target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.reference_index = 0;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_NEAR(r.reference_distance,
+              linalg::distance(target, profile[0].position), 1e-6);
+}
+
+TEST(Localizer, LowerDimension2DLinearTrajectory) {
+  // The paper's Fig. 9 setup: tag on the x-axis, antenna at (0.2, 1).
+  const Vec3 target{0.2, 1.0, 0.0};
+  const auto profile = synthetic(dense_line(-0.3, 0.3, 0.0, 0.0), target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.side_hint = Vec3{0.0, 0.5, 0.0};
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_TRUE(r.perpendicular_recovered);
+  EXPECT_EQ(r.trajectory_rank, 1u);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-5);
+}
+
+TEST(Localizer, SideHintPicksCorrectHalfPlane) {
+  const Vec3 target{0.2, -1.0, 0.0};  // below the scan line
+  const auto profile = synthetic(dense_line(-0.3, 0.3, 0.0, 0.0), target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.side_hint = Vec3{0.0, -0.5, 0.0};
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-5);
+}
+
+TEST(Localizer, WithoutHintReturnsOneOfTheMirrorSolutions) {
+  const Vec3 target{0.1, 0.9, 0.0};
+  const Vec3 mirror{0.1, -0.9, 0.0};
+  const auto profile = synthetic(dense_line(-0.3, 0.3, 0.0, 0.0), target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  const double err_t = linalg::distance(r.position, target);
+  const double err_m = linalg::distance(r.position, mirror);
+  EXPECT_LT(std::min(err_t, err_m), 1e-5);
+}
+
+TEST(Localizer, ThreeDFullRankThreeLines) {
+  std::vector<Vec3> ps = dense_line(-0.5, 0.5, 0.0, 0.0);
+  const auto l2 = dense_line(-0.5, 0.5, 0.0, 0.2);
+  const auto l3 = dense_line(-0.5, 0.5, -0.2, 0.0);
+  ps.insert(ps.end(), l2.begin(), l2.end());
+  ps.insert(ps.end(), l3.begin(), l3.end());
+  const Vec3 target{0.05, 0.8, 0.1};
+  const auto profile = synthetic(ps, target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 3;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_EQ(r.trajectory_rank, 3u);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-4);
+}
+
+TEST(Localizer, ThreeDPlanarTrajectoryRecoversZ) {
+  // Two lines in the z=0 plane; target above the plane.
+  const Vec3 target{0.0, 0.8, 0.25};
+  const auto profile = synthetic(two_lines_2d(), target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 3;
+  cfg.side_hint = Vec3{0.0, 0.0, 1.0};
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_TRUE(r.perpendicular_recovered);
+  EXPECT_EQ(r.trajectory_rank, 2u);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-4);
+}
+
+TEST(Localizer, SingleLineCannotGive3DFix) {
+  const auto profile =
+      synthetic(dense_line(-0.5, 0.5, 0.0, 0.0), {0.0, 1.0, 0.0});
+  LocalizerConfig cfg;
+  cfg.target_dim = 3;
+  EXPECT_THROW(LinearLocalizer(cfg).locate(profile), std::invalid_argument);
+}
+
+TEST(Localizer, NoisyDataStillAccurate) {
+  // The paper's simulation default: N(0, 0.1) phase noise.
+  const Vec3 target{0.0, 1.0, 0.0};
+  const auto profile = synthetic(two_lines_2d(), target, 0.1, 77);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.method = SolveMethod::kWeightedLeastSquares;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_LT(linalg::distance(r.position, target), 0.03);
+}
+
+TEST(Localizer, WlsIterationCountReported) {
+  const auto profile = synthetic(two_lines_2d(), {0.0, 0.8, 0.0}, 0.05);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.method = SolveMethod::kWeightedLeastSquares;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_EQ(r.solver_iterations, 1u);
+}
+
+TEST(Localizer, IrlsRunsMultipleIterations) {
+  const auto profile = synthetic(two_lines_2d(), {0.0, 0.8, 0.0}, 0.1, 5);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.method = SolveMethod::kIterativeReweighted;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_GE(r.solver_iterations, 1u);
+}
+
+TEST(Localizer, EquationsCountReported) {
+  const auto profile = synthetic(two_lines_2d(), {0.0, 0.8, 0.0});
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_GT(r.equations, 10u);
+}
+
+TEST(Localizer, CustomPairsPath) {
+  const auto profile = synthetic(two_lines_2d(), {0.1, 0.7, 0.0});
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto pairs = spread_pairs(profile, 0.2, 300);
+  const auto r = LinearLocalizer(cfg).locate_with_pairs(profile, pairs);
+  EXPECT_NEAR(linalg::distance(r.position, {0.1, 0.7, 0.0}), 0.0, 1e-5);
+}
+
+TEST(Localizer, ValidatesConfig) {
+  LocalizerConfig bad_dim;
+  bad_dim.target_dim = 4;
+  EXPECT_THROW(LinearLocalizer{bad_dim}, std::invalid_argument);
+  LocalizerConfig bad_wl;
+  bad_wl.wavelength = 0.0;
+  EXPECT_THROW(LinearLocalizer{bad_wl}, std::invalid_argument);
+  LocalizerConfig bad_int;
+  bad_int.pair_interval = -1.0;
+  EXPECT_THROW(LinearLocalizer{bad_int}, std::invalid_argument);
+}
+
+TEST(Localizer, ThrowsOnTinyProfile) {
+  LocalizerConfig cfg;
+  signal::PhaseProfile tiny{{{0.0, 0.0, 0.0}, 0.0, 0.0},
+                            {{0.1, 0.0, 0.0}, 0.1, 0.0}};
+  EXPECT_THROW(LinearLocalizer(cfg).locate(tiny), std::invalid_argument);
+}
+
+TEST(Localizer, ThrowsWhenNoPairsFit) {
+  const auto profile = synthetic(dense_line(-0.05, 0.05, 0.0, 0.0),
+                                 {0.0, 1.0, 0.0});
+  LocalizerConfig cfg;
+  cfg.pair_interval = 0.5;  // longer than the whole scan
+  EXPECT_THROW(LinearLocalizer(cfg).locate(profile), std::invalid_argument);
+}
+
+TEST(Localizer, SolveMethodNames) {
+  EXPECT_EQ(std::string(solve_method_name(SolveMethod::kLeastSquares)), "LS");
+  EXPECT_EQ(std::string(solve_method_name(SolveMethod::kWeightedLeastSquares)),
+            "WLS");
+  EXPECT_EQ(std::string(solve_method_name(SolveMethod::kIterativeReweighted)),
+            "IRLS");
+}
+
+TEST(Localizer, SigmaNearZeroOnNoiselessData) {
+  const auto profile = synthetic(two_lines_2d(), {0.1, 0.8, 0.0});
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  ASSERT_EQ(r.sigma.size(), 3u);  // x, y, d_r
+  EXPECT_LT(r.position_sigma, 1e-6);
+}
+
+TEST(Localizer, SigmaGrowsWithNoise) {
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto quiet_r = LinearLocalizer(cfg).locate(
+      synthetic(two_lines_2d(), {0.1, 0.8, 0.0}, 0.02, 9));
+  const auto loud_r = LinearLocalizer(cfg).locate(
+      synthetic(two_lines_2d(), {0.1, 0.8, 0.0}, 0.2, 9));
+  EXPECT_GT(loud_r.position_sigma, 3.0 * quiet_r.position_sigma);
+}
+
+TEST(Localizer, SigmaPredictsActualErrorScale) {
+  // The reported one-sigma should be within an order of magnitude of the
+  // realized error, averaged over trials.
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const Vec3 target{0.0, 0.8, 0.0};
+  double err_sum = 0.0;
+  double sigma_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto r = LinearLocalizer(cfg).locate(
+        synthetic(two_lines_2d(), target, 0.1, seed));
+    err_sum += linalg::distance(r.position, target);
+    sigma_sum += r.position_sigma;
+  }
+  EXPECT_GT(sigma_sum, 0.1 * err_sum);
+  EXPECT_LT(sigma_sum, 10.0 * err_sum);
+}
+
+TEST(Localizer, SigmaGrowsWithDepth) {
+  // Geometric dilution: a farther target is less constrained by the same
+  // scan, so the predicted uncertainty must grow.
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto near_r = LinearLocalizer(cfg).locate(
+      synthetic(two_lines_2d(), {0.0, 0.6, 0.0}, 0.1, 3));
+  const auto far_r = LinearLocalizer(cfg).locate(
+      synthetic(two_lines_2d(), {0.0, 1.6, 0.0}, 0.1, 3));
+  EXPECT_GT(far_r.position_sigma, near_r.position_sigma);
+}
+
+TEST(Localizer, CircularTrajectory2D) {
+  // Fig. 6 setup: circle of radius 0.3 m, antenna 1 m away.
+  std::vector<Vec3> ps;
+  for (int i = 0; i < 120; ++i) {
+    const double a = rf::kTwoPi * i / 120.0;
+    ps.push_back({0.3 * std::cos(a), 0.3 * std::sin(a), 0.0});
+  }
+  const Vec3 target{1.0, 0.0, 0.0};
+  const auto profile = synthetic(ps, target);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.pair_interval = 0.25;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_NEAR(linalg::distance(r.position, target), 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace lion::core

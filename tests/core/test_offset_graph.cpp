@@ -1,0 +1,144 @@
+#include "core/offset_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::core {
+namespace {
+
+using linalg::Matrix;
+
+// Build a wrapped Theta[a][t] = rho_a + tau_t (+ noise) grid.
+Matrix make_grid(const std::vector<double>& rho, const std::vector<double>& tau,
+                 double sigma = 0.0, std::uint64_t seed = 1) {
+  rf::Rng rng(seed);
+  Matrix m(rho.size(), tau.size());
+  for (std::size_t a = 0; a < rho.size(); ++a) {
+    for (std::size_t t = 0; t < tau.size(); ++t) {
+      m(a, t) = rf::wrap_phase(rho[a] + tau[t] + rng.gaussian(sigma));
+    }
+  }
+  return m;
+}
+
+// Compare decomposition to truth up to the gauge (tau_0 = 0 convention).
+void expect_matches(const OffsetDecomposition& d,
+                    const std::vector<double>& rho,
+                    const std::vector<double>& tau, double tol) {
+  // Gauge-align the truth: shift so tau[0] -> 0.
+  const double gauge = tau[0];
+  for (std::size_t a = 0; a < rho.size(); ++a) {
+    EXPECT_LT(rf::circular_distance(d.antenna_offsets[a],
+                                    rf::wrap_phase(rho[a] + gauge)),
+              tol)
+        << "antenna " << a;
+  }
+  for (std::size_t t = 0; t < tau.size(); ++t) {
+    EXPECT_LT(rf::circular_distance(d.tag_offsets[t],
+                                    rf::wrap_phase(tau[t] - gauge)),
+              tol)
+        << "tag " << t;
+  }
+}
+
+TEST(OffsetGraph, ExactRecoveryNoiseless) {
+  const std::vector<double> rho{0.5, 2.7, 4.1, 5.9};
+  const std::vector<double> tau{1.1, 3.3, 0.2};
+  const auto d = decompose_offsets(make_grid(rho, tau));
+  expect_matches(d, rho, tau, 1e-9);
+  EXPECT_LT(d.rms_residual, 1e-9);
+}
+
+TEST(OffsetGraph, GaugeConventionTagZeroIsZero) {
+  const auto d = decompose_offsets(make_grid({1.0, 2.0}, {0.7, 1.9}));
+  EXPECT_NEAR(d.tag_offsets[0], 0.0, 1e-9);
+}
+
+TEST(OffsetGraph, HandlesWrapAroundValues) {
+  // Offsets straddling the 0/2*pi seam must not break the circular means.
+  const std::vector<double> rho{6.2, 0.1};
+  const std::vector<double> tau{6.1, 0.2};
+  const auto d = decompose_offsets(make_grid(rho, tau));
+  expect_matches(d, rho, tau, 1e-9);
+}
+
+TEST(OffsetGraph, NoiseAveragesDown) {
+  const std::vector<double> rho{0.5, 2.7, 4.1, 5.9};
+  const std::vector<double> tau{1.1, 3.3, 0.2, 2.8};
+  const auto d = decompose_offsets(make_grid(rho, tau, 0.05, 7));
+  // 4 measurements per node at sigma 0.05: expect ~0.03 rad accuracy.
+  expect_matches(d, rho, tau, 0.08);
+  EXPECT_LT(d.rms_residual, 0.1);
+}
+
+TEST(OffsetGraph, MissingPairsTolerated) {
+  const std::vector<double> rho{0.5, 2.7, 4.1};
+  const std::vector<double> tau{1.1, 3.3};
+  Matrix m = make_grid(rho, tau);
+  m(1, 0) = kMissingOffset;  // one pair skipped; graph stays connected
+  const auto d = decompose_offsets(m);
+  expect_matches(d, rho, tau, 1e-9);
+}
+
+TEST(OffsetGraph, PredictedPairOffsetConsistent) {
+  const std::vector<double> rho{0.5, 2.7};
+  const std::vector<double> tau{1.1, 3.3};
+  const auto m = make_grid(rho, tau);
+  const auto d = decompose_offsets(m);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t t = 0; t < 2; ++t) {
+      EXPECT_LT(rf::circular_distance(predicted_pair_offset(d, a, t), m(a, t)),
+                1e-9);
+    }
+  }
+}
+
+TEST(OffsetGraph, RejectsEmptyMatrix) {
+  EXPECT_THROW(decompose_offsets(Matrix()), std::invalid_argument);
+}
+
+TEST(OffsetGraph, RejectsAntennaWithoutPairs) {
+  Matrix m = make_grid({1.0, 2.0}, {0.5});
+  m(1, 0) = kMissingOffset;
+  EXPECT_THROW(decompose_offsets(m), std::invalid_argument);
+}
+
+TEST(OffsetGraph, RejectsTagWithoutPairs) {
+  Matrix m = make_grid({1.0}, {0.5, 1.5});
+  m(0, 1) = kMissingOffset;
+  EXPECT_THROW(decompose_offsets(m), std::invalid_argument);
+}
+
+TEST(OffsetGraph, RejectsDisconnectedGraph) {
+  // Two independent blocks: {A0,T0} and {A1,T1}.
+  Matrix m(2, 2, kMissingOffset);
+  m(0, 0) = 1.0;
+  m(1, 1) = 2.0;
+  EXPECT_THROW(decompose_offsets(m), std::invalid_argument);
+}
+
+TEST(OffsetGraph, ReportsIterations) {
+  const auto d = decompose_offsets(make_grid({1.0, 2.0}, {0.5, 1.5}));
+  EXPECT_GE(d.iterations, 1u);
+}
+
+TEST(OffsetGraph, RelativeAntennaOffsetsGaugeFree) {
+  // The *difference* between antenna offsets must match truth regardless of
+  // gauge — this is what multi-antenna localization consumes.
+  const std::vector<double> rho{0.9, 4.4, 2.2};
+  const std::vector<double> tau{2.0, 5.1};
+  const auto d = decompose_offsets(make_grid(rho, tau, 0.02, 3));
+  for (std::size_t a = 1; a < 3; ++a) {
+    const double est = rf::wrap_phase(d.antenna_offsets[a] -
+                                      d.antenna_offsets[0]);
+    const double truth = rf::wrap_phase(rho[a] - rho[0]);
+    EXPECT_LT(rf::circular_distance(est, truth), 0.06);
+  }
+}
+
+}  // namespace
+}  // namespace lion::core

@@ -1,0 +1,158 @@
+#include "core/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion::core {
+namespace {
+
+using linalg::Vec3;
+
+struct Rig {
+  sim::Scenario scenario;
+  Vec3 center;
+  Vec3 start;
+  std::vector<sim::PhaseSample> samples;
+};
+
+Rig make_rig(std::uint64_t seed, const Vec3& start = {-0.45, 0.0, 0.0}) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(seed)
+                      .build();
+  const Vec3 center = scenario.antennas()[0].phase_center();
+  auto samples = scenario.sweep(
+      0, 0, sim::LinearTrajectory(start, start + Vec3{0.9, 0.0, 0.0}, 0.1));
+  return {std::move(scenario), center, start, std::move(samples)};
+}
+
+TrackerConfig default_config(const Vec3& center, const Vec3& hint) {
+  TrackerConfig cfg;
+  cfg.antenna_phase_center = center;
+  cfg.belt_direction = {1.0, 0.0, 0.0};
+  cfg.belt_speed = 0.1;
+  cfg.window = 600;
+  cfg.hop = 200;
+  cfg.localizer.target_dim = 2;
+  cfg.localizer.side_hint = hint;
+  return cfg;
+}
+
+TEST(Tracker, EmitsFixesAsWindowsComplete) {
+  auto rig = make_rig(1);
+  ConveyorTracker tracker(default_config(rig.center, rig.start));
+  std::size_t emitted = 0;
+  for (const auto& s : rig.samples) {
+    if (tracker.push(s)) ++emitted;
+  }
+  // ~1080 samples, window 600, hop 200 -> first fix at 600 then every 200.
+  EXPECT_GE(emitted, 2u);
+  EXPECT_EQ(emitted, tracker.fixes().size());
+}
+
+TEST(Tracker, FixesAreAccurate) {
+  auto rig = make_rig(2);
+  ConveyorTracker tracker(default_config(rig.center, rig.start));
+  const double stream_t0 = rig.samples.front().t;
+  for (const auto& s : rig.samples) tracker.push(s);
+  ASSERT_FALSE(tracker.fixes().empty());
+  for (const auto& fix : tracker.fixes()) {
+    ASSERT_TRUE(fix.valid);
+    // Oracle: the tag's true position at the fix timestamp.
+    const Vec3 truth =
+        rig.start + 0.1 * (fix.t - stream_t0) * Vec3{1.0, 0.0, 0.0};
+    const double err = std::hypot(fix.position[0] - truth[0],
+                                  fix.position[1] - truth[1]);
+    EXPECT_LT(err, 0.03) << "fix at t=" << fix.t;
+  }
+}
+
+TEST(Tracker, ImpliedPositionAdvancesWithBelt) {
+  auto rig = make_rig(3);
+  ConveyorTracker tracker(default_config(rig.center, rig.start));
+  for (const auto& s : rig.samples) tracker.push(s);
+  ASSERT_GE(tracker.fixes().size(), 2u);
+  const auto& first = tracker.fixes().front();
+  // position = start + speed * (t - t0): the implied position must sit
+  // ahead of the start along the belt by that travel.
+  const double travel = first.position[0] - first.start[0];
+  EXPECT_NEAR(travel, 0.1 * first.t - 0.1 * rig.samples.front().t, 0.02);
+}
+
+TEST(Tracker, ReportsUncertainty) {
+  auto rig = make_rig(4);
+  ConveyorTracker tracker(default_config(rig.center, rig.start));
+  for (const auto& s : rig.samples) tracker.push(s);
+  ASSERT_FALSE(tracker.fixes().empty());
+  for (const auto& fix : tracker.fixes()) {
+    EXPECT_GT(fix.sigma, 0.0);
+    EXPECT_LT(fix.sigma, 0.1);
+  }
+}
+
+TEST(Tracker, PendingCountsBufferedSamples) {
+  auto rig = make_rig(5);
+  auto cfg = default_config(rig.center, rig.start);
+  ConveyorTracker tracker(cfg);
+  for (std::size_t i = 0; i < 100; ++i) tracker.push(rig.samples[i]);
+  EXPECT_EQ(tracker.pending(), 100u);
+}
+
+TEST(Tracker, InvalidWindowFlaggedNotThrown) {
+  auto rig = make_rig(6);
+  auto cfg = default_config(rig.center, rig.start);
+  cfg.window = 20;  // far too little belt travel for the pairing interval
+  cfg.hop = 20;
+  ConveyorTracker tracker(cfg);
+  for (const auto& s : rig.samples) tracker.push(s);
+  ASSERT_FALSE(tracker.fixes().empty());
+  for (const auto& fix : tracker.fixes()) {
+    EXPECT_FALSE(fix.valid);
+  }
+}
+
+TEST(Tracker, ValidatesConfig) {
+  TrackerConfig cfg;
+  cfg.belt_direction = {0.0, 0.0, 0.0};
+  EXPECT_THROW(ConveyorTracker{cfg}, std::invalid_argument);
+  cfg = TrackerConfig{};
+  cfg.belt_speed = 0.0;
+  EXPECT_THROW(ConveyorTracker{cfg}, std::invalid_argument);
+  cfg = TrackerConfig{};
+  cfg.window = 4;
+  EXPECT_THROW(ConveyorTracker{cfg}, std::invalid_argument);
+  cfg = TrackerConfig{};
+  cfg.hop = 0;
+  EXPECT_THROW(ConveyorTracker{cfg}, std::invalid_argument);
+}
+
+TEST(Tracker, NormalizesBeltDirection) {
+  TrackerConfig cfg;
+  cfg.belt_direction = {3.0, 0.0, 0.0};
+  ConveyorTracker tracker(cfg);
+  EXPECT_NEAR(tracker.config().belt_direction.norm(), 1.0, 1e-12);
+}
+
+TEST(Tracker, OverlappingWindowsTrackDifferentStarts) {
+  // Two parcels at different slots produce different fixes.
+  auto rig_a = make_rig(7, {-0.45, 0.0, 0.0});
+  auto rig_b = make_rig(7, {-0.25, 0.0, 0.0});
+  auto run = [&](Rig& rig) {
+    ConveyorTracker tracker(default_config(rig.center, rig.start));
+    for (const auto& s : rig.samples) tracker.push(s);
+    return tracker.fixes().front().start;
+  };
+  const Vec3 fix_a = run(rig_a);
+  const Vec3 fix_b = run(rig_b);
+  EXPECT_NEAR(fix_b[0] - fix_a[0], 0.2, 0.03);
+}
+
+}  // namespace
+}  // namespace lion::core

@@ -1,0 +1,212 @@
+// Failure-injection tests: read misses, impulsive phase corruption, heavy
+// multipath, position (ruler) error, and degenerate scans. The pipeline
+// must either degrade gracefully or fail loudly — never return a silently
+// wild answer for a recoverable fault.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion {
+namespace {
+
+using linalg::Vec3;
+
+sim::Scenario make_scenario(std::uint64_t seed, sim::ReaderConfig rc = {},
+                            sim::EnvironmentKind env =
+                                sim::EnvironmentKind::kLabClean) {
+  return sim::Scenario::Builder{}
+      .environment(env)
+      .add_antenna({0.0, 0.8, 0.0})
+      .add_tag()
+      .reader_config(rc)
+      .seed(seed)
+      .build();
+}
+
+sim::ThreeLineRig default_rig() {
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  return rig;
+}
+
+TEST(FailureInjection, ReadMissesToleratedUpTo40Percent) {
+  sim::ReaderConfig rc;
+  rc.miss_probability = 0.4;
+  auto scenario = make_scenario(1, rc);
+  const auto profile =
+      signal::preprocess(scenario.sweep(0, 0, default_rig().build()));
+  const auto& antenna = scenario.antennas()[0];
+  const auto cal =
+      core::calibrate_phase_center(profile, antenna.physical_center, {});
+  EXPECT_LT(linalg::distance(cal.estimated_center, antenna.phase_center()),
+            0.025);
+}
+
+TEST(FailureInjection, ImpulsiveCorruptionFilteredByPreprocessing) {
+  auto scenario = make_scenario(2);
+  auto samples = scenario.sweep(0, 0, default_rig().build());
+  // Corrupt 2% of reads with random phase impulses (tag collisions /
+  // decode errors).
+  rf::Rng rng(99);
+  for (auto& s : samples) {
+    if (rng.bernoulli(0.02)) s.phase = rng.uniform(0.0, rf::kTwoPi);
+  }
+  signal::PreprocessConfig pc;
+  pc.outlier_threshold = 1.0;
+  const auto profile = signal::preprocess(samples, pc);
+  const auto& antenna = scenario.antennas()[0];
+  const auto cal =
+      core::calibrate_phase_center(profile, antenna.physical_center, {});
+  EXPECT_LT(linalg::distance(cal.estimated_center, antenna.phase_center()),
+            0.03);
+}
+
+TEST(FailureInjection, HarshMultipathDegradesButStaysBounded) {
+  auto scenario = make_scenario(3, {}, sim::EnvironmentKind::kLabHarsh);
+  const auto profile =
+      signal::preprocess(scenario.sweep(0, 0, default_rig().build()));
+  const auto& antenna = scenario.antennas()[0];
+  const auto cal =
+      core::calibrate_phase_center(profile, antenna.physical_center, {});
+  // Bounded: still inside a 10 cm ball even in the harsh lab.
+  EXPECT_LT(linalg::distance(cal.estimated_center, antenna.phase_center()),
+            0.10);
+}
+
+TEST(FailureInjection, RulerErrorOnTagPositionsDegradesGracefully) {
+  sim::ReaderConfig rc;
+  rc.position_jitter_m = 0.002;  // 2 mm commanded-position error
+  auto scenario = make_scenario(4, rc);
+  const auto profile =
+      signal::preprocess(scenario.sweep(0, 0, default_rig().build()));
+  const auto& antenna = scenario.antennas()[0];
+  const auto cal =
+      core::calibrate_phase_center(profile, antenna.physical_center, {});
+  EXPECT_LT(linalg::distance(cal.estimated_center, antenna.phase_center()),
+            0.03);
+}
+
+TEST(FailureInjection, WlsBeatsLsUnderLocalizedCorruption) {
+  // Corrupt a contiguous chunk of the scan (a multipath hot zone). WLS
+  // should beat plain LS on average (the paper's Fig. 15 claim).
+  double ls_total = 0.0;
+  double wls_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    rf::Rng rng(seed * 1000);
+    const Vec3 target{0.0, 0.8, 0.0};
+    signal::PhaseProfile profile;
+    for (double y : {0.0, -0.2}) {
+      for (double x = -0.55; x <= 0.55 + 1e-12; x += 0.005) {
+        const Vec3 pos{x, y, 0.0};
+        double phase = rf::distance_phase(linalg::distance(pos, target)) +
+                       rng.gaussian(0.05);
+        // Hot zone: a narrow slice gets a strong coherent bias — large
+        // enough that the affected equations stand out as residual
+        // outliers (the regime Gaussian reweighting is built for).
+        if (x > 0.4 && x < 0.5) phase += 1.5;
+        profile.push_back({pos, phase, 0.0});
+      }
+    }
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.method = core::SolveMethod::kLeastSquares;
+    ls_total += linalg::distance(
+        core::LinearLocalizer(cfg).locate(profile).position, target);
+    cfg.method = core::SolveMethod::kIterativeReweighted;
+    wls_total += linalg::distance(
+        core::LinearLocalizer(cfg).locate(profile).position, target);
+  }
+  EXPECT_LT(wls_total, ls_total);
+}
+
+TEST(FailureInjection, DegenerateScansFailLoudly) {
+  core::LocalizerConfig cfg2;
+  cfg2.target_dim = 2;
+  const core::LinearLocalizer loc2(cfg2);
+
+  // All samples at one point: no frame.
+  signal::PhaseProfile stuck;
+  for (int i = 0; i < 50; ++i) stuck.push_back({{0.1, 0.2, 0.0}, 0.0, 0.0});
+  EXPECT_THROW(loc2.locate(stuck), std::invalid_argument);
+
+  // Empty profile.
+  EXPECT_THROW(loc2.locate({}), std::invalid_argument);
+
+  // 3D from a single line (deficit 2).
+  core::LocalizerConfig cfg3;
+  cfg3.target_dim = 3;
+  signal::PhaseProfile line;
+  for (double x = -0.5; x <= 0.5; x += 0.01) {
+    line.push_back({{x, 0.0, 0.0}, 0.0, 0.0});
+  }
+  EXPECT_THROW(core::LinearLocalizer(cfg3).locate(line),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, SaturatedNoiseDoesNotCrash) {
+  // Pure-noise phases: the solve must complete (garbage in, bounded
+  // garbage out — no exceptions, no NaNs).
+  rf::Rng rng(17);
+  signal::PhaseProfile profile;
+  for (double y : {0.0, -0.2}) {
+    for (double x = -0.5; x <= 0.5; x += 0.01) {
+      profile.push_back({{x, y, 0.0}, rng.uniform(0.0, 1000.0), 0.0});
+    }
+  }
+  core::LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto r = core::LinearLocalizer(cfg).locate(profile);
+  EXPECT_TRUE(std::isfinite(r.position[0]));
+  EXPECT_TRUE(std::isfinite(r.position[1]));
+  EXPECT_TRUE(std::isfinite(r.reference_distance));
+}
+
+TEST(FailureInjection, AdaptiveSweepSurvivesPartiallyBrokenWindows) {
+  auto scenario = make_scenario(8);
+  const auto profile =
+      signal::preprocess(scenario.sweep(0, 0, default_rig().build()));
+  core::AdaptiveConfig cfg;
+  cfg.base.target_dim = 3;
+  cfg.base.side_hint = Vec3{0.0, 0.8, 0.0};
+  // Include windows that cannot work (tiny range) alongside good ones.
+  cfg.ranges = {0.02, 0.05, 0.8, 1.0};
+  cfg.intervals = {0.2, 0.25};
+  const auto r = core::locate_adaptive(profile, cfg);
+  EXPECT_LT(linalg::distance(r.position,
+                             scenario.antennas()[0].phase_center()),
+            0.05);
+}
+
+TEST(FailureInjection, QuantizationOnlyAddsSubMillimetreError) {
+  // 12-bit phase quantization alone (no other noise) must not matter.
+  rf::NoiseModel nm;
+  nm.phase_sigma = 0.0;
+  nm.off_beam_gain = 0.0;
+  nm.quantization_steps = 4096;
+  auto scenario = sim::Scenario::Builder{}
+                      .channel(rf::Channel(nm, {}))
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(9)
+                      .build();
+  const auto profile =
+      signal::preprocess(scenario.sweep(0, 0, default_rig().build()));
+  core::LocalizerConfig cfg;
+  cfg.target_dim = 3;
+  cfg.pair_interval = 0.2;
+  const auto r = core::LinearLocalizer(cfg).locate(profile);
+  EXPECT_LT(linalg::distance(r.position,
+                             scenario.antennas()[0].phase_center()),
+            0.002);
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,154 @@
+// Frequency-hopping integration: US-band readers cycle channels every
+// dwell window; the mixed-wavelength stream cannot be unwrapped as one
+// sequence, but splitting per channel and localizing each with its own
+// wavelength recovers the full accuracy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lion.hpp"
+#include "rf/constants.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion {
+namespace {
+
+using linalg::Vec3;
+
+sim::ReaderConfig hopping_config() {
+  sim::ReaderConfig rc;
+  rc.hopping = rf::ChannelPlan{rf::kFccPlan.start_hz, rf::kFccPlan.spacing_hz,
+                               8};  // 8 FCC channels for test speed
+  // Dwell short enough that one channel's bursts are < lambda/4 of tag
+  // motion apart (10 cm/s * 7 dwells must stay under ~8 cm), so the
+  // per-channel stream remains unwrappable across burst gaps.
+  rc.hop_dwell_s = 0.05;
+  return rc;
+}
+
+std::vector<sim::PhaseSample> hopped_sweep(sim::Scenario& scenario) {
+  sim::PiecewiseLinearTrajectory traj(
+      {{-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, {0.5, -0.2, 0.0}, {-0.5, -0.2, 0.0}},
+      0.1);
+  return scenario.sweep(0, 0, traj);
+}
+
+TEST(Hopping, StreamCarriesAllChannels) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .reader_config(hopping_config())
+                      .seed(71)
+                      .build();
+  const auto samples = hopped_sweep(scenario);
+  const auto channels = signal::channels_present(samples);
+  EXPECT_EQ(channels.size(), 8u);
+}
+
+TEST(Hopping, NonHoppingStreamIsSingleChannel) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(72)
+                      .build();
+  const auto samples = hopped_sweep(scenario);
+  const auto channels = signal::channels_present(samples);
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0], 0u);
+}
+
+TEST(Hopping, SelectChannelKeepsOnlyThatChannel) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .reader_config(hopping_config())
+                      .seed(73)
+                      .build();
+  const auto samples = hopped_sweep(scenario);
+  const auto only3 = signal::select_channel(samples, 3);
+  ASSERT_FALSE(only3.empty());
+  for (const auto& s : only3) EXPECT_EQ(s.channel, 3u);
+  EXPECT_LT(only3.size(), samples.size());
+}
+
+TEST(Hopping, PerChannelLocalizationIsAccurate) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .reader_config(hopping_config())
+                      .seed(74)
+                      .build();
+  const Vec3 truth = scenario.antennas()[0].phase_center();
+  const auto samples = hopped_sweep(scenario);
+  const auto plan = *hopping_config().hopping;
+
+  int solved = 0;
+  for (std::uint32_t chan : signal::channels_present(samples)) {
+    const auto one = signal::select_channel(samples, chan);
+    if (one.size() < 200) continue;  // dwell pattern may starve a channel
+    const auto profile = signal::preprocess(one);
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.pair_interval = 0.2;
+    cfg.pair_tolerance = 0.06;  // per-channel streams have dwell gaps
+    cfg.wavelength = rf::wavelength(plan.channel_hz(chan));
+    try {
+      const auto fix = core::LinearLocalizer(cfg).locate(profile);
+      const double err = std::hypot(fix.position[0] - truth[0],
+                                    fix.position[1] - truth[1]);
+      EXPECT_LT(err, 0.05) << "channel " << chan;
+      ++solved;
+    } catch (const std::exception&) {
+      // A channel whose dwell windows never covered enough of the scan.
+    }
+  }
+  EXPECT_GE(solved, 3);
+}
+
+TEST(Hopping, ChannelFixesMutuallyConsistent) {
+  // Every channel observes the same geometry at its own wavelength, so the
+  // per-channel fixes must agree with one another to centimetres — the
+  // consistency check a deployment can run without ground truth.
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .reader_config(hopping_config())
+                      .seed(75)
+                      .build();
+  const auto samples = hopped_sweep(scenario);
+  const auto plan = *hopping_config().hopping;
+
+  std::vector<Vec3> fixes;
+  for (std::uint32_t chan : signal::channels_present(samples)) {
+    const auto one = signal::select_channel(samples, chan);
+    if (one.size() < 200) continue;
+    const auto profile = signal::preprocess(one);
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.pair_interval = 0.2;
+    cfg.pair_tolerance = 0.06;
+    cfg.wavelength = rf::wavelength(plan.channel_hz(chan));
+    try {
+      fixes.push_back(core::LinearLocalizer(cfg).locate(profile).position);
+    } catch (const std::exception&) {
+    }
+  }
+  ASSERT_GE(fixes.size(), 3u);
+  for (std::size_t i = 0; i < fixes.size(); ++i) {
+    for (std::size_t j = i + 1; j < fixes.size(); ++j) {
+      const double d = std::hypot(fixes[i][0] - fixes[j][0],
+                                  fixes[i][1] - fixes[j][1]);
+      EXPECT_LT(d, 0.04) << "channels " << i << " vs " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lion

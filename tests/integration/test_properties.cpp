@@ -1,0 +1,234 @@
+// Property-style parameterized sweeps over the localization invariants:
+// whatever the geometry, noise seed, solve method, or trajectory shape,
+// the estimator must stay within physically-justified error bounds and its
+// invariants (mirror symmetry, translation equivariance) must hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::core {
+namespace {
+
+using linalg::Vec3;
+
+signal::PhaseProfile synthetic(const std::vector<Vec3>& positions,
+                               const Vec3& target, double sigma,
+                               std::uint64_t seed) {
+  rf::Rng rng(seed);
+  signal::PhaseProfile p;
+  for (const auto& pos : positions) {
+    const double d = linalg::distance(pos, target);
+    p.push_back(
+        {pos, rf::distance_phase(d) + 0.3 + rng.gaussian(sigma), 0.0});
+  }
+  return p;
+}
+
+std::vector<Vec3> two_line_positions(double span = 0.6) {
+  std::vector<Vec3> ps;
+  for (double x = -span; x <= span + 1e-12; x += 0.005) {
+    ps.push_back({x, 0.0, 0.0});
+    ps.push_back({x, -0.2, 0.0});
+  }
+  return ps;
+}
+
+// ---------------------------------------------------------------------
+// Property: 2D localization stays accurate across antenna placements.
+// ---------------------------------------------------------------------
+
+class AntennaPlacement2D
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AntennaPlacement2D, LocatesWithinTwoCm) {
+  const auto [x, y] = GetParam();
+  const Vec3 target{x, y, 0.0};
+  const auto profile = synthetic(two_line_positions(), target, 0.1, 11);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.method = SolveMethod::kWeightedLeastSquares;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  // Error grows with depth (geometric dilution); 3.5 cm covers the whole
+  // 0.6-1.2 m grid under the paper's default N(0, 0.1) noise.
+  EXPECT_LT(linalg::distance(r.position, target), 0.035)
+      << "antenna at (" << x << ", " << y << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlacementGrid, AntennaPlacement2D,
+    ::testing::Combine(::testing::Values(-0.3, -0.1, 0.0, 0.2, 0.4),
+                       ::testing::Values(0.6, 0.8, 1.0, 1.2)));
+
+// ---------------------------------------------------------------------
+// Property: every solve method handles the paper's default noise.
+// ---------------------------------------------------------------------
+
+class SolveMethodSweep
+    : public ::testing::TestWithParam<std::tuple<SolveMethod, int>> {};
+
+TEST_P(SolveMethodSweep, AccurateUnderDefaultNoise) {
+  const auto [method, seed] = GetParam();
+  const Vec3 target{0.1, 0.9, 0.0};
+  const auto profile = synthetic(two_line_positions(), target, 0.1,
+                                 static_cast<std::uint64_t>(seed));
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.method = method;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_LT(linalg::distance(r.position, target), 0.03)
+      << solve_method_name(method) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, SolveMethodSweep,
+    ::testing::Combine(::testing::Values(SolveMethod::kLeastSquares,
+                                         SolveMethod::kWeightedLeastSquares,
+                                         SolveMethod::kIterativeReweighted),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+// ---------------------------------------------------------------------
+// Property: error scales (roughly) with the phase-noise level.
+// ---------------------------------------------------------------------
+
+class NoiseScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseScaling, ErrorBoundedByNoiseProportionalEnvelope) {
+  const double sigma = GetParam();
+  const Vec3 target{0.0, 0.8, 0.0};
+  double total = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const auto profile = synthetic(two_line_positions(), target, sigma,
+                                   100 + static_cast<std::uint64_t>(t));
+    LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    const auto r = LinearLocalizer(cfg).locate(profile);
+    total += linalg::distance(r.position, target);
+  }
+  const double avg = total / trials;
+  // Envelope: 1 mm floor + ~20 cm of error per radian of noise.
+  EXPECT_LT(avg, 0.001 + 0.2 * sigma) << "sigma " << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NoiseScaling,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.1, 0.2));
+
+// ---------------------------------------------------------------------
+// Property: translation equivariance — shifting the whole scene shifts
+// the estimate by the same amount.
+// ---------------------------------------------------------------------
+
+class TranslationEquivariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(TranslationEquivariance, EstimateShiftsWithScene) {
+  const double shift = GetParam();
+  const Vec3 offset{shift, shift / 2.0, 0.0};
+  const Vec3 target{0.1, 0.8, 0.0};
+
+  const auto base_positions = two_line_positions();
+  std::vector<Vec3> shifted_positions;
+  for (const auto& p : base_positions) shifted_positions.push_back(p + offset);
+
+  // Same noise stream for both scenes.
+  const auto base = synthetic(base_positions, target, 0.05, 42);
+  const auto shifted =
+      synthetic(shifted_positions, target + offset, 0.05, 42);
+
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  const auto r0 = LinearLocalizer(cfg).locate(base);
+  const auto r1 = LinearLocalizer(cfg).locate(shifted);
+  // Not bit-exact: last-ulp differences in the shifted arc lengths can
+  // flip a borderline pair in or out of the ladder. Sub-millimetre
+  // agreement is the meaningful invariant.
+  EXPECT_LT(linalg::distance(r1.position, r0.position + offset), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, TranslationEquivariance,
+                         ::testing::Values(-2.0, -0.5, 0.7, 3.0));
+
+// ---------------------------------------------------------------------
+// Property: the reference-sample choice does not change the answer
+// (only d_r is redefined).
+// ---------------------------------------------------------------------
+
+class ReferenceInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReferenceInvariance, PositionIndependentOfReference) {
+  const Vec3 target{0.0, 0.9, 0.0};
+  const auto profile = synthetic(two_line_positions(), target, 0.0, 1);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.reference_index = GetParam() % profile.size();
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_LT(linalg::distance(r.position, target), 1e-5);
+  EXPECT_NEAR(
+      r.reference_distance,
+      linalg::distance(target, profile[*cfg.reference_index].position), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Refs, ReferenceInvariance,
+                         ::testing::Values(0u, 17u, 111u, 399u, 480u));
+
+// ---------------------------------------------------------------------
+// Property: lower-dimension recovery works for any antenna side and
+// perpendicular offset.
+// ---------------------------------------------------------------------
+
+class LowerDimRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LowerDimRecovery, RecoversPerpendicularCoordinate) {
+  const auto [perp, x_off] = GetParam();
+  const Vec3 target{x_off, perp, 0.0};
+  std::vector<Vec3> line;
+  for (double x = -0.4; x <= 0.4 + 1e-12; x += 0.004) {
+    line.push_back({x, 0.0, 0.0});
+  }
+  const auto profile = synthetic(line, target, 0.0, 3);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.side_hint = Vec3{0.0, perp, 0.0};
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_TRUE(r.perpendicular_recovered);
+  EXPECT_LT(linalg::distance(r.position, target), 5e-4)
+      << "perp " << perp << " x " << x_off;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LowerDimRecovery,
+    ::testing::Combine(::testing::Values(-1.2, -0.6, 0.7, 1.5),
+                       ::testing::Values(-0.2, 0.0, 0.3)));
+
+// ---------------------------------------------------------------------
+// Property: pairing interval sweep — all reasonable intervals give a fix,
+// and longer intervals are at least as good under noise (Fig. 18 trend).
+// ---------------------------------------------------------------------
+
+class IntervalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IntervalSweep, ProducesReasonableFix) {
+  const double interval = GetParam();
+  const Vec3 target{0.0, 0.8, 0.0};
+  const auto profile = synthetic(two_line_positions(), target, 0.1, 7);
+  LocalizerConfig cfg;
+  cfg.target_dim = 2;
+  cfg.pair_interval = interval;
+  const auto r = LinearLocalizer(cfg).locate(profile);
+  EXPECT_LT(linalg::distance(r.position, target), 0.06)
+      << "interval " << interval;
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, IntervalSweep,
+                         ::testing::Values(0.10, 0.15, 0.20, 0.25, 0.30,
+                                           0.35));
+
+}  // namespace
+}  // namespace lion::core

@@ -1,0 +1,213 @@
+// Parameterized property sweeps over the 3D localizer, the calibration
+// pipeline across a fleet of antenna units, and the baselines' noise
+// robustness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baseline/hyperbola.hpp"
+#include "core/lion.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion {
+namespace {
+
+using linalg::Vec3;
+
+signal::PhaseProfile three_line_profile(const Vec3& target, double sigma,
+                                        std::uint64_t seed) {
+  rf::Rng rng(seed);
+  signal::PhaseProfile p;
+  auto add_line = [&](double y, double z) {
+    for (double x = -0.55; x <= 0.55 + 1e-12; x += 0.005) {
+      const Vec3 pos{x, y, z};
+      p.push_back({pos,
+                   rf::distance_phase(linalg::distance(pos, target)) +
+                       rng.gaussian(sigma),
+                   0.0});
+    }
+  };
+  add_line(0.0, 0.0);
+  add_line(0.0, 0.2);
+  add_line(-0.2, 0.0);
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Property: full-rank 3D localization across a grid of antenna positions.
+// ---------------------------------------------------------------------
+
+class AntennaPlacement3D
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(AntennaPlacement3D, LocatesWithinThreeCm) {
+  const auto [x, y, z] = GetParam();
+  const Vec3 target{x, y, z};
+  const auto profile = three_line_profile(target, 0.1, 31);
+  core::LocalizerConfig cfg;
+  cfg.target_dim = 3;
+  cfg.pair_interval = 0.2;
+  const auto r = core::LinearLocalizer(cfg).locate(profile);
+  EXPECT_EQ(r.trajectory_rank, 3u);
+  EXPECT_LT(linalg::distance(r.position, target), 0.03)
+      << "antenna (" << x << ", " << y << ", " << z << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid3D, AntennaPlacement3D,
+    ::testing::Combine(::testing::Values(-0.2, 0.0, 0.3),
+                       ::testing::Values(0.6, 0.9),
+                       ::testing::Values(-0.1, 0.0, 0.15)));
+
+// ---------------------------------------------------------------------
+// Property: the full calibration pipeline recovers the hidden phase
+// center across a fleet of distinct antenna units.
+// ---------------------------------------------------------------------
+
+class CalibrationFleet : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CalibrationFleet, RecoversUnitDisplacement) {
+  const std::uint32_t unit = GetParam();
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna(rf::make_antenna({0.0, 0.8, 0.0}, unit))
+                      .add_tag()
+                      .seed(1000 + unit)
+                      .build();
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  const auto profile = signal::preprocess(scenario.sweep(0, 0, rig.build()));
+  const auto& antenna = scenario.antennas()[0];
+  const auto cal =
+      core::calibrate_phase_center(profile, antenna.physical_center, {});
+  const double err =
+      linalg::distance(cal.estimated_center, antenna.phase_center());
+  EXPECT_LT(err, 0.02) << "unit " << unit;
+  // Calibration must beat assuming the physical center.
+  EXPECT_LT(err, antenna.phase_center_displacement.norm()) << "unit " << unit;
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, CalibrationFleet,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+// ---------------------------------------------------------------------
+// Property: 3D lower-dimension recovery (planar scan) works across
+// heights on both sides of the scan plane.
+// ---------------------------------------------------------------------
+
+class PlanarRecovery3D : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlanarRecovery3D, RecoversHeight) {
+  const double z = GetParam();
+  const Vec3 target{0.0, 0.8, z};
+  rf::Rng rng(17);
+  signal::PhaseProfile p;
+  for (double y : {0.0, -0.2}) {
+    for (double x = -0.55; x <= 0.55 + 1e-12; x += 0.005) {
+      const Vec3 pos{x, y, 0.0};
+      p.push_back({pos,
+                   rf::distance_phase(linalg::distance(pos, target)) +
+                       rng.gaussian(0.05),
+                   0.0});
+    }
+  }
+  core::LocalizerConfig cfg;
+  cfg.target_dim = 3;
+  cfg.pair_interval = 0.2;
+  cfg.side_hint = Vec3{0.0, 0.8, z};
+  const auto r = core::LinearLocalizer(cfg).locate(p);
+  EXPECT_TRUE(r.perpendicular_recovered);
+  EXPECT_LT(std::abs(r.position[2] - z), 0.05) << "z " << z;
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, PlanarRecovery3D,
+                         ::testing::Values(-0.3, -0.15, 0.15, 0.3));
+
+// ---------------------------------------------------------------------
+// Property: LION degrades no faster than the hyperbola baseline as noise
+// grows (they consume the same pairs; LION's linearization must not cost
+// robustness).
+// ---------------------------------------------------------------------
+
+class NoiseParityWithHyperbola : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseParityWithHyperbola, ComparableAccuracy) {
+  const double sigma = GetParam();
+  const Vec3 target{0.1, 0.8, 0.0};
+  double lion_total = 0.0;
+  double hyper_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rf::Rng rng(seed * 97);
+    signal::PhaseProfile p;
+    for (double y : {0.0, -0.2}) {
+      for (double x = -0.5; x <= 0.5 + 1e-12; x += 0.005) {
+        const Vec3 pos{x, y, 0.0};
+        p.push_back({pos,
+                     rf::distance_phase(linalg::distance(pos, target)) +
+                         rng.gaussian(sigma),
+                     0.0});
+      }
+    }
+    core::LocalizerConfig cfg;
+    cfg.target_dim = 2;
+    cfg.pair_interval = 0.2;
+    lion_total +=
+        linalg::distance(core::LinearLocalizer(cfg).locate(p).position,
+                         target);
+    const auto pairs = core::spread_pairs(p, 0.2, 600, 2);
+    baseline::HyperbolaConfig hcfg;
+    hcfg.initial_guess = {0.0, 0.5, 0.0};
+    hyper_total += linalg::distance(
+        baseline::locate_hyperbola(p, pairs, hcfg).position, target);
+  }
+  EXPECT_LT(lion_total, 2.0 * hyper_total + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, NoiseParityWithHyperbola,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2));
+
+// ---------------------------------------------------------------------
+// Property: offset calibration is consistent across scan geometries — the
+// same antenna/tag pair must yield the same offset whether calibrated from
+// a rig scan or a plain line scan.
+// ---------------------------------------------------------------------
+
+class OffsetGeometryInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(OffsetGeometryInvariance, RigAndLineAgree) {
+  const int unit = GetParam();
+  auto scenario =
+      sim::Scenario::Builder{}
+          .environment(sim::EnvironmentKind::kLabClean)
+          .add_antenna(rf::make_antenna({0.0, 0.8, 0.0},
+                                        static_cast<std::uint32_t>(unit)))
+          .add_tag()
+          .seed(4000 + static_cast<std::uint64_t>(unit))
+          .build();
+  const Vec3 center = scenario.antennas()[0].phase_center();
+
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  const auto rig_samples = scenario.sweep(0, 0, rig.build());
+  const auto line_samples = scenario.sweep(
+      0, 0, sim::LinearTrajectory({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1));
+
+  const double rig_offset = core::calibrate_phase_offset(rig_samples, center);
+  const double line_offset =
+      core::calibrate_phase_offset(line_samples, center);
+  EXPECT_LT(rf::circular_distance(rig_offset, line_offset), 0.15)
+      << "unit " << unit;
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, OffsetGeometryInvariance,
+                         ::testing::Values(2, 4, 9));
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,138 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lion::io {
+namespace {
+
+TEST(Csv, ParsesHeaderlessCanonicalOrder) {
+  std::istringstream in("0.1,0.2,0.3,1.5\n0.4,0.5,0.6,2.5\n");
+  const auto s = read_samples_csv(in);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].position[0], 0.1);
+  EXPECT_DOUBLE_EQ(s[0].position[2], 0.3);
+  EXPECT_DOUBLE_EQ(s[0].phase, 1.5);
+  EXPECT_DOUBLE_EQ(s[1].phase, 2.5);
+  EXPECT_EQ(s[0].channel, 0u);
+}
+
+TEST(Csv, ParsesOptionalColumns) {
+  std::istringstream in("0,0,0,1.0,-55.5,3,0.25\n");
+  const auto s = read_samples_csv(in);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].rssi_dbm, -55.5);
+  EXPECT_EQ(s[0].channel, 3u);
+  EXPECT_DOUBLE_EQ(s[0].t, 0.25);
+}
+
+TEST(Csv, ParsesNamedHeaderAnyOrder) {
+  std::istringstream in(
+      "phase,z,y,x,rssi\n"
+      "1.25,0.3,0.2,0.1,-60\n");
+  const auto s = read_samples_csv(in);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].position[0], 0.1);
+  EXPECT_DOUBLE_EQ(s[0].position[1], 0.2);
+  EXPECT_DOUBLE_EQ(s[0].position[2], 0.3);
+  EXPECT_DOUBLE_EQ(s[0].phase, 1.25);
+  EXPECT_DOUBLE_EQ(s[0].rssi_dbm, -60.0);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# reader log\n"
+      "\n"
+      "0,0,0,1.0\n"
+      "  \n"
+      "# mid-stream comment\n"
+      "0,0,0,2.0\n");
+  EXPECT_EQ(read_samples_csv(in).size(), 2u);
+}
+
+TEST(Csv, WhitespaceAroundFieldsTolerated) {
+  std::istringstream in(" 0.1 , 0.2 ,0.3, 1.5 \n");
+  const auto s = read_samples_csv(in);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].position[1], 0.2);
+}
+
+TEST(Csv, RejectsNonNumericField) {
+  std::istringstream in("0,0,zero,1.0\n");
+  EXPECT_THROW(read_samples_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, ErrorNamesLineNumber) {
+  std::istringstream in("0,0,0,1.0\n0,0,0,bad\n");
+  try {
+    read_samples_csv(in);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Csv, RejectsTooFewColumns) {
+  std::istringstream in("0,0,1.0\n");
+  EXPECT_THROW(read_samples_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, RejectsHeaderMissingMandatoryColumn) {
+  std::istringstream in("x,y,phase\n0,0,1\n");
+  EXPECT_THROW(read_samples_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, EmptyStreamGivesNoSamples) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_samples_csv(in).empty());
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  std::vector<sim::PhaseSample> samples(3);
+  samples[0].position = {0.1, 0.2, 0.3};
+  samples[0].phase = 1.5;
+  samples[0].rssi_dbm = -52.0;
+  samples[0].channel = 7;
+  samples[0].t = 0.125;
+  samples[2].position = {-1.0, 2.0, -3.0};
+  samples[2].phase = 6.0;
+
+  std::ostringstream out;
+  write_samples_csv(out, samples);
+  std::istringstream in(out.str());
+  const auto back = read_samples_csv(in);
+  ASSERT_EQ(back.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].position[0], samples[i].position[0]);
+    EXPECT_DOUBLE_EQ(back[i].position[1], samples[i].position[1]);
+    EXPECT_DOUBLE_EQ(back[i].position[2], samples[i].position[2]);
+    EXPECT_DOUBLE_EQ(back[i].phase, samples[i].phase);
+    EXPECT_DOUBLE_EQ(back[i].rssi_dbm, samples[i].rssi_dbm);
+    EXPECT_EQ(back[i].channel, samples[i].channel);
+    EXPECT_DOUBLE_EQ(back[i].t, samples[i].t);
+  }
+}
+
+TEST(Csv, FileHelpersThrowOnMissingPath) {
+  EXPECT_THROW(read_samples_csv_file("/nonexistent/dir/x.csv"),
+               std::runtime_error);
+  EXPECT_THROW(
+      write_samples_csv_file("/nonexistent/dir/x.csv", {}),
+      std::runtime_error);
+}
+
+TEST(Csv, FileRoundTrip) {
+  std::vector<sim::PhaseSample> samples(2);
+  samples[1].position = {1.0, 2.0, 3.0};
+  samples[1].phase = 0.5;
+  const std::string path = "/tmp/lion_csv_roundtrip_test.csv";
+  write_samples_csv_file(path, samples);
+  const auto back = read_samples_csv_file(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[1].position[2], 3.0);
+}
+
+}  // namespace
+}  // namespace lion::io

@@ -1,0 +1,203 @@
+#include "linalg/decompositions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace lion::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(gen);
+  }
+  Matrix spd = a.gram();  // A^T A is PSD
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;  // make it PD
+  return spd;
+}
+
+std::vector<double> random_vector(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(gen);
+  return v;
+}
+
+// ---------------------------------------------------------------- Cholesky
+
+TEST(Cholesky, FactorsKnownMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->l()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol->l()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol->l()(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const std::vector<double> x_true{1.0, -2.0};
+  const auto b = a.multiply(x_true);
+  const auto x = Cholesky::factor(a)->solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky::factor(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, SolveSizeMismatchThrows) {
+  const auto chol = Cholesky::factor(Matrix::identity(2));
+  ASSERT_TRUE(chol);
+  EXPECT_THROW(chol->solve({1.0}), std::invalid_argument);
+}
+
+TEST(Cholesky, DeterminantOfKnownMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  EXPECT_NEAR(Cholesky::factor(a)->determinant(), 8.0, 1e-12);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  for (unsigned seed = 1; seed <= 5; ++seed) {
+    const Matrix a = random_spd(4, seed);
+    const auto x_true = random_vector(4, seed + 100);
+    const auto b = a.multiply(x_true);
+    const auto x = Cholesky::factor(a)->solve(b);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ PartialPivLU
+
+TEST(PartialPivLU, SolvesGeneralSystem) {
+  const Matrix a{{0.0, 2.0}, {1.0, 1.0}};  // needs pivoting (a00 == 0)
+  const auto lu = PartialPivLU::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const auto x = lu->solve({4.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(PartialPivLU, DetectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(PartialPivLU::factor(a).has_value());
+}
+
+TEST(PartialPivLU, DeterminantWithPivotSign) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};  // det = -1
+  EXPECT_NEAR(PartialPivLU::factor(a)->determinant(), -1.0, 1e-12);
+}
+
+TEST(PartialPivLU, RejectsNonSquare) {
+  EXPECT_THROW(PartialPivLU::factor(Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(PartialPivLU, RandomRoundTrip) {
+  std::mt19937 gen(77);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix a(5, 5);
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) a(r, c) = dist(gen);
+    }
+    for (std::size_t i = 0; i < 5; ++i) a(i, i) += 3.0;  // well-conditioned
+    const auto x_true = random_vector(5, 200 + trial);
+    const auto b = a.multiply(x_true);
+    const auto x = PartialPivLU::factor(a)->solve(b);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- HouseholderQR
+
+TEST(HouseholderQR, SolvesSquareSystemExactly) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const HouseholderQR qr(a);
+  const auto x = qr.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(HouseholderQR, LeastSquaresMatchesNormalEquations) {
+  // Overdetermined consistent-ish system; compare against the closed form.
+  const Matrix a{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {1.0, 4.0}};
+  const std::vector<double> b{6.0, 5.0, 7.0, 10.0};
+  const HouseholderQR qr(a);
+  const auto x = qr.solve(b);
+  // Classic linear regression: intercept 3.5, slope 1.4.
+  EXPECT_NEAR(x[0], 3.5, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(HouseholderQR, ThrowsWhenUnderdetermined) {
+  EXPECT_THROW(HouseholderQR(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(HouseholderQR, ThrowsOnRankDeficientSolve) {
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const HouseholderQR qr(a);
+  EXPECT_THROW(qr.solve({1.0, 2.0, 3.0}), std::domain_error);
+}
+
+TEST(HouseholderQR, ConditionEstimateOfIdentityIsOne) {
+  const HouseholderQR qr(Matrix::identity(3));
+  EXPECT_NEAR(qr.condition_estimate(), 1.0, 1e-12);
+}
+
+TEST(HouseholderQR, ConditionEstimateGrowsForSkewedMatrix) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1e-6}};
+  EXPECT_GT(HouseholderQR(a).condition_estimate(), 1e5);
+}
+
+TEST(HouseholderQR, SolveSizeMismatchThrows) {
+  const HouseholderQR qr(Matrix::identity(2));
+  EXPECT_THROW(qr.solve({1.0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- misc
+
+TEST(Inverse, InvertsKnownMatrix) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = inverse(a);
+  EXPECT_TRUE(approx_equal(a * inv, Matrix::identity(2), 1e-12));
+  EXPECT_TRUE(approx_equal(inv * a, Matrix::identity(2), 1e-12));
+}
+
+TEST(Inverse, ThrowsOnSingular) {
+  EXPECT_THROW(inverse(Matrix{{1.0, 2.0}, {2.0, 4.0}}), std::domain_error);
+}
+
+TEST(SolveSquare, UsesCholeskyPathForSpd) {
+  const Matrix a = random_spd(3, 9);
+  const auto x_true = random_vector(3, 10);
+  const auto x = solve_square(a, a.multiply(x_true));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(SolveSquare, FallsBackToLuForIndefinite) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = solve_square(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveSquare, ThrowsOnSingular) {
+  EXPECT_THROW(solve_square(Matrix{{1.0, 1.0}, {1.0, 1.0}}, {1.0, 1.0}),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace lion::linalg

@@ -1,0 +1,126 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace lion::linalg {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrixEigenvaluesSortedDescending) {
+  const auto eig = symmetric_eigen(Matrix::diagonal({1.0, 5.0, 3.0}));
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  const auto eig = symmetric_eigen(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = eig.vectors(0, 0);
+  const double v1 = eig.vectors(1, 0);
+  EXPECT_NEAR(std::abs(v0), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(v0, v1, 1e-10);
+}
+
+TEST(SymmetricEigen, VectorsAreOrthonormal) {
+  const Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const auto eig = symmetric_eigen(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < 3; ++r) {
+        dot += eig.vectors(r, i) * eig.vectors(r, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  const Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const auto eig = symmetric_eigen(a);
+  Matrix recon(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        s += eig.values[k] * eig.vectors(i, k) * eig.vectors(j, k);
+      }
+      recon(i, j) = s;
+    }
+  }
+  EXPECT_TRUE(approx_equal(a, recon, 1e-10));
+}
+
+TEST(SymmetricEigen, SatisfiesEigenEquation) {
+  const Matrix a{{5.0, 2.0}, {2.0, 1.0}};
+  const auto eig = symmetric_eigen(a);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      double av = 0.0;
+      for (std::size_t c = 0; c < 2; ++c) av += a(r, c) * eig.vectors(c, k);
+      EXPECT_NEAR(av, eig.values[k] * eig.vectors(r, k), 1e-10);
+    }
+  }
+}
+
+TEST(SymmetricEigen, TraceEqualsEigenvalueSum) {
+  std::mt19937 gen(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      a(r, c) = dist(gen);
+      a(c, r) = a(r, c);
+    }
+  }
+  const auto eig = symmetric_eigen(a);
+  double trace = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    trace += a(i, i);
+    sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(SymmetricEigen, RejectsNonSquare) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SymmetricEigen, HandlesOneByOne) {
+  const auto eig = symmetric_eigen(Matrix{{7.0}});
+  EXPECT_NEAR(eig.values[0], 7.0, 1e-15);
+  EXPECT_NEAR(eig.vectors(0, 0), 1.0, 1e-15);
+}
+
+TEST(SpdRank, FullRankCovariance) {
+  const auto eig = symmetric_eigen(Matrix::diagonal({1.0, 0.5, 0.25}));
+  EXPECT_EQ(spd_rank(eig), 3u);
+}
+
+TEST(SpdRank, DetectsRankDeficiency) {
+  const auto eig = symmetric_eigen(Matrix::diagonal({1.0, 1e-14, 0.0}));
+  EXPECT_EQ(spd_rank(eig), 1u);
+}
+
+TEST(SpdRank, RespectsTolerance) {
+  const auto eig = symmetric_eigen(Matrix::diagonal({1.0, 1e-3}));
+  EXPECT_EQ(spd_rank(eig, 1e-2), 1u);
+  EXPECT_EQ(spd_rank(eig, 1e-4), 2u);
+}
+
+TEST(SpdRank, EmptyDecompositionIsRankZero) {
+  EigenDecomposition empty;
+  EXPECT_EQ(spd_rank(empty), 0u);
+}
+
+}  // namespace
+}  // namespace lion::linalg

@@ -1,0 +1,174 @@
+#include "linalg/lstsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "linalg/stats.hpp"
+
+namespace lion::linalg {
+namespace {
+
+TEST(LeastSquares, ExactSystemHasZeroResiduals) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> b{2.0, 3.0, 5.0};
+  const auto r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.rms_residual, 0.0, 1e-12);
+  EXPECT_NEAR(r.mean_residual, 0.0, 1e-12);
+}
+
+TEST(LeastSquares, LinearRegressionClosedForm) {
+  const Matrix a{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {1.0, 4.0}};
+  const std::vector<double> b{6.0, 5.0, 7.0, 10.0};
+  const auto r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.x[0], 3.5, 1e-12);
+  EXPECT_NEAR(r.x[1], 1.4, 1e-12);
+}
+
+TEST(LeastSquares, ResidualsMatchDefinition) {
+  const Matrix a{{1.0}, {1.0}, {1.0}};
+  const std::vector<double> b{1.0, 2.0, 6.0};
+  const auto r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-12);  // mean
+  ASSERT_EQ(r.residuals.size(), 3u);
+  EXPECT_NEAR(r.residuals[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.residuals[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.residuals[2], -3.0, 1e-12);
+}
+
+TEST(LeastSquares, OlsWeightsAreAllOne) {
+  const Matrix a{{1.0}, {2.0}};
+  const auto r = solve_least_squares(a, {1.0, 2.0});
+  EXPECT_EQ(r.weights, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(1, 2), {1.0}), std::domain_error);
+}
+
+TEST(LeastSquares, RhsSizeMismatchThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(3, 2), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, RankDeficientFallsToQrAndThrows) {
+  // Two identical columns: no unique solution even via QR.
+  const Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_THROW(solve_least_squares(a, {1.0, 2.0, 3.0}), std::domain_error);
+}
+
+TEST(WeightedLeastSquares, ZeroWeightIgnoresRow) {
+  // Three observations of a constant; the wild third one has zero weight.
+  const Matrix a{{1.0}, {1.0}, {1.0}};
+  const std::vector<double> b{2.0, 2.0, 100.0};
+  const auto r = solve_weighted_least_squares(a, b, {1.0, 1.0, 0.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-12);
+}
+
+TEST(WeightedLeastSquares, MatchesClosedFormWeightedMean) {
+  const Matrix a{{1.0}, {1.0}};
+  const std::vector<double> b{0.0, 10.0};
+  const auto r = solve_weighted_least_squares(a, b, {3.0, 1.0});
+  EXPECT_NEAR(r.x[0], 2.5, 1e-12);  // (3*0 + 1*10) / 4
+}
+
+TEST(WeightedLeastSquares, UniformWeightsMatchOls) {
+  const Matrix a{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  const std::vector<double> b{1.0, 2.0, 2.5};
+  const auto ols = solve_least_squares(a, b);
+  const auto wls = solve_weighted_least_squares(a, b, {2.0, 2.0, 2.0});
+  EXPECT_NEAR(ols.x[0], wls.x[0], 1e-12);
+  EXPECT_NEAR(ols.x[1], wls.x[1], 1e-12);
+}
+
+TEST(WeightedLeastSquares, SizeMismatchThrows) {
+  EXPECT_THROW(
+      solve_weighted_least_squares(Matrix(2, 1), {1.0, 2.0}, {1.0}),
+      std::invalid_argument);
+}
+
+TEST(GaussianResidualWeights, CleanResidualGetsHighWeight) {
+  // One outlier among small residuals.
+  const std::vector<double> residuals{0.01, -0.02, 0.015, -0.01, 5.0};
+  const auto w = gaussian_residual_weights(residuals);
+  ASSERT_EQ(w.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_GT(w[i], w[4]);
+  EXPECT_LT(w[4], 0.2);
+}
+
+TEST(GaussianResidualWeights, AllWeightsInUnitInterval) {
+  const auto w = gaussian_residual_weights({1.0, -2.0, 0.5, 0.0});
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(GaussianResidualWeights, EqualResidualsGetWeightOne) {
+  // Degenerate spread: sigma floored, all residuals at the mean.
+  const auto w = gaussian_residual_weights({0.5, 0.5, 0.5});
+  for (double v : w) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Irls, ConvergesOnCleanData) {
+  const Matrix a{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {1.0, 4.0}};
+  std::vector<double> b{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x exactly
+  const auto r = solve_irls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(Irls, DownweightsOutlier) {
+  // y = 2x with one corrupted observation; IRLS should sit closer to the
+  // clean slope than OLS does.
+  Matrix a(9, 1);
+  std::vector<double> b(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    b[i] = 2.0 * static_cast<double>(i + 1);
+  }
+  b[4] += 30.0;  // outlier
+  const auto ols = solve_least_squares(a, b);
+  const auto irls = solve_irls(a, b);
+  EXPECT_LT(std::abs(irls.x[0] - 2.0), std::abs(ols.x[0] - 2.0));
+}
+
+TEST(Irls, OutlierWeightIsSmallest) {
+  Matrix a(7, 1);
+  std::vector<double> b(7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    a(i, 0) = 1.0;
+    b[i] = 1.0;
+  }
+  b[3] = 50.0;
+  const auto r = solve_irls(a, b);
+  const auto min_it = std::min_element(r.weights.begin(), r.weights.end());
+  EXPECT_EQ(std::distance(r.weights.begin(), min_it), 3);
+}
+
+TEST(Irls, RespectsIterationCap) {
+  IrlsOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 0.0;  // never converges by tolerance
+  Matrix a(4, 1);
+  std::vector<double> b{1.0, 2.0, 3.0, 10.0};
+  for (std::size_t i = 0; i < 4; ++i) a(i, 0) = 1.0;
+  const auto r = solve_irls(a, b, opts);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Irls, ReportsIterationCount) {
+  const Matrix a{{1.0}, {1.0}, {1.0}};
+  const auto r = solve_irls(a, {1.0, 1.0, 1.0});
+  EXPECT_GE(r.iterations, 1u);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace lion::linalg

@@ -1,0 +1,186 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lion::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, SizedConstructionZeroFills) {
+  Matrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstruction) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(1, 2), 0.0);
+  const Matrix d = Matrix::diagonal({2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  m.at(1, 1) = 5.0;
+  EXPECT_EQ(m.at(1, 1), 5.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  EXPECT_EQ(a + b, (Matrix{{5.0, 5.0}, {5.0, 5.0}}));
+  EXPECT_EQ(a - b, (Matrix{{-3.0, -1.0}, {1.0, 3.0}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2.0, 4.0}, {6.0, 8.0}}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_EQ(a * b, (Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, ProductWithIdentityIsNoop) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, MatrixVectorMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> v{1.0, -1.0};
+  const auto out = a.multiply(v);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], -1.0);
+  EXPECT_EQ(out[1], -1.0);
+  EXPECT_EQ(out[2], -1.0);
+}
+
+TEST(Matrix, MultiplySizeMismatchThrows) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(a.multiply({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix expected = a.transposed() * a;
+  EXPECT_TRUE(approx_equal(a.gram(), expected, 1e-12));
+}
+
+TEST(Matrix, WeightedGramMatchesExplicitProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> w{0.5, 2.0, 1.0};
+  const Matrix expected = a.transposed() * Matrix::diagonal(w) * a;
+  EXPECT_TRUE(approx_equal(a.weighted_gram(w), expected, 1e-12));
+}
+
+TEST(Matrix, WeightedGramSizeMismatchThrows) {
+  const Matrix a(3, 2);
+  EXPECT_THROW(a.weighted_gram({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> v{1.0, 1.0, 1.0};
+  const auto out = a.transpose_multiply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 9.0);
+  EXPECT_EQ(out[1], 12.0);
+}
+
+TEST(Matrix, WeightedTransposeMultiply) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const auto out = a.weighted_transpose_multiply({2.0, 3.0}, {1.0, 1.0});
+  EXPECT_EQ(out[0], 2.0);
+  EXPECT_EQ(out[1], 3.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix a{{-7.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs(), 7.0);
+}
+
+TEST(Matrix, ApproxEqualRespectsTolerance) {
+  const Matrix a{{1.0}};
+  const Matrix b{{1.0 + 1e-10}};
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, b, 1e-11));
+  EXPECT_FALSE(approx_equal(a, Matrix(1, 2), 1.0));
+}
+
+TEST(Matrix, StreamOutput) {
+  std::ostringstream os;
+  os << Matrix{{1.0, 2.0}};
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+TEST(Matrix, RowDataIsContiguous) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const double* row1 = m.row_data(1);
+  EXPECT_EQ(row1[0], 3.0);
+  EXPECT_EQ(row1[1], 4.0);
+}
+
+}  // namespace
+}  // namespace lion::linalg

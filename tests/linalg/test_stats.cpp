@@ -1,0 +1,103 @@
+#include "linalg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lion::linalg {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceAndStddev) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianSingleElement) { EXPECT_DOUBLE_EQ(median({7.0}), 7.0); }
+
+TEST(Stats, MedianEmptyThrows) {
+  EXPECT_THROW(median({}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEndpointsAndMidpoint) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 9.0);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+  EXPECT_THROW(min_value({}), std::invalid_argument);
+  EXPECT_THROW(max_value({}), std::invalid_argument);
+}
+
+TEST(Stats, Rms) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(Stats, RmsOfConstantIsMagnitude) {
+  EXPECT_DOUBLE_EQ(rms({-2.0, -2.0, -2.0}), 2.0);
+}
+
+TEST(Stats, EmpiricalCdfIsSortedAndEndsAtOne) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfEmpty) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(Stats, SummarizeBundlesAllFields) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p90, percentile(v, 90.0));
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, SummarizeEmptyThrows) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lion::linalg

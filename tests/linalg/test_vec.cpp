@@ -1,0 +1,140 @@
+#include "linalg/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace lion::linalg {
+namespace {
+
+TEST(Vec, DefaultConstructedIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v[0], 0.0);
+  EXPECT_EQ(v[1], 0.0);
+  EXPECT_EQ(v[2], 0.0);
+}
+
+TEST(Vec, InitializerListSetsComponents) {
+  Vec3 v{1.0, -2.0, 3.5};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.0);
+  EXPECT_EQ(v[2], 3.5);
+}
+
+TEST(Vec, InitializerListSizeMismatchThrows) {
+  EXPECT_THROW((Vec3{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((Vec2{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Vec, AtThrowsOutOfRange) {
+  Vec2 v{1.0, 2.0};
+  EXPECT_THROW(v.at(2), std::out_of_range);
+  EXPECT_EQ(v.at(1), 2.0);
+}
+
+TEST(Vec, AdditionAndSubtraction) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{0.5, -1.0, 2.0};
+  const Vec3 sum = a + b;
+  const Vec3 diff = a - b;
+  EXPECT_EQ(sum, (Vec3{1.5, 1.0, 5.0}));
+  EXPECT_EQ(diff, (Vec3{0.5, 3.0, 1.0}));
+}
+
+TEST(Vec, ScalarMultiplyBothSides) {
+  const Vec2 v{1.0, -2.0};
+  EXPECT_EQ(v * 2.0, (Vec2{2.0, -4.0}));
+  EXPECT_EQ(2.0 * v, (Vec2{2.0, -4.0}));
+  EXPECT_EQ(v / 2.0, (Vec2{0.5, -1.0}));
+}
+
+TEST(Vec, UnaryMinus) {
+  const Vec3 v{1.0, -2.0, 0.0};
+  EXPECT_EQ(-v, (Vec3{-1.0, 2.0, 0.0}));
+}
+
+TEST(Vec, CompoundOperators) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{1.0, 2.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v -= Vec2{0.5, 0.5};
+  EXPECT_EQ(v, (Vec2{1.5, 2.5}));
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec2{3.0, 5.0}));
+  v /= 2.0;
+  EXPECT_EQ(v, (Vec2{1.5, 2.5}));
+}
+
+TEST(Vec, DotProduct) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Vec, NormAndSquaredNorm) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vec, NormalizedHasUnitLength) {
+  const Vec3 v{1.0, 2.0, -2.0};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec, NormalizedZeroThrows) {
+  EXPECT_THROW(Vec3{}.normalized(), std::domain_error);
+}
+
+TEST(Vec, Distance) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(Vec, Cross2DIsSignedArea) {
+  EXPECT_DOUBLE_EQ(cross(Vec2{1.0, 0.0}, Vec2{0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{0.0, 1.0}, Vec2{1.0, 0.0}), -1.0);
+}
+
+TEST(Vec, Cross3DRightHanded) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(cross(x, y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(cross(y, x), (Vec3{0.0, 0.0, -1.0}));
+}
+
+TEST(Vec, CrossIsOrthogonalToInputs) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-2.0, 0.5, 4.0};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec, LiftAndDropZ) {
+  const Vec2 p{1.5, -2.5};
+  const Vec3 q = lift(p, 7.0);
+  EXPECT_EQ(q, (Vec3{1.5, -2.5, 7.0}));
+  EXPECT_EQ(drop_z(q), p);
+  EXPECT_EQ(lift(p), (Vec3{1.5, -2.5, 0.0}));
+}
+
+TEST(Vec, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.0, 2.0};
+  EXPECT_EQ(os.str(), "(1, 2)");
+}
+
+TEST(Vec, IterationCoversAllComponents) {
+  Vec3 v{1.0, 2.0, 3.0};
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+}  // namespace
+}  // namespace lion::linalg

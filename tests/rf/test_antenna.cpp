@@ -1,0 +1,139 @@
+#include "rf/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+
+namespace lion::rf {
+namespace {
+
+TEST(Antenna, PhaseCenterIsPhysicalPlusDisplacement) {
+  Antenna a;
+  a.physical_center = {1.0, 2.0, 3.0};
+  a.phase_center_displacement = {0.01, -0.02, 0.005};
+  const Vec3 pc = a.phase_center();
+  EXPECT_DOUBLE_EQ(pc[0], 1.01);
+  EXPECT_DOUBLE_EQ(pc[1], 1.98);
+  EXPECT_DOUBLE_EQ(pc[2], 3.005);
+}
+
+TEST(Antenna, OffBoresightAngleOnAxisIsZero) {
+  Antenna a;  // at origin, facing -y
+  EXPECT_NEAR(a.off_boresight_angle({0.0, -1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Antenna, OffBoresightAnglePerpendicularIsHalfPi) {
+  Antenna a;
+  EXPECT_NEAR(a.off_boresight_angle({1.0, 0.0, 0.0}), kPi / 2.0, 1e-12);
+}
+
+TEST(Antenna, OffBoresightAngleBehindIsPi) {
+  Antenna a;
+  EXPECT_NEAR(a.off_boresight_angle({0.0, 1.0, 0.0}), kPi, 1e-12);
+}
+
+TEST(Antenna, AngleMeasuredFromPhaseCenterNotPhysical) {
+  Antenna a;
+  a.phase_center_displacement = {0.0, -1.0, 0.0};
+  // Point at the physical center: direction from the phase center is +y,
+  // opposite the -y boresight.
+  EXPECT_NEAR(a.off_boresight_angle({0.0, 0.0, 0.0}), kPi, 1e-12);
+}
+
+TEST(Antenna, GainOnBoresightIsOne) {
+  Antenna a;
+  EXPECT_NEAR(a.field_gain({0.0, -2.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(Antenna, GainAtHalfBeamwidthIsHalfPower) {
+  Antenna a;  // 70-degree beam
+  const double half = 0.5 * a.beamwidth_rad;
+  const Vec3 p{2.0 * std::sin(half), -2.0 * std::cos(half), 0.0};
+  EXPECT_NEAR(a.field_gain(p), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Antenna, GainDecreasesMonotonicallyOffAxis) {
+  Antenna a;
+  double prev = 2.0;
+  for (double deg = 0.0; deg <= 90.0; deg += 10.0) {
+    const double rad = deg * kPi / 180.0;
+    const Vec3 p{std::sin(rad), -std::cos(rad), 0.0};
+    const double g = a.field_gain(p);
+    EXPECT_LE(g, prev + 1e-12);
+    prev = g;
+  }
+}
+
+TEST(Antenna, BacklobeFloorBehind) {
+  Antenna a;
+  EXPECT_NEAR(a.field_gain({0.0, 3.0, 0.0}), 0.1, 1e-12);
+}
+
+TEST(Antenna, PatternPhaseZeroInsideMainBeam) {
+  Antenna a;
+  a.pattern_coefficient = 1.0;
+  // 20 degrees off a 70-degree beam: inside the half-beam, no deviation.
+  const double rad = 20.0 * kPi / 180.0;
+  EXPECT_DOUBLE_EQ(
+      a.pattern_phase({std::sin(rad), -std::cos(rad), 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(a.pattern_phase({0.0, -1.0, 0.0}), 0.0);
+}
+
+TEST(Antenna, PatternPhaseGrowsQuadraticallyBeyondBeam) {
+  Antenna a;
+  a.pattern_coefficient = 2.0;
+  const double half = 0.5 * a.beamwidth_rad;
+  auto at_angle = [&](double angle) {
+    return a.pattern_phase({std::sin(angle), -std::cos(angle), 0.0});
+  };
+  // One half-beam beyond the edge -> coefficient * 1^2.
+  EXPECT_NEAR(at_angle(2.0 * half), 2.0, 1e-9);
+  // Half of that excess -> quarter of the deviation.
+  EXPECT_NEAR(at_angle(1.5 * half), 0.5, 1e-9);
+}
+
+TEST(Antenna, PatternPhaseDisabledByDefault) {
+  Antenna a;
+  EXPECT_DOUBLE_EQ(a.pattern_phase({5.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(MakeAntenna, DisplacementMagnitudeInPaperRange) {
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const Antenna a = make_antenna({0.0, 1.0, 0.0}, id);
+    const double mag = a.phase_center_displacement.norm();
+    EXPECT_GE(mag, 0.02) << "antenna " << id;
+    EXPECT_LE(mag, 0.03) << "antenna " << id;
+  }
+}
+
+TEST(MakeAntenna, OffsetInCircle) {
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const Antenna a = make_antenna({}, id);
+    EXPECT_GE(a.reader_offset_rad, 0.0);
+    EXPECT_LT(a.reader_offset_rad, kTwoPi);
+  }
+}
+
+TEST(MakeAntenna, DeterministicPerId) {
+  const Antenna a1 = make_antenna({1.0, 0.0, 0.0}, 3);
+  const Antenna a2 = make_antenna({1.0, 0.0, 0.0}, 3);
+  EXPECT_EQ(a1.phase_center_displacement, a2.phase_center_displacement);
+  EXPECT_EQ(a1.reader_offset_rad, a2.reader_offset_rad);
+}
+
+TEST(MakeAntenna, DifferentIdsDiffer) {
+  const Antenna a1 = make_antenna({}, 0);
+  const Antenna a2 = make_antenna({}, 1);
+  EXPECT_NE(a1.reader_offset_rad, a2.reader_offset_rad);
+}
+
+TEST(MakeAntenna, SetsIdAndCenter) {
+  const Antenna a = make_antenna({0.5, 0.8, 0.1}, 9);
+  EXPECT_EQ(a.id, 9u);
+  EXPECT_EQ(a.physical_center, (Vec3{0.5, 0.8, 0.1}));
+}
+
+}  // namespace
+}  // namespace lion::rf

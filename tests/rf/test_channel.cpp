@@ -1,0 +1,342 @@
+#include "rf/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::rf {
+namespace {
+
+NoiseModel quiet() {
+  NoiseModel n;
+  n.phase_sigma = 0.0;
+  n.off_beam_gain = 0.0;
+  n.quantization_steps = 0;
+  return n;
+}
+
+TEST(Reflector, MirrorAcrossFloor) {
+  Reflector floor{.point = {0.0, 0.0, -1.0}, .normal = {0.0, 0.0, 1.0}};
+  const Vec3 img = floor.mirror({1.0, 2.0, 0.5});
+  EXPECT_DOUBLE_EQ(img[0], 1.0);
+  EXPECT_DOUBLE_EQ(img[1], 2.0);
+  EXPECT_DOUBLE_EQ(img[2], -2.5);
+}
+
+TEST(Reflector, MirrorIsInvolution) {
+  Reflector wall{.point = {2.0, 0.0, 0.0}, .normal = {-1.0, 0.0, 0.0}};
+  const Vec3 p{0.3, -0.7, 1.1};
+  EXPECT_NEAR(linalg::distance(wall.mirror(wall.mirror(p)), p), 0.0, 1e-12);
+}
+
+TEST(Reflector, PointOnPlaneIsFixed) {
+  Reflector wall{.point = {2.0, 5.0, 0.0}, .normal = {-1.0, 0.0, 0.0}};
+  const Vec3 on_plane{2.0, -3.0, 7.0};
+  EXPECT_NEAR(linalg::distance(wall.mirror(on_plane), on_plane), 0.0, 1e-12);
+}
+
+TEST(Channel, NoiselessFreeSpacePhaseMatchesEquationOne) {
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  ant.reader_offset_rad = 0.7;
+  Tag tag;
+  tag.tag_offset_rad = 0.3;
+  const Vec3 tag_pos{0.0, 0.0, 0.0};
+  const double d = 1.0;
+  const double expected = wrap_phase(distance_phase(d) + 0.3 + 0.7);
+  EXPECT_NEAR(ch.noiseless_phase(ant, tag, tag_pos), expected, 1e-9);
+}
+
+TEST(Channel, PhaseCenterDisplacementShiftsPhase) {
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Antenna displaced = ant;
+  displaced.phase_center_displacement = {0.0, 0.02, 0.0};  // 2 cm deeper
+  Tag tag;
+  const Vec3 tag_pos{0.0, 0.0, 0.0};
+  const double base = ch.noiseless_phase(ant, tag, tag_pos);
+  const double shifted = ch.noiseless_phase(displaced, tag, tag_pos);
+  // 2 cm extra one-way distance -> 4*pi*0.02/lambda extra phase.
+  const double expected =
+      wrap_phase(base + distance_delta_to_phase(0.02));
+  EXPECT_NEAR(circular_distance(shifted, expected), 0.0, 1e-9);
+}
+
+TEST(Channel, PhaseIncreasesWithDistance) {
+  // The sign convention must match Eq. (1): moving the tag away increases
+  // the unwrapped phase. Check via small (< half wavelength) steps.
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 0.0, 0.0};
+  Tag tag;
+  double prev = ch.noiseless_phase(ant, tag, {0.0, -0.50, 0.0});
+  for (double d = 0.51; d < 0.58; d += 0.01) {
+    const double cur = ch.noiseless_phase(ant, tag, {0.0, -d, 0.0});
+    double jump = cur - prev;
+    while (jump < -kPi) jump += kTwoPi;
+    while (jump > kPi) jump -= kTwoPi;
+    EXPECT_GT(jump, 0.0) << "at distance " << d;
+    prev = cur;
+  }
+}
+
+TEST(Channel, ObservationCarriesTrueDistance) {
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 2.0, 0.0};
+  Tag tag;
+  Rng rng(1);
+  const auto obs = ch.read(ant, tag, {0.0, 0.0, 0.0}, rng);
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_NEAR(obs->true_distance, 2.0, 1e-12);
+}
+
+TEST(Channel, NoiselessReadMatchesNoiselessPhase) {
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.3, 1.2, -0.1};
+  Tag tag;
+  tag.tag_offset_rad = 1.0;
+  Rng rng(2);
+  const Vec3 pos{0.0, 0.0, 0.0};
+  const auto obs = ch.read(ant, tag, pos, rng);
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_NEAR(obs->phase, ch.noiseless_phase(ant, tag, pos), 1e-9);
+}
+
+TEST(Channel, GaussianNoisePerturbsPhase) {
+  NoiseModel n = quiet();
+  n.phase_sigma = 0.1;
+  Channel ch(n, {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  Rng rng(3);
+  const Vec3 pos{0.0, 0.0, 0.0};
+  const double clean = ch.noiseless_phase(ant, tag, pos);
+  double spread = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto obs = ch.read(ant, tag, pos, rng);
+    ASSERT_TRUE(obs);
+    spread += std::abs(wrap_phase_symmetric(obs->phase - clean));
+  }
+  spread /= 100.0;
+  EXPECT_GT(spread, 0.02);  // noise present
+  EXPECT_LT(spread, 0.5);   // but bounded
+}
+
+TEST(Channel, QuantizationSnapsToGrid) {
+  NoiseModel n = quiet();
+  n.quantization_steps = 4096;
+  Channel ch(n, {});
+  Antenna ant;
+  ant.physical_center = {0.0, 0.83, 0.0};
+  Tag tag;
+  Rng rng(4);
+  const auto obs = ch.read(ant, tag, {0.0, 0.0, 0.0}, rng);
+  ASSERT_TRUE(obs);
+  const double step = kTwoPi / 4096.0;
+  const double ratio = obs->phase / step;
+  EXPECT_NEAR(ratio, std::round(ratio), 1e-6);
+}
+
+TEST(Channel, MultipathChangesPhase) {
+  Channel clean(quiet(), {});
+  Channel dirty(quiet(), {Reflector{.point = {0.0, 0.0, -0.5},
+                                    .normal = {0.0, 0.0, 1.0},
+                                    .coefficient = 0.4}});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.3, 0.0};
+  Tag tag;
+  const Vec3 pos{0.2, 0.0, 0.0};
+  const double p_clean = clean.noiseless_phase(ant, tag, pos);
+  const double p_dirty = dirty.noiseless_phase(ant, tag, pos);
+  EXPECT_GT(circular_distance(p_clean, p_dirty), 1e-4);
+}
+
+TEST(Channel, NoSpecularPointMeansNoContribution) {
+  // Tag on the far side of the reflector plane: the image-tag segment
+  // never crosses the plane, so there is no specular bounce (occlusion is
+  // not modelled, the path simply does not exist).
+  Channel with(quiet(), {Reflector{.point = {0.0, 2.0, 0.0},
+                                   .normal = {0.0, -1.0, 0.0},
+                                   .coefficient = 0.9}});
+  Channel without(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  const Vec3 pos{0.5, 2.5, 0.0};  // beyond the y=2 plane
+  EXPECT_NEAR(with.noiseless_phase(ant, tag, pos),
+              without.noiseless_phase(ant, tag, pos), 1e-12);
+}
+
+TEST(Channel, WallBehindAntennaStillReflectsForward) {
+  // A wall behind the antenna produces a legitimate bounce toward the tag
+  // (attenuated by the backlobe gain) — it must change the phase.
+  Channel with(quiet(), {Reflector{.point = {0.0, 5.0, 0.0},
+                                   .normal = {0.0, -1.0, 0.0},
+                                   .coefficient = 0.9}});
+  Channel without(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  const Vec3 pos{0.0, 0.0, 0.0};
+  EXPECT_GT(circular_distance(with.noiseless_phase(ant, tag, pos),
+                              without.noiseless_phase(ant, tag, pos)),
+            1e-6);
+}
+
+TEST(Channel, SensitivityFloorDropsWeakReads) {
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  tag.sensitivity_floor = 1e9;  // absurdly high: every read fails
+  Rng rng(5);
+  EXPECT_FALSE(ch.read(ant, tag, {0.0, 0.0, 0.0}, rng).has_value());
+}
+
+TEST(Channel, RssiDecreasesWithDistance) {
+  Channel ch(quiet(), {});
+  Antenna ant;
+  ant.physical_center = {0.0, 0.0, 0.0};
+  Tag tag;
+  Rng rng(6);
+  const auto near = ch.read(ant, tag, {0.0, -0.5, 0.0}, rng);
+  const auto far = ch.read(ant, tag, {0.0, -2.0, 0.0}, rng);
+  ASSERT_TRUE(near && far);
+  EXPECT_GT(near->rssi_dbm, far->rssi_dbm);
+}
+
+TEST(Channel, DiffuseMultipathGrowsWithDistance) {
+  // The diffuse term has constant field amplitude while LoS decays as 1/d,
+  // so the induced phase spread must grow with distance.
+  NoiseModel n = quiet();
+  n.diffuse_amplitude = 0.15;
+  Channel ch(n, {});
+  Antenna ant;
+  ant.physical_center = {0.0, 0.0, 0.0};
+  Tag tag;
+  Rng rng(31);
+  auto spread_at = [&](double depth) {
+    const Vec3 pos{0.0, -depth, 0.0};
+    const double clean =
+        Channel(quiet(), {}).noiseless_phase(ant, tag, pos);
+    double s = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      const auto obs = ch.read(ant, tag, pos, rng);
+      s += std::abs(wrap_phase_symmetric(obs->phase - clean));
+    }
+    return s / 300.0;
+  };
+  const double near_spread = spread_at(0.5);
+  const double far_spread = spread_at(2.0);
+  EXPECT_GT(far_spread, 2.0 * near_spread);
+}
+
+TEST(Channel, DiffuseMultipathZeroIsNoiseless) {
+  NoiseModel n = quiet();
+  n.diffuse_amplitude = 0.0;
+  Channel ch(n, {});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  Rng rng(32);
+  const auto a = ch.read(ant, tag, {0.0, 0.0, 0.0}, rng);
+  const auto b = ch.read(ant, tag, {0.0, 0.0, 0.0}, rng);
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->phase, b->phase);
+}
+
+TEST(Channel, ScattererPerturbsPhaseLocally) {
+  // A point scatterer matters when the tag passes close by and fades out
+  // with distance from it.
+  Channel clean(quiet(), {});
+  Channel dirty(quiet(), {}, {Scatterer{{0.3, 0.1, 0.0}, 0.05}});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  // The deviation at a single point depends on the interference phase, so
+  // compare the *maximum* deviation over a small neighbourhood near the
+  // scatterer against the far region.
+  auto max_dev_around = [&](double x0) {
+    double m = 0.0;
+    for (double x = x0 - 0.05; x <= x0 + 0.05; x += 0.005) {
+      const Vec3 p{x, 0.0, 0.0};
+      m = std::max(m, circular_distance(dirty.noiseless_phase(ant, tag, p),
+                                        clean.noiseless_phase(ant, tag, p)));
+    }
+    return m;
+  };
+  const double near_dev = max_dev_around(0.3);
+  const double far_dev = max_dev_around(-0.5);
+  EXPECT_GT(near_dev, 3.0 * far_dev);
+  EXPECT_GT(near_dev, 0.1);
+}
+
+TEST(Channel, ScattererZeroReflectivityIsNoop) {
+  Channel clean(quiet(), {});
+  Channel with(quiet(), {}, {Scatterer{{0.3, 0.1, 0.0}, 0.0}});
+  Antenna ant;
+  ant.physical_center = {0.0, 1.0, 0.0};
+  Tag tag;
+  const Vec3 pos{0.2, 0.0, 0.0};
+  EXPECT_NEAR(with.noiseless_phase(ant, tag, pos),
+              clean.noiseless_phase(ant, tag, pos), 1e-12);
+}
+
+TEST(Channel, ScattererAccessorExposed) {
+  Channel ch(quiet(), {}, {Scatterer{{1.0, 2.0, 3.0}, 0.07}});
+  ASSERT_EQ(ch.scatterers().size(), 1u);
+  EXPECT_DOUBLE_EQ(ch.scatterers()[0].reflectivity, 0.07);
+}
+
+TEST(Channel, PatternPhaseAppearsInReportedPhase) {
+  Channel ch(quiet(), {});
+  Antenna flat;
+  flat.physical_center = {0.0, 0.8, 0.0};
+  Antenna patterned = flat;
+  patterned.pattern_coefficient = 1.0;
+  Tag tag;
+  // Well off boresight: pattern phase nonzero.
+  const Vec3 off_axis{1.5, 0.0, 0.0};
+  const double dev = circular_distance(
+      ch.noiseless_phase(patterned, tag, off_axis),
+      ch.noiseless_phase(flat, tag, off_axis));
+  EXPECT_NEAR(dev, patterned.pattern_phase(off_axis), 1e-9);
+  // On boresight: identical.
+  const Vec3 on_axis{0.0, 0.0, 0.0};
+  EXPECT_NEAR(ch.noiseless_phase(patterned, tag, on_axis),
+              ch.noiseless_phase(flat, tag, on_axis), 1e-12);
+}
+
+TEST(Channel, OffBeamNoiseInflation) {
+  NoiseModel n = quiet();
+  n.phase_sigma = 0.05;
+  n.off_beam_gain = 5.0;
+  Channel ch(n, {});
+  Antenna ant;
+  ant.physical_center = {0.0, 0.8, 0.0};
+  Tag tag;
+  Rng rng(7);
+  auto spread_at = [&](const Vec3& pos) {
+    const double clean = ch.noiseless_phase(ant, tag, pos);
+    double s = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const auto obs = ch.read(ant, tag, pos, rng);
+      s += std::abs(wrap_phase_symmetric(obs->phase - clean));
+    }
+    return s / 200.0;
+  };
+  // On boresight vs 60 degrees off (beyond the 35-degree half beam).
+  const double on = spread_at({0.0, 0.0, 0.0});
+  const double off = spread_at({1.4, 0.0, 0.0});
+  EXPECT_GT(off, 1.5 * on);
+}
+
+}  // namespace
+}  // namespace lion::rf

@@ -1,0 +1,118 @@
+#include "rf/phase_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lion::rf {
+namespace {
+
+TEST(WrapPhase, AlreadyInRangeIsUnchanged) {
+  EXPECT_DOUBLE_EQ(wrap_phase(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(wrap_phase(0.0), 0.0);
+}
+
+TEST(WrapPhase, WrapsAboveTwoPi) {
+  EXPECT_NEAR(wrap_phase(kTwoPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_phase(5.0 * kTwoPi + 1.0), 1.0, 1e-12);
+}
+
+TEST(WrapPhase, WrapsNegative) {
+  EXPECT_NEAR(wrap_phase(-0.5), kTwoPi - 0.5, 1e-12);
+  EXPECT_NEAR(wrap_phase(-3.0 * kTwoPi - 1.0), kTwoPi - 1.0, 1e-12);
+}
+
+TEST(WrapPhase, ResultAlwaysInRange) {
+  for (double x = -20.0; x < 20.0; x += 0.37) {
+    const double w = wrap_phase(x);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi);
+  }
+}
+
+TEST(WrapPhaseSymmetric, RangeIsMinusPiToPi) {
+  for (double x = -20.0; x < 20.0; x += 0.31) {
+    const double w = wrap_phase_symmetric(x);
+    EXPECT_GT(w, -kPi);
+    EXPECT_LE(w, kPi);
+  }
+}
+
+TEST(WrapPhaseSymmetric, PiMapsToPi) {
+  EXPECT_NEAR(wrap_phase_symmetric(kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_phase_symmetric(-kPi), kPi, 1e-12);
+}
+
+TEST(DistancePhase, MatchesEquationOne) {
+  // theta_d = 2*pi/lambda * 2d: one wavelength of one-way distance is two
+  // full turns.
+  const double lambda = kDefaultWavelength;
+  EXPECT_NEAR(distance_phase(lambda, lambda), 2.0 * kTwoPi, 1e-12);
+  EXPECT_NEAR(distance_phase(lambda / 4.0, lambda), kPi, 1e-12);
+}
+
+TEST(ReportedPhase, SumsDistanceAndOffsetsWrapped) {
+  const double lambda = kDefaultWavelength;
+  // Half-wavelength one-way: distance term is exactly 2*pi -> wraps to 0.
+  const double phase = reported_phase(lambda / 2.0, 0.3, 0.4, lambda);
+  EXPECT_NEAR(phase, 0.7, 1e-12);
+}
+
+TEST(ReportedPhase, InRange) {
+  for (double d = 0.1; d < 3.0; d += 0.1) {
+    const double p = reported_phase(d, 1.0, 2.0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, kTwoPi);
+  }
+}
+
+TEST(PhaseDistanceConversion, RoundTrips) {
+  const double delta_d = 0.042;
+  const double phase = distance_delta_to_phase(delta_d);
+  EXPECT_NEAR(phase_to_distance_delta(phase), delta_d, 1e-15);
+}
+
+TEST(PhaseDistanceConversion, Eq6Constant) {
+  // delta_d = lambda/(4 pi) * delta_theta.
+  EXPECT_NEAR(phase_to_distance_delta(4.0 * kPi, 1.0), 1.0, 1e-15);
+  EXPECT_NEAR(distance_delta_to_phase(1.0, 1.0), 4.0 * kPi, 1e-15);
+}
+
+TEST(CircularDistance, HandlesWrapAround) {
+  EXPECT_NEAR(circular_distance(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(circular_distance(0.0, kPi), kPi, 1e-12);
+  EXPECT_NEAR(circular_distance(1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(CircularDistance, Symmetric) {
+  EXPECT_NEAR(circular_distance(0.3, 5.9), circular_distance(5.9, 0.3),
+              1e-12);
+}
+
+TEST(CircularMean, SimpleAverage) {
+  EXPECT_NEAR(circular_mean({0.9, 1.1}), 1.0, 1e-12);
+}
+
+TEST(CircularMean, HandlesWrapAround) {
+  // Angles straddling 0: mean should be 0 (or 2*pi), not pi.
+  const double m = circular_mean({0.1, kTwoPi - 0.1});
+  EXPECT_LT(std::min(m, kTwoPi - m), 1e-9);
+}
+
+TEST(CircularMean, EmptyThrows) {
+  EXPECT_THROW(circular_mean({}), std::invalid_argument);
+}
+
+TEST(Wavelength, DefaultCarrierIsAbout32cm) {
+  EXPECT_NEAR(kDefaultWavelength, 0.3257, 0.001);
+}
+
+TEST(ChannelPlans, ChannelFrequencies) {
+  EXPECT_DOUBLE_EQ(kFccPlan.channel_hz(0), 902.75e6);
+  EXPECT_DOUBLE_EQ(kFccPlan.channel_hz(49), 902.75e6 + 49 * 500e3);
+  EXPECT_DOUBLE_EQ(kChinaPlan.channel_hz(0), kDefaultFrequencyHz);
+}
+
+}  // namespace
+}  // namespace lion::rf

@@ -1,0 +1,109 @@
+#include "rf/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/stats.hpp"
+
+namespace lion::rf {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, GaussianZeroSigmaIsDeterministic) {
+  Rng rng(9);
+  EXPECT_EQ(rng.gaussian(0.0), 0.0);
+  EXPECT_EQ(rng.gaussian(5.0, 0.0), 5.0);
+  EXPECT_EQ(rng.gaussian(5.0, -1.0), 5.0);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(42);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.gaussian(2.0, 0.5);
+  EXPECT_NEAR(linalg::mean(samples), 2.0, 0.02);
+  EXPECT_NEAR(linalg::stddev(samples), 0.5, 0.02);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateRoughlyCorrect) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(21);
+  parent_copy.fork();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.uniform(0.0, 1.0) != parent.uniform(0.0, 1.0)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ca.uniform(0.0, 1.0), cb.uniform(0.0, 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace lion::rf

@@ -1,0 +1,48 @@
+#include "rf/tag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rf/constants.hpp"
+
+namespace lion::rf {
+namespace {
+
+TEST(Tag, DefaultsAreSane) {
+  Tag t;
+  EXPECT_EQ(t.tag_offset_rad, 0.0);
+  EXPECT_GT(t.backscatter_efficiency, 0.0);
+  EXPECT_LE(t.backscatter_efficiency, 1.0);
+  EXPECT_EQ(t.sensitivity_floor, 0.0);
+}
+
+TEST(MakeTag, OffsetInCircle) {
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const Tag t = make_tag(id);
+    EXPECT_GE(t.tag_offset_rad, 0.0);
+    EXPECT_LT(t.tag_offset_rad, kTwoPi);
+  }
+}
+
+TEST(MakeTag, EfficiencyInExpectedBand) {
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const Tag t = make_tag(id);
+    EXPECT_GE(t.backscatter_efficiency, 0.4);
+    EXPECT_LE(t.backscatter_efficiency, 0.6);
+  }
+}
+
+TEST(MakeTag, DeterministicPerId) {
+  const Tag a = make_tag(5);
+  const Tag b = make_tag(5);
+  EXPECT_EQ(a.tag_offset_rad, b.tag_offset_rad);
+  EXPECT_EQ(a.backscatter_efficiency, b.backscatter_efficiency);
+}
+
+TEST(MakeTag, DifferentIdsGetDifferentOffsets) {
+  EXPECT_NE(make_tag(1).tag_offset_rad, make_tag(2).tag_offset_rad);
+}
+
+TEST(MakeTag, StoresId) { EXPECT_EQ(make_tag(42).id, 42u); }
+
+}  // namespace
+}  // namespace lion::rf

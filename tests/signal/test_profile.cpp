@@ -1,0 +1,94 @@
+#include "signal/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lion::signal {
+namespace {
+
+PhaseProfile ramp_profile() {
+  // Points along x at 1 cm spacing, phase = 10 * x.
+  PhaseProfile p;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = 0.01 * i;
+    p.push_back({{x, 0.0, 0.0}, 10.0 * x, 0.1 * i});
+  }
+  return p;
+}
+
+TEST(Profile, FromSamplesCopiesFields) {
+  std::vector<sim::PhaseSample> samples(3);
+  samples[1].position = {1.0, 2.0, 3.0};
+  samples[1].phase = 0.5;
+  samples[1].t = 7.0;
+  const auto p = from_samples(samples);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1].position, (Vec3{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(p[1].phase, 0.5);
+  EXPECT_DOUBLE_EQ(p[1].t, 7.0);
+}
+
+TEST(Profile, ArcLengthsAccumulate) {
+  const auto arcs = arc_lengths(ramp_profile());
+  ASSERT_EQ(arcs.size(), 11u);
+  EXPECT_DOUBLE_EQ(arcs[0], 0.0);
+  EXPECT_NEAR(arcs[10], 0.10, 1e-12);
+  for (std::size_t i = 1; i < arcs.size(); ++i) {
+    EXPECT_GT(arcs[i], arcs[i - 1]);
+  }
+}
+
+TEST(Profile, ArcLengthsOfEmpty) {
+  EXPECT_TRUE(arc_lengths({}).empty());
+}
+
+TEST(Profile, PhaseAtArcInterpolates) {
+  const auto p = ramp_profile();
+  // Halfway between sample 2 (x=0.02) and 3 (x=0.03).
+  EXPECT_NEAR(phase_at_arc(p, 0.025), 0.25, 1e-9);
+}
+
+TEST(Profile, PhaseAtArcClampsAtEnds) {
+  const auto p = ramp_profile();
+  EXPECT_DOUBLE_EQ(phase_at_arc(p, -1.0), p.front().phase);
+  EXPECT_DOUBLE_EQ(phase_at_arc(p, 99.0), p.back().phase);
+}
+
+TEST(Profile, PhaseAtArcEmptyThrows) {
+  EXPECT_THROW(phase_at_arc({}, 0.0), std::invalid_argument);
+}
+
+TEST(Profile, NearestPointFindsClosest) {
+  const auto p = ramp_profile();
+  const auto& n = nearest_point(p, {0.033, 0.001, 0.0});
+  EXPECT_NEAR(n.position[0], 0.03, 1e-12);
+}
+
+TEST(Profile, NearestPointEmptyThrows) {
+  EXPECT_THROW(nearest_point({}, {}), std::invalid_argument);
+}
+
+TEST(Profile, PhaseNearInterpolatesBetweenSamples) {
+  const auto p = ramp_profile();
+  EXPECT_NEAR(phase_near(p, {0.025, 0.0, 0.0}), 0.25, 1e-9);
+  EXPECT_NEAR(phase_near(p, {0.071, 0.0, 0.0}), 0.71, 1e-9);
+}
+
+TEST(Profile, PhaseNearClampsOutsideEnds) {
+  const auto p = ramp_profile();
+  EXPECT_NEAR(phase_near(p, {-0.5, 0.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(phase_near(p, {0.9, 0.0, 0.0}), 1.0, 1e-9);
+}
+
+TEST(Profile, PhaseNearSinglePoint) {
+  PhaseProfile p{{{1.0, 0.0, 0.0}, 2.5, 0.0}};
+  EXPECT_DOUBLE_EQ(phase_near(p, {5.0, 5.0, 5.0}), 2.5);
+}
+
+TEST(Profile, PhaseNearEmptyThrows) {
+  EXPECT_THROW(phase_near({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lion::signal

@@ -1,0 +1,204 @@
+#include "signal/smooth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::signal {
+namespace {
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> v{1.0, 5.0, 2.0};
+  EXPECT_EQ(moving_average(v, 1), v);
+  EXPECT_EQ(moving_average(v, 0), v);
+}
+
+TEST(MovingAverage, KnownWindow3) {
+  const auto out = moving_average({1.0, 2.0, 3.0, 4.0, 5.0}, 3);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // shrunken edge window {1,2}
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 4.0);
+  EXPECT_DOUBLE_EQ(out[4], 4.5);
+}
+
+TEST(MovingAverage, EvenWindowRoundsUp) {
+  // Window 4 behaves as window 5.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(moving_average(v, 4), moving_average(v, 5));
+}
+
+TEST(MovingAverage, PreservesConstantSignal) {
+  const std::vector<double> v(20, 3.3);
+  const auto out = moving_average(v, 7);
+  for (double x : out) EXPECT_NEAR(x, 3.3, 1e-12);
+}
+
+TEST(MovingAverage, PreservesLinearInterior) {
+  std::vector<double> v;
+  for (int i = 0; i < 30; ++i) v.push_back(2.0 * i);
+  const auto out = moving_average(v, 5);
+  for (std::size_t i = 2; i < 28; ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(MovingAverage, ReducesNoiseVariance) {
+  rf::Rng rng(1);
+  std::vector<double> noisy(500);
+  for (double& x : noisy) x = rng.gaussian(0.3);
+  const auto smooth = moving_average(noisy, 9);
+  double var_in = 0.0;
+  double var_out = 0.0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    var_in += noisy[i] * noisy[i];
+    var_out += smooth[i] * smooth[i];
+  }
+  EXPECT_LT(var_out, var_in / 3.0);
+}
+
+TEST(MovingMedian, KnownWindow3) {
+  const auto out = moving_median({1.0, 100.0, 3.0, 4.0, 5.0}, 3);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);  // median of {1, 100, 3}
+  EXPECT_DOUBLE_EQ(out[2], 4.0);  // median of {100, 3, 4}
+}
+
+TEST(MovingMedian, RemovesImpulse) {
+  std::vector<double> v(21, 1.0);
+  v[10] = 50.0;
+  const auto out = moving_median(v, 5);
+  EXPECT_DOUBLE_EQ(out[10], 1.0);
+}
+
+TEST(MovingMedian, WindowOneIsIdentity) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_EQ(moving_median(v, 1), v);
+}
+
+TEST(SmoothInPlace, OnlyPhasesChange) {
+  PhaseProfile profile;
+  rf::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    profile.push_back({{0.01 * i, 0.0, 0.0}, rng.gaussian(1.0), 0.1 * i});
+  }
+  const PhaseProfile before = profile;
+  smooth_in_place(profile, 7);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_EQ(profile[i].position, before[i].position);
+    EXPECT_EQ(profile[i].t, before[i].t);
+  }
+}
+
+TEST(RejectOutliers, RemovesImpulsesKeepsRest) {
+  PhaseProfile profile;
+  for (int i = 0; i < 40; ++i) {
+    profile.push_back({{0.01 * i, 0.0, 0.0}, 0.05 * i, 0.0});
+  }
+  profile[15].phase += 3.0;  // impulse
+  profile[30].phase -= 3.0;  // impulse
+  const std::size_t removed = reject_outliers(profile, 7, 1.0);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(profile.size(), 38u);
+}
+
+TEST(RejectOutliers, CleanProfileUntouched) {
+  PhaseProfile profile;
+  for (int i = 0; i < 40; ++i) {
+    profile.push_back({{0.01 * i, 0.0, 0.0}, 0.05 * i, 0.0});
+  }
+  EXPECT_EQ(reject_outliers(profile, 7, 1.0), 0u);
+  EXPECT_EQ(profile.size(), 40u);
+}
+
+TEST(RejectOutliers, EmptyProfileIsNoop) {
+  PhaseProfile profile;
+  EXPECT_EQ(reject_outliers(profile, 5, 0.5), 0u);
+}
+
+namespace wrapped_impulses {
+
+std::vector<sim::PhaseSample> ramp_stream(int n) {
+  std::vector<sim::PhaseSample> s(n);
+  for (int i = 0; i < n; ++i) {
+    s[i].phase = rf::wrap_phase(0.05 * i);
+    s[i].position = {0.001 * i, 0.0, 0.0};
+  }
+  return s;
+}
+
+TEST(RejectWrappedImpulses, DropsIsolatedImpulse) {
+  auto s = ramp_stream(50);
+  s[25].phase = rf::wrap_phase(s[25].phase + 3.0);
+  EXPECT_EQ(reject_wrapped_impulses(s, 1.2), 1u);
+  EXPECT_EQ(s.size(), 49u);
+}
+
+TEST(RejectWrappedImpulses, CleanStreamUntouched) {
+  auto s = ramp_stream(50);
+  EXPECT_EQ(reject_wrapped_impulses(s, 1.2), 0u);
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(RejectWrappedImpulses, WrapJumpIsNotAnImpulse) {
+  // A legitimate modulo wrap (6.2 -> 0.1) is circularly small.
+  std::vector<sim::PhaseSample> s(20);
+  for (int i = 0; i < 20; ++i) {
+    s[i].phase = rf::wrap_phase(6.0 + 0.05 * i);  // crosses 2*pi
+  }
+  EXPECT_EQ(reject_wrapped_impulses(s, 1.2), 0u);
+}
+
+TEST(RejectWrappedImpulses, LookAheadHealsCorruptedHead) {
+  auto s = ramp_stream(30);
+  s[0].phase = rf::wrap_phase(s[0].phase + 3.0);  // wild first sample
+  reject_wrapped_impulses(s, 1.2);
+  // Everything after the head survives (sample 1 confirmed by sample 2).
+  EXPECT_GE(s.size(), 29u);
+}
+
+TEST(RejectWrappedImpulses, DisabledByNonPositiveThreshold) {
+  auto s = ramp_stream(30);
+  s[10].phase = rf::wrap_phase(s[10].phase + 3.0);
+  EXPECT_EQ(reject_wrapped_impulses(s, 0.0), 0u);
+  EXPECT_EQ(s.size(), 30u);
+}
+
+}  // namespace wrapped_impulses
+
+namespace rssi_gate {
+
+TEST(RejectLowRssi, DropsDeepFades) {
+  std::vector<sim::PhaseSample> s(40);
+  for (int i = 0; i < 40; ++i) s[i].rssi_dbm = -50.0;
+  s[7].rssi_dbm = -80.0;
+  s[21].rssi_dbm = -70.0;
+  EXPECT_EQ(reject_low_rssi(s, 6.0), 2u);
+  EXPECT_EQ(s.size(), 38u);
+}
+
+TEST(RejectLowRssi, KeepsReadsNearMedian) {
+  std::vector<sim::PhaseSample> s(20);
+  for (int i = 0; i < 20; ++i) {
+    s[i].rssi_dbm = -50.0 + (i % 2 ? 2.0 : -2.0);
+  }
+  EXPECT_EQ(reject_low_rssi(s, 6.0), 0u);
+}
+
+TEST(RejectLowRssi, DisabledByNonPositiveGate) {
+  std::vector<sim::PhaseSample> s(10);
+  s[3].rssi_dbm = -200.0;
+  EXPECT_EQ(reject_low_rssi(s, 0.0), 0u);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(RejectLowRssi, EmptyStreamIsNoop) {
+  std::vector<sim::PhaseSample> s;
+  EXPECT_EQ(reject_low_rssi(s, 6.0), 0u);
+}
+
+}  // namespace rssi_gate
+
+}  // namespace
+}  // namespace lion::signal

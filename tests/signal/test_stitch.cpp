@@ -1,0 +1,187 @@
+#include "signal/stitch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.hpp"
+#include "rf/constants.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "signal/unwrap.hpp"
+
+namespace lion::signal {
+namespace {
+
+using rf::kTwoPi;
+
+// A profile whose phase is a clean linear function of x, wrapped.
+PhaseProfile wrapped_segment(double x0, double x1, double slope,
+                             std::size_t n) {
+  PhaseProfile p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = x0 + (x1 - x0) * static_cast<double>(i) /
+                              static_cast<double>(n - 1);
+    p.push_back({{x, 0.0, 0.0}, rf::wrap_phase(slope * x), 0.0});
+  }
+  return p;
+}
+
+TEST(StitchContinuous, ConcatenatesAndUnwraps) {
+  const auto a = wrapped_segment(0.0, 0.5, 20.0, 50);
+  const auto b = wrapped_segment(0.51, 1.0, 20.0, 50);
+  const auto out = stitch_continuous({a, b});
+  ASSERT_EQ(out.size(), 100u);
+  // Continuous result: every jump below pi.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(std::abs(out[i].phase - out[i - 1].phase), rf::kPi);
+  }
+  // And the total phase span matches the 20 rad/m slope over 1 m.
+  EXPECT_NEAR(out.back().phase - out.front().phase, 20.0, 0.5);
+}
+
+TEST(StitchContinuous, SkipsEmptyParts) {
+  const auto a = wrapped_segment(0.0, 0.2, 10.0, 10);
+  const auto out = stitch_continuous({{}, a, {}});
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(StitchProfiles, AlignsIndependentlyUnwrappedParts) {
+  // Two segments unwrapped separately: the second starts with an arbitrary
+  // 2*pi*k offset relative to the first.
+  auto a = wrapped_segment(0.0, 0.5, 20.0, 50);
+  auto b = wrapped_segment(0.505, 1.0, 20.0, 50);
+  unwrap_in_place(a);
+  unwrap_in_place(b);
+  for (auto& p : b) p.phase += 3.0 * kTwoPi;  // simulate baseline mismatch
+
+  const auto out = stitch_profiles({a, b});
+  ASSERT_EQ(out.size(), 100u);
+  // After stitching the junction jump is small again.
+  const double jump = std::abs(out[50].phase - out[49].phase);
+  EXPECT_LT(jump, rf::kPi);
+  // Phase difference across the whole span matches the true slope.
+  EXPECT_NEAR(out.back().phase - out.front().phase, 20.0, 0.5);
+}
+
+TEST(StitchProfiles, ThrowsOnWideJunctionGap) {
+  auto a = wrapped_segment(0.0, 0.2, 10.0, 10);
+  auto b = wrapped_segment(1.0, 1.2, 10.0, 10);  // 0.8 m gap
+  EXPECT_THROW(stitch_profiles({a, b}), std::invalid_argument);
+}
+
+TEST(StitchProfiles, CustomGapToleranceRespected) {
+  auto a = wrapped_segment(0.0, 0.2, 10.0, 10);
+  auto b = wrapped_segment(0.45, 0.6, 10.0, 10);  // 0.25 m gap
+  EXPECT_THROW(stitch_profiles({a, b}, 0.2), std::invalid_argument);
+  EXPECT_NO_THROW(stitch_profiles({a, b}, 0.3));
+}
+
+TEST(StitchProfiles, SingleProfilePassesThrough) {
+  const auto a = wrapped_segment(0.0, 0.3, 15.0, 20);
+  const auto out = stitch_profiles({a});
+  ASSERT_EQ(out.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].phase, a[i].phase);
+  }
+}
+
+TEST(Preprocess, ProducesUnwrappedSmoothProfile) {
+  std::vector<sim::PhaseSample> samples;
+  for (int i = 0; i < 300; ++i) {
+    sim::PhaseSample s;
+    s.t = 0.01 * i;
+    s.position = {0.002 * i, 0.0, 0.0};
+    s.phase = rf::wrap_phase(0.15 * i);
+    samples.push_back(s);
+  }
+  const auto profile = preprocess(samples);
+  ASSERT_EQ(profile.size(), samples.size());
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LT(std::abs(profile[i].phase - profile[i - 1].phase), rf::kPi);
+  }
+}
+
+TEST(Preprocess, OutlierRejectionShrinksProfile) {
+  std::vector<sim::PhaseSample> samples;
+  for (int i = 0; i < 100; ++i) {
+    sim::PhaseSample s;
+    s.position = {0.002 * i, 0.0, 0.0};
+    s.phase = rf::wrap_phase(0.02 * i);
+    samples.push_back(s);
+  }
+  samples[50].phase = rf::wrap_phase(samples[50].phase + 2.5);
+  PreprocessConfig cfg;
+  cfg.outlier_threshold = 1.0;
+  cfg.smoothing_window = 1;
+  const auto profile = preprocess(samples, cfg);
+  EXPECT_LT(profile.size(), samples.size());
+}
+
+TEST(Preprocess, MetricWindowOverridesSampleWindow) {
+  // Dense stream: 0.5 mm spacing. A 0.02 m metric window must average far
+  // more aggressively than the default 9-sample window.
+  rf::Rng noise_src(5);
+  std::vector<sim::PhaseSample> samples;
+  for (int i = 0; i < 1000; ++i) {
+    sim::PhaseSample s;
+    s.position = {0.0005 * i, 0.0, 0.0};
+    s.phase = rf::wrap_phase(1.0 + noise_src.gaussian(0.2));
+    samples.push_back(s);
+  }
+  PreprocessConfig samples_cfg;
+  samples_cfg.impulse_threshold = 0.0;
+  PreprocessConfig metric_cfg = samples_cfg;
+  metric_cfg.smoothing_window_m = 0.02;  // = 40 samples
+
+  const auto by_samples = preprocess(samples, samples_cfg);
+  const auto by_metric = preprocess(samples, metric_cfg);
+  auto spread = [](const PhaseProfile& p) {
+    std::vector<double> v;
+    for (const auto& pt : p) v.push_back(pt.phase);
+    return lion::linalg::stddev(v);
+  };
+  EXPECT_LT(spread(by_metric), 0.6 * spread(by_samples));
+}
+
+TEST(Preprocess, RssiGateRemovesFadedReads) {
+  std::vector<sim::PhaseSample> samples;
+  for (int i = 0; i < 200; ++i) {
+    sim::PhaseSample s;
+    s.position = {0.002 * i, 0.0, 0.0};
+    s.phase = rf::wrap_phase(0.05 * i);
+    s.rssi_dbm = -50.0;
+    samples.push_back(s);
+  }
+  samples[60].rssi_dbm = -90.0;
+  samples[61].rssi_dbm = -85.0;
+  PreprocessConfig cfg;
+  cfg.rssi_gate_db = 6.0;
+  cfg.impulse_threshold = 0.0;
+  cfg.smoothing_window = 1;
+  const auto profile = preprocess(samples, cfg);
+  EXPECT_EQ(profile.size(), 198u);
+}
+
+TEST(Preprocess, DisabledStagesAreNoops) {
+  std::vector<sim::PhaseSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    sim::PhaseSample s;
+    s.position = {0.01 * i, 0.0, 0.0};
+    s.phase = rf::wrap_phase(0.05 * i);
+    samples.push_back(s);
+  }
+  PreprocessConfig cfg;
+  cfg.smoothing_window = 1;
+  cfg.outlier_threshold = 0.0;
+  const auto profile = preprocess(samples, cfg);
+  const auto expected = unwrap_samples(samples);
+  ASSERT_EQ(profile.size(), expected.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_DOUBLE_EQ(profile[i].phase, expected[i].phase);
+  }
+}
+
+}  // namespace
+}  // namespace lion::signal

@@ -1,0 +1,135 @@
+#include "signal/unwrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rf/constants.hpp"
+#include "rf/phase_model.hpp"
+
+namespace lion::signal {
+namespace {
+
+using rf::kPi;
+using rf::kTwoPi;
+
+TEST(Unwrap, EmptyAndSingle) {
+  EXPECT_TRUE(unwrap({}).empty());
+  const auto one = unwrap({1.5});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 1.5);
+}
+
+TEST(Unwrap, NoJumpIsIdentity) {
+  const std::vector<double> in{1.0, 1.2, 1.4, 1.3};
+  EXPECT_EQ(unwrap(in), in);
+}
+
+TEST(Unwrap, UpwardWrapDetected) {
+  // Phase decreasing through 0: 0.2 -> 6.2 is a wrap, true motion -0.08...
+  const auto out = unwrap({0.3, 0.1, kTwoPi - 0.1, kTwoPi - 0.3});
+  EXPECT_NEAR(out[0], 0.3, 1e-12);
+  EXPECT_NEAR(out[1], 0.1, 1e-12);
+  EXPECT_NEAR(out[2], -0.1, 1e-12);
+  EXPECT_NEAR(out[3], -0.3, 1e-12);
+}
+
+TEST(Unwrap, DownwardWrapDetected) {
+  // Phase increasing through 2*pi.
+  const auto out = unwrap({kTwoPi - 0.2, 0.1, 0.4});
+  EXPECT_NEAR(out[1], kTwoPi + 0.1, 1e-12);
+  EXPECT_NEAR(out[2], kTwoPi + 0.4, 1e-12);
+}
+
+TEST(Unwrap, ConsecutiveDifferencesBelowPi) {
+  // Synthetic wrapped ramp with many wraps.
+  std::vector<double> wrapped;
+  for (int i = 0; i < 200; ++i) {
+    wrapped.push_back(rf::wrap_phase(0.13 * i));
+  }
+  const auto out = unwrap(wrapped);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(std::abs(out[i] - out[i - 1]), kPi);
+  }
+}
+
+TEST(Unwrap, RecoversLinearRamp) {
+  std::vector<double> truth;
+  std::vector<double> wrapped;
+  for (int i = 0; i < 500; ++i) {
+    const double v = -3.0 + 0.21 * i;
+    truth.push_back(v);
+    wrapped.push_back(rf::wrap_phase(v));
+  }
+  const auto out = unwrap(wrapped);
+  // Unwrapped profile equals truth up to a constant 2*pi*k.
+  const double offset = out[0] - truth[0];
+  EXPECT_NEAR(std::remainder(offset, kTwoPi), 0.0, 1e-9);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i] - offset, truth[i], 1e-9);
+  }
+}
+
+TEST(Unwrap, RecoversVShapedProfile) {
+  // Distance decreases then increases (tag passing the antenna): the
+  // unwrapped phase must reproduce the V shape.
+  std::vector<double> truth;
+  std::vector<double> wrapped;
+  for (int i = -100; i <= 100; ++i) {
+    const double v = 0.11 * std::abs(i);
+    truth.push_back(v);
+    wrapped.push_back(rf::wrap_phase(v));
+  }
+  const auto out = unwrap(wrapped);
+  const double offset = out[0] - truth[0];
+  std::size_t argmin = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < out[argmin]) argmin = i;
+  }
+  EXPECT_EQ(argmin, 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i] - offset, truth[i], 1e-9);
+  }
+}
+
+TEST(UnwrapSamples, CarriesPositionsAndTimes) {
+  std::vector<sim::PhaseSample> samples;
+  for (int i = 0; i < 5; ++i) {
+    sim::PhaseSample s;
+    s.t = 0.1 * i;
+    s.position = {0.01 * i, 0.0, 0.0};
+    s.phase = rf::wrap_phase(0.2 * i);
+    samples.push_back(s);
+  }
+  const auto profile = unwrap_samples(samples);
+  ASSERT_EQ(profile.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(profile[i].t, samples[i].t);
+    EXPECT_EQ(profile[i].position, samples[i].position);
+  }
+}
+
+TEST(UnwrapInPlace, MatchesFreeFunction) {
+  std::vector<double> wrapped;
+  for (int i = 0; i < 100; ++i) wrapped.push_back(rf::wrap_phase(0.4 * i));
+  PhaseProfile profile;
+  for (double w : wrapped) profile.push_back({{}, w, 0.0});
+  unwrap_in_place(profile);
+  const auto expected = unwrap(wrapped);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_DOUBLE_EQ(profile[i].phase, expected[i]);
+  }
+}
+
+TEST(Unwrap, ExactPiJumpResolvedDeterministically) {
+  // A jump of exactly pi is genuinely ambiguous; the symmetric wrap
+  // resolves it as +pi, and the mirror case as +pi too (never -pi).
+  const auto up = unwrap({0.0, kPi});
+  EXPECT_NEAR(up[1], kPi, 1e-12);
+  const auto down = unwrap({kPi, 0.0});
+  EXPECT_NEAR(down[1], 2.0 * kPi, 1e-12);
+}
+
+}  // namespace
+}  // namespace lion::signal

@@ -1,0 +1,64 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lion::sim {
+namespace {
+
+TEST(Environment, FreeSpaceHasNoReflectors) {
+  EXPECT_TRUE(make_reflectors(EnvironmentKind::kFreeSpace).empty());
+}
+
+TEST(Environment, SeverityOrdersReflectorCount) {
+  EXPECT_LT(make_reflectors(EnvironmentKind::kLabClean).size(),
+            make_reflectors(EnvironmentKind::kLabTypical).size());
+  EXPECT_LT(make_reflectors(EnvironmentKind::kLabTypical).size(),
+            make_reflectors(EnvironmentKind::kLabHarsh).size());
+}
+
+TEST(Environment, FreeSpaceUsesPaperNoiseDefault) {
+  const auto n = make_noise(EnvironmentKind::kFreeSpace);
+  EXPECT_DOUBLE_EQ(n.phase_sigma, 0.1);  // the paper's N(0, 0.1)
+  EXPECT_DOUBLE_EQ(n.off_beam_gain, 0.0);
+}
+
+TEST(Environment, HarshIsNoisierThanClean) {
+  EXPECT_GT(make_noise(EnvironmentKind::kLabHarsh).phase_sigma,
+            make_noise(EnvironmentKind::kLabClean).phase_sigma);
+}
+
+TEST(Environment, ReflectorNormalsAreUnit) {
+  for (auto kind : {EnvironmentKind::kLabClean, EnvironmentKind::kLabTypical,
+                    EnvironmentKind::kLabHarsh}) {
+    for (const auto& r : make_reflectors(kind)) {
+      EXPECT_NEAR(r.normal.norm(), 1.0, 1e-12);
+      EXPECT_GT(r.coefficient, 0.0);
+      EXPECT_LE(r.coefficient, 1.0);
+    }
+  }
+}
+
+TEST(Environment, MakeChannelWiresNoiseAndReflectors) {
+  const auto ch = make_channel(EnvironmentKind::kLabTypical);
+  EXPECT_EQ(ch.reflectors().size(),
+            make_reflectors(EnvironmentKind::kLabTypical).size());
+  EXPECT_DOUBLE_EQ(ch.noise().phase_sigma,
+                   make_noise(EnvironmentKind::kLabTypical).phase_sigma);
+}
+
+TEST(Environment, NamesAreDistinct) {
+  const std::string names[] = {
+      environment_name(EnvironmentKind::kFreeSpace),
+      environment_name(EnvironmentKind::kLabClean),
+      environment_name(EnvironmentKind::kLabTypical),
+      environment_name(EnvironmentKind::kLabHarsh),
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) EXPECT_NE(names[i], names[j]);
+  }
+}
+
+}  // namespace
+}  // namespace lion::sim

@@ -1,0 +1,150 @@
+#include "sim/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::sim {
+namespace {
+
+rf::NoiseModel quiet() {
+  rf::NoiseModel n;
+  n.phase_sigma = 0.0;
+  n.off_beam_gain = 0.0;
+  n.quantization_steps = 0;
+  return n;
+}
+
+rf::Antenna antenna_at(const Vec3& p) {
+  rf::Antenna a;
+  a.physical_center = p;
+  return a;
+}
+
+TEST(ReaderSim, SampleCountMatchesRateAndDuration) {
+  ReaderConfig slow;
+  slow.read_rate_hz = 50;
+  ReaderSim reader(rf::Channel(quiet(), {}), slow);
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);  // 10 s
+  rf::Rng rng(1);
+  const auto samples =
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng);
+  EXPECT_NEAR(static_cast<double>(samples.size()), 501.0, 1.0);
+}
+
+TEST(ReaderSim, SamplesAreChronological) {
+  ReaderSim reader(rf::Channel(quiet(), {}), ReaderConfig{});
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);
+  rf::Rng rng(2);
+  const auto samples =
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t, samples[i - 1].t);
+  }
+}
+
+TEST(ReaderSim, PositionsFollowTrajectory) {
+  ReaderSim reader(rf::Channel(quiet(), {}), ReaderConfig{});
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);
+  rf::Rng rng(3);
+  const auto samples =
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng);
+  for (const auto& s : samples) {
+    EXPECT_NEAR(linalg::distance(s.position, traj.position(s.t)), 0.0, 1e-12);
+  }
+}
+
+TEST(ReaderSim, NoiselessPhasesMatchChannel) {
+  rf::Channel ch(quiet(), {});
+  ReaderSim reader(ch, ReaderConfig{});
+  LinearTrajectory traj({-0.3, 0.0, 0.0}, {0.3, 0.0, 0.0}, 0.1);
+  rf::Rng rng(4);
+  const auto ant = antenna_at({0.0, 0.8, 0.0});
+  const auto samples = reader.sweep(ant, rf::Tag{}, traj, rng);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_NEAR(s.phase, ch.noiseless_phase(ant, rf::Tag{}, s.position),
+                1e-9);
+  }
+}
+
+TEST(ReaderSim, MissProbabilityThinsStream) {
+  ReaderConfig cfg;
+  cfg.miss_probability = 0.5;
+  ReaderSim lossy(rf::Channel(quiet(), {}), cfg);
+  ReaderSim clean(rf::Channel(quiet(), {}), ReaderConfig{});
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);
+  rf::Rng rng1(5);
+  rf::Rng rng2(5);
+  const auto lossy_samples =
+      lossy.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng1);
+  const auto clean_samples =
+      clean.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng2);
+  EXPECT_LT(lossy_samples.size(), clean_samples.size());
+  EXPECT_GT(lossy_samples.size(), clean_samples.size() / 4);
+}
+
+TEST(ReaderSim, PositionJitterPerturbsReportedPositions) {
+  ReaderConfig cfg;
+  cfg.position_jitter_m = 0.002;
+  ReaderSim reader(rf::Channel(quiet(), {}), cfg);
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);
+  rf::Rng rng(6);
+  const auto samples =
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng);
+  double total_dev = 0.0;
+  for (const auto& s : samples) {
+    total_dev += linalg::distance(s.position, traj.position(s.t));
+  }
+  EXPECT_GT(total_dev / static_cast<double>(samples.size()), 1e-4);
+}
+
+TEST(ReaderSim, TimingJitterStaysWithinTrajectory) {
+  ReaderConfig cfg;
+  cfg.timing_jitter_s = 0.01;
+  ReaderSim reader(rf::Channel(quiet(), {}), cfg);
+  LinearTrajectory traj({-0.2, 0.0, 0.0}, {0.2, 0.0, 0.0}, 0.1);
+  rf::Rng rng(7);
+  const auto samples =
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng);
+  for (const auto& s : samples) {
+    EXPECT_GE(s.t, 0.0);
+    EXPECT_LE(s.t, traj.duration());
+  }
+}
+
+TEST(ReaderSim, ReadStaticProducesRequestedCount) {
+  ReaderSim reader(rf::Channel(quiet(), {}), ReaderConfig{});
+  rf::Rng rng(8);
+  const auto samples = reader.read_static(antenna_at({0.0, 1.0, 0.0}),
+                                          rf::Tag{}, {0.0, 0.0, 0.0}, 100, rng);
+  EXPECT_EQ(samples.size(), 100u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.position, (Vec3{0.0, 0.0, 0.0}));
+  }
+}
+
+TEST(ReaderSim, StaticNoiselessPhasesIdentical) {
+  ReaderSim reader(rf::Channel(quiet(), {}), ReaderConfig{});
+  rf::Rng rng(9);
+  const auto samples = reader.read_static(antenna_at({0.0, 1.0, 0.0}),
+                                          rf::Tag{}, {0.0, 0.0, 0.0}, 10, rng);
+  for (const auto& s : samples) {
+    EXPECT_DOUBLE_EQ(s.phase, samples.front().phase);
+  }
+}
+
+TEST(ReaderSim, UnpoweredTagProducesNoSamples) {
+  ReaderSim reader(rf::Channel(quiet(), {}), ReaderConfig{});
+  rf::Tag deaf;
+  deaf.sensitivity_floor = 1e9;
+  rf::Rng rng(10);
+  LinearTrajectory traj({-0.2, 0.0, 0.0}, {0.2, 0.0, 0.0}, 0.1);
+  EXPECT_TRUE(
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), deaf, traj, rng).empty());
+}
+
+}  // namespace
+}  // namespace lion::sim

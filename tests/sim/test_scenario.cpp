@@ -1,0 +1,126 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lion::sim {
+namespace {
+
+TEST(Scenario, BuilderRequiresAntennaAndTag) {
+  EXPECT_THROW(Scenario::Builder{}.add_tag().build(), std::invalid_argument);
+  EXPECT_THROW(Scenario::Builder{}.add_antenna({0.0, 1.0, 0.0}).build(),
+               std::invalid_argument);
+}
+
+TEST(Scenario, AutoAntennasGetSequentialIds) {
+  auto s = Scenario::Builder{}
+               .add_antenna({0.0, 1.0, 0.0})
+               .add_antenna({0.3, 1.0, 0.0})
+               .add_tag()
+               .build();
+  ASSERT_EQ(s.antennas().size(), 2u);
+  EXPECT_EQ(s.antennas()[0].id, 0u);
+  EXPECT_EQ(s.antennas()[1].id, 1u);
+}
+
+TEST(Scenario, SweepProducesSamples) {
+  auto s = Scenario::Builder{}
+               .add_antenna({0.0, 0.8, 0.0})
+               .add_tag()
+               .seed(11)
+               .build();
+  LinearTrajectory traj({-0.3, 0.0, 0.0}, {0.3, 0.0, 0.0}, 0.1);
+  const auto samples = s.sweep(0, 0, traj);
+  EXPECT_GT(samples.size(), 100u);
+}
+
+TEST(Scenario, SweepValidatesIndices) {
+  auto s = Scenario::Builder{}
+               .add_antenna({0.0, 0.8, 0.0})
+               .add_tag()
+               .build();
+  LinearTrajectory traj({-0.3, 0.0, 0.0}, {0.3, 0.0, 0.0}, 0.1);
+  EXPECT_THROW(s.sweep(1, 0, traj), std::out_of_range);
+  EXPECT_THROW(s.sweep(0, 1, traj), std::out_of_range);
+}
+
+TEST(Scenario, SameSeedReproducesSamples) {
+  auto make = [] {
+    return Scenario::Builder{}
+        .add_antenna({0.0, 0.8, 0.0})
+        .add_tag()
+        .seed(42)
+        .build();
+  };
+  auto s1 = make();
+  auto s2 = make();
+  LinearTrajectory traj({-0.3, 0.0, 0.0}, {0.3, 0.0, 0.0}, 0.1);
+  const auto a = s1.sweep(0, 0, traj);
+  const auto b = s2.sweep(0, 0, traj);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].phase, b[i].phase);
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  auto s1 = Scenario::Builder{}
+                .environment(EnvironmentKind::kLabTypical)
+                .add_antenna({0.0, 0.8, 0.0})
+                .add_tag()
+                .seed(1)
+                .build();
+  auto s2 = Scenario::Builder{}
+                .environment(EnvironmentKind::kLabTypical)
+                .add_antenna({0.0, 0.8, 0.0})
+                .add_tag()
+                .seed(2)
+                .build();
+  LinearTrajectory traj({-0.3, 0.0, 0.0}, {0.3, 0.0, 0.0}, 0.1);
+  const auto a = s1.sweep(0, 0, traj);
+  const auto b = s2.sweep(0, 0, traj);
+  bool any_diff = a.size() != b.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].phase != b[i].phase;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, CustomChannelWins) {
+  rf::NoiseModel silent;
+  silent.phase_sigma = 0.0;
+  silent.off_beam_gain = 0.0;
+  silent.quantization_steps = 0;
+  auto s = Scenario::Builder{}
+               .environment(EnvironmentKind::kLabHarsh)  // overridden below
+               .channel(rf::Channel(silent, {}))
+               .add_antenna({0.0, 0.8, 0.0})
+               .add_tag()
+               .build();
+  EXPECT_TRUE(s.channel().reflectors().empty());
+  EXPECT_DOUBLE_EQ(s.channel().noise().phase_sigma, 0.0);
+}
+
+TEST(Scenario, ReadStaticCollectsRequestedCount) {
+  auto s = Scenario::Builder{}
+               .add_antenna({0.0, 1.0, 0.0})
+               .add_tag()
+               .build();
+  const auto samples = s.read_static(0, 0, {0.0, 0.0, 0.0}, 50);
+  EXPECT_EQ(samples.size(), 50u);
+}
+
+TEST(Scenario, ExplicitAntennaAndTagPreserved) {
+  rf::Antenna custom;
+  custom.physical_center = {1.0, 2.0, 3.0};
+  custom.reader_offset_rad = 0.123;
+  rf::Tag tag;
+  tag.tag_offset_rad = 0.456;
+  auto s = Scenario::Builder{}.add_antenna(custom).add_tag(tag).build();
+  EXPECT_DOUBLE_EQ(s.antennas()[0].reader_offset_rad, 0.123);
+  EXPECT_DOUBLE_EQ(s.tags()[0].tag_offset_rad, 0.456);
+}
+
+}  // namespace
+}  // namespace lion::sim

@@ -1,0 +1,180 @@
+#include "sim/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+
+namespace lion::sim {
+namespace {
+
+TEST(LinearTrajectory, EndpointsAndDuration) {
+  LinearTrajectory t({0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, 0.1);
+  EXPECT_DOUBLE_EQ(t.duration(), 10.0);
+  EXPECT_EQ(t.position(0.0), (Vec3{0.0, 0.0, 0.0}));
+  EXPECT_EQ(t.position(10.0), (Vec3{1.0, 0.0, 0.0}));
+}
+
+TEST(LinearTrajectory, MidpointAtHalfTime) {
+  LinearTrajectory t({-0.5, 0.2, 0.0}, {0.5, 0.2, 0.0}, 0.2);
+  const Vec3 mid = t.position(t.duration() / 2.0);
+  EXPECT_NEAR(mid[0], 0.0, 1e-12);
+  EXPECT_NEAR(mid[1], 0.2, 1e-12);
+}
+
+TEST(LinearTrajectory, ClampsOutsideTimeRange) {
+  LinearTrajectory t({0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, 1.0);
+  EXPECT_EQ(t.position(-5.0), t.position(0.0));
+  EXPECT_EQ(t.position(99.0), t.position(t.duration()));
+}
+
+TEST(LinearTrajectory, ConstantSpeed) {
+  LinearTrajectory t({0.0, 0.0, 0.0}, {2.0, 0.0, 0.0}, 0.5);
+  const double dt = 0.1;
+  for (double time = 0.0; time + dt <= t.duration(); time += 1.0) {
+    const double step =
+        linalg::distance(t.position(time), t.position(time + dt));
+    EXPECT_NEAR(step, 0.5 * dt, 1e-9);
+  }
+}
+
+TEST(LinearTrajectory, RejectsBadArguments) {
+  EXPECT_THROW(LinearTrajectory({}, {1.0, 0.0, 0.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(LinearTrajectory({}, {1.0, 0.0, 0.0}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(LinearTrajectory({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(CircularTrajectory, StaysOnCircle) {
+  const Vec3 center{0.1, 0.2, 0.3};
+  CircularTrajectory t(center, 0.25, {0.0, 0.0, 1.0}, 1.0);
+  for (double time = 0.0; time <= t.duration(); time += 0.37) {
+    EXPECT_NEAR(linalg::distance(t.position(time), center), 0.25, 1e-12);
+  }
+}
+
+TEST(CircularTrajectory, StaysInPlane) {
+  CircularTrajectory t({0.0, 0.0, 0.5}, 0.3, {0.0, 0.0, 1.0}, 2.0);
+  for (double time = 0.0; time <= t.duration(); time += 0.2) {
+    EXPECT_NEAR(t.position(time)[2], 0.5, 1e-12);
+  }
+}
+
+TEST(CircularTrajectory, FullTurnReturnsToStart) {
+  CircularTrajectory t({0.0, 0.0, 0.0}, 0.3, {0.0, 0.0, 1.0}, 1.0, 1.0);
+  EXPECT_NEAR(linalg::distance(t.position(0.0), t.position(t.duration())),
+              0.0, 1e-9);
+}
+
+TEST(CircularTrajectory, DurationScalesWithTurns) {
+  CircularTrajectory one({}, 1.0, {0.0, 0.0, 1.0}, 1.0, 1.0);
+  CircularTrajectory two({}, 1.0, {0.0, 0.0, 1.0}, 1.0, 2.0);
+  EXPECT_NEAR(two.duration(), 2.0 * one.duration(), 1e-12);
+  EXPECT_NEAR(one.duration(), rf::kTwoPi, 1e-12);
+}
+
+TEST(CircularTrajectory, ArbitraryPlaneNormalRespected) {
+  const Vec3 normal{1.0, 1.0, 0.0};
+  CircularTrajectory t({0.0, 0.0, 0.0}, 0.5, normal, 1.0);
+  const Vec3 n = normal.normalized();
+  for (double time = 0.0; time <= t.duration(); time += 0.5) {
+    EXPECT_NEAR(t.position(time).dot(n), 0.0, 1e-12);
+  }
+}
+
+TEST(CircularTrajectory, RejectsBadArguments) {
+  const Vec3 z{0.0, 0.0, 1.0};
+  EXPECT_THROW(CircularTrajectory({}, 0.0, z, 1.0), std::invalid_argument);
+  EXPECT_THROW(CircularTrajectory({}, 1.0, z, 0.0), std::invalid_argument);
+  EXPECT_THROW(CircularTrajectory({}, 1.0, z, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(CircularTrajectory({}, 1.0, Vec3{}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, VisitsWaypointsInOrder) {
+  PiecewiseLinearTrajectory t(
+      {{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {1.0, 1.0, 0.0}}, 1.0);
+  EXPECT_NEAR(t.duration(), 2.0, 1e-12);
+  EXPECT_EQ(t.position(0.0), (Vec3{0.0, 0.0, 0.0}));
+  EXPECT_NEAR(linalg::distance(t.position(1.0), {1.0, 0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(linalg::distance(t.position(2.0), {1.0, 1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, SegmentIndexTracksProgress) {
+  PiecewiseLinearTrajectory t(
+      {{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {2.0, 0.0, 0.0}}, 1.0);
+  EXPECT_EQ(t.segment_index(0.5), 0u);
+  EXPECT_EQ(t.segment_index(1.5), 1u);
+  EXPECT_EQ(t.segment_index(99.0), 1u);  // clamped to last segment
+}
+
+TEST(PiecewiseLinear, ConstantSpeedAcrossJoints) {
+  PiecewiseLinearTrajectory t(
+      {{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {1.0, 2.0, 0.0}}, 0.5);
+  const double dt = 0.01;
+  for (double time = 0.1; time + dt < t.duration(); time += 0.3) {
+    const double step =
+        linalg::distance(t.position(time), t.position(time + dt));
+    EXPECT_NEAR(step, 0.5 * dt, 1e-6) << "at t=" << time;
+  }
+}
+
+TEST(PiecewiseLinear, RejectsBadArguments) {
+  EXPECT_THROW(PiecewiseLinearTrajectory({{0.0, 0.0, 0.0}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PiecewiseLinearTrajectory({{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}}, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PiecewiseLinearTrajectory({{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}}, 1.0),
+      std::invalid_argument);
+}
+
+TEST(ThreeLineRig, PointsOnLinesMatchGeometry) {
+  ThreeLineRig rig;
+  rig.y0 = 0.25;
+  rig.z0 = 0.15;
+  EXPECT_EQ(rig.point_on_line(0, 0.3), (Vec3{0.3, 0.0, 0.0}));
+  EXPECT_EQ(rig.point_on_line(1, -0.2), (Vec3{-0.2, 0.0, 0.15}));
+  EXPECT_EQ(rig.point_on_line(2, 0.1), (Vec3{0.1, -0.25, 0.0}));
+  EXPECT_THROW(rig.point_on_line(3, 0.0), std::invalid_argument);
+}
+
+TEST(ThreeLineRig, BuildCoversAllThreeLines) {
+  ThreeLineRig rig;
+  rig.x_min = -0.4;
+  rig.x_max = 0.4;
+  const auto traj = rig.build();
+  // Start of L1, end of L3.
+  EXPECT_NEAR(linalg::distance(traj.position(0.0), {-0.4, 0.0, 0.0}), 0.0,
+              1e-12);
+  EXPECT_NEAR(
+      linalg::distance(traj.position(traj.duration()), {0.4, -0.2, 0.0}), 0.0,
+      1e-12);
+  EXPECT_EQ(traj.waypoints().size(), 6u);
+}
+
+TEST(ThreeLineRig, RejectsInvertedRange) {
+  ThreeLineRig rig;
+  rig.x_min = 0.5;
+  rig.x_max = -0.5;
+  EXPECT_THROW(rig.build(), std::invalid_argument);
+}
+
+TEST(ThreeLineRig, TrajectoryIsContinuous) {
+  ThreeLineRig rig;
+  const auto traj = rig.build();
+  const double dt = 0.05;
+  for (double time = 0.0; time + dt <= traj.duration(); time += dt) {
+    EXPECT_LT(linalg::distance(traj.position(time), traj.position(time + dt)),
+              rig.speed * dt + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lion::sim

@@ -1,0 +1,335 @@
+// lion — command-line front end for the LION library.
+//
+//   lion locate    <scan.csv> [--dim 2|3] [--interval M] [--method LS|WLS|IRLS]
+//                  [--hint x,y,z] [--adaptive] [--wavelength M]
+//   lion calibrate <scan.csv> --physical-center x,y,z [--wavelength M]
+//   lion offset    <scan.csv> --center x,y,z [--wavelength M]
+//   lion simulate  <out.csv>  [--seed N] [--depth M] [--rig|--line|--circle]
+//   lion track     <stream.csv> --center x,y,z [--speed M/S] [--dir x,y,z]
+//                  [--window N] [--hop N] [--hint x,y,z]
+//   lion decompose <offsets.csv>
+//
+// `locate` estimates the static target position from a scan of
+// (position, phase) samples; `calibrate` runs the full phase-center
+// calibration (adaptive 3D localization) against the believed physical
+// center; `offset` computes the Eq.-17 hardware offset given a calibrated
+// center; `simulate` writes a demo scan CSV from the built-in testbed so
+// the tool can be tried without hardware; `track` streams a conveyor scan
+// through the sliding-window tracker; `decompose` splits a CSV matrix of
+// per-pair offsets (antennas x tags, radians, blank/NaN for missing) into
+// per-antenna and per-tag offsets.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lion.hpp"
+#include "io/csv.hpp"
+#include "rf/phase_model.hpp"
+#include "signal/stitch.hpp"
+#include "sim/scenario.hpp"
+
+using namespace lion;
+using linalg::Vec3;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr, "%s",
+               "usage:\n"
+               "  lion locate    <scan.csv> [--dim 2|3] [--interval M]\n"
+               "                 [--method LS|WLS|IRLS] [--hint x,y,z]\n"
+               "                 [--adaptive] [--wavelength M]\n"
+               "  lion calibrate <scan.csv> --physical-center x,y,z\n"
+               "                 [--wavelength M]\n"
+               "  lion offset    <scan.csv> --center x,y,z [--wavelength M]\n"
+               "  lion simulate  <out.csv> [--seed N] [--depth M]\n"
+               "                 [--rig|--line|--circle]\n"
+               "  lion track     <stream.csv> --center x,y,z [--speed V]\n"
+               "                 [--dir x,y,z] [--window N] [--hop N]\n"
+               "                 [--hint x,y,z]\n"
+               "  lion decompose <offsets.csv>\n");
+  std::exit(2);
+}
+
+Vec3 parse_vec3(const std::string& s) {
+  Vec3 v;
+  if (std::sscanf(s.c_str(), "%lf,%lf,%lf", &v[0], &v[1], &v[2]) != 3) {
+    usage("expected x,y,z triple");
+  }
+  return v;
+}
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::size_t dim = 0;  ///< 0 = command default (locate: 3, track: 2)
+  double interval = 0.2;
+  double wavelength = rf::kDefaultWavelength;
+  core::SolveMethod method = core::SolveMethod::kWeightedLeastSquares;
+  std::optional<Vec3> hint;
+  std::optional<Vec3> physical_center;
+  std::optional<Vec3> center;
+  bool adaptive = false;
+  std::uint64_t seed = 1;
+  double depth = 0.8;
+  std::string shape = "rig";
+  double speed = 0.1;
+  Vec3 direction{1.0, 0.0, 0.0};
+  std::size_t window = 600;
+  std::size_t hop = 200;
+};
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 3) usage();
+  Args a;
+  a.command = argv[1];
+  a.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--dim") {
+      a.dim = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--interval") {
+      a.interval = std::stod(next());
+    } else if (flag == "--wavelength") {
+      a.wavelength = std::stod(next());
+    } else if (flag == "--method") {
+      const std::string m = next();
+      if (m == "LS") {
+        a.method = core::SolveMethod::kLeastSquares;
+      } else if (m == "WLS") {
+        a.method = core::SolveMethod::kWeightedLeastSquares;
+      } else if (m == "IRLS") {
+        a.method = core::SolveMethod::kIterativeReweighted;
+      } else {
+        usage("unknown method");
+      }
+    } else if (flag == "--hint") {
+      a.hint = parse_vec3(next());
+    } else if (flag == "--physical-center") {
+      a.physical_center = parse_vec3(next());
+    } else if (flag == "--center") {
+      a.center = parse_vec3(next());
+    } else if (flag == "--adaptive") {
+      a.adaptive = true;
+    } else if (flag == "--seed") {
+      a.seed = std::stoull(next());
+    } else if (flag == "--depth") {
+      a.depth = std::stod(next());
+    } else if (flag == "--rig" || flag == "--line" || flag == "--circle") {
+      a.shape = flag.substr(2);
+    } else if (flag == "--speed") {
+      a.speed = std::stod(next());
+    } else if (flag == "--dir") {
+      a.direction = parse_vec3(next());
+    } else if (flag == "--window") {
+      a.window = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--hop") {
+      a.hop = static_cast<std::size_t>(std::stoul(next()));
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return a;
+}
+
+int cmd_locate(const Args& a) {
+  const auto samples = io::read_samples_csv_file(a.file);
+  if (samples.empty()) {
+    std::fprintf(stderr, "error: no samples in %s\n", a.file.c_str());
+    return 1;
+  }
+  const auto profile = signal::preprocess(samples);
+
+  const std::size_t dim = a.dim ? a.dim : 3;
+  if (a.adaptive) {
+    core::AdaptiveConfig cfg;
+    cfg.base.target_dim = dim;
+    cfg.base.wavelength = a.wavelength;
+    cfg.base.method = a.method;
+    cfg.base.side_hint = a.hint;
+    const auto fix = core::locate_adaptive(profile, cfg);
+    std::printf("position: %.4f %.4f %.4f\n", fix.position[0],
+                fix.position[1], fix.position[2]);
+    std::printf("d_ref: %.4f m\n", fix.reference_distance);
+    std::printf("adaptive: range %.2f m, interval %.2f m, %zu/%zu "
+                "candidates used\n",
+                fix.best_range, fix.best_interval, fix.selected.size(),
+                fix.candidates.size());
+    return 0;
+  }
+
+  core::LocalizerConfig cfg;
+  cfg.target_dim = dim;
+  cfg.wavelength = a.wavelength;
+  cfg.pair_interval = a.interval;
+  cfg.method = a.method;
+  cfg.side_hint = a.hint;
+  const auto fix = core::LinearLocalizer(cfg).locate(profile);
+  std::printf("position: %.4f %.4f %.4f\n", fix.position[0], fix.position[1],
+              fix.position[2]);
+  std::printf("d_ref: %.4f m\n", fix.reference_distance);
+  std::printf("equations: %zu, rank: %zu, mean residual: %.3e, "
+              "condition: %.1f%s\n",
+              fix.equations, fix.trajectory_rank, fix.mean_residual,
+              fix.condition,
+              fix.perpendicular_recovered ? ", perpendicular recovered" : "");
+  return 0;
+}
+
+int cmd_calibrate(const Args& a) {
+  if (!a.physical_center) usage("calibrate requires --physical-center");
+  const auto samples = io::read_samples_csv_file(a.file);
+  const auto profile = signal::preprocess(samples);
+  core::AdaptiveConfig cfg;
+  cfg.base.wavelength = a.wavelength;
+  const auto cal =
+      core::calibrate_phase_center(profile, *a.physical_center, cfg);
+  std::printf("estimated center: %.4f %.4f %.4f\n", cal.estimated_center[0],
+              cal.estimated_center[1], cal.estimated_center[2]);
+  std::printf("displacement: %.4f %.4f %.4f  (%.2f cm)\n",
+              cal.displacement[0], cal.displacement[1], cal.displacement[2],
+              cal.displacement.norm() * 100.0);
+  const double offset = core::calibrate_phase_offset(
+      samples, cal.estimated_center, a.wavelength);
+  std::printf("phase offset: %.4f rad\n", offset);
+  return 0;
+}
+
+int cmd_offset(const Args& a) {
+  if (!a.center) usage("offset requires --center");
+  const auto samples = io::read_samples_csv_file(a.file);
+  const double offset =
+      core::calibrate_phase_offset(samples, *a.center, a.wavelength);
+  std::printf("phase offset: %.4f rad\n", offset);
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna({0.0, a.depth, 0.0})
+                      .add_tag()
+                      .seed(a.seed)
+                      .build();
+  std::vector<sim::PhaseSample> samples;
+  if (a.shape == "rig") {
+    sim::ThreeLineRig rig;
+    rig.x_min = -0.55;
+    rig.x_max = 0.55;
+    samples = scenario.sweep(0, 0, rig.build());
+  } else if (a.shape == "line") {
+    samples = scenario.sweep(
+        0, 0, sim::LinearTrajectory({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1));
+  } else {
+    samples = scenario.sweep(
+        0, 0,
+        sim::CircularTrajectory({0.0, 0.0, 0.0}, 0.2, {0.0, 0.0, 1.0}, 0.8));
+  }
+  io::write_samples_csv_file(a.file, samples);
+  const auto& antenna = scenario.antennas()[0];
+  std::printf("wrote %zu samples to %s\n", samples.size(), a.file.c_str());
+  std::printf("hidden truth: physical center (0, %.2f, 0), phase center "
+              "(%.4f, %.4f, %.4f)\n",
+              a.depth, antenna.phase_center()[0], antenna.phase_center()[1],
+              antenna.phase_center()[2]);
+  return 0;
+}
+
+int cmd_track(const Args& a) {
+  if (!a.center) usage("track requires --center");
+  const auto samples = io::read_samples_csv_file(a.file);
+  core::TrackerConfig cfg;
+  cfg.antenna_phase_center = *a.center;
+  cfg.belt_direction = a.direction;
+  cfg.belt_speed = a.speed;
+  cfg.window = a.window;
+  cfg.hop = a.hop;
+  cfg.localizer.target_dim = a.dim ? a.dim : 2;
+  cfg.localizer.wavelength = a.wavelength;
+  cfg.localizer.side_hint = a.hint;
+  core::ConveyorTracker tracker(cfg);
+  std::printf("t,x,y,z,sigma,valid\n");
+  for (const auto& s : samples) {
+    const auto fix = tracker.push(s);
+    if (!fix) continue;
+    std::printf("%.3f,%.4f,%.4f,%.4f,%.4f,%d\n", fix->t, fix->position[0],
+                fix->position[1], fix->position[2], fix->sigma,
+                fix->valid ? 1 : 0);
+  }
+  std::fprintf(stderr, "%zu fixes emitted, %zu samples left in window\n",
+               tracker.fixes().size(), tracker.pending());
+  return tracker.fixes().empty() ? 1 : 0;
+}
+
+int cmd_decompose(const Args& a) {
+  // The offsets CSV is a plain matrix: one row per antenna, one comma-
+  // separated offset per tag; blank cells mark uncalibrated pairs.
+  std::ifstream f(a.file);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s\n", a.file.c_str());
+    return 1;
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      row.push_back(field.empty() || field == "nan"
+                        ? core::kMissingOffset
+                        : std::stod(field));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "error: no rows in %s\n", a.file.c_str());
+    return 1;
+  }
+  linalg::Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != rows[0].size()) {
+      std::fprintf(stderr, "error: ragged matrix (row %zu)\n", r + 1);
+      return 1;
+    }
+    for (std::size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  }
+  const auto d = core::decompose_offsets(m);
+  for (std::size_t i = 0; i < d.antenna_offsets.size(); ++i) {
+    std::printf("antenna %zu offset: %.4f rad\n", i, d.antenna_offsets[i]);
+  }
+  for (std::size_t i = 0; i < d.tag_offsets.size(); ++i) {
+    std::printf("tag %zu offset: %.4f rad\n", i, d.tag_offsets[i]);
+  }
+  std::printf("rms residual: %.4f rad (gauge: tag 0 = 0)\n", d.rms_residual);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse_args(argc, argv);
+    if (a.command == "locate") return cmd_locate(a);
+    if (a.command == "calibrate") return cmd_calibrate(a);
+    if (a.command == "offset") return cmd_offset(a);
+    if (a.command == "simulate") return cmd_simulate(a);
+    if (a.command == "track") return cmd_track(a);
+    if (a.command == "decompose") return cmd_decompose(a);
+    usage("unknown command");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
