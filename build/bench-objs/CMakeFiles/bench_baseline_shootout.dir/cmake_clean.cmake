@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_shootout"
+  "../bench/bench_baseline_shootout.pdb"
+  "CMakeFiles/bench_baseline_shootout.dir/bench_baseline_shootout.cpp.o"
+  "CMakeFiles/bench_baseline_shootout.dir/bench_baseline_shootout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

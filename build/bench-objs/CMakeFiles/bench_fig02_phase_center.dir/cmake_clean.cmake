@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_phase_center"
+  "../bench/bench_fig02_phase_center.pdb"
+  "CMakeFiles/bench_fig02_phase_center.dir/bench_fig02_phase_center.cpp.o"
+  "CMakeFiles/bench_fig02_phase_center.dir/bench_fig02_phase_center.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_phase_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

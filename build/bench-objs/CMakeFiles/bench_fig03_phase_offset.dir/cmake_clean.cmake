@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_phase_offset"
+  "../bench/bench_fig03_phase_offset.pdb"
+  "CMakeFiles/bench_fig03_phase_offset.dir/bench_fig03_phase_offset.cpp.o"
+  "CMakeFiles/bench_fig03_phase_offset.dir/bench_fig03_phase_offset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_phase_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

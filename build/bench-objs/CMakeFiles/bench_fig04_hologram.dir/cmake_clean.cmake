@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_hologram"
+  "../bench/bench_fig04_hologram.pdb"
+  "CMakeFiles/bench_fig04_hologram.dir/bench_fig04_hologram.cpp.o"
+  "CMakeFiles/bench_fig04_hologram.dir/bench_fig04_hologram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_hologram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

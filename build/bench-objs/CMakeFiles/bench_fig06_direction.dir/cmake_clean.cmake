@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_direction"
+  "../bench/bench_fig06_direction.pdb"
+  "CMakeFiles/bench_fig06_direction.dir/bench_fig06_direction.cpp.o"
+  "CMakeFiles/bench_fig06_direction.dir/bench_fig06_direction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_lowdim2d"
+  "../bench/bench_fig09_lowdim2d.pdb"
+  "CMakeFiles/bench_fig09_lowdim2d.dir/bench_fig09_lowdim2d.cpp.o"
+  "CMakeFiles/bench_fig09_lowdim2d.dir/bench_fig09_lowdim2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_lowdim2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

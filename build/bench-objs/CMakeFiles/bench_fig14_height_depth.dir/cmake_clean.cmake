@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_height_depth"
+  "../bench/bench_fig14_height_depth.pdb"
+  "CMakeFiles/bench_fig14_height_depth.dir/bench_fig14_height_depth.cpp.o"
+  "CMakeFiles/bench_fig14_height_depth.dir/bench_fig14_height_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_height_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

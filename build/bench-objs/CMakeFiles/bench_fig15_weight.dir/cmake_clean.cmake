@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_weight"
+  "../bench/bench_fig15_weight.pdb"
+  "CMakeFiles/bench_fig15_weight.dir/bench_fig15_weight.cpp.o"
+  "CMakeFiles/bench_fig15_weight.dir/bench_fig15_weight.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

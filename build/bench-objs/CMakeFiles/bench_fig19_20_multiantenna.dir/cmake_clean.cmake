@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_20_multiantenna"
+  "../bench/bench_fig19_20_multiantenna.pdb"
+  "CMakeFiles/bench_fig19_20_multiantenna.dir/bench_fig19_20_multiantenna.cpp.o"
+  "CMakeFiles/bench_fig19_20_multiantenna.dir/bench_fig19_20_multiantenna.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_multiantenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_rotating"
+  "../bench/bench_fig21_rotating.pdb"
+  "CMakeFiles/bench_fig21_rotating.dir/bench_fig21_rotating.cpp.o"
+  "CMakeFiles/bench_fig21_rotating.dir/bench_fig21_rotating.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_rotating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tracker"
+  "../bench/bench_tracker.pdb"
+  "CMakeFiles/bench_tracker.dir/bench_tracker.cpp.o"
+  "CMakeFiles/bench_tracker.dir/bench_tracker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conveyor_tracking.dir/conveyor_tracking.cpp.o"
+  "CMakeFiles/conveyor_tracking.dir/conveyor_tracking.cpp.o.d"
+  "conveyor_tracking"
+  "conveyor_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conveyor_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_antenna_calibration.dir/multi_antenna_calibration.cpp.o"
+  "CMakeFiles/multi_antenna_calibration.dir/multi_antenna_calibration.cpp.o.d"
+  "multi_antenna_calibration"
+  "multi_antenna_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_antenna_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

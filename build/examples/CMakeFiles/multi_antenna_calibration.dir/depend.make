@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_antenna_calibration.
+# This may be replaced when dependencies are built.

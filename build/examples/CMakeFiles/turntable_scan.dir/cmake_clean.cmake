@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turntable_scan.dir/turntable_scan.cpp.o"
+  "CMakeFiles/turntable_scan.dir/turntable_scan.cpp.o.d"
+  "turntable_scan"
+  "turntable_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turntable_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_stream.dir/warehouse_stream.cpp.o"
+  "CMakeFiles/warehouse_stream.dir/warehouse_stream.cpp.o.d"
+  "warehouse_stream"
+  "warehouse_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/hologram.cpp" "src/baseline/CMakeFiles/lion_baseline.dir/hologram.cpp.o" "gcc" "src/baseline/CMakeFiles/lion_baseline.dir/hologram.cpp.o.d"
+  "/root/repo/src/baseline/hyperbola.cpp" "src/baseline/CMakeFiles/lion_baseline.dir/hyperbola.cpp.o" "gcc" "src/baseline/CMakeFiles/lion_baseline.dir/hyperbola.cpp.o.d"
+  "/root/repo/src/baseline/parabola.cpp" "src/baseline/CMakeFiles/lion_baseline.dir/parabola.cpp.o" "gcc" "src/baseline/CMakeFiles/lion_baseline.dir/parabola.cpp.o.d"
+  "/root/repo/src/baseline/tagspin.cpp" "src/baseline/CMakeFiles/lion_baseline.dir/tagspin.cpp.o" "gcc" "src/baseline/CMakeFiles/lion_baseline.dir/tagspin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lion_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lion_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lion_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

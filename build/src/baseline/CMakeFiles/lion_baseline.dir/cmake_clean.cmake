@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_baseline.dir/hologram.cpp.o"
+  "CMakeFiles/lion_baseline.dir/hologram.cpp.o.d"
+  "CMakeFiles/lion_baseline.dir/hyperbola.cpp.o"
+  "CMakeFiles/lion_baseline.dir/hyperbola.cpp.o.d"
+  "CMakeFiles/lion_baseline.dir/parabola.cpp.o"
+  "CMakeFiles/lion_baseline.dir/parabola.cpp.o.d"
+  "CMakeFiles/lion_baseline.dir/tagspin.cpp.o"
+  "CMakeFiles/lion_baseline.dir/tagspin.cpp.o.d"
+  "liblion_baseline.a"
+  "liblion_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

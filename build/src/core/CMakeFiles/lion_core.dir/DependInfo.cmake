@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/lion_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/lion_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/frame.cpp" "src/core/CMakeFiles/lion_core.dir/frame.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/frame.cpp.o.d"
+  "/root/repo/src/core/localizer.cpp" "src/core/CMakeFiles/lion_core.dir/localizer.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/localizer.cpp.o.d"
+  "/root/repo/src/core/offset_graph.cpp" "src/core/CMakeFiles/lion_core.dir/offset_graph.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/offset_graph.cpp.o.d"
+  "/root/repo/src/core/pairing.cpp" "src/core/CMakeFiles/lion_core.dir/pairing.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/pairing.cpp.o.d"
+  "/root/repo/src/core/radical.cpp" "src/core/CMakeFiles/lion_core.dir/radical.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/radical.cpp.o.d"
+  "/root/repo/src/core/tag_locator.cpp" "src/core/CMakeFiles/lion_core.dir/tag_locator.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/tag_locator.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/lion_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/lion_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/lion_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lion_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lion_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_core.dir/adaptive.cpp.o"
+  "CMakeFiles/lion_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/lion_core.dir/calibration.cpp.o"
+  "CMakeFiles/lion_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/lion_core.dir/frame.cpp.o"
+  "CMakeFiles/lion_core.dir/frame.cpp.o.d"
+  "CMakeFiles/lion_core.dir/localizer.cpp.o"
+  "CMakeFiles/lion_core.dir/localizer.cpp.o.d"
+  "CMakeFiles/lion_core.dir/offset_graph.cpp.o"
+  "CMakeFiles/lion_core.dir/offset_graph.cpp.o.d"
+  "CMakeFiles/lion_core.dir/pairing.cpp.o"
+  "CMakeFiles/lion_core.dir/pairing.cpp.o.d"
+  "CMakeFiles/lion_core.dir/radical.cpp.o"
+  "CMakeFiles/lion_core.dir/radical.cpp.o.d"
+  "CMakeFiles/lion_core.dir/tag_locator.cpp.o"
+  "CMakeFiles/lion_core.dir/tag_locator.cpp.o.d"
+  "CMakeFiles/lion_core.dir/tracker.cpp.o"
+  "CMakeFiles/lion_core.dir/tracker.cpp.o.d"
+  "liblion_core.a"
+  "liblion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_io.dir/csv.cpp.o"
+  "CMakeFiles/lion_io.dir/csv.cpp.o.d"
+  "liblion_io.a"
+  "liblion_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

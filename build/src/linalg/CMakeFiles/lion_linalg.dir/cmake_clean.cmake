@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/lion_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/lion_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/lion_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/lion_linalg.dir/lstsq.cpp.o"
+  "CMakeFiles/lion_linalg.dir/lstsq.cpp.o.d"
+  "CMakeFiles/lion_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/lion_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/lion_linalg.dir/stats.cpp.o"
+  "CMakeFiles/lion_linalg.dir/stats.cpp.o.d"
+  "liblion_linalg.a"
+  "liblion_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

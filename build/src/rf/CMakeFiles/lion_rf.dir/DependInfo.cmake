@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/antenna.cpp" "src/rf/CMakeFiles/lion_rf.dir/antenna.cpp.o" "gcc" "src/rf/CMakeFiles/lion_rf.dir/antenna.cpp.o.d"
+  "/root/repo/src/rf/channel.cpp" "src/rf/CMakeFiles/lion_rf.dir/channel.cpp.o" "gcc" "src/rf/CMakeFiles/lion_rf.dir/channel.cpp.o.d"
+  "/root/repo/src/rf/phase_model.cpp" "src/rf/CMakeFiles/lion_rf.dir/phase_model.cpp.o" "gcc" "src/rf/CMakeFiles/lion_rf.dir/phase_model.cpp.o.d"
+  "/root/repo/src/rf/tag.cpp" "src/rf/CMakeFiles/lion_rf.dir/tag.cpp.o" "gcc" "src/rf/CMakeFiles/lion_rf.dir/tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/lion_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_rf.dir/antenna.cpp.o"
+  "CMakeFiles/lion_rf.dir/antenna.cpp.o.d"
+  "CMakeFiles/lion_rf.dir/channel.cpp.o"
+  "CMakeFiles/lion_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/lion_rf.dir/phase_model.cpp.o"
+  "CMakeFiles/lion_rf.dir/phase_model.cpp.o.d"
+  "CMakeFiles/lion_rf.dir/tag.cpp.o"
+  "CMakeFiles/lion_rf.dir/tag.cpp.o.d"
+  "liblion_rf.a"
+  "liblion_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

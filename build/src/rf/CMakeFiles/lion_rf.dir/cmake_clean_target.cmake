@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblion_rf.a"
+)

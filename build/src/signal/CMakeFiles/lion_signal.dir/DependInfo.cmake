@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/profile.cpp" "src/signal/CMakeFiles/lion_signal.dir/profile.cpp.o" "gcc" "src/signal/CMakeFiles/lion_signal.dir/profile.cpp.o.d"
+  "/root/repo/src/signal/smooth.cpp" "src/signal/CMakeFiles/lion_signal.dir/smooth.cpp.o" "gcc" "src/signal/CMakeFiles/lion_signal.dir/smooth.cpp.o.d"
+  "/root/repo/src/signal/stitch.cpp" "src/signal/CMakeFiles/lion_signal.dir/stitch.cpp.o" "gcc" "src/signal/CMakeFiles/lion_signal.dir/stitch.cpp.o.d"
+  "/root/repo/src/signal/unwrap.cpp" "src/signal/CMakeFiles/lion_signal.dir/unwrap.cpp.o" "gcc" "src/signal/CMakeFiles/lion_signal.dir/unwrap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lion_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lion_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_signal.dir/profile.cpp.o"
+  "CMakeFiles/lion_signal.dir/profile.cpp.o.d"
+  "CMakeFiles/lion_signal.dir/smooth.cpp.o"
+  "CMakeFiles/lion_signal.dir/smooth.cpp.o.d"
+  "CMakeFiles/lion_signal.dir/stitch.cpp.o"
+  "CMakeFiles/lion_signal.dir/stitch.cpp.o.d"
+  "CMakeFiles/lion_signal.dir/unwrap.cpp.o"
+  "CMakeFiles/lion_signal.dir/unwrap.cpp.o.d"
+  "liblion_signal.a"
+  "liblion_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

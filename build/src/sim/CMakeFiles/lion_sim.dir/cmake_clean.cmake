@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_sim.dir/environment.cpp.o"
+  "CMakeFiles/lion_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/lion_sim.dir/reader.cpp.o"
+  "CMakeFiles/lion_sim.dir/reader.cpp.o.d"
+  "CMakeFiles/lion_sim.dir/scenario.cpp.o"
+  "CMakeFiles/lion_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/lion_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/lion_sim.dir/trajectory.cpp.o.d"
+  "liblion_sim.a"
+  "liblion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

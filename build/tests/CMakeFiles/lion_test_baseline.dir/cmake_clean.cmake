@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_hologram.cpp.o"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_hologram.cpp.o.d"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_hyperbola.cpp.o"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_hyperbola.cpp.o.d"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_parabola.cpp.o"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_parabola.cpp.o.d"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_tagspin.cpp.o"
+  "CMakeFiles/lion_test_baseline.dir/baseline/test_tagspin.cpp.o.d"
+  "lion_test_baseline"
+  "lion_test_baseline.pdb"
+  "lion_test_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

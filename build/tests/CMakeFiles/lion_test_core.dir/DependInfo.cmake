@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_adaptive.cpp.o.d"
+  "/root/repo/tests/core/test_calibration.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_calibration.cpp.o.d"
+  "/root/repo/tests/core/test_frame.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_frame.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_frame.cpp.o.d"
+  "/root/repo/tests/core/test_localizer.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_localizer.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_localizer.cpp.o.d"
+  "/root/repo/tests/core/test_offset_graph.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_offset_graph.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_offset_graph.cpp.o.d"
+  "/root/repo/tests/core/test_pairing.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_pairing.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_pairing.cpp.o.d"
+  "/root/repo/tests/core/test_radical.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_radical.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_radical.cpp.o.d"
+  "/root/repo/tests/core/test_tag_locator.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_tag_locator.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_tag_locator.cpp.o.d"
+  "/root/repo/tests/core/test_tracker.cpp" "tests/CMakeFiles/lion_test_core.dir/core/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/lion_test_core.dir/core/test_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lion_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lion_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lion_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lion_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_core.dir/core/test_adaptive.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_adaptive.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_calibration.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_calibration.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_frame.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_frame.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_localizer.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_localizer.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_offset_graph.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_offset_graph.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_pairing.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_pairing.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_radical.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_radical.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_tag_locator.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_tag_locator.cpp.o.d"
+  "CMakeFiles/lion_test_core.dir/core/test_tracker.cpp.o"
+  "CMakeFiles/lion_test_core.dir/core/test_tracker.cpp.o.d"
+  "lion_test_core"
+  "lion_test_core.pdb"
+  "lion_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

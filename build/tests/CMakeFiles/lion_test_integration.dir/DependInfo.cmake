@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/lion_test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/lion_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cpp" "tests/CMakeFiles/lion_test_integration.dir/integration/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/lion_test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_hopping.cpp" "tests/CMakeFiles/lion_test_integration.dir/integration/test_hopping.cpp.o" "gcc" "tests/CMakeFiles/lion_test_integration.dir/integration/test_hopping.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/lion_test_integration.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/lion_test_integration.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_properties_3d.cpp" "tests/CMakeFiles/lion_test_integration.dir/integration/test_properties_3d.cpp.o" "gcc" "tests/CMakeFiles/lion_test_integration.dir/integration/test_properties_3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lion_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lion_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lion_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lion_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/lion_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/lion_test_integration.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/lion_test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/lion_test_integration.dir/integration/test_hopping.cpp.o"
+  "CMakeFiles/lion_test_integration.dir/integration/test_hopping.cpp.o.d"
+  "CMakeFiles/lion_test_integration.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/lion_test_integration.dir/integration/test_properties.cpp.o.d"
+  "CMakeFiles/lion_test_integration.dir/integration/test_properties_3d.cpp.o"
+  "CMakeFiles/lion_test_integration.dir/integration/test_properties_3d.cpp.o.d"
+  "lion_test_integration"
+  "lion_test_integration.pdb"
+  "lion_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_io.dir/io/test_csv.cpp.o"
+  "CMakeFiles/lion_test_io.dir/io/test_csv.cpp.o.d"
+  "lion_test_io"
+  "lion_test_io.pdb"
+  "lion_test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

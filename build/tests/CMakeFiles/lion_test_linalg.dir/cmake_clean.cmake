@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_decompositions.cpp.o"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_decompositions.cpp.o.d"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_eigen.cpp.o"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_eigen.cpp.o.d"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_lstsq.cpp.o"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_lstsq.cpp.o.d"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_matrix.cpp.o"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_matrix.cpp.o.d"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_stats.cpp.o"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_stats.cpp.o.d"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_vec.cpp.o"
+  "CMakeFiles/lion_test_linalg.dir/linalg/test_vec.cpp.o.d"
+  "lion_test_linalg"
+  "lion_test_linalg.pdb"
+  "lion_test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

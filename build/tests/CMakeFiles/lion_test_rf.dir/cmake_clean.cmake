@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_rf.dir/rf/test_antenna.cpp.o"
+  "CMakeFiles/lion_test_rf.dir/rf/test_antenna.cpp.o.d"
+  "CMakeFiles/lion_test_rf.dir/rf/test_channel.cpp.o"
+  "CMakeFiles/lion_test_rf.dir/rf/test_channel.cpp.o.d"
+  "CMakeFiles/lion_test_rf.dir/rf/test_phase_model.cpp.o"
+  "CMakeFiles/lion_test_rf.dir/rf/test_phase_model.cpp.o.d"
+  "CMakeFiles/lion_test_rf.dir/rf/test_rng.cpp.o"
+  "CMakeFiles/lion_test_rf.dir/rf/test_rng.cpp.o.d"
+  "CMakeFiles/lion_test_rf.dir/rf/test_tag.cpp.o"
+  "CMakeFiles/lion_test_rf.dir/rf/test_tag.cpp.o.d"
+  "lion_test_rf"
+  "lion_test_rf.pdb"
+  "lion_test_rf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

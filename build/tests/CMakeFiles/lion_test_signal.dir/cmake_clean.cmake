@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_signal.dir/signal/test_profile.cpp.o"
+  "CMakeFiles/lion_test_signal.dir/signal/test_profile.cpp.o.d"
+  "CMakeFiles/lion_test_signal.dir/signal/test_smooth.cpp.o"
+  "CMakeFiles/lion_test_signal.dir/signal/test_smooth.cpp.o.d"
+  "CMakeFiles/lion_test_signal.dir/signal/test_stitch.cpp.o"
+  "CMakeFiles/lion_test_signal.dir/signal/test_stitch.cpp.o.d"
+  "CMakeFiles/lion_test_signal.dir/signal/test_unwrap.cpp.o"
+  "CMakeFiles/lion_test_signal.dir/signal/test_unwrap.cpp.o.d"
+  "lion_test_signal"
+  "lion_test_signal.pdb"
+  "lion_test_signal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

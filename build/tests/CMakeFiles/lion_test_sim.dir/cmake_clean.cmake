@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion_test_sim.dir/sim/test_environment.cpp.o"
+  "CMakeFiles/lion_test_sim.dir/sim/test_environment.cpp.o.d"
+  "CMakeFiles/lion_test_sim.dir/sim/test_reader.cpp.o"
+  "CMakeFiles/lion_test_sim.dir/sim/test_reader.cpp.o.d"
+  "CMakeFiles/lion_test_sim.dir/sim/test_scenario.cpp.o"
+  "CMakeFiles/lion_test_sim.dir/sim/test_scenario.cpp.o.d"
+  "CMakeFiles/lion_test_sim.dir/sim/test_trajectory.cpp.o"
+  "CMakeFiles/lion_test_sim.dir/sim/test_trajectory.cpp.o.d"
+  "lion_test_sim"
+  "lion_test_sim.pdb"
+  "lion_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

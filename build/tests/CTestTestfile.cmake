@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lion_test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_rf[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_signal[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_core[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_integration[1]_include.cmake")
+include("/root/repo/build/tests/lion_test_io[1]_include.cmake")

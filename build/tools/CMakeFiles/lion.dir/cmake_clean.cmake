@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lion.dir/lion_cli.cpp.o"
+  "CMakeFiles/lion.dir/lion_cli.cpp.o.d"
+  "lion"
+  "lion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
