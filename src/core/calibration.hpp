@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/adaptive.hpp"
 #include "core/localizer.hpp"
 #include "signal/profile.hpp"
+#include "signal/sanitize.hpp"
+#include "signal/stitch.hpp"
 #include "sim/reader.hpp"
 
 namespace lion::core {
@@ -57,5 +60,76 @@ double relative_offset(const AntennaCalibration& a,
 /// Correct a wrapped phase measurement with a calibrated offset: returns
 /// the distance-only phase wrapped to [0, 2*pi).
 double remove_offset(double measured_phase, double phase_offset);
+
+// ---------------------------------------------------------------------------
+// Robust calibration path: raw stream in, structured report out — no throws.
+// ---------------------------------------------------------------------------
+
+/// Outcome classification of a robust calibration run.
+enum class CalibrationStatus {
+  kOk,                  ///< full 3D calibration succeeded
+  kDegraded2D,          ///< 3D geometry degenerate; planar fallback used
+  kNoSamples,           ///< empty stream, or nothing survived sanitization
+  kDegenerateGeometry,  ///< scan spans too few directions even for 2D
+  kSolverFailure,       ///< no parameter combination produced a solution
+};
+
+/// Short name for CLI / bench output.
+const char* calibration_status_name(CalibrationStatus status);
+
+/// Everything a deployment dashboard needs to decide whether to trust (or
+/// re-run) a calibration.
+struct CalibrationDiagnostics {
+  signal::SanitizeReport sanitize;  ///< what input scrubbing repaired
+  std::size_t profile_points = 0;   ///< points surviving preprocessing
+  double condition = 0.0;        ///< best selected window's condition number
+  double inlier_fraction = 1.0;  ///< smallest consensus fraction used
+  double mean_residual = 0.0;    ///< best window's mean equation residual
+  double rms_residual = 0.0;     ///< best window's RMS equation residual
+  double position_sigma = 0.0;   ///< GDOP-style 1-sigma position bound [m]
+  std::string message;           ///< human-readable detail on degradations
+};
+
+/// Structured result of the no-throw calibration entry point.
+struct CalibrationReport {
+  CalibrationStatus status = CalibrationStatus::kSolverFailure;
+  CenterCalibration center;   ///< valid when ok()
+  double phase_offset = 0.0;  ///< Eq. 17 offset [rad]; valid when ok()
+  CalibrationDiagnostics diagnostics;
+
+  /// True when the report carries a usable estimate (possibly degraded).
+  bool ok() const {
+    return status == CalibrationStatus::kOk ||
+           status == CalibrationStatus::kDegraded2D;
+  }
+};
+
+/// Adaptive-sweep defaults for the robust path: consensus solving instead
+/// of the paper's plain Gaussian reweighting.
+AdaptiveConfig robust_adaptive_defaults();
+
+/// Preprocess defaults for the robust path: sanitization plus median-based
+/// outlier rejection (off in the paper-faithful default config).
+signal::PreprocessConfig robust_preprocess_defaults();
+
+/// Configuration of the robust calibration path.
+struct RobustCalibrationConfig {
+  AdaptiveConfig adaptive = robust_adaptive_defaults();
+  signal::PreprocessConfig preprocess = robust_preprocess_defaults();
+  /// Final-answer degeneracy gate: when every accepted 3D window's system
+  /// is worse-conditioned than this, the planar fallback is taken.
+  double max_condition = 1e5;
+  /// Permit the automatic 3D -> 2D fallback when the 3D solve is
+  /// degenerate (single-line scans, near-collinear rigs).
+  bool allow_2d_fallback = true;
+};
+
+/// Full calibration from a *raw* sample stream: sanitize, preprocess,
+/// adaptive-localize with a consensus solver, fall back from 3D to 2D on
+/// degenerate geometry, and compute the Eq.-17 phase offset. Never throws;
+/// every failure mode maps to a CalibrationStatus with diagnostics.
+CalibrationReport calibrate_antenna_robust(
+    const std::vector<sim::PhaseSample>& samples, const Vec3& physical_center,
+    const RobustCalibrationConfig& config = {});
 
 }  // namespace lion::core

@@ -22,5 +22,6 @@
 #include "core/offset_graph.hpp"
 #include "core/pairing.hpp"
 #include "core/radical.hpp"
+#include "core/ransac.hpp"
 #include "core/tag_locator.hpp"
 #include "core/tracker.hpp"

@@ -17,6 +17,12 @@ const char* solve_method_name(SolveMethod m) {
       return "WLS";
     case SolveMethod::kIterativeReweighted:
       return "IRLS";
+    case SolveMethod::kHuberIrls:
+      return "HUBER";
+    case SolveMethod::kTukeyIrls:
+      return "TUKEY";
+    case SolveMethod::kRansac:
+      return "RANSAC";
   }
   return "unknown";
 }
@@ -69,6 +75,7 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
       build_system(profile, frame, pairs, ref, config_.wavelength);
 
   linalg::LstsqResult sol;
+  double inlier_fraction = 1.0;
   switch (config_.method) {
     case SolveMethod::kLeastSquares:
       sol = linalg::solve_least_squares(sys.a, sys.k);
@@ -84,9 +91,25 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
     case SolveMethod::kIterativeReweighted:
       sol = linalg::solve_irls(sys.a, sys.k, config_.irls);
       break;
+    case SolveMethod::kHuberIrls:
+    case SolveMethod::kTukeyIrls: {
+      linalg::IrlsOptions irls = config_.irls;
+      irls.loss = config_.method == SolveMethod::kHuberIrls
+                      ? linalg::RobustLoss::kHuber
+                      : linalg::RobustLoss::kTukey;
+      sol = linalg::solve_irls(sys.a, sys.k, irls);
+      break;
+    }
+    case SolveMethod::kRansac: {
+      const auto rr = ransac_solve(sys.a, sys.k, config_.ransac);
+      sol = rr.solution;
+      inlier_fraction = rr.inlier_fraction;
+      break;
+    }
   }
 
   LocalizationResult out;
+  out.inlier_fraction = inlier_fraction;
   out.equations = pairs.size();
   out.trajectory_rank = frame.rank;
   out.condition = sys.a.rows() >= sys.a.cols()
@@ -100,11 +123,12 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
   // GDOP: unknown covariance ~ sigma_r^2 (A^T A)^{-1} with sigma_r^2 the
   // dof-corrected residual variance of the final solve. Degenerate or
   // barely-determined systems keep sigma empty.
-  if (sys.a.rows() > sys.a.cols()) {
+  // (With kRansac the residual vector covers the consensus rows only.)
+  if (sol.residuals.size() > sys.a.cols()) {
     try {
       const linalg::Matrix cov = linalg::inverse(sys.a.gram());
-      const double dof =
-          static_cast<double>(sys.a.rows()) - static_cast<double>(sys.a.cols());
+      const double dof = static_cast<double>(sol.residuals.size()) -
+                         static_cast<double>(sys.a.cols());
       double ss = 0.0;
       for (double r : sol.residuals) ss += r * r;
       const double sigma2 = ss / dof;

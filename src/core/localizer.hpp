@@ -15,17 +15,22 @@
 #include "core/frame.hpp"
 #include "core/pairing.hpp"
 #include "core/radical.hpp"
+#include "core/ransac.hpp"
 #include "linalg/lstsq.hpp"
 #include "rf/constants.hpp"
 #include "signal/profile.hpp"
 
 namespace lion::core {
 
-/// How the linear system is solved (the paper's LS / WLS knob, Sec. V-D).
+/// How the linear system is solved (the paper's LS / WLS knob, Sec. V-D,
+/// plus the robust variants for contaminated field streams).
 enum class SolveMethod {
   kLeastSquares,          ///< plain normal-equation LS (Eq. 13)
   kWeightedLeastSquares,  ///< one Gaussian-residual reweight pass (Eq. 14-16)
   kIterativeReweighted,   ///< reweight until the estimate stabilizes
+  kHuberIrls,             ///< IRLS with Huber weights (MAD-scaled)
+  kTukeyIrls,             ///< IRLS with Tukey biweight (hard rejection)
+  kRansac,                ///< LMedS consensus sampling + Huber refit
 };
 
 const char* solve_method_name(SolveMethod m);
@@ -57,8 +62,12 @@ struct LocalizerConfig {
   /// ("filter the error one based on the actual deployment", Sec. III-C).
   std::optional<Vec3> side_hint;
 
-  /// Convergence control for kIterativeReweighted.
+  /// Convergence control for the IRLS-family methods. `irls.loss` is
+  /// implied by the method for kHuberIrls / kTukeyIrls.
   linalg::IrlsOptions irls{};
+
+  /// Consensus-sampling control for kRansac.
+  RansacOptions ransac{};
 };
 
 /// Localization outcome.
@@ -71,6 +80,9 @@ struct LocalizationResult {
   std::size_t trajectory_rank = 0; ///< affine rank of the scan
   bool perpendicular_recovered = false;  ///< lower-dimension path taken
   std::size_t solver_iterations = 0;     ///< reweighting rounds run
+  /// Fraction of equations in the consensus set (1.0 for the non-RANSAC
+  /// methods, which use every row).
+  double inlier_fraction = 1.0;
   /// Condition estimate of the linear system (max/min |R_ii| of its QR).
   /// Large values mean the scan geometry barely constrains some direction
   /// and the estimate should not be trusted.

@@ -1,0 +1,145 @@
+#include "core/ransac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/stats.hpp"
+#include "rf/rng.hpp"
+
+namespace lion::core {
+
+namespace {
+
+// Residuals of x over every row of the full system.
+std::vector<double> full_residuals(const linalg::Matrix& a,
+                                   const std::vector<double>& b,
+                                   const std::vector<double>& x) {
+  std::vector<double> r = a.multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] -= b[i];
+  return r;
+}
+
+RansacResult full_row_fallback(const linalg::Matrix& a,
+                               const std::vector<double>& b,
+                               const RansacOptions& options,
+                               std::size_t iterations) {
+  linalg::IrlsOptions irls = options.irls;
+  irls.loss = options.refit_loss;
+  RansacResult out;
+  out.solution = linalg::solve_irls(a, b, irls);
+  out.inlier_mask.assign(a.rows(), 1);
+  out.inlier_fraction = 1.0;
+  out.iterations = iterations;
+  out.consensus = false;
+  return out;
+}
+
+}  // namespace
+
+RansacResult ransac_solve(const linalg::Matrix& a,
+                          const std::vector<double>& b,
+                          const RansacOptions& options) {
+  const std::size_t n = a.rows();
+  const std::size_t p = a.cols();
+  if (b.size() != n) {
+    throw std::invalid_argument("ransac_solve: rhs size mismatch");
+  }
+  if (n < p) {
+    throw std::invalid_argument("ransac_solve: underdetermined system");
+  }
+  // Too few rows for subset sampling to mean anything: robust-IRLS it.
+  if (n < p + 3) return full_row_fallback(a, b, options, 0);
+
+  rf::Rng rng(options.seed);
+  const std::size_t m = p + 1;  // mildly overdetermined minimal subset
+
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<double> best_residuals;
+  std::size_t evaluated = 0;
+
+  linalg::Matrix sub(m, p);
+  std::vector<double> sub_b(m);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Partial Fisher-Yates: the first m entries become the random subset.
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.uniform_int(
+                                    0, static_cast<std::int64_t>(n - 1 - i)));
+      std::swap(indices[i], indices[j]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t c = 0; c < p; ++c) sub(i, c) = a(indices[i], c);
+      sub_b[i] = b[indices[i]];
+    }
+    std::vector<double> x;
+    try {
+      x = linalg::solve_least_squares(sub, sub_b).x;
+    } catch (const std::exception&) {
+      continue;  // degenerate subset (e.g. all rows from one burst)
+    }
+    ++evaluated;
+    auto r = full_residuals(a, b, x);
+    std::vector<double> r2(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) r2[i] = r[i] * r[i];
+    const double score = linalg::median(r2);
+    if (score < best_score) {
+      best_score = score;
+      best_residuals = std::move(r);
+    }
+  }
+  if (!std::isfinite(best_score) || best_residuals.empty()) {
+    return full_row_fallback(a, b, options, evaluated);
+  }
+
+  // LMedS robust scale with the usual small-sample correction, then the
+  // consensus set at 2.5 sigma (or the caller's absolute threshold).
+  const double sigma = 1.4826 *
+                       (1.0 + 5.0 / static_cast<double>(n - p)) *
+                       std::sqrt(best_score);
+  const double threshold = options.inlier_threshold > 0.0
+                               ? options.inlier_threshold
+                               : std::max(2.5 * sigma, 1e-12);
+
+  std::vector<char> mask(n, 0);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(best_residuals[i]) <= threshold) {
+      mask[i] = 1;
+      ++count;
+    }
+  }
+  if (count < p + 1 ||
+      static_cast<double>(count) <
+          options.min_inlier_fraction * static_cast<double>(n)) {
+    return full_row_fallback(a, b, options, evaluated);
+  }
+
+  linalg::Matrix inlier_a(count, p);
+  std::vector<double> inlier_b(count);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    for (std::size_t c = 0; c < p; ++c) inlier_a(row, c) = a(i, c);
+    inlier_b[row] = b[i];
+    ++row;
+  }
+  linalg::IrlsOptions irls = options.irls;
+  irls.loss = options.refit_loss;
+  RansacResult out;
+  try {
+    out.solution = linalg::solve_irls(inlier_a, inlier_b, irls);
+  } catch (const std::exception&) {
+    return full_row_fallback(a, b, options, evaluated);
+  }
+  out.inlier_mask = std::move(mask);
+  out.inlier_fraction = static_cast<double>(count) / static_cast<double>(n);
+  out.iterations = evaluated;
+  out.consensus = true;
+  return out;
+}
+
+}  // namespace lion::core

@@ -78,6 +78,56 @@ LstsqResult solve_weighted_least_squares(const Matrix& a,
   return out;
 }
 
+const char* robust_loss_name(RobustLoss loss) {
+  switch (loss) {
+    case RobustLoss::kGaussian:
+      return "gaussian";
+    case RobustLoss::kHuber:
+      return "huber";
+    case RobustLoss::kTukey:
+      return "tukey";
+  }
+  return "unknown";
+}
+
+std::vector<double> robust_residual_weights(
+    const std::vector<double>& residuals, RobustLoss loss, double tuning,
+    double min_sigma) {
+  if (loss == RobustLoss::kGaussian) {
+    return gaussian_residual_weights(residuals, min_sigma);
+  }
+  if (residuals.empty()) return {};
+  const double med = median(residuals);
+  std::vector<double> abs_dev(residuals.size());
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    abs_dev[i] = std::abs(residuals[i] - med);
+  }
+  const double sigma = std::max(1.4826 * median(abs_dev), min_sigma);
+
+  const double c = tuning > 0.0
+                       ? tuning
+                       : (loss == RobustLoss::kHuber ? 1.345 : 4.685);
+  auto weights_for = [&](RobustLoss l) {
+    std::vector<double> w(residuals.size());
+    for (std::size_t i = 0; i < residuals.size(); ++i) {
+      const double z = std::abs(residuals[i] - med) / sigma;
+      if (l == RobustLoss::kHuber) {
+        w[i] = z <= c ? 1.0 : c / z;
+      } else {  // Tukey biweight
+        const double u = z / c;
+        w[i] = u < 1.0 ? (1.0 - u * u) * (1.0 - u * u) : 0.0;
+      }
+    }
+    return w;
+  };
+
+  auto w = weights_for(loss);
+  double total = 0.0;
+  for (double wi : w) total += wi;
+  if (total <= min_sigma) w = weights_for(RobustLoss::kHuber);
+  return w;
+}
+
 std::vector<double> gaussian_residual_weights(
     const std::vector<double>& residuals, double min_sigma) {
   const double mu = mean(residuals);
@@ -94,8 +144,8 @@ LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
                        const IrlsOptions& options) {
   LstsqResult current = solve_least_squares(a, b);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    const auto weights =
-        gaussian_residual_weights(current.residuals, options.min_sigma);
+    const auto weights = robust_residual_weights(
+        current.residuals, options.loss, options.tuning, options.min_sigma);
     LstsqResult next = solve_weighted_least_squares(a, b, weights);
     next.iterations = iter + 1;
     double delta = 0.0;

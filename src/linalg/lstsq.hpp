@@ -35,11 +35,24 @@ LstsqResult solve_weighted_least_squares(const Matrix& a,
                                          const std::vector<double>& b,
                                          const std::vector<double>& weights);
 
+/// Robust loss selecting how residuals map to IRLS weights.
+enum class RobustLoss {
+  kGaussian,  ///< the paper's Eq. (15): w = exp(-z^2/2); soft down-weighting
+  kHuber,     ///< w = 1 inside the tuning band, c/|z| outside; never zero
+  kTukey,     ///< biweight: w = (1 - (z/c)^2)^2 inside, 0 outside; rejects
+};
+
+const char* robust_loss_name(RobustLoss loss);
+
 /// Options for iteratively-reweighted least squares.
 struct IrlsOptions {
   std::size_t max_iterations = 20;  ///< cap on reweighting rounds
   double tolerance = 1e-9;          ///< stop when ||x_k - x_{k-1}||_inf < tol
   double min_sigma = 1e-12;         ///< residual-spread floor (all-equal case)
+  RobustLoss loss = RobustLoss::kGaussian;  ///< weight function
+  /// Tuning constant c of the loss in robust-sigma units; 0 picks the
+  /// textbook 95%-efficiency default (Huber 1.345, Tukey 4.685).
+  double tuning = 0.0;
 };
 
 /// Iteratively-reweighted least squares with the paper's Gaussian weight
@@ -51,5 +64,15 @@ LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
 /// The paper's Eq. (15) weight vector for a given residual vector.
 std::vector<double> gaussian_residual_weights(
     const std::vector<double>& residuals, double min_sigma = 1e-12);
+
+/// Robust weight vector for a residual vector. Residuals are centred on
+/// their median and scaled by the MAD-based robust sigma (1.4826 * MAD,
+/// floored at min_sigma) so a minority of arbitrarily large outliers
+/// cannot inflate the scale the way they inflate a standard deviation.
+/// If a hard-rejecting loss (Tukey) zeroes every row, the Huber weights
+/// are returned instead so the solve stays feasible.
+std::vector<double> robust_residual_weights(
+    const std::vector<double>& residuals, RobustLoss loss,
+    double tuning = 0.0, double min_sigma = 1e-12);
 
 }  // namespace lion::linalg

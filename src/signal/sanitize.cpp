@@ -1,0 +1,72 @@
+#include "signal/sanitize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/constants.hpp"
+#include "rf/phase_model.hpp"
+
+namespace lion::signal {
+
+namespace {
+
+bool finite_sample(const sim::PhaseSample& s) {
+  return std::isfinite(s.t) && std::isfinite(s.phase) &&
+         std::isfinite(s.rssi_dbm) && std::isfinite(s.position[0]) &&
+         std::isfinite(s.position[1]) && std::isfinite(s.position[2]);
+}
+
+}  // namespace
+
+std::vector<sim::PhaseSample> sanitize_samples(
+    std::vector<sim::PhaseSample> samples, SanitizeReport* report) {
+  SanitizeReport local;
+  SanitizeReport& r = report ? *report : local;
+  r = SanitizeReport{};
+  r.input = samples.size();
+
+  // 1. Non-finite fields: unrecoverable, drop the read.
+  auto keep_end = std::remove_if(
+      samples.begin(), samples.end(),
+      [](const sim::PhaseSample& s) { return !finite_sample(s); });
+  r.dropped_nonfinite =
+      static_cast<std::size_t>(std::distance(keep_end, samples.end()));
+  samples.erase(keep_end, samples.end());
+
+  // 2. Out-of-range wrapped phases: fold back. Wildly out-of-range values
+  // become legal but wrong phases; the outlier stages downstream own those.
+  for (auto& s : samples) {
+    if (s.phase < 0.0 || s.phase >= rf::kTwoPi) {
+      s.phase = rf::wrap_phase(s.phase);
+      ++r.rewrapped;
+    }
+  }
+
+  // 3. Chronological order: count violations, then stable-sort so equal
+  // timestamps keep their delivery order.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].t < samples[i - 1].t) ++r.reordered;
+  }
+  if (r.reordered > 0) {
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const sim::PhaseSample& a, const sim::PhaseSample& b) {
+                       return a.t < b.t;
+                     });
+  }
+
+  // 4. Duplicate deliveries: same instant, same commanded position.
+  auto dup_end = std::unique(
+      samples.begin(), samples.end(),
+      [](const sim::PhaseSample& a, const sim::PhaseSample& b) {
+        return a.t == b.t && a.position[0] == b.position[0] &&
+               a.position[1] == b.position[1] && a.position[2] == b.position[2];
+      });
+  r.dropped_duplicate =
+      static_cast<std::size_t>(std::distance(dup_end, samples.end()));
+  samples.erase(dup_end, samples.end());
+
+  r.kept = samples.size();
+  return samples;
+}
+
+}  // namespace lion::signal

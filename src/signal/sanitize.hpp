@@ -1,0 +1,43 @@
+// Input sanitization: the first line of defence between a raw reader
+// stream and the preprocessing pipeline.
+//
+// Real streams contain decode garbage (NaN fields, absurd phases), LLRP
+// event reordering (non-monotonic timestamps, duplicate deliveries), and
+// out-of-range wrapped phases. Every downstream stage — unwrap, pairing,
+// the linear solve — silently amplifies such samples into wild estimates,
+// so they are scrubbed here, with an itemized report of what was done.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/reader.hpp"
+
+namespace lion::signal {
+
+/// What sanitize_samples did to a stream.
+struct SanitizeReport {
+  std::size_t input = 0;                ///< samples in
+  std::size_t kept = 0;                 ///< samples out
+  std::size_t dropped_nonfinite = 0;    ///< NaN/inf phase, position, or time
+  std::size_t dropped_duplicate = 0;    ///< repeated (timestamp, position)
+  std::size_t reordered = 0;            ///< monotonicity violations fixed
+  std::size_t rewrapped = 0;            ///< phases folded back into [0, 2*pi)
+
+  /// True when the stream needed no repair at all.
+  bool clean() const {
+    return dropped_nonfinite == 0 && dropped_duplicate == 0 &&
+           reordered == 0 && rewrapped == 0;
+  }
+};
+
+/// Scrub a raw sample stream:
+///  1. drop samples with non-finite timestamp, phase, RSSI or position;
+///  2. re-wrap finite phases that left [0, 2*pi);
+///  3. restore chronological order (stable sort by timestamp);
+///  4. drop exact duplicate deliveries (same timestamp and position).
+/// Never throws; an empty or all-garbage stream simply comes back empty.
+std::vector<sim::PhaseSample> sanitize_samples(
+    std::vector<sim::PhaseSample> samples, SanitizeReport* report = nullptr);
+
+}  // namespace lion::signal

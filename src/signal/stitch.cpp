@@ -53,7 +53,19 @@ PhaseProfile stitch_profiles(const std::vector<PhaseProfile>& parts,
 
 PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
                         const PreprocessConfig& config) {
+  SanitizeReport ignored;
+  return preprocess(samples, config, ignored);
+}
+
+PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
+                        const PreprocessConfig& config,
+                        SanitizeReport& sanitize_report) {
   std::vector<sim::PhaseSample> cleaned = samples;
+  sanitize_report = SanitizeReport{};
+  sanitize_report.input = sanitize_report.kept = cleaned.size();
+  if (config.sanitize) {
+    cleaned = sanitize_samples(std::move(cleaned), &sanitize_report);
+  }
   if (config.rssi_gate_db > 0.0) {
     reject_low_rssi(cleaned, config.rssi_gate_db);
   }

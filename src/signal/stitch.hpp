@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "signal/profile.hpp"
+#include "signal/sanitize.hpp"
 
 namespace lion::signal {
 
@@ -31,9 +32,12 @@ PhaseProfile stitch_continuous(const std::vector<PhaseProfile>& parts);
 PhaseProfile stitch_profiles(const std::vector<PhaseProfile>& parts,
                              double max_junction_gap = 0.16);
 
-/// Preprocessing configuration (impulse rejection -> unwrap -> outlier
-/// rejection -> smoothing).
+/// Preprocessing configuration (sanitize -> impulse rejection -> unwrap ->
+/// outlier rejection -> smoothing).
 struct PreprocessConfig {
+  /// Scrub non-finite / disordered / duplicate reads before anything else
+  /// (signal::sanitize_samples). A clean stream passes through untouched.
+  bool sanitize = true;
   /// Pre-unwrap circular jump threshold [rad] dropping impulsive reads
   /// before they can derail the unwrap accumulator; <=0 disables. The
   /// default is far above legitimate sample-to-sample motion (<0.1 rad at
@@ -56,6 +60,11 @@ struct PreprocessConfig {
 /// Run the full Sec. IV-A pipeline on raw reader samples.
 PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
                         const PreprocessConfig& config = {});
+
+/// Same pipeline, additionally reporting what sanitization repaired.
+PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
+                        const PreprocessConfig& config,
+                        SanitizeReport& sanitize_report);
 
 /// Channel indices present in a (possibly frequency-hopped) stream,
 /// ascending.

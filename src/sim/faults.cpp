@@ -1,0 +1,216 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rf/phase_model.hpp"
+
+namespace lion::sim {
+
+namespace {
+
+double clamp01(double severity) { return std::clamp(severity, 0.0, 1.0); }
+
+// Draw a heavy-tailed (standard Cauchy, clamped) deviate: mostly O(1),
+// occasionally an order of magnitude larger — the tail OLS cannot absorb.
+double cauchy(rf::Rng& rng, double scale) {
+  const double u = rng.uniform(-1.45, 1.45);  // avoid the tan() poles
+  return std::clamp(scale * std::tan(u), -30.0, 30.0);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBurstDropout:
+      return "burst_dropout";
+    case FaultKind::kCycleSlip:
+      return "cycle_slip";
+    case FaultKind::kMultipathSpike:
+      return "multipath_spike";
+    case FaultKind::kOffsetShift:
+      return "offset_shift";
+    case FaultKind::kTimestampDisorder:
+      return "timestamp_disorder";
+    case FaultKind::kGarbageReads:
+      return "garbage_reads";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> all_fault_kinds() {
+  return {FaultKind::kBurstDropout,      FaultKind::kCycleSlip,
+          FaultKind::kMultipathSpike,    FaultKind::kOffsetShift,
+          FaultKind::kTimestampDisorder, FaultKind::kGarbageReads};
+}
+
+std::vector<PhaseSample> inject_burst_dropout(std::vector<PhaseSample> samples,
+                                              double severity, rf::Rng& rng) {
+  severity = clamp01(severity);
+  const std::size_t n = samples.size();
+  if (severity <= 0.0 || n == 0) return samples;
+
+  const std::size_t bursts =
+      std::max<std::size_t>(1, static_cast<std::size_t>(severity * 4.0));
+  const std::size_t drop_total = static_cast<std::size_t>(
+      severity * static_cast<double>(n));
+  const std::size_t burst_len = std::max<std::size_t>(1, drop_total / bursts);
+
+  std::vector<char> keep(n, 1);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const std::size_t start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n - 1)));
+    for (std::size_t i = start; i < std::min(n, start + burst_len); ++i) {
+      keep[i] = 0;
+    }
+  }
+  std::vector<PhaseSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(samples[i]);
+  }
+  return out;
+}
+
+std::vector<PhaseSample> inject_cycle_slips(std::vector<PhaseSample> samples,
+                                            double severity, rf::Rng& rng) {
+  severity = clamp01(severity);
+  const std::size_t n = samples.size();
+  if (severity <= 0.0 || n == 0) return samples;
+
+  const std::size_t slips =
+      std::max<std::size_t>(1, static_cast<std::size_t>(severity * 8.0));
+  for (std::size_t s = 0; s < slips; ++s) {
+    const std::size_t at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n - 1)));
+    const double jump = rng.bernoulli(0.5) ? rf::kPi : -rf::kPi;
+    for (std::size_t i = at; i < n; ++i) {
+      samples[i].phase = rf::wrap_phase(samples[i].phase + jump);
+    }
+  }
+  return samples;
+}
+
+std::vector<PhaseSample> inject_multipath_spikes(
+    std::vector<PhaseSample> samples, double severity, rf::Rng& rng) {
+  severity = clamp01(severity);
+  const std::size_t n = samples.size();
+  if (severity <= 0.0 || n == 0) return samples;
+
+  const std::size_t affect = static_cast<std::size_t>(
+      severity * static_cast<double>(n));
+  const std::size_t burst_len =
+      std::max<std::size_t>(3, n / 50);
+  const std::size_t bursts = std::max<std::size_t>(1, affect / burst_len);
+
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const std::size_t start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n - 1)));
+    // Coherent in-burst bias: one heavy-tailed draw per hot zone, as if a
+    // single reflector alignment dominated the whole burst.
+    const double bias = cauchy(rng, 1.5);
+    for (std::size_t i = start; i < std::min(n, start + burst_len); ++i) {
+      samples[i].phase =
+          rf::wrap_phase(samples[i].phase + bias + rng.gaussian(0.1));
+    }
+  }
+  return samples;
+}
+
+std::vector<PhaseSample> inject_offset_shift(std::vector<PhaseSample> samples,
+                                             double severity, rf::Rng& rng) {
+  severity = clamp01(severity);
+  const std::size_t n = samples.size();
+  if (severity <= 0.0 || n == 0) return samples;
+
+  const std::size_t at = static_cast<std::size_t>(
+      rng.uniform(0.25, 0.75) * static_cast<double>(n));
+  const double offset = (rng.bernoulli(0.5) ? 1.0 : -1.0) * severity * rf::kPi;
+  for (std::size_t i = at; i < n; ++i) {
+    samples[i].phase = rf::wrap_phase(samples[i].phase + offset);
+  }
+  return samples;
+}
+
+std::vector<PhaseSample> inject_timestamp_disorder(
+    std::vector<PhaseSample> samples, double severity, rf::Rng& rng) {
+  severity = clamp01(severity);
+  const std::size_t n = samples.size();
+  if (severity <= 0.0 || n < 2) return samples;
+
+  // Swap neighbouring reads.
+  const std::size_t swaps = static_cast<std::size_t>(
+      0.5 * severity * static_cast<double>(n));
+  for (std::size_t s = 0; s < swaps; ++s) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n - 2)));
+    std::swap(samples[i], samples[i + 1]);
+  }
+  // Duplicate reads (same timestamp re-delivered by the reader).
+  const std::size_t dups = static_cast<std::size_t>(
+      0.5 * severity * static_cast<double>(n));
+  for (std::size_t d = 0; d < dups; ++d) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(samples.size() - 1)));
+    samples.insert(samples.begin() + static_cast<std::ptrdiff_t>(i),
+                   samples[i]);
+  }
+  return samples;
+}
+
+std::vector<PhaseSample> inject_garbage_reads(std::vector<PhaseSample> samples,
+                                              double severity, rf::Rng& rng) {
+  severity = clamp01(severity);
+  if (severity <= 0.0) return samples;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (auto& s : samples) {
+    if (!rng.bernoulli(severity)) continue;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        s.phase = nan;
+        break;
+      case 1:
+        s.position[static_cast<std::size_t>(rng.uniform_int(0, 2))] = nan;
+        break;
+      case 2:
+        s.phase = rng.uniform(1.0e5, 1.0e6);  // absurd but finite
+        break;
+      default:
+        s.rssi_dbm = -1.0e9;
+        s.phase = nan;
+        break;
+    }
+  }
+  return samples;
+}
+
+std::vector<PhaseSample> inject_fault(std::vector<PhaseSample> samples,
+                                      const FaultSpec& spec, rf::Rng& rng) {
+  switch (spec.kind) {
+    case FaultKind::kBurstDropout:
+      return inject_burst_dropout(std::move(samples), spec.severity, rng);
+    case FaultKind::kCycleSlip:
+      return inject_cycle_slips(std::move(samples), spec.severity, rng);
+    case FaultKind::kMultipathSpike:
+      return inject_multipath_spikes(std::move(samples), spec.severity, rng);
+    case FaultKind::kOffsetShift:
+      return inject_offset_shift(std::move(samples), spec.severity, rng);
+    case FaultKind::kTimestampDisorder:
+      return inject_timestamp_disorder(std::move(samples), spec.severity, rng);
+    case FaultKind::kGarbageReads:
+      return inject_garbage_reads(std::move(samples), spec.severity, rng);
+  }
+  return samples;
+}
+
+std::vector<PhaseSample> inject_faults(std::vector<PhaseSample> samples,
+                                       const std::vector<FaultSpec>& plan,
+                                       rf::Rng& rng) {
+  for (const auto& spec : plan) {
+    samples = inject_fault(std::move(samples), spec, rng);
+  }
+  return samples;
+}
+
+}  // namespace lion::sim

@@ -1,0 +1,98 @@
+// Fault injectors: seedable, composable stream corruptions that turn a
+// clean simulated read stream into what field deployments actually deliver.
+//
+// Each injector models one failure mode observed on real RFID testbeds:
+//
+//  * burst dropout       — tag shadowed by a person/forklift: contiguous
+//                          time windows lose every read;
+//  * cycle slip          — the reader's phase PLL slips a half cycle, so
+//                          every subsequent read is rotated by ~pi;
+//  * multipath spike     — a reflector sweeps through alignment and a
+//                          contiguous burst of reads picks up a coherent,
+//                          heavy-tailed phase bias;
+//  * offset shift        — a cable or antenna re-seat mid-scan shifts the
+//                          hardware offset for the rest of the stream;
+//  * timestamp disorder  — LLRP event reordering / retransmission:
+//                          neighbouring reads swap or duplicate;
+//  * garbage reads       — decode errors: NaN or wildly out-of-range
+//                          phase / position / RSSI fields.
+//
+// Injectors take the stream by value and return the corrupted copy; all
+// randomness comes from the caller's Rng so experiments are reproducible.
+// `severity` is clamped to [0, 1]; 0 is always the identity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/rng.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::sim {
+
+/// One failure mode.
+enum class FaultKind {
+  kBurstDropout,
+  kCycleSlip,
+  kMultipathSpike,
+  kOffsetShift,
+  kTimestampDisorder,
+  kGarbageReads,
+};
+
+/// Short name for bench / report output.
+const char* fault_kind_name(FaultKind kind);
+
+/// Every fault kind, for sweeps.
+std::vector<FaultKind> all_fault_kinds();
+
+/// One injector invocation: which fault, how hard.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kGarbageReads;
+  /// Fraction of the stream affected (dropout/spike/disorder/garbage) or
+  /// the relative magnitude of the induced shift (cycle slip count, offset
+  /// size). Clamped to [0, 1].
+  double severity = 0.1;
+};
+
+/// Drop `severity` of the stream in a few contiguous bursts (shadowing).
+std::vector<PhaseSample> inject_burst_dropout(std::vector<PhaseSample> samples,
+                                              double severity, rf::Rng& rng);
+
+/// Rotate everything after each of ~8*severity random slip points by an
+/// extra +/- pi (a reader half-cycle slip); phases stay wrapped.
+std::vector<PhaseSample> inject_cycle_slips(std::vector<PhaseSample> samples,
+                                            double severity, rf::Rng& rng);
+
+/// Bias `severity` of the stream, in contiguous bursts, by a coherent
+/// heavy-tailed (Cauchy-like) phase offset plus small in-burst jitter —
+/// the multipath hot-zone regime robust solvers must reject.
+std::vector<PhaseSample> inject_multipath_spikes(
+    std::vector<PhaseSample> samples, double severity, rf::Rng& rng);
+
+/// Add a constant offset of severity*pi radians to every read after a
+/// random point in the middle half of the stream (cable/antenna re-seat).
+std::vector<PhaseSample> inject_offset_shift(std::vector<PhaseSample> samples,
+                                             double severity, rf::Rng& rng);
+
+/// Swap `severity`/2 of neighbouring reads and duplicate another
+/// `severity`/2 (same timestamp re-delivered), modelling LLRP event
+/// reordering. The result is *not* time-sorted.
+std::vector<PhaseSample> inject_timestamp_disorder(
+    std::vector<PhaseSample> samples, double severity, rf::Rng& rng);
+
+/// Replace fields of `severity` of the reads with garbage: NaN phase,
+/// NaN position, absurd phase values, or saturated RSSI.
+std::vector<PhaseSample> inject_garbage_reads(std::vector<PhaseSample> samples,
+                                              double severity, rf::Rng& rng);
+
+/// Apply one fault spec.
+std::vector<PhaseSample> inject_fault(std::vector<PhaseSample> samples,
+                                      const FaultSpec& spec, rf::Rng& rng);
+
+/// Apply a plan of faults in order (composable: e.g. dropout + spikes).
+std::vector<PhaseSample> inject_faults(std::vector<PhaseSample> samples,
+                                       const std::vector<FaultSpec>& plan,
+                                       rf::Rng& rng);
+
+}  // namespace lion::sim

@@ -10,6 +10,10 @@ std::vector<PhaseSample> ReaderSim::sweep(const rf::Antenna& antenna,
                                           const Trajectory& trajectory,
                                           rf::Rng& rng) const {
   std::vector<PhaseSample> out;
+  // A non-positive rate would never advance the loop; an (almost-)certain
+  // miss yields the empty stream downstream must already cope with.
+  if (!(config_.read_rate_hz > 0.0)) return out;
+  if (config_.miss_probability >= 1.0) return out;
   const double dt = 1.0 / config_.read_rate_hz;
   const double total = trajectory.duration();
   out.reserve(static_cast<std::size_t>(total / dt) + 1);

@@ -131,6 +131,62 @@ TEST(BuildSystem, ValidatesArguments) {
                std::invalid_argument);
 }
 
+TEST(BuildSystem, ReferenceIndexExtremesProduceUsableSystems) {
+  // First and last sample as reference: both are legal, and pairs that
+  // contain the reference itself must not corrupt the rows.
+  const Vec3 target{0.1, 0.8, 0.0};
+  const auto profile = synthetic_profile(grid_positions(), target);
+  const auto frame = analyze_frame(profile, 2);
+  const std::vector<IndexPair> pairs{
+      {0, profile.size() - 1}, {0, profile.size() / 2}, {1, profile.size() - 2}};
+  for (std::size_t ref : {std::size_t{0}, profile.size() - 1}) {
+    const auto sys =
+        build_system(profile, frame, pairs, ref, rf::kDefaultWavelength);
+    ASSERT_EQ(sys.a.rows(), pairs.size());
+    // delta_d of the reference against itself must be exactly zero.
+    EXPECT_EQ(sys.delta_d[ref], 0.0);
+    const auto local = frame.to_local(target);
+    const double d_r = linalg::distance(target, profile[ref].position);
+    const auto lhs = sys.a.multiply({local[0], local[1], d_r});
+    for (std::size_t r = 0; r < lhs.size(); ++r) {
+      EXPECT_NEAR(lhs[r], sys.k[r], 1e-9) << "ref " << ref << " row " << r;
+    }
+  }
+}
+
+TEST(BuildSystem, CollinearProfileYieldsRankOneFrame) {
+  // A single-line scan must come back rank 1 — the radical-line system
+  // then has 2 unknowns, which is what the 2D/3D fallback logic keys on.
+  std::vector<Vec3> positions;
+  for (int i = 0; i <= 20; ++i) positions.push_back({0.05 * i, 0.3, 0.1});
+  const auto profile = synthetic_profile(positions, {0.5, 1.0, 0.1});
+  const auto frame = analyze_frame(profile, 3);
+  EXPECT_EQ(frame.rank, 1u);
+  const auto pairs = spread_pairs(profile, 0.1, 50);
+  const auto sys = build_system(profile, frame, pairs, 0, rf::kDefaultWavelength);
+  EXPECT_EQ(sys.a.cols(), 2u);
+}
+
+TEST(BuildSystem, NearCollinearProfileStaysFiniteEvenIfIllConditioned) {
+  // Sub-millimetre lateral spread: whether analyze_frame keeps or drops the
+  // weak direction, the assembled system must be finite.
+  std::vector<Vec3> positions;
+  for (int i = 0; i <= 20; ++i) {
+    positions.push_back({0.05 * i, 0.3 + 2e-5 * (i % 3), 0.1});
+  }
+  const auto profile = synthetic_profile(positions, {0.5, 1.0, 0.1});
+  const auto frame = analyze_frame(profile, 3);
+  EXPECT_GE(frame.rank, 1u);
+  const auto pairs = spread_pairs(profile, 0.1, 50);
+  const auto sys = build_system(profile, frame, pairs, 5, rf::kDefaultWavelength);
+  for (std::size_t r = 0; r < sys.a.rows(); ++r) {
+    for (std::size_t c = 0; c < sys.a.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(sys.a(r, c)));
+    }
+    EXPECT_TRUE(std::isfinite(sys.k[r]));
+  }
+}
+
 TEST(BuildSystem, ThreeDSystemSatisfiedByTruth) {
   std::vector<Vec3> positions;
   for (int i = 0; i <= 10; ++i) {

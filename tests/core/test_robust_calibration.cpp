@@ -1,0 +1,181 @@
+// Robust calibration-path tests: the no-throw entry point must map every
+// stream — clean, faulted, degenerate, empty — to a meaningful status,
+// and keep accuracy under contamination that breaks the plain solvers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/lion.hpp"
+#include "rf/rng.hpp"
+#include "sim/faults.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion {
+namespace {
+
+using linalg::Vec3;
+
+constexpr Vec3 kPhysical{0.0, 0.8, 0.0};
+
+sim::Scenario make_scenario(std::uint64_t seed,
+                            sim::EnvironmentKind env =
+                                sim::EnvironmentKind::kLabClean) {
+  return sim::Scenario::Builder{}
+      .environment(env)
+      .add_antenna(kPhysical)
+      .add_tag()
+      .seed(seed)
+      .build();
+}
+
+std::vector<sim::PhaseSample> rig_sweep(sim::Scenario& scenario) {
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  return scenario.sweep(0, 0, rig.build());
+}
+
+TEST(RobustCalibration, CleanStreamIsOkAndAccurate) {
+  auto scenario = make_scenario(1);
+  const auto report =
+      core::calibrate_antenna_robust(rig_sweep(scenario), kPhysical);
+  ASSERT_EQ(report.status, core::CalibrationStatus::kOk);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(linalg::distance(report.center.estimated_center,
+                             scenario.antennas()[0].phase_center()),
+            0.02);
+  EXPECT_TRUE(report.diagnostics.sanitize.clean());
+  EXPECT_GT(report.diagnostics.inlier_fraction, 0.5);
+  EXPECT_GT(report.diagnostics.condition, 0.0);
+}
+
+TEST(RobustCalibration, EmptyStreamReportsNoSamples) {
+  const auto report = core::calibrate_antenna_robust({}, kPhysical);
+  EXPECT_EQ(report.status, core::CalibrationStatus::kNoSamples);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.diagnostics.message.empty());
+}
+
+TEST(RobustCalibration, AllNanStreamReportsNoSamples) {
+  std::vector<sim::PhaseSample> stream(300);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].t = static_cast<double>(i);
+    stream[i].phase = std::numeric_limits<double>::quiet_NaN();
+  }
+  const auto report = core::calibrate_antenna_robust(stream, kPhysical);
+  EXPECT_EQ(report.status, core::CalibrationStatus::kNoSamples);
+  EXPECT_EQ(report.diagnostics.sanitize.dropped_nonfinite, 300u);
+}
+
+TEST(RobustCalibration, StationaryScanReportsDegenerateGeometry) {
+  std::vector<sim::PhaseSample> stream(100);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].t = 0.01 * static_cast<double>(i);
+    stream[i].position = {0.1, 0.2, 0.0};
+    stream[i].phase = 1.0;
+  }
+  const auto report = core::calibrate_antenna_robust(stream, kPhysical);
+  EXPECT_EQ(report.status, core::CalibrationStatus::kDegenerateGeometry);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(RobustCalibration, CollinearScanFallsBackTo2D) {
+  // A single straight line cannot give a 3D fix; the robust path must
+  // degrade to the planar solve instead of throwing.
+  auto scenario = make_scenario(2);
+  const auto samples = scenario.sweep(
+      0, 0, sim::LinearTrajectory({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1));
+  const auto report = core::calibrate_antenna_robust(samples, kPhysical);
+  ASSERT_EQ(report.status, core::CalibrationStatus::kDegraded2D);
+  ASSERT_TRUE(report.ok());
+  // z pinned to the believed physical height.
+  EXPECT_EQ(report.center.estimated_center[2], kPhysical[2]);
+  // The in-plane coordinates are still localized decently.
+  const Vec3 truth = scenario.antennas()[0].phase_center();
+  const double planar = std::hypot(report.center.estimated_center[0] - truth[0],
+                                   report.center.estimated_center[1] - truth[1]);
+  EXPECT_LT(planar, 0.05);
+  EXPECT_FALSE(report.diagnostics.message.empty());
+}
+
+TEST(RobustCalibration, NearCollinearScanDoesNotReturnWild3DAnswer) {
+  // Three "lines" squeezed to sub-millimetre separation: technically rank
+  // 2-3, but the cross-line geometry is hopeless. Whatever path is taken,
+  // the answer must be reported (possibly degraded) and finite.
+  auto scenario = make_scenario(3);
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  rig.y0 = 0.0005;
+  rig.z0 = 0.0005;
+  const auto samples = scenario.sweep(0, 0, rig.build());
+  const auto report = core::calibrate_antenna_robust(samples, kPhysical);
+  if (report.ok()) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(std::isfinite(report.center.estimated_center[i]));
+    }
+    // The degeneracy gate must have kept the accepted system sane.
+    EXPECT_LE(report.diagnostics.condition, 1e5 + 1.0);
+  } else {
+    EXPECT_NE(report.status, core::CalibrationStatus::kOk);
+  }
+}
+
+TEST(RobustCalibration, SurvivesEveryFaultKindAtFullSeverity) {
+  auto scenario = make_scenario(4, sim::EnvironmentKind::kLabTypical);
+  const auto base = rig_sweep(scenario);
+  for (const auto kind : sim::all_fault_kinds()) {
+    rf::Rng rng(17);
+    const auto faulted = sim::inject_fault(base, {kind, 1.0}, rng);
+    const auto report = core::calibrate_antenna_robust(faulted, kPhysical);
+    // Status must be a meaningful classification — never an exception.
+    switch (report.status) {
+      case core::CalibrationStatus::kOk:
+      case core::CalibrationStatus::kDegraded2D:
+        for (std::size_t i = 0; i < 3; ++i) {
+          EXPECT_TRUE(std::isfinite(report.center.estimated_center[i]))
+              << sim::fault_kind_name(kind);
+        }
+        break;
+      case core::CalibrationStatus::kNoSamples:
+      case core::CalibrationStatus::kDegenerateGeometry:
+      case core::CalibrationStatus::kSolverFailure:
+        EXPECT_FALSE(report.ok());
+        break;
+    }
+  }
+}
+
+TEST(RobustCalibration, MultipathBurstsBarelyMoveTheRobustEstimate) {
+  auto scenario = make_scenario(5, sim::EnvironmentKind::kLabTypical);
+  const auto base = rig_sweep(scenario);
+  const auto clean_report = core::calibrate_antenna_robust(base, kPhysical);
+  ASSERT_TRUE(clean_report.ok());
+  rf::Rng rng(23);
+  const auto faulted =
+      sim::inject_fault(base, {sim::FaultKind::kMultipathSpike, 0.1}, rng);
+  const auto report = core::calibrate_antenna_robust(faulted, kPhysical);
+  ASSERT_TRUE(report.ok());
+  const Vec3 truth = scenario.antennas()[0].phase_center();
+  const double clean_err =
+      linalg::distance(clean_report.center.estimated_center, truth);
+  const double faulted_err =
+      linalg::distance(report.center.estimated_center, truth);
+  // Within 2x of the clean error, with slack for an already-tiny baseline.
+  EXPECT_LT(faulted_err, std::max(2.0 * clean_err, 0.02));
+}
+
+TEST(RobustCalibration, PhaseOffsetStillComputedOnDegradedPath) {
+  auto scenario = make_scenario(6);
+  const auto samples = scenario.sweep(
+      0, 0, sim::LinearTrajectory({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1));
+  const auto report = core::calibrate_antenna_robust(samples, kPhysical);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.phase_offset, 0.0);
+  EXPECT_LT(report.phase_offset, rf::kTwoPi);
+}
+
+}  // namespace
+}  // namespace lion

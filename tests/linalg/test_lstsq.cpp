@@ -170,5 +170,79 @@ TEST(Irls, ReportsIterationCount) {
   EXPECT_TRUE(r.converged);
 }
 
+TEST(RobustWeights, HuberKeepsSmallResidualsAtFullWeight) {
+  const std::vector<double> residuals{0.01, -0.02, 0.015, -0.01, 5.0};
+  const auto w = robust_residual_weights(residuals, RobustLoss::kHuber);
+  ASSERT_EQ(w.size(), residuals.size());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(w[i], 1.0);
+  EXPECT_LT(w[4], 0.1);
+}
+
+TEST(RobustWeights, TukeyZerosGrossOutliers) {
+  const std::vector<double> residuals{0.01, -0.02, 0.015, -0.01, 0.02, 50.0};
+  const auto w = robust_residual_weights(residuals, RobustLoss::kTukey);
+  EXPECT_EQ(w.back(), 0.0);
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) EXPECT_GT(w[i], 0.5);
+}
+
+TEST(RobustWeights, ScaleInvariant) {
+  // MAD normalization: multiplying every residual by a constant must not
+  // change the weights.
+  const std::vector<double> r1{0.1, -0.2, 0.15, -0.1, 3.0};
+  std::vector<double> r2 = r1;
+  for (auto& v : r2) v *= 1000.0;
+  const auto w1 = robust_residual_weights(r1, RobustLoss::kHuber);
+  const auto w2 = robust_residual_weights(r2, RobustLoss::kHuber);
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_NEAR(w1[i], w2[i], 1e-12);
+  }
+}
+
+TEST(RobustWeights, TukeyAllZeroFallsBackToHuber) {
+  // Identical residual magnitudes make MAD zero; the guard must not return
+  // an all-zero weight vector that would make the refit singular.
+  const std::vector<double> residuals{1.0, 1.0, 1.0, 1.0};
+  const auto w = robust_residual_weights(residuals, RobustLoss::kTukey);
+  double total = 0.0;
+  for (const double v : w) total += v;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Irls, HuberLossRecoversFromCoherentBlock) {
+  // Scattered-outlier robustness is shared; the block case is where the
+  // Gaussian weighting (centered on the poisoned OLS fit) struggles most.
+  Matrix a(30, 1);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    a(i, 0) = 1.0;
+    b[i] = 2.0;
+  }
+  for (std::size_t i = 0; i < 6; ++i) b[i] = 12.0;
+  IrlsOptions huber;
+  huber.loss = RobustLoss::kHuber;
+  const auto r = solve_irls(a, b, huber);
+  EXPECT_NEAR(r.x[0], 2.0, 0.2);
+}
+
+TEST(Irls, TukeyLossIgnoresCoherentBlockCompletely) {
+  Matrix a(30, 1);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    a(i, 0) = 1.0;
+    b[i] = 2.0;
+  }
+  for (std::size_t i = 0; i < 6; ++i) b[i] = 12.0;
+  IrlsOptions tukey;
+  tukey.loss = RobustLoss::kTukey;
+  const auto r = solve_irls(a, b, tukey);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(RobustLossNames, AreStable) {
+  EXPECT_STREQ(robust_loss_name(RobustLoss::kGaussian), "gaussian");
+  EXPECT_STREQ(robust_loss_name(RobustLoss::kHuber), "huber");
+  EXPECT_STREQ(robust_loss_name(RobustLoss::kTukey), "tukey");
+}
+
 }  // namespace
 }  // namespace lion::linalg

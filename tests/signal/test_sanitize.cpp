@@ -1,0 +1,128 @@
+// Sanitization tests: a clean stream passes untouched; every category of
+// stream damage is repaired or dropped and itemized in the report.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rf/constants.hpp"
+#include "signal/sanitize.hpp"
+#include "signal/stitch.hpp"
+
+namespace lion {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<sim::PhaseSample> clean_stream(std::size_t n) {
+  std::vector<sim::PhaseSample> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].t = 0.01 * static_cast<double>(i);
+    out[i].position = {0.001 * static_cast<double>(i), 0.0, 0.0};
+    out[i].phase = std::fmod(0.05 * static_cast<double>(i), rf::kTwoPi);
+    out[i].rssi_dbm = -50.0;
+  }
+  return out;
+}
+
+TEST(Sanitize, CleanStreamUntouched) {
+  const auto stream = clean_stream(100);
+  signal::SanitizeReport report;
+  const auto out = signal::sanitize_samples(stream, &report);
+  EXPECT_EQ(out.size(), stream.size());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.input, 100u);
+  EXPECT_EQ(report.kept, 100u);
+}
+
+TEST(Sanitize, DropsNonFiniteFields) {
+  auto stream = clean_stream(50);
+  stream[3].phase = kNan;
+  stream[10].position[1] = kNan;
+  stream[20].t = std::numeric_limits<double>::infinity();
+  stream[30].rssi_dbm = kNan;
+  signal::SanitizeReport report;
+  const auto out = signal::sanitize_samples(stream, &report);
+  EXPECT_EQ(out.size(), 46u);
+  EXPECT_EQ(report.dropped_nonfinite, 4u);
+  for (const auto& s : out) {
+    EXPECT_TRUE(std::isfinite(s.phase));
+    EXPECT_TRUE(std::isfinite(s.t));
+  }
+}
+
+TEST(Sanitize, RewrapsOutOfRangePhases) {
+  auto stream = clean_stream(10);
+  stream[2].phase = -1.0;
+  stream[5].phase = 123456.0;
+  signal::SanitizeReport report;
+  const auto out = signal::sanitize_samples(stream, &report);
+  EXPECT_EQ(report.rewrapped, 2u);
+  for (const auto& s : out) {
+    EXPECT_GE(s.phase, 0.0);
+    EXPECT_LT(s.phase, rf::kTwoPi);
+  }
+}
+
+TEST(Sanitize, RestoresChronologicalOrder) {
+  auto stream = clean_stream(20);
+  std::swap(stream[4], stream[5]);
+  std::swap(stream[11], stream[12]);
+  signal::SanitizeReport report;
+  const auto out = signal::sanitize_samples(stream, &report);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_GT(report.reordered, 0u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].t, out[i].t);
+  }
+}
+
+TEST(Sanitize, DropsDuplicateDeliveries) {
+  auto stream = clean_stream(20);
+  stream.insert(stream.begin() + 7, stream[7]);
+  stream.insert(stream.begin() + 2, stream[2]);
+  signal::SanitizeReport report;
+  const auto out = signal::sanitize_samples(stream, &report);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(report.dropped_duplicate, 2u);
+}
+
+TEST(Sanitize, AllGarbageComesBackEmptyWithoutThrowing) {
+  std::vector<sim::PhaseSample> stream(30);
+  for (auto& s : stream) s.phase = kNan;
+  signal::SanitizeReport report;
+  const auto out = signal::sanitize_samples(stream, &report);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(report.dropped_nonfinite, 30u);
+  EXPECT_EQ(report.kept, 0u);
+}
+
+TEST(Sanitize, PreprocessRunsSanitizeByDefault) {
+  auto stream = clean_stream(200);
+  stream[50].phase = kNan;
+  std::swap(stream[100], stream[101]);
+  signal::SanitizeReport report;
+  const auto profile = signal::preprocess(stream, {}, report);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.dropped_nonfinite, 1u);
+  EXPECT_GT(report.reordered, 0u);
+  EXPECT_FALSE(profile.empty());
+  for (const auto& p : profile) {
+    EXPECT_TRUE(std::isfinite(p.phase));
+  }
+}
+
+TEST(Sanitize, PreprocessSanitizeCanBeDisabled) {
+  auto stream = clean_stream(50);
+  std::swap(stream[10], stream[11]);
+  signal::PreprocessConfig cfg;
+  cfg.sanitize = false;
+  signal::SanitizeReport report;
+  const auto profile = signal::preprocess(stream, cfg, report);
+  EXPECT_TRUE(report.clean());  // nothing was scrubbed
+  EXPECT_FALSE(profile.empty());
+}
+
+}  // namespace
+}  // namespace lion

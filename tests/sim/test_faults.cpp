@@ -1,0 +1,174 @@
+// Fault-injector tests: determinism, severity semantics, composition, and
+// the identity guarantee at severity 0.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+#include "rf/rng.hpp"
+#include "sim/faults.hpp"
+
+namespace lion {
+namespace {
+
+std::vector<sim::PhaseSample> make_stream(std::size_t n) {
+  std::vector<sim::PhaseSample> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].t = 0.01 * static_cast<double>(i);
+    out[i].position = {0.001 * static_cast<double>(i), 0.0, 0.0};
+    out[i].phase = std::fmod(0.03 * static_cast<double>(i), rf::kTwoPi);
+    out[i].rssi_dbm = -55.0;
+  }
+  return out;
+}
+
+TEST(Faults, SeverityZeroIsIdentity) {
+  const auto base = make_stream(200);
+  for (const auto kind : sim::all_fault_kinds()) {
+    rf::Rng rng(7);
+    const auto out = sim::inject_fault(base, {kind, 0.0}, rng);
+    ASSERT_EQ(out.size(), base.size()) << sim::fault_kind_name(kind);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].phase, base[i].phase) << sim::fault_kind_name(kind);
+      EXPECT_EQ(out[i].t, base[i].t);
+    }
+  }
+}
+
+TEST(Faults, DeterministicGivenSameSeed) {
+  const auto base = make_stream(500);
+  for (const auto kind : sim::all_fault_kinds()) {
+    rf::Rng a(42), b(42);
+    const auto out_a = sim::inject_fault(base, {kind, 0.3}, a);
+    const auto out_b = sim::inject_fault(base, {kind, 0.3}, b);
+    ASSERT_EQ(out_a.size(), out_b.size()) << sim::fault_kind_name(kind);
+    for (std::size_t i = 0; i < out_a.size(); ++i) {
+      EXPECT_EQ(out_a[i].t, out_b[i].t);
+      // NaN != NaN; compare bit-for-bit via isnan on both sides.
+      EXPECT_TRUE(out_a[i].phase == out_b[i].phase ||
+                  (std::isnan(out_a[i].phase) && std::isnan(out_b[i].phase)));
+    }
+  }
+}
+
+TEST(Faults, BurstDropoutRemovesContiguousChunk) {
+  const auto base = make_stream(1000);
+  rf::Rng rng(3);
+  const auto out = sim::inject_burst_dropout(base, 0.3, rng);
+  EXPECT_LT(out.size(), base.size());
+  // At most `severity` of the stream can vanish (bursts may overlap/clip).
+  EXPECT_GE(out.size(), base.size() - 300 - 1);
+  // Survivors keep chronological order.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].t, out[i].t);
+  }
+}
+
+TEST(Faults, CycleSlipShiftsTailByHalfCycle) {
+  const auto base = make_stream(400);
+  rf::Rng rng(11);
+  const auto out = sim::inject_cycle_slips(base, 0.1, rng);
+  ASSERT_EQ(out.size(), base.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].phase != base[i].phase) {
+      ++changed;
+      // Each slip rotates by pi, so any accumulated difference is a pi
+      // multiple (mod 2*pi).
+      const double diff = std::abs(out[i].phase - base[i].phase);
+      const double frac = std::fmod(diff, rf::kPi);
+      EXPECT_LT(std::min(frac, rf::kPi - frac), 1e-9);
+      EXPECT_GE(out[i].phase, 0.0);
+      EXPECT_LT(out[i].phase, rf::kTwoPi);
+    }
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(Faults, MultipathSpikesAffectMinorityOfStream) {
+  const auto base = make_stream(1000);
+  rf::Rng rng(5);
+  const auto out = sim::inject_multipath_spikes(base, 0.1, rng);
+  ASSERT_EQ(out.size(), base.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].phase != base[i].phase) ++changed;
+  }
+  EXPECT_GT(changed, 0u);
+  EXPECT_LT(changed, base.size() / 2);
+}
+
+TEST(Faults, OffsetShiftIsConstantAfterOnePoint) {
+  const auto base = make_stream(400);
+  rf::Rng rng(13);
+  const auto out = sim::inject_offset_shift(base, 0.5, rng);
+  ASSERT_EQ(out.size(), base.size());
+  // Prefix untouched, suffix rotated by one constant.
+  std::size_t first_changed = base.size();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].phase != base[i].phase) {
+      first_changed = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_changed, base.size());
+  EXPECT_GE(first_changed, base.size() / 4);
+  for (std::size_t i = first_changed; i < out.size(); ++i) {
+    EXPECT_NE(out[i].phase, base[i].phase);
+  }
+}
+
+TEST(Faults, TimestampDisorderBreaksMonotonicity) {
+  const auto base = make_stream(500);
+  rf::Rng rng(17);
+  const auto out = sim::inject_timestamp_disorder(base, 0.4, rng);
+  EXPECT_GE(out.size(), base.size());  // duplicates only add
+  std::size_t inversions = 0;
+  std::size_t duplicates = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].t < out[i - 1].t) ++inversions;
+    if (out[i].t == out[i - 1].t) ++duplicates;
+  }
+  EXPECT_GT(inversions + duplicates, 0u);
+}
+
+TEST(Faults, GarbageReadsInjectNonFiniteOrAbsurdFields) {
+  const auto base = make_stream(1000);
+  rf::Rng rng(19);
+  const auto out = sim::inject_garbage_reads(base, 0.2, rng);
+  ASSERT_EQ(out.size(), base.size());
+  std::size_t garbage = 0;
+  for (const auto& s : out) {
+    const bool bad = std::isnan(s.phase) || std::isnan(s.position[0]) ||
+                     std::isnan(s.position[1]) || std::isnan(s.position[2]) ||
+                     s.phase >= rf::kTwoPi;
+    if (bad) ++garbage;
+  }
+  EXPECT_GT(garbage, 100u);
+  EXPECT_LT(garbage, 320u);
+}
+
+TEST(Faults, PlansCompose) {
+  const auto base = make_stream(600);
+  rf::Rng rng(23);
+  const auto out = sim::inject_faults(
+      base,
+      {{sim::FaultKind::kBurstDropout, 0.2},
+       {sim::FaultKind::kMultipathSpike, 0.1},
+       {sim::FaultKind::kGarbageReads, 0.05}},
+      rng);
+  EXPECT_LT(out.size(), base.size());
+  EXPECT_GT(out.size(), base.size() / 2);
+}
+
+TEST(Faults, EmptyStreamIsFine) {
+  rf::Rng rng(29);
+  for (const auto kind : sim::all_fault_kinds()) {
+    const auto out = sim::inject_fault({}, {kind, 0.8}, rng);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+}  // namespace
+}  // namespace lion

@@ -136,6 +136,37 @@ TEST(ReaderSim, StaticNoiselessPhasesIdentical) {
   }
 }
 
+TEST(ReaderSim, CertainMissProducesEmptyStreamWithoutSpinning) {
+  ReaderConfig cfg;
+  cfg.miss_probability = 1.0;
+  ReaderSim reader(rf::Channel(quiet(), {}), cfg);
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);
+  rf::Rng rng(11);
+  EXPECT_TRUE(
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng).empty());
+}
+
+TEST(ReaderSim, NearCertainMissStillTerminatesWithSparseStream) {
+  ReaderConfig cfg;
+  cfg.miss_probability = 0.999;
+  ReaderSim reader(rf::Channel(quiet(), {}), cfg);
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);  // ~1001 reads
+  rf::Rng rng(12);
+  const auto samples =
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng);
+  EXPECT_LT(samples.size(), 30u);
+}
+
+TEST(ReaderSim, NonPositiveReadRateYieldsEmptyStream) {
+  ReaderConfig cfg;
+  cfg.read_rate_hz = 0.0;
+  ReaderSim reader(rf::Channel(quiet(), {}), cfg);
+  LinearTrajectory traj({-0.5, 0.0, 0.0}, {0.5, 0.0, 0.0}, 0.1);
+  rf::Rng rng(13);
+  EXPECT_TRUE(
+      reader.sweep(antenna_at({0.0, 1.0, 0.0}), rf::Tag{}, traj, rng).empty());
+}
+
 TEST(ReaderSim, UnpoweredTagProducesNoSamples) {
   ReaderSim reader(rf::Channel(quiet(), {}), ReaderConfig{});
   rf::Tag deaf;

@@ -1,6 +1,6 @@
 // lion — command-line front end for the LION library.
 //
-//   lion locate    <scan.csv> [--dim 2|3] [--interval M] [--method LS|WLS|IRLS]
+//   lion locate    <scan.csv> [--dim 2|3] [--interval M] [--method LS|WLS|IRLS|HUBER|TUKEY|RANSAC]
 //                  [--hint x,y,z] [--adaptive] [--wavelength M]
 //   lion calibrate <scan.csv> --physical-center x,y,z [--wavelength M]
 //   lion offset    <scan.csv> --center x,y,z [--wavelength M]
@@ -43,7 +43,7 @@ namespace {
   std::fprintf(stderr, "%s",
                "usage:\n"
                "  lion locate    <scan.csv> [--dim 2|3] [--interval M]\n"
-               "                 [--method LS|WLS|IRLS] [--hint x,y,z]\n"
+               "                 [--method LS|WLS|IRLS|HUBER|TUKEY|RANSAC] [--hint x,y,z]\n"
                "                 [--adaptive] [--wavelength M]\n"
                "  lion calibrate <scan.csv> --physical-center x,y,z\n"
                "                 [--wavelength M]\n"
@@ -110,6 +110,12 @@ Args parse_args(int argc, char** argv) {
         a.method = core::SolveMethod::kWeightedLeastSquares;
       } else if (m == "IRLS") {
         a.method = core::SolveMethod::kIterativeReweighted;
+      } else if (m == "HUBER") {
+        a.method = core::SolveMethod::kHuberIrls;
+      } else if (m == "TUKEY") {
+        a.method = core::SolveMethod::kTukeyIrls;
+      } else if (m == "RANSAC") {
+        a.method = core::SolveMethod::kRansac;
       } else {
         usage("unknown method");
       }
@@ -189,19 +195,41 @@ int cmd_locate(const Args& a) {
 int cmd_calibrate(const Args& a) {
   if (!a.physical_center) usage("calibrate requires --physical-center");
   const auto samples = io::read_samples_csv_file(a.file);
-  const auto profile = signal::preprocess(samples);
-  core::AdaptiveConfig cfg;
-  cfg.base.wavelength = a.wavelength;
-  const auto cal =
-      core::calibrate_phase_center(profile, *a.physical_center, cfg);
+  core::RobustCalibrationConfig cfg;
+  cfg.adaptive.base.wavelength = a.wavelength;
+  cfg.adaptive.base.method = a.method;
+  const auto report =
+      core::calibrate_antenna_robust(samples, *a.physical_center, cfg);
+
+  const auto& diag = report.diagnostics;
+  std::printf("status: %s\n", core::calibration_status_name(report.status));
+  if (!diag.sanitize.clean()) {
+    std::printf("sanitize: %zu/%zu kept (%zu non-finite, %zu duplicate, "
+                "%zu reordered, %zu rewrapped)\n",
+                diag.sanitize.kept, diag.sanitize.input,
+                diag.sanitize.dropped_nonfinite,
+                diag.sanitize.dropped_duplicate, diag.sanitize.reordered,
+                diag.sanitize.rewrapped);
+  }
+  if (!report.ok()) {
+    std::printf("calibration failed: %s\n",
+                diag.message.empty() ? "(no detail)" : diag.message.c_str());
+    return 1;
+  }
+  const auto& cal = report.center;
   std::printf("estimated center: %.4f %.4f %.4f\n", cal.estimated_center[0],
               cal.estimated_center[1], cal.estimated_center[2]);
   std::printf("displacement: %.4f %.4f %.4f  (%.2f cm)\n",
               cal.displacement[0], cal.displacement[1], cal.displacement[2],
               cal.displacement.norm() * 100.0);
-  const double offset = core::calibrate_phase_offset(
-      samples, cal.estimated_center, a.wavelength);
-  std::printf("phase offset: %.4f rad\n", offset);
+  std::printf("phase offset: %.4f rad\n", report.phase_offset);
+  std::printf("diagnostics: condition %.1f, inliers %.0f%%, rms residual "
+              "%.3e, sigma %.4f m\n",
+              diag.condition, diag.inlier_fraction * 100.0,
+              diag.rms_residual, diag.position_sigma);
+  if (!diag.message.empty()) {
+    std::printf("notes: %s\n", diag.message.c_str());
+  }
   return 0;
 }
 
