@@ -63,12 +63,7 @@ struct Cell {
 // One localization trial: simulate, inject, preprocess, solve.
 void run_trial(sim::EnvironmentKind env, const sim::FaultSpec* fault,
                core::SolveMethod method, std::uint64_t seed, Cell& cell) {
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(env)
-                      .add_antenna(kAntennaPhysical)
-                      .add_tag()
-                      .seed(seed)
-                      .build();
+  auto scenario = bench::standard_scenario(env, kAntennaPhysical, seed);
   auto samples = scenario.sweep(0, 0, default_rig().build());
   if (fault) {
     rf::Rng rng(seed * 7919u + static_cast<std::uint64_t>(fault->kind) * 101u +
@@ -126,12 +121,8 @@ bool graceful_degradation_sweep(std::size_t trials) {
   }
   check("all-NaN phases", all_nan);
 
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(sim::EnvironmentKind::kLabTypical)
-                      .add_antenna(kAntennaPhysical)
-                      .add_tag()
-                      .seed(1234)
-                      .build();
+  auto scenario = bench::standard_scenario(sim::EnvironmentKind::kLabTypical,
+                                           kAntennaPhysical, 1234);
   const auto base = scenario.sweep(0, 0, default_rig().build());
   for (const auto kind : sim::all_fault_kinds()) {
     for (double severity : {0.5, 1.0}) {

@@ -63,12 +63,8 @@ int main() {
   for (std::uint32_t id = 0; id < 4; ++id) {
     // Physical center at the origin; the tag plane 65 cm in front (-y).
     auto antenna = rf::make_antenna({0.0, 0.0, 0.0}, id);
-    auto scenario = sim::Scenario::Builder{}
-                        .environment(sim::EnvironmentKind::kLabClean)
-                        .add_antenna(antenna)
-                        .add_tag()
-                        .seed(1000 + id)
-                        .build();
+    auto scenario = bench::standard_scenario(sim::EnvironmentKind::kLabClean,
+                                             antenna, 1000 + id);
 
     // Horizontal sweep: x from -0.3 to 0.3 at depth 0.65 m.
     sim::LinearTrajectory horiz({-0.3, -0.65, 0.0}, {0.3, -0.65, 0.0}, 0.1);

@@ -160,12 +160,9 @@ int main() {
   // offset so the z coordinate is genuinely unknown. Each antenna is
   // calibrated once with the three-line rig.
   auto make_scenario = [](double z, std::uint32_t unit, std::uint64_t seed) {
-    return sim::Scenario::Builder{}
-        .environment(sim::EnvironmentKind::kLabClean)
-        .add_antenna(rf::make_antenna({0.0, 0.8, z}, unit))
-        .add_tag()
-        .seed(seed)
-        .build();
+    return bench::standard_scenario(sim::EnvironmentKind::kLabClean,
+                                    rf::make_antenna({0.0, 0.8, z}, unit),
+                                    seed);
   };
   // Three 2D antenna units so the calibration gain reflects the expected
   // in-plane displacement rather than one unit's luck of the draw (the 3D

@@ -34,15 +34,11 @@ void part_a() {
   int idx = 1;
   for (double z : {0.0, 0.2}) {
     for (double y : {0.6, 0.8, 1.0}) {
-      rf::Antenna antenna;
-      antenna.physical_center = {0.0, y, z};
       // Isolate the geometry effect: no hidden displacement here.
-      auto scenario = sim::Scenario::Builder{}
-                          .environment(sim::EnvironmentKind::kLabClean)
-                          .add_antenna(antenna)
-                          .add_tag()
-                          .seed(140 + idx)
-                          .build();
+      const rf::Antenna antenna = bench::plain_antenna({0.0, y, z});
+      auto scenario = bench::standard_scenario(
+          sim::EnvironmentKind::kLabClean, antenna,
+          140 + static_cast<std::uint64_t>(idx));
 
       std::vector<double> dist, ex, ey, ez;
       for (int trial = 0; trial < 8; ++trial) {

@@ -21,14 +21,9 @@ int main() {
   bench::banner("Fig. 15 — weighted vs ordinary least squares",
                 "WLS 0.43 cm vs LS 0.92 cm mean error (CDF separation)");
 
-  rf::Antenna antenna;
-  antenna.physical_center = {0.0, 0.8, 0.0};
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(sim::EnvironmentKind::kLabTypical)
-                      .add_antenna(antenna)
-                      .add_tag()
-                      .seed(150)
-                      .build();
+  const rf::Antenna antenna = bench::plain_antenna({0.0, 0.8, 0.0});
+  auto scenario =
+      bench::standard_scenario(sim::EnvironmentKind::kLabTypical, antenna, 150);
   const Vec3 center = antenna.phase_center();
 
   std::vector<double> ls_err, wls_err;

@@ -30,16 +30,11 @@ int main() {
   // the main beam, a 110 cm scan pokes well out of it, where both the
   // noise inflation and the antenna's off-axis *phase pattern* (coherent
   // bias) kick in — the paper's mechanism for the right side of the U.
-  rf::Antenna antenna;
-  antenna.physical_center = {0.0, 0.8, 0.0};
+  rf::Antenna antenna = bench::plain_antenna({0.0, 0.8, 0.0});
   antenna.beamwidth_rad = 52.0 * rf::kPi / 180.0;
   antenna.pattern_coefficient = 1.5;
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(sim::EnvironmentKind::kLabTypical)
-                      .add_antenna(antenna)
-                      .add_tag()
-                      .seed(160)
-                      .build();
+  auto scenario =
+      bench::standard_scenario(sim::EnvironmentKind::kLabTypical, antenna, 160);
   const Vec3 center = antenna.phase_center();
 
   std::printf("\n%-12s %-18s %-14s\n", "range[cm]", "mean residual[e-3]",

@@ -22,14 +22,9 @@ int main() {
                 "error decreases markedly up to ~20 cm interval; the "
                 "residual identifies the good settings");
 
-  rf::Antenna antenna;
-  antenna.physical_center = {0.0, 0.8, 0.0};
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(sim::EnvironmentKind::kLabTypical)
-                      .add_antenna(antenna)
-                      .add_tag()
-                      .seed(180)
-                      .build();
+  const rf::Antenna antenna = bench::plain_antenna({0.0, 0.8, 0.0});
+  auto scenario =
+      bench::standard_scenario(sim::EnvironmentKind::kLabTypical, antenna, 180);
   const Vec3 center = antenna.phase_center();
 
   std::printf("\n%-14s %-18s %-14s\n", "interval[cm]", "mean residual[e-3]",

@@ -23,14 +23,9 @@ int main() {
                 "x error < y error (errors lie along center->antenna); "
                 "error decreases with rotation radius");
 
-  rf::Antenna antenna;
-  antenna.physical_center = {0.0, 0.7, 0.0};
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(sim::EnvironmentKind::kLabTypical)
-                      .add_antenna(antenna)
-                      .add_tag()
-                      .seed(210)
-                      .build();
+  const rf::Antenna antenna = bench::plain_antenna({0.0, 0.7, 0.0});
+  auto scenario =
+      bench::standard_scenario(sim::EnvironmentKind::kLabTypical, antenna, 210);
   const Vec3 truth = antenna.phase_center();
 
   std::printf("\n%-12s %-12s %-12s %-12s\n", "radius[cm]", "dist[cm]",

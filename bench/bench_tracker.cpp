@@ -20,12 +20,8 @@ int main() {
                 "per-fix solve cost stays far below the inter-fix interval "
                 "at a 120 Hz read rate — real-time on one core");
 
-  auto scenario = sim::Scenario::Builder{}
-                      .environment(sim::EnvironmentKind::kLabTypical)
-                      .add_antenna({0.0, 0.8, 0.0})
-                      .add_tag()
-                      .seed(99)
-                      .build();
+  auto scenario = bench::standard_scenario(sim::EnvironmentKind::kLabTypical,
+                                           Vec3{0.0, 0.8, 0.0}, 99);
   const Vec3 center = scenario.antennas()[0].phase_center();
   const Vec3 slot{-0.45, 0.0, 0.0};
   const auto stream = scenario.sweep(

@@ -13,10 +13,69 @@
 #include <string>
 #include <vector>
 
+#include "engine/batch.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/vec.hpp"
+#include "sim/scenario.hpp"
 
 namespace lion::bench {
+
+/// An antenna with *no* hidden per-unit quirks (zero phase-center
+/// displacement, zero reader offset) at a given physical center — for the
+/// figures that isolate geometry or noise effects from calibration error.
+inline rf::Antenna plain_antenna(const linalg::Vec3& physical_center) {
+  rf::Antenna antenna;
+  antenna.physical_center = physical_center;
+  return antenna;
+}
+
+/// The standard figure-bench testbed: one fully-specified antenna, one
+/// auto-generated tag, an environment preset, a seed. Every single-antenna
+/// figure harness used to wire this by hand.
+inline sim::Scenario standard_scenario(sim::EnvironmentKind environment,
+                                       const rf::Antenna& antenna,
+                                       std::uint64_t seed) {
+  return sim::Scenario::Builder{}
+      .environment(environment)
+      .add_antenna(antenna)
+      .add_tag()
+      .seed(seed)
+      .build();
+}
+
+/// Same, with an auto-quirked antenna unit at `physical_center` (matches
+/// Scenario::Builder's Vec3 overload: unit id 0).
+inline sim::Scenario standard_scenario(sim::EnvironmentKind environment,
+                                       const linalg::Vec3& physical_center,
+                                       std::uint64_t seed) {
+  return standard_scenario(environment, rf::make_antenna(physical_center, 0),
+                           seed);
+}
+
+/// Calibrate several raw streams as one batch on the engine (stream k
+/// becomes job id k, with the engine's per-job seeding applied); reports
+/// come back in stream order. `threads` = 0 uses hardware concurrency.
+/// Lets a figure bench swap its serial per-antenna calibration loop for
+/// the production path without changing anything else.
+inline std::vector<core::CalibrationReport> calibrate_batch(
+    std::vector<std::vector<sim::PhaseSample>> streams,
+    const std::vector<linalg::Vec3>& physical_centers,
+    std::size_t threads = 0,
+    const core::RobustCalibrationConfig& config = {}) {
+  std::vector<engine::CalibrationJob> jobs;
+  jobs.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    jobs.push_back(engine::make_calibration_job(
+        i, std::move(streams[i]),
+        physical_centers[i < physical_centers.size() ? i : 0], config));
+  }
+  const auto batch =
+      engine::BatchEngine(engine::BatchEngineOptions{threads}).run(jobs);
+  std::vector<core::CalibrationReport> reports;
+  reports.reserve(batch.results.size());
+  for (auto& r : batch.results) reports.push_back(std::move(r.report));
+  return reports;
+}
 
 /// In-plane (xy) distance — the error metric of every 2D experiment. The
 /// 2D localizer reports its fix inside the virtual scan plane (whose

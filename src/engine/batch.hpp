@@ -1,0 +1,144 @@
+// Batch calibration engine: run many independent antenna calibrations on a
+// work-stealing thread pool, with per-job reports and aggregate statistics.
+//
+// Multi-antenna deployments (Sec. V-G's three-antenna rig, and fleets far
+// beyond it) calibrate every antenna against the same rig sweep cadence;
+// each calibration is embarrassingly parallel — stream in, report out, no
+// shared state. The engine expresses exactly that workload shape.
+//
+// Determinism contract
+// --------------------
+// run() is *bitwise deterministic*: for a fixed job vector, the returned
+// reports are byte-identical whether the engine uses 1 thread or N. This
+// holds because
+//   1. every job carries its own config — including the consensus-sampling
+//     RNG seed, derived from the job id by make_calibration_job() — so no
+//     job draws from a shared random stream;
+//   2. each job writes only its own pre-allocated result slot;
+//   3. results are returned in job order, not completion order.
+// Timing fields (latency, BatchStats) are measurements, not results, and
+// are excluded from the contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "sim/environment.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::engine {
+
+using linalg::Vec3;
+
+/// One unit of work: a raw tag stream swept past one antenna, the believed
+/// physical center, and the solver configuration to calibrate it with.
+struct CalibrationJob {
+  std::uint64_t id = 0;  ///< caller-chosen identity; seeds the job's RNG
+  std::vector<sim::PhaseSample> samples;  ///< raw reader stream
+  Vec3 physical_center{};                 ///< ruler-measured antenna center
+  core::RobustCalibrationConfig config{};
+
+  /// Optional override of the work itself (tests, custom pipelines). When
+  /// set, the engine invokes it instead of calibrate_antenna_robust; a
+  /// throw is mapped to a kSolverFailure report, never a crash.
+  std::function<core::CalibrationReport(const CalibrationJob&)> work;
+};
+
+/// Derive a decorrelated per-job RNG seed from the job id (splitmix64).
+std::uint64_t job_seed(std::uint64_t id);
+
+/// Build a job with the determinism contract applied: the consensus
+/// solver's sampling seed is derived from `id`, so two jobs with different
+/// ids never share a random stream.
+CalibrationJob make_calibration_job(
+    std::uint64_t id, std::vector<sim::PhaseSample> samples,
+    const Vec3& physical_center,
+    core::RobustCalibrationConfig config = {});
+
+/// Per-job outcome, in job order.
+struct JobResult {
+  std::uint64_t id = 0;
+  core::CalibrationReport report;
+  double latency_s = 0.0;  ///< queue-to-finish wall time (not deterministic)
+  bool threw = false;      ///< job raised; report.status is kSolverFailure
+  std::string error;       ///< exception message when threw
+};
+
+/// Number of CalibrationStatus values (histogram extent).
+inline constexpr std::size_t kStatusCount = 5;
+
+/// Aggregate statistics over one run() call.
+struct BatchStats {
+  std::size_t jobs = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;            ///< submit of first to finish of last
+  double throughput_jps = 0.0;    ///< jobs / wall_s
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  /// Count per CalibrationStatus, indexed by the enum's value.
+  std::array<std::size_t, kStatusCount> status_histogram{};
+  std::size_t exceptions = 0;     ///< jobs whose work threw
+  std::size_t steals = 0;         ///< pool-level task migrations
+};
+
+/// Everything run() produces.
+struct BatchResult {
+  std::vector<JobResult> results;  ///< one per job, in job order
+  BatchStats stats;
+
+  /// Jobs that produced a usable estimate (ok or degraded).
+  std::size_t succeeded() const;
+};
+
+/// Engine options.
+struct BatchEngineOptions {
+  /// Worker threads; 0 means hardware_concurrency (at least 1).
+  std::size_t threads = 0;
+};
+
+/// The batch engine. Construction is cheap; each run() spins up its own
+/// pool so a long-lived engine holds no idle threads.
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchEngineOptions options = {});
+
+  /// Execute every job; never throws on job failure (see JobResult::threw).
+  BatchResult run(const std::vector<CalibrationJob>& jobs) const;
+
+  /// The thread count run() will use.
+  std::size_t threads() const { return threads_; }
+
+ private:
+  std::size_t threads_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Simulated batches: the workload generator used by the CLI and benches.
+// ---------------------------------------------------------------------------
+
+/// Spec for a fleet of simulated single-antenna calibration jobs.
+struct SimulatedBatchSpec {
+  std::size_t jobs = 16;
+  sim::EnvironmentKind environment = sim::EnvironmentKind::kLabTypical;
+  std::uint64_t base_seed = 1;  ///< mixed with each job id for the sim RNG
+  double antenna_depth = 0.8;   ///< believed physical center at (0, depth, 0)
+  /// Scan half-span of the three-line rig along x [m]; smaller spans make
+  /// cheaper jobs (tests) at the cost of conditioning.
+  double rig_half_span = 0.55;
+  core::RobustCalibrationConfig config{};
+};
+
+/// Build `spec.jobs` jobs, each with its own simulated antenna unit (fresh
+/// phase-center displacement and hardware offset), its own rig sweep, and
+/// a per-job-id RNG seed. Deterministic in (spec, job id).
+std::vector<CalibrationJob> make_simulated_batch(
+    const SimulatedBatchSpec& spec);
+
+}  // namespace lion::engine

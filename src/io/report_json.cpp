@@ -1,0 +1,90 @@
+#include "io/report_json.hpp"
+
+#include <cstdio>
+
+namespace lion::io {
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out.append(buf);
+}
+
+void append_vec(std::string& out, const linalg::Vec3& v) {
+  out.push_back('[');
+  append_num(out, v[0]);
+  out.push_back(',');
+  append_num(out, v[1]);
+  out.push_back(',');
+  append_num(out, v[2]);
+  out.push_back(']');
+}
+
+void append_field(std::string& out, const char* key, std::size_t v) {
+  out.append(key);
+  out.append(std::to_string(v));
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string report_json(const core::CalibrationReport& report) {
+  const auto& d = report.diagnostics;
+  std::string out = "{";
+  out += "\"status\":\"";
+  out += core::calibration_status_name(report.status);
+  out += "\",\"estimated_center\":";
+  append_vec(out, report.center.estimated_center);
+  out += ",\"displacement\":";
+  append_vec(out, report.center.displacement);
+  out += ",\"phase_offset\":";
+  append_num(out, report.phase_offset);
+  append_field(out, ",\"sanitize\":{\"input\":", d.sanitize.input);
+  append_field(out, ",\"kept\":", d.sanitize.kept);
+  append_field(out, ",\"dropped_nonfinite\":", d.sanitize.dropped_nonfinite);
+  append_field(out, ",\"dropped_duplicate\":", d.sanitize.dropped_duplicate);
+  append_field(out, ",\"reordered\":", d.sanitize.reordered);
+  append_field(out, ",\"rewrapped\":", d.sanitize.rewrapped);
+  out += "}";
+  append_field(out, ",\"profile_points\":", d.profile_points);
+  out += ",\"condition\":";
+  append_num(out, d.condition);
+  out += ",\"inlier_fraction\":";
+  append_num(out, d.inlier_fraction);
+  out += ",\"mean_residual\":";
+  append_num(out, d.mean_residual);
+  out += ",\"rms_residual\":";
+  append_num(out, d.rms_residual);
+  out += ",\"position_sigma\":";
+  append_num(out, d.position_sigma);
+  out += ",\"message\":\"";
+  out += json_escape(d.message);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace lion::io

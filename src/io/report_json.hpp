@@ -1,0 +1,27 @@
+// Deterministic JSON serialization of calibration reports.
+//
+// Two consumers depend on the *exact* byte output:
+//   - the golden regression fixtures (tests/data/*.json) compare a fresh
+//     report against a checked-in serialization token-by-token;
+//   - the batch-engine determinism tests compare the serialized reports of
+//     a 1-thread and an N-thread run for byte equality.
+// So the format is fixed: keys in declaration order, doubles printed with
+// %.17g (round-trip exact for IEEE binary64), no locale dependence, no
+// whitespace variation. Timing fields are intentionally absent — they are
+// measurements, not results.
+#pragma once
+
+#include <string>
+
+#include "core/calibration.hpp"
+
+namespace lion::io {
+
+/// Serialize a report as a single-line JSON object.
+std::string report_json(const core::CalibrationReport& report);
+
+/// JSON string escaping for the diagnostics message (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace lion::io

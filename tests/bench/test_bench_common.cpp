@@ -1,0 +1,116 @@
+// bench/common.hpp deduplicates the scenario plumbing that every figure
+// harness used to copy by hand. These tests pin the helpers to the exact
+// hand-built equivalents so a refactor of the helpers cannot silently
+// change what the figure benches measure.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/calibration.hpp"
+#include "engine/batch.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trajectory.hpp"
+
+namespace lion {
+namespace {
+
+sim::ThreeLineRig small_rig() {
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.35;
+  rig.x_max = 0.35;
+  return rig;
+}
+
+TEST(PlainAntenna, HasNoHiddenQuirks) {
+  const auto antenna = bench::plain_antenna({0.1, 0.8, -0.2});
+  EXPECT_EQ(antenna.physical_center[0], 0.1);
+  EXPECT_EQ(antenna.physical_center[1], 0.8);
+  EXPECT_EQ(antenna.physical_center[2], -0.2);
+  EXPECT_EQ(antenna.phase_center_displacement.norm(), 0.0);
+  // Phase center == physical center: nothing to calibrate away.
+  EXPECT_EQ(antenna.phase_center()[0], antenna.physical_center[0]);
+  EXPECT_EQ(antenna.phase_center()[1], antenna.physical_center[1]);
+  EXPECT_EQ(antenna.phase_center()[2], antenna.physical_center[2]);
+}
+
+TEST(StandardScenario, MatchesAHandBuiltScenarioSampleForSample) {
+  const auto antenna = rf::make_antenna({0.0, 0.8, 0.0}, 3);
+
+  auto helper = bench::standard_scenario(sim::EnvironmentKind::kLabTypical,
+                                         antenna, 42);
+  auto manual = sim::Scenario::Builder{}
+                    .environment(sim::EnvironmentKind::kLabTypical)
+                    .add_antenna(antenna)
+                    .add_tag()
+                    .seed(42)
+                    .build();
+
+  const auto a = helper.sweep(0, 0, small_rig().build());
+  const auto b = manual.sweep(0, 0, small_rig().build());
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].phase, b[i].phase);
+    EXPECT_EQ(a[i].position[0], b[i].position[0]);
+    EXPECT_EQ(a[i].position[1], b[i].position[1]);
+    EXPECT_EQ(a[i].position[2], b[i].position[2]);
+  }
+}
+
+TEST(StandardScenario, Vec3OverloadUsesAutoQuirkedUnitZero) {
+  const linalg::Vec3 center{0.0, 0.8, 0.0};
+  auto helper =
+      bench::standard_scenario(sim::EnvironmentKind::kLabClean, center, 7);
+  const auto& antenna = helper.antennas()[0];
+  EXPECT_EQ(antenna.id, 0u);
+  EXPECT_EQ(antenna.physical_center[1], 0.8);
+  // make_antenna(_, 0) draws a nonzero per-unit displacement.
+  EXPECT_GT(antenna.phase_center_displacement.norm(), 0.0);
+}
+
+TEST(CalibrateBatch, MatchesDirectRobustCalibrationWithEngineSeeding) {
+  // Two antennas, two streams — the helper must reproduce exactly what a
+  // serial loop over calibrate_antenna_robust produces when given the same
+  // per-job RANSAC seeds the engine assigns.
+  std::vector<std::vector<sim::PhaseSample>> streams;
+  std::vector<linalg::Vec3> centers;
+  core::RobustCalibrationConfig cfg;
+  cfg.adaptive.ranges = {0.6, 0.8};
+  cfg.adaptive.intervals = {0.15, 0.25};
+
+  for (std::uint32_t unit = 0; unit < 2; ++unit) {
+    const linalg::Vec3 center{0.0, 0.8, 0.0};
+    auto scenario =
+        bench::standard_scenario(sim::EnvironmentKind::kLabClean,
+                                 rf::make_antenna(center, unit), 500 + unit);
+    streams.push_back(scenario.sweep(0, 0, small_rig().build()));
+    centers.push_back(center);
+  }
+
+  const auto batch_reports =
+      bench::calibrate_batch(streams, centers, /*threads=*/2, cfg);
+  ASSERT_EQ(batch_reports.size(), 2u);
+
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    auto direct_cfg = cfg;
+    direct_cfg.adaptive.base.ransac.seed = engine::job_seed(i);
+    const auto direct =
+        core::calibrate_antenna_robust(streams[i], centers[i], direct_cfg);
+    EXPECT_EQ(batch_reports[i].status, direct.status);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(batch_reports[i].center.estimated_center[k],
+                direct.center.estimated_center[k]);
+    }
+    EXPECT_EQ(batch_reports[i].phase_offset, direct.phase_offset);
+  }
+}
+
+TEST(CalibrateBatch, EmptyInputYieldsNoReports) {
+  EXPECT_TRUE(bench::calibrate_batch({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace lion

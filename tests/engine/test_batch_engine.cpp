@@ -1,0 +1,184 @@
+// BatchEngine: the determinism contract (1 thread vs N byte-identical),
+// empty batch, 1000-job smoke, exception-to-status mapping, and the
+// per-job seeding rule.
+
+#include "engine/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/report_json.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion::engine {
+namespace {
+
+// A trimmed config that keeps per-job solve cost at the milliseconds scale
+// for the big batches: fewer adaptive candidates, same robust machinery.
+core::RobustCalibrationConfig cheap_config() {
+  core::RobustCalibrationConfig cfg;
+  cfg.adaptive.ranges = {0.6, 0.8};
+  cfg.adaptive.intervals = {0.15, 0.25};
+  cfg.adaptive.base.ransac.max_iterations = 16;
+  return cfg;
+}
+
+SimulatedBatchSpec small_spec(std::size_t jobs) {
+  SimulatedBatchSpec spec;
+  spec.jobs = jobs;
+  spec.rig_half_span = 0.35;
+  spec.config = cheap_config();
+  return spec;
+}
+
+std::vector<std::string> serialized_reports(const BatchResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.results.size());
+  for (const auto& jr : r.results) out.push_back(io::report_json(jr.report));
+  return out;
+}
+
+TEST(BatchEngine, EmptyBatch) {
+  BatchEngine engine(BatchEngineOptions{4});
+  const auto r = engine.run({});
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.stats.jobs, 0u);
+  EXPECT_EQ(r.succeeded(), 0u);
+}
+
+TEST(BatchEngine, DeterministicAcrossThreadCounts) {
+  const auto jobs = make_simulated_batch(small_spec(12));
+  const auto reference =
+      serialized_reports(BatchEngine(BatchEngineOptions{1}).run(jobs));
+  ASSERT_EQ(reference.size(), 12u);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const auto got = serialized_reports(
+        BatchEngine(BatchEngineOptions{threads}).run(jobs));
+    ASSERT_EQ(got.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      // Byte-identical serialization == bitwise-identical report payload.
+      EXPECT_EQ(got[i], reference[i])
+          << "job " << i << " differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchEngine, RerunOfTheSameBatchIsIdentical) {
+  const auto jobs = make_simulated_batch(small_spec(4));
+  BatchEngine engine(BatchEngineOptions{4});
+  EXPECT_EQ(serialized_reports(engine.run(jobs)),
+            serialized_reports(engine.run(jobs)));
+}
+
+TEST(BatchEngine, ResultsComeBackInJobOrder) {
+  auto jobs = make_simulated_batch(small_spec(8));
+  // Give the ids a recognizable non-contiguous pattern.
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = 1000 + 7 * i;
+  const auto r = BatchEngine(BatchEngineOptions{4}).run(jobs);
+  ASSERT_EQ(r.results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(r.results[i].id, 1000 + 7 * i);
+  }
+}
+
+TEST(BatchEngine, ThousandJobSmoke) {
+  // 1000 cheap jobs: every job shares the same small stream (copies), the
+  // point is pool/engine throughput and bookkeeping, not accuracy.
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabClean)
+                      .add_antenna({0.0, 0.8, 0.0})
+                      .add_tag()
+                      .seed(77)
+                      .build();
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.3;
+  rig.x_max = 0.3;
+  const auto samples = scenario.sweep(0, 0, rig.build());
+
+  core::RobustCalibrationConfig cfg = cheap_config();
+  cfg.adaptive.ranges = {0.6};
+  cfg.adaptive.intervals = {0.2};
+  std::vector<CalibrationJob> jobs;
+  jobs.reserve(1000);
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    jobs.push_back(make_calibration_job(id, samples, {0.0, 0.8, 0.0}, cfg));
+  }
+  const auto r = BatchEngine(BatchEngineOptions{4}).run(jobs);
+  ASSERT_EQ(r.results.size(), 1000u);
+  EXPECT_EQ(r.stats.jobs, 1000u);
+  EXPECT_EQ(r.succeeded(), 1000u);
+  EXPECT_EQ(r.stats.exceptions, 0u);
+  std::size_t histogram_total = 0;
+  for (const auto n : r.stats.status_histogram) histogram_total += n;
+  EXPECT_EQ(histogram_total, 1000u);
+  EXPECT_GT(r.stats.throughput_jps, 0.0);
+  EXPECT_GE(r.stats.latency_p99_s, r.stats.latency_p50_s);
+}
+
+TEST(BatchEngine, ExceptionInJobBecomesFailureStatusNotACrash) {
+  auto jobs = make_simulated_batch(small_spec(4));
+  jobs[1].work = [](const CalibrationJob&) -> core::CalibrationReport {
+    throw std::runtime_error("injected job failure");
+  };
+  jobs[3].work = [](const CalibrationJob&) -> core::CalibrationReport {
+    throw 17;  // non-std exception
+  };
+  const auto r = BatchEngine(BatchEngineOptions{4}).run(jobs);
+  ASSERT_EQ(r.results.size(), 4u);
+
+  EXPECT_TRUE(r.results[1].threw);
+  EXPECT_EQ(r.results[1].report.status, core::CalibrationStatus::kSolverFailure);
+  EXPECT_NE(r.results[1].report.diagnostics.message.find("injected"),
+            std::string::npos);
+  EXPECT_TRUE(r.results[3].threw);
+  EXPECT_EQ(r.results[3].report.status, core::CalibrationStatus::kSolverFailure);
+
+  // The healthy jobs were unaffected.
+  EXPECT_FALSE(r.results[0].threw);
+  EXPECT_TRUE(r.results[0].report.ok());
+  EXPECT_FALSE(r.results[2].threw);
+  EXPECT_TRUE(r.results[2].report.ok());
+  EXPECT_EQ(r.stats.exceptions, 2u);
+}
+
+TEST(BatchEngine, JobSeedDerivesFromJobId) {
+  const auto a = make_calibration_job(0, {}, {});
+  const auto b = make_calibration_job(1, {}, {});
+  EXPECT_EQ(a.config.adaptive.base.ransac.seed, job_seed(0));
+  EXPECT_EQ(b.config.adaptive.base.ransac.seed, job_seed(1));
+  EXPECT_NE(a.config.adaptive.base.ransac.seed,
+            b.config.adaptive.base.ransac.seed);
+}
+
+TEST(BatchEngine, JobSeedsAreDecorrelated) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 4096; ++id) seeds.insert(job_seed(id));
+  EXPECT_EQ(seeds.size(), 4096u);  // no collisions over a realistic fleet
+}
+
+TEST(BatchEngine, SimulatedBatchIsDeterministic) {
+  const auto a = make_simulated_batch(small_spec(3));
+  const auto b = make_simulated_batch(small_spec(3));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].samples.size(), b[i].samples.size());
+    for (std::size_t s = 0; s < a[i].samples.size(); ++s) {
+      EXPECT_EQ(a[i].samples[s].phase, b[i].samples[s].phase);
+      EXPECT_EQ(a[i].samples[s].t, b[i].samples[s].t);
+    }
+  }
+  // Different jobs see different streams (own antenna unit + own seed).
+  ASSERT_GE(a.size(), 2u);
+  EXPECT_NE(a[0].samples.front().phase, a[1].samples.front().phase);
+}
+
+TEST(BatchEngine, ZeroThreadOptionMeansHardwareConcurrency) {
+  BatchEngine engine{};
+  EXPECT_GE(engine.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace lion::engine

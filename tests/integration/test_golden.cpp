@@ -1,0 +1,157 @@
+// Golden regression fixtures: three checked-in reader streams with their
+// expected CalibrationReport serializations. A solver refactor that moves
+// any reported number by more than 1e-9 fails here — deliberate accuracy
+// changes must regenerate the fixtures (and show up in review as a data
+// diff):
+//
+//     LION_REGEN_GOLDEN=1 ./lion_test_golden
+//
+// rewrites tests/data/golden_*.json from the current solver output.
+//
+// Fixture provenance (tests/data/README.md): streams simulated with the
+// built-in testbed at a 3x subsample, physical center (0, 0.8, 0), solver
+// = library-default RobustCalibrationConfig.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "io/csv.hpp"
+#include "io/report_json.hpp"
+
+namespace lion {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+std::string data_path(const std::string& name) {
+  return std::string(LION_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) ADD_FAILURE() << "cannot open " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Split a JSON string into a numeric-free skeleton plus the numbers in
+// order of appearance, so two serializations can be compared with exact
+// structure and 1e-9 numeric tolerance.
+struct ParsedJson {
+  std::string skeleton;
+  std::vector<double> numbers;
+};
+
+ParsedJson parse_numbers(const std::string& s) {
+  ParsedJson out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    const bool starts_number =
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])));
+    if (starts_number) {
+      char* end = nullptr;
+      out.numbers.push_back(std::strtod(s.c_str() + i, &end));
+      out.skeleton += '#';
+      i = static_cast<std::size_t>(end - s.c_str());
+    } else {
+      out.skeleton += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+void expect_json_near(const std::string& expected, const std::string& actual,
+                      const std::string& fixture) {
+  const auto e = parse_numbers(expected);
+  const auto a = parse_numbers(actual);
+  ASSERT_EQ(e.skeleton, a.skeleton)
+      << fixture << ": report structure/status drifted";
+  ASSERT_EQ(e.numbers.size(), a.numbers.size()) << fixture;
+  for (std::size_t i = 0; i < e.numbers.size(); ++i) {
+    const double tol =
+        kTolerance +
+        kTolerance * std::max(std::abs(e.numbers[i]), std::abs(a.numbers[i]));
+    EXPECT_NEAR(e.numbers[i], a.numbers[i], tol)
+        << fixture << ": number " << i << " drifted beyond 1e-9";
+  }
+}
+
+void check_fixture(const std::string& stem) {
+  const auto samples = io::read_samples_csv_file(data_path(stem + ".csv"));
+  ASSERT_FALSE(samples.empty()) << stem;
+  const auto report =
+      core::calibrate_antenna_robust(samples, {0.0, 0.8, 0.0});
+  const std::string actual = io::report_json(report);
+
+  if (std::getenv("LION_REGEN_GOLDEN")) {
+    std::ofstream f(data_path(stem + ".json"));
+    ASSERT_TRUE(f.good()) << "cannot write " << stem << ".json";
+    f << actual << "\n";
+    GTEST_SKIP() << "regenerated " << stem << ".json";
+  }
+
+  std::string expected = read_file(data_path(stem + ".json"));
+  // Tolerate a trailing newline in the checked-in file.
+  while (!expected.empty() &&
+         (expected.back() == '\n' || expected.back() == '\r')) {
+    expected.pop_back();
+  }
+  expect_json_near(expected, actual, stem);
+}
+
+TEST(Golden, ThreeLineRigScan) { check_fixture("golden_rig"); }
+
+TEST(Golden, SingleLineScanDegradesTo2D) { check_fixture("golden_line"); }
+
+TEST(Golden, TurntableCircleScan) { check_fixture("golden_circle"); }
+
+// The serializer itself is pinned: a format change invalidates every
+// fixture at once, so make it loud and local.
+TEST(Golden, SerializerFormatIsStable) {
+  core::CalibrationReport r;
+  r.status = core::CalibrationStatus::kDegraded2D;
+  r.center.estimated_center = {0.125, -0.5, 2.0};
+  r.center.displacement = {0.0625, 0.0, -1.0};
+  r.phase_offset = 1.5;
+  r.diagnostics.sanitize.input = 10;
+  r.diagnostics.sanitize.kept = 9;
+  r.diagnostics.sanitize.dropped_nonfinite = 1;
+  r.diagnostics.profile_points = 9;
+  r.diagnostics.condition = 42.0;
+  r.diagnostics.inlier_fraction = 0.75;
+  r.diagnostics.mean_residual = 0.0;
+  r.diagnostics.rms_residual = 0.25;
+  r.diagnostics.position_sigma = 0.0009765625;
+  r.diagnostics.message = "planar fallback \"quoted\"";
+  EXPECT_EQ(
+      io::report_json(r),
+      "{\"status\":\"degraded_2d\","
+      "\"estimated_center\":[0.125,-0.5,2],"
+      "\"displacement\":[0.0625,0,-1],"
+      "\"phase_offset\":1.5,"
+      "\"sanitize\":{\"input\":10,\"kept\":9,\"dropped_nonfinite\":1,"
+      "\"dropped_duplicate\":0,\"reordered\":0,\"rewrapped\":0},"
+      "\"profile_points\":9,"
+      "\"condition\":42,"
+      "\"inlier_fraction\":0.75,"
+      "\"mean_residual\":0,"
+      "\"rms_residual\":0.25,"
+      "\"position_sigma\":0.0009765625,"
+      "\"message\":\"planar fallback \\\"quoted\\\"\"}");
+}
+
+}  // namespace
+}  // namespace lion

@@ -8,6 +8,7 @@
 //   lion track     <stream.csv> --center x,y,z [--speed M/S] [--dir x,y,z]
 //                  [--window N] [--hop N] [--hint x,y,z]
 //   lion decompose <offsets.csv>
+//   lion batch     [--jobs N] [--threads M] [--seed N] [--depth M]
 //
 // `locate` estimates the static target position from a scan of
 // (position, phase) samples; `calibrate` runs the full phase-center
@@ -17,7 +18,9 @@
 // the tool can be tried without hardware; `track` streams a conveyor scan
 // through the sliding-window tracker; `decompose` splits a CSV matrix of
 // per-pair offsets (antennas x tags, radians, blank/NaN for missing) into
-// per-antenna and per-tag offsets.
+// per-antenna and per-tag offsets; `batch` calibrates a simulated fleet of
+// antennas on the work-stealing batch engine and prints throughput/latency
+// stats plus the per-status histogram.
 
 #include <cstdio>
 #include <fstream>
@@ -28,7 +31,9 @@
 #include <vector>
 
 #include "core/lion.hpp"
+#include "engine/batch.hpp"
 #include "io/csv.hpp"
+#include "io/report_json.hpp"
 #include "rf/phase_model.hpp"
 #include "signal/stitch.hpp"
 #include "sim/scenario.hpp"
@@ -46,14 +51,16 @@ namespace {
                "                 [--method LS|WLS|IRLS|HUBER|TUKEY|RANSAC] [--hint x,y,z]\n"
                "                 [--adaptive] [--wavelength M]\n"
                "  lion calibrate <scan.csv> --physical-center x,y,z\n"
-               "                 [--wavelength M]\n"
+               "                 [--wavelength M] [--json]\n"
                "  lion offset    <scan.csv> --center x,y,z [--wavelength M]\n"
                "  lion simulate  <out.csv> [--seed N] [--depth M]\n"
                "                 [--rig|--line|--circle]\n"
                "  lion track     <stream.csv> --center x,y,z [--speed V]\n"
                "                 [--dir x,y,z] [--window N] [--hop N]\n"
                "                 [--hint x,y,z]\n"
-               "  lion decompose <offsets.csv>\n");
+               "  lion decompose <offsets.csv>\n"
+               "  lion batch     [--jobs N] [--threads M] [--seed N]\n"
+               "                 [--depth M]\n");
   std::exit(2);
 }
 
@@ -83,14 +90,23 @@ struct Args {
   Vec3 direction{1.0, 0.0, 0.0};
   std::size_t window = 600;
   std::size_t hop = 200;
+  bool json = false;
+  std::size_t jobs = 16;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
 };
 
 Args parse_args(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   Args a;
   a.command = argv[1];
-  a.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int i = 2;
+  // Every command except `batch` takes a CSV path as its first operand.
+  if (a.command != "batch") {
+    if (argc < 3 || argv[2][0] == '-') usage();
+    a.file = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
@@ -141,6 +157,12 @@ Args parse_args(int argc, char** argv) {
       a.window = static_cast<std::size_t>(std::stoul(next()));
     } else if (flag == "--hop") {
       a.hop = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--json") {
+      a.json = true;
+    } else if (flag == "--jobs") {
+      a.jobs = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--threads") {
+      a.threads = static_cast<std::size_t>(std::stoul(next()));
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -200,6 +222,11 @@ int cmd_calibrate(const Args& a) {
   cfg.adaptive.base.method = a.method;
   const auto report =
       core::calibrate_antenna_robust(samples, *a.physical_center, cfg);
+
+  if (a.json) {
+    std::printf("%s\n", io::report_json(report).c_str());
+    return report.ok() ? 0 : 1;
+  }
 
   const auto& diag = report.diagnostics;
   std::printf("status: %s\n", core::calibration_status_name(report.status));
@@ -344,6 +371,41 @@ int cmd_decompose(const Args& a) {
   return 0;
 }
 
+int cmd_batch(const Args& a) {
+  engine::SimulatedBatchSpec spec;
+  spec.jobs = a.jobs;
+  spec.base_seed = a.seed;
+  spec.antenna_depth = a.depth;
+  const auto jobs = engine::make_simulated_batch(spec);
+
+  engine::BatchEngine eng(engine::BatchEngineOptions{a.threads});
+  const auto result = eng.run(jobs);
+  const auto& s = result.stats;
+
+  std::printf("jobs: %zu on %zu threads\n", s.jobs, s.threads);
+  std::printf("wall: %.3f s, throughput: %.1f jobs/s\n", s.wall_s,
+              s.throughput_jps);
+  std::printf("latency [ms]: mean %.1f, p50 %.1f, p95 %.1f, p99 %.1f\n",
+              s.latency_mean_s * 1e3, s.latency_p50_s * 1e3,
+              s.latency_p95_s * 1e3, s.latency_p99_s * 1e3);
+  std::printf("steals: %zu, exceptions contained: %zu\n", s.steals,
+              s.exceptions);
+  std::printf("status histogram:\n");
+  for (std::size_t i = 0; i < engine::kStatusCount; ++i) {
+    if (s.status_histogram[i] == 0) continue;
+    std::printf("  %-20s %zu\n",
+                core::calibration_status_name(
+                    static_cast<core::CalibrationStatus>(i)),
+                s.status_histogram[i]);
+  }
+  if (a.json) {
+    for (const auto& jr : result.results) {
+      std::printf("%s\n", io::report_json(jr.report).c_str());
+    }
+  }
+  return result.succeeded() == s.jobs ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,6 +417,7 @@ int main(int argc, char** argv) {
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "track") return cmd_track(a);
     if (a.command == "decompose") return cmd_decompose(a);
+    if (a.command == "batch") return cmd_batch(a);
     usage("unknown command");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
