@@ -42,7 +42,7 @@ double err_cm(const Vec3& est, const Vec3& truth) {
   return linalg::distance(est, truth) * 100.0;
 }
 
-void ablate_pairing() {
+void ablate_pairing(bench::BenchReporter& out) {
   std::printf("\n[1] pairing strategy (WLS solve, 12 seeds)\n");
   std::printf("%-22s %-12s %-12s\n", "strategy", "err[cm]", "pairs");
   const Vec3 target{0.1, 0.8, 0.0};
@@ -70,13 +70,18 @@ void ablate_pairing() {
     run(interval, core::interval_pairs(profile, 0.2, 0.02));
     run(allpairs, core::spread_pairs(profile, 0.2, 4000, 3));
   }
-  auto report = [](const char* name, const Acc& a) {
+  auto report = [&out](const char* name, const Acc& a) {
     if (a.failures > 0) {
       std::printf("%-22s %-12s %-12.0f (%d/12 runs rank-deficient)\n", name,
                   "FAILS", a.pairs / 12, a.failures);
     } else {
       std::printf("%-22s %-12.2f %-12.0f\n", name, a.err / 12, a.pairs / 12);
     }
+    out.row("pairing")
+        .tag("strategy", name)
+        .value("err_cm", a.failures > 0 ? -1.0 : a.err / 12)
+        .value("pairs", a.pairs / 12)
+        .value("failures", a.failures);
   };
   report("ladder (default)", ladder);
   report("interval-only", interval);
@@ -86,7 +91,7 @@ void ablate_pairing() {
               "coordinate entirely — the reason the ladder is the default.\n");
 }
 
-void ablate_reweighting() {
+void ablate_reweighting(bench::BenchReporter& out) {
   std::printf("\n[2] reweighting iterations (12 seeds)\n");
   std::printf("%-22s %-12s\n", "iterations", "err[cm]");
   const Vec3 target{0.1, 0.8, 0.0};
@@ -106,10 +111,11 @@ void ablate_reweighting() {
                        : variant == 1 ? "1 (paper's WLS)"
                                       : "to convergence (IRLS)";
     std::printf("%-22s %-12.2f\n", name, total / 12);
+    out.row("reweighting").tag("iterations", name).value("err_cm", total / 12);
   }
 }
 
-void ablate_reference() {
+void ablate_reference(bench::BenchReporter& out) {
   std::printf("\n[3] reference-sample choice (12 seeds)\n");
   std::printf("%-22s %-12s\n", "reference", "err[cm]");
   const Vec3 target{0.1, 0.8, 0.0};
@@ -128,10 +134,11 @@ void ablate_reference() {
           err_cm(core::LinearLocalizer(cfg).locate(profile).position, target);
     }
     std::printf("%-22s %-12.2f\n", name, total / 12);
+    out.row("reference").tag("choice", name).value("err_cm", total / 12);
   }
 }
 
-void ablate_selection_rule() {
+void ablate_selection_rule(bench::BenchReporter& out) {
   std::printf("\n[4] adaptive selection rule (12 seeds)\n");
   std::printf("%-22s %-12s\n", "rule", "err[cm]");
   const Vec3 target{0.0, 0.8, 0.0};
@@ -163,17 +170,24 @@ void ablate_selection_rule() {
   }
   std::printf("%-22s %-12.2f\n", "|mean residual| (paper)", by_mean / 12);
   std::printf("%-22s %-12.2f\n", "residual variance", by_var / 12);
+  out.row("selection")
+      .tag("rule", "mean_residual")
+      .value("err_cm", by_mean / 12);
+  out.row("selection")
+      .tag("rule", "residual_variance")
+      .value("err_cm", by_var / 12);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("ablation", argc, argv);
   bench::banner("Ablation — LION design choices",
                 "pairing diversity, one reweight pass, and the mean-residual "
                 "selection rule each earn their keep");
-  ablate_pairing();
-  ablate_reweighting();
-  ablate_reference();
-  ablate_selection_rule();
+  ablate_pairing(report);
+  ablate_reweighting(report);
+  ablate_reference(report);
+  ablate_selection_rule(report);
   return 0;
 }

@@ -58,14 +58,24 @@ struct Score {
   double err_sum = 0.0;
   double time_sum = 0.0;
   int solved = 0;
-  void print(const char* name) const {
+  void report(const char* name, bench::BenchReporter* out,
+              const char* scan) const {
     if (solved == 0) {
       std::printf("  %-14s %-12s %-12s (trajectory shape unsupported)\n",
                   name, "n/a", "n/a");
-      return;
+    } else {
+      std::printf("  %-14s %-12.2f %-12.4f (%d/%d solved)\n", name,
+                  err_sum / solved * 100.0, time_sum / solved, solved,
+                  kTrials);
     }
-    std::printf("  %-14s %-12.2f %-12.4f (%d/%d solved)\n", name,
-                err_sum / solved * 100.0, time_sum / solved, solved, kTrials);
+    if (out) {
+      auto& row = out->row("method").tag("scan", scan).tag("method", name);
+      row.value("solved", solved).value("trials", kTrials);
+      if (solved > 0) {
+        row.value("err_cm", err_sum / solved * 100.0)
+            .value("time_s", time_sum / solved);
+      }
+    }
   }
 };
 
@@ -83,7 +93,8 @@ void attempt(Score& score, const Vec3& truth, Fn&& solve) {
   }
 }
 
-void shootout(const char* title, const std::vector<Vec3>& positions,
+void shootout(bench::BenchReporter& report, const char* scan,
+              const char* title, const std::vector<Vec3>& positions,
               const Vec3& target, std::uint64_t seed) {
   std::printf("\n%s — target (%.2f, %.2f)\n", title, target[0], target[1]);
   std::printf("  %-14s %-12s %-12s\n", "method", "err[cm]", "time[s]");
@@ -128,22 +139,25 @@ void shootout(const char* title, const std::vector<Vec3>& positions,
     });
   }
 
-  lion_score.print("LION");
-  holo.print("hologram");
-  hyper.print("hyperbola");
-  para.print("parabola");
-  spin.print("tagspin");
+  lion_score.report("LION", &report, scan);
+  holo.report("hologram", &report, scan);
+  hyper.report("hyperbola", &report, scan);
+  para.report("parabola", &report, scan);
+  spin.report("tagspin", &report, scan);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("baseline_shootout", argc, argv);
   bench::banner("Baseline shootout — all methods, shared workloads",
                 "LION runs on every trajectory shape at linear-solve cost; "
                 "each baseline is competitive only on its own shape");
 
-  shootout("linear scan (conveyor-style)", line_scan(), {0.1, 0.8, 0.0}, 11);
-  shootout("circular scan (turntable)", circle_scan(), {0.0, 0.7, 0.0}, 13);
+  shootout(report, "linear", "linear scan (conveyor-style)", line_scan(),
+           {0.1, 0.8, 0.0}, 11);
+  shootout(report, "circular", "circular scan (turntable)", circle_scan(),
+           {0.0, 0.7, 0.0}, 13);
 
   std::printf(
       "\nreading: the parabola method only fits linear scans, tagspin only\n"

@@ -11,7 +11,7 @@
 // multi-threaded run's serialized reports are compared byte-for-byte
 // against the 1-thread reference.
 //
-//   bench_batch_engine [--jobs N] [--threads a,b,c,...]
+//   bench_batch_engine [--jobs N] [--threads a,b,c,...] [--json <file>]
 
 #include <cstdio>
 #include <cstring>
@@ -37,11 +37,14 @@ std::vector<std::string> serialize(const engine::BatchResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReporter report("batch_engine", argc, argv);
   std::size_t n_jobs = 256;
   std::vector<std::size_t> thread_counts{1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       n_jobs = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;  // consumed by the reporter
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts.clear();
       std::string list = argv[++i];
@@ -60,6 +63,9 @@ int main(int argc, char** argv) {
                 "are byte-identical");
   std::printf("hardware concurrency: %u, batch: %zu jobs\n",
               std::thread::hardware_concurrency(), n_jobs);
+  report.param("jobs", static_cast<double>(n_jobs));
+  report.param("hardware_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()));
 
   // A trimmed rig keeps the whole sweep minutes-scale; the per-job solve
   // is still the full robust path.
@@ -98,11 +104,22 @@ int main(int argc, char** argv) {
                 result.stats.latency_p99_s * 1e3,
                 serial_wall / result.stats.wall_s, result.succeeded(),
                 result.stats.jobs);
+    report.row("scaling")
+        .value("threads", static_cast<double>(threads))
+        .value("wall_s", result.stats.wall_s)
+        .value("throughput_jps", result.stats.throughput_jps)
+        .value("latency_p50_ms", result.stats.latency_p50_s * 1e3)
+        .value("latency_p95_ms", result.stats.latency_p95_s * 1e3)
+        .value("latency_p99_ms", result.stats.latency_p99_s * 1e3)
+        .value("speedup", serial_wall / result.stats.wall_s)
+        .value("steals", static_cast<double>(result.stats.steals))
+        .value("succeeded", static_cast<double>(result.succeeded()));
   }
 
   std::printf("\ndeterminism (all thread counts byte-identical to the "
               "1-thread reference): %s\n",
               deterministic ? "PASS" : "FAIL");
+  report.row("determinism").value("pass", deterministic ? 1.0 : 0.0);
   if (std::thread::hardware_concurrency() < 4) {
     std::printf("note: <4 hardware threads — speedup is bounded by the "
                 "machine, not the engine\n");

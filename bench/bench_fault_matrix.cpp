@@ -147,12 +147,11 @@ bool graceful_degradation_sweep(std::size_t trials) {
 
 int main(int argc, char** argv) {
   std::size_t trials = 7;
-  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
       trials = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
-      json_path = argv[++i];
+      ++i;  // consumed by BenchReporter
     } else {
       std::fprintf(stderr,
                    "usage: bench_fault_matrix [--trials N] [--json out.json]\n");
@@ -160,6 +159,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::BenchReporter report("fault_matrix", argc, argv);
+  report.param("trials", static_cast<double>(trials));
   bench::banner(
       "Fault matrix: solver robustness under stream corruption",
       "robust consensus solving holds accuracy where OLS collapses");
@@ -169,26 +170,20 @@ int main(int argc, char** argv) {
                                        sim::EnvironmentKind::kLabHarsh};
   const double severities[] = {0.05, 0.10, 0.20, 0.40};
 
-  std::ofstream json;
-  if (!json_path.empty()) {
-    json.open(json_path);
-    json << "[\n";
-  }
-  bool json_first = true;
   auto emit_json = [&](const char* env, const char* fault, double severity,
                        const char* method, const Cell& cell) {
-    if (!json.is_open()) return;
-    if (!json_first) json << ",\n";
-    json_first = false;
-    json << "  {\"environment\": \"" << env << "\", \"fault\": \"" << fault
-         << "\", \"severity\": " << severity << ", \"method\": \"" << method
-         << "\", \"median_m\": " << median_or_nan(cell.errors)
-         << ", \"p90_m\": "
-         << (cell.errors.empty()
-                 ? std::numeric_limits<double>::quiet_NaN()
-                 : linalg::percentile(cell.errors, 90))
-         << ", \"failures\": " << cell.failures
-         << ", \"trials\": " << (cell.errors.size() + cell.failures) << "}";
+    report.row("cell")
+        .tag("environment", env)
+        .tag("fault", fault)
+        .tag("method", method)
+        .value("severity", severity)
+        .value("median_m", median_or_nan(cell.errors))
+        .value("p90_m", cell.errors.empty()
+                            ? std::numeric_limits<double>::quiet_NaN()
+                            : linalg::percentile(cell.errors, 90))
+        .value("failures", static_cast<double>(cell.failures))
+        .value("trials",
+               static_cast<double>(cell.errors.size() + cell.failures));
   };
 
   bench::Timer timer;
@@ -256,12 +251,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (json.is_open()) {
-    json << "\n]\n";
-    json.close();
-    std::printf("\nwrote JSON to %s\n", json_path.c_str());
-  }
-
   std::printf("\n--- graceful degradation (calibrate_antenna_robust) ---\n");
   const bool graceful = graceful_degradation_sweep(1);
 
@@ -278,5 +267,13 @@ int main(int argc, char** argv) {
               robust_holds ? "yes" : "NO", ols_collapses ? "yes" : "NO",
               graceful ? "yes" : "NO");
   std::printf("total time: %.1f s\n", timer.seconds());
+  report.row("headline")
+      .value("clean_ols_mm", 1e3 * clean_ols)
+      .value("clean_ransac_mm", 1e3 * clean_ransac)
+      .value("spike_ols_mm", 1e3 * spike_ols)
+      .value("spike_ransac_mm", 1e3 * spike_ransac)
+      .value("robust_holds", robust_holds ? 1.0 : 0.0)
+      .value("ols_collapses", ols_collapses ? 1.0 : 0.0)
+      .value("graceful", graceful ? 1.0 : 0.0);
   return (robust_holds && graceful) ? 0 : 1;
 }

@@ -52,7 +52,8 @@ double valley_position(const signal::PhaseProfile& profile, int axis) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig02_phase_center", argc, argv);
   bench::banner("Fig. 2 — phase center vs physical center",
                 "measured phase valleys appear ~2-3 cm away from the "
                 "physical center for both sweep directions");
@@ -82,6 +83,16 @@ int main() {
                 vx * 100.0, d[0] * 100.0, d.norm() * 100.0);
     std::printf("%-10s %-12s %-18.2f %-18.2f\n", "", "vertical", vz * 100.0,
                 d[2] * 100.0);
+    report.row("valley")
+        .tag("axis", "horizontal")
+        .value("antenna", id)
+        .value("valley_cm", vx * 100.0)
+        .value("true_cm", d[0] * 100.0);
+    report.row("valley")
+        .tag("axis", "vertical")
+        .value("antenna", id)
+        .value("valley_cm", vz * 100.0)
+        .value("true_cm", d[2] * 100.0);
   }
 
   std::printf(

@@ -15,7 +15,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig04_hologram", argc, argv);
   bench::banner("Fig. 4 — hologram likelihood structure and cost",
                 "grids of high likelihood form hyperbolas; a 1 m^2 hologram "
                 "at 1 mm grid takes ~0.8 s to build");
@@ -65,6 +66,16 @@ int main() {
               plain_s, plain.peak_likelihood);
   std::printf("%-28s %-12zu %-12.3f %-10.3f\n", "weighted (augmented)",
               weighted.cells, weighted_s, weighted.peak_likelihood);
+  report.row("hologram")
+      .tag("variant", "plain")
+      .value("cells", static_cast<double>(plain.cells))
+      .value("time_s", plain_s)
+      .value("peak", plain.peak_likelihood);
+  report.row("hologram")
+      .tag("variant", "weighted")
+      .value("cells", static_cast<double>(weighted.cells))
+      .value("time_s", weighted_s)
+      .value("peak", weighted.peak_likelihood);
   std::printf("paper reference: ~0.8 s for this hologram on a MacBook i5\n");
   std::printf(
       "\nreading: cost scales with area/grid^2 (and /grid^3 in 3D) — the\n"

@@ -42,7 +42,8 @@ signal::PhaseProfile circular_profile(const Vec3& antenna, double sigma,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig06_direction", argc, argv);
   bench::banner(
       "Fig. 6 — single-antenna localization at different directions",
       "LION ~= hologram in distance error; per-axis errors rotate with the "
@@ -90,6 +91,18 @@ int main() {
     std::printf("%-12s %-10s %-12.2f %-12.2f %-12.2f\n", "", "hologram",
                 linalg::mean(holo_d) * 100.0, linalg::mean(holo_x) * 100.0,
                 linalg::mean(holo_y) * 100.0);
+    report.row("direction")
+        .tag("method", "lion")
+        .value("deg", deg)
+        .value("dist_cm", linalg::mean(lion_d) * 100.0)
+        .value("x_err_cm", linalg::mean(lion_x) * 100.0)
+        .value("y_err_cm", linalg::mean(lion_y) * 100.0);
+    report.row("direction")
+        .tag("method", "hologram")
+        .value("deg", deg)
+        .value("dist_cm", linalg::mean(holo_d) * 100.0)
+        .value("x_err_cm", linalg::mean(holo_x) * 100.0)
+        .value("y_err_cm", linalg::mean(holo_y) * 100.0);
   }
 
   std::printf(

@@ -19,7 +19,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig09_lowdim2d", argc, argv);
   bench::banner("Fig. 9 — 2D localization with a single linear trajectory",
                 "lower-dimension recovery via d_r works: LION achieves "
                 "hologram-level accuracy on a rank-1 scan");
@@ -62,14 +63,17 @@ int main() {
 
   std::printf("\n");
   bench::print_cdf_header("cm");
-  bench::print_cdf_deciles("LION (linear scan)", lion_err);
-  bench::print_cdf_deciles("hologram", holo_err);
+  report.cdf("LION (linear scan)", lion_err);
+  report.cdf("hologram", holo_err);
 
   const auto ls = linalg::summarize(lion_err);
   const auto hs = linalg::summarize(holo_err);
   std::printf("\nmean distance error: LION %.2f cm, hologram %.2f cm "
               "(100 trials)\n",
               ls.mean, hs.mean);
+  report.row("mean_error")
+      .value("lion_cm", ls.mean)
+      .value("hologram_cm", hs.mean);
   std::printf(
       "reading: comparable CDFs — the single linear trajectory suffices\n"
       "for 2D localization (paper Sec. III-C1).\n");

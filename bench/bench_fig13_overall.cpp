@@ -149,7 +149,8 @@ Case run_trials(sim::Scenario& scenario, const Vec3& antenna_center,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig13_overall", argc, argv);
   bench::banner("Fig. 13 — overall accuracy and time consumption",
                 "calibration: ~6x (2D) / ~2.1x (3D) accuracy gain; LION "
                 "slightly beats DAH; LION 0.02 s (2D) / 1.8 s (3D) vs DAH "
@@ -237,6 +238,13 @@ int main() {
     std::printf("%-8s %-14s %-12.2f %-12.2f %-12.4f %-12.3f\n", row.name,
                 row.calibrated ? "with" : "without", c.lion_err_cm,
                 c.dah_err_cm, c.lion_s, c.dah_s);
+    report.row("case")
+        .tag("name", row.name)
+        .tag("calibration", row.calibrated ? "with" : "without")
+        .value("lion_err_cm", c.lion_err_cm)
+        .value("dah_err_cm", c.dah_err_cm)
+        .value("lion_s", c.lion_s)
+        .value("dah_s", c.dah_s);
     if (row.three_d && row.calibrated) c3d_lion = c.lion_err_cm;
     if (row.three_d && !row.calibrated) u3d_lion = c.lion_err_cm;
     if (!row.three_d && row.calibrated) c2d_lion = c.lion_err_cm;
@@ -246,6 +254,9 @@ int main() {
   std::printf("\ncalibration gain: 2D %.1fx (paper ~6x), 3D %.1fx "
               "(paper ~2.1x)\n",
               u2d_lion / c2d_lion, u3d_lion / c3d_lion);
+  report.row("gain")
+      .value("gain_2d", u2d_lion / c2d_lion)
+      .value("gain_3d", u3d_lion / c3d_lion);
   std::printf("paper absolute reference: LION 0.48/2.33 cm, DAH 0.69/2.61 cm "
               "(2D/3D, calibrated)\n");
   return 0;

@@ -26,7 +26,7 @@ namespace {
 
 // ---- part (a): 3D antenna localization at P1..P6 ------------------------
 
-void part_a() {
+void part_a(bench::BenchReporter& report) {
   std::printf("\n(a) 3D antenna localization from two planar lines\n");
   std::printf("%-6s %-18s %-10s %-10s %-10s %-10s\n", "pos",
               "antenna (y,z)[m]", "dist[cm]", "x[cm]", "y[cm]", "z[cm]");
@@ -65,6 +65,14 @@ void part_a() {
                   idx, y, z, "", linalg::mean(dist) * 100.0,
                   linalg::mean(ex) * 100.0, linalg::mean(ey) * 100.0,
                   linalg::mean(ez) * 100.0);
+      report.row("position_3d")
+          .value("index", idx)
+          .value("depth_m", y)
+          .value("height_m", z)
+          .value("dist_cm", linalg::mean(dist) * 100.0)
+          .value("x_cm", linalg::mean(ex) * 100.0)
+          .value("y_cm", linalg::mean(ey) * 100.0)
+          .value("z_cm", linalg::mean(ez) * 100.0);
       ++idx;
     }
   }
@@ -74,7 +82,7 @@ void part_a() {
 
 // ---- part (b): 2D conveyor tracking vs depth ----------------------------
 
-void part_b() {
+void part_b(bench::BenchReporter& report) {
   std::printf("\n(b) 2D tag tracking vs depth, LION (adaptive) vs DAH\n");
   std::printf("%-10s %-12s %-12s\n", "depth[m]", "LION[cm]", "DAH[cm]");
 
@@ -148,6 +156,10 @@ void part_b() {
     std::printf("%-10.1f %-12.2f %-12.2f\n", depth,
                 linalg::mean(lion_errs) * 100.0,
                 linalg::mean(dah_errs) * 100.0);
+    report.row("tracking_2d")
+        .value("depth_m", depth)
+        .value("lion_cm", linalg::mean(lion_errs) * 100.0)
+        .value("dah_cm", linalg::mean(dah_errs) * 100.0);
   }
   std::printf("paper reference: LION ~0.45 cm flat; DAH ~0.55 cm until "
               "1.2 m, >2.5 cm at 1.4 m+\n");
@@ -155,11 +167,12 @@ void part_b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig14_height_depth", argc, argv);
   bench::banner("Fig. 14 — impact of height and depth",
                 "3D accurate within 0.8 m depth; 2D LION flat with depth "
                 "while DAH degrades sharply beyond 1.4 m");
-  part_a();
-  part_b();
+  part_a(report);
+  part_b(report);
   return 0;
 }

@@ -17,7 +17,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig15_weight", argc, argv);
   bench::banner("Fig. 15 — weighted vs ordinary least squares",
                 "WLS 0.43 cm vs LS 0.92 cm mean error (CDF separation)");
 
@@ -67,10 +68,13 @@ int main() {
 
   std::printf("\n");
   bench::print_cdf_header("cm");
-  bench::print_cdf_deciles("LS", ls_err);
-  bench::print_cdf_deciles("WLS", wls_err);
+  report.cdf("LS", ls_err);
+  report.cdf("WLS", wls_err);
   std::printf("\nmean distance error: WLS %.2f cm, LS %.2f cm (30 positions)\n",
               linalg::mean(wls_err), linalg::mean(ls_err));
+  report.row("mean_error")
+      .value("wls_cm", linalg::mean(wls_err))
+      .value("ls_cm", linalg::mean(ls_err));
   std::printf("paper reference: WLS 0.43 cm, LS 0.92 cm\n");
   return 0;
 }

@@ -20,7 +20,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig16_17_range", argc, argv);
   bench::banner("Fig. 16/17 — impact of scanning range",
                 "best accuracy at ~80 cm where the mean WLS residual is "
                 "closest to zero; worse below (plane waves) and above "
@@ -73,6 +74,10 @@ int main() {
     const double mean_err = linalg::mean(errs);
     std::printf("%-12.0f %-18.3f %-14.2f\n", range * 100.0, mean_resid,
                 mean_err);
+    report.row("range")
+        .value("range_cm", range * 100.0)
+        .value("mean_residual_e3", mean_resid)
+        .value("dist_err_cm", mean_err);
     if (std::abs(mean_resid) < best_resid) {
       best_resid = std::abs(mean_resid);
       best_range = range;
@@ -82,6 +87,9 @@ int main() {
 
   std::printf("\nresidual-selected range: %.0f cm (err %.2f cm)\n",
               best_range * 100.0, err_at_best);
+  report.row("selected")
+      .value("range_cm", best_range * 100.0)
+      .value("err_cm", err_at_best);
   std::printf("paper reference: residual closest to zero at 80 cm, matching "
               "the minimum distance error\n");
   return 0;

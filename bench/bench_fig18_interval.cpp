@@ -17,7 +17,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig18_interval", argc, argv);
   bench::banner("Fig. 18 — impact of scanning interval",
                 "error decreases markedly up to ~20 cm interval; the "
                 "residual identifies the good settings");
@@ -57,6 +58,10 @@ int main() {
     }
     std::printf("%-14.0f %-18.3f %-14.2f\n", interval * 100.0,
                 linalg::mean(resids), linalg::mean(errs));
+    report.row("interval")
+        .value("interval_cm", interval * 100.0)
+        .value("mean_residual_e3", linalg::mean(resids))
+        .value("dist_err_cm", linalg::mean(errs));
   }
 
   std::printf("\npaper reference: error drops significantly once the interval "

@@ -18,7 +18,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("fig21_rotating", argc, argv);
   bench::banner("Fig. 21 — localization with a rotating (circular) scan",
                 "x error < y error (errors lie along center->antenna); "
                 "error decreases with rotation radius");
@@ -50,6 +51,11 @@ int main() {
     std::printf("%-12.0f %-12.2f %-12.2f %-12.2f\n", radius * 100.0,
                 linalg::mean(d) * 100.0, linalg::mean(ex) * 100.0,
                 linalg::mean(ey) * 100.0);
+    report.row("radius")
+        .value("radius_cm", radius * 100.0)
+        .value("dist_cm", linalg::mean(d) * 100.0)
+        .value("x_err_cm", linalg::mean(ex) * 100.0)
+        .value("y_err_cm", linalg::mean(ey) * 100.0);
   }
 
   std::printf(

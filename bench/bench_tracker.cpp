@@ -15,7 +15,8 @@
 using namespace lion;
 using linalg::Vec3;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter report("tracker", argc, argv);
   bench::banner("Tracker throughput",
                 "per-fix solve cost stays far below the inter-fix interval "
                 "at a 120 Hz read rate — real-time on one core");
@@ -61,11 +62,22 @@ int main() {
     }
     if (fixes == 0) {
       std::printf("%-10zu %-8zu none\n", window, cfg.hop);
+      report.row("window")
+          .value("window", static_cast<double>(window))
+          .value("hop", static_cast<double>(cfg.hop))
+          .value("fixes", 0.0);
       continue;
     }
     std::printf("%-10zu %-8zu %-10zu %-16.2f %-18.2f\n", window, cfg.hop,
                 fixes, err_sum / static_cast<double>(fixes) * 100.0,
                 solve_s / static_cast<double>(tracker.fixes().size()) * 1e3);
+    report.row("window")
+        .value("window", static_cast<double>(window))
+        .value("hop", static_cast<double>(cfg.hop))
+        .value("fixes", static_cast<double>(fixes))
+        .value("mean_err_cm", err_sum / static_cast<double>(fixes) * 100.0)
+        .value("per_fix_ms",
+               solve_s / static_cast<double>(tracker.fixes().size()) * 1e3);
     (void)total;
   }
 

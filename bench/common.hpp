@@ -10,12 +10,17 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/batch.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/vec.hpp"
+#include "obs/json.hpp"
 #include "sim/scenario.hpp"
 
 namespace lion::bench {
@@ -129,5 +134,133 @@ inline void print_cdf_header(const std::string& unit) {
   }
   std::printf("\n");
 }
+
+/// Machine-readable bench output (the human tables keep printing as
+/// before). Every bench constructs one reporter from its argv; when the
+/// user passes `--json <file>`, finish() writes one lion.bench.v1 JSON
+/// record per reported row plus a trailing summary record:
+///
+///   {"schema":"lion.bench.v1","bench":"fig02","row":"valley",
+///    "params":{...},"tags":{"axis":"horizontal"},"values":{"cm":2.3}}
+///
+/// Rows live in a deque so the references handed out by row() stay valid.
+/// Without --json the reporter is inert and costs nothing.
+class BenchReporter {
+ public:
+  /// A single result record. tag() attaches string dimensions (series
+  /// name, axis, method); value() attaches numeric results.
+  class Row {
+   public:
+    Row& tag(const std::string& key, const std::string& v) {
+      tags_.emplace_back(key, v);
+      return *this;
+    }
+    Row& value(const std::string& key, double v) {
+      values_.emplace_back(key, v);
+      return *this;
+    }
+
+   private:
+    friend class BenchReporter;
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> tags_;
+    std::vector<std::pair<std::string, double>> values_;
+  };
+
+  /// `bench` is the record's stable identity (e.g. "fig02_phase_center").
+  /// Scans argv for `--json <file>`; other flags are left for the bench.
+  BenchReporter(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+    }
+  }
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+  ~BenchReporter() { finish(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Workload parameters repeated on every record (jobs, seed, ...).
+  void param(const std::string& key, double v) {
+    params_.emplace_back(key, obs::json_number(v));
+  }
+  void param(const std::string& key, const std::string& v) {
+    params_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+  }
+
+  /// Start a record; chain tag()/value() on the returned row.
+  Row& row(const std::string& name) {
+    rows_.emplace_back();
+    rows_.back().name_ = name;
+    return rows_.back();
+  }
+
+  /// Print the decile table (same output as print_cdf_deciles) and record
+  /// the deciles as a row named "cdf" tagged with `label`.
+  void cdf(const std::string& label, const std::vector<double>& samples) {
+    print_cdf_deciles(label, samples);
+    Row& r = row("cdf");
+    r.tag("series", label);
+    for (int decile = 10; decile <= 100; decile += 10) {
+      r.value("p" + std::to_string(decile),
+              linalg::percentile(samples, decile));
+    }
+  }
+
+  /// Write all records (one JSON object per line). Called automatically on
+  /// destruction; safe to call early, at most one file is ever written.
+  void finish() {
+    if (path_.empty() || finished_) return;
+    finished_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    for (const Row& r : rows_) out << record_json(r) << '\n';
+    Row summary;
+    summary.name_ = "summary";
+    summary.value("rows", static_cast<double>(rows_.size()));
+    summary.value("wall_s", timer_.seconds());
+    out << record_json(summary) << '\n';
+    std::printf("json: %zu records -> %s\n", rows_.size() + 1, path_.c_str());
+  }
+
+ private:
+  std::string record_json(const Row& r) const {
+    std::string out = "{\"schema\":\"lion.bench.v1\",\"bench\":\"";
+    out += obs::json_escape(bench_);
+    out += "\",\"row\":\"";
+    out += obs::json_escape(r.name_);
+    out += "\",\"params\":{";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i) out.push_back(',');
+      out += "\"" + obs::json_escape(params_[i].first) + "\":";
+      out += params_[i].second;
+    }
+    out += "},\"tags\":{";
+    for (std::size_t i = 0; i < r.tags_.size(); ++i) {
+      if (i) out.push_back(',');
+      out += "\"" + obs::json_escape(r.tags_[i].first) + "\":\"";
+      out += obs::json_escape(r.tags_[i].second) + "\"";
+    }
+    out += "},\"values\":{";
+    for (std::size_t i = 0; i < r.values_.size(); ++i) {
+      if (i) out.push_back(',');
+      out += "\"" + obs::json_escape(r.values_[i].first) + "\":";
+      obs::append_json_number(out, r.values_[i].second);
+    }
+    out += "}}";
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-serialized
+  std::deque<Row> rows_;
+  Timer timer_;
+  bool finished_ = false;
+};
 
 }  // namespace lion::bench

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/frame.hpp"
+#include "obs/obs.hpp"
 #include "rf/phase_model.hpp"
 
 namespace lion::core {
@@ -31,6 +32,7 @@ double calibrate_phase_offset(const std::vector<sim::PhaseSample>& samples,
   if (samples.empty()) {
     throw std::invalid_argument("calibrate_phase_offset: no samples");
   }
+  LION_OBS_SPAN(obs::Stage::kOffset);
   std::vector<double> diffs;
   diffs.reserve(samples.size());
   for (const auto& s : samples) {
@@ -111,6 +113,7 @@ void append_message(CalibrationDiagnostics& diag, const std::string& text) {
 CalibrationReport calibrate_antenna_robust(
     const std::vector<sim::PhaseSample>& samples, const Vec3& physical_center,
     const RobustCalibrationConfig& config) {
+  LION_OBS_SPAN(obs::Stage::kCalibrate);
   CalibrationReport report;
   try {
     const auto profile = signal::preprocess(samples, config.preprocess,

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "linalg/decompositions.hpp"
+#include "obs/obs.hpp"
 
 namespace lion::core {
 
@@ -76,6 +77,7 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
 
   linalg::LstsqResult sol;
   double inlier_fraction = 1.0;
+  LION_OBS_SPAN(obs::Stage::kSolve);
   switch (config_.method) {
     case SolveMethod::kLeastSquares:
       sol = linalg::solve_least_squares(sys.a, sys.k);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "rf/phase_model.hpp"
 
 namespace lion::core {
@@ -16,6 +17,8 @@ LinearSystem build_system(const signal::PhaseProfile& profile,
   if (pairs.empty()) {
     throw std::invalid_argument("build_system: no pairs");
   }
+  LION_OBS_SPAN(obs::Stage::kRadical);
+  LION_OBS_COUNT("radical.rows", pairs.size());
   const std::size_t rank = frame.rank;
   const std::size_t cols = rank + 1;
 

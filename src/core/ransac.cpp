@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "linalg/stats.hpp"
+#include "obs/obs.hpp"
 #include "rf/rng.hpp"
 
 namespace lion::core {
@@ -25,6 +26,7 @@ RansacResult full_row_fallback(const linalg::Matrix& a,
                                const std::vector<double>& b,
                                const RansacOptions& options,
                                std::size_t iterations) {
+  LION_OBS_COUNT("ransac.fallbacks", 1);
   linalg::IrlsOptions irls = options.irls;
   irls.loss = options.refit_loss;
   RansacResult out;
@@ -41,6 +43,7 @@ RansacResult full_row_fallback(const linalg::Matrix& a,
 RansacResult ransac_solve(const linalg::Matrix& a,
                           const std::vector<double>& b,
                           const RansacOptions& options) {
+  LION_OBS_SPAN(obs::Stage::kRansac);
   const std::size_t n = a.rows();
   const std::size_t p = a.cols();
   if (b.size() != n) {
@@ -75,10 +78,12 @@ RansacResult ransac_solve(const linalg::Matrix& a,
       for (std::size_t c = 0; c < p; ++c) sub(i, c) = a(indices[i], c);
       sub_b[i] = b[indices[i]];
     }
+    LION_OBS_COUNT("ransac.iterations", 1);
     std::vector<double> x;
     try {
       x = linalg::solve_least_squares(sub, sub_b).x;
     } catch (const std::exception&) {
+      LION_OBS_COUNT("ransac.degenerate_subsets", 1);
       continue;  // degenerate subset (e.g. all rows from one burst)
     }
     ++evaluated;
@@ -139,6 +144,9 @@ RansacResult ransac_solve(const linalg::Matrix& a,
   out.inlier_fraction = static_cast<double>(count) / static_cast<double>(n);
   out.iterations = evaluated;
   out.consensus = true;
+  LION_OBS_COUNT("ransac.consensus", 1);
+  LION_OBS_HIST("ransac.inlier_fraction", obs::fraction_bounds(),
+                out.inlier_fraction);
   return out;
 }
 

@@ -5,7 +5,7 @@
 #include <thread>
 
 #include "engine/thread_pool.hpp"
-#include "linalg/stats.hpp"
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trajectory.hpp"
 
@@ -76,6 +76,7 @@ BatchResult BatchEngine::run(const std::vector<CalibrationJob>& jobs) const {
         const CalibrationJob& job = jobs[i];
         JobResult& slot = out.results[i];
         slot.id = job.id;
+        LION_OBS_SPAN_TAGGED(obs::Stage::kJob, job.id);
         try {
           slot.report = job.work
                             ? job.work(job)
@@ -105,20 +106,23 @@ BatchResult BatchEngine::run(const std::vector<CalibrationJob>& jobs) const {
   out.stats.throughput_jps =
       out.stats.wall_s > 0.0 ? jobs.size() / out.stats.wall_s : 0.0;
 
-  std::vector<double> latencies;
-  latencies.reserve(out.results.size());
+  out.stats.latency = obs::HistogramData(obs::duration_bounds());
   for (const auto& r : out.results) {
-    latencies.push_back(r.latency_s);
+    out.stats.latency.record(r.latency_s);
     const auto idx = static_cast<std::size_t>(r.report.status);
     if (idx < out.stats.status_histogram.size()) {
       ++out.stats.status_histogram[idx];
     }
     if (r.threw) ++out.stats.exceptions;
   }
-  out.stats.latency_mean_s = linalg::mean(latencies);
-  out.stats.latency_p50_s = linalg::percentile(latencies, 50.0);
-  out.stats.latency_p95_s = linalg::percentile(latencies, 95.0);
-  out.stats.latency_p99_s = linalg::percentile(latencies, 99.0);
+  out.stats.latency_mean_s = out.stats.latency.mean();
+  out.stats.latency_p50_s = out.stats.latency.percentile(50.0);
+  out.stats.latency_p95_s = out.stats.latency.percentile(95.0);
+  out.stats.latency_p99_s = out.stats.latency.percentile(99.0);
+
+  LION_OBS_COUNT("engine.jobs", jobs.size());
+  LION_OBS_COUNT("engine.steals", out.stats.steals);
+  LION_OBS_COUNT("engine.exceptions", out.stats.exceptions);
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "obs/metrics.hpp"
 #include "sim/environment.hpp"
 #include "sim/reader.hpp"
 
@@ -79,9 +80,16 @@ struct BatchStats {
   double wall_s = 0.0;            ///< submit of first to finish of last
   double throughput_jps = 0.0;    ///< jobs / wall_s
   double latency_mean_s = 0.0;
+  /// Latency percentiles, estimated from `latency` (see below). For tiny
+  /// batches the obs::HistogramData small-sample semantics apply: with one
+  /// job every percentile is that job's latency; with two jobs p50 is an
+  /// interpolated estimate between them, not an order statistic.
   double latency_p50_s = 0.0;
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
+  /// Full queue-to-finish latency distribution (obs duration buckets);
+  /// exact count/sum/min/max, bucket-resolution percentiles.
+  obs::HistogramData latency;
   /// Count per CalibrationStatus, indexed by the enum's value.
   std::array<std::size_t, kStatusCount> status_histogram{};
   std::size_t exceptions = 0;     ///< jobs whose work threw

@@ -1,15 +1,16 @@
 #include "io/report_json.hpp"
 
-#include <cstdio>
+#include "obs/json.hpp"
 
 namespace lion::io {
 
 namespace {
 
+// Shared with the obs layer so reports and metrics snapshots agree on the
+// %.17g convention, and non-finite doubles serialize as null instead of
+// invalid bare `nan`/`inf` tokens.
 void append_num(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out.append(buf);
+  obs::append_json_number(out, v);
 }
 
 void append_vec(std::string& out, const linalg::Vec3& v) {
@@ -29,28 +30,7 @@ void append_field(std::string& out, const char* key, std::size_t v) {
 
 }  // namespace
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return obs::json_escape(s); }
 
 std::string report_json(const core::CalibrationReport& report) {
   const auto& d = report.diagnostics;

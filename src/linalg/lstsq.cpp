@@ -6,6 +6,7 @@
 
 #include "linalg/decompositions.hpp"
 #include "linalg/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace lion::linalg {
 
@@ -140,8 +141,28 @@ std::vector<double> gaussian_residual_weights(
   return w;
 }
 
+namespace {
+
+// Observability for a finished IRLS run: iterations-to-converge, the final
+// robust weight mass (sum of weights / rows — how much of the data the
+// loss kept), and a counter of runs that hit the iteration cap.
+void note_irls_outcome(const LstsqResult& result) {
+  LION_OBS_HIST("irls.iterations", obs::count_bounds(),
+                static_cast<double>(result.iterations));
+  if (!result.weights.empty()) {
+    double mass = 0.0;
+    for (double w : result.weights) mass += w;
+    LION_OBS_HIST("irls.weight_mass", obs::fraction_bounds(),
+                  mass / static_cast<double>(result.weights.size()));
+  }
+  if (!result.converged) LION_OBS_COUNT("irls.nonconverged", 1);
+}
+
+}  // namespace
+
 LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
                        const IrlsOptions& options) {
+  LION_OBS_SPAN(obs::Stage::kIrls);
   LstsqResult current = solve_least_squares(a, b);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const auto weights = robust_residual_weights(
@@ -155,10 +176,12 @@ LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
     current = std::move(next);
     if (delta < options.tolerance) {
       current.converged = true;
+      note_irls_outcome(current);
       return current;
     }
   }
   current.converged = false;
+  note_irls_outcome(current);
   return current;
 }
 

@@ -1,0 +1,27 @@
+// Deterministic JSON primitives shared by every machine-readable emitter
+// (metrics snapshots, Chrome traces, calibration reports, bench records).
+//
+// Conventions, fixed because downstream consumers byte-compare output:
+//   - doubles print with %.17g (round-trip exact for IEEE binary64);
+//   - non-finite doubles (NaN, +/-Inf) print as `null` — JSON has no NaN,
+//     and an invalid token in one diagnostic field must never make a whole
+//     snapshot unparseable;
+//   - no locale dependence, no whitespace variation.
+#pragma once
+
+#include <string>
+
+namespace lion::obs {
+
+/// Append `v` to `out` as a JSON number token: %.17g, or `null` when `v`
+/// is NaN or infinite.
+void append_json_number(std::string& out, double v);
+
+/// The same token as a fresh string.
+std::string json_number(double v);
+
+/// Escape a string for embedding between JSON double quotes (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace lion::obs

@@ -1,0 +1,470 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace lion::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// HistogramData
+// ---------------------------------------------------------------------------
+
+HistogramData::HistogramData(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("HistogramData: empty bounds");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      throw std::invalid_argument(
+          "HistogramData: bounds must be strictly increasing");
+    }
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+HistogramData HistogramData::from_parts(std::vector<double> bounds,
+                                        std::vector<std::uint64_t> buckets,
+                                        std::uint64_t count, double sum,
+                                        double min, double max) {
+  HistogramData h(std::move(bounds));
+  if (buckets.size() != h.buckets_.size()) {
+    throw std::invalid_argument("HistogramData::from_parts: bucket count");
+  }
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+void HistogramData::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+bool HistogramData::merge(const HistogramData& other) {
+  if (bounds_ != other.bounds_) return false;
+  if (other.count_ == 0) return true;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
+double HistogramData::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double HistogramData::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double n = static_cast<double>(buckets_[i]);
+    if (n == 0.0) continue;
+    if (cum + n >= target) {
+      // Bucket edges, clamped to the exactly-tracked value envelope so a
+      // sparse bucket can never report a value outside [min, max].
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi < lo) hi = lo;
+      const double u = std::clamp((target - cum) / n, 0.0, 1.0);
+      return lo + u * (hi - lo);
+    }
+    cum += n;
+  }
+  return max_;
+}
+
+std::vector<double> duration_bounds() {
+  std::vector<double> bounds;
+  for (double v = 1e-6; v < 80.0; v *= 1.3) bounds.push_back(v);
+  return bounds;
+}
+
+std::vector<double> count_bounds() {
+  std::vector<double> bounds;
+  for (double v = 1.0; v <= 65536.0; v *= 2.0) bounds.push_back(v);
+  return bounds;
+}
+
+std::vector<double> fraction_bounds() {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 20; ++i) {
+    bounds.push_back(static_cast<double>(i) / 20.0);
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+// ---------------------------------------------------------------------------
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"schema\":\"lion.metrics.v1\",\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) out.push_back(',');
+    out.push_back('"');
+    out += json_escape(counters[i].first);
+    out += "\":";
+    out += std::to_string(counters[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i) out.push_back(',');
+    const auto& [name, h] = histograms[i];
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    out.push_back('"');
+    out += json_escape(name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    append_json_number(out, h.sum());
+    out += ",\"min\":";
+    append_json_number(out, h.count() ? h.min() : nan);
+    out += ",\"max\":";
+    append_json_number(out, h.count() ? h.max() : nan);
+    out += ",\"mean\":";
+    append_json_number(out, h.count() ? h.mean() : nan);
+    // Sparse bucket list: [upper_bound, count] pairs, zero buckets
+    // omitted; the overflow bucket's upper bound serializes as null.
+    out += ",\"buckets\":[";
+    bool first = true;
+    const auto& bounds = h.bounds();
+    const auto& buckets = h.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('[');
+      append_json_number(out, b < bounds.size() ? bounds[b] : nan);
+      out.push_back(',');
+      out += std::to_string(buckets[b]);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  struct Hist {
+    std::array<std::atomic<std::uint64_t>, kMaxHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+};
+
+// Non-atomic mirror of a shard: the fold target for retired threads and
+// the scratch accumulator of snapshot(). Namespace scope (not anonymous)
+// to match the friend declaration in metrics.hpp.
+struct Accumulator {
+  std::array<std::uint64_t, kMaxCounters> counters{};
+  struct Hist {
+    std::array<std::uint64_t, kMaxHistogramBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+
+  void fold_shard(const MetricsRegistry::Shard& shard) {
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      counters[i] += shard.counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      const auto& src = shard.hists[i];
+      const std::uint64_t n = src.count.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      auto& dst = hists[i];
+      for (std::size_t b = 0; b < kMaxHistogramBuckets; ++b) {
+        dst.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+      dst.count += n;
+      dst.sum += src.sum.load(std::memory_order_relaxed);
+      dst.min = std::min(dst.min, src.min.load(std::memory_order_relaxed));
+      dst.max = std::max(dst.max, src.max.load(std::memory_order_relaxed));
+    }
+  }
+
+  void fold(const Accumulator& other) {
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      counters[i] += other.counters[i];
+    }
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      const auto& src = other.hists[i];
+      if (src.count == 0) continue;
+      auto& dst = hists[i];
+      for (std::size_t b = 0; b < kMaxHistogramBuckets; ++b) {
+        dst.buckets[b] += src.buckets[b];
+      }
+      dst.count += src.count;
+      dst.sum += src.sum;
+      dst.min = std::min(dst.min, src.min);
+      dst.max = std::max(dst.max, src.max);
+    }
+  }
+};
+
+namespace {
+
+void atomic_fmin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fmax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fadd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::vector<std::string> counter_names;  // guarded by mutex
+  std::vector<std::string> hist_names;     // guarded by mutex
+  // Histogram bounds live in fixed slots so the lock-free record() path
+  // can read them: each slot is written exactly once (under the mutex)
+  // before its id is published, and published_hists gates readers.
+  std::array<std::vector<double>, kMaxHistograms> hist_bounds;
+  std::atomic<std::size_t> published_hists{0};
+  std::vector<std::unique_ptr<Shard>> live;  // guarded by mutex
+  Accumulator retired;                       // guarded by mutex
+  // Liveness token for thread-exit retirement: the TLS cache holds a weak
+  // reference, so a thread outliving a (test-local) registry skips the
+  // fold instead of touching freed memory.
+  std::shared_ptr<Impl*> self_guard;
+
+  void retire_locked(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mutex);
+    retired.fold_shard(*shard);
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->get() == shard) {
+        live.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+// Per-thread cache of (registry -> shard). The destructor retires every
+// shard this thread created, folding its values into the owning registry
+// so they survive the thread (pool workers die between runs).
+struct TlsShardCache {
+  struct Entry {
+    MetricsRegistry::Impl* impl = nullptr;
+    MetricsRegistry::Shard* shard = nullptr;
+    std::weak_ptr<MetricsRegistry::Impl*> guard;
+  };
+  std::vector<Entry> entries;
+
+  ~TlsShardCache() {
+    for (auto& e : entries) {
+      if (auto alive = e.guard.lock()) {
+        e.impl->retire_locked(e.shard);
+      }
+    }
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {
+  impl_->self_guard = std::make_shared<Impl*>(impl_.get());
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Intentionally leaked: worker threads may retire shards after static
+  // destructors start running.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (std::size_t i = 0; i < impl_->counter_names.size(); ++i) {
+    if (impl_->counter_names[i] == name) return static_cast<MetricId>(i);
+  }
+  if (impl_->counter_names.size() >= kMaxCounters) {
+    throw std::length_error("MetricsRegistry: counter capacity exhausted");
+  }
+  impl_->counter_names.push_back(name);
+  return static_cast<MetricId>(impl_->counter_names.size() - 1);
+}
+
+MetricId MetricsRegistry::histogram(const std::string& name,
+                                    std::vector<double> bounds) {
+  if (bounds.size() + 1 > kMaxHistogramBuckets) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram bounds exceed kMaxHistogramBuckets");
+  }
+  // Validate via the value type's constructor before taking a slot.
+  HistogramData probe(bounds);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (std::size_t i = 0; i < impl_->hist_names.size(); ++i) {
+    if (impl_->hist_names[i] == name) return static_cast<MetricId>(i);
+  }
+  const std::size_t slot = impl_->hist_names.size();
+  if (slot >= kMaxHistograms) {
+    throw std::length_error("MetricsRegistry: histogram capacity exhausted");
+  }
+  impl_->hist_names.push_back(name);
+  impl_->hist_bounds[slot] = std::move(bounds);
+  // Release-publish after the slot is fully written.
+  impl_->published_hists.store(slot + 1, std::memory_order_release);
+  return static_cast<MetricId>(slot);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  thread_local TlsShardCache cache;
+  // Prune entries of destroyed registries while scanning: a dead
+  // registry's Impl address can be reused by a new one, so a stale entry
+  // must never satisfy the address match (its shard memory is gone).
+  for (auto it = cache.entries.begin(); it != cache.entries.end();) {
+    if (it->guard.expired()) {
+      it = cache.entries.erase(it);
+      continue;
+    }
+    if (it->impl == impl_.get()) return *it->shard;
+    ++it;
+  }
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->live.push_back(std::move(shard));
+  }
+  cache.entries.push_back({impl_.get(), raw, impl_->self_guard});
+  return *raw;
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
+  if (id >= kMaxCounters) return;
+  local_shard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::record(MetricId id, double value) {
+  if (id >= impl_->published_hists.load(std::memory_order_acquire)) return;
+  const std::vector<double>& bounds = impl_->hist_bounds[id];
+  auto& h = local_shard().hists[id];
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  h.buckets[static_cast<std::size_t>(it - bounds.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_fadd(h.sum, value);
+  atomic_fmin(h.min, value);
+  atomic_fmax(h.max, value);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Accumulator acc;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> hist_names;
+  std::vector<std::vector<double>> hist_bounds;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    acc.fold(impl_->retired);
+    for (const auto& shard : impl_->live) acc.fold_shard(*shard);
+    counter_names = impl_->counter_names;
+    hist_names = impl_->hist_names;
+    hist_bounds.assign(impl_->hist_bounds.begin(),
+                       impl_->hist_bounds.begin() +
+                           static_cast<std::ptrdiff_t>(hist_names.size()));
+  }
+
+  Snapshot snap;
+  for (std::size_t i = 0; i < counter_names.size(); ++i) {
+    snap.counters.emplace_back(counter_names[i], acc.counters[i]);
+  }
+  for (std::size_t i = 0; i < hist_names.size(); ++i) {
+    const auto& bounds = hist_bounds[i];
+    const auto& h = acc.hists[i];
+    std::vector<std::uint64_t> buckets(
+        h.buckets.begin(),
+        h.buckets.begin() + static_cast<std::ptrdiff_t>(bounds.size() + 1));
+    snap.histograms.emplace_back(
+        hist_names[i],
+        HistogramData::from_parts(bounds, std::move(buckets), h.count, h.sum,
+                                  h.min, h.max));
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  return snapshot().to_json();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->retired = Accumulator{};
+  for (auto& shard : impl_->live) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+      h.min.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+      h.max.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace lion::obs

@@ -1,0 +1,191 @@
+// Process-wide metrics: named counters and fixed-bucket histograms.
+//
+// Hot-path contract
+// -----------------
+// Recording is lock-free: every thread writes relaxed atomics in its own
+// shard (no cache-line ping-pong between recording threads), and
+// snapshot() merges the shards under the registration mutex. When metrics
+// are disabled (the default), the instrumentation macros in obs/obs.hpp
+// cost one relaxed atomic load and a predictable branch — strictly less
+// than a relaxed increment — and with the LION_OBS_OFF compile-time kill
+// switch they vanish entirely.
+//
+// Determinism
+// -----------
+// Metrics are measurements, never results: nothing in this module feeds
+// back into a solver, so enabling instrumentation cannot change a
+// calibration report (the engine determinism suite re-proves this with
+// metrics on). snapshot_json() itself is deterministic for fixed recorded
+// values: names sort lexicographically and numbers follow the %.17g
+// conventions of obs/json.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lion::obs {
+
+/// Registry capacity caps. Fixed at compile time so a thread shard is one
+/// flat allocation with no growth races; registration past a cap throws.
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxHistograms = 64;
+/// Per-histogram bucket cap for *registered* histograms (upper bounds + 1
+/// overflow bucket). Standalone HistogramData values are unbounded.
+inline constexpr std::size_t kMaxHistogramBuckets = 96;
+
+using MetricId = std::uint32_t;
+inline constexpr MetricId kInvalidMetric = 0xFFFFFFFFu;
+
+/// Plain-value fixed-bucket histogram: the merge target of a snapshot and
+/// a reusable aggregation type in its own right (the batch engine derives
+/// its latency percentiles from one instead of sorting raw samples).
+///
+/// Buckets are defined by a strictly increasing vector of upper bounds;
+/// bucket i counts values <= bounds[i] (first unmatched bound wins), and a
+/// final overflow bucket counts values above the last bound. Sum, count,
+/// min and max are tracked exactly regardless of bucket resolution.
+class HistogramData {
+ public:
+  HistogramData() = default;
+  /// Throws std::invalid_argument unless `bounds` is non-empty and
+  /// strictly increasing.
+  explicit HistogramData(std::vector<double> bounds);
+
+  /// Reassemble a histogram from recorded parts (snapshot merge, tests).
+  /// `buckets` must have bounds.size() + 1 entries.
+  static HistogramData from_parts(std::vector<double> bounds,
+                                  std::vector<std::uint64_t> buckets,
+                                  std::uint64_t count, double sum, double min,
+                                  double max);
+
+  void record(double v);
+  /// Fold another histogram with identical bounds into this one; returns
+  /// false (and does nothing) on a bounds mismatch.
+  bool merge(const HistogramData& other);
+
+  /// Percentile estimate in [0, 100] by linear interpolation inside the
+  /// owning bucket, clamped to the exactly-tracked [min, max] envelope.
+  ///
+  /// Small-sample behavior (documented and tested, n < 3):
+  ///   - n == 0: returns 0.0 for every p;
+  ///   - n == 1: every percentile equals the single recorded value (the
+  ///     clamp collapses the bucket to min == max);
+  ///   - n == 2: results interpolate within the clamped bucket(s) — p0
+  ///     is the min, p100 the max, and interior percentiles lie strictly
+  ///     inside [min, max] (the bucket midpoint when both samples share a
+  ///     bucket). They are estimates, not order statistics.
+  /// Accuracy for larger n is bounded by bucket width around the quantile.
+  double percentile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact mean of recorded values; 0 when empty.
+  double mean() const;
+  /// Exact extremes; 0 when empty (check count() first).
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-spaced duration bounds in seconds, 1 us .. ~80 s (factor 1.3):
+/// the shared resolution of every stage-timing histogram.
+std::vector<double> duration_bounds();
+/// Power-of-two bounds 1 .. 65536 for iteration/row counts.
+std::vector<double> count_bounds();
+/// Linear bounds 0.05 .. 1.0 for fractions (inlier ratio, weight mass).
+std::vector<double> fraction_bounds();
+
+/// A merged, point-in-time view of every registered metric.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Deterministic single-line JSON (see obs/json.hpp conventions).
+  std::string to_json() const;
+};
+
+/// The process-wide registry of counters and histograms.
+///
+/// Instances are also constructible directly (tests); the instrumentation
+/// macros always target instance(). Threads that recorded into a
+/// non-singleton registry must finish before it is destroyed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (intentionally leaked: worker threads may
+  /// retire shards during process teardown).
+  static MetricsRegistry& instance();
+
+  /// Register (or look up) a counter by name. Idempotent. Throws
+  /// std::length_error past kMaxCounters.
+  MetricId counter(const std::string& name);
+  /// Register (or look up) a histogram by name. The bounds of an existing
+  /// name are kept (first registration wins). Throws std::length_error
+  /// past kMaxHistograms and std::invalid_argument on bad/oversized
+  /// bounds.
+  MetricId histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Hot path: relaxed add into this thread's shard. Invalid ids no-op.
+  void add(MetricId id, std::uint64_t delta);
+  /// Hot path: relaxed histogram record into this thread's shard.
+  void record(MetricId id, double value);
+
+  /// Merge every live and retired shard into one consistent-enough view
+  /// (concurrent recorders may land in either side of the cut).
+  Snapshot snapshot() const;
+  std::string snapshot_json() const;
+
+  /// Zero every recorded value; registrations are kept.
+  void reset();
+
+ private:
+  struct Shard;
+  struct Impl;
+
+  Shard& local_shard();
+
+  std::unique_ptr<Impl> impl_;
+
+  friend struct TlsShardCache;
+  friend struct Accumulator;
+};
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// Runtime enable flag for the whole metrics layer (default: off). The
+/// macros in obs/obs.hpp check this before touching the registry; the
+/// check is a single relaxed load.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Toggle metrics. Enabling also pre-registers the pipeline's standard
+/// stage histograms and counters (see obs/obs.hpp) so a snapshot always
+/// carries the full schema, zeros included.
+void set_metrics_enabled(bool on);
+
+}  // namespace lion::obs

@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace lion::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Ring {
+  std::mutex mutex;
+  std::vector<TraceEvent> buf;  // sized once, on first record
+  std::size_t next = 0;
+  bool wrapped = false;
+  std::uint64_t dropped = 0;
+};
+
+struct TraceStore {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Ring>> rings;  // never shrinks: outlives threads
+  std::atomic<std::size_t> capacity{16384};
+  std::atomic<std::uint32_t> next_tid{0};
+
+  static TraceStore& instance() {
+    static auto* store = new TraceStore();  // leaked, see MetricsRegistry
+    return *store;
+  }
+
+  Ring& local_ring() {
+    thread_local Ring* ring = [this] {
+      auto owned = std::make_unique<Ring>();
+      Ring* raw = owned.get();
+      std::lock_guard<std::mutex> lock(mutex);
+      rings.push_back(std::move(owned));
+      return raw;
+    }();
+    return *ring;
+  }
+};
+
+}  // namespace
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t events_per_thread) {
+  TraceStore::instance().capacity.store(
+      std::max<std::size_t>(1, events_per_thread), std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+std::uint32_t trace_thread_id() {
+  thread_local const std::uint32_t tid =
+      TraceStore::instance().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void trace_record(const TraceEvent& event) {
+  auto& store = TraceStore::instance();
+  Ring& ring = store.local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.buf.empty()) {
+    ring.buf.resize(store.capacity.load(std::memory_order_relaxed));
+  }
+  if (ring.wrapped) ++ring.dropped;
+  ring.buf[ring.next] = event;
+  ring.next = (ring.next + 1) % ring.buf.size();
+  if (ring.next == 0 && !ring.wrapped) ring.wrapped = true;
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  auto& store = TraceStore::instance();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    for (const auto& ring : store.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      const std::size_t n =
+          ring->wrapped ? ring->buf.size() : ring->next;
+      for (std::size_t i = 0; i < n; ++i) out.push_back(ring->buf[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.dur_ns > b.dur_ns;  // parents before children at equal start
+  });
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  auto& store = TraceStore::instance();
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(store.mutex);
+  for (const auto& ring : store.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::string trace_json() {
+  const auto events = trace_snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (i) out.push_back(',');
+    out += "{\"name\":\"";
+    out += json_escape(e.name);
+    out += "\",\"cat\":\"lion\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    append_json_number(out, static_cast<double>(e.start_ns) / 1000.0);
+    out += ",\"dur\":";
+    append_json_number(out, static_cast<double>(e.dur_ns) / 1000.0);
+    if (e.has_arg) {
+      out += ",\"args\":{\"job\":";
+      out += std::to_string(e.arg);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void trace_reset() {
+  auto& store = TraceStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  for (const auto& ring : store.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->wrapped = false;
+    ring->dropped = 0;
+  }
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (tracing_enabled()) {
+    start_ = trace_now_ns();
+    active_ = true;
+  }
+}
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t arg) : TraceSpan(name) {
+  arg_ = arg;
+  has_arg_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  trace_record({name_, trace_thread_id(), start_, trace_now_ns() - start_,
+                arg_, has_arg_});
+}
+
+}  // namespace lion::obs

@@ -1,0 +1,91 @@
+// Nested stage tracing with Chrome trace_event export.
+//
+// Every traced thread owns a fixed-capacity ring buffer of completed
+// spans; recording locks only the thread's own (uncontended) ring mutex.
+// Rings are owned by the process-wide trace store and deliberately outlive
+// their threads — pool workers die between engine runs, and their spans
+// must still appear in the export. When the ring wraps, the oldest spans
+// are overwritten and counted as dropped.
+//
+// Export is the Chrome trace_event JSON format ("X" complete events):
+// open chrome://tracing or https://ui.perfetto.dev and load the file.
+// Nesting needs no explicit parent links — a span whose [ts, ts+dur]
+// interval contains another's, on the same tid, renders as its parent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lion::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// Runtime enable flag for tracing (default: off); one relaxed load.
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void set_tracing_enabled(bool on);
+
+/// One completed span. `name` must point at a string with static storage
+/// duration (stage names are string literals).
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t tid = 0;       ///< small per-process thread ordinal
+  std::uint64_t start_ns = 0;  ///< since the process trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;  ///< e.g. batch job id
+  bool has_arg = false;
+};
+
+/// Per-thread ring capacity for spans recorded after the call; default
+/// 16384. Existing rings keep their size.
+void set_trace_capacity(std::size_t events_per_thread);
+
+/// Record a completed span into this thread's ring (spans call this).
+void trace_record(const TraceEvent& event);
+
+/// Merged view of every ring, sorted by (start, longest-first) so parents
+/// precede their children.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Spans overwritten by ring wrap-around since the last trace_reset().
+std::uint64_t trace_dropped();
+
+/// Chrome trace_event JSON document for the current snapshot.
+std::string trace_json();
+
+/// Drop every recorded span (rings stay allocated).
+void trace_reset();
+
+/// Nanoseconds since the process trace epoch (steady clock).
+std::uint64_t trace_now_ns();
+
+/// Small stable ordinal for the calling thread.
+std::uint32_t trace_thread_id();
+
+/// RAII span: records [construction, destruction) into the trace when
+/// tracing is enabled at construction time. Two relaxed loads when off.
+/// Prefer the LION_OBS_SPAN macros (obs/obs.hpp), which also time the
+/// span into a metrics histogram.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const char* name, std::uint64_t arg);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ = 0;
+  std::uint64_t arg_ = 0;
+  bool active_ = false;
+  bool has_arg_ = false;
+};
+
+}  // namespace lion::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "rf/constants.hpp"
 #include "rf/phase_model.hpp"
 
@@ -20,6 +21,7 @@ bool finite_sample(const sim::PhaseSample& s) {
 
 std::vector<sim::PhaseSample> sanitize_samples(
     std::vector<sim::PhaseSample> samples, SanitizeReport* report) {
+  LION_OBS_SPAN(obs::Stage::kSanitize);
   SanitizeReport local;
   SanitizeReport& r = report ? *report : local;
   r = SanitizeReport{};

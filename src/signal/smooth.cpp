@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "rf/phase_model.hpp"
 
 namespace lion::signal {
@@ -63,6 +64,7 @@ std::vector<double> moving_median(const std::vector<double>& values,
 }
 
 void smooth_in_place(PhaseProfile& profile, std::size_t window) {
+  LION_OBS_SPAN(obs::Stage::kSmooth);
   std::vector<double> phases(profile.size());
   for (std::size_t i = 0; i < profile.size(); ++i) phases[i] = profile[i].phase;
   phases = moving_average(phases, window);

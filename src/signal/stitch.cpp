@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "rf/constants.hpp"
 #include "signal/smooth.hpp"
 #include "signal/unwrap.hpp"
@@ -14,6 +15,7 @@ namespace lion::signal {
 using rf::kTwoPi;
 
 PhaseProfile stitch_continuous(const std::vector<PhaseProfile>& parts) {
+  LION_OBS_SPAN(obs::Stage::kStitch);
   PhaseProfile all;
   for (const auto& p : parts) {
     all.insert(all.end(), p.begin(), p.end());
@@ -24,6 +26,7 @@ PhaseProfile stitch_continuous(const std::vector<PhaseProfile>& parts) {
 
 PhaseProfile stitch_profiles(const std::vector<PhaseProfile>& parts,
                              double max_junction_gap) {
+  LION_OBS_SPAN(obs::Stage::kStitch);
   PhaseProfile out;
   for (const auto& part : parts) {
     if (part.empty()) continue;
@@ -60,6 +63,7 @@ PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
 PhaseProfile preprocess(const std::vector<sim::PhaseSample>& samples,
                         const PreprocessConfig& config,
                         SanitizeReport& sanitize_report) {
+  LION_OBS_SPAN(obs::Stage::kPreprocess);
   std::vector<sim::PhaseSample> cleaned = samples;
   sanitize_report = SanitizeReport{};
   sanitize_report.input = sanitize_report.kept = cleaned.size();

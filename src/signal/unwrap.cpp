@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "rf/constants.hpp"
 #include "rf/phase_model.hpp"
 
@@ -17,6 +18,7 @@ using rf::kTwoPi;
 // wrap resolves it as +pi, deterministically.
 
 std::vector<double> unwrap(const std::vector<double>& wrapped) {
+  LION_OBS_SPAN(obs::Stage::kUnwrap);
   std::vector<double> out;
   out.reserve(wrapped.size());
   double accumulated = 0.0;
@@ -40,6 +42,7 @@ PhaseProfile unwrap_samples(const std::vector<sim::PhaseSample>& samples) {
 }
 
 void unwrap_in_place(PhaseProfile& profile) {
+  LION_OBS_SPAN(obs::Stage::kUnwrap);
   double accumulated = 0.0;
   double prev_raw = 0.0;
   for (std::size_t i = 0; i < profile.size(); ++i) {

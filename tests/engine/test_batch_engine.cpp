@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "io/report_json.hpp"
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 
 namespace lion::engine {
@@ -64,6 +65,59 @@ TEST(BatchEngine, DeterministicAcrossThreadCounts) {
           << "job " << i << " differs at " << threads << " threads";
     }
   }
+}
+
+TEST(BatchEngine, DeterministicWithInstrumentationEnabled) {
+  // Observability is measurement-only: enabling metrics + tracing must not
+  // perturb a single report byte relative to the uninstrumented run.
+  const auto jobs = make_simulated_batch(small_spec(6));
+  const auto reference =
+      serialized_reports(BatchEngine(BatchEngineOptions{1}).run(jobs));
+
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  obs::trace_reset();
+  const auto instrumented =
+      serialized_reports(BatchEngine(BatchEngineOptions{4}).run(jobs));
+  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+  const auto events = obs::trace_snapshot();
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+
+  EXPECT_EQ(instrumented, reference);
+
+  // And the instrumentation actually observed the run: per-job spans and
+  // the engine counters are populated.
+  std::uint64_t engine_jobs = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "engine.jobs") engine_jobs = value;
+  }
+  EXPECT_EQ(engine_jobs, 6u);
+  std::size_t job_spans = 0;
+  for (const auto& e : events) {
+    if (std::string(e.name) == obs::stage_name(obs::Stage::kJob)) ++job_spans;
+  }
+  EXPECT_EQ(job_spans, 6u);
+}
+
+TEST(BatchEngine, TinyBatchPercentileSemantics) {
+  // BatchStats latency percentiles come from an obs::HistogramData; for
+  // n < 3 they follow the documented small-sample estimates rather than
+  // order statistics.
+  const auto one = BatchEngine(BatchEngineOptions{1})
+                       .run(make_simulated_batch(small_spec(1)));
+  EXPECT_EQ(one.stats.latency.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.stats.latency_p50_s, one.stats.latency.min());
+  EXPECT_DOUBLE_EQ(one.stats.latency_p99_s, one.stats.latency.max());
+
+  const auto two = BatchEngine(BatchEngineOptions{1})
+                       .run(make_simulated_batch(small_spec(2)));
+  EXPECT_EQ(two.stats.latency.count(), 2u);
+  EXPECT_GE(two.stats.latency_p50_s, two.stats.latency.min());
+  EXPECT_LE(two.stats.latency_p50_s, two.stats.latency.max());
+  EXPECT_GE(two.stats.latency_p99_s, two.stats.latency_p50_s);
+  EXPECT_LE(two.stats.latency_p99_s, two.stats.latency.max());
 }
 
 TEST(BatchEngine, RerunOfTheSameBatchIsIdentical) {

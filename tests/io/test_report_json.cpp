@@ -1,0 +1,115 @@
+// report_json must emit valid JSON for every report — including reports
+// carrying NaN/Inf diagnostics (failed solves) and messages with quotes,
+// backslashes, and control characters. Non-finite doubles serialize as
+// null; bare `nan`/`inf` tokens would make the whole document unparseable.
+#include "io/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace lion::io {
+namespace {
+
+core::CalibrationReport sample_report() {
+  core::CalibrationReport report;
+  report.status = core::CalibrationStatus::kOk;
+  report.center.estimated_center = {0.01, 0.82, -0.005};
+  report.center.displacement = {0.01, 0.02, -0.005};
+  report.phase_offset = 3.14;
+  report.diagnostics.profile_points = 220;
+  report.diagnostics.condition = 12.5;
+  report.diagnostics.mean_residual = 1e-4;
+  report.diagnostics.rms_residual = 2e-4;
+  report.diagnostics.position_sigma = 0.003;
+  report.diagnostics.message = "ok";
+  return report;
+}
+
+// Minimal structural validator: balanced braces/brackets outside strings
+// and no bare nan/inf tokens. (The golden tests already pin exact bytes
+// for finite reports; this guards the failure-path serialization.)
+void expect_valid_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(ReportJson, FiniteReportHasExpectedFields) {
+  const std::string json = report_json(sample_report());
+  expect_valid_json(json);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_offset\":"), std::string::npos);
+  EXPECT_NE(json.find("\"profile_points\":220"), std::string::npos);
+}
+
+TEST(ReportJson, NonFiniteDiagnosticsSerializeAsNull) {
+  auto report = sample_report();
+  report.status = core::CalibrationStatus::kSolverFailure;
+  report.diagnostics.condition = std::numeric_limits<double>::infinity();
+  report.diagnostics.mean_residual =
+      std::numeric_limits<double>::quiet_NaN();
+  report.diagnostics.rms_residual =
+      -std::numeric_limits<double>::infinity();
+  report.center.estimated_center[1] =
+      std::numeric_limits<double>::quiet_NaN();
+  const std::string json = report_json(report);
+  expect_valid_json(json);
+  EXPECT_NE(json.find("\"condition\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_residual\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"rms_residual\":null"), std::string::npos);
+}
+
+TEST(ReportJson, MessageEscaping) {
+  auto report = sample_report();
+  report.diagnostics.message = "say \"hi\"\\ \n\t\x01 done";
+  const std::string json = report_json(report);
+  expect_valid_json(json);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\\\ \\n\\t\\u0001 done"),
+            std::string::npos);
+}
+
+TEST(JsonPrimitives, NumberConventions) {
+  EXPECT_EQ(obs::json_number(1.0), "1");
+  EXPECT_EQ(obs::json_number(0.5), "0.5");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(obs::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+  // %.17g round-trips binary64 exactly.
+  EXPECT_EQ(obs::json_number(0.1), "0.10000000000000001");
+}
+
+TEST(JsonPrimitives, Escaping) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("\n\r\t"), "\\n\\r\\t");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x02')), "\\u0002");
+}
+
+}  // namespace
+}  // namespace lion::io

@@ -1,0 +1,47 @@
+// Compile-time kill switch: this binary is built with -DLION_OBS_OFF, so
+// every instrumentation macro must expand to ((void)0) — well-formed in
+// all the contexts the pipeline uses them in, and recording nothing even
+// when the runtime flags are on.
+#ifndef LION_OBS_OFF
+#error "this test must be compiled with -DLION_OBS_OFF"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace lion::obs {
+namespace {
+
+TEST(ObsOff, MacrosCompileAndRecordNothing) {
+  set_metrics_enabled(true);
+  set_tracing_enabled(true);
+  MetricsRegistry::instance().reset();
+  trace_reset();
+
+  {
+    LION_OBS_SPAN(Stage::kUnwrap);
+    LION_OBS_SPAN_TAGGED(Stage::kJob, 7);
+    LION_OBS_COUNT("off.counter", 1);
+    LION_OBS_HIST("off.hist", fraction_bounds(), 0.5);
+    if (true) LION_OBS_COUNT("off.branch", 1);  // statement context
+  }
+
+  const auto snap = MetricsRegistry::instance().snapshot();
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name, "off.counter");
+    EXPECT_NE(name, "off.branch");
+    EXPECT_EQ(value, 0u) << name;  // schema is registered, all zeros
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    EXPECT_NE(name, "off.hist");
+    EXPECT_EQ(hist.count(), 0u) << name;
+  }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+}  // namespace
+}  // namespace lion::obs

@@ -1,0 +1,120 @@
+// Trace layer: span recording, nesting order in the merged snapshot,
+// per-thread ids, ring wrap accounting, and the Chrome trace_event export.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace lion::obs {
+namespace {
+
+// Every test owns the global trace state for its duration.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_reset();
+    set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    trace_reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_tracing_enabled(false);
+  { TraceSpan span("outer"); }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansSortParentFirst) {
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+    { TraceSpan inner2("inner2"); }
+  }
+  const auto events = trace_snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted (start asc, dur desc): the enclosing span precedes both inner
+  // spans, and the inner spans keep their start order.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_STREQ(events[2].name, "inner2");
+  // Containment: inner spans lie inside the outer interval, same thread.
+  for (int i : {1, 2}) {
+    EXPECT_EQ(events[i].tid, events[0].tid);
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns,
+              events[0].start_ns + events[0].dur_ns);
+  }
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns, events[2].start_ns);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIds) {
+  { TraceSpan span("main-thread"); }
+  std::thread worker([] { TraceSpan span("worker-thread"); });
+  worker.join();
+  const auto events = trace_snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, RingWrapCountsDropped) {
+  set_trace_capacity(4);
+  // A fresh thread gets the small ring; overflow must be counted.
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) {
+      TraceSpan span("tiny");
+    }
+  });
+  worker.join();
+  set_trace_capacity(16384);
+  EXPECT_EQ(trace_dropped(), 6u);
+  EXPECT_EQ(trace_snapshot().size(), 4u);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  {
+    TraceSpan outer("calibrate");
+    TraceSpan tagged("job", 42);
+  }
+  const std::string json = trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"calibrate\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"job\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  // ts/dur are microseconds keys required by the Chrome loader.
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, StageSpanEmitsTraceWithoutMetrics) {
+  ASSERT_FALSE(metrics_enabled());
+  { StageSpan span(Stage::kSolve); }
+  const auto events = trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, stage_name(Stage::kSolve));
+}
+
+TEST_F(TraceTest, ResetClearsEventsAndDropCounter) {
+  { TraceSpan span("a"); }
+  trace_reset();
+  EXPECT_TRUE(trace_snapshot().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST_F(TraceTest, MonotonicClock) {
+  const auto a = trace_now_ns();
+  const auto b = trace_now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace lion::obs

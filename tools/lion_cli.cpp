@@ -34,6 +34,7 @@
 #include "engine/batch.hpp"
 #include "io/csv.hpp"
 #include "io/report_json.hpp"
+#include "obs/obs.hpp"
 #include "rf/phase_model.hpp"
 #include "signal/stitch.hpp"
 #include "sim/scenario.hpp"
@@ -52,6 +53,7 @@ namespace {
                "                 [--adaptive] [--wavelength M]\n"
                "  lion calibrate <scan.csv> --physical-center x,y,z\n"
                "                 [--wavelength M] [--json]\n"
+               "                 [--metrics <out.json>] [--trace <out.json>]\n"
                "  lion offset    <scan.csv> --center x,y,z [--wavelength M]\n"
                "  lion simulate  <out.csv> [--seed N] [--depth M]\n"
                "                 [--rig|--line|--circle]\n"
@@ -60,7 +62,13 @@ namespace {
                "                 [--hint x,y,z]\n"
                "  lion decompose <offsets.csv>\n"
                "  lion batch     [--jobs N] [--threads M] [--seed N]\n"
-               "                 [--depth M]\n");
+               "                 [--depth M] [--metrics <out.json>]\n"
+               "                 [--trace <out.json>]\n"
+               "\n"
+               "--metrics writes a lion.metrics.v1 snapshot (per-stage\n"
+               "duration histograms + pipeline counters); --trace writes a\n"
+               "Chrome trace_event file (load in chrome://tracing or\n"
+               "ui.perfetto.dev).\n");
   std::exit(2);
 }
 
@@ -93,6 +101,8 @@ struct Args {
   bool json = false;
   std::size_t jobs = 16;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::string metrics_path;  ///< write a metrics snapshot here when set
+  std::string trace_path;    ///< write a Chrome trace here when set
 };
 
 Args parse_args(int argc, char** argv) {
@@ -163,6 +173,10 @@ Args parse_args(int argc, char** argv) {
       a.jobs = static_cast<std::size_t>(std::stoul(next()));
     } else if (flag == "--threads") {
       a.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--metrics") {
+      a.metrics_path = next();
+    } else if (flag == "--trace") {
+      a.trace_path = next();
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -406,19 +420,51 @@ int cmd_batch(const Args& a) {
   return result.succeeded() == s.jobs ? 0 : 1;
 }
 
+// Turn instrumentation on before the command runs (only the layers that
+// were requested), and flush the collected data to the requested files
+// afterwards. Returns false if an output file could not be written.
+bool write_observability(const Args& a) {
+  bool ok = true;
+  auto write_file = [&](const std::string& path, const std::string& body) {
+    std::ofstream f(path);
+    f << body << '\n';
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      ok = false;
+    }
+  };
+  if (!a.metrics_path.empty()) {
+    write_file(a.metrics_path, obs::MetricsRegistry::instance().snapshot_json());
+  }
+  if (!a.trace_path.empty()) {
+    write_file(a.trace_path, obs::trace_json());
+    if (const auto dropped = obs::trace_dropped()) {
+      std::fprintf(stderr,
+                   "warning: trace ring wrapped, %llu oldest spans dropped\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv);
-    if (a.command == "locate") return cmd_locate(a);
-    if (a.command == "calibrate") return cmd_calibrate(a);
-    if (a.command == "offset") return cmd_offset(a);
-    if (a.command == "simulate") return cmd_simulate(a);
-    if (a.command == "track") return cmd_track(a);
-    if (a.command == "decompose") return cmd_decompose(a);
-    if (a.command == "batch") return cmd_batch(a);
-    usage("unknown command");
+    if (!a.metrics_path.empty()) obs::set_metrics_enabled(true);
+    if (!a.trace_path.empty()) obs::set_tracing_enabled(true);
+    int rc = -1;
+    if (a.command == "locate") rc = cmd_locate(a);
+    else if (a.command == "calibrate") rc = cmd_calibrate(a);
+    else if (a.command == "offset") rc = cmd_offset(a);
+    else if (a.command == "simulate") rc = cmd_simulate(a);
+    else if (a.command == "track") rc = cmd_track(a);
+    else if (a.command == "decompose") rc = cmd_decompose(a);
+    else if (a.command == "batch") rc = cmd_batch(a);
+    else usage("unknown command");
+    if (!write_observability(a) && rc == 0) rc = 1;
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
