@@ -112,7 +112,8 @@ void append_message(CalibrationDiagnostics& diag, const std::string& text) {
 
 CalibrationReport calibrate_antenna_robust(
     const std::vector<sim::PhaseSample>& samples, const Vec3& physical_center,
-    const RobustCalibrationConfig& config) {
+    const RobustCalibrationConfig& config,
+    linalg::SolverWorkspace* workspace) {
   LION_OBS_SPAN(obs::Stage::kCalibrate);
   CalibrationReport report;
   try {
@@ -131,6 +132,7 @@ CalibrationReport calibrate_antenna_robust(
     AdaptiveConfig cfg3 = config.adaptive;
     cfg3.base.target_dim = 3;
     if (!cfg3.base.side_hint) cfg3.base.side_hint = physical_center;
+    if (workspace) cfg3.base.workspace = workspace;
 
     std::size_t scan_rank = 0;
     try {

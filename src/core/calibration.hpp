@@ -128,8 +128,14 @@ struct RobustCalibrationConfig {
 /// adaptive-localize with a consensus solver, fall back from 3D to 2D on
 /// degenerate geometry, and compute the Eq.-17 phase offset. Never throws;
 /// every failure mode maps to a CalibrationStatus with diagnostics.
+///
+/// `workspace` (optional, non-owning) is solver scratch threaded to every
+/// RANSAC/IRLS solve of the run; passing a long-lived workspace makes the
+/// steady-state solver core allocation-free across calls without changing
+/// any result bit. It must not be shared across threads.
 CalibrationReport calibrate_antenna_robust(
     const std::vector<sim::PhaseSample>& samples, const Vec3& physical_center,
-    const RobustCalibrationConfig& config = {});
+    const RobustCalibrationConfig& config = {},
+    linalg::SolverWorkspace* workspace = nullptr);
 
 }  // namespace lion::core

@@ -77,6 +77,7 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
 
   linalg::LstsqResult sol;
   double inlier_fraction = 1.0;
+  bool ws_holds_system = false;  // workspace caches exactly (sys.a, sys.k)
   LION_OBS_SPAN(obs::Stage::kSolve);
   switch (config_.method) {
     case SolveMethod::kLeastSquares:
@@ -91,7 +92,11 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
       break;
     }
     case SolveMethod::kIterativeReweighted:
-      sol = linalg::solve_irls(sys.a, sys.k, config_.irls);
+      sol = config_.workspace
+                ? linalg::solve_irls(sys.a, sys.k, config_.irls,
+                                     *config_.workspace)
+                : linalg::solve_irls(sys.a, sys.k, config_.irls);
+      ws_holds_system = config_.workspace != nullptr;
       break;
     case SolveMethod::kHuberIrls:
     case SolveMethod::kTukeyIrls: {
@@ -99,13 +104,20 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
       irls.loss = config_.method == SolveMethod::kHuberIrls
                       ? linalg::RobustLoss::kHuber
                       : linalg::RobustLoss::kTukey;
-      sol = linalg::solve_irls(sys.a, sys.k, irls);
+      sol = config_.workspace
+                ? linalg::solve_irls(sys.a, sys.k, irls, *config_.workspace)
+                : linalg::solve_irls(sys.a, sys.k, irls);
+      ws_holds_system = config_.workspace != nullptr;
       break;
     }
     case SolveMethod::kRansac: {
-      const auto rr = ransac_solve(sys.a, sys.k, config_.ransac);
+      const auto rr =
+          config_.workspace
+              ? ransac_solve(sys.a, sys.k, config_.ransac, *config_.workspace)
+              : ransac_solve(sys.a, sys.k, config_.ransac);
       sol = rr.solution;
       inlier_fraction = rr.inlier_fraction;
+      ws_holds_system = config_.workspace != nullptr;
       break;
     }
   }
@@ -128,7 +140,16 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
   // (With kRansac the residual vector covers the consensus rows only.)
   if (sol.residuals.size() > sys.a.cols()) {
     try {
-      const linalg::Matrix cov = linalg::inverse(sys.a.gram());
+      // After a workspace-routed solve the workspace still caches this
+      // exact system, so its product-cache gram (bit-exact with
+      // sys.a.gram()) spares a second pass over the full matrix. The
+      // dimension check guards the p > kSmallMaxCols case, where the
+      // solver falls back to the legacy path without loading.
+      const bool ws_gram = ws_holds_system && config_.workspace->loaded() &&
+                           config_.workspace->rows() == sys.a.rows() &&
+                           config_.workspace->cols() == sys.a.cols();
+      const linalg::Matrix cov = linalg::inverse(
+          ws_gram ? config_.workspace->gram_matrix() : sys.a.gram());
       const double dof = static_cast<double>(sol.residuals.size()) -
                          static_cast<double>(sys.a.cols());
       double ss = 0.0;

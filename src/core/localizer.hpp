@@ -68,6 +68,13 @@ struct LocalizerConfig {
 
   /// Consensus-sampling control for kRansac.
   RansacOptions ransac{};
+
+  /// Optional non-owning solver scratch for the RANSAC / IRLS-family
+  /// methods: when set, their per-solve storage comes from this workspace
+  /// instead of the heap (results are bit-identical either way). The
+  /// workspace must outlive the localizer and must not be shared across
+  /// threads; the batch engine wires one per pool worker.
+  linalg::SolverWorkspace* workspace = nullptr;
 };
 
 /// Localization outcome.

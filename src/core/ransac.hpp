@@ -17,6 +17,7 @@
 
 #include "linalg/lstsq.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/small.hpp"
 
 namespace lion::core {
 
@@ -53,5 +54,22 @@ struct RansacResult {
 RansacResult ransac_solve(const linalg::Matrix& a,
                           const std::vector<double>& b,
                           const RansacOptions& options = {});
+
+/// Same solve through a caller-owned SolverWorkspace: bit-identical
+/// results, but for systems with cols <= linalg::kSmallMaxCols every
+/// sampling iteration, score, and refit runs on the workspace's cached
+/// row products and scratch buffers — a warmed workspace makes the whole
+/// consensus loop allocation-free apart from the returned result. The
+/// workspace is (re)loaded with this system.
+RansacResult ransac_solve(const linalg::Matrix& a,
+                          const std::vector<double>& b,
+                          const RansacOptions& options,
+                          linalg::SolverWorkspace& ws);
+
+/// Same, writing into a caller-owned result: reusing `out` across calls
+/// removes the last steady-state allocations (mask + solution vectors).
+void ransac_solve(const linalg::Matrix& a, const std::vector<double>& b,
+                  const RansacOptions& options, linalg::SolverWorkspace& ws,
+                  RansacResult& out);
 
 }  // namespace lion::core

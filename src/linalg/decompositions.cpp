@@ -8,10 +8,6 @@
 
 namespace lion::linalg {
 
-namespace {
-constexpr double kSingularTol = 1e-13;
-}  // namespace
-
 // ---------------------------------------------------------------- Cholesky
 
 std::optional<Cholesky> Cholesky::factor(const Matrix& a) {

@@ -14,6 +14,12 @@
 
 namespace lion::linalg {
 
+/// Pivot / R-diagonal magnitude below which a system is treated as
+/// singular (PartialPivLU::factor rejects, HouseholderQR::solve throws).
+/// Exported so the non-throwing small-system kernels can classify rank
+/// deficiency with exactly the same cutoff.
+inline constexpr double kSingularTol = 1e-13;
+
 /// Cholesky factorization A = L * L^T of a symmetric positive-definite
 /// matrix. Factorization fails (returns nullopt) when A is not SPD within
 /// numerical tolerance.

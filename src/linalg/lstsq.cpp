@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "linalg/decompositions.hpp"
+#include "linalg/small.hpp"
 #include "linalg/stats.hpp"
 #include "obs/obs.hpp"
 
@@ -53,6 +55,18 @@ std::vector<double> solve_normal_or_qr(const Matrix& a,
 
 }  // namespace
 
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kUnderdetermined:
+      return "underdetermined";
+    case SolveStatus::kRankDeficient:
+      return "rank_deficient";
+  }
+  return "unknown";
+}
+
 LstsqResult solve_least_squares(const Matrix& a,
                                 const std::vector<double>& b) {
   if (b.size() != a.rows()) {
@@ -63,6 +77,39 @@ LstsqResult solve_least_squares(const Matrix& a,
   out.weights.assign(a.rows(), 1.0);
   finalize(a, b, out);
   return out;
+}
+
+std::vector<double> solve_least_squares_solution(const Matrix& a,
+                                                 const std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  }
+  return solve_normal_or_qr(a, b, nullptr);
+}
+
+SolveStatus try_solve_least_squares(const Matrix& a,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& x) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  }
+  if (a.rows() < a.cols()) return SolveStatus::kUnderdetermined;
+  const Matrix gram = a.gram();
+  const std::vector<double> rhs = a.transpose_multiply(b);
+  if (const auto chol = Cholesky::factor(gram)) {
+    x = chol->solve(rhs);
+    return SolveStatus::kOk;
+  }
+  // Same QR fallback as solve_normal_or_qr, but the rank-deficiency it
+  // would signal by throwing is detected from the R diagonal up front
+  // (|R_ii| < kSingularTol is exactly HouseholderQR::solve's throw
+  // condition, so the two paths accept the same systems).
+  HouseholderQR qr(a);
+  for (const double d : qr.r_diagonal()) {
+    if (d < kSingularTol) return SolveStatus::kRankDeficient;
+  }
+  x = qr.solve(b);
+  return SolveStatus::kOk;
 }
 
 LstsqResult solve_weighted_least_squares(const Matrix& a,
@@ -125,7 +172,13 @@ std::vector<double> robust_residual_weights(
   auto w = weights_for(loss);
   double total = 0.0;
   for (double wi : w) total += wi;
-  if (total <= min_sigma) w = weights_for(RobustLoss::kHuber);
+  // Feasibility gate: if the loss rejected essentially every row, retry
+  // with Huber (never zero). The threshold is on the *mean* weight — a
+  // dimensionless quantity — not on min_sigma, which is a residual-scale
+  // floor in metres and happens to share the 1e-12 default.
+  if (total <= kMinMeanRobustWeight * static_cast<double>(w.size())) {
+    w = weights_for(RobustLoss::kHuber);
+  }
   return w;
 }
 
@@ -183,6 +236,212 @@ LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
   current.converged = false;
   note_irls_outcome(current);
   return current;
+}
+
+// --------------------------------------------------------------------------
+// Workspace path: the same IRLS, operation for operation, over the rows a
+// mask selects from the system cached in a SolverWorkspace. Steady state
+// (warm workspace, reused result) performs no heap allocation; only the
+// rare Cholesky-reject -> QR fallback materializes the subsystem.
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Solve the (optionally weighted) normal equations of the masked subsystem
+// with the small kernels; `weights[k]` weights the k-th *selected* row.
+// Mirrors solve_normal_or_qr on the materialized subsystem.
+SolveStatus small_solve_masked(const SolverWorkspace& ws, const char* mask,
+                               std::size_t count, const double* weights,
+                               double* x) {
+  const std::size_t p = ws.cols();
+  if (count < p) return SolveStatus::kUnderdetermined;
+  SmallGram g;
+  g.reset(p);
+  double rhs[kSmallMaxCols] = {0.0, 0.0, 0.0, 0.0};
+  if (weights) {
+    accumulate_weighted_masked(ws, mask, weights, g, rhs);
+  } else {
+    accumulate_masked(ws, mask, g, rhs);
+  }
+  g.mirror();
+  SmallCholesky chol;
+  if (small_cholesky_factor(g, chol)) {
+    small_cholesky_solve(chol, rhs, x);
+    return SolveStatus::kOk;
+  }
+  // Normal equations rejected: QR on the (row-scaled, for WLS) subsystem,
+  // with the rank-deficiency throw turned into a status via the same
+  // |R_ii| < kSingularTol cutoff.
+  Matrix design(count, p);
+  std::vector<double> target(count);
+  std::size_t sel = 0;
+  for (std::size_t r = 0; r < ws.rows(); ++r) {
+    if (mask && !mask[r]) continue;
+    const double* row = ws.row(r);
+    for (std::size_t c = 0; c < p; ++c) design(sel, c) = row[c];
+    target[sel] = ws.rhs(r);
+    if (weights) {
+      const double s = std::sqrt(std::max(0.0, weights[sel]));
+      for (std::size_t c = 0; c < p; ++c) design(sel, c) *= s;
+      target[sel] *= s;
+    }
+    ++sel;
+  }
+  const HouseholderQR qr(std::move(design));
+  for (const double d : qr.r_diagonal()) {
+    if (d < kSingularTol) return SolveStatus::kRankDeficient;
+  }
+  const auto xs = qr.solve(target);
+  for (std::size_t c = 0; c < p; ++c) x[c] = xs[c];
+  return SolveStatus::kOk;
+}
+
+// finalize() over the masked subsystem: residuals, mean, rms.
+void finalize_masked(const SolverWorkspace& ws, const char* mask,
+                     std::size_t count, LstsqResult& out) {
+  const std::size_t p = ws.cols();
+  out.residuals.resize(count);
+  std::size_t sel = 0;
+  for (std::size_t r = 0; r < ws.rows(); ++r) {
+    if (mask && !mask[r]) continue;
+    const double* row = ws.row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < p; ++c) s += row[c] * out.x[c];
+    out.residuals[sel++] = s - ws.rhs(r);
+  }
+  out.mean_residual = mean(out.residuals);
+  double ss = 0.0;
+  for (double r : out.residuals) ss += r * r;
+  out.rms_residual =
+      out.residuals.empty()
+          ? 0.0
+          : std::sqrt(ss / static_cast<double>(out.residuals.size()));
+}
+
+// robust_residual_weights / gaussian_residual_weights into ws.weights,
+// using the workspace scratch instead of fresh vectors.
+void robust_weights_into_ws(SolverWorkspace& ws,
+                            const std::vector<double>& residuals,
+                            RobustLoss loss, double tuning, double min_sigma) {
+  const std::size_t n = residuals.size();
+  ws.weights.resize(n);
+  if (loss == RobustLoss::kGaussian) {
+    const double mu = mean(residuals);
+    const double sigma = std::max(stddev(residuals), min_sigma);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = (residuals[i] - mu) / sigma;
+      ws.weights[i] = std::exp(-0.5 * z * z);
+    }
+    return;
+  }
+  if (n == 0) return;
+  ws.median_scratch.resize(n);
+  std::copy(residuals.begin(), residuals.end(), ws.median_scratch.begin());
+  const double med = median_in_place(ws.median_scratch.data(),
+                                     ws.median_scratch.data() + n);
+  ws.abs_dev.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.abs_dev[i] = std::abs(residuals[i] - med);
+  }
+  const double sigma =
+      std::max(1.4826 * median_in_place(ws.abs_dev.data(), ws.abs_dev.data() + n),
+               min_sigma);
+  const double c = tuning > 0.0
+                       ? tuning
+                       : (loss == RobustLoss::kHuber ? 1.345 : 4.685);
+  auto fill = [&](RobustLoss l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = std::abs(residuals[i] - med) / sigma;
+      if (l == RobustLoss::kHuber) {
+        ws.weights[i] = z <= c ? 1.0 : c / z;
+      } else {  // Tukey biweight
+        const double u = z / c;
+        ws.weights[i] = u < 1.0 ? (1.0 - u * u) * (1.0 - u * u) : 0.0;
+      }
+    }
+  };
+  fill(loss);
+  double total = 0.0;
+  for (double wi : ws.weights) total += wi;
+  if (total <= kMinMeanRobustWeight * static_cast<double>(n)) {
+    fill(RobustLoss::kHuber);
+  }
+}
+
+}  // namespace
+
+SolveStatus solve_irls_masked(SolverWorkspace& ws, const char* mask,
+                              std::size_t count, const IrlsOptions& options,
+                              LstsqResult& out) {
+  LION_OBS_SPAN(obs::Stage::kIrls);
+  const std::size_t p = ws.cols();
+  double x[kSmallMaxCols];
+  // OLS seed (the classic path's solve_least_squares).
+  SolveStatus st = small_solve_masked(ws, mask, count, nullptr, x);
+  if (st != SolveStatus::kOk) return st;
+  out.x.resize(p);
+  std::copy(x, x + p, out.x.begin());
+  out.weights.assign(count, 1.0);
+  finalize_masked(ws, mask, count, out);
+  out.iterations = 0;
+  out.converged = true;
+
+  LstsqResult* cur = &out;
+  LstsqResult* nxt = &ws.irls_scratch;
+  bool converged = false;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    robust_weights_into_ws(ws, cur->residuals, options.loss, options.tuning,
+                           options.min_sigma);
+    st = small_solve_masked(ws, mask, count, ws.weights.data(), x);
+    if (st != SolveStatus::kOk) return st;
+    nxt->x.resize(p);
+    std::copy(x, x + p, nxt->x.begin());
+    nxt->weights.resize(count);
+    std::copy(ws.weights.begin(), ws.weights.end(), nxt->weights.begin());
+    finalize_masked(ws, mask, count, *nxt);
+    nxt->iterations = iter + 1;
+    nxt->converged = true;
+    double delta = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      delta = std::max(delta, std::abs(nxt->x[i] - cur->x[i]));
+    }
+    std::swap(cur, nxt);
+    if (delta < options.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+  cur->converged = converged;
+  note_irls_outcome(*cur);
+  if (cur != &out) std::swap(out, ws.irls_scratch);
+  return SolveStatus::kOk;
+}
+
+void solve_irls(const Matrix& a, const std::vector<double>& b,
+                const IrlsOptions& options, SolverWorkspace& ws,
+                LstsqResult& out) {
+  if (a.cols() == 0 || a.cols() > kSmallMaxCols) {
+    out = solve_irls(a, b, options);
+    return;
+  }
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  }
+  ws.load(a, b);
+  const SolveStatus st = solve_irls_masked(ws, nullptr, a.rows(), options, out);
+  if (st == SolveStatus::kUnderdetermined) {
+    throw std::domain_error("least squares: underdetermined system");
+  }
+  if (st != SolveStatus::kOk) {
+    throw std::domain_error("HouseholderQR::solve: rank deficient");
+  }
+}
+
+LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
+                       const IrlsOptions& options, SolverWorkspace& ws) {
+  LstsqResult out;
+  solve_irls(a, b, options, ws, out);
+  return out;
 }
 
 }  // namespace lion::linalg

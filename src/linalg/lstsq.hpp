@@ -25,10 +25,44 @@ struct LstsqResult {
   bool converged = true;          ///< false if iteration cap was hit
 };
 
+/// Non-throwing solver outcome for the hot-path entry points. The classic
+/// solvers signal these by throwing std::domain_error; inside the RANSAC
+/// sampling loop a degenerate subset is an *expected* event, so the
+/// status-returning variants make it a counted branch instead.
+enum class SolveStatus {
+  kOk,               ///< solution written
+  kUnderdetermined,  ///< fewer (selected) rows than unknowns
+  kRankDeficient,    ///< Cholesky failed and QR found |R_ii| < kSingularTol
+};
+
+/// Stable short name ("ok", "underdetermined", "rank_deficient").
+const char* solve_status_name(SolveStatus status);
+
+/// Scratch + row-product cache for the zero-allocation small-system path;
+/// defined in linalg/small.hpp.
+class SolverWorkspace;
+
 /// Ordinary least squares via the normal equations (Cholesky fast path, QR
 /// fallback for ill-conditioned systems). Throws std::domain_error when the
 /// system is rank deficient.
 LstsqResult solve_least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Solution-only ordinary least squares: identical x to
+/// solve_least_squares (same solve, same throws) without the residual /
+/// mean / rms diagnostics — for callers like the RANSAC sampling loop
+/// that discard everything but x.
+std::vector<double> solve_least_squares_solution(const Matrix& a,
+                                                 const std::vector<double>& b);
+
+/// Non-throwing solution-only least squares. Writes x and returns kOk, or
+/// returns a failure status exactly when solve_least_squares would throw
+/// std::domain_error (kUnderdetermined for rows < cols, kRankDeficient
+/// when both Cholesky and QR reject the system). Still throws
+/// std::invalid_argument on a rhs size mismatch — that is a caller bug,
+/// not a data property.
+SolveStatus try_solve_least_squares(const Matrix& a,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& x);
 
 /// Weighted least squares with fixed per-row weights.
 LstsqResult solve_weighted_least_squares(const Matrix& a,
@@ -61,16 +95,49 @@ struct IrlsOptions {
 LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
                        const IrlsOptions& options = {});
 
+/// IRLS through a SolverWorkspace: bit-identical results to the overload
+/// above (same operations in the same order), but for systems with
+/// cols <= kSmallMaxCols all per-iteration storage comes from the
+/// workspace, so a warmed workspace makes repeated solves allocation-free
+/// outside the returned result. Wider systems fall through to the classic
+/// path. Note: (re)loads `ws` with this system.
+LstsqResult solve_irls(const Matrix& a, const std::vector<double>& b,
+                       const IrlsOptions& options, SolverWorkspace& ws);
+
+/// Same, writing into a caller-owned result (reuse `out` across calls to
+/// avoid the result-vector allocations too).
+void solve_irls(const Matrix& a, const std::vector<double>& b,
+                const IrlsOptions& options, SolverWorkspace& ws,
+                LstsqResult& out);
+
+/// Non-throwing IRLS over the rows of the system *already loaded* into
+/// `ws` that `mask` selects (mask == nullptr selects all rows; `count`
+/// must equal the number of selected rows). Equivalent to solve_irls on
+/// the materialized row-subset system — bit-identical x / residuals /
+/// weights / diagnostics — but allocation-free once `ws` and `out` are
+/// warm, and returning a status where the classic path would throw
+/// std::domain_error. On a non-kOk status `out` is unspecified.
+SolveStatus solve_irls_masked(SolverWorkspace& ws, const char* mask,
+                              std::size_t count, const IrlsOptions& options,
+                              LstsqResult& out);
+
 /// The paper's Eq. (15) weight vector for a given residual vector.
 std::vector<double> gaussian_residual_weights(
     const std::vector<double>& residuals, double min_sigma = 1e-12);
+
+/// Minimum *mean* robust weight (weight mass / rows) below which a
+/// hard-rejecting loss is considered to have zeroed the system and the
+/// Huber weights are used instead. Dimensionless, unlike the residual
+/// scale floor min_sigma.
+inline constexpr double kMinMeanRobustWeight = 1e-12;
 
 /// Robust weight vector for a residual vector. Residuals are centred on
 /// their median and scaled by the MAD-based robust sigma (1.4826 * MAD,
 /// floored at min_sigma) so a minority of arbitrarily large outliers
 /// cannot inflate the scale the way they inflate a standard deviation.
-/// If a hard-rejecting loss (Tukey) zeroes every row, the Huber weights
-/// are returned instead so the solve stays feasible.
+/// If a hard-rejecting loss (Tukey) zeroes every row (mean weight below
+/// kMinMeanRobustWeight), the Huber weights are returned instead so the
+/// solve stays feasible.
 std::vector<double> robust_residual_weights(
     const std::vector<double>& residuals, RobustLoss loss,
     double tuning = 0.0, double min_sigma = 1e-12);

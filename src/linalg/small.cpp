@@ -1,0 +1,233 @@
+#include "linalg/small.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.hpp"
+
+namespace lion::linalg {
+
+bool small_cholesky_factor(const SmallGram& a, SmallCholesky& out) {
+  // Mirrors Cholesky::factor operation for operation.
+  const std::size_t n = a.p;
+  out.p = n;
+  for (std::size_t i = 0; i < kSmallMaxCols; ++i) {
+    for (std::size_t j = 0; j < kSmallMaxCols; ++j) out.l[i][j] = 0.0;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a.g[j][j];
+    for (std::size_t k = 0; k < j; ++k) d -= out.l[j][k] * out.l[j][k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    out.l[j][j] = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a.g[i][j];
+      for (std::size_t k = 0; k < j; ++k) s -= out.l[i][k] * out.l[j][k];
+      out.l[i][j] = s / out.l[j][j];
+    }
+  }
+  return true;
+}
+
+void small_cholesky_solve(const SmallCholesky& chol, const double* b,
+                          double* x) {
+  // Mirrors Cholesky::solve: forward L y = b, then back L^T x = y.
+  const std::size_t n = chol.p;
+  double y[kSmallMaxCols];
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= chol.l[i][k] * y[k];
+    y[i] = s / chol.l[i][i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= chol.l[k][ii] * x[k];
+    x[ii] = s / chol.l[ii][ii];
+  }
+}
+
+SolveStatus small_qr_solve(double a[][kSmallMaxCols], double* b,
+                           std::size_t m, std::size_t p, double* x) {
+  if (m < p) return SolveStatus::kUnderdetermined;
+  // Mirrors the HouseholderQR constructor on the m x p block of `a`.
+  double beta[kSmallMaxCols] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t k = 0; k < p; ++k) {
+    double norm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm2 += a[i][k] * a[i][k];
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;
+    const double alpha = a[k][k] >= 0 ? -norm : norm;
+    const double v0 = a[k][k] - alpha;
+    const double vnorm2 = v0 * v0 + (norm2 - a[k][k] * a[k][k]);
+    if (vnorm2 == 0.0) continue;
+    beta[k] = 2.0 * v0 * v0 / vnorm2;
+    for (std::size_t i = k + 1; i < m; ++i) a[i][k] /= v0;
+    a[k][k] = alpha;
+    for (std::size_t j = k + 1; j < p; ++j) {
+      double s = a[k][j];
+      for (std::size_t i = k + 1; i < m; ++i) s += a[i][k] * a[i][j];
+      s *= beta[k];
+      a[k][j] -= s;
+      for (std::size_t i = k + 1; i < m; ++i) a[i][j] -= s * a[i][k];
+    }
+  }
+  // HouseholderQR::solve throws exactly when some |R_ii| < kSingularTol;
+  // checking the whole diagonal up front turns that into a status without
+  // changing which systems succeed (the partial back-substitution the
+  // throwing path performs first is discarded either way).
+  for (std::size_t i = 0; i < p; ++i) {
+    if (std::abs(a[i][i]) < kSingularTol) return SolveStatus::kRankDeficient;
+  }
+  // Mirrors HouseholderQR::solve: apply Q^T to b, then back-substitute.
+  for (std::size_t k = 0; k < p; ++k) {
+    if (beta[k] == 0.0) continue;
+    double s = b[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += a[i][k] * b[i];
+    s *= beta[k];
+    b[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * a[i][k];
+  }
+  for (std::size_t ii = p; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < p; ++k) s -= a[ii][k] * x[k];
+    x[ii] = s / a[ii][ii];
+  }
+  return SolveStatus::kOk;
+}
+
+void SolverWorkspace::load(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  const std::size_t p = a.cols();
+  if (p == 0 || p > kSmallMaxCols) {
+    throw std::invalid_argument(
+        "SolverWorkspace::load: cols outside [1, kSmallMaxCols]");
+  }
+  if (b.size() != n) {
+    throw std::invalid_argument("SolverWorkspace::load: rhs size mismatch");
+  }
+  n_ = n;
+  p_ = p;
+  packed_ = p * (p + 1) / 2;
+  rows_.resize(n * p);
+  products_.resize(n * packed_);
+  rhsp_.resize(n * p);
+  b_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* src = a.row_data(r);
+    double* row = rows_.data() + r * p;
+    double* prod = products_.data() + r * packed_;
+    double* rhsp = rhsp_.data() + r * p;
+    const double br = b[r];
+    for (std::size_t c = 0; c < p; ++c) row[c] = src[c];
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double ri = row[i];
+      for (std::size_t j = i; j < p; ++j) prod[k++] = ri * row[j];
+      rhsp[i] = row[i] * br;
+    }
+    b_[r] = br;
+  }
+}
+
+Matrix SolverWorkspace::gram_matrix() const {
+  if (!loaded()) {
+    throw std::logic_error("SolverWorkspace::gram_matrix: nothing loaded");
+  }
+  SmallGram g;
+  g.reset(p_);
+  double rhs[kSmallMaxCols] = {0.0, 0.0, 0.0, 0.0};
+  accumulate_masked(*this, nullptr, g, rhs);
+  g.mirror();
+  Matrix out(p_, p_);
+  for (std::size_t i = 0; i < p_; ++i) {
+    for (std::size_t j = 0; j < p_; ++j) out(i, j) = g.g[i][j];
+  }
+  return out;
+}
+
+// The three accumulators below sum per-row contributions exactly as
+// Matrix::gram / transpose_multiply / weighted_gram /
+// weighted_transpose_multiply do over the corresponding row-subset
+// matrix. The unweighted forms add the cached products unconditionally
+// where the Matrix code skips zero terms — for finite inputs adding a
+// (+/-)0.0 product never changes an accumulator that started at +0.0
+// (and can never round to -0.0), so the sums are bit-identical. The
+// weighted form cannot use the product cache at all (w*(a_i*a_j) rounds
+// differently from (w*a_i)*a_j); it keeps the legacy per-term expressions
+// ((w * a_i) * a_j, a_c * (w * b)) over the cached raw rows. The legacy
+// `w != 0` / `w * a_i == 0` guards only ever skip (+/-)0.0 contributions,
+// so by the same zero-identity argument the straight-line form below is
+// bit-identical too — and, with the column count a template constant, it
+// unrolls and vectorizes.
+
+void accumulate_rows(const SolverWorkspace& ws, const std::size_t* rows,
+                     std::size_t m, SmallGram& g, double* rhs) {
+  const std::size_t p = ws.cols();
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* prod = ws.products(rows[r]);
+    const double* rhsp = ws.rhs_products(rows[r]);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i; j < p; ++j) g.g[i][j] += prod[k++];
+    }
+    for (std::size_t c = 0; c < p; ++c) rhs[c] += rhsp[c];
+  }
+}
+
+void accumulate_masked(const SolverWorkspace& ws, const char* mask,
+                       SmallGram& g, double* rhs) {
+  const std::size_t p = ws.cols();
+  for (std::size_t r = 0; r < ws.rows(); ++r) {
+    if (mask && !mask[r]) continue;
+    const double* prod = ws.products(r);
+    const double* rhsp = ws.rhs_products(r);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i; j < p; ++j) g.g[i][j] += prod[k++];
+    }
+    for (std::size_t c = 0; c < p; ++c) rhs[c] += rhsp[c];
+  }
+}
+
+namespace {
+
+template <std::size_t P>
+void accumulate_weighted_masked_impl(const SolverWorkspace& ws,
+                                     const char* mask, const double* w,
+                                     SmallGram& g, double* rhs) {
+  std::size_t sel = 0;
+  for (std::size_t r = 0; r < ws.rows(); ++r) {
+    if (mask && !mask[r]) continue;
+    const double* row = ws.row(r);
+    const double wr = w[sel];
+    const double wv = wr * ws.rhs(r);
+    ++sel;
+    double wrow[P];
+    for (std::size_t i = 0; i < P; ++i) wrow[i] = wr * row[i];
+    for (std::size_t i = 0; i < P; ++i) {
+      for (std::size_t j = i; j < P; ++j) g.g[i][j] += wrow[i] * row[j];
+    }
+    for (std::size_t c = 0; c < P; ++c) rhs[c] += row[c] * wv;
+  }
+}
+
+}  // namespace
+
+void accumulate_weighted_masked(const SolverWorkspace& ws, const char* mask,
+                                const double* w, SmallGram& g, double* rhs) {
+  switch (ws.cols()) {
+    case 1:
+      accumulate_weighted_masked_impl<1>(ws, mask, w, g, rhs);
+      return;
+    case 2:
+      accumulate_weighted_masked_impl<2>(ws, mask, w, g, rhs);
+      return;
+    case 3:
+      accumulate_weighted_masked_impl<3>(ws, mask, w, g, rhs);
+      return;
+    default:
+      accumulate_weighted_masked_impl<4>(ws, mask, w, g, rhs);
+      return;
+  }
+}
+
+}  // namespace lion::linalg

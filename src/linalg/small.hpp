@@ -1,0 +1,177 @@
+// Zero-allocation small-matrix kernels for the RANSAC/IRLS hot path.
+//
+// Every LION system is tall-skinny: N radical-line equations over at most
+// four unknowns (frame coordinates plus the reference distance d_r). The
+// general Matrix/Cholesky/QR classes solve it correctly but heap-allocate
+// a gram matrix, a factor, and several result vectors per solve — and the
+// consensus sampler performs hundreds of such solves per calibration. The
+// kernels here are the fixed-capacity, stack-allocated, *non-throwing*
+// counterparts, built around one contract:
+//
+//   Bit-exactness. Each kernel performs the same floating-point
+//   operations in the same order as the general-path code it replaces
+//   (Matrix::gram / weighted_gram / transpose_multiply, Cholesky::factor
+//   / solve, HouseholderQR), so a solver that switches between the two
+//   paths produces byte-identical calibration reports. The engine
+//   determinism and golden-CSV suites referee this contract; the
+//   randomized kernel tests in tests/linalg/test_small.cpp assert exact
+//   (==) agreement, not just closeness.
+//
+// The SolverWorkspace carries per-row caches of the loaded system:
+//   - packed symmetric outer products P_r = upper(a_r a_r^T) and rhs
+//     products q_r = a_r * b_r, summable in row order into an unweighted
+//     gram / A^T b with exactly the legacy rounding (used by every
+//     RANSAC minimal-subset solve and every OLS seed solve);
+//   - the raw rows and b, for the *weighted* accumulations, which must
+//     keep the legacy (w * a_i) * a_j multiplication order — caching the
+//     product a_i * a_j first would associate differently and break
+//     bit-exactness, so weighted grams re-read the cached rows instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+
+namespace lion::linalg {
+
+/// Widest system the small kernels accept (LION solves p in {2, 3, 4}).
+inline constexpr std::size_t kSmallMaxCols = 4;
+
+/// Rows of a RANSAC minimal subset at the widest system (p + 1).
+inline constexpr std::size_t kSmallMaxMinimalRows = kSmallMaxCols + 1;
+
+/// Packed length of the upper triangle of a kSmallMaxCols-wide gram.
+inline constexpr std::size_t kSmallMaxPacked =
+    kSmallMaxCols * (kSmallMaxCols + 1) / 2;
+
+/// Fixed-capacity symmetric p x p accumulator (a gram matrix in the
+/// making). accumulate fills the upper triangle in the same (i, j >= i)
+/// order as Matrix::gram; mirror() copies it down, after which the full
+/// array is valid for the Cholesky kernel (which reads the lower half).
+struct SmallGram {
+  std::size_t p = 0;
+  double g[kSmallMaxCols][kSmallMaxCols];
+
+  void reset(std::size_t cols) {
+    p = cols;
+    for (std::size_t i = 0; i < kSmallMaxCols; ++i) {
+      for (std::size_t j = 0; j < kSmallMaxCols; ++j) g[i][j] = 0.0;
+    }
+  }
+  void mirror() {
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < i; ++j) g[i][j] = g[j][i];
+    }
+  }
+};
+
+/// Stack-allocated Cholesky factor L of a SmallGram.
+struct SmallCholesky {
+  std::size_t p = 0;
+  double l[kSmallMaxCols][kSmallMaxCols];
+};
+
+/// Factor a mirrored SmallGram; false when not SPD within tolerance
+/// (same accept/reject condition as Cholesky::factor returning nullopt).
+bool small_cholesky_factor(const SmallGram& a, SmallCholesky& out);
+
+/// Solve L L^T x = b from a successful factorization.
+void small_cholesky_solve(const SmallCholesky& chol, const double* b,
+                          double* x);
+
+/// Non-throwing Householder-QR least squares for an m x p system with
+/// m <= kSmallMaxMinimalRows (the RANSAC minimal subsets). `a` and `b`
+/// are scratch and are destroyed. Mirrors HouseholderQR's reflector
+/// construction and solve bit-for-bit; returns kRankDeficient exactly
+/// when the general path would throw.
+SolveStatus small_qr_solve(double a[][kSmallMaxCols], double* b,
+                           std::size_t m, std::size_t p, double* x);
+
+/// Reusable scratch for the consensus/IRLS solver stack. One workspace
+/// per thread (the batch engine keeps one per pool worker); load() caches
+/// a system's rows and per-row products, and the public buffers back
+/// every intermediate the solvers need. All storage grows geometrically
+/// and never shrinks, so a warmed workspace makes the steady-state
+/// solve loop allocation-free (asserted by tests/perf/test_alloc.cpp).
+///
+/// A workspace never affects results — solves through a workspace are
+/// bit-identical to the allocating general path.
+class SolverWorkspace {
+ public:
+  SolverWorkspace() = default;
+  SolverWorkspace(const SolverWorkspace&) = delete;
+  SolverWorkspace& operator=(const SolverWorkspace&) = delete;
+
+  /// Cache system (a, b): raw rows, b, packed outer products, rhs
+  /// products. Requires a.cols() <= kSmallMaxCols and b.size() ==
+  /// a.rows() (throws std::invalid_argument otherwise).
+  void load(const Matrix& a, const std::vector<double>& b);
+
+  std::size_t rows() const { return n_; }
+  std::size_t cols() const { return p_; }
+  std::size_t packed_size() const { return packed_; }
+  bool loaded() const { return p_ != 0; }
+
+  /// Row r of the cached design matrix (cols() entries).
+  const double* row(std::size_t r) const { return rows_.data() + r * p_; }
+  /// Packed upper-triangle outer product of row r (packed_size() entries,
+  /// (i, j >= i) row-major — the accumulation order of Matrix::gram).
+  const double* products(std::size_t r) const {
+    return products_.data() + r * packed_;
+  }
+  /// Per-row rhs products q_r(c) = a(r, c) * b(r) (cols() entries).
+  const double* rhs_products(std::size_t r) const {
+    return rhsp_.data() + r * p_;
+  }
+  double rhs(std::size_t r) const { return b_[r]; }
+
+  /// A^T A of the loaded system, summed from the cached products —
+  /// bit-exact with Matrix::gram() on the loaded matrix, without
+  /// re-reading it (used by the GDOP diagnostics after a workspace
+  /// solve). Requires loaded().
+  Matrix gram_matrix() const;
+
+  // Scratch buffers, resized (never shrunk) by the solver routines.
+  std::vector<double> residuals;       ///< candidate residuals (RANSAC)
+  std::vector<double> best_residuals;  ///< best-so-far residuals (RANSAC)
+  std::vector<double> squared;         ///< generic squared-value scratch
+  std::vector<double> median_scratch;  ///< median_in_place victim buffer
+  std::vector<double> abs_dev;         ///< MAD deviations (robust weights)
+  std::vector<double> weights;         ///< per-row IRLS weights
+  std::vector<std::size_t> indices;    ///< Fisher-Yates subset sampler
+  LstsqResult irls_scratch;            ///< IRLS double-buffer slot
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t p_ = 0;
+  std::size_t packed_ = 0;
+  std::vector<double> rows_;
+  std::vector<double> products_;
+  std::vector<double> rhsp_;
+  std::vector<double> b_;
+};
+
+/// g += sum of cached outer products of `rows[0..m)` (in that order) and
+/// rhs[c] += the matching rhs products — the unweighted normal equations
+/// of the row subset, bit-exact with Matrix::gram / transpose_multiply
+/// on the gathered submatrix. `g` must be reset to ws.cols() and `rhs`
+/// zeroed by the caller; call g.mirror() afterwards.
+void accumulate_rows(const SolverWorkspace& ws, const std::size_t* rows,
+                     std::size_t m, SmallGram& g, double* rhs);
+
+/// Same over the rows selected by `mask` (mask == nullptr selects every
+/// row), in increasing row order.
+void accumulate_masked(const SolverWorkspace& ws, const char* mask,
+                       SmallGram& g, double* rhs);
+
+/// Weighted normal equations over the masked rows: w[k] is the weight of
+/// the k-th *selected* row. Keeps the legacy multiplication order
+/// ((w * a_i) * a_j and a_c * (w * b)) by reading the cached raw rows, so
+/// the result is bit-exact with Matrix::weighted_gram /
+/// weighted_transpose_multiply on the materialized subsystem.
+void accumulate_weighted_masked(const SolverWorkspace& ws, const char* mask,
+                                const double* w, SmallGram& g, double* rhs);
+
+}  // namespace lion::linalg

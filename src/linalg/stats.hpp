@@ -19,6 +19,11 @@ double variance(const std::vector<double>& v);
 /// Median (average of middle two for even sizes). Throws on empty input.
 double median(std::vector<double> v);
 
+/// Median of [first, last), partially reordering the range in place (the
+/// allocation-free form of median() for callers that own a scratch
+/// buffer). Same selection, same result. Throws on an empty range.
+double median_in_place(double* first, double* last);
+
 /// p-th percentile in [0, 100] with linear interpolation. Throws on empty
 /// input or p outside [0, 100].
 double percentile(std::vector<double> v, double p);

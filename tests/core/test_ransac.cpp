@@ -8,6 +8,7 @@
 
 #include "core/ransac.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "rf/rng.hpp"
 
 namespace lion {
@@ -102,6 +103,74 @@ TEST(Ransac, DeterministicForFixedSeed) {
   EXPECT_EQ(r1.solution.x[0], r2.solution.x[0]);
   EXPECT_EQ(r1.solution.x[1], r2.solution.x[1]);
   EXPECT_EQ(r1.inlier_fraction, r2.inlier_fraction);
+}
+
+TEST(Ransac, WorkspacePathBitIdenticalToDefaultPath) {
+  linalg::SolverWorkspace ws;
+  // Reuse the workspace across several unrelated systems: reuse must not
+  // leak state between solves.
+  for (std::uint64_t seed : {5, 6, 7}) {
+    const auto p = line_problem(100, 0.3, seed);
+    const auto ref = core::ransac_solve(p.a, p.b);
+    const auto got = core::ransac_solve(p.a, p.b, {}, ws);
+    ASSERT_TRUE(got.consensus);
+    EXPECT_EQ(got.solution.x, ref.solution.x);
+    EXPECT_EQ(got.solution.residuals, ref.solution.residuals);
+    EXPECT_EQ(got.solution.weights, ref.solution.weights);
+    EXPECT_EQ(got.solution.mean_residual, ref.solution.mean_residual);
+    EXPECT_EQ(got.solution.rms_residual, ref.solution.rms_residual);
+    EXPECT_EQ(got.solution.iterations, ref.solution.iterations);
+    EXPECT_EQ(got.inlier_mask, ref.inlier_mask);
+    EXPECT_EQ(got.inlier_fraction, ref.inlier_fraction);
+    EXPECT_EQ(got.iterations, ref.iterations);
+    EXPECT_EQ(got.consensus, ref.consensus);
+
+    // The caller-owned-result overload matches too.
+    core::RansacResult out;
+    core::ransac_solve(p.a, p.b, {}, ws, out);
+    EXPECT_EQ(out.solution.x, ref.solution.x);
+    EXPECT_EQ(out.inlier_mask, ref.inlier_mask);
+  }
+}
+
+TEST(Ransac, DegenerateSubsetsAreCountedNotThrown) {
+  // 15 of 20 rows are copies of one row: a minimal subset drawn from the
+  // duplicated block is rank deficient. The sampling loop must classify
+  // and count those draws (ransac.degenerate_subsets) instead of burning
+  // an exception per draw, and still produce a finite answer.
+  const std::size_t n = 20;
+  linalg::Matrix a(n, 2);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < 15) {
+      a(i, 0) = 1.0;
+      a(i, 1) = 1.0;
+      b[i] = -1.0;
+    } else {
+      const double x = static_cast<double>(i);
+      a(i, 0) = x;
+      a(i, 1) = 1.0;
+      b[i] = 2.0 * x - 3.0;
+    }
+  }
+
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  const auto r = core::ransac_solve(a, b);
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  obs::set_metrics_enabled(false);
+
+  ASSERT_EQ(r.solution.x.size(), 2u);
+  EXPECT_TRUE(std::isfinite(r.solution.x[0]));
+  EXPECT_TRUE(std::isfinite(r.solution.x[1]));
+
+  std::uint64_t degenerate = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "ransac.degenerate_subsets") degenerate = value;
+  }
+  // P(all-duplicate 3-row subset) ~ 0.34 per iteration; over 64 seeded
+  // iterations at least one degenerate draw is certain in practice.
+  EXPECT_GT(degenerate, 0u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "linalg/small.hpp"
 #include "linalg/stats.hpp"
 
 namespace lion::linalg {
@@ -242,6 +243,172 @@ TEST(RobustLossNames, AreStable) {
   EXPECT_STREQ(robust_loss_name(RobustLoss::kGaussian), "gaussian");
   EXPECT_STREQ(robust_loss_name(RobustLoss::kHuber), "huber");
   EXPECT_STREQ(robust_loss_name(RobustLoss::kTukey), "tukey");
+}
+
+TEST(SolveStatusNames, AreStable) {
+  EXPECT_STREQ(solve_status_name(SolveStatus::kOk), "ok");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kUnderdetermined),
+               "underdetermined");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kRankDeficient),
+               "rank_deficient");
+}
+
+TEST(LeastSquares, SolutionOnlyEntryMatchesFullSolveBitExact) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> d(-2.0, 2.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    Matrix a(12, 3);
+    std::vector<double> b(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) a(i, j) = d(rng);
+      b[i] = d(rng);
+    }
+    const auto full = solve_least_squares(a, b);
+    const auto sol = solve_least_squares_solution(a, b);
+    ASSERT_EQ(sol.size(), full.x.size());
+    for (std::size_t i = 0; i < sol.size(); ++i) EXPECT_EQ(sol[i], full.x[i]);
+  }
+  // Same failure modes as the diagnostic entry point.
+  EXPECT_THROW(solve_least_squares_solution(Matrix(1, 2), {1.0}),
+               std::domain_error);
+  EXPECT_THROW(solve_least_squares_solution(Matrix(3, 2), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, TrySolveStatusMatchesThrowingPath) {
+  std::vector<double> x;
+  EXPECT_EQ(try_solve_least_squares(Matrix(1, 2), {1.0}, x),
+            SolveStatus::kUnderdetermined);
+
+  // Identical columns: the throwing path raises domain_error, the status
+  // path reports kRankDeficient — same systems, same classification.
+  const Matrix deficient{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(solve_least_squares(deficient, b), std::domain_error);
+  EXPECT_EQ(try_solve_least_squares(deficient, b, x),
+            SolveStatus::kRankDeficient);
+
+  const Matrix ok{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> bo{2.0, 3.0, 5.0};
+  ASSERT_EQ(try_solve_least_squares(ok, bo, x), SolveStatus::kOk);
+  const auto ref = solve_least_squares(ok, bo);
+  ASSERT_EQ(x.size(), ref.x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], ref.x[i]);
+
+  // A rhs size mismatch is a caller bug, not a data property: still throws.
+  EXPECT_THROW(try_solve_least_squares(Matrix(3, 2), {1.0}, x),
+               std::invalid_argument);
+}
+
+TEST(RobustWeights, TukeyHardZerosSurviveLargeMinSigma) {
+  // Regression for the weight-mass gate: the old check compared the total
+  // weight mass against min_sigma — a residual *scale* in measurement
+  // units — so a large scale floor silently replaced valid Tukey weights
+  // with Huber ones. The gate is now a dimensionless mean-weight floor
+  // (kMinMeanRobustWeight); total mass 3.0 < min_sigma 6.0 must keep the
+  // Tukey weights, hard zeros included.
+  const std::vector<double> residuals{0.0, 0.0, 0.0, 50.0, -50.0};
+  const auto w =
+      robust_residual_weights(residuals, RobustLoss::kTukey, 0.0, 6.0);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_EQ(w[0], 1.0);  // at the median: weight 1
+  EXPECT_EQ(w[1], 1.0);
+  EXPECT_EQ(w[2], 1.0);
+  EXPECT_EQ(w[3], 0.0);  // |z| = 50/6 beyond the 4.685 cutoff: rejected
+  EXPECT_EQ(w[4], 0.0);
+}
+
+TEST(RobustWeights, AllRejectingTukeyStillFallsBackToHuber) {
+  // Every row beyond a tiny tuning cutoff: the whole system would be
+  // zeroed, so the Huber weights (never zero) must take over.
+  const std::vector<double> residuals{1.0, 2.0, 4.0, 5.0};
+  const auto w =
+      robust_residual_weights(residuals, RobustLoss::kTukey, 0.1, 1e-12);
+  ASSERT_EQ(w.size(), 4u);
+  for (double v : w) EXPECT_GT(v, 0.0);
+}
+
+TEST(Irls, WorkspaceOverloadBitIdenticalAcrossLosses) {
+  std::mt19937 rng(33);
+  std::uniform_real_distribution<double> d(-1.5, 1.5);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    for (RobustLoss loss :
+         {RobustLoss::kGaussian, RobustLoss::kHuber, RobustLoss::kTukey}) {
+      Matrix a(24, p);
+      std::vector<double> b(24);
+      for (std::size_t i = 0; i < 24; ++i) {
+        for (std::size_t j = 0; j < p; ++j) a(i, j) = d(rng);
+        b[i] = d(rng) + (i % 7 == 0 ? 4.0 : 0.0);  // a few outliers
+      }
+      IrlsOptions opt;
+      opt.loss = loss;
+
+      const auto legacy = solve_irls(a, b, opt);
+      SolverWorkspace ws;
+      LstsqResult got;
+      solve_irls(a, b, opt, ws, got);
+
+      EXPECT_EQ(got.x, legacy.x);
+      EXPECT_EQ(got.residuals, legacy.residuals);
+      EXPECT_EQ(got.weights, legacy.weights);
+      EXPECT_EQ(got.mean_residual, legacy.mean_residual);
+      EXPECT_EQ(got.rms_residual, legacy.rms_residual);
+      EXPECT_EQ(got.iterations, legacy.iterations);
+      EXPECT_EQ(got.converged, legacy.converged);
+    }
+  }
+}
+
+TEST(Irls, MaskedSolveMatchesMaterializedSubsystemBitExact) {
+  std::mt19937 rng(34);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  const std::size_t n = 40;
+  const std::size_t p = 3;
+  Matrix a(n, p);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) a(i, j) = d(rng);
+    b[i] = d(rng);
+  }
+  std::vector<char> mask(n, 0);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += (mask[i] = (i % 3 != 0));
+
+  Matrix sub(count, p);
+  std::vector<double> sub_b(count);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    for (std::size_t j = 0; j < p; ++j) sub(r, j) = a(i, j);
+    sub_b[r] = b[i];
+    ++r;
+  }
+
+  IrlsOptions opt;
+  opt.loss = RobustLoss::kHuber;
+  const auto ref = solve_irls(sub, sub_b, opt);
+
+  SolverWorkspace ws;
+  ws.load(a, b);
+  LstsqResult got;
+  ASSERT_EQ(solve_irls_masked(ws, mask.data(), count, opt, got),
+            SolveStatus::kOk);
+  EXPECT_EQ(got.x, ref.x);
+  EXPECT_EQ(got.residuals, ref.residuals);
+  EXPECT_EQ(got.weights, ref.weights);
+  EXPECT_EQ(got.mean_residual, ref.mean_residual);
+  EXPECT_EQ(got.rms_residual, ref.rms_residual);
+  EXPECT_EQ(got.iterations, ref.iterations);
+  EXPECT_EQ(got.converged, ref.converged);
+}
+
+TEST(Irls, MaskedSolveReportsUnderdeterminedStatus) {
+  SolverWorkspace ws;
+  ws.load(Matrix(5, 3), std::vector<double>(5, 0.0));
+  const std::vector<char> mask{1, 1, 0, 0, 0};
+  LstsqResult out;
+  EXPECT_EQ(solve_irls_masked(ws, mask.data(), 2, {}, out),
+            SolveStatus::kUnderdetermined);
 }
 
 }  // namespace

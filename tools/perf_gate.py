@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Performance regression gate over lion.bench.v1 record files.
+
+Compares freshly produced bench records against the committed baseline
+(BENCH_4.json, `build: post` rows) and fails when a watched rate metric
+drops below baseline / factor. The default factor of 2 is deliberately
+loose: CI runners are slower and noisier than the box that recorded the
+baseline, so the gate only catches order-of-magnitude mistakes — an
+accidentally reinstated allocation storm, a debug build slipping into the
+bench target — not single-digit-percent drift.
+
+Usage:
+  perf_gate.py --baseline BENCH_4.json --factor 2 current1.json [current2.json ...]
+
+Records match when (bench, row, tags.method) coincide; only the rate
+metrics in WATCHED_VALUES are gated. Baseline rows with no current
+counterpart are reported but do not fail the gate (a bench list may
+shrink deliberately); current rows without a baseline are ignored (new
+benches have no history yet).
+"""
+
+import argparse
+import json
+import sys
+
+# Rate metrics (higher is better). Latency/percentile metrics are *not*
+# gated: they scale with machine load in ways a single factor cannot cover.
+WATCHED_VALUES = ("throughput_jps", "ops_per_s", "items_per_s")
+
+
+def load_records(path):
+    records = []
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("schema") != "lion.bench.v1":
+                raise SystemExit(f"{path}:{i}: not a lion.bench.v1 record")
+            records.append(rec)
+    return records
+
+
+def key_of(rec):
+    # Enough identity to compare like with like: the workload (bench/row),
+    # the code path (tags.method), and the load shape (jobs/threads). The
+    # recording machine's hardware_concurrency is deliberately excluded —
+    # the whole point is comparing across machines.
+    return (rec.get("bench"), rec.get("row"), rec.get("tags", {}).get("method"),
+            rec.get("params", {}).get("jobs"),
+            rec.get("values", {}).get("threads"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_4.json",
+                    help="committed baseline record file (default BENCH_4.json)")
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="maximum tolerated slowdown vs baseline (default 2)")
+    ap.add_argument("current", nargs="+",
+                    help="record files produced by this run")
+    args = ap.parse_args()
+    if args.factor <= 1.0:
+        raise SystemExit("--factor must be > 1")
+
+    baseline = {}
+    for rec in load_records(args.baseline):
+        if rec.get("tags", {}).get("build") != "post":
+            continue
+        baseline[key_of(rec)] = rec
+
+    current = {}
+    for path in args.current:
+        for rec in load_records(path):
+            current[key_of(rec)] = rec
+
+    failures = []
+    compared = 0
+    for key, base in sorted(baseline.items(), key=str):
+        cur = current.get(key)
+        if cur is None:
+            print(f"  [skip] {key}: no current record")
+            continue
+        for metric in WATCHED_VALUES:
+            want = base.get("values", {}).get(metric)
+            got = cur.get("values", {}).get(metric)
+            if want is None or got is None or want <= 0:
+                continue
+            compared += 1
+            ratio = got / want
+            status = "ok" if got * args.factor >= want else "FAIL"
+            print(f"  [{status:>4}] {key} {metric}: {got:.1f} vs baseline "
+                  f"{want:.1f} ({ratio:.2f}x)")
+            if status == "FAIL":
+                failures.append((key, metric, ratio))
+
+    if compared == 0:
+        raise SystemExit("perf gate compared zero metrics — wrong files?")
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} metric(s) more than "
+              f"{args.factor:g}x below baseline")
+        return 1
+    print(f"\nperf gate passed: {compared} metric(s) within {args.factor:g}x "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
