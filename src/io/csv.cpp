@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -13,12 +12,12 @@ namespace lion::io {
 
 namespace {
 
-std::string trim(const std::string& s) {
+std::string trim(std::string_view s) {
   std::size_t a = 0;
   std::size_t b = s.size();
   while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
   while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
-  return s.substr(a, b - a);
+  return std::string(s.substr(a, b - a));
 }
 
 std::vector<std::string> split_fields(const std::string& line) {
@@ -29,15 +28,20 @@ std::vector<std::string> split_fields(const std::string& line) {
   return out;
 }
 
-double parse_double(const std::string& s, std::size_t line_no) {
+// std::stod semantics (so "nan"/"inf"/hex floats keep parsing exactly as
+// they always did), full-field consumption required, no exception escapes.
+bool parse_double(const std::string& s, std::size_t line_no, double& out,
+                  std::string& error) {
   try {
     std::size_t used = 0;
     const double v = std::stod(s, &used);
     if (used != s.size()) throw std::invalid_argument("trailing characters");
-    return v;
+    out = v;
+    return true;
   } catch (const std::exception&) {
-    throw std::invalid_argument("csv: non-numeric field '" + s + "' on line " +
-                                std::to_string(line_no));
+    error = "csv: non-numeric field '" + s + "' on line " +
+            std::to_string(line_no);
+    return false;
   }
 }
 
@@ -47,122 +51,136 @@ std::string lower(std::string s) {
   return s;
 }
 
-// Column order; -1 means "not present".
-struct Layout {
-  int x = 0;
-  int y = 1;
-  int z = 2;
-  int phase = 3;
-  int rssi = 4;
-  int channel = 5;
-  int t = 6;
-  int max_index() const {
-    return std::max({x, y, z, phase, rssi, channel, t});
-  }
-};
+}  // namespace
 
-// Detect a header row and build the layout from it; returns nullopt-like
-// flag via `has_header`.
-Layout parse_header(const std::vector<std::string>& fields, bool& has_header) {
-  Layout layout;
-  layout.rssi = layout.channel = layout.t = -1;
-  bool any_name = false;
-  Layout named;
-  named.x = named.y = named.z = named.phase = -1;
-  named.rssi = named.channel = named.t = -1;
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    const std::string f = lower(fields[i]);
-    const int idx = static_cast<int>(i);
-    if (f == "x") {
-      named.x = idx;
-      any_name = true;
-    } else if (f == "y") {
-      named.y = idx;
-      any_name = true;
-    } else if (f == "z") {
-      named.z = idx;
-      any_name = true;
-    } else if (f == "phase" || f == "phase_rad") {
-      named.phase = idx;
-      any_name = true;
-    } else if (f == "rssi" || f == "rssi_dbm") {
-      named.rssi = idx;
-      any_name = true;
-    } else if (f == "channel") {
-      named.channel = idx;
-      any_name = true;
-    } else if (f == "t" || f == "time" || f == "timestamp") {
-      named.t = idx;
-      any_name = true;
-    }
+void CsvStreamParser::reset() {
+  layout_known_ = false;
+  layout_ = Layout{};
+  line_no_ = 0;
+}
+
+CsvStreamParser::Result CsvStreamParser::push_line(std::string_view line) {
+  Result out;
+  ++line_no_;
+  const std::string stripped = trim(line);
+  if (stripped.empty() || stripped[0] == '#') {
+    out.status = CsvRowStatus::kSkipped;
+    return out;
   }
-  if (!any_name) {
-    has_header = false;
+  const auto fields = split_fields(stripped);
+
+  if (!layout_known_) {
+    // Header detection: any recognised column name makes this a header
+    // row; a header must then name all four mandatory columns. A row with
+    // no recognised names locks the positional layout and is itself data.
+    bool any_name = false;
+    Layout named;
+    named.x = named.y = named.z = named.phase = -1;
+    named.rssi = named.channel = named.t = -1;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const std::string f = lower(fields[i]);
+      const int idx = static_cast<int>(i);
+      if (f == "x") {
+        named.x = idx;
+        any_name = true;
+      } else if (f == "y") {
+        named.y = idx;
+        any_name = true;
+      } else if (f == "z") {
+        named.z = idx;
+        any_name = true;
+      } else if (f == "phase" || f == "phase_rad") {
+        named.phase = idx;
+        any_name = true;
+      } else if (f == "rssi" || f == "rssi_dbm") {
+        named.rssi = idx;
+        any_name = true;
+      } else if (f == "channel") {
+        named.channel = idx;
+        any_name = true;
+      } else if (f == "t" || f == "time" || f == "timestamp") {
+        named.t = idx;
+        any_name = true;
+      }
+    }
+    if (any_name) {
+      if (named.x < 0 || named.y < 0 || named.z < 0 || named.phase < 0) {
+        out.status = CsvRowStatus::kError;
+        out.error = "csv: header must name at least x, y, z and phase";
+        return out;
+      }
+      layout_ = named;
+      layout_known_ = true;
+      out.status = CsvRowStatus::kHeader;
+      return out;
+    }
     // Positional: first four mandatory, extras in canonical order.
     Layout pos;
     pos.rssi = fields.size() > 4 ? 4 : -1;
     pos.channel = fields.size() > 5 ? 5 : -1;
     pos.t = fields.size() > 6 ? 6 : -1;
-    return pos;
+    layout_ = pos;
+    layout_known_ = true;
   }
-  has_header = true;
-  if (named.x < 0 || named.y < 0 || named.z < 0 || named.phase < 0) {
-    throw std::invalid_argument(
-        "csv: header must name at least x, y, z and phase");
-  }
-  return named;
-}
 
-}  // namespace
+  if (static_cast<int>(fields.size()) <= layout_.phase ||
+      static_cast<int>(fields.size()) <= layout_.z) {
+    out.status = CsvRowStatus::kError;
+    out.error = "csv: too few columns on line " + std::to_string(line_no_);
+    return out;
+  }
+  sim::PhaseSample s;
+  auto parse_into = [&](int idx, double& dst) {
+    double v = 0.0;
+    if (!parse_double(fields[static_cast<std::size_t>(idx)], line_no_, v,
+                      out.error)) {
+      return false;
+    }
+    dst = v;
+    return true;
+  };
+  double channel = 0.0;
+  const bool parsed =
+      parse_into(layout_.x, s.position[0]) &&
+      parse_into(layout_.y, s.position[1]) &&
+      parse_into(layout_.z, s.position[2]) &&
+      parse_into(layout_.phase, s.phase) &&
+      (layout_.rssi < 0 || static_cast<int>(fields.size()) <= layout_.rssi ||
+       parse_into(layout_.rssi, s.rssi_dbm)) &&
+      (layout_.channel < 0 ||
+       static_cast<int>(fields.size()) <= layout_.channel ||
+       parse_into(layout_.channel, channel)) &&
+      (layout_.t < 0 || static_cast<int>(fields.size()) <= layout_.t ||
+       parse_into(layout_.t, s.t));
+  if (!parsed) {
+    out.status = CsvRowStatus::kError;
+    return out;
+  }
+  if (layout_.channel >= 0 &&
+      static_cast<int>(fields.size()) > layout_.channel) {
+    s.channel = static_cast<std::uint32_t>(channel);
+  }
+  out.status = CsvRowStatus::kSample;
+  out.sample = s;
+  return out;
+}
 
 std::vector<sim::PhaseSample> read_samples_csv(std::istream& in) {
   std::vector<sim::PhaseSample> out;
+  CsvStreamParser parser;
   std::string line;
-  std::size_t line_no = 0;
-  bool layout_known = false;
-  Layout layout;
-
   while (std::getline(in, line)) {
-    ++line_no;
-    const std::string stripped = trim(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    const auto fields = split_fields(stripped);
-
-    if (!layout_known) {
-      bool has_header = false;
-      layout = parse_header(fields, has_header);
-      layout_known = true;
-      if (has_header) continue;  // consume the header row
+    const auto row = parser.push_line(line);
+    switch (row.status) {
+      case CsvRowStatus::kSample:
+        out.push_back(row.sample);
+        break;
+      case CsvRowStatus::kError:
+        throw std::invalid_argument(row.error);
+      case CsvRowStatus::kHeader:
+      case CsvRowStatus::kSkipped:
+        break;
     }
-
-    if (static_cast<int>(fields.size()) <= layout.phase ||
-        static_cast<int>(fields.size()) <= layout.z) {
-      throw std::invalid_argument("csv: too few columns on line " +
-                                  std::to_string(line_no));
-    }
-    sim::PhaseSample s;
-    s.position[0] = parse_double(fields[static_cast<std::size_t>(layout.x)],
-                                 line_no);
-    s.position[1] = parse_double(fields[static_cast<std::size_t>(layout.y)],
-                                 line_no);
-    s.position[2] = parse_double(fields[static_cast<std::size_t>(layout.z)],
-                                 line_no);
-    s.phase = parse_double(fields[static_cast<std::size_t>(layout.phase)],
-                           line_no);
-    if (layout.rssi >= 0 &&
-        static_cast<int>(fields.size()) > layout.rssi) {
-      s.rssi_dbm = parse_double(fields[static_cast<std::size_t>(layout.rssi)],
-                                line_no);
-    }
-    if (layout.channel >= 0 &&
-        static_cast<int>(fields.size()) > layout.channel) {
-      s.channel = static_cast<std::uint32_t>(parse_double(
-          fields[static_cast<std::size_t>(layout.channel)], line_no));
-    }
-    if (layout.t >= 0 && static_cast<int>(fields.size()) > layout.t) {
-      s.t = parse_double(fields[static_cast<std::size_t>(layout.t)], line_no);
-    }
-    out.push_back(s);
   }
   return out;
 }

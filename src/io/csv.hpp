@@ -11,15 +11,76 @@
 // and t in seconds. A header row naming the columns is accepted in any
 // order; without a header the first four (or more) columns are taken in
 // canonical order.
+//
+// Two entry points share one row grammar:
+//   - read_samples_csv(istream): whole-stream convenience, throws on the
+//     first malformed row (scripts want loud failures);
+//   - CsvStreamParser: incremental and *non-throwing* — one line in, one
+//     status out. This is the parser the streaming service feeds network
+//     bytes into, where a malformed row must become an error response,
+//     never an exception unwinding a server thread.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/reader.hpp"
 
 namespace lion::io {
+
+/// Outcome of feeding one line to CsvStreamParser.
+enum class CsvRowStatus {
+  kSample,   ///< the line parsed into `sample`
+  kHeader,   ///< the line was a column-naming header (consumed)
+  kSkipped,  ///< blank line or '#' comment (ignored)
+  kError,    ///< malformed; `error` carries the detail, stream continues
+};
+
+/// Incremental, non-throwing parser over the canonical CSV row grammar.
+///
+/// Layout state (header detection happens on the first content line) is
+/// carried across calls, so a stream chunked at arbitrary line boundaries
+/// parses identically to a whole-file read — the serve path's
+/// stream-vs-batch conformance depends on this. After a kError row the
+/// parser stays usable: layout (if already locked) is kept and the next
+/// line is parsed normally.
+class CsvStreamParser {
+ public:
+  struct Result {
+    CsvRowStatus status = CsvRowStatus::kSkipped;
+    sim::PhaseSample sample;  ///< valid when status == kSample
+    std::string error;        ///< valid when status == kError
+  };
+
+  /// Parse one line (without its trailing newline; a trailing '\r' is
+  /// tolerated). Never throws.
+  Result push_line(std::string_view line);
+
+  /// Lines seen so far (for error messages; counts every push_line call).
+  std::size_t line_number() const { return line_no_; }
+
+  /// Forget layout and line count (fresh stream).
+  void reset();
+
+ private:
+  // Column order; -1 means "not present".
+  struct Layout {
+    int x = 0;
+    int y = 1;
+    int z = 2;
+    int phase = 3;
+    int rssi = 4;
+    int channel = 5;
+    int t = 6;
+  };
+
+  bool layout_known_ = false;
+  Layout layout_;
+  std::size_t line_no_ = 0;
+};
 
 /// Parse a CSV stream of phase samples.
 ///

@@ -11,6 +11,7 @@ constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
 constexpr std::array<const char*, kStageCount> kStageNames = {
     "sanitize", "unwrap", "smooth",    "stitch", "preprocess", "radical",
     "ransac",   "irls",   "solve",     "calibrate", "offset",  "job",
+    "ingest",   "emit",
 };
 
 const std::array<MetricId, kStageCount>& stage_histogram_ids() {
@@ -46,12 +47,16 @@ void register_pipeline_metrics() {
   for (const char* name :
        {"radical.rows", "ransac.iterations", "ransac.degenerate_subsets",
         "ransac.fallbacks", "ransac.consensus", "irls.nonconverged",
-        "engine.jobs", "engine.steals", "engine.exceptions"}) {
+        "engine.jobs", "engine.steals", "engine.exceptions", "serve.lines",
+        "serve.samples", "serve.requests", "serve.errors", "serve.evictions",
+        "serve.backpressure_waits", "serve.rejected_busy", "serve.timeouts",
+        "serve.oversized"}) {
     (void)reg.counter(name);
   }
   (void)reg.histogram("ransac.inlier_fraction", fraction_bounds());
   (void)reg.histogram("irls.iterations", count_bounds());
   (void)reg.histogram("irls.weight_mass", fraction_bounds());
+  (void)reg.histogram("serve.queue_depth", count_bounds());
 }
 
 void set_metrics_enabled(bool on) {

@@ -41,6 +41,8 @@ enum class Stage : std::size_t {
   kCalibrate,   ///< core/calibration: calibrate_antenna_robust end to end
   kOffset,      ///< core/calibration: Eq.-17 phase-offset extraction
   kJob,         ///< engine/batch: one batch job (trace arg = job id)
+  kIngest,      ///< serve/service: one wire line through parse + demux
+  kEmit,        ///< serve/service: ordered-emitter release of one response
   kCount
 };
 

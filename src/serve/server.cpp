@@ -1,0 +1,236 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+namespace lion::serve {
+
+namespace {
+
+// Loop until the whole buffer is on the wire; MSG_NOSIGNAL turns a
+// vanished peer into an error return instead of SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t run_stdio(const ServiceConfig& config, std::istream& in,
+                        std::ostream& out) {
+  std::uint64_t responses = 0;
+  StreamService service(config, [&out, &responses](std::string_view line) {
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out.put('\n');
+    out.flush();
+    ++responses;
+  });
+  char buf[4096];
+  while (in.good()) {
+    in.read(buf, sizeof buf);
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    service.ingest_bytes(
+        std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  service.finish();
+  return responses;
+}
+
+SocketServer::SocketServer(ServerConfig config) : cfg_(std::move(config)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::start(std::string& error) {
+  if (running_.load()) {
+    error = "server already running";
+    return false;
+  }
+  if (!cfg_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.unix_path.size() >= sizeof(addr.sun_path)) {
+      error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, cfg_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(cfg_.unix_path.c_str());  // stale socket from a crashed run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      error = std::string("bind ") + cfg_.unix_path + ": " +
+              std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  } else if (cfg_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+    if (::inet_pton(AF_INET, cfg_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      error = "bad tcp host '" + cfg_.tcp_host + "'";
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      error = std::string("bind :") + std::to_string(cfg_.tcp_port) + ": " +
+              std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  } else {
+    error = "no listener configured (set unix_path or tcp_port)";
+    return false;
+  }
+
+  if (::listen(listen_fd_, 16) < 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  std::size_t threads = cfg_.service.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  pool_ = std::make_unique<engine::ThreadPool>(threads);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void SocketServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    reap_finished_locked();
+    if (!running_.load() || connections_.size() >= cfg_.max_connections) {
+      static const char kRefused[] =
+          "{\"schema\":\"lion.error.v1\",\"session\":\"\",\"seq\":0,"
+          "\"code\":\"server_full\",\"detail\":\"connection limit "
+          "reached\"}\n";
+      send_all(fd, kRefused, sizeof(kRefused) - 1);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { serve_connection(*raw); });
+    connections_.push_back(std::move(conn));
+    connections_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SocketServer::serve_connection(Connection& conn) {
+  const int fd = conn.fd;
+  {
+    StreamService service(
+        cfg_.service,
+        [fd](std::string_view line) {
+          std::string framed(line);
+          framed.push_back('\n');
+          send_all(fd, framed.data(), framed.size());
+        },
+        pool_.get());
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF, error, or stop() shutting the socket down
+      service.ingest_bytes(
+          std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    service.finish();  // flush trailing line + drain before the fd closes
+  }
+  // Signal EOF to the peer but leave close() to whoever joins this
+  // thread — stop() may still hold our fd number, and closing here would
+  // let the kernel recycle it under stop()'s shutdown() call.
+  ::shutdown(fd, SHUT_RDWR);
+  conn.done.store(true);
+}
+
+void SocketServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::stop() {
+  const bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(connections_);
+  }
+  for (auto& conn : conns) {
+    // Kick the blocking recv; the handler then finish()es and closes.
+    ::shutdown(conn->fd, SHUT_RD);
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  if (was_running && !cfg_.unix_path.empty()) {
+    ::unlink(cfg_.unix_path.c_str());
+  }
+  pool_.reset();
+}
+
+}  // namespace lion::serve

@@ -1,0 +1,94 @@
+// Transports for the streaming calibration service.
+//
+// Two front-ends over the same StreamService core:
+//
+//   - run_stdio(): one service over a byte stream pair — `lion_cli serve`
+//     piping stdin to stdout, and the unit tests driving istringstreams.
+//   - SocketServer: a TCP (127.0.0.1-style) or Unix-domain listener. Each
+//     accepted connection gets its *own* StreamService — an isolated
+//     session namespace and virtual clock — while all connections share
+//     one solver ThreadPool, so a chatty client cannot starve another of
+//     threads by name collisions, only by actual solve load.
+//
+// The server is deliberately thread-per-connection: the expected client
+// count is "a handful of reader gateways", not C10K, and blocking reads
+// keep the data path identical to the stdio one (same ingest_bytes calls,
+// same backpressure semantics through the socket's flow control).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+#include "serve/service.hpp"
+
+namespace lion::serve {
+
+/// Run one service over an input/output stream pair until EOF. Responses
+/// are written one per line and flushed per line (interactive pipes).
+/// Returns the number of response lines written.
+std::uint64_t run_stdio(const ServiceConfig& config, std::istream& in,
+                        std::ostream& out);
+
+struct ServerConfig {
+  ServiceConfig service;      ///< per-connection service settings
+  std::string unix_path;      ///< non-empty: listen on this Unix socket
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;          ///< >= 0: listen on TCP (0 = ephemeral)
+  std::size_t max_connections = 64;
+};
+
+/// Blocking-accept socket server; one of unix_path / tcp_port selects the
+/// listener (unix_path wins when both are set).
+class SocketServer {
+ public:
+  explicit SocketServer(ServerConfig config);
+  ~SocketServer();  ///< stop()s if still running
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen + spawn the accept thread. False (with a reason in
+  /// `error`) on any socket failure; the server is then inert.
+  bool start(std::string& error);
+
+  /// Actual bound TCP port (after an ephemeral bind), or -1 for Unix.
+  int port() const { return port_; }
+
+  /// Close the listener, wake every connection, join all threads. Safe to
+  /// call twice. In-flight solves finish and responses flush first.
+  void stop();
+
+  std::uint64_t connections_served() const {
+    return connections_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  void reap_finished_locked();
+
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> connections_served_{0};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::unique_ptr<engine::ThreadPool> pool_;  ///< shared solver pool
+};
+
+}  // namespace lion::serve

@@ -1,0 +1,482 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "linalg/small.hpp"
+#include "obs/obs.hpp"
+
+namespace lion::serve {
+
+StreamService::StreamService(ServiceConfig config, Sink sink)
+    : StreamService(std::move(config), std::move(sink), nullptr) {}
+
+StreamService::StreamService(ServiceConfig config, Sink sink,
+                             engine::ThreadPool* pool)
+    : cfg_(std::move(config)),
+      sink_(std::move(sink)),
+      decoder_(cfg_.max_line_bytes),
+      pool_(pool) {
+  if (pool_ == nullptr) {
+    std::size_t threads = cfg_.threads;
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    owned_pool_ = std::make_unique<engine::ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+StreamService::~StreamService() {
+  // Every scheduled solve holds a raw `this`; the pool (owned or shared)
+  // must see them all finish before the service's members go away.
+  drain();
+}
+
+double StreamService::now() const {
+  if (cfg_.clock) return cfg_.clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t StreamService::reserve_seq() { return next_seq_++; }
+
+void StreamService::emit(std::uint64_t seq, std::string line) {
+  LION_OBS_SPAN(obs::Stage::kEmit);
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  emit_buffer_.emplace(seq, std::move(line));
+  auto it = emit_buffer_.begin();
+  while (it != emit_buffer_.end() && it->first == emit_next_) {
+    if (sink_) sink_(it->second);
+    it = emit_buffer_.erase(it);
+    ++emit_next_;
+  }
+}
+
+void StreamService::emit_error(const std::string& session,
+                               const std::string& code,
+                               const std::string& detail, bool parse_error) {
+  // Caller holds mu_ (lock order mu_ -> emit_mu_ is the designed one).
+  ++stats_.errors;
+  if (parse_error) ++stats_.parse_errors;
+  LION_OBS_COUNT("serve.errors", 1);
+  const std::uint64_t seq = reserve_seq();
+  emit(seq, error_response(session, seq, code, detail));
+}
+
+void StreamService::ingest_bytes(std::string_view bytes) {
+  std::vector<std::string> lines;
+  std::size_t oversized = 0;
+  {
+    std::lock_guard<std::mutex> lock(decoder_mu_);
+    ChunkDecoder::Lines out = decoder_.feed(bytes);
+    lines = std::move(out.lines);
+    oversized = out.oversized_dropped;
+  }
+  report_oversized(oversized);
+  for (const std::string& line : lines) ingest_line(line);
+}
+
+void StreamService::report_oversized(std::size_t count) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.oversized += count;
+  LION_OBS_COUNT("serve.oversized", count);
+  for (std::size_t i = 0; i < count; ++i) {
+    emit_error("", "oversized_line",
+               "wire: line exceeded max_line_bytes and was dropped", false);
+  }
+}
+
+void StreamService::ingest_line(std::string_view line) {
+  LION_OBS_SPAN(obs::Stage::kIngest);
+  handle_line(parse_line(line));
+}
+
+void StreamService::handle_line(const ParsedLine& line) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.lines;
+  ++clock_ticks_;  // the virtual clock: one tick per wire line
+  LION_OBS_COUNT("serve.lines", 1);
+  switch (line.kind) {
+    case ParsedLine::kComment:
+      break;
+    case ParsedLine::kError:
+      emit_error(line.session.empty() ? current_session_ : line.session,
+                 "parse_error", line.error, true);
+      break;
+    case ParsedLine::kSession:
+      handle_session_declare(line);
+      break;
+    case ParsedLine::kFlush:
+      handle_flush(lock, line.session);
+      break;
+    case ParsedLine::kClose:
+      handle_close(lock, line.session);
+      break;
+    case ParsedLine::kTick:
+      clock_ticks_ += line.ticks;
+      break;
+    case ParsedLine::kStats:
+      emit_stats_response();
+      break;
+    case ParsedLine::kData:
+      handle_data(lock, line);
+      break;
+  }
+  evict_idle(lock);
+}
+
+void StreamService::handle_session_declare(const ParsedLine& line) {
+  const std::string& id = line.session;
+  if (sessions_.count(id) != 0) {
+    emit_error(id, "bad_control", "session '" + id + "' already exists",
+               false);
+    return;
+  }
+  if (sessions_.size() >= cfg_.max_sessions) {
+    emit_error(id, "session_limit",
+               "session limit reached (max_sessions=" +
+                   std::to_string(cfg_.max_sessions) + ")",
+               false);
+    return;
+  }
+  SessionConfig config;
+  std::string error;
+  if (!make_session_config(line, config, error)) {
+    emit_error(id, "bad_control", error, false);
+    return;
+  }
+  StreamSession session;
+  session.id = id;
+  session.config = config;
+  session.last_active = clock_ticks_;
+  sessions_.emplace(id, std::move(session));
+  current_session_ = id;  // declares are silent on success
+}
+
+void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
+                                const ParsedLine& line) {
+  std::string id = line.session.empty() ? current_session_ : line.session;
+  if (id.empty()) {
+    if (!cfg_.implicit_center) {
+      emit_error("", "unknown_session",
+                 "wire: data before any !session declare", false);
+      return;
+    }
+    // Bare-pipe mode: auto-open a default calibrate session so
+    // `cat scan.csv | lion serve --center ...` needs no protocol lines.
+    id = "default";
+    if (sessions_.count(id) == 0) {
+      StreamSession session;
+      session.id = id;
+      session.config.mode = SessionMode::kCalibrate;
+      session.config.center = *cfg_.implicit_center;
+      session.last_active = clock_ticks_;
+      sessions_.emplace(id, std::move(session));
+    }
+    current_session_ = id;
+  }
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
+    return;
+  }
+  StreamSession& session = it->second;
+  session.last_active = clock_ticks_;
+  if (line.json_sample) {
+    accept_sample(lock, id, *line.json_sample);
+    return;
+  }
+  const io::CsvStreamParser::Result row = session.csv.push_line(line.csv_row);
+  switch (row.status) {
+    case io::CsvRowStatus::kSample:
+      accept_sample(lock, id, row.sample);
+      break;
+    case io::CsvRowStatus::kHeader:
+    case io::CsvRowStatus::kSkipped:
+      break;
+    case io::CsvRowStatus::kError:
+      emit_error(id, "parse_error", row.error, true);
+      break;
+  }
+}
+
+void StreamService::accept_sample(std::unique_lock<std::mutex>& lock,
+                                  const std::string& id,
+                                  const sim::PhaseSample& sample) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  StreamSession& session = it->second;
+  ++session.samples_accepted;
+  ++stats_.samples;
+  LION_OBS_COUNT("serve.samples", 1);
+
+  if (session.config.mode == SessionMode::kCalibrate) {
+    if (session.buffer.size() >= cfg_.max_session_samples) {
+      emit_error(id, "buffer_full",
+                 "session buffer at max_session_samples=" +
+                     std::to_string(cfg_.max_session_samples) +
+                     "; sample dropped (flush or close to solve)",
+                 false);
+      return;
+    }
+    session.buffer.push_back(sample);
+    return;
+  }
+
+  session.window_buffer.push_back(sample);
+  if (session.window_buffer.size() < session.config.window) return;
+
+  // A window is complete: claim an in-flight slot (this may block and
+  // invalidate `session`), then re-resolve and carve the window out.
+  if (!wait_for_slot(lock, id)) {
+    const auto again = sessions_.find(id);
+    if (again == sessions_.end()) return;  // evicted/closed while blocked
+    // Busy-reject mode: drop this window's solve but still slide, so a
+    // saturated session keeps bounded memory and keeps making progress.
+    StreamSession& busy = again->second;
+    const std::size_t hop =
+        std::min(busy.config.hop, busy.window_buffer.size());
+    busy.window_buffer.erase(busy.window_buffer.begin(),
+                             busy.window_buffer.begin() + hop);
+    emit_error(id, "busy", "track window dropped: session at in-flight cap",
+               false);
+    return;
+  }
+  const auto again = sessions_.find(id);
+  if (again == sessions_.end()) return;
+  StreamSession& ready = again->second;
+  SolveRequest request;
+  request.session = id;
+  request.mode = SessionMode::kTrack;
+  request.config = ready.config;
+  request.samples.assign(
+      ready.window_buffer.begin(),
+      ready.window_buffer.begin() +
+          std::min(ready.config.window, ready.window_buffer.size()));
+  request.window_index = ready.windows_scheduled++;
+  const std::size_t hop = std::min(ready.config.hop,
+                                   ready.window_buffer.size());
+  ready.window_buffer.erase(ready.window_buffer.begin(),
+                            ready.window_buffer.begin() + hop);
+  schedule(lock, std::move(request));
+}
+
+void StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
+                                 const std::string& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
+    return;
+  }
+  it->second.last_active = clock_ticks_;
+  ++it->second.flushes;
+  if (!wait_for_slot(lock, id)) {
+    if (sessions_.count(id) != 0) {
+      emit_error(id, "busy", "flush rejected: session at in-flight cap",
+                 false);
+    }
+    return;
+  }
+  const auto again = sessions_.find(id);
+  if (again == sessions_.end()) return;
+  StreamSession& session = again->second;
+  SolveRequest request;
+  request.session = id;
+  request.mode = session.config.mode;
+  request.config = session.config;
+  if (session.config.mode == SessionMode::kCalibrate) {
+    // The buffer is cumulative: flush solves everything seen so far and
+    // keeps accepting — exactly the batch pipeline over the same rows.
+    request.samples = session.buffer;
+  } else {
+    // Track flush drains the partial window as a final (short) solve.
+    request.samples.assign(session.window_buffer.begin(),
+                           session.window_buffer.end());
+    session.window_buffer.clear();
+    request.window_index = session.windows_scheduled++;
+  }
+  schedule(lock, std::move(request));
+}
+
+void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
+                                 const std::string& id) {
+  if (sessions_.find(id) == sessions_.end()) {
+    emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
+    return;
+  }
+  handle_flush(lock, id);  // close == final flush + eviction
+  const auto again = sessions_.find(id);
+  if (again != sessions_.end()) sessions_.erase(again);
+  if (current_session_ == id) current_session_.clear();
+  cv_.notify_all();  // wake any producer blocked on this session's slots
+}
+
+bool StreamService::wait_for_slot(std::unique_lock<std::mutex>& lock,
+                                  const std::string& id) {
+  for (;;) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;  // vanished while blocked
+    if (it->second.in_flight < cfg_.max_inflight_per_session) return true;
+    if (cfg_.reject_when_busy) {
+      ++stats_.rejected_busy;
+      LION_OBS_COUNT("serve.rejected_busy", 1);
+      return false;
+    }
+    ++stats_.backpressure_waits;
+    LION_OBS_COUNT("serve.backpressure_waits", 1);
+    cv_.wait(lock);
+  }
+}
+
+void StreamService::schedule(std::unique_lock<std::mutex>& lock,
+                             SolveRequest request) {
+  (void)lock;  // held: seq reservation below is what orders responses
+  request.seq = reserve_seq();
+  request.enqueue_time = now();
+  const auto it = sessions_.find(request.session);
+  if (it != sessions_.end()) ++it->second.in_flight;
+  ++outstanding_;
+  // Response accounting happens here, on the ingest thread, so stats are
+  // deterministic: every scheduled request emits exactly one response.
+  if (request.mode == SessionMode::kCalibrate) {
+    ++stats_.reports;
+  } else {
+    ++stats_.fixes;
+  }
+  LION_OBS_COUNT("serve.requests", 1);
+  LION_OBS_HIST("serve.queue_depth", obs::count_bounds(), outstanding_);
+  auto shared = std::make_shared<SolveRequest>(std::move(request));
+  pool_->submit([this, shared] { run_request(*shared); });
+}
+
+void StreamService::run_request(SolveRequest& request) {
+  const bool timed_out =
+      cfg_.request_timeout_s > 0.0 &&
+      now() - request.enqueue_time > cfg_.request_timeout_s;
+  std::string response;
+  if (request.mode == SessionMode::kCalibrate) {
+    core::CalibrationReport report;
+    if (timed_out) {
+      report.status = core::CalibrationStatus::kSolverFailure;
+      report.diagnostics.message =
+          "serve: request exceeded its deadline before solving";
+    } else {
+      thread_local linalg::SolverWorkspace solver_ws;
+      report = core::calibrate_antenna_robust(
+          request.samples, request.config.center, request.config.calibration,
+          &solver_ws);
+    }
+    response = report_response(request.session, request.seq, report);
+  } else {
+    core::TrackFix fix;
+    if (timed_out) {
+      if (!request.samples.empty()) fix.t = request.samples.back().t;
+    } else {
+      fix = solve_track_window(request.samples, request.config);
+    }
+    response =
+        fix_response(request.session, request.seq, request.window_index, fix);
+  }
+  emit(request.seq, std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (timed_out) {
+      ++stats_.timeouts;
+      LION_OBS_COUNT("serve.timeouts", 1);
+    }
+    const auto it = sessions_.find(request.session);
+    if (it != sessions_.end() && it->second.in_flight > 0) {
+      --it->second.in_flight;
+    }
+    if (outstanding_ > 0) --outstanding_;
+  }
+  cv_.notify_all();
+}
+
+void StreamService::evict_idle(std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  if (cfg_.idle_ttl_ticks == 0) return;
+  // (last_active, id) ordering makes eviction output reproducible no
+  // matter how the session map hashes or when the sweep runs.
+  std::vector<std::pair<std::uint64_t, std::string>> expired;
+  for (const auto& [id, session] : sessions_) {
+    if (clock_ticks_ - session.last_active > cfg_.idle_ttl_ticks) {
+      expired.emplace_back(session.last_active, id);
+    }
+  }
+  if (expired.empty()) return;
+  std::sort(expired.begin(), expired.end());
+  for (const auto& [tick, id] : expired) {
+    const std::uint64_t seq = reserve_seq();
+    emit(seq, event_response(seq, "evict", id, tick));
+    sessions_.erase(id);
+    if (current_session_ == id) current_session_.clear();
+    ++stats_.evictions;
+    LION_OBS_COUNT("serve.evictions", 1);
+  }
+  cv_.notify_all();
+}
+
+void StreamService::emit_stats_response() {
+  const std::uint64_t seq = reserve_seq();
+  std::string out = "{\"schema\":\"lion.stats.v1\",\"seq\":";
+  out += std::to_string(seq);
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("sessions", sessions_.size());
+  field("lines", stats_.lines);
+  field("samples", stats_.samples);
+  field("parse_errors", stats_.parse_errors);
+  field("reports", stats_.reports);
+  field("fixes", stats_.fixes);
+  field("errors", stats_.errors);
+  field("evictions", stats_.evictions);
+  field("backpressure_waits", stats_.backpressure_waits);
+  field("rejected_busy", stats_.rejected_busy);
+  field("timeouts", stats_.timeouts);
+  field("oversized", stats_.oversized);
+  field("ticks", clock_ticks_);
+  out.push_back('}');
+  emit(seq, std::move(out));
+}
+
+void StreamService::finish() {
+  std::vector<std::string> tail;
+  std::size_t oversized = 0;
+  {
+    std::lock_guard<std::mutex> lock(decoder_mu_);
+    ChunkDecoder::Lines out = decoder_.finish();
+    tail = std::move(out.lines);
+    oversized = out.oversized_dropped;
+  }
+  report_oversized(oversized);
+  for (const std::string& line : tail) ingest_line(line);
+  drain();
+}
+
+void StreamService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+ServeStats StreamService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStats out = stats_;
+  out.sessions = sessions_.size();
+  out.ticks = clock_ticks_;
+  return out;
+}
+
+}  // namespace lion::serve

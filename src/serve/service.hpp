@@ -1,0 +1,200 @@
+// Streaming calibration service: the long-running ingestion path.
+//
+// A StreamService turns the wire protocol (serve/wire.hpp) into solved
+// calibration reports and track fixes, scheduling every solve on the
+// engine ThreadPool while the ingest thread stays responsive:
+//
+//   bytes -> ChunkDecoder -> parse_line -> StreamSession demux
+//         -> (flush / completed window) -> SolveRequest on the pool
+//         -> ordered emitter -> sink (socket, stdout, test vector)
+//
+// Determinism contract
+// --------------------
+// For a single ingest thread, the emitted byte stream is a pure function
+// of the input byte stream and the ServiceConfig — independent of chunk
+// boundaries, pool thread count, and scheduling interleavings:
+//   1. chunk boundaries vanish in ChunkDecoder (line reassembly);
+//   2. every response reserves a global sequence number on the ingest
+//      thread, in ingest order;
+//   3. workers emit through a reorder buffer that releases responses in
+//      strict sequence order;
+//   4. solves run the same code as the one-shot paths (calibrate ==
+//      calibrate_antenna_robust with the session's config; track ==
+//      ConveyorTracker window solve), so the payloads are byte-identical
+//      to the batch pipeline.
+// Wall-clock timeouts (request_timeout_s > 0) are the one opt-in
+// exception: a timed-out request degrades to a kSolverFailure report.
+//
+// Overload behaviour
+// ------------------
+// Each session may have at most `max_inflight_per_session` solves queued
+// or running. At the cap the service either blocks the ingest thread
+// (default: lossless backpressure, the transport's TCP window pushes back
+// on the producer) or, with reject_when_busy, answers lion.error.v1
+// code="busy" and drops the request. Sessions idle for more than
+// `idle_ttl_ticks` virtual-clock ticks (one tick per ingested line, plus
+// explicit `!tick n`) are evicted deterministically — ordered by
+// (last-active tick, id) — with a lion.event.v1 notice. The virtual clock
+// keeps eviction reproducible and test-controllable; no wall clock is
+// consulted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/thread_pool.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+
+namespace lion::serve {
+
+struct ServiceConfig {
+  /// Solver pool threads; 0 = hardware_concurrency (at least 1).
+  std::size_t threads = 0;
+  /// Per-session cap on scheduled-but-unfinished solves.
+  std::size_t max_inflight_per_session = 4;
+  /// Hard cap on live sessions; declares beyond it are rejected.
+  std::size_t max_sessions = 1024;
+  /// Per-session cap on buffered samples (calibrate mode); rows beyond it
+  /// are rejected with code="buffer_full". Track mode is bounded by the
+  /// window size already.
+  std::size_t max_session_samples = 1 << 20;
+  /// Evict sessions idle for more than this many virtual-clock ticks;
+  /// 0 disables eviction.
+  std::uint64_t idle_ttl_ticks = 0;
+  /// Solve requests older than this (enqueue to start, seconds) degrade to
+  /// a kSolverFailure report instead of running; 0 disables deadlines.
+  double request_timeout_s = 0.0;
+  /// Wire line length cap (oversized lines are dropped with an error).
+  std::size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// true: answer code="busy" at the in-flight cap instead of blocking.
+  bool reject_when_busy = false;
+  /// When set, data arriving before any `!session` declare auto-creates a
+  /// calibrate session named "default" with this physical center — lets
+  /// `lion serve` ingest a bare CSV pipe with zero protocol ceremony.
+  std::optional<Vec3> implicit_center;
+  /// Monotonic seconds, injectable so timeout tests can run on a virtual
+  /// clock; nullptr = std::chrono::steady_clock.
+  std::function<double()> clock;
+};
+
+/// Ingest/serve counters (snapshot; also exported as obs counters).
+struct ServeStats {
+  std::uint64_t lines = 0;           ///< wire lines processed
+  std::uint64_t samples = 0;         ///< read records accepted
+  std::uint64_t reports = 0;         ///< lion.report.v1 responses
+  std::uint64_t fixes = 0;           ///< lion.fix.v1 responses
+  std::uint64_t errors = 0;          ///< lion.error.v1 responses
+  std::uint64_t parse_errors = 0;    ///< subset of errors: bad input lines
+  std::uint64_t evictions = 0;       ///< idle sessions evicted
+  std::uint64_t backpressure_waits = 0;  ///< ingest blocked at the cap
+  std::uint64_t rejected_busy = 0;   ///< requests refused (reject mode)
+  std::uint64_t timeouts = 0;        ///< requests past their deadline
+  std::uint64_t oversized = 0;       ///< wire lines dropped for length
+  std::uint64_t ticks = 0;           ///< virtual clock now
+  std::size_t sessions = 0;          ///< live sessions
+};
+
+class StreamService {
+ public:
+  /// Receives each response line (no trailing newline), in sequence
+  /// order, serialized — never concurrently. Must not call back into the
+  /// service.
+  using Sink = std::function<void(std::string_view line)>;
+
+  StreamService(ServiceConfig config, Sink sink);
+  /// Same, scheduling on a caller-owned pool (shared across services —
+  /// the socket server gives every connection its own session namespace
+  /// on one pool). The pool must outlive this service.
+  StreamService(ServiceConfig config, Sink sink, engine::ThreadPool* pool);
+  ~StreamService();  ///< drains in-flight solves
+
+  StreamService(const StreamService&) = delete;
+  StreamService& operator=(const StreamService&) = delete;
+
+  /// Feed raw transport bytes (chunked arbitrarily). Not thread-safe
+  /// against itself — one transport thread per service.
+  void ingest_bytes(std::string_view bytes);
+
+  /// Feed one complete line (newline already stripped). Thread-safe: the
+  /// concurrency suite drives N producer threads through this.
+  void ingest_line(std::string_view line);
+
+  /// End of stream: flush the chunk decoder's trailing partial line and
+  /// block until every scheduled solve has emitted its response.
+  void finish();
+
+  /// Block until all scheduled solves have emitted (without ending the
+  /// stream).
+  void drain();
+
+  ServeStats stats() const;
+
+ private:
+  struct SolveRequest {
+    std::uint64_t seq = 0;
+    std::string session;
+    SessionMode mode = SessionMode::kCalibrate;
+    SessionConfig config;
+    std::vector<sim::PhaseSample> samples;
+    std::uint64_t window_index = 0;
+    double enqueue_time = 0.0;
+  };
+
+  // The handle_* / accept_sample / schedule family runs on the ingest
+  // thread with `lock` holding mu_; paths that can block (backpressure)
+  // release and reacquire it, so session references never survive a call.
+  void handle_line(const ParsedLine& line);
+  void handle_session_declare(const ParsedLine& line);
+  void handle_data(std::unique_lock<std::mutex>& lock, const ParsedLine& line);
+  void handle_flush(std::unique_lock<std::mutex>& lock, const std::string& id);
+  void handle_close(std::unique_lock<std::mutex>& lock, const std::string& id);
+  void emit_stats_response();
+  void accept_sample(std::unique_lock<std::mutex>& lock, const std::string& id,
+                     const sim::PhaseSample& sample);
+  void report_oversized(std::size_t count);
+  /// Reserve-or-reject at the in-flight cap; returns false when the
+  /// request was rejected (busy) or the session vanished while blocked.
+  bool wait_for_slot(std::unique_lock<std::mutex>& lock,
+                     const std::string& id);
+  void schedule(std::unique_lock<std::mutex>& lock, SolveRequest request);
+  void run_request(SolveRequest& request);
+  void evict_idle(std::unique_lock<std::mutex>& lock);
+  std::uint64_t reserve_seq();  ///< callers hold mu_
+  void emit(std::uint64_t seq, std::string line);
+  void emit_error(const std::string& session, const std::string& code,
+                  const std::string& detail, bool parse_error);
+  double now() const;
+
+  ServiceConfig cfg_;
+  Sink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< backpressure slots + drain
+  std::map<std::string, StreamSession> sessions_;
+  std::string current_session_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t clock_ticks_ = 0;
+  std::size_t outstanding_ = 0;  ///< scheduled solves not yet emitted
+  ServeStats stats_;
+
+  std::mutex decoder_mu_;
+  ChunkDecoder decoder_;
+
+  std::mutex emit_mu_;
+  std::uint64_t emit_next_ = 0;
+  std::map<std::uint64_t, std::string> emit_buffer_;
+
+  engine::ThreadPool* pool_ = nullptr;     ///< scheduling target
+  std::unique_ptr<engine::ThreadPool> owned_pool_;  ///< when not shared
+};
+
+}  // namespace lion::serve

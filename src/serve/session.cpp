@@ -1,0 +1,161 @@
+#include "serve/session.hpp"
+
+#include "io/report_json.hpp"
+#include "obs/json.hpp"
+
+namespace lion::serve {
+
+namespace {
+
+void append_vec(std::string& out, const Vec3& v) {
+  out.push_back('[');
+  obs::append_json_number(out, v[0]);
+  out.push_back(',');
+  obs::append_json_number(out, v[1]);
+  out.push_back(',');
+  obs::append_json_number(out, v[2]);
+  out.push_back(']');
+}
+
+std::string envelope(const char* schema, const std::string& session,
+                     std::uint64_t seq) {
+  std::string out = "{\"schema\":\"";
+  out += schema;
+  out += "\",\"session\":\"";
+  out += obs::json_escape(session);
+  out += "\",\"seq\":";
+  out += std::to_string(seq);
+  return out;
+}
+
+}  // namespace
+
+bool make_session_config(const ParsedLine& line, SessionConfig& out,
+                         std::string& error) {
+  SessionConfig cfg;
+  cfg.mode = line.mode;
+  if (!line.center) {
+    error = "session requires center=x,y,z (physical center for calibrate, "
+            "phase center for track)";
+    return false;
+  }
+  cfg.center = *line.center;
+  if (line.wavelength) {
+    cfg.calibration.adaptive.base.wavelength = *line.wavelength;
+    cfg.localizer.wavelength = *line.wavelength;
+  }
+  if (cfg.mode == SessionMode::kTrack) {
+    if (line.direction) cfg.belt_direction = *line.direction;
+    if (cfg.belt_direction.norm() == 0.0) {
+      error = "track session: belt direction must be non-zero";
+      return false;
+    }
+    cfg.belt_direction = cfg.belt_direction.normalized();
+    if (line.speed) cfg.belt_speed = *line.speed;
+    if (line.window) cfg.window = *line.window;
+    if (line.hop) cfg.hop = *line.hop;
+    if (cfg.window < 8) {
+      error = "track session: window must be >= 8 samples";
+      return false;
+    }
+    if (cfg.hop == 0) {
+      error = "track session: hop must be positive";
+      return false;
+    }
+    cfg.localizer.target_dim = line.dim.value_or(2);
+    cfg.localizer.side_hint = line.hint;
+  } else {
+    // Calibrate-mode sessions take no tracker knobs: rejecting them loudly
+    // beats silently ignoring a client's window=... typo.
+    if (line.direction || line.speed || line.window || line.hop ||
+        line.dim || line.hint) {
+      error = "calibrate session accepts only center= and wavelength=";
+      return false;
+    }
+  }
+  out = cfg;
+  return true;
+}
+
+core::TrackFix solve_track_window(
+    const std::vector<sim::PhaseSample>& window_samples,
+    const SessionConfig& config) {
+  core::TrackFix fix;
+  if (window_samples.empty()) return fix;
+  fix.t = window_samples.back().t;
+  try {
+    core::TrackerConfig tc;
+    tc.antenna_phase_center = config.center;
+    tc.belt_direction = config.belt_direction;
+    tc.belt_speed = config.belt_speed;
+    tc.window = window_samples.size();
+    tc.hop = window_samples.size();
+    tc.localizer = config.localizer;
+    core::ConveyorTracker tracker(tc);
+    for (const auto& s : window_samples) {
+      if (const auto emitted = tracker.push(s)) return *emitted;
+    }
+  } catch (const std::exception&) {
+    fix.valid = false;
+  }
+  return fix;
+}
+
+std::string report_response(const std::string& session, std::uint64_t seq,
+                            const core::CalibrationReport& report) {
+  std::string out = envelope("lion.report.v1", session, seq);
+  out += ",\"report\":";
+  out += io::report_json(report);
+  out.push_back('}');
+  return out;
+}
+
+std::string fix_response(const std::string& session, std::uint64_t seq,
+                         std::uint64_t window_index,
+                         const core::TrackFix& fix) {
+  std::string out = envelope("lion.fix.v1", session, seq);
+  out += ",\"window\":";
+  out += std::to_string(window_index);
+  out += ",\"t\":";
+  obs::append_json_number(out, fix.t);
+  out += ",\"start\":";
+  append_vec(out, fix.start);
+  out += ",\"position\":";
+  append_vec(out, fix.position);
+  out += ",\"sigma\":";
+  obs::append_json_number(out, fix.sigma);
+  out += ",\"mean_residual\":";
+  obs::append_json_number(out, fix.mean_residual);
+  out += ",\"valid\":";
+  out += fix.valid ? "true" : "false";
+  out.push_back('}');
+  return out;
+}
+
+std::string error_response(const std::string& session, std::uint64_t seq,
+                           const std::string& code,
+                           const std::string& detail) {
+  std::string out = envelope("lion.error.v1", session, seq);
+  out += ",\"code\":\"";
+  out += obs::json_escape(code);
+  out += "\",\"detail\":\"";
+  out += obs::json_escape(detail);
+  out += "\"}";
+  return out;
+}
+
+std::string event_response(std::uint64_t seq, const std::string& event,
+                           const std::string& session, std::uint64_t value) {
+  std::string out = "{\"schema\":\"lion.event.v1\",\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"event\":\"";
+  out += obs::json_escape(event);
+  out += "\",\"session\":\"";
+  out += obs::json_escape(session);
+  out += "\",\"value\":";
+  out += std::to_string(value);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace lion::serve

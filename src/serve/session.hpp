@@ -1,0 +1,95 @@
+// Per-stream session state of the serving layer.
+//
+// A StreamSession is the unit of demultiplexing: one (antenna, tag) read
+// stream with its own CSV layout state, sample buffer, and solver
+// configuration. Calibrate-mode sessions accumulate the raw stream and
+// solve on `!flush` through the exact one-shot path
+// (`calibrate_antenna_robust` with the library-default config), which is
+// what makes the stream-vs-batch conformance contract provable. Track-mode
+// sessions window the stream like core::ConveyorTracker and schedule each
+// completed window as an independent solve.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/tracker.hpp"
+#include "io/csv.hpp"
+#include "serve/wire.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::serve {
+
+/// Everything a session needs to turn buffered samples into responses.
+struct SessionConfig {
+  SessionMode mode = SessionMode::kCalibrate;
+  /// Calibrate: the believed physical center. Track: the calibrated
+  /// antenna phase center.
+  Vec3 center{};
+  /// Calibrate-mode solver settings. Defaults to the library-default
+  /// RobustCalibrationConfig — the batch path's exact configuration, which
+  /// the differential conformance suite depends on.
+  core::RobustCalibrationConfig calibration{};
+  /// Track-mode settings (mirrors core::TrackerConfig).
+  Vec3 belt_direction{1.0, 0.0, 0.0};
+  double belt_speed = 0.1;
+  std::size_t window = 600;
+  std::size_t hop = 300;
+  core::LocalizerConfig localizer{};
+};
+
+/// Build a validated SessionConfig from a parsed `!session` line. Returns
+/// false (and an error detail) instead of throwing — declaration errors
+/// become lion.error.v1 responses.
+bool make_session_config(const ParsedLine& line, SessionConfig& out,
+                         std::string& error);
+
+/// One demultiplexed stream.
+struct StreamSession {
+  std::string id;
+  SessionConfig config;
+  io::CsvStreamParser csv;  ///< per-session CSV layout/header state
+
+  /// Calibrate mode: the cumulative raw stream (flush solves all of it).
+  std::vector<sim::PhaseSample> buffer;
+  /// Track mode: the sliding window (ConveyorTracker semantics).
+  std::deque<sim::PhaseSample> window_buffer;
+
+  std::uint64_t last_active = 0;  ///< virtual-clock tick of last traffic
+  std::size_t in_flight = 0;      ///< solve requests scheduled, not done
+  std::uint64_t samples_accepted = 0;
+  std::uint64_t windows_scheduled = 0;
+  std::uint64_t flushes = 0;
+};
+
+/// Solve one track window exactly as the streaming ConveyorTracker would:
+/// a fresh tracker over just these samples (hop/window-invariance — pinned
+/// by the metamorphic suite — makes this equal to the in-place streaming
+/// solve). Never throws; an unsolvable window yields valid == false.
+core::TrackFix solve_track_window(
+    const std::vector<sim::PhaseSample>& window_samples,
+    const SessionConfig& config);
+
+// ---------------------------------------------------------------------------
+// Response serialization (deterministic: fixed key order, %.17g numbers).
+// ---------------------------------------------------------------------------
+
+std::string report_response(const std::string& session, std::uint64_t seq,
+                            const core::CalibrationReport& report);
+
+std::string fix_response(const std::string& session, std::uint64_t seq,
+                         std::uint64_t window_index,
+                         const core::TrackFix& fix);
+
+std::string error_response(const std::string& session, std::uint64_t seq,
+                           const std::string& code,
+                           const std::string& detail);
+
+std::string event_response(std::uint64_t seq, const std::string& event,
+                           const std::string& session, std::uint64_t value);
+
+}  // namespace lion::serve

@@ -1,0 +1,207 @@
+// Differential conformance: the streaming service is a transport around
+// calibrate_antenna_robust, nothing more. For every golden fixture the
+// serve path must produce a report byte-identical to the batch path, no
+// matter how the wire bytes are chunked, and both must sit inside the
+// 1e-9 golden drift gate.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "io/csv.hpp"
+#include "io/report_json.hpp"
+#include "serve/service.hpp"
+
+namespace lion {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+std::string data_path(const std::string& name) {
+  return std::string(LION_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Same comparator as the golden suite: exact structure, 1e-9 numbers.
+struct ParsedJson {
+  std::string skeleton;
+  std::vector<double> numbers;
+};
+
+ParsedJson parse_numbers(const std::string& s) {
+  ParsedJson out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    const bool starts_number =
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])));
+    if (starts_number) {
+      char* end = nullptr;
+      out.numbers.push_back(std::strtod(s.c_str() + i, &end));
+      out.skeleton += '#';
+      i = static_cast<std::size_t>(end - s.c_str());
+    } else {
+      out.skeleton += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+void expect_json_near(const std::string& expected, const std::string& actual,
+                      const std::string& label) {
+  const auto e = parse_numbers(expected);
+  const auto a = parse_numbers(actual);
+  ASSERT_EQ(e.skeleton, a.skeleton) << label << ": structure drifted";
+  ASSERT_EQ(e.numbers.size(), a.numbers.size()) << label;
+  for (std::size_t i = 0; i < e.numbers.size(); ++i) {
+    const double tol =
+        kTolerance +
+        kTolerance * std::max(std::abs(e.numbers[i]), std::abs(a.numbers[i]));
+    EXPECT_NEAR(e.numbers[i], a.numbers[i], tol)
+        << label << ": number " << i << " drifted beyond 1e-9";
+  }
+}
+
+// Run one fixture's CSV bytes through a fresh service in `chunk`-byte
+// pieces and return every emitted line.
+std::vector<std::string> serve_fixture(const std::string& csv_bytes,
+                                       std::size_t chunk) {
+  std::vector<std::string> lines;
+  serve::StreamService service(
+      serve::ServiceConfig{},
+      [&lines](std::string_view line) { lines.emplace_back(line); });
+  const std::string wire =
+      "!session g center=0,0.8,0\n" + csv_bytes + "\n!flush g\n";
+  for (std::size_t off = 0; off < wire.size(); off += chunk) {
+    service.ingest_bytes(wire.substr(off, std::min(chunk, wire.size() - off)));
+  }
+  service.finish();
+  return lines;
+}
+
+void check_fixture(const std::string& stem) {
+  SCOPED_TRACE(stem);
+  const std::string csv_bytes = read_file(data_path(stem + ".csv"));
+  ASSERT_FALSE(csv_bytes.empty());
+
+  // Batch path: the library-default robust config, exactly what the
+  // golden fixtures pin.
+  const auto samples = io::read_samples_csv_file(data_path(stem + ".csv"));
+  ASSERT_FALSE(samples.empty());
+  const auto report =
+      core::calibrate_antenna_robust(samples, {0.0, 0.8, 0.0});
+  const std::string batch_line =
+      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,"
+      "\"report\":" +
+      io::report_json(report) + "}";
+
+  // Serve path, four chunkings: single bytes, a prime stride, a typical
+  // socket read, and the whole file at once.
+  const std::vector<std::size_t> chunkings = {1, 7, 4096, csv_bytes.size() + 64};
+  std::vector<std::string> first;
+  for (const std::size_t chunk : chunkings) {
+    const auto lines = serve_fixture(csv_bytes, chunk);
+    ASSERT_EQ(lines.size(), 1u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0], batch_line)
+        << "chunk=" << chunk << ": serve diverged from batch";
+    if (first.empty()) {
+      first = lines;
+    } else {
+      EXPECT_EQ(lines, first) << "chunk=" << chunk
+                              << ": output depends on chunking";
+    }
+  }
+
+  // And the serve report obeys the same golden drift gate as the batch
+  // suite — conformance is to the fixtures, not just to today's solver.
+  std::string expected = read_file(data_path(stem + ".json"));
+  while (!expected.empty() &&
+         (expected.back() == '\n' || expected.back() == '\r')) {
+    expected.pop_back();
+  }
+  ASSERT_FALSE(first.empty());
+  const std::string prefix =
+      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,\"report\":";
+  ASSERT_EQ(first[0].rfind(prefix, 0), 0u);
+  ASSERT_EQ(first[0].back(), '}');
+  const std::string served_report =
+      first[0].substr(prefix.size(), first[0].size() - prefix.size() - 1);
+  expect_json_near(expected, served_report, stem + " (served)");
+}
+
+TEST(StreamVsBatch, ThreeLineRigScan) { check_fixture("golden_rig"); }
+
+TEST(StreamVsBatch, SingleLineScan) { check_fixture("golden_line"); }
+
+TEST(StreamVsBatch, TurntableCircleScan) { check_fixture("golden_circle"); }
+
+// Interleaving two sessions must not perturb either result: demux state
+// is per-session, so a rig session braided row-by-row with a circle
+// session yields the same two reports as solo runs.
+TEST(StreamVsBatch, InterleavedSessionsMatchSoloRuns) {
+  const std::string rig_csv = read_file(data_path("golden_rig.csv"));
+  const std::string circle_csv = read_file(data_path("golden_circle.csv"));
+  auto split = [](const std::string& bytes) {
+    std::vector<std::string> rows;
+    std::istringstream in(bytes);
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) rows.push_back(std::move(line));
+    }
+    return rows;
+  };
+  const auto rig_rows = split(rig_csv);
+  const auto circle_rows = split(circle_csv);
+
+  std::vector<std::string> lines;
+  serve::StreamService service(
+      serve::ServiceConfig{},
+      [&lines](std::string_view line) { lines.emplace_back(line); });
+  service.ingest_line("!session rig center=0,0.8,0");
+  service.ingest_line("!session circle center=0,0.8,0");
+  const std::size_t n = std::max(rig_rows.size(), circle_rows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < rig_rows.size()) service.ingest_line("@rig " + rig_rows[i]);
+    if (i < circle_rows.size()) {
+      service.ingest_line("@circle " + circle_rows[i]);
+    }
+  }
+  service.ingest_line("!flush rig");
+  service.ingest_line("!flush circle");
+  service.finish();
+  ASSERT_EQ(lines.size(), 2u);
+
+  auto solo = [&](const std::string& stem) {
+    const auto samples = io::read_samples_csv_file(data_path(stem + ".csv"));
+    return io::report_json(
+        core::calibrate_antenna_robust(samples, {0.0, 0.8, 0.0}));
+  };
+  EXPECT_EQ(lines[0],
+            "{\"schema\":\"lion.report.v1\",\"session\":\"rig\",\"seq\":0,"
+            "\"report\":" +
+                solo("golden_rig") + "}");
+  EXPECT_EQ(lines[1],
+            "{\"schema\":\"lion.report.v1\",\"session\":\"circle\",\"seq\":1,"
+            "\"report\":" +
+                solo("golden_circle") + "}");
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,208 @@
+// Wire-layer unit tests: chunk reassembly is transport-independent, the
+// line grammar is total (never throws, every malformed input maps to
+// kError), and session-id validation is strict.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace lion::serve {
+namespace {
+
+std::vector<std::string> feed_in_chunks(const std::string& bytes,
+                                        std::size_t chunk,
+                                        std::size_t max_line = kDefaultMaxLineBytes) {
+  ChunkDecoder decoder(max_line);
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < bytes.size(); i += chunk) {
+    auto out = decoder.feed(bytes.substr(i, chunk));
+    for (auto& l : out.lines) lines.push_back(std::move(l));
+  }
+  auto tail = decoder.finish();
+  for (auto& l : tail.lines) lines.push_back(std::move(l));
+  return lines;
+}
+
+TEST(ChunkDecoder, ReassemblyIsChunkInvariant) {
+  const std::string bytes = "first line\nsecond\r\nthird,with,fields\n!ctl x\n";
+  const auto whole = feed_in_chunks(bytes, bytes.size());
+  ASSERT_EQ(whole.size(), 4u);
+  EXPECT_EQ(whole[0], "first line");
+  EXPECT_EQ(whole[1], "second");  // \r stripped
+  EXPECT_EQ(whole[2], "third,with,fields");
+  for (const std::size_t chunk : {1u, 2u, 3u, 5u, 7u, 16u}) {
+    EXPECT_EQ(feed_in_chunks(bytes, chunk), whole) << "chunk=" << chunk;
+  }
+}
+
+TEST(ChunkDecoder, FinishFlushesUnterminatedLine) {
+  ChunkDecoder decoder;
+  EXPECT_TRUE(decoder.feed("no newline yet").lines.empty());
+  EXPECT_EQ(decoder.pending(), 14u);
+  const auto tail = decoder.finish();
+  ASSERT_EQ(tail.lines.size(), 1u);
+  EXPECT_EQ(tail.lines[0], "no newline yet");
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+TEST(ChunkDecoder, OversizedLineIsDroppedAndStreamResyncs) {
+  ChunkDecoder decoder(8);
+  const std::string giant(100, 'x');
+  auto out = decoder.feed("ok1\n" + giant + "\nok2\n");
+  ASSERT_EQ(out.lines.size(), 2u);
+  EXPECT_EQ(out.lines[0], "ok1");
+  EXPECT_EQ(out.lines[1], "ok2");
+  EXPECT_EQ(out.oversized_dropped, 1u);
+}
+
+TEST(ChunkDecoder, OversizedDetectionSpansChunks) {
+  ChunkDecoder decoder(8);
+  std::size_t dropped = 0;
+  std::vector<std::string> lines;
+  for (const char c : std::string(50, 'y')) {
+    auto out = decoder.feed(std::string(1, c));
+    dropped += out.oversized_dropped;
+  }
+  auto out = decoder.feed("\nafter\n");
+  dropped += out.oversized_dropped;
+  ASSERT_EQ(out.lines.size(), 1u);
+  EXPECT_EQ(out.lines[0], "after");
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(ChunkDecoder, OversizedTrailingLineCountedByFinish) {
+  ChunkDecoder decoder(4);
+  EXPECT_EQ(decoder.feed(std::string(20, 'z')).oversized_dropped, 0u);
+  EXPECT_EQ(decoder.finish().oversized_dropped, 1u);
+}
+
+TEST(WireGrammar, CommentsAndBlanksAreIgnored) {
+  EXPECT_EQ(parse_line("").kind, ParsedLine::kComment);
+  EXPECT_EQ(parse_line("   ").kind, ParsedLine::kComment);
+  EXPECT_EQ(parse_line("# a comment").kind, ParsedLine::kComment);
+  EXPECT_EQ(parse_line("  # indented").kind, ParsedLine::kComment);
+}
+
+TEST(WireGrammar, SessionDeclareParsesAllOptions) {
+  const auto p = parse_line(
+      "!session belt3 mode=track center=0.1,-0.2,0.3 dir=0,1,0 hint=1,2,3 "
+      "speed=0.25 wavelength=0.33 window=64 hop=16 dim=3");
+  ASSERT_EQ(p.kind, ParsedLine::kSession);
+  EXPECT_EQ(p.session, "belt3");
+  EXPECT_EQ(p.mode, SessionMode::kTrack);
+  ASSERT_TRUE(p.center);
+  EXPECT_DOUBLE_EQ((*p.center)[1], -0.2);
+  ASSERT_TRUE(p.direction);
+  EXPECT_DOUBLE_EQ((*p.direction)[1], 1.0);
+  ASSERT_TRUE(p.hint);
+  ASSERT_TRUE(p.speed);
+  EXPECT_DOUBLE_EQ(*p.speed, 0.25);
+  ASSERT_TRUE(p.wavelength);
+  ASSERT_TRUE(p.window);
+  EXPECT_EQ(*p.window, 64u);
+  ASSERT_TRUE(p.hop);
+  EXPECT_EQ(*p.hop, 16u);
+  ASSERT_TRUE(p.dim);
+  EXPECT_EQ(*p.dim, 3u);
+}
+
+TEST(WireGrammar, ControlErrorsAreTotalNotThrown) {
+  for (const char* bad : {
+           "!flush",                          // missing id
+           "!flush a b",                      // extra token
+           "!flush bad/id",                   // invalid id chars
+           "!close",                          //
+           "!stats now",                      // extra token
+           "!tick",                           // missing count
+           "!tick -3",                        // negative
+           "!tick 0",                         // zero
+           "!tick 1.5",                       // fractional
+           "!session",                        // missing id
+           "!session x mode=sideways",        // bad enum
+           "!session x center=1,2",           // short vec
+           "!session x center=1,2,3,4",       // long vec
+           "!session x speed=-1",             // nonpositive
+           "!session x window=abc",           //
+           "!session x dim=4",                // dims are 2|3
+           "!session x novalue",              // not key=value
+           "!session x =v",                   // empty key
+           "!session x bogus=1",              // unknown key
+           "!nosuch",                         // unknown control
+       }) {
+    const auto p = parse_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::kError) << bad;
+    EXPECT_FALSE(p.error.empty()) << bad;
+  }
+}
+
+TEST(WireGrammar, RoutedCsvRow) {
+  const auto p = parse_line("@a1 0.1,0.2,0.3,1.5");
+  ASSERT_EQ(p.kind, ParsedLine::kData);
+  EXPECT_EQ(p.session, "a1");
+  EXPECT_EQ(p.csv_row, "0.1,0.2,0.3,1.5");
+  EXPECT_FALSE(p.json_sample);
+
+  EXPECT_EQ(parse_line("@nospace").kind, ParsedLine::kError);
+  EXPECT_EQ(parse_line("@bad/id 1,2,3,4").kind, ParsedLine::kError);
+}
+
+TEST(WireGrammar, BareCsvRowTargetsCurrentSession) {
+  const auto p = parse_line("0.1,0.2,0.3,1.5,-60");
+  ASSERT_EQ(p.kind, ParsedLine::kData);
+  EXPECT_TRUE(p.session.empty());
+}
+
+TEST(WireGrammar, JsonRecordHappyPath) {
+  const auto p = parse_line(
+      R"({"session":"s1","x":0.5,"y":-0.25,"z":0,"phase":3.14,"rssi":-60,"channel":7,"t":1.5})");
+  ASSERT_EQ(p.kind, ParsedLine::kData) << p.error;
+  EXPECT_EQ(p.session, "s1");
+  ASSERT_TRUE(p.json_sample);
+  EXPECT_DOUBLE_EQ(p.json_sample->position[0], 0.5);
+  EXPECT_DOUBLE_EQ(p.json_sample->phase, 3.14);
+  EXPECT_EQ(p.json_sample->channel, 7u);
+  EXPECT_DOUBLE_EQ(p.json_sample->t, 1.5);
+}
+
+TEST(WireGrammar, JsonRecordWithoutSessionUsesCurrent) {
+  const auto p = parse_line(R"({"x":1,"y":2,"z":3,"phase":4})");
+  ASSERT_EQ(p.kind, ParsedLine::kData) << p.error;
+  EXPECT_TRUE(p.session.empty());
+}
+
+TEST(WireGrammar, JsonRecordErrorsAreTotal) {
+  for (const char* bad : {
+           R"({"x":1,"y":2,"z":3})",                    // missing phase
+           R"({"x":1,"y":2,"z":3,"phase":})",           // empty number
+           R"({"x":1,"y":2,"z":3,"phase":4,"w":5})",    // unknown key
+           R"({"x":1,"y":2,"z":3,"phase":{"a":1}})",    // nesting
+           R"({"x":1,"y":2,"z":3,"phase":4} trailing)", // trailing bytes
+           R"({"session":"bad id","x":1,"y":2,"z":3,"phase":4})",
+           R"({"session":"s)",                          // unterminated
+           R"({"x":1 "y":2})",                          // missing comma
+           R"({"channel":-1,"x":1,"y":2,"z":3,"phase":4})",
+           R"({12:"x"})",                               // non-string key
+       }) {
+    const auto p = parse_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::kError) << bad;
+    EXPECT_FALSE(p.error.empty()) << bad;
+  }
+}
+
+TEST(WireGrammar, SessionIdValidation) {
+  EXPECT_TRUE(valid_session_id("a"));
+  EXPECT_TRUE(valid_session_id("A-Z_0.9:x"));
+  EXPECT_TRUE(valid_session_id(std::string(64, 'k')));
+  EXPECT_FALSE(valid_session_id(""));
+  EXPECT_FALSE(valid_session_id(std::string(65, 'k')));
+  EXPECT_FALSE(valid_session_id("has space"));
+  EXPECT_FALSE(valid_session_id("quote\""));
+  EXPECT_FALSE(valid_session_id("back\\slash"));
+  EXPECT_FALSE(valid_session_id("new\nline"));
+}
+
+}  // namespace
+}  // namespace lion::serve

@@ -22,12 +22,17 @@
 // antennas on the work-stealing batch engine and prints throughput/latency
 // stats plus the per-status histogram.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/lion.hpp"
@@ -36,6 +41,7 @@
 #include "io/report_json.hpp"
 #include "obs/obs.hpp"
 #include "rf/phase_model.hpp"
+#include "serve/server.hpp"
 #include "signal/stitch.hpp"
 #include "sim/scenario.hpp"
 
@@ -64,6 +70,14 @@ namespace {
                "  lion batch     [--jobs N] [--threads M] [--seed N]\n"
                "                 [--depth M] [--metrics <out.json>]\n"
                "                 [--trace <out.json>]\n"
+               "  lion serve     [--tcp PORT | --unix PATH] [--threads M]\n"
+               "                 [--center x,y,z] [--max-inflight N]\n"
+               "                 [--ttl TICKS] [--timeout S] [--reject-busy]\n"
+               "\n"
+               "`serve` runs the streaming calibration service: with no\n"
+               "listener flag it speaks the wire protocol on stdin/stdout\n"
+               "(--center enables bare-CSV pipes); with --tcp/--unix it\n"
+               "serves sockets until SIGINT/SIGTERM.\n"
                "\n"
                "--metrics writes a lion.metrics.v1 snapshot (per-stage\n"
                "duration histograms + pipeline counters); --trace writes a\n"
@@ -103,6 +117,12 @@ struct Args {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
   std::string metrics_path;  ///< write a metrics snapshot here when set
   std::string trace_path;    ///< write a Chrome trace here when set
+  int tcp_port = -1;         ///< serve: TCP listener port (-1 = stdio)
+  std::string unix_path;     ///< serve: Unix socket listener path
+  std::size_t max_inflight = 4;
+  std::uint64_t ttl_ticks = 0;
+  double timeout_s = 0.0;
+  bool reject_busy = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -110,8 +130,8 @@ Args parse_args(int argc, char** argv) {
   Args a;
   a.command = argv[1];
   int i = 2;
-  // Every command except `batch` takes a CSV path as its first operand.
-  if (a.command != "batch") {
+  // Every command except `batch` and `serve` takes a CSV path operand.
+  if (a.command != "batch" && a.command != "serve") {
     if (argc < 3 || argv[2][0] == '-') usage();
     a.file = argv[2];
     i = 3;
@@ -177,6 +197,18 @@ Args parse_args(int argc, char** argv) {
       a.metrics_path = next();
     } else if (flag == "--trace") {
       a.trace_path = next();
+    } else if (flag == "--tcp") {
+      a.tcp_port = static_cast<int>(std::stoul(next()));
+    } else if (flag == "--unix") {
+      a.unix_path = next();
+    } else if (flag == "--max-inflight") {
+      a.max_inflight = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--ttl") {
+      a.ttl_ticks = std::stoull(next());
+    } else if (flag == "--timeout") {
+      a.timeout_s = std::stod(next());
+    } else if (flag == "--reject-busy") {
+      a.reject_busy = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -420,6 +452,57 @@ int cmd_batch(const Args& a) {
   return result.succeeded() == s.jobs ? 0 : 1;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+serve::ServiceConfig make_service_config(const Args& a) {
+  serve::ServiceConfig cfg;
+  cfg.threads = a.threads;
+  cfg.max_inflight_per_session = a.max_inflight;
+  cfg.idle_ttl_ticks = a.ttl_ticks;
+  cfg.request_timeout_s = a.timeout_s;
+  cfg.reject_when_busy = a.reject_busy;
+  if (a.center) cfg.implicit_center = *a.center;
+  return cfg;
+}
+
+int cmd_serve(const Args& a) {
+  const serve::ServiceConfig cfg = make_service_config(a);
+  if (a.tcp_port < 0 && a.unix_path.empty()) {
+    const auto responses = serve::run_stdio(cfg, std::cin, std::cout);
+    std::fprintf(stderr, "serve: %llu response(s)\n",
+                 static_cast<unsigned long long>(responses));
+    return 0;
+  }
+  serve::ServerConfig server_cfg;
+  server_cfg.service = cfg;
+  server_cfg.unix_path = a.unix_path;
+  server_cfg.tcp_port = a.tcp_port;
+  serve::SocketServer server(server_cfg);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!a.unix_path.empty()) {
+    std::printf("listening on unix:%s\n", a.unix_path.c_str());
+  } else {
+    std::printf("listening on %s:%d\n", server_cfg.tcp_host.c_str(),
+                server.port());
+  }
+  std::fflush(stdout);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::fprintf(stderr, "serve: %llu connection(s) served\n",
+               static_cast<unsigned long long>(server.connections_served()));
+  return 0;
+}
+
 // Turn instrumentation on before the command runs (only the layers that
 // were requested), and flush the collected data to the requested files
 // afterwards. Returns false if an output file could not be written.
@@ -462,6 +545,7 @@ int main(int argc, char** argv) {
     else if (a.command == "track") rc = cmd_track(a);
     else if (a.command == "decompose") rc = cmd_decompose(a);
     else if (a.command == "batch") rc = cmd_batch(a);
+    else if (a.command == "serve") rc = cmd_serve(a);
     else usage("unknown command");
     if (!write_observability(a) && rc == 0) rc = 1;
     return rc;

@@ -1,0 +1,117 @@
+// lion_served — thin standalone daemon around serve::SocketServer.
+//
+//   lion_served [--tcp PORT] [--unix PATH] [--threads N] [--center x,y,z]
+//               [--max-inflight N] [--ttl TICKS] [--timeout S]
+//               [--reject-busy] [--max-conns N] [--port-file PATH]
+//
+// Defaults to an ephemeral TCP port on 127.0.0.1 and announces the bound
+// address on stdout as its first line:
+//
+//   lion_served listening on 127.0.0.1:43215
+//
+// so a supervisor (or the CI smoke job) can scrape the port; --port-file
+// additionally writes the bare port number to a file for race-free
+// pickup. Runs until SIGINT/SIGTERM, then drains every connection's
+// in-flight solves before exiting 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <chrono>
+
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr, "%s",
+               "usage: lion_served [--tcp PORT] [--unix PATH] [--threads N]\n"
+               "                   [--center x,y,z] [--max-inflight N]\n"
+               "                   [--ttl TICKS] [--timeout S]\n"
+               "                   [--reject-busy] [--max-conns N]\n"
+               "                   [--port-file PATH]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lion::serve::ServerConfig cfg;
+  cfg.tcp_port = 0;  // ephemeral by default
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--tcp") {
+      cfg.tcp_port = std::atoi(next().c_str());
+    } else if (flag == "--unix") {
+      cfg.unix_path = next();
+      cfg.tcp_port = -1;
+    } else if (flag == "--threads") {
+      cfg.service.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--center") {
+      lion::linalg::Vec3 v;
+      if (std::sscanf(next().c_str(), "%lf,%lf,%lf", &v[0], &v[1], &v[2]) !=
+          3) {
+        usage("--center expects x,y,z");
+      }
+      cfg.service.implicit_center = v;
+    } else if (flag == "--max-inflight") {
+      cfg.service.max_inflight_per_session =
+          static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--ttl") {
+      cfg.service.idle_ttl_ticks = std::stoull(next());
+    } else if (flag == "--timeout") {
+      cfg.service.request_timeout_s = std::stod(next());
+    } else if (flag == "--reject-busy") {
+      cfg.service.reject_when_busy = true;
+    } else if (flag == "--max-conns") {
+      cfg.max_connections = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--port-file") {
+      port_file = next();
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+
+  lion::serve::SocketServer server(cfg);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!cfg.unix_path.empty()) {
+    std::printf("lion_served listening on unix:%s\n", cfg.unix_path.c_str());
+  } else {
+    std::printf("lion_served listening on %s:%d\n", cfg.tcp_host.c_str(),
+                server.port());
+  }
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream f(port_file);
+    f << server.port() << '\n';
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::fprintf(stderr, "lion_served: %llu connection(s) served\n",
+               static_cast<unsigned long long>(server.connections_served()));
+  return 0;
+}

@@ -1,0 +1,232 @@
+// replay_client — load generator / smoke driver for the streaming service.
+//
+//   replay_client (--tcp host:port | --unix PATH) --file scan.csv
+//                 [--sessions N] [--chunk BYTES] [--center x,y,z]
+//
+// Replays a recorded scan CSV into a running lion_served as N independent
+// calibrate sessions: every session gets a `!session` declare, the file's
+// rows routed via `@<id>` lines, and a final `!flush`. The payload is
+// written in --chunk-byte pieces (default 1024) to exercise the server's
+// chunk reassembly exactly the way a real reader gateway's socket writes
+// would. A reader thread concurrently consumes responses.
+//
+// Exit status is the contract the CI smoke job relies on: 0 iff the
+// server answered with exactly one lion.report.v1 per session and zero
+// lion.error.v1 lines. Throughput (read records ingested per second,
+// wall-clock from first byte written to last response read) is printed
+// to stdout.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr, "%s",
+               "usage: replay_client (--tcp host:port | --unix PATH)\n"
+               "                     --file scan.csv [--sessions N]\n"
+               "                     [--chunk BYTES] [--center x,y,z]\n");
+  std::exit(2);
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_tcp(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) usage("--tcp expects host:port");
+  const std::string host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 || !res) {
+    std::fprintf(stderr, "error: cannot resolve %s\n", spec.c_str());
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) usage("unix path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tcp_spec;
+  std::string unix_path;
+  std::string file;
+  std::string center = "0,0.8,0";
+  std::size_t sessions = 1;
+  std::size_t chunk = 1024;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--tcp") {
+      tcp_spec = next();
+    } else if (flag == "--unix") {
+      unix_path = next();
+    } else if (flag == "--file") {
+      file = next();
+    } else if (flag == "--sessions") {
+      sessions = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--chunk") {
+      chunk = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--center") {
+      center = next();
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (file.empty()) usage("--file is required");
+  if (tcp_spec.empty() && unix_path.empty()) usage("need --tcp or --unix");
+  if (sessions == 0 || chunk == 0) usage("--sessions/--chunk must be > 0");
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::vector<std::string> rows;
+  std::size_t data_rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.find_first_of("0123456789+-.") == 0) ++data_rows;
+    rows.push_back(std::move(line));
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "error: no rows in %s\n", file.c_str());
+    return 1;
+  }
+
+  // One big payload: declare + route + flush per session. Routing every
+  // row with '@' (instead of relying on the current-session default)
+  // keeps the payload valid under any interleaving we might add later.
+  std::string payload;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const std::string id = "replay" + std::to_string(s);
+    payload += "!session " + id + " center=" + center + "\n";
+    for (const std::string& row : rows) {
+      payload += "@" + id + " " + row + "\n";
+    }
+    payload += "!flush " + id + "\n";
+  }
+
+  const int fd = !unix_path.empty() ? connect_unix(unix_path)
+                                    : connect_tcp(tcp_spec);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect\n");
+    return 1;
+  }
+
+  std::size_t reports = 0;
+  std::size_t errors = 0;
+  std::size_t response_lines = 0;
+  std::thread reader([fd, &reports, &errors, &response_lines] {
+    std::string partial;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      partial.append(buf, static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      for (std::size_t nl = partial.find('\n', pos);
+           nl != std::string::npos; nl = partial.find('\n', pos)) {
+        const std::string line = partial.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++response_lines;
+        if (line.find("\"schema\":\"lion.report.v1\"") != std::string::npos) {
+          ++reports;
+        } else if (line.find("\"schema\":\"lion.error.v1\"") !=
+                   std::string::npos) {
+          ++errors;
+          std::fprintf(stderr, "server error: %s\n", line.c_str());
+        }
+      }
+      partial.erase(0, pos);
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  bool sent = true;
+  for (std::size_t off = 0; off < payload.size() && sent; off += chunk) {
+    const std::size_t n = std::min(chunk, payload.size() - off);
+    sent = send_all(fd, payload.data() + off, n);
+  }
+  ::shutdown(fd, SHUT_WR);  // EOF -> server finish()es and closes
+  reader.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ::close(fd);
+
+  const std::size_t total_reads = data_rows * sessions;
+  std::printf("replay: %zu sessions x %zu reads in %.3f s "
+              "(%.0f reads/s), %zu responses (%zu reports, %zu errors)\n",
+              sessions, data_rows, wall,
+              wall > 0 ? static_cast<double>(total_reads) / wall : 0.0,
+              response_lines, reports, errors);
+  if (!sent) {
+    std::fprintf(stderr, "error: connection broke mid-send\n");
+    return 1;
+  }
+  if (reports != sessions || errors != 0) {
+    std::fprintf(stderr, "error: expected %zu reports / 0 errors\n",
+                 sessions);
+    return 1;
+  }
+  return 0;
+}
