@@ -123,8 +123,13 @@ CsvStreamParser::Result CsvStreamParser::push_line(std::string_view line) {
     layout_known_ = true;
   }
 
-  if (static_cast<int>(fields.size()) <= layout_.phase ||
-      static_cast<int>(fields.size()) <= layout_.z) {
+  // Every mandatory column must be in range: a named header may place x or
+  // y above z/phase (e.g. "z,phase,x,y"), so checking only z and phase
+  // would let a short row index out of bounds.
+  const int max_required =
+      std::max(std::max(layout_.x, layout_.y),
+               std::max(layout_.z, layout_.phase));
+  if (static_cast<int>(fields.size()) <= max_required) {
     out.status = CsvRowStatus::kError;
     out.error = "csv: too few columns on line " + std::to_string(line_no_);
     return out;

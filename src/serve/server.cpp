@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <arpa/inet.h>
@@ -143,6 +144,24 @@ bool SocketServer::start(std::string& error) {
 
 void SocketServer::accept_loop() {
   while (running_.load()) {
+    // Poll with a timeout rather than blocking in accept() so finished
+    // connections are reaped even when no new connection ever arrives —
+    // otherwise a quiet server retains every closed connection's fd and
+    // un-joined thread (and counts them against max_connections) until
+    // the next accept or stop().
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      reap_finished_locked();
+      continue;
+    }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -269,12 +270,12 @@ void StreamService::accept_sample(std::unique_lock<std::mutex>& lock,
   schedule(lock, std::move(request));
 }
 
-void StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
+bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
                                  const std::string& id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
-    return;
+    return false;
   }
   it->second.last_active = clock_ticks_;
   ++it->second.flushes;
@@ -283,10 +284,10 @@ void StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
       emit_error(id, "busy", "flush rejected: session at in-flight cap",
                  false);
     }
-    return;
+    return false;
   }
   const auto again = sessions_.find(id);
-  if (again == sessions_.end()) return;
+  if (again == sessions_.end()) return false;
   StreamSession& session = again->second;
   SolveRequest request;
   request.session = id;
@@ -304,6 +305,7 @@ void StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
     request.window_index = session.windows_scheduled++;
   }
   schedule(lock, std::move(request));
+  return true;
 }
 
 void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
@@ -312,9 +314,20 @@ void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
     emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
     return;
   }
-  handle_flush(lock, id);  // close == final flush + eviction
+  const bool flushed = handle_flush(lock, id);  // close == final flush...
   const auto again = sessions_.find(id);
-  if (again != sessions_.end()) sessions_.erase(again);
+  if (again == sessions_.end()) {
+    if (current_session_ == id) current_session_.clear();
+    cv_.notify_all();
+    return;
+  }
+  if (!flushed) {
+    // Busy-reject refused the terminal solve. Erasing now would silently
+    // drop the accumulated buffer with no way to retry, so the session
+    // stays alive; the client sees code="busy" and may retry !close.
+    return;
+  }
+  sessions_.erase(again);  // ...+ eviction, only once the flush is in flight
   if (current_session_ == id) current_session_.clear();
   cv_.notify_all();  // wake any producer blocked on this session's slots
 }
@@ -358,39 +371,64 @@ void StreamService::schedule(std::unique_lock<std::mutex>& lock,
 }
 
 void StreamService::run_request(SolveRequest& request) {
-  const bool timed_out =
-      cfg_.request_timeout_s > 0.0 &&
-      now() - request.enqueue_time > cfg_.request_timeout_s;
+  // This function is the sole emitter of its reserved seq, and the pool
+  // swallows task exceptions — an escape here would wedge the reorder
+  // buffer and leak the outstanding_ slot (drain()/~StreamService hang).
+  // So: any throw degrades to an error response, and the accounting block
+  // runs unconditionally.
+  bool timed_out = false;
+  bool failed = false;
   std::string response;
-  if (request.mode == SessionMode::kCalibrate) {
-    core::CalibrationReport report;
-    if (timed_out) {
-      report.status = core::CalibrationStatus::kSolverFailure;
-      report.diagnostics.message =
-          "serve: request exceeded its deadline before solving";
+  try {
+    timed_out = cfg_.request_timeout_s > 0.0 &&
+                now() - request.enqueue_time > cfg_.request_timeout_s;
+    if (request.mode == SessionMode::kCalibrate) {
+      core::CalibrationReport report;
+      if (timed_out) {
+        report.status = core::CalibrationStatus::kSolverFailure;
+        report.diagnostics.message =
+            "serve: request exceeded its deadline before solving";
+      } else {
+        thread_local linalg::SolverWorkspace solver_ws;
+        report = core::calibrate_antenna_robust(
+            request.samples, request.config.center,
+            request.config.calibration, &solver_ws);
+      }
+      response = report_response(request.session, request.seq, report);
     } else {
-      thread_local linalg::SolverWorkspace solver_ws;
-      report = core::calibrate_antenna_robust(
-          request.samples, request.config.center, request.config.calibration,
-          &solver_ws);
+      core::TrackFix fix;
+      if (timed_out) {
+        if (!request.samples.empty()) fix.t = request.samples.back().t;
+      } else {
+        fix = solve_track_window(request.samples, request.config);
+      }
+      response = fix_response(request.session, request.seq,
+                              request.window_index, fix);
     }
-    response = report_response(request.session, request.seq, report);
-  } else {
-    core::TrackFix fix;
-    if (timed_out) {
-      if (!request.samples.empty()) fix.t = request.samples.back().t;
-    } else {
-      fix = solve_track_window(request.samples, request.config);
-    }
-    response =
-        fix_response(request.session, request.seq, request.window_index, fix);
+  } catch (const std::exception& e) {
+    failed = true;
+    response = error_response(request.session, request.seq, "internal_error",
+                              std::string("serve: solve failed: ") + e.what());
+  } catch (...) {
+    failed = true;
+    response = error_response(request.session, request.seq, "internal_error",
+                              "serve: solve failed: unknown exception");
   }
-  emit(request.seq, std::move(response));
+  try {
+    emit(request.seq, std::move(response));
+  } catch (...) {
+    // A throwing sink leaves the entry buffered; the next emit retries
+    // releasing it. Swallow so the accounting below still runs.
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (timed_out) {
       ++stats_.timeouts;
       LION_OBS_COUNT("serve.timeouts", 1);
+    }
+    if (failed) {
+      ++stats_.errors;
+      LION_OBS_COUNT("serve.errors", 1);
     }
     const auto it = sessions_.find(request.session);
     if (it != sessions_.end() && it->second.in_flight > 0) {

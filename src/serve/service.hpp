@@ -31,7 +31,9 @@
 // or running. At the cap the service either blocks the ingest thread
 // (default: lossless backpressure, the transport's TCP window pushes back
 // on the producer) or, with reject_when_busy, answers lion.error.v1
-// code="busy" and drops the request. Sessions idle for more than
+// code="busy" and drops the request. A `!close` whose terminal flush is
+// busy-rejected keeps the session (and its buffer) alive so the client
+// can retry the close. Sessions idle for more than
 // `idle_ttl_ticks` virtual-clock ticks (one tick per ingested line, plus
 // explicit `!tick n`) are evicted deterministically — ordered by
 // (last-active tick, id) — with a lion.event.v1 notice. The virtual clock
@@ -155,7 +157,9 @@ class StreamService {
   void handle_line(const ParsedLine& line);
   void handle_session_declare(const ParsedLine& line);
   void handle_data(std::unique_lock<std::mutex>& lock, const ParsedLine& line);
-  void handle_flush(std::unique_lock<std::mutex>& lock, const std::string& id);
+  /// Returns true iff a solve was scheduled (false: unknown session,
+  /// busy-rejected, or the session vanished while blocked).
+  bool handle_flush(std::unique_lock<std::mutex>& lock, const std::string& id);
   void handle_close(std::unique_lock<std::mutex>& lock, const std::string& id);
   void emit_stats_response();
   void accept_sample(std::unique_lock<std::mutex>& lock, const std::string& id,

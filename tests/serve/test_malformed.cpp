@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -91,6 +92,48 @@ TEST(MalformedCsv, MutatedRowsNeverThrowAndStreamRecovers) {
   }
   EXPECT_GT(errors, 100u);   // the mutator does produce broken rows
   EXPECT_GT(samples, 500u);  // and the clean half parses
+}
+
+TEST(MalformedCsv, PermutedHeaderShortRowIsErrorNotOutOfBounds) {
+  // Header places x and y *above* z and phase: a short data row used to
+  // pass a z/phase-only bounds check and index fields[] out of range.
+  io::CsvStreamParser parser;
+  ASSERT_EQ(parser.push_line("z,phase,x,y").status, io::CsvRowStatus::kHeader);
+  const auto short_row = parser.push_line("1,2");
+  ASSERT_EQ(short_row.status, io::CsvRowStatus::kError);
+  EXPECT_NE(short_row.error.find("too few columns"), std::string::npos);
+  EXPECT_EQ(parser.push_line("1,2,3").status, io::CsvRowStatus::kError);
+  // A full-width row maps through the permuted layout and keeps parsing.
+  const auto ok = parser.push_line("0.5,1.25,0.1,0.2");
+  ASSERT_EQ(ok.status, io::CsvRowStatus::kSample);
+  EXPECT_DOUBLE_EQ(ok.sample.position[0], 0.1);
+  EXPECT_DOUBLE_EQ(ok.sample.position[1], 0.2);
+  EXPECT_DOUBLE_EQ(ok.sample.position[2], 0.5);
+  EXPECT_DOUBLE_EQ(ok.sample.phase, 1.25);
+}
+
+TEST(MalformedCsv, AllHeaderPermutationsRejectShortRows) {
+  std::vector<std::string> names{"phase", "x", "y", "z"};  // sorted
+  do {
+    io::CsvStreamParser parser;
+    const std::string header =
+        names[0] + "," + names[1] + "," + names[2] + "," + names[3];
+    ASSERT_EQ(parser.push_line(header).status, io::CsvRowStatus::kHeader)
+        << header;
+    std::string row;
+    for (int width = 1; width <= 4; ++width) {
+      if (!row.empty()) row += ',';
+      row += std::to_string(width);
+      const auto r = parser.push_line(row);
+      if (width < 4) {
+        ASSERT_EQ(r.status, io::CsvRowStatus::kError)
+            << header << " / " << row;
+      } else {
+        ASSERT_EQ(r.status, io::CsvRowStatus::kSample)
+            << header << " / " << row;
+      }
+    }
+  } while (std::next_permutation(names.begin(), names.end()));
 }
 
 TEST(MalformedCsv, NonFiniteValuesAreHandledNotThrown) {

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "engine/thread_pool.hpp"
 #include "serve/service.hpp"
 #include "serve/session.hpp"
 
@@ -192,6 +195,65 @@ TEST(Service, BusyRejectionWhenInflightCapIsZero) {
   EXPECT_TRUE(has_field(h.lines[0], "code", "busy"));
   EXPECT_EQ(h.service.stats().rejected_busy, 1u);
   EXPECT_EQ(h.service.stats().reports, 0u);
+}
+
+TEST(Service, BusyRejectedCloseKeepsSessionForRetry) {
+  // Clog a 1-thread shared pool so the flush's solve stays in flight; the
+  // close that follows is busy-rejected and must NOT drop the session (and
+  // with it the accumulated buffer) — the client retries the close.
+  engine::ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> released = gate.get_future().share();
+  ServiceConfig cfg;
+  cfg.max_inflight_per_session = 1;
+  cfg.reject_when_busy = true;
+  std::vector<std::string> lines;
+  {
+    StreamService service(
+        cfg, [&lines](std::string_view l) { lines.emplace_back(l); }, &pool);
+    pool.submit([released] { released.wait(); });
+    service.ingest_line("!session a center=0,0.8,0");
+    service.ingest_line(kRow);
+    service.ingest_line("!flush a");  // occupies the only in-flight slot
+    service.ingest_line("!close a");  // busy-rejected
+    EXPECT_EQ(service.stats().sessions, 1u);
+    EXPECT_EQ(service.stats().rejected_busy, 1u);
+    gate.set_value();
+    service.drain();
+    service.ingest_line("!close a");  // retry now succeeds
+    service.finish();
+    EXPECT_EQ(service.stats().sessions, 0u);
+  }
+  // Seq order: flush report, busy error, close report.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(has_field(lines[0], "schema", "lion.report.v1"));
+  EXPECT_TRUE(has_field(lines[1], "code", "busy"));
+  EXPECT_TRUE(has_field(lines[2], "schema", "lion.report.v1"));
+}
+
+TEST(Service, WorkerExceptionEmitsErrorAndStillDrains) {
+  // A clock that throws exactly on the worker's deadline check: before the
+  // run_request guard this leaked the reserved seq and outstanding_ slot,
+  // wedging the reorder buffer and hanging drain()/finish() forever.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  ServiceConfig cfg;
+  cfg.request_timeout_s = 1.0;
+  cfg.clock = [calls]() -> double {
+    if (calls->fetch_add(1) == 1) {
+      throw std::runtime_error("injected clock fault");
+    }
+    return 0.0;
+  };
+  Harness h(cfg);
+  h.feed({"!session a center=0,0.8,0", kRow, "!flush a"});
+  ASSERT_EQ(h.lines.size(), 1u);
+  EXPECT_TRUE(has_field(h.lines[0], "schema", "lion.error.v1"));
+  EXPECT_TRUE(has_field(h.lines[0], "code", "internal_error"));
+  EXPECT_EQ(h.service.stats().errors, 1u);
+  // The fault is per-request: the session survives and later solves work.
+  h.feed({"!flush a"});
+  ASSERT_EQ(h.lines.size(), 2u);
+  EXPECT_TRUE(has_field(h.lines[1], "schema", "lion.report.v1"));
 }
 
 TEST(Service, RequestTimeoutDegradesToSolverFailureReport) {

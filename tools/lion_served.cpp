@@ -15,10 +15,12 @@
 // in-flight solves before exiting 0.
 
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <chrono>
@@ -42,6 +44,33 @@ void handle_signal(int) { g_stop = 1; }
   std::exit(2);
 }
 
+// Numeric flag values come straight from argv: a malformed value must hit
+// the usage() path, never escape as an uncaught std::sto* exception.
+std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size() || value[0] == '-') {
+      throw std::invalid_argument("trailing characters");
+    }
+    return v;
+  } catch (const std::exception&) {
+    usage((flag + " expects a non-negative integer, got '" + value + "'")
+              .c_str());
+  }
+}
+
+double parse_real(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    usage((flag + " expects a number, got '" + value + "'").c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,12 +85,15 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--tcp") {
-      cfg.tcp_port = std::atoi(next().c_str());
+      const std::uint64_t port = parse_uint(flag, next());
+      if (port > 65535) usage("--tcp expects a port in [0, 65535]");
+      cfg.tcp_port = static_cast<int>(port);
     } else if (flag == "--unix") {
       cfg.unix_path = next();
       cfg.tcp_port = -1;
     } else if (flag == "--threads") {
-      cfg.service.threads = static_cast<std::size_t>(std::stoul(next()));
+      cfg.service.threads =
+          static_cast<std::size_t>(parse_uint(flag, next()));
     } else if (flag == "--center") {
       lion::linalg::Vec3 v;
       if (std::sscanf(next().c_str(), "%lf,%lf,%lf", &v[0], &v[1], &v[2]) !=
@@ -71,15 +103,16 @@ int main(int argc, char** argv) {
       cfg.service.implicit_center = v;
     } else if (flag == "--max-inflight") {
       cfg.service.max_inflight_per_session =
-          static_cast<std::size_t>(std::stoul(next()));
+          static_cast<std::size_t>(parse_uint(flag, next()));
     } else if (flag == "--ttl") {
-      cfg.service.idle_ttl_ticks = std::stoull(next());
+      cfg.service.idle_ttl_ticks = parse_uint(flag, next());
     } else if (flag == "--timeout") {
-      cfg.service.request_timeout_s = std::stod(next());
+      cfg.service.request_timeout_s = parse_real(flag, next());
     } else if (flag == "--reject-busy") {
       cfg.service.reject_when_busy = true;
     } else if (flag == "--max-conns") {
-      cfg.max_connections = static_cast<std::size_t>(std::stoul(next()));
+      cfg.max_connections =
+          static_cast<std::size_t>(parse_uint(flag, next()));
     } else if (flag == "--port-file") {
       port_file = next();
     } else {
