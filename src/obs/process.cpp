@@ -1,0 +1,53 @@
+#include "obs/process.hpp"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace lion::obs {
+
+namespace {
+
+std::uint64_t rss_from_statm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::uint64_t>(rss_pages) *
+         static_cast<std::uint64_t>(page);
+}
+
+std::uint64_t count_fds(const std::string& path) {
+  ::DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return 0;
+  std::uint64_t count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;  // ".", ".."
+    ++count;
+  }
+  ::closedir(dir);
+  // The opendir itself holds one fd while we count; don't report it.
+  return count > 0 ? count - 1 : 0;
+}
+
+}  // namespace
+
+std::uint64_t process_rss_bytes() { return rss_from_statm("/proc/self/statm"); }
+
+std::uint64_t process_open_fds() { return count_fds("/proc/self/fd"); }
+
+std::uint64_t process_rss_bytes(int pid) {
+  return rss_from_statm("/proc/" + std::to_string(pid) + "/statm");
+}
+
+std::uint64_t process_open_fds(int pid) {
+  return count_fds("/proc/" + std::to_string(pid) + "/fd");
+}
+
+}  // namespace lion::obs

@@ -1,0 +1,25 @@
+// Process-level gauges for the ops plane: resident set size and open file
+// descriptors, read from /proc. These back the serve layer's `!healthz`
+// snapshot and the soak harness's leak gates — both need cheap, allocation-
+// light reads that degrade to 0 (rather than throwing) on platforms or
+// sandboxes without /proc.
+#pragma once
+
+#include <cstdint>
+
+namespace lion::obs {
+
+/// Resident set size of this process in bytes (/proc/self/statm field 2
+/// times the page size), or 0 when unavailable.
+std::uint64_t process_rss_bytes();
+
+/// Count of open file descriptors (/proc/self/fd entries), or 0 when
+/// unavailable.
+std::uint64_t process_open_fds();
+
+/// Same gauges for another process (the soak driver watching a spawned
+/// lion_served). 0 when the pid or /proc is unavailable.
+std::uint64_t process_rss_bytes(int pid);
+std::uint64_t process_open_fds(int pid);
+
+}  // namespace lion::obs

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -8,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -131,6 +133,17 @@ bool SocketServer::start(std::string& error) {
     return false;
   }
 
+  if (::pipe(wake_fds_) < 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  for (const int fd : wake_fds_) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+
   std::size_t threads = cfg_.service.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -142,26 +155,38 @@ bool SocketServer::start(std::string& error) {
   return true;
 }
 
+void SocketServer::wake() {
+  if (wake_fds_[1] < 0) return;
+  const char byte = 1;
+  // Non-blocking: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
 void SocketServer::accept_loop() {
   while (running_.load()) {
-    // Poll with a timeout rather than blocking in accept() so finished
-    // connections are reaped even when no new connection ever arrives —
-    // otherwise a quiet server retains every closed connection's fd and
-    // un-joined thread (and counts them against max_connections) until
-    // the next accept or stop().
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    // Block on (listener, self-pipe): finished connections write a byte,
+    // so they are reaped the moment they exit — no timer poll, and a
+    // quiet server does not retain closed connections' fds and un-joined
+    // threads (or count them against max_connections) until the next
+    // accept or stop().
+    pollfd pfds[2] = {};
+    pfds[0].fd = listen_fd_;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_fds_[0];
+    pfds[1].events = POLLIN;
+    const int ready = ::poll(pfds, 2, /*timeout_ms=*/-1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0 || (pfd.revents & POLLIN) == 0) {
+    if (pfds[1].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof drain) > 0) {
+      }
       std::lock_guard<std::mutex> lock(mu_);
       reap_finished_locked();
-      continue;
     }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -212,7 +237,14 @@ void SocketServer::serve_connection(Connection& conn) {
   // thread — stop() may still hold our fd number, and closing here would
   // let the kernel recycle it under stop()'s shutdown() call.
   ::shutdown(fd, SHUT_RDWR);
-  conn.done.store(true);
+  {
+    // The empty critical section orders done=true against a concurrent
+    // stop_with_timeout() passing its wait predicate check.
+    std::lock_guard<std::mutex> lock(mu_);
+    conn.done.store(true);
+  }
+  drain_cv_.notify_all();
+  wake();  // let the accept loop reap us now
 }
 
 void SocketServer::reap_finished_locked() {
@@ -227,8 +259,11 @@ void SocketServer::reap_finished_locked() {
   }
 }
 
-void SocketServer::stop() {
+void SocketServer::stop() { stop_with_timeout(-1.0); }
+
+bool SocketServer::stop_with_timeout(double timeout_s) {
   const bool was_running = running_.exchange(false);
+  wake();  // the accept loop re-checks running_ and exits
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
@@ -240,16 +275,51 @@ void SocketServer::stop() {
     std::lock_guard<std::mutex> lock(mu_);
     conns.swap(connections_);
   }
+  // Half-close every connection up front: each handler's recv returns 0,
+  // it finish()es (drains its in-flight solves, flushes responses, seals
+  // its journals), then flags done. The deadline below bounds the wait,
+  // not the kick.
+  for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  const bool bounded = timeout_s >= 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? timeout_s : 0.0));
+  bool clean = true;
   for (auto& conn : conns) {
-    // Kick the blocking recv; the handler then finish()es and closes.
-    ::shutdown(conn->fd, SHUT_RD);
+    if (bounded) {
+      std::unique_lock<std::mutex> lock(mu_);
+      const bool finished = drain_cv_.wait_until(
+          lock, deadline, [&conn] { return conn->done.load(); });
+      if (!finished) {
+        // Straggler: a handler wedged mid-solve past the deadline. Detach
+        // the thread and leak its Connection (still referenced by the
+        // detached thread) and fd — the caller exits the process.
+        clean = false;
+        lock.unlock();
+        conn->thread.detach();
+        conn.release();
+        continue;
+      }
+    }
     if (conn->thread.joinable()) conn->thread.join();
     ::close(conn->fd);
   }
   if (was_running && !cfg_.unix_path.empty()) {
     ::unlink(cfg_.unix_path.c_str());
   }
-  pool_.reset();
+  for (const int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  wake_fds_[0] = wake_fds_[1] = -1;
+  if (clean) {
+    pool_.reset();
+  } else {
+    // Detached handlers still schedule on the pool; destroying it would
+    // block (or race). Leak it — unclean drain ends in process exit.
+    [[maybe_unused]] engine::ThreadPool* leaked = pool_.release();
+  }
+  return clean;
 }
 
 }  // namespace lion::serve

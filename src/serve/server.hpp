@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -65,6 +66,16 @@ class SocketServer {
   /// call twice. In-flight solves finish and responses flush first.
   void stop();
 
+  /// Graceful drain with a deadline: stop accepting, half-close every
+  /// connection (the client sees EOF and its responses still flush), and
+  /// wait up to `timeout_s` seconds for the handlers to finish. Returns
+  /// true on a clean drain. On deadline the stragglers are detached and
+  /// their Connection records and the shared pool are deliberately leaked
+  /// (they are still in use by live threads) — the caller is expected to
+  /// exit the process without running static destructors. timeout_s < 0
+  /// waits forever (== stop()).
+  bool stop_with_timeout(double timeout_s);
+
   std::uint64_t connections_served() const {
     return connections_served_.load(std::memory_order_relaxed);
   }
@@ -79,14 +90,19 @@ class SocketServer {
   void accept_loop();
   void serve_connection(Connection& conn);
   void reap_finished_locked();
+  void wake();  ///< rouse the accept loop (self-pipe)
 
   ServerConfig cfg_;
   int listen_fd_ = -1;
   int port_ = -1;
+  /// Self-pipe: finished connections write one byte so the accept loop
+  /// wakes to reap them immediately instead of polling on a timer.
+  int wake_fds_[2] = {-1, -1};
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_served_{0};
   std::thread accept_thread_;
   std::mutex mu_;
+  std::condition_variable drain_cv_;  ///< signaled as handlers finish
   std::vector<std::unique_ptr<Connection>> connections_;
   std::unique_ptr<engine::ThreadPool> pool_;  ///< shared solver pool
 };

@@ -10,6 +10,7 @@
 #include "core/calibration.hpp"
 #include "linalg/small.hpp"
 #include "obs/obs.hpp"
+#include "obs/process.hpp"
 
 namespace lion::serve {
 
@@ -37,6 +38,21 @@ StreamService::~StreamService() {
   // Every scheduled solve holds a raw `this`; the pool (owned or shared)
   // must see them all finish before the service's members go away.
   drain();
+  // Connection teardown without close: sync + release every journal so a
+  // future connection (or process) can re-claim the sessions.
+  detach_journals();
+}
+
+void StreamService::detach_journals() {
+  if (cfg_.journal == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, session] : sessions_) {
+    if (session.journal) {
+      session.journal->sync();
+      session.journal.reset();
+    }
+    cfg_.journal->detach(id);
+  }
 }
 
 double StreamService::now() const {
@@ -113,7 +129,7 @@ void StreamService::handle_line(const ParsedLine& line) {
                  "parse_error", line.error, true);
       break;
     case ParsedLine::kSession:
-      handle_session_declare(line);
+      handle_session_declare(lock, line);
       break;
     case ParsedLine::kFlush:
       handle_flush(lock, line.session);
@@ -127,6 +143,9 @@ void StreamService::handle_line(const ParsedLine& line) {
     case ParsedLine::kStats:
       emit_stats_response();
       break;
+    case ParsedLine::kHealthz:
+      emit_health_response();
+      break;
     case ParsedLine::kData:
       handle_data(lock, line);
       break;
@@ -134,8 +153,9 @@ void StreamService::handle_line(const ParsedLine& line) {
   evict_idle(lock);
 }
 
-void StreamService::handle_session_declare(const ParsedLine& line) {
-  const std::string& id = line.session;
+void StreamService::handle_session_declare(std::unique_lock<std::mutex>& lock,
+                                           const ParsedLine& line) {
+  const std::string id = line.session;
   if (sessions_.count(id) != 0) {
     emit_error(id, "bad_control", "session '" + id + "' already exists",
                false);
@@ -158,8 +178,167 @@ void StreamService::handle_session_declare(const ParsedLine& line) {
   session.id = id;
   session.config = config;
   session.last_active = clock_ticks_;
+  std::optional<RecoveredSession> restored;
+  if (cfg_.journal != nullptr) {
+    std::string code;
+    std::string jerror;
+    if (!attach_journal(lock, session, line, code, jerror, restored)) {
+      emit_error(id, code, jerror, false);
+      return;
+    }
+  }
+  // Capture the ack payload before the move; replay filled these counters.
+  const std::uint64_t records = restored ? restored->record_count : 0;
+  const std::uint64_t samples = session.samples_accepted;
+  const std::uint64_t flushes = session.flushes;
+  const bool torn = restored && restored->torn;
+  const bool was_restored = restored.has_value();
   sessions_.emplace(id, std::move(session));
-  current_session_ = id;  // declares are silent on success
+  current_session_ = id;  // fresh declares are silent on success
+  if (was_restored) {
+    emit_oob(restore_response(id, records, samples, flushes, torn));
+  }
+}
+
+bool StreamService::attach_journal(std::unique_lock<std::mutex>& lock,
+                                   StreamSession& session,
+                                   const ParsedLine& line, std::string& code,
+                                   std::string& error,
+                                   std::optional<RecoveredSession>& restored) {
+  JournalStore* store = cfg_.journal;
+  const std::string norm = normalize_declare_line(line);
+  std::string claim_error;
+  std::optional<RecoveredSession> rec = store->claim(session.id, claim_error);
+  if (!rec) {
+    if (!claim_error.empty()) {
+      code = "journal_conflict";
+      error = claim_error;
+      return false;
+    }
+    // No journal on disk: a fresh durable session.
+    session.journal = store->open_writer(session.id, 0);
+    if (!session.journal) {
+      session.journal_degraded = true;
+      ++stats_.journal_errors;
+      LION_OBS_COUNT("serve.journal_errors", 1);
+      emit_error(session.id, "journal_error",
+                 "journal: could not open journal; session '" + session.id +
+                     "' is not durable",
+                 false);
+    } else {
+      journal_append(session, JournalRecordType::kDeclare, norm);
+    }
+    return true;
+  }
+  if (rec->declare_line != norm) {
+    store->detach(session.id);
+    code = "journal_conflict";
+    error = "journal: declare does not match journaled session '" +
+            session.id + "' (journaled: " + rec->declare_line + ")";
+    return false;
+  }
+  // Fast-forwarding next_seq_/emit_next_ below must not strand reserved
+  // seqs in the reorder buffer, so wait for full quiescence first. The
+  // wait releases mu_; re-check that no concurrent producer claimed the
+  // id meanwhile.
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (sessions_.count(session.id) != 0) {
+    store->detach(session.id);
+    code = "bad_control";
+    error = "session '" + session.id + "' already exists";
+    return false;
+  }
+  replay_records(session, *rec);
+  next_seq_ = std::max(next_seq_, rec->last_seq);
+  {
+    // outstanding_ == 0, so the reorder buffer is empty and emit_next_
+    // equals next_seq_'s pre-bump value; keep them in lockstep.
+    std::lock_guard<std::mutex> emit_lock(emit_mu_);
+    emit_next_ = std::max(emit_next_, next_seq_);
+  }
+  clock_ticks_ = std::max(clock_ticks_, rec->last_tick);
+  session.last_active = clock_ticks_;
+  session.restored_records = rec->record_count;
+  session.journal = store->open_writer(session.id, rec->record_count);
+  if (!session.journal) {
+    session.journal_degraded = true;
+    ++stats_.journal_errors;
+    LION_OBS_COUNT("serve.journal_errors", 1);
+    emit_error(session.id, "journal_error",
+               "journal: could not reopen journal; session '" + session.id +
+                   "' is no longer durable",
+               false);
+  }
+  ++stats_.restores;
+  LION_OBS_COUNT("serve.restores", 1);
+  restored = std::move(rec);
+  return true;
+}
+
+void StreamService::replay_records(StreamSession& session,
+                                   const RecoveredSession& rec) {
+  for (const JournalRecord& record : rec.records) {
+    switch (record.type) {
+      case JournalRecordType::kDeclare:
+        break;  // consumed by the claim (declare_line equality check)
+      case JournalRecordType::kCsvRow: {
+        const io::CsvStreamParser::Result row =
+            session.csv.push_line(record.line);
+        if (row.status == io::CsvRowStatus::kSample) {
+          replay_accept(session, row.sample);
+        }
+        break;
+      }
+      case JournalRecordType::kJsonSample: {
+        const ParsedLine parsed = parse_line(record.line);
+        if (parsed.json_sample) replay_accept(session, *parsed.json_sample);
+        break;
+      }
+      case JournalRecordType::kFlush:
+        ++session.flushes;
+        if (session.config.mode == SessionMode::kTrack) {
+          // A live track flush drains the partial window as one solve.
+          ++session.windows_scheduled;
+          session.window_buffer.clear();
+        }
+        break;
+    }
+  }
+}
+
+void StreamService::replay_accept(StreamSession& session,
+                                  const sim::PhaseSample& sample) {
+  ++session.samples_accepted;
+  if (session.config.mode == SessionMode::kCalibrate) {
+    // Mirrors accept_sample's cap: the live path dropped this sample too.
+    if (session.buffer.size() >= cfg_.max_session_samples) return;
+    session.buffer.push_back(sample);
+    return;
+  }
+  session.window_buffer.push_back(sample);
+  if (session.window_buffer.size() < session.config.window) return;
+  // Carve the completed window exactly as the live path did — minus the
+  // solve, whose response was already delivered before the crash.
+  ++session.windows_scheduled;
+  const std::size_t hop =
+      std::min(session.config.hop, session.window_buffer.size());
+  session.window_buffer.erase(session.window_buffer.begin(),
+                              session.window_buffer.begin() + hop);
+}
+
+void StreamService::journal_append(StreamSession& session,
+                                   JournalRecordType type,
+                                   std::string_view line) {
+  if (!session.journal || session.journal_degraded) return;
+  if (session.journal->append(type, line, clock_ticks_, next_seq_)) return;
+  // Latch: one error response per session, then keep serving non-durably.
+  session.journal_degraded = true;
+  ++stats_.journal_errors;
+  LION_OBS_COUNT("serve.journal_errors", 1);
+  emit_error(session.id, "journal_error",
+             "journal: append failed; session '" + session.id +
+                 "' is no longer durable",
+             false);
 }
 
 void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
@@ -173,14 +352,17 @@ void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
     }
     // Bare-pipe mode: auto-open a default calibrate session so
     // `cat scan.csv | lion serve --center ...` needs no protocol lines.
+    // Routing through the declare path gives the implicit session the
+    // same durability (journal attach / restore) as an explicit one.
     id = "default";
     if (sessions_.count(id) == 0) {
-      StreamSession session;
-      session.id = id;
-      session.config.mode = SessionMode::kCalibrate;
-      session.config.center = *cfg_.implicit_center;
-      session.last_active = clock_ticks_;
-      sessions_.emplace(id, std::move(session));
+      ParsedLine declare;
+      declare.kind = ParsedLine::kSession;
+      declare.session = id;
+      declare.mode = SessionMode::kCalibrate;
+      declare.center = *cfg_.implicit_center;
+      handle_session_declare(lock, declare);
+      if (sessions_.count(id) == 0) return;  // journal conflict etc.
     }
     current_session_ = id;
   }
@@ -191,20 +373,46 @@ void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
   }
   StreamSession& session = it->second;
   session.last_active = clock_ticks_;
+  // Journal records are appended *after* the mutation (accept may consume
+  // seqs for window solves — the record's seq snapshot must include them)
+  // and the session is re-found because accept_sample can block on
+  // backpressure and invalidate references.
   if (line.json_sample) {
+    std::string canonical;
+    if (cfg_.journal != nullptr) {
+      canonical = canonical_sample_line(*line.json_sample);
+    }
     accept_sample(lock, id, *line.json_sample);
+    if (cfg_.journal != nullptr) {
+      const auto again = sessions_.find(id);
+      if (again != sessions_.end()) {
+        journal_append(again->second, JournalRecordType::kJsonSample,
+                       canonical);
+      }
+    }
     return;
   }
   const io::CsvStreamParser::Result row = session.csv.push_line(line.csv_row);
   switch (row.status) {
     case io::CsvRowStatus::kSample:
       accept_sample(lock, id, row.sample);
+      if (cfg_.journal != nullptr) {
+        const auto again = sessions_.find(id);
+        if (again != sessions_.end()) {
+          journal_append(again->second, JournalRecordType::kCsvRow,
+                         line.csv_row);
+        }
+      }
       break;
     case io::CsvRowStatus::kHeader:
     case io::CsvRowStatus::kSkipped:
+      // Headers/skipped rows mutate parser layout state (and line_no), so
+      // they are journaled too: replay reconstructs the parser exactly.
+      journal_append(session, JournalRecordType::kCsvRow, line.csv_row);
       break;
     case io::CsvRowStatus::kError:
       emit_error(id, "parse_error", row.error, true);
+      journal_append(session, JournalRecordType::kCsvRow, line.csv_row);
       break;
   }
 }
@@ -305,6 +513,11 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
     request.window_index = session.windows_scheduled++;
   }
   schedule(lock, std::move(request));
+  // Flush is the client's durability boundary: journal it and force the
+  // batched fsync so an acked flush survives an OS crash, not just a
+  // process kill.
+  journal_append(session, JournalRecordType::kFlush, "");
+  if (session.journal && !session.journal_degraded) session.journal->sync();
   return true;
 }
 
@@ -326,6 +539,12 @@ void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
     // drop the accumulated buffer with no way to retry, so the session
     // stays alive; the client sees code="busy" and may retry !close.
     return;
+  }
+  // A completed close ends the session's durable life: the journal file
+  // is deleted, so a restart re-declares from scratch.
+  if (cfg_.journal != nullptr) {
+    again->second.journal.reset();  // dtor syncs + closes the fd
+    cfg_.journal->remove(id);
   }
   sessions_.erase(again);  // ...+ eviction, only once the flush is in flight
   if (current_session_ == id) current_session_.clear();
@@ -455,6 +674,11 @@ void StreamService::evict_idle(std::unique_lock<std::mutex>& lock) {
   for (const auto& [tick, id] : expired) {
     const std::uint64_t seq = reserve_seq();
     emit(seq, event_response(seq, "evict", id, tick));
+    if (cfg_.journal != nullptr) {
+      const auto it = sessions_.find(id);
+      if (it != sessions_.end()) it->second.journal.reset();
+      cfg_.journal->remove(id);
+    }
     sessions_.erase(id);
     if (current_session_ == id) current_session_.clear();
     ++stats_.evictions;
@@ -488,6 +712,57 @@ void StreamService::emit_stats_response() {
   field("ticks", clock_ticks_);
   out.push_back('}');
   emit(seq, std::move(out));
+}
+
+void StreamService::emit_oob(const std::string& line) {
+  // Callers hold mu_; mu_ -> emit_mu_ is the designed lock order. The
+  // line carries no seq, so it slots between whatever the reorder buffer
+  // has released — fine for ops-plane diagnostics.
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  if (sink_) sink_(line);
+}
+
+void StreamService::emit_health_response() {
+  std::string out = "{\"schema\":\"lion.health.v1\"";
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("sessions", sessions_.size());
+  field("outstanding", outstanding_);
+  field("lines", stats_.lines);
+  field("samples", stats_.samples);
+  field("errors", stats_.errors);
+  field("restores", stats_.restores);
+  out += ",\"journal_enabled\":";
+  out += cfg_.journal != nullptr ? "true" : "false";
+  if (cfg_.journal != nullptr) {
+    // Journal lag: records written by this connection's sessions that are
+    // not yet fsynced — the OS-crash exposure window.
+    std::uint64_t lag = 0;
+    std::uint64_t degraded = 0;
+    for (const auto& [id, session] : sessions_) {
+      if (session.journal) lag += session.journal->unsynced();
+      if (session.journal_degraded) ++degraded;
+    }
+    const JournalStore::Stats js = cfg_.journal->stats();
+    field("journal_lag", lag);
+    field("journal_degraded", degraded);
+    field("journal_errors", stats_.journal_errors);
+    field("journal_recovered", js.scanned_sessions);
+    field("journal_torn", js.torn_tails);
+    field("journal_corrupt", js.corrupt_files);
+    field("journal_appends", js.appends);
+    field("journal_syncs", js.syncs);
+    field("journal_failures", js.failures);
+  }
+  field("rss_bytes", obs::process_rss_bytes());
+  field("open_fds", obs::process_open_fds());
+  field("ticks", clock_ticks_);
+  out.push_back('}');
+  emit_oob(out);
 }
 
 void StreamService::finish() {

@@ -25,6 +25,34 @@
 // Wall-clock timeouts (request_timeout_s > 0) are the one opt-in
 // exception: a timed-out request degrades to a kSolverFailure report.
 //
+// Durability (opt-in: ServiceConfig::journal)
+// -------------------------------------------
+// With a JournalStore attached, every applied session mutation (declare,
+// CSV row, JSON sample, flush boundary) is appended to the session's
+// journal after it takes effect, stamped with the service's virtual-clock
+// and next-seq snapshots. A `!session` declare whose id has a journal on
+// disk *restores* instead of creating: the service waits for in-flight
+// solves to drain, replays the journal through the normal demux/parser
+// code with emission and solving suppressed, fast-forwards the clock and
+// sequence counters to the journal's snapshots, and answers with an
+// out-of-band lion.restore.v1 ack carrying the record count — the
+// client's resume cursor. Replayed-then-continued streams therefore emit
+// the same sequenced bytes an uninterrupted stream would have: every
+// seq-consuming response on the clean-stream path is covered by a
+// journaled record's snapshot. Unjournaled seq consumers (mid-stream
+// `!stats`, malformed-line errors) in the window between the last record
+// and a crash are the documented exception — after recovery those seqs
+// are reused. The re-declare must match the journaled declare
+// (normalized form) or it is rejected with code="journal_conflict".
+//
+// Out-of-band responses
+// ---------------------
+// lion.restore.v1 and lion.health.v1 lines carry no sequence number and
+// bypass the reorder buffer (they are still serialized with it over the
+// sink). They are ops-plane diagnostics, excluded from the byte-
+// determinism contract; everything sequenced stays a pure function of
+// the input stream.
+//
 // Overload behaviour
 // ------------------
 // Each session may have at most `max_inflight_per_session` solves queued
@@ -86,6 +114,11 @@ struct ServiceConfig {
   /// Monotonic seconds, injectable so timeout tests can run on a virtual
   /// clock; nullptr = std::chrono::steady_clock.
   std::function<double()> clock;
+  /// When set, sessions are durable: mutations are journaled here and a
+  /// declare whose id has a journal on disk restores it. The store is
+  /// shared across services (the socket server owns one per daemon) and
+  /// must outlive this service. nullptr = no durability.
+  JournalStore* journal = nullptr;
 };
 
 /// Ingest/serve counters (snapshot; also exported as obs counters).
@@ -101,6 +134,8 @@ struct ServeStats {
   std::uint64_t rejected_busy = 0;   ///< requests refused (reject mode)
   std::uint64_t timeouts = 0;        ///< requests past their deadline
   std::uint64_t oversized = 0;       ///< wire lines dropped for length
+  std::uint64_t restores = 0;        ///< sessions adopted from journals
+  std::uint64_t journal_errors = 0;  ///< sessions degraded by I/O failure
   std::uint64_t ticks = 0;           ///< virtual clock now
   std::size_t sessions = 0;          ///< live sessions
 };
@@ -155,7 +190,8 @@ class StreamService {
   // thread with `lock` holding mu_; paths that can block (backpressure)
   // release and reacquire it, so session references never survive a call.
   void handle_line(const ParsedLine& line);
-  void handle_session_declare(const ParsedLine& line);
+  void handle_session_declare(std::unique_lock<std::mutex>& lock,
+                              const ParsedLine& line);
   void handle_data(std::unique_lock<std::mutex>& lock, const ParsedLine& line);
   /// Returns true iff a solve was scheduled (false: unknown session,
   /// busy-rejected, or the session vanished while blocked).
@@ -176,7 +212,35 @@ class StreamService {
   void emit(std::uint64_t seq, std::string line);
   void emit_error(const std::string& session, const std::string& code,
                   const std::string& detail, bool parse_error);
+  /// Sequence-free ops-plane line: serialized over the sink but outside
+  /// the reorder buffer (restore acks, healthz snapshots).
+  void emit_oob(const std::string& line);
+  void emit_health_response();
   double now() const;
+
+  // --- durability (cfg_.journal != nullptr) ------------------------------
+  /// Attach a journal to a declare: restore-and-replay when the id has a
+  /// journal on disk, open a fresh one otherwise. Returns false when the
+  /// declare must be rejected (conflict / attached elsewhere); `error` and
+  /// `code` carry the response. On restore, fills `restored`.
+  bool attach_journal(std::unique_lock<std::mutex>& lock,
+                      StreamSession& session, const ParsedLine& line,
+                      std::string& code, std::string& error,
+                      std::optional<RecoveredSession>& restored);
+  /// Replay recovered records into `session` with solving and emission
+  /// suppressed (buffers, parser layout, and window carving only).
+  void replay_records(StreamSession& session, const RecoveredSession& rec);
+  /// Buffer/window bookkeeping shared by live accepts and replay. In
+  /// track mode carves completed windows; `carve_only` suppresses the
+  /// solve (replay path). Returns false when the sample was dropped.
+  void replay_accept(StreamSession& session, const sim::PhaseSample& sample);
+  /// Append one record to the session's journal, degrading the session
+  /// (once, with an error response) on I/O failure. Callers hold mu_.
+  void journal_append(StreamSession& session, JournalRecordType type,
+                      std::string_view line);
+  /// Seal (sync) and detach every live session's journal — service
+  /// teardown without close. Called by the destructor.
+  void detach_journals();
 
   ServiceConfig cfg_;
   Sink sink_;

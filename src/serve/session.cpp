@@ -158,4 +158,21 @@ std::string event_response(std::uint64_t seq, const std::string& event,
   return out;
 }
 
+std::string restore_response(const std::string& session,
+                             std::uint64_t records, std::uint64_t samples,
+                             std::uint64_t flushes, bool torn) {
+  std::string out = "{\"schema\":\"lion.restore.v1\",\"session\":\"";
+  out += obs::json_escape(session);
+  out += "\",\"records\":";
+  out += std::to_string(records);
+  out += ",\"samples\":";
+  out += std::to_string(samples);
+  out += ",\"flushes\":";
+  out += std::to_string(flushes);
+  out += ",\"torn\":";
+  out += torn ? "true" : "false";
+  out.push_back('}');
+  return out;
+}
+
 }  // namespace lion::serve

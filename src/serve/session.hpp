@@ -19,6 +19,7 @@
 #include "core/calibration.hpp"
 #include "core/tracker.hpp"
 #include "io/csv.hpp"
+#include "serve/journal.hpp"
 #include "serve/wire.hpp"
 #include "sim/reader.hpp"
 
@@ -64,6 +65,13 @@ struct StreamSession {
   std::uint64_t samples_accepted = 0;
   std::uint64_t windows_scheduled = 0;
   std::uint64_t flushes = 0;
+
+  /// Durability (journal-enabled services only). `journal` appends one
+  /// record per applied mutation; a write failure latches
+  /// `journal_degraded` and the session keeps serving non-durably.
+  std::unique_ptr<JournalWriter> journal;
+  bool journal_degraded = false;
+  std::uint64_t restored_records = 0;  ///< records replayed at restore
 };
 
 /// Solve one track window exactly as the streaming ConveyorTracker would:
@@ -91,5 +99,12 @@ std::string error_response(const std::string& session, std::uint64_t seq,
 
 std::string event_response(std::uint64_t seq, const std::string& event,
                            const std::string& session, std::uint64_t value);
+
+/// Restore acknowledgement, emitted out-of-band (no seq) when a declare
+/// adopts a journaled session. `records` counts journal records including
+/// the declare — the client's resume cursor.
+std::string restore_response(const std::string& session,
+                             std::uint64_t records, std::uint64_t samples,
+                             std::uint64_t flushes, bool torn);
 
 }  // namespace lion::serve

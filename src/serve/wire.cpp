@@ -110,6 +110,11 @@ ParsedLine parse_control(std::string_view line) {
     if (tokens.size() != 1) return error_line("wire: usage: !stats");
     return out;
   }
+  if (cmd == "!healthz") {
+    out.kind = ParsedLine::kHealthz;
+    if (tokens.size() != 1) return error_line("wire: usage: !healthz");
+    return out;
+  }
   if (cmd == "!tick") {
     out.kind = ParsedLine::kTick;
     std::size_t n = 0;

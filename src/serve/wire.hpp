@@ -9,6 +9,9 @@
 //   !close <id>                  flush (calibrate mode) and evict
 //   !tick <n>                    advance the virtual clock by n ticks
 //   !stats                       emit a lion.stats.v1 snapshot line
+//   !healthz                     emit a lion.health.v1 snapshot line
+//                                (out-of-band: carries no seq — see
+//                                service.hpp "Out-of-band responses")
 //   @<id> x,y,z,phase[,...]      CSV read record routed to session <id>
 //   {"session":"id","x":..,...}  JSON read record (flat object)
 //   x,y,z,phase[,rssi[,ch[,t]]]  CSV read record for the *current* session
@@ -91,6 +94,7 @@ struct ParsedLine {
     kClose,     ///< !close
     kTick,      ///< !tick
     kStats,     ///< !stats
+    kHealthz,   ///< !healthz
     kData,      ///< a read record (CSV payload or decoded JSON sample)
     kError,     ///< malformed; `error` has the detail
   };

@@ -1,0 +1,492 @@
+// Crash-recovery differential suite: a journaled session that is killed
+// mid-stream, restored by a fresh service, and continued from the restore
+// ack's cursor must emit exactly the sequenced bytes an uninterrupted
+// stream would have. The crash model is service-destroy-without-close:
+// every journal record is write()n before the mutation's response can
+// matter, so in-process teardown loses exactly what SIGKILL would (the
+// fsync batching window is an OS-crash concern, not a process-crash one).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "io/csv.hpp"
+#include "io/report_json.hpp"
+#include "serve/journal.hpp"
+#include "serve/service.hpp"
+
+namespace lion {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+std::string data_path(const std::string& name) {
+  return std::string(LION_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> split_rows(const std::string& bytes) {
+  std::vector<std::string> rows;
+  std::istringstream in(bytes);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) rows.push_back(std::move(line));
+  }
+  return rows;
+}
+
+// Same comparator as the golden suite: exact structure, 1e-9 numbers.
+struct ParsedJson {
+  std::string skeleton;
+  std::vector<double> numbers;
+};
+
+ParsedJson parse_numbers(const std::string& s) {
+  ParsedJson out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    const bool starts_number =
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])));
+    if (starts_number) {
+      char* end = nullptr;
+      out.numbers.push_back(std::strtod(s.c_str() + i, &end));
+      out.skeleton += '#';
+      i = static_cast<std::size_t>(end - s.c_str());
+    } else {
+      out.skeleton += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+void expect_json_near(const std::string& expected, const std::string& actual,
+                      const std::string& label) {
+  const auto e = parse_numbers(expected);
+  const auto a = parse_numbers(actual);
+  ASSERT_EQ(e.skeleton, a.skeleton) << label << ": structure drifted";
+  ASSERT_EQ(e.numbers.size(), a.numbers.size()) << label;
+  for (std::size_t i = 0; i < e.numbers.size(); ++i) {
+    const double tol =
+        kTolerance +
+        kTolerance * std::max(std::abs(e.numbers[i]), std::abs(a.numbers[i]));
+    EXPECT_NEAR(e.numbers[i], a.numbers[i], tol)
+        << label << ": number " << i << " drifted beyond 1e-9";
+  }
+}
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/lion_recovery_test_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir ? dir : "";
+}
+
+void remove_dir_recursive(const std::string& dir) {
+  if (::DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct TempDir {
+  std::string path = make_temp_dir();
+  ~TempDir() { remove_dir_recursive(path); }
+};
+
+// Out-of-band ops-plane lines carry no seq and are excluded from the
+// byte-determinism contract; strip them before comparing streams.
+bool is_oob(const std::string& line) {
+  return line.rfind("{\"schema\":\"lion.restore.v1\"", 0) == 0 ||
+         line.rfind("{\"schema\":\"lion.health.v1\"", 0) == 0;
+}
+
+std::vector<std::string> sequenced(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  for (const auto& l : lines) {
+    if (!is_oob(l)) out.push_back(l);
+  }
+  return out;
+}
+
+std::uint64_t uint_field(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto pos = line.find(pat);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::uint64_t>(
+      std::atoll(line.c_str() + pos + pat.size()));
+}
+
+/// One "process": a journal store on `dir` plus a journaled service.
+/// Destroying it (crash()) is the in-process SIGKILL analogue — appended
+/// records are durable, everything else is gone.
+struct Process {
+  std::vector<std::string> lines;
+  std::unique_ptr<serve::JournalStore> store;
+  std::unique_ptr<serve::StreamService> service;
+
+  explicit Process(const std::string& dir) {
+    serve::JournalStoreConfig jcfg;
+    jcfg.dir = dir;
+    jcfg.fsync_every = 8;
+    store = std::make_unique<serve::JournalStore>(jcfg);
+    EXPECT_TRUE(store->ok()) << store->error();
+    serve::ServiceConfig cfg;
+    cfg.threads = 2;
+    cfg.journal = store.get();
+    service = std::make_unique<serve::StreamService>(
+        cfg, [this](std::string_view line) { lines.emplace_back(line); });
+  }
+
+  void feed(const std::vector<std::string>& input, std::size_t begin,
+            std::size_t end) {
+    for (std::size_t i = begin; i < end && i < input.size(); ++i) {
+      service->ingest_line(input[i]);
+    }
+    service->drain();
+  }
+
+  void crash() { service.reset(); }
+
+  /// The lion.restore.v1 ack for `id`, or "" when none arrived.
+  std::string restore_ack(const std::string& id) const {
+    const std::string want = "\"session\":\"" + id + "\"";
+    for (const auto& l : lines) {
+      if (l.rfind("{\"schema\":\"lion.restore.v1\"", 0) == 0 &&
+          l.find(want) != std::string::npos) {
+        return l;
+      }
+    }
+    return "";
+  }
+};
+
+/// Uninterrupted reference run (no journal — the PR-5 contract).
+std::vector<std::string> run_plain(const std::vector<std::string>& input) {
+  std::vector<std::string> lines;
+  serve::ServiceConfig cfg;
+  cfg.threads = 2;
+  serve::StreamService service(
+      cfg, [&lines](std::string_view line) { lines.emplace_back(line); });
+  for (const auto& l : input) service.ingest_line(l);
+  service.finish();
+  return lines;
+}
+
+/// Synthetic linear scan: n CSV rows of x,y,z,phase along a rail under an
+/// antenna at (0, 0.8, 0), phases wrapped to [0, 2pi) — small enough that
+/// a crash-offset sweep stays fast, real enough that solves converge.
+std::vector<std::string> synthetic_rows(std::size_t n) {
+  std::vector<std::string> rows;
+  const double wavelength = 0.328;
+  const double two_pi = 6.283185307179586;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = -0.6 + 1.2 * static_cast<double>(i) /
+                                static_cast<double>(n - 1);
+    const double d = std::sqrt(x * x + 0.8 * 0.8);
+    const double phase = std::fmod(4.0 * 3.141592653589793 * d / wavelength,
+                                   two_pi);
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%.9g,0,0,%.9g", x, phase);
+    rows.emplace_back(buf);
+  }
+  return rows;
+}
+
+/// declare + rows with a !flush every `flush_every` rows + terminal flush.
+/// Every line after index 0 journals exactly one record, so a client that
+/// fed the first k lines resumes at input index == ack records.
+std::vector<std::string> build_input(const std::string& id,
+                                     const std::vector<std::string>& rows,
+                                     std::size_t flush_every) {
+  std::vector<std::string> input;
+  input.push_back("!session " + id + " center=0,0.8,0");
+  std::size_t since = 0;
+  for (const auto& row : rows) {
+    input.push_back(row);
+    if (++since == flush_every) {
+      input.push_back("!flush " + id);
+      since = 0;
+    }
+  }
+  input.push_back("!flush " + id);
+  return input;
+}
+
+/// Crash after `cut` input lines, restore in a fresh process, continue
+/// from the ack cursor, and return prefix + suffix sequenced output.
+std::vector<std::string> crash_and_resume(
+    const std::vector<std::string>& input, const std::string& id,
+    std::size_t cut, std::uint64_t* ack_records = nullptr,
+    bool* ack_torn = nullptr) {
+  TempDir dir;
+  Process p1(dir.path);
+  p1.feed(input, 0, cut);
+  p1.crash();
+
+  Process p2(dir.path);
+  p2.service->ingest_line(input[0]);  // re-declare triggers the restore
+  const std::string ack = p2.restore_ack(id);
+  EXPECT_FALSE(ack.empty()) << "no restore ack at cut=" << cut;
+  if (ack.empty()) return {};
+  const std::uint64_t records = uint_field(ack, "records");
+  if (ack_records != nullptr) *ack_records = records;
+  if (ack_torn != nullptr) {
+    *ack_torn = ack.find("\"torn\":true") != std::string::npos;
+  }
+  EXPECT_GE(records, 1u);
+  EXPECT_LE(records, cut);
+  p2.feed(input, static_cast<std::size_t>(records), input.size());
+  p2.crash();
+
+  std::vector<std::string> combined = sequenced(p1.lines);
+  const auto suffix = sequenced(p2.lines);
+  combined.insert(combined.end(), suffix.begin(), suffix.end());
+  return combined;
+}
+
+struct Lcg {
+  std::uint64_t state = 0x2545f4914f6cdd1dULL;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+// The headline gate: >= 50 fuzzed crash offsets, each resumed stream
+// byte-identical to the uninterrupted baseline.
+TEST(Recovery, CrashAtFuzzedOffsetsResumesByteIdentical) {
+  const auto input = build_input("g", synthetic_rows(120), 25);
+  const auto baseline = sequenced(run_plain(input));
+  ASSERT_GE(baseline.size(), 5u);  // one report per flush
+
+  // Pinned edges: right after the declare, around every flush line, and
+  // the last possible cut; LCG fuzz fills the set to >= 50 offsets.
+  std::set<std::size_t> cuts = {1, 2, input.size() - 1};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i].rfind("!flush", 0) == 0) {
+      cuts.insert(i);          // crash with the flush un-journaled
+      cuts.insert(i + 1);      // crash right after the flush record
+    }
+  }
+  Lcg rng;
+  while (cuts.size() < 50) {
+    cuts.insert(1 + rng.next() % (input.size() - 1));
+  }
+
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    std::uint64_t records = 0;
+    const auto combined = crash_and_resume(input, "g", cut, &records);
+    EXPECT_EQ(records, cut);  // 1 line == 1 record, in order
+    EXPECT_EQ(combined, baseline);
+  }
+}
+
+// Journaling must be observationally free: the journaled uninterrupted
+// stream emits the same bytes as the journal-less one.
+TEST(Recovery, JournalingDoesNotPerturbOutput) {
+  const auto input = build_input("g", synthetic_rows(80), 40);
+  const auto baseline = sequenced(run_plain(input));
+  TempDir dir;
+  Process p(dir.path);
+  p.feed(input, 0, input.size());
+  p.crash();
+  EXPECT_EQ(sequenced(p.lines), baseline);
+}
+
+// Golden gate: the rig fixture crashed mid-scan and resumed still matches
+// the batch pipeline byte-for-byte and sits inside the 1e-9 drift band.
+TEST(Recovery, GoldenRigSurvivesCrashInsideDriftGate) {
+  const auto rows = split_rows(read_file(data_path("golden_rig.csv")));
+  ASSERT_FALSE(rows.empty());
+  std::vector<std::string> input;
+  input.push_back("!session g center=0,0.8,0");
+  input.insert(input.end(), rows.begin(), rows.end());
+  input.push_back("!flush g");
+
+  const auto samples = io::read_samples_csv_file(data_path("golden_rig.csv"));
+  const std::string batch_line =
+      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,"
+      "\"report\":" +
+      io::report_json(
+          core::calibrate_antenna_robust(samples, {0.0, 0.8, 0.0})) +
+      "}";
+
+  const std::size_t cut = 1 + rows.size() / 2;  // mid-scan
+  const auto combined = crash_and_resume(input, "g", cut);
+  ASSERT_EQ(combined.size(), 1u);
+  EXPECT_EQ(combined[0], batch_line);
+
+  std::string expected = read_file(data_path("golden_rig.json"));
+  while (!expected.empty() &&
+         (expected.back() == '\n' || expected.back() == '\r')) {
+    expected.pop_back();
+  }
+  const std::string prefix =
+      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,\"report\":";
+  ASSERT_EQ(combined[0].rfind(prefix, 0), 0u);
+  expect_json_near(
+      expected,
+      combined[0].substr(prefix.size(), combined[0].size() - prefix.size() - 1),
+      "golden_rig (restored)");
+}
+
+// Track mode: windows solve as rows arrive, so seqs are consumed by data
+// lines themselves — the snapshot fast-forward must cover them too.
+TEST(Recovery, TrackModeRestoreMatchesUninterrupted) {
+  const auto rows = synthetic_rows(40);
+  std::vector<std::string> input;
+  input.push_back(
+      "!session belt mode=track center=0,0.8,0 window=8 hop=8 speed=0.1");
+  input.insert(input.end(), rows.begin(), rows.end());
+  const auto baseline = sequenced(run_plain(input));
+  ASSERT_FALSE(baseline.empty());  // completed windows emitted fixes
+
+  for (const std::size_t cut : {std::size_t{3}, std::size_t{8},
+                                std::size_t{9}, std::size_t{20},
+                                std::size_t{33}, input.size() - 1}) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    const auto combined = crash_and_resume(input, "belt", cut);
+    EXPECT_EQ(combined, baseline);
+  }
+}
+
+// A re-declare whose config differs from the journaled one must be
+// rejected (journal_conflict), and the correct declare must still work.
+TEST(Recovery, MismatchedRedeclareIsAConflict) {
+  const auto input = build_input("g", synthetic_rows(10), 100);
+  TempDir dir;
+  Process p1(dir.path);
+  p1.feed(input, 0, 5);
+  p1.crash();
+
+  Process p2(dir.path);
+  p2.service->ingest_line("!session g center=1,0,0");  // wrong center
+  p2.service->drain();
+  ASSERT_FALSE(p2.lines.empty());
+  EXPECT_NE(p2.lines.back().find("journal_conflict"), std::string::npos)
+      << p2.lines.back();
+  EXPECT_TRUE(p2.restore_ack("g").empty());
+
+  p2.service->ingest_line(input[0]);  // the real declare still restores
+  EXPECT_FALSE(p2.restore_ack("g").empty());
+}
+
+// A torn tail (crash mid-write) loses only the newest record: the ack
+// reports torn=true and one fewer record, and resuming from that cursor
+// still converges to the uninterrupted stream.
+TEST(Recovery, TornTailResumesFromTheIntactPrefix) {
+  const auto input = build_input("g", synthetic_rows(60), 30);
+  const auto baseline = sequenced(run_plain(input));
+
+  const std::size_t cut = 20;  // last fed line is a data row (no seq)
+  TempDir dir;
+  {
+    Process p1(dir.path);
+    p1.feed(input, 0, cut);
+    p1.crash();
+  }
+  const std::string path = dir.path + "/g.lionj";
+  struct stat st {};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+
+  // Re-run the prefix bytes the torn journal no longer covers through a
+  // plain service to rebuild the expected prefix emissions (rows carry no
+  // responses in calibrate mode, so the prefix emits nothing here), then
+  // restore and continue.
+  Process p2(dir.path);
+  p2.service->ingest_line(input[0]);
+  const std::string ack = p2.restore_ack("g");
+  ASSERT_FALSE(ack.empty());
+  EXPECT_NE(ack.find("\"torn\":true"), std::string::npos) << ack;
+  const std::uint64_t records = uint_field(ack, "records");
+  EXPECT_EQ(records, cut - 1);  // the newest record was torn away
+  p2.feed(input, static_cast<std::size_t>(records), input.size());
+  p2.crash();
+  EXPECT_EQ(sequenced(p2.lines), baseline);
+}
+
+// !healthz answers out-of-band with journal gauges and process gauges.
+TEST(Recovery, HealthzReportsJournalAndProcessGauges) {
+  const auto input = build_input("g", synthetic_rows(10), 100);
+  TempDir dir;
+  Process p(dir.path);
+  p.feed(input, 0, input.size());
+  p.service->ingest_line("!healthz");
+  p.service->drain();
+  std::string health;
+  for (const auto& l : p.lines) {
+    if (l.rfind("{\"schema\":\"lion.health.v1\"", 0) == 0) health = l;
+  }
+  ASSERT_FALSE(health.empty());
+  EXPECT_NE(health.find("\"journal_enabled\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"journal_lag\":"), std::string::npos);
+  EXPECT_NE(health.find("\"journal_appends\":"), std::string::npos);
+  EXPECT_GT(uint_field(health, "rss_bytes"), 0u);
+  EXPECT_GT(uint_field(health, "open_fds"), 0u);
+  EXPECT_EQ(uint_field(health, "restores"), 0u);
+  p.crash();
+
+  // And a journal-less service reports journal_enabled=false.
+  std::vector<std::string> lines;
+  serve::StreamService plain(
+      serve::ServiceConfig{},
+      [&lines](std::string_view line) { lines.emplace_back(line); });
+  plain.ingest_line("!healthz");
+  plain.finish();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"journal_enabled\":false"), std::string::npos);
+}
+
+// A closed session's journal is gone: re-declaring after a clean close is
+// a fresh session, not a restore.
+TEST(Recovery, CloseDeletesTheJournal) {
+  const auto input = build_input("g", synthetic_rows(10), 100);
+  TempDir dir;
+  Process p1(dir.path);
+  p1.feed(input, 0, input.size());
+  p1.service->ingest_line("!close g");
+  p1.service->drain();
+  p1.crash();
+
+  Process p2(dir.path);
+  p2.service->ingest_line(input[0]);
+  p2.service->drain();
+  EXPECT_TRUE(p2.restore_ack("g").empty());  // fresh, no ack
+}
+
+}  // namespace
+}  // namespace lion

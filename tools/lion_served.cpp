@@ -3,6 +3,8 @@
 //   lion_served [--tcp PORT] [--unix PATH] [--threads N] [--center x,y,z]
 //               [--max-inflight N] [--ttl TICKS] [--timeout S]
 //               [--reject-busy] [--max-conns N] [--port-file PATH]
+//               [--journal-dir DIR] [--journal-fsync N]
+//               [--drain-timeout S]
 //
 // Defaults to an ephemeral TCP port on 127.0.0.1 and announces the bound
 // address on stdout as its first line:
@@ -10,21 +12,31 @@
 //   lion_served listening on 127.0.0.1:43215
 //
 // so a supervisor (or the CI smoke job) can scrape the port; --port-file
-// additionally writes the bare port number to a file for race-free
-// pickup. Runs until SIGINT/SIGTERM, then drains every connection's
-// in-flight solves before exiting 0.
+// additionally writes the bare port number to a file (atomically, via
+// temp file + rename, so a watcher never reads a partial write) for
+// race-free pickup.
+//
+// With --journal-dir, sessions are durable: mutations are journaled under
+// DIR and a restarted daemon restores any session a client re-declares
+// (see serve/journal.hpp for the recovery model). On SIGINT/SIGTERM the
+// daemon drains every connection's in-flight solves, bounded by
+// --drain-timeout seconds (default 10; 0 waits forever); an unclean drain
+// exits 1 via _Exit so wedged handler threads cannot hang teardown.
+
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <chrono>
 
+#include "serve/journal.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -40,7 +52,9 @@ void handle_signal(int) { g_stop = 1; }
                "                   [--center x,y,z] [--max-inflight N]\n"
                "                   [--ttl TICKS] [--timeout S]\n"
                "                   [--reject-busy] [--max-conns N]\n"
-               "                   [--port-file PATH]\n");
+               "                   [--port-file PATH]\n"
+               "                   [--journal-dir DIR] [--journal-fsync N]\n"
+               "                   [--drain-timeout S]\n");
   std::exit(2);
 }
 
@@ -71,12 +85,32 @@ double parse_real(const std::string& flag, const std::string& value) {
   }
 }
 
+// Temp file + fsync + rename: a watcher polling the path either sees no
+// file or a complete port number, never a partial write.
+bool write_port_file_atomic(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%d\n", port);
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   lion::serve::ServerConfig cfg;
   cfg.tcp_port = 0;  // ephemeral by default
   std::string port_file;
+  std::string journal_dir;
+  std::size_t journal_fsync = 1024;
+  double drain_timeout_s = 10.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -115,8 +149,35 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_uint(flag, next()));
     } else if (flag == "--port-file") {
       port_file = next();
+    } else if (flag == "--journal-dir") {
+      journal_dir = next();
+    } else if (flag == "--journal-fsync") {
+      journal_fsync = static_cast<std::size_t>(parse_uint(flag, next()));
+      if (journal_fsync == 0) usage("--journal-fsync must be >= 1");
+    } else if (flag == "--drain-timeout") {
+      drain_timeout_s = parse_real(flag, next());
+      if (drain_timeout_s < 0.0) usage("--drain-timeout must be >= 0");
     } else {
       usage(("unknown flag " + flag).c_str());
+    }
+  }
+
+  std::unique_ptr<lion::serve::JournalStore> journal;
+  if (!journal_dir.empty()) {
+    lion::serve::JournalStoreConfig jcfg;
+    jcfg.dir = journal_dir;
+    jcfg.fsync_every = journal_fsync;
+    journal = std::make_unique<lion::serve::JournalStore>(jcfg);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "error: journal: %s\n", journal->error().c_str());
+      return 1;
+    }
+    cfg.service.journal = journal.get();
+    if (journal->recovered_at_start() > 0) {
+      std::fprintf(stderr,
+                   "lion_served: %llu journaled session(s) await re-declare\n",
+                   static_cast<unsigned long long>(
+                       journal->recovered_at_start()));
     }
   }
 
@@ -133,9 +194,12 @@ int main(int argc, char** argv) {
                 server.port());
   }
   std::fflush(stdout);
-  if (!port_file.empty()) {
-    std::ofstream f(port_file);
-    f << server.port() << '\n';
+  if (!port_file.empty() &&
+      !write_port_file_atomic(port_file, server.port())) {
+    std::fprintf(stderr, "error: cannot write port file %s\n",
+                 port_file.c_str());
+    server.stop();
+    return 1;
   }
 
   std::signal(SIGINT, handle_signal);
@@ -143,8 +207,18 @@ int main(int argc, char** argv) {
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  server.stop();
+  const bool clean =
+      drain_timeout_s > 0.0 ? server.stop_with_timeout(drain_timeout_s)
+                            : (server.stop(), true);
   std::fprintf(stderr, "lion_served: %llu connection(s) served\n",
                static_cast<unsigned long long>(server.connections_served()));
+  if (!clean) {
+    // Straggler handler threads are detached and still running; normal
+    // exit would hang (or race) in static destructors. Flush and leave.
+    std::fprintf(stderr, "lion_served: drain timed out after %.1f s\n",
+                 drain_timeout_s);
+    std::fflush(nullptr);
+    std::_Exit(1);
+  }
   return 0;
 }

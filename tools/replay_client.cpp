@@ -2,17 +2,30 @@
 //
 //   replay_client (--tcp host:port | --unix PATH) --file scan.csv
 //                 [--sessions N] [--chunk BYTES] [--center x,y,z]
+//                 [--id-prefix P] [--close]
 //
 // Replays a recorded scan CSV into a running lion_served as N independent
-// calibrate sessions: every session gets a `!session` declare, the file's
-// rows routed via `@<id>` lines, and a final `!flush`. The payload is
-// written in --chunk-byte pieces (default 1024) to exercise the server's
-// chunk reassembly exactly the way a real reader gateway's socket writes
-// would. A reader thread concurrently consumes responses.
+// calibrate sessions, in two phases that make it a *resuming* client
+// against a journaled server:
 //
-// Exit status is the contract the CI smoke job relies on: 0 iff the
-// server answered with exactly one lion.report.v1 per session and zero
-// lion.error.v1 lines. Throughput (read records ingested per second,
+//   1. all `!session` declares, then a `!stats` barrier — by the time the
+//      stats response arrives, every declare was processed and any
+//      lion.restore.v1 acks (journaled sessions adopted after a server
+//      restart) are in hand;
+//   2. per session, the rows the ack's cursor says the server has not
+//      journaled yet (all of them for a fresh session), routed via
+//      `@<id>` lines, then a final `!flush` (or `!close` with --close,
+//      which also deletes the server-side journal).
+//
+// The payload is written in --chunk-byte pieces (default 1024) to
+// exercise the server's chunk reassembly exactly the way a real reader
+// gateway's socket writes would. A reader thread concurrently consumes
+// responses.
+//
+// Exit status is the contract the CI smoke and soak jobs rely on: 0 iff
+// the server answered with exactly one lion.report.v1 per session and
+// zero lion.error.v1 lines; on failure stderr names the first session
+// that did not complete. Throughput (read records ingested per second,
 // wall-clock from first byte written to last response read) is printed
 // to stdout.
 
@@ -25,10 +38,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -41,8 +57,28 @@ namespace {
   std::fprintf(stderr, "%s",
                "usage: replay_client (--tcp host:port | --unix PATH)\n"
                "                     --file scan.csv [--sessions N]\n"
-               "                     [--chunk BYTES] [--center x,y,z]\n");
+               "                     [--chunk BYTES] [--center x,y,z]\n"
+               "                     [--id-prefix P] [--close]\n");
   std::exit(2);
+}
+
+// Pull the integer after `"key":` out of a flat one-line JSON response.
+std::size_t json_uint_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::atoll(line.c_str() + pos + needle.size()));
+}
+
+std::string json_string_field(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
 }
 
 bool send_all(int fd, const char* data, std::size_t size) {
@@ -104,8 +140,10 @@ int main(int argc, char** argv) {
   std::string unix_path;
   std::string file;
   std::string center = "0,0.8,0";
+  std::string id_prefix = "replay";
   std::size_t sessions = 1;
   std::size_t chunk = 1024;
+  bool close_sessions = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -125,6 +163,10 @@ int main(int argc, char** argv) {
       chunk = static_cast<std::size_t>(std::stoul(next()));
     } else if (flag == "--center") {
       center = next();
+    } else if (flag == "--id-prefix") {
+      id_prefix = next();
+    } else if (flag == "--close") {
+      close_sessions = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -151,19 +193,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // One big payload: declare + route + flush per session. Routing every
-  // row with '@' (instead of relying on the current-session default)
-  // keeps the payload valid under any interleaving we might add later.
-  std::string payload;
-  for (std::size_t s = 0; s < sessions; ++s) {
-    const std::string id = "replay" + std::to_string(s);
-    payload += "!session " + id + " center=" + center + "\n";
-    for (const std::string& row : rows) {
-      payload += "@" + id + " " + row + "\n";
-    }
-    payload += "!flush " + id + "\n";
-  }
-
   const int fd = !unix_path.empty() ? connect_unix(unix_path)
                                     : connect_tcp(tcp_spec);
   if (fd < 0) {
@@ -171,10 +200,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Restore cursors (journal records / flushes per session), filled by
+  // the reader from lion.restore.v1 acks during the declare phase.
+  struct RestoreAck {
+    std::size_t records = 0;
+    std::size_t flushes = 0;
+  };
+  std::mutex ack_mu;
+  std::condition_variable ack_cv;
+  std::map<std::string, RestoreAck> acks;
+  bool barrier_seen = false;
+
   std::size_t reports = 0;
   std::size_t errors = 0;
   std::size_t response_lines = 0;
-  std::thread reader([fd, &reports, &errors, &response_lines] {
+  std::thread reader([fd, &reports, &errors, &response_lines, &ack_mu,
+                      &ack_cv, &acks, &barrier_seen] {
     std::string partial;
     char buf[4096];
     for (;;) {
@@ -194,17 +235,83 @@ int main(int argc, char** argv) {
                    std::string::npos) {
           ++errors;
           std::fprintf(stderr, "server error: %s\n", line.c_str());
+        } else if (line.find("\"schema\":\"lion.restore.v1\"") !=
+                   std::string::npos) {
+          RestoreAck ack;
+          ack.records = json_uint_field(line, "records");
+          ack.flushes = json_uint_field(line, "flushes");
+          std::lock_guard<std::mutex> lock(ack_mu);
+          acks[json_string_field(line, "session")] = ack;
+        } else if (line.find("\"schema\":\"lion.stats.v1\"") !=
+                   std::string::npos) {
+          {
+            std::lock_guard<std::mutex> lock(ack_mu);
+            barrier_seen = true;
+          }
+          ack_cv.notify_all();
         }
       }
       partial.erase(0, pos);
     }
+    // EOF also releases a declare phase still waiting on the barrier.
+    {
+      std::lock_guard<std::mutex> lock(ack_mu);
+      barrier_seen = true;
+    }
+    ack_cv.notify_all();
   });
 
   const auto start = std::chrono::steady_clock::now();
-  bool sent = true;
+
+  // Phase 1: declares + a !stats barrier. The stats response is sequenced
+  // after every declare, so once it arrives all restore acks are in.
+  std::string declares;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    declares +=
+        "!session " + id_prefix + std::to_string(s) + " center=" + center +
+        "\n";
+  }
+  declares += "!stats\n";
+  bool sent = send_all(fd, declares.data(), declares.size());
+  if (sent) {
+    std::unique_lock<std::mutex> lock(ack_mu);
+    ack_cv.wait_for(lock, std::chrono::seconds(30),
+                    [&barrier_seen] { return barrier_seen; });
+  }
+
+  // Phase 2: per session, only the rows past the journal's cursor
+  // (records = declare + rows journaled + flush records), then the
+  // terminal control line. session_starts[s] = offset of session s's
+  // first payload byte, so a mid-send failure can be pinned.
+  std::string payload;
+  std::vector<std::size_t> session_starts;
+  std::size_t resumed = 0;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const std::string id = id_prefix + std::to_string(s);
+    std::size_t first_row = 0;
+    {
+      std::lock_guard<std::mutex> lock(ack_mu);
+      const auto it = acks.find(id);
+      if (it != acks.end()) {
+        const std::size_t consumed = 1 + it->second.flushes;
+        const std::size_t rows_journaled =
+            it->second.records > consumed ? it->second.records - consumed : 0;
+        first_row = std::min(rows_journaled, rows.size());
+        ++resumed;
+      }
+    }
+    session_starts.push_back(payload.size());
+    for (std::size_t r = first_row; r < rows.size(); ++r) {
+      payload += "@" + id + " " + rows[r] + "\n";
+    }
+    payload += (close_sessions ? "!close " : "!flush ") + id + "\n";
+  }
+
+  std::size_t failed_offset = 0;
   for (std::size_t off = 0; off < payload.size() && sent; off += chunk) {
     const std::size_t n = std::min(chunk, payload.size() - off);
     sent = send_all(fd, payload.data() + off, n);
+    if (!sent) failed_offset = off;
   }
   ::shutdown(fd, SHUT_WR);  // EOF -> server finish()es and closes
   reader.join();
@@ -215,17 +322,37 @@ int main(int argc, char** argv) {
 
   const std::size_t total_reads = data_rows * sessions;
   std::printf("replay: %zu sessions x %zu reads in %.3f s "
-              "(%.0f reads/s), %zu responses (%zu reports, %zu errors)\n",
+              "(%.0f reads/s), %zu responses (%zu reports, %zu errors, "
+              "%zu resumed)\n",
               sessions, data_rows, wall,
               wall > 0 ? static_cast<double>(total_reads) / wall : 0.0,
-              response_lines, reports, errors);
+              response_lines, reports, errors, resumed);
   if (!sent) {
-    std::fprintf(stderr, "error: connection broke mid-send\n");
+    // Pin the drop to the session whose bytes were on the wire: the last
+    // session whose payload starts at or before the failing offset.
+    std::size_t failed_session = 0;
+    for (std::size_t s = 0; s < session_starts.size(); ++s) {
+      if (session_starts[s] <= failed_offset) failed_session = s;
+    }
+    std::fprintf(stderr,
+                 "error: connection dropped mid-send in session '%s%zu' "
+                 "(offset %zu of %zu bytes)\n",
+                 id_prefix.c_str(), failed_session, failed_offset,
+                 payload.size());
     return 1;
   }
   if (reports != sessions || errors != 0) {
-    std::fprintf(stderr, "error: expected %zu reports / 0 errors\n",
-                 sessions);
+    // Reports come back in flush (= session) order, so the first session
+    // without one is exactly session #reports.
+    if (reports < sessions) {
+      std::fprintf(stderr,
+                   "error: expected %zu reports / 0 errors, got %zu/%zu; "
+                   "first incomplete session '%s%zu'\n",
+                   sessions, reports, errors, id_prefix.c_str(), reports);
+    } else {
+      std::fprintf(stderr, "error: expected %zu reports / 0 errors, "
+                   "got %zu/%zu\n", sessions, reports, errors);
+    }
     return 1;
   }
   return 0;

@@ -1,0 +1,319 @@
+// soak_driver — fault-injected endurance harness for lion_served.
+//
+//   soak_driver --served PATH --client PATH --file scan.csv
+//               [--duration S] [--sessions N] [--journal-dir DIR]
+//               [--rss-limit-mb M] [--fd-slack N] [--seed S]
+//               [--replays-per-server N]
+//
+// Runs replayed fleet traffic against a real lion_served process while
+// injecting the faults a production supervisor would see:
+//
+//   - SIGKILL of the server mid-replay (the client must fail loudly, the
+//     restarted server must pass the next clean replay — with journaling
+//     on, restoring the killed sessions);
+//   - SIGKILL of a client mid-replay (the server must shrug it off);
+//   - clean replays interleaved throughout (must all pass).
+//
+// Between replays the driver samples the server's /proc gauges and gates
+// on them: open fds must stay within --fd-slack of the incarnation's
+// baseline (a leak shows up as monotonic growth) and RSS must stay under
+// --rss-limit-mb. Each incarnation ends with SIGTERM and must drain
+// cleanly (exit 0). Any gate failure makes the driver exit 1; the
+// summary on stdout is the CI nightly job's log line.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/process.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr, "%s",
+               "usage: soak_driver --served PATH --client PATH "
+               "--file scan.csv\n"
+               "                   [--duration S] [--sessions N]\n"
+               "                   [--journal-dir DIR] [--rss-limit-mb M]\n"
+               "                   [--fd-slack N] [--seed S]\n"
+               "                   [--replays-per-server N]\n");
+  std::exit(2);
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Deterministic per-seed fault schedule (no global rand()).
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "error: exec %s: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// waitpid with a deadline. Returns true and fills `status` when the
+/// process exited in time; false leaves it running.
+bool wait_exit(pid_t pid, double timeout_s, int& status) {
+  const double deadline = now_s() + timeout_s;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return true;
+    if (r < 0 && errno != EINTR) return false;
+    if (now_s() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+bool wait_port_file(const std::string& path, double timeout_s, int& port) {
+  const double deadline = now_s() + timeout_s;
+  while (now_s() < deadline) {
+    std::ifstream f(path);
+    if (f && (f >> port) && port > 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+bool alive(pid_t pid) { return ::kill(pid, 0) == 0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string served_bin;
+  std::string client_bin;
+  std::string csv_file;
+  std::string journal_dir;
+  double duration_s = 30.0;
+  std::size_t sessions = 2;
+  std::uint64_t rss_limit_mb = 512;
+  std::uint64_t fd_slack = 16;
+  std::uint64_t seed = 1;
+  std::size_t replays_per_server = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--served") {
+      served_bin = next();
+    } else if (flag == "--client") {
+      client_bin = next();
+    } else if (flag == "--file") {
+      csv_file = next();
+    } else if (flag == "--journal-dir") {
+      journal_dir = next();
+    } else if (flag == "--duration") {
+      duration_s = std::atof(next().c_str());
+    } else if (flag == "--sessions") {
+      sessions = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (flag == "--rss-limit-mb") {
+      rss_limit_mb = static_cast<std::uint64_t>(std::atol(next().c_str()));
+    } else if (flag == "--fd-slack") {
+      fd_slack = static_cast<std::uint64_t>(std::atol(next().c_str()));
+    } else if (flag == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (flag == "--replays-per-server") {
+      replays_per_server =
+          static_cast<std::size_t>(std::atol(next().c_str()));
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (served_bin.empty() || client_bin.empty() || csv_file.empty()) {
+    usage("--served, --client and --file are required");
+  }
+  if (duration_s <= 0.0 || sessions == 0 || replays_per_server == 0) {
+    usage("--duration/--sessions/--replays-per-server must be > 0");
+  }
+
+  Lcg rng{seed * 2654435761ULL + 1};
+  const std::string port_file =
+      "soak_port." + std::to_string(::getpid()) + ".txt";
+  const double deadline = now_s() + duration_s;
+
+  std::uint64_t incarnations = 0;
+  std::uint64_t clean_replays = 0;
+  std::uint64_t server_kills = 0;
+  std::uint64_t client_kills = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t max_rss = 0;
+  std::uint64_t max_fds = 0;
+
+  auto fail = [&failures](const char* what) {
+    std::fprintf(stderr, "soak: FAIL: %s\n", what);
+    ++failures;
+  };
+
+  // Set when an incarnation died by injected SIGKILL: the next
+  // incarnation's first replay is forced clean — the kill-restart probe.
+  // It reuses the killed replay's session prefix, so with --journal-dir
+  // it resumes the journaled sessions through the restore path.
+  bool force_clean = false;
+  std::string killed_prefix;
+  std::uint64_t replay_counter = 0;
+
+  while (now_s() < deadline) {
+    ::remove(port_file.c_str());
+    std::vector<std::string> served_args = {served_bin, "--tcp", "0",
+                                            "--port-file", port_file,
+                                            "--drain-timeout", "30"};
+    if (!journal_dir.empty()) {
+      served_args.push_back("--journal-dir");
+      served_args.push_back(journal_dir);
+      // fsync per flush only: the soak is about leaks, not fsync load.
+      served_args.push_back("--journal-fsync");
+      served_args.push_back("4096");
+    }
+    const pid_t server = spawn(served_args);
+    ++incarnations;
+    int port = 0;
+    if (!wait_port_file(port_file, 15.0, port)) {
+      fail("server did not publish its port in 15 s");
+      ::kill(server, SIGKILL);
+      int status = 0;
+      wait_exit(server, 5.0, status);
+      break;
+    }
+    const std::string tcp = "127.0.0.1:" + std::to_string(port);
+    std::uint64_t baseline_fds = 0;
+
+    for (std::size_t r = 0; r < replays_per_server && now_s() < deadline;
+         ++r) {
+      // Fault schedule: 0 = SIGKILL server mid-replay (then restart),
+      // 1 = SIGKILL client, else clean. The replay right after a restart
+      // is always clean: it is the kill-restart acceptance probe.
+      std::uint64_t fault = rng.next() % 4;
+      // Unique session ids per replay keep replays independent; only the
+      // kill-restart probe deliberately reuses the interrupted prefix.
+      std::string prefix = "s" + std::to_string(replay_counter++) + "x";
+      if (force_clean) {
+        fault = 3;
+        force_clean = false;
+        if (!killed_prefix.empty()) prefix = killed_prefix;
+      }
+      const std::vector<std::string> client_args = {
+          client_bin, "--tcp", tcp, "--file", csv_file,
+          "--sessions", std::to_string(sessions),
+          "--id-prefix", prefix, "--close"};
+      const pid_t client = spawn(client_args);
+      int status = 0;
+      if (fault == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + rng.next() % 40));
+        ::kill(server, SIGKILL);
+        ++server_kills;
+        int sstatus = 0;
+        wait_exit(server, 5.0, sstatus);
+        // The client must not hang on the dead server; its exit code is
+        // not gated (a fast replay can legitimately finish before the
+        // kill lands).
+        if (!wait_exit(client, 30.0, status)) {
+          fail("client hung after server SIGKILL");
+          ::kill(client, SIGKILL);
+          wait_exit(client, 5.0, status);
+        }
+        force_clean = true;
+        killed_prefix = prefix;
+        break;  // restart a fresh incarnation
+      }
+      if (fault == 1) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + rng.next() % 40));
+        ::kill(client, SIGKILL);
+        ++client_kills;
+        wait_exit(client, 5.0, status);
+        if (!alive(server)) {
+          fail("server died when a client was SIGKILLed");
+          break;
+        }
+      } else {
+        if (!wait_exit(client, 120.0, status)) {
+          fail("clean replay hung");
+          ::kill(client, SIGKILL);
+          wait_exit(client, 5.0, status);
+        } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          fail("clean replay exited nonzero");
+        } else {
+          ++clean_replays;
+        }
+      }
+      if (!alive(server)) {
+        fail("server exited unexpectedly");
+        break;
+      }
+      const std::uint64_t rss = lion::obs::process_rss_bytes(server);
+      const std::uint64_t fds = lion::obs::process_open_fds(server);
+      if (rss > max_rss) max_rss = rss;
+      if (fds > max_fds) max_fds = fds;
+      if (baseline_fds == 0) {
+        baseline_fds = fds;  // first sample of this incarnation
+      } else if (fds > baseline_fds + fd_slack) {
+        fail("fd leak: open fds grew past baseline + slack");
+      }
+      if (rss > rss_limit_mb * 1024 * 1024) fail("RSS over limit");
+    }
+
+    if (alive(server)) {
+      ::kill(server, SIGTERM);
+      int status = 0;
+      if (!wait_exit(server, 60.0, status)) {
+        fail("server ignored SIGTERM for 60 s");
+        ::kill(server, SIGKILL);
+        wait_exit(server, 5.0, status);
+      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        fail("server drain was unclean");
+      }
+    }
+  }
+
+  ::remove(port_file.c_str());
+  std::printf(
+      "soak: %llu incarnation(s), %llu clean replay(s), %llu server "
+      "kill(s), %llu client kill(s), max rss %.1f MB, max fds %llu, "
+      "%llu failure(s)\n",
+      static_cast<unsigned long long>(incarnations),
+      static_cast<unsigned long long>(clean_replays),
+      static_cast<unsigned long long>(server_kills),
+      static_cast<unsigned long long>(client_kills),
+      static_cast<double>(max_rss) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(max_fds),
+      static_cast<unsigned long long>(failures));
+  if (clean_replays == 0) {
+    std::fprintf(stderr, "soak: FAIL: no clean replay completed\n");
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
