@@ -25,6 +25,7 @@
 
 #include "bench/common.hpp"
 #include "io/csv.hpp"
+#include "rf/phase_model.hpp"
 #include "serve/journal.hpp"
 #include "serve/service.hpp"
 #include "sim/scenario.hpp"
@@ -212,14 +213,136 @@ int main(int argc, char** argv) {
         .value("items_per_s", lines / decode_s);
   }
 
+  // --- long-session tracking: full re-solve vs incremental `!tick`. -----
+  // A 5k-sample track session emitting one pose per read. The full path
+  // re-runs the whole window pipeline per pose (window=5000 hop=1); the
+  // incremental path holds the window open and answers `!tick` from the
+  // maintained normal equations. Poses are serialized (send -> drain) so
+  // each latency sample is one pose's end-to-end cost, pool included.
+  constexpr std::size_t kPrefill = 5000;
+  constexpr std::size_t kPoses = 100;
+  const auto belt_row = [](std::size_t i) {
+    const double t = 0.01 * static_cast<double>(i);
+    const double x = -1.0 + 0.05 * t;
+    const double d = std::sqrt(x * x + 0.6 * 0.6);
+    const double phase = rf::wrap_phase(rf::distance_phase(d));
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"session\":\"trk\",\"x\":0,\"y\":0,\"z\":0,"
+                  "\"phase\":%.17g,\"t\":%.17g}",
+                  phase, t);
+    return std::string(buf);
+  };
+  const auto track_declare = [](std::size_t window, std::size_t hop) {
+    return "!session trk mode=track center=0,0,0 dir=1,0,0 speed=0.05 "
+           "window=" +
+           std::to_string(window) + " hop=" + std::to_string(hop) +
+           " hint=-1,0.6,0";
+  };
+
+  std::vector<double> full_ms, tick_ms;
+  std::size_t tick_fallbacks = 0;
+  double full_wall_s = 0.0, tick_wall_s = 0.0;
+  {
+    serve::StreamService svc(serve::ServiceConfig{},
+                             [](std::string_view) {});
+    svc.ingest_line(track_declare(kPrefill, 1));
+    for (std::size_t i = 0; i + 1 < kPrefill; ++i) {
+      svc.ingest_line(belt_row(i));
+    }
+    svc.drain();
+    bench::Timer run;
+    for (std::size_t p = 0; p < kPoses; ++p) {
+      bench::Timer t;
+      svc.ingest_line(belt_row(kPrefill - 1 + p));  // completes a window
+      svc.drain();
+      full_ms.push_back(t.seconds() * 1e3);
+    }
+    full_wall_s = run.seconds();
+    svc.finish();
+  }
+  {
+    std::size_t incremental_poses = 0;
+    serve::StreamService svc(
+        serve::ServiceConfig{}, [&](std::string_view line) {
+          if (line.find("\"schema\":\"lion.tick.v1\"") !=
+              std::string_view::npos) {
+            if (line.find("\"source\":\"incremental\"") !=
+                std::string_view::npos) {
+              ++incremental_poses;
+            } else {
+              ++tick_fallbacks;
+            }
+          }
+        });
+    svc.ingest_line(track_declare(10 * kPrefill, 10 * kPrefill));
+    for (std::size_t i = 0; i + 1 < kPrefill; ++i) {
+      svc.ingest_line(belt_row(i));
+    }
+    svc.drain();
+    bench::Timer run;
+    for (std::size_t p = 0; p < kPoses; ++p) {
+      bench::Timer t;
+      svc.ingest_line(belt_row(kPrefill - 1 + p));
+      svc.ingest_line("!tick trk");
+      svc.drain();
+      tick_ms.push_back(t.seconds() * 1e3);
+    }
+    tick_wall_s = run.seconds();
+    svc.finish();
+    if (incremental_poses + tick_fallbacks != kPoses) {
+      std::printf("warning: expected %zu tick responses, saw %zu\n", kPoses,
+                  incremental_poses + tick_fallbacks);
+    }
+  }
+  const double full_p95 = linalg::percentile(full_ms, 95);
+  const double tick_p95 = linalg::percentile(tick_ms, 95);
+  std::printf(
+      "\ntrack poses over a %zu-sample window (%zu poses each):\n"
+      "  full re-solve [ms]: p50 %.3f, p95 %.3f, p99 %.3f (%.0f poses/s)\n"
+      "  `!tick`       [ms]: p50 %.3f, p95 %.3f, p99 %.3f (%.0f poses/s, "
+      "%zu fallbacks)\n",
+      kPrefill, kPoses, linalg::percentile(full_ms, 50), full_p95,
+      linalg::percentile(full_ms, 99),
+      static_cast<double>(kPoses) / full_wall_s,
+      linalg::percentile(tick_ms, 50), tick_p95,
+      linalg::percentile(tick_ms, 99),
+      static_cast<double>(kPoses) / tick_wall_s, tick_fallbacks);
+  report.row("track_full")
+      .tag("build", "post")
+      .value("threads", 0.0)
+      .value("window_rows", static_cast<double>(kPrefill))
+      .value("items_per_s", static_cast<double>(kPoses) / full_wall_s)
+      .value("latency_p50_ms", linalg::percentile(full_ms, 50))
+      .value("latency_p95_ms", full_p95)
+      .value("latency_p99_ms", linalg::percentile(full_ms, 99));
+  report.row("track_tick")
+      .tag("build", "post")
+      .value("threads", 0.0)
+      .value("window_rows", static_cast<double>(kPrefill))
+      .value("items_per_s", static_cast<double>(kPoses) / tick_wall_s)
+      .value("latency_p50_ms", linalg::percentile(tick_ms, 50))
+      .value("latency_p95_ms", tick_p95)
+      .value("latency_p99_ms", linalg::percentile(tick_ms, 99))
+      .value("fallbacks", static_cast<double>(tick_fallbacks));
+
   const bool floor_ok = reads_per_s >= 1000.0;
   // The journaled path must stay within 10% of the plain path (write()
   // per record is buffered; fsync is batched), measured apples-to-apples
   // inside one run so machine speed cancels out.
   const bool journal_ok = journaled_per_s >= 0.9 * plain_best_per_s;
+  // The incremental fast path must beat a per-read full recompute of the
+  // 5k-row window by >= 5x at p95, with every pose answered incrementally
+  // (a fallback would mean the residual gate tripped on clean data).
+  const bool tick_ok =
+      full_p95 > 0.0 && tick_p95 * 5.0 <= full_p95 && tick_fallbacks == 0;
   std::printf("\nacceptance: ingest %.0f reads/s %s 1000 reads/s floor\n",
               reads_per_s, floor_ok ? ">=" : "<");
   std::printf("acceptance: journaled ingest %.0f reads/s %s 90%% of plain\n",
               journaled_per_s, journal_ok ? ">=" : "<");
-  return floor_ok && journal_ok ? 0 : 1;
+  std::printf(
+      "acceptance: `!tick` p95 %.3f ms %s full re-solve p95 %.3f ms / 5 "
+      "(%zu fallbacks)\n",
+      tick_p95, tick_ok ? "<=" : ">", full_p95, tick_fallbacks);
+  return floor_ok && journal_ok && tick_ok ? 0 : 1;
 }

@@ -219,7 +219,8 @@ std::size_t candidate_pass(const linalg::SolverWorkspace& ws, const double* x,
 
 void ransac_solve_small(const linalg::Matrix& a, const std::vector<double>& b,
                         const RansacOptions& options,
-                        linalg::SolverWorkspace& ws, RansacResult& out) {
+                        linalg::SolverWorkspace& ws, RansacResult& out,
+                        const char* warm_mask = nullptr) {
   const std::size_t n = a.rows();
   const std::size_t p = a.cols();
   ws.load(a, b);
@@ -241,6 +242,39 @@ void ransac_solve_small(const linalg::Matrix& a, const std::vector<double>& b,
   bool have_best = false;
   std::size_t evaluated = 0;
   double x[linalg::kSmallMaxCols];
+
+  // Warm start: seed the best-so-far candidate with the OLS fit over the
+  // caller's prior inlier set (the previous window's consensus, mapped to
+  // this system's rows). With a still-valid prior, the median prescreen
+  // below rejects most random candidates after one comparison pass; with a
+  // stale prior the seed simply loses the sampling tournament. Either way
+  // the loop below is untouched, so a cold call (warm_mask == nullptr)
+  // stays bit-identical to the classic path.
+  if (warm_mask != nullptr) {
+    std::size_t warm_rows = 0;
+    for (std::size_t i = 0; i < n; ++i) warm_rows += warm_mask[i] ? 1 : 0;
+    if (warm_rows >= m) {
+      linalg::SmallGram g;
+      g.reset(p);
+      double rhs[linalg::kSmallMaxCols] = {0.0, 0.0, 0.0, 0.0};
+      accumulate_masked(ws, warm_mask, g, rhs);
+      g.mirror();
+      linalg::SmallCholesky chol;
+      if (small_cholesky_factor(g, chol)) {
+        small_cholesky_solve(chol, rhs, x);
+        candidate_pass(ws, x, best_score, ws.residuals.data(),
+                       ws.median_scratch.data());
+        const double score = linalg::median_in_place(
+            ws.median_scratch.data(), ws.median_scratch.data() + n);
+        if (std::isfinite(score)) {
+          best_score = score;
+          std::swap(ws.residuals, ws.best_residuals);
+          have_best = true;
+          LION_OBS_COUNT("ransac.warm_seeds", 1);
+        }
+      }
+    }
+  }
 
   // Median prescreen threshold: with mid = n/2, median_in_place returns
   // v[mid] for odd n and 0.5 * (v[mid-1] + v[mid]) for even n. A candidate
@@ -373,6 +407,31 @@ RansacResult ransac_solve(const linalg::Matrix& a,
                           const RansacOptions& options) {
   linalg::SolverWorkspace ws;
   return ransac_solve(a, b, options, ws);
+}
+
+void ransac_solve_warm(const linalg::Matrix& a, const std::vector<double>& b,
+                       const RansacOptions& options,
+                       linalg::SolverWorkspace& ws,
+                       const std::vector<char>& prior_inliers,
+                       RansacResult& out) {
+  LION_OBS_SPAN(obs::Stage::kRansac);
+  const std::size_t n = a.rows();
+  const std::size_t p = a.cols();
+  if (b.size() != n) {
+    throw std::invalid_argument("ransac_solve_warm: rhs size mismatch");
+  }
+  if (n < p) {
+    throw std::invalid_argument("ransac_solve_warm: underdetermined system");
+  }
+  const bool usable_prior = prior_inliers.size() == n;
+  if (p != 0 && p <= linalg::kSmallMaxCols) {
+    ransac_solve_small(a, b, options, ws, out,
+                       usable_prior ? prior_inliers.data() : nullptr);
+  } else {
+    // The wide path has no warm seeding (LION never produces p > 4);
+    // degrade to the cold solve rather than reject.
+    ransac_solve_general(a, b, options, out);
+  }
 }
 
 }  // namespace lion::core

@@ -72,4 +72,17 @@ void ransac_solve(const linalg::Matrix& a, const std::vector<double>& b,
                   const RansacOptions& options, linalg::SolverWorkspace& ws,
                   RansacResult& out);
 
+/// Warm-started consensus solve for sliding-window callers: seed the
+/// sampling tournament with the OLS fit over `prior_inliers` (the previous
+/// window's consensus mask, mapped onto this system's rows — one char per
+/// row; any other length is treated as no prior). A still-valid prior sets
+/// the LMedS bar immediately, so the median prescreen rejects most random
+/// candidates in one comparison pass; a stale prior simply loses the
+/// tournament. With an empty prior this is bit-identical to ransac_solve.
+void ransac_solve_warm(const linalg::Matrix& a, const std::vector<double>& b,
+                       const RansacOptions& options,
+                       linalg::SolverWorkspace& ws,
+                       const std::vector<char>& prior_inliers,
+                       RansacResult& out);
+
 }  // namespace lion::core

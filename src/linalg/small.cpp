@@ -230,4 +230,92 @@ void accumulate_weighted_masked(const SolverWorkspace& ws, const char* mask,
   }
 }
 
+// ---------------------------------------------------------------------------
+// IncrementalNormals
+// ---------------------------------------------------------------------------
+
+void IncrementalNormals::reset(std::size_t cols) {
+  if (cols == 0 || cols > kSmallMaxCols) {
+    throw std::invalid_argument(
+        "IncrementalNormals: cols must be in [1, kSmallMaxCols]");
+  }
+  p_ = cols;
+  packed_ = cols * (cols + 1) / 2;
+  n_ = 0;
+  for (std::size_t i = 0; i < kSmallMaxPacked; ++i) g_[i] = 0.0;
+  for (std::size_t i = 0; i < kSmallMaxCols; ++i) c_[i] = 0.0;
+  kk_ = 0.0;
+  added_diag_ = 0.0;
+}
+
+void IncrementalNormals::append(const double* a, double k) {
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < p_; ++i) {
+    for (std::size_t j = i; j < p_; ++j) g_[idx++] += a[i] * a[j];
+    c_[i] += a[i] * k;
+    added_diag_ += a[i] * a[i];
+  }
+  kk_ += k * k;
+  ++n_;
+}
+
+void IncrementalNormals::downdate(const double* a, double k) {
+  // Subtract exactly the products append() added; added_diag_ is monotone
+  // on purpose (it tracks total traffic, not the surviving mass).
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < p_; ++i) {
+    for (std::size_t j = i; j < p_; ++j) g_[idx++] -= a[i] * a[j];
+    c_[i] -= a[i] * k;
+  }
+  kk_ -= k * k;
+  if (n_ > 0) --n_;
+}
+
+bool IncrementalNormals::solve(double* x) const {
+  if (n_ < p_) return false;
+  SmallGram g;
+  g.reset(p_);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < p_; ++i) {
+    for (std::size_t j = i; j < p_; ++j) g.g[i][j] = g_[idx++];
+  }
+  g.mirror();
+  SmallCholesky chol;
+  if (!small_cholesky_factor(g, chol)) return false;
+  small_cholesky_solve(chol, c_, x);
+  for (std::size_t i = 0; i < p_; ++i) {
+    if (!std::isfinite(x[i])) return false;
+  }
+  return true;
+}
+
+double IncrementalNormals::rms(const double* x) const {
+  if (n_ == 0) return 0.0;
+  // x^T G x from the packed upper triangle (off-diagonals count twice).
+  double xgx = 0.0;
+  double xc = 0.0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < p_; ++i) {
+    for (std::size_t j = i; j < p_; ++j) {
+      const double term = g_[idx++] * x[i] * x[j];
+      xgx += i == j ? term : 2.0 * term;
+    }
+    xc += x[i] * c_[i];
+  }
+  const double ss = xgx - 2.0 * xc + kk_;
+  return std::sqrt(std::max(0.0, ss / static_cast<double>(n_)));
+}
+
+double IncrementalNormals::cancellation() const {
+  double live = 0.0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < p_; ++i) {
+    live += std::abs(g_[idx]);
+    idx += p_ - i;  // step from diagonal (i,i) to diagonal (i+1,i+1)
+  }
+  if (added_diag_ <= 0.0) return 1.0;
+  constexpr double kTiny = 1e-300;
+  return added_diag_ / std::max(live, kTiny);
+}
+
 }  // namespace lion::linalg

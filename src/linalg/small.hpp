@@ -153,6 +153,63 @@ class SolverWorkspace {
   std::vector<double> b_;
 };
 
+/// Incrementally maintained normal equations of a tall-skinny system with
+/// p <= kSmallMaxCols unknowns: G = A^T A (packed upper triangle, the
+/// accumulation order of Matrix::gram), c = A^T k, plus sum(k^2) so the
+/// residual RMS of a candidate x is available in O(p^2) without touching
+/// the rows:  n * rms^2 = x^T G x - 2 x^T c + sum(k^2).
+///
+/// append() is a rank-1 update; downdate() removes a previously appended
+/// row by subtracting the identical products, so an append immediately
+/// followed by its downdate round-trips the accumulator to within one ulp
+/// per entry (the metamorphic suite pins 1e-12 relative). Long
+/// append/downdate chains lose precision when the surviving mass is a
+/// tiny difference of large totals — `cancellation()` measures exactly
+/// that ratio so callers can re-accumulate from the surviving rows
+/// (sliding-window rebuild) before the gram turns to noise.
+class IncrementalNormals {
+ public:
+  void reset(std::size_t cols);
+
+  std::size_t cols() const { return p_; }
+  std::size_t rows() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Rank-1 update with row `a` (cols() entries) and rhs `k`.
+  void append(const double* a, double k);
+  /// Remove a previously appended row. Requires rows() > 0.
+  void downdate(const double* a, double k);
+
+  /// Solve G x = c by the small Cholesky kernel; false when the
+  /// accumulated gram is not SPD (degenerate or downdated-to-noise).
+  bool solve(double* x) const;
+
+  /// Residual RMS of `x` over the accumulated rows, from the maintained
+  /// quantities only. Cancellation can push the quadratic form slightly
+  /// negative; it is clamped at zero.
+  double rms(const double* x) const;
+
+  /// Ratio of total appended diagonal mass to the surviving diagonal
+  /// mass (>= 1). Large values mean the gram is a small difference of
+  /// large sums — time to re-accumulate from the surviving rows.
+  double cancellation() const;
+
+  /// Packed upper triangle of G ((i, j >= i) row-major; cols()*(cols()+1)/2
+  /// entries) — exposed for the metamorphic kernel suite.
+  const double* gram_packed() const { return g_; }
+  const double* rhs() const { return c_; }
+  double rhs_squared_sum() const { return kk_; }
+
+ private:
+  std::size_t p_ = 0;
+  std::size_t packed_ = 0;
+  std::size_t n_ = 0;
+  double g_[kSmallMaxPacked] = {};
+  double c_[kSmallMaxCols] = {};
+  double kk_ = 0.0;          ///< sum of k^2 over live rows
+  double added_diag_ = 0.0;  ///< diagonal mass ever appended (monotone)
+};
+
 /// g += sum of cached outer products of `rows[0..m)` (in that order) and
 /// rhs[c] += the matching rhs products — the unweighted normal equations
 /// of the row subset, bit-exact with Matrix::gram / transpose_multiply

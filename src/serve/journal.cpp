@@ -148,7 +148,7 @@ JournalDecode decode_journal_records(std::string_view data,
     const std::uint8_t type_raw =
         static_cast<std::uint8_t>(static_cast<unsigned char>(payload[0]));
     if (type_raw < static_cast<std::uint8_t>(JournalRecordType::kDeclare) ||
-        type_raw > static_cast<std::uint8_t>(JournalRecordType::kFlush)) {
+        type_raw > static_cast<std::uint8_t>(JournalRecordType::kPoseTick)) {
       break;
     }
     JournalRecord rec;

@@ -69,6 +69,7 @@ enum class JournalRecordType : std::uint8_t {
   kCsvRow = 2,      ///< line = raw CSV payload routed to this session
   kJsonSample = 3,  ///< line = canonical JSON read record
   kFlush = 4,       ///< flush boundary (line empty)
+  kPoseTick = 5,    ///< pose tick emitted for this session (line empty)
 };
 
 /// One decoded record.

@@ -140,6 +140,9 @@ void StreamService::handle_line(const ParsedLine& line) {
     case ParsedLine::kTick:
       clock_ticks_ += line.ticks;
       break;
+    case ParsedLine::kPoseTick:
+      handle_pose_tick(lock, line.session);
+      break;
     case ParsedLine::kStats:
       emit_stats_response();
       break;
@@ -178,6 +181,17 @@ void StreamService::handle_session_declare(std::unique_lock<std::mutex>& lock,
   session.id = id;
   session.config = config;
   session.last_active = clock_ticks_;
+  if (config.mode == SessionMode::kTrack) {
+    // Built before any journal replay so restored samples feed it too. A
+    // construction failure (degenerate geometry the declare validation
+    // did not catch) leaves it null: every pose tick then falls back.
+    try {
+      session.incremental = std::make_unique<core::IncrementalTrackSolver>(
+          incremental_config(config));
+    } catch (const std::exception&) {
+      session.incremental.reset();
+    }
+  }
   std::optional<RecoveredSession> restored;
   if (cfg_.journal != nullptr) {
     std::string code;
@@ -300,7 +314,13 @@ void StreamService::replay_records(StreamSession& session,
           // A live track flush drains the partial window as one solve.
           ++session.windows_scheduled;
           session.window_buffer.clear();
+          if (session.incremental) session.incremental->clear();
         }
+        break;
+      case JournalRecordType::kPoseTick:
+        // The response was delivered before the crash; only the tick
+        // index advances, so post-restore ticks continue the sequence.
+        ++session.ticks_emitted;
         break;
     }
   }
@@ -316,6 +336,7 @@ void StreamService::replay_accept(StreamSession& session,
     return;
   }
   session.window_buffer.push_back(sample);
+  push_incremental(session, sample);
   if (session.window_buffer.size() < session.config.window) return;
   // Carve the completed window exactly as the live path did — minus the
   // solve, whose response was already delivered before the crash.
@@ -324,6 +345,30 @@ void StreamService::replay_accept(StreamSession& session,
       std::min(session.config.hop, session.window_buffer.size());
   session.window_buffer.erase(session.window_buffer.begin(),
                               session.window_buffer.begin() + hop);
+  retire_incremental(session, hop);
+}
+
+void StreamService::push_incremental(StreamSession& session,
+                                     const sim::PhaseSample& sample) {
+  if (!session.incremental) return;
+  try {
+    session.incremental->push(sample);
+  } catch (...) {
+    // Network-facing invariant: ingest never unwinds. A solver that threw
+    // is out of sync with the window; drop it and serve ticks via the
+    // full-pipeline fallback from here on.
+    session.incremental.reset();
+  }
+}
+
+void StreamService::retire_incremental(StreamSession& session,
+                                       std::size_t count) {
+  if (!session.incremental) return;
+  try {
+    session.incremental->retire(count);
+  } catch (...) {
+    session.incremental.reset();
+  }
 }
 
 void StreamService::journal_append(StreamSession& session,
@@ -441,6 +486,7 @@ void StreamService::accept_sample(std::unique_lock<std::mutex>& lock,
   }
 
   session.window_buffer.push_back(sample);
+  push_incremental(session, sample);
   if (session.window_buffer.size() < session.config.window) return;
 
   // A window is complete: claim an in-flight slot (this may block and
@@ -455,6 +501,7 @@ void StreamService::accept_sample(std::unique_lock<std::mutex>& lock,
         std::min(busy.config.hop, busy.window_buffer.size());
     busy.window_buffer.erase(busy.window_buffer.begin(),
                              busy.window_buffer.begin() + hop);
+    retire_incremental(busy, hop);
     emit_error(id, "busy", "track window dropped: session at in-flight cap",
                false);
     return;
@@ -475,6 +522,7 @@ void StreamService::accept_sample(std::unique_lock<std::mutex>& lock,
                                    ready.window_buffer.size());
   ready.window_buffer.erase(ready.window_buffer.begin(),
                             ready.window_buffer.begin() + hop);
+  retire_incremental(ready, hop);
   schedule(lock, std::move(request));
 }
 
@@ -510,6 +558,7 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
     request.samples.assign(session.window_buffer.begin(),
                            session.window_buffer.end());
     session.window_buffer.clear();
+    if (session.incremental) session.incremental->clear();
     request.window_index = session.windows_scheduled++;
   }
   schedule(lock, std::move(request));
@@ -519,6 +568,72 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
   journal_append(session, JournalRecordType::kFlush, "");
   if (session.journal && !session.journal_degraded) session.journal->sync();
   return true;
+}
+
+void StreamService::handle_pose_tick(std::unique_lock<std::mutex>& lock,
+                                     const std::string& id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
+    return;
+  }
+  StreamSession& session = it->second;
+  session.last_active = clock_ticks_;
+  if (session.config.mode != SessionMode::kTrack) {
+    emit_error(id, "bad_control",
+               "pose tick requires a track session", false);
+    return;
+  }
+
+  // Fast path: the incremental solver's maintained normal equations. The
+  // residual gate (and any solver-construction failure) routes to the
+  // full-pipeline window solve instead — slower, never silently wrong.
+  core::TickResult tr;
+  if (session.incremental) tr = session.incremental->tick();
+  if (tr.valid && !tr.fallback) {
+    ++stats_.pose_ticks;
+    LION_OBS_COUNT("serve.pose_ticks", 1);
+    const std::uint64_t tick_index = session.ticks_emitted++;
+    const std::uint64_t seq = reserve_seq();
+    core::TrackFix fix;
+    fix.t = tr.t;
+    fix.start = tr.start;
+    fix.position = tr.position;
+    fix.sigma = tr.sigma;
+    fix.mean_residual = tr.rms;
+    fix.valid = true;
+    emit(seq, tick_response(id, seq, tick_index, fix, tr.rows,
+                            "incremental"));
+    journal_append(session, JournalRecordType::kPoseTick, "");
+    return;
+  }
+
+  ++stats_.tick_fallbacks;
+  LION_OBS_COUNT("serve.tick_fallbacks", 1);
+  // wait_for_slot can block and invalidate `session`; a busy rejection
+  // consumes no tick index, so the client can simply retry.
+  if (!wait_for_slot(lock, id)) {
+    if (sessions_.count(id) != 0) {
+      emit_error(id, "busy", "pose tick rejected: session at in-flight cap",
+                 false);
+    }
+    return;
+  }
+  const auto again = sessions_.find(id);
+  if (again == sessions_.end()) return;  // evicted/closed while blocked
+  StreamSession& ready = again->second;
+  SolveRequest request;
+  request.session = id;
+  request.mode = SessionMode::kTrack;
+  request.config = ready.config;
+  request.pose_tick = true;
+  // The window keeps accumulating: a pose tick is a read-only probe of
+  // the stream, so the buffer is copied, not carved.
+  request.samples.assign(ready.window_buffer.begin(),
+                         ready.window_buffer.end());
+  request.window_index = ready.ticks_emitted++;
+  schedule(lock, std::move(request));
+  journal_append(ready, JournalRecordType::kPoseTick, "");
 }
 
 void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
@@ -578,7 +693,10 @@ void StreamService::schedule(std::unique_lock<std::mutex>& lock,
   ++outstanding_;
   // Response accounting happens here, on the ingest thread, so stats are
   // deterministic: every scheduled request emits exactly one response.
-  if (request.mode == SessionMode::kCalibrate) {
+  if (request.pose_tick) {
+    ++stats_.pose_ticks;
+    LION_OBS_COUNT("serve.pose_ticks", 1);
+  } else if (request.mode == SessionMode::kCalibrate) {
     ++stats_.reports;
   } else {
     ++stats_.fixes;
@@ -621,8 +739,15 @@ void StreamService::run_request(SolveRequest& request) {
       } else {
         fix = solve_track_window(request.samples, request.config);
       }
-      response = fix_response(request.session, request.seq,
-                              request.window_index, fix);
+      if (request.pose_tick) {
+        // Fallback pose tick: same schema as the incremental path, with
+        // source="fallback" and rows=0 (no consensus rows backed it).
+        response = tick_response(request.session, request.seq,
+                                 request.window_index, fix, 0, "fallback");
+      } else {
+        response = fix_response(request.session, request.seq,
+                                request.window_index, fix);
+      }
     }
   } catch (const std::exception& e) {
     failed = true;
@@ -709,6 +834,8 @@ void StreamService::emit_stats_response() {
   field("rejected_busy", stats_.rejected_busy);
   field("timeouts", stats_.timeouts);
   field("oversized", stats_.oversized);
+  field("pose_ticks", stats_.pose_ticks);
+  field("tick_fallbacks", stats_.tick_fallbacks);
   field("ticks", clock_ticks_);
   out.push_back('}');
   emit(seq, std::move(out));
@@ -736,6 +863,8 @@ void StreamService::emit_health_response() {
   field("samples", stats_.samples);
   field("errors", stats_.errors);
   field("restores", stats_.restores);
+  field("pose_ticks", stats_.pose_ticks);
+  field("tick_fallbacks", stats_.tick_fallbacks);
   out += ",\"journal_enabled\":";
   out += cfg_.journal != nullptr ? "true" : "false";
   if (cfg_.journal != nullptr) {

@@ -25,6 +25,12 @@
 // Wall-clock timeouts (request_timeout_s > 0) are the one opt-in
 // exception: a timed-out request degrades to a kSolverFailure report.
 //
+// `!tick <id>` (pose ticks) stays inside the contract: the incremental
+// solver is a pure function of the session's accepted-sample stream (see
+// core/incremental.hpp), its answer is sequenced on the ingest thread,
+// and the residual-gate fallback runs the same window solve as a track
+// fix — so the tick stream is as chunk/thread-independent as the rest.
+//
 // Durability (opt-in: ServiceConfig::journal)
 // -------------------------------------------
 // With a JournalStore attached, every applied session mutation (declare,
@@ -136,6 +142,8 @@ struct ServeStats {
   std::uint64_t oversized = 0;       ///< wire lines dropped for length
   std::uint64_t restores = 0;        ///< sessions adopted from journals
   std::uint64_t journal_errors = 0;  ///< sessions degraded by I/O failure
+  std::uint64_t pose_ticks = 0;      ///< lion.tick.v1 responses (both paths)
+  std::uint64_t tick_fallbacks = 0;  ///< pose ticks routed to the full solve
   std::uint64_t ticks = 0;           ///< virtual clock now
   std::size_t sessions = 0;          ///< live sessions
 };
@@ -182,7 +190,10 @@ class StreamService {
     SessionMode mode = SessionMode::kCalibrate;
     SessionConfig config;
     std::vector<sim::PhaseSample> samples;
+    /// Track solves: the window index. Pose-tick fallbacks: the tick index
+    /// (the response is a lion.tick.v1 line, not a lion.fix.v1 line).
     std::uint64_t window_index = 0;
+    bool pose_tick = false;
     double enqueue_time = 0.0;
   };
 
@@ -196,6 +207,11 @@ class StreamService {
   /// Returns true iff a solve was scheduled (false: unknown session,
   /// busy-rejected, or the session vanished while blocked).
   bool handle_flush(std::unique_lock<std::mutex>& lock, const std::string& id);
+  /// `!tick <id>`: answer from the session's incremental solver when its
+  /// residual gate passes, else schedule a full-pipeline window solve on
+  /// the pool (same bytes either way: one lion.tick.v1 line per tick).
+  void handle_pose_tick(std::unique_lock<std::mutex>& lock,
+                        const std::string& id);
   void handle_close(std::unique_lock<std::mutex>& lock, const std::string& id);
   void emit_stats_response();
   void accept_sample(std::unique_lock<std::mutex>& lock, const std::string& id,
@@ -234,6 +250,12 @@ class StreamService {
   /// track mode carves completed windows; `carve_only` suppresses the
   /// solve (replay path). Returns false when the sample was dropped.
   void replay_accept(StreamSession& session, const sim::PhaseSample& sample);
+  /// Mirror a window mutation into the session's incremental solver,
+  /// never letting an exception reach the ingest thread (a throwing
+  /// solver is dropped; the session degrades to fallback-only ticks).
+  void push_incremental(StreamSession& session,
+                        const sim::PhaseSample& sample);
+  void retire_incremental(StreamSession& session, std::size_t count);
   /// Append one record to the session's journal, degrading the session
   /// (once, with an error response) on I/O failure. Callers hold mu_.
   void journal_append(StreamSession& session, JournalRecordType type,

@@ -77,6 +77,19 @@ bool make_session_config(const ParsedLine& line, SessionConfig& out,
   return true;
 }
 
+core::IncrementalTrackConfig incremental_config(const SessionConfig& config) {
+  core::IncrementalTrackConfig out;
+  out.antenna_phase_center = config.center;
+  out.belt_direction = config.belt_direction;
+  out.belt_speed = config.belt_speed;
+  out.wavelength = config.localizer.wavelength;
+  out.pair_interval = config.localizer.pair_interval;
+  out.pair_tolerance = config.localizer.pair_tolerance;
+  out.side_hint = config.localizer.side_hint;
+  out.ransac = config.localizer.ransac;
+  return out;
+}
+
 core::TrackFix solve_track_window(
     const std::vector<sim::PhaseSample>& window_samples,
     const SessionConfig& config) {
@@ -127,6 +140,32 @@ std::string fix_response(const std::string& session, std::uint64_t seq,
   out += ",\"mean_residual\":";
   obs::append_json_number(out, fix.mean_residual);
   out += ",\"valid\":";
+  out += fix.valid ? "true" : "false";
+  out.push_back('}');
+  return out;
+}
+
+std::string tick_response(const std::string& session, std::uint64_t seq,
+                          std::uint64_t tick_index, const core::TrackFix& fix,
+                          std::size_t rows, const char* source) {
+  std::string out = envelope("lion.tick.v1", session, seq);
+  out += ",\"tick\":";
+  out += std::to_string(tick_index);
+  out += ",\"t\":";
+  obs::append_json_number(out, fix.t);
+  out += ",\"start\":";
+  append_vec(out, fix.start);
+  out += ",\"position\":";
+  append_vec(out, fix.position);
+  out += ",\"sigma\":";
+  obs::append_json_number(out, fix.sigma);
+  out += ",\"rms\":";
+  obs::append_json_number(out, fix.mean_residual);
+  out += ",\"rows\":";
+  out += std::to_string(rows);
+  out += ",\"source\":\"";
+  out += source;
+  out += "\",\"valid\":";
   out += fix.valid ? "true" : "false";
   out.push_back('}');
   return out;

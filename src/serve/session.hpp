@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "core/incremental.hpp"
 #include "core/tracker.hpp"
 #include "io/csv.hpp"
 #include "serve/journal.hpp"
@@ -49,6 +50,12 @@ struct SessionConfig {
 bool make_session_config(const ParsedLine& line, SessionConfig& out,
                          std::string& error);
 
+/// Incremental-solver configuration implied by a track-mode SessionConfig:
+/// geometry from the session, pairing/wavelength/hint from its localizer,
+/// consensus knobs from localizer.ransac. Gate and rebuild policy stay at
+/// the IncrementalTrackConfig defaults.
+core::IncrementalTrackConfig incremental_config(const SessionConfig& config);
+
 /// One demultiplexed stream.
 struct StreamSession {
   std::string id;
@@ -65,6 +72,15 @@ struct StreamSession {
   std::uint64_t samples_accepted = 0;
   std::uint64_t windows_scheduled = 0;
   std::uint64_t flushes = 0;
+
+  /// Track mode: the per-session incremental solver behind `!tick <id>`.
+  /// Mirrors window_buffer exactly (push on accept, retire on carve,
+  /// clear on flush) — including during journal replay, so a restored
+  /// session's tick stream matches an uninterrupted run byte for byte.
+  /// Null for calibrate sessions and when construction failed (the pose
+  /// tick then always takes the full-pipeline fallback).
+  std::unique_ptr<core::IncrementalTrackSolver> incremental;
+  std::uint64_t ticks_emitted = 0;  ///< pose ticks answered (both paths)
 
   /// Durability (journal-enabled services only). `journal` appends one
   /// record per applied mutation; a write failure latches
@@ -92,6 +108,15 @@ std::string report_response(const std::string& session, std::uint64_t seq,
 std::string fix_response(const std::string& session, std::uint64_t seq,
                          std::uint64_t window_index,
                          const core::TrackFix& fix);
+
+/// `!tick <id>` answer (lion.tick.v1). `source` is "incremental" when the
+/// maintained normal equations produced the pose and "fallback" when the
+/// residual gate routed the request through the full window solve; both
+/// paths serialize through this one function so the bytes differ only in
+/// the values.
+std::string tick_response(const std::string& session, std::uint64_t seq,
+                          std::uint64_t tick_index, const core::TrackFix& fix,
+                          std::size_t rows, const char* source);
 
 std::string error_response(const std::string& session, std::uint64_t seq,
                            const std::string& code,

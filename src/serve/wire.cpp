@@ -116,12 +116,31 @@ ParsedLine parse_control(std::string_view line) {
     return out;
   }
   if (cmd == "!tick") {
-    out.kind = ParsedLine::kTick;
-    std::size_t n = 0;
-    if (tokens.size() != 2 || !parse_count(tokens[1], n) || n == 0) {
-      return error_line("wire: usage: !tick <n>");
+    if (tokens.size() != 2) {
+      return error_line("wire: usage: !tick <n>|<session-id>");
     }
-    out.ticks = n;
+    // Disambiguate on the first character: numeric-looking arguments are
+    // clock advances (and must parse as a positive count), anything else
+    // is a pose-tick session id. Ids that *start* with a digit, sign, or
+    // '.' are therefore not pose-tickable — documented wire limitation.
+    const char lead = tokens[1].front();
+    const bool numeric_lead =
+        (lead >= '0' && lead <= '9') || lead == '-' || lead == '+' ||
+        lead == '.';
+    if (numeric_lead) {
+      out.kind = ParsedLine::kTick;
+      std::size_t n = 0;
+      if (!parse_count(tokens[1], n) || n == 0) {
+        return error_line("wire: usage: !tick <n>");
+      }
+      out.ticks = n;
+      return out;
+    }
+    out.kind = ParsedLine::kPoseTick;
+    if (!valid_session_id(tokens[1])) {
+      return error_line("wire: usage: !tick <n>|<session-id>");
+    }
+    out.session = std::string(tokens[1]);
     return out;
   }
   if (cmd == "!session") {

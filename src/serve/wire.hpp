@@ -8,6 +8,12 @@
 //   !flush <id>                  solve the session's buffer now -> report
 //   !close <id>                  flush (calibrate mode) and evict
 //   !tick <n>                    advance the virtual clock by n ticks
+//   !tick <id>                   emit an incremental pose for track
+//                                session <id> now (no window wait); the
+//                                argument is a clock count when its first
+//                                char is a digit / sign / '.', a session
+//                                id otherwise — so ids starting with one
+//                                of those characters cannot be pose-ticked
 //   !stats                       emit a lion.stats.v1 snapshot line
 //   !healthz                     emit a lion.health.v1 snapshot line
 //                                (out-of-band: carries no seq — see
@@ -92,7 +98,8 @@ struct ParsedLine {
     kSession,   ///< !session
     kFlush,     ///< !flush
     kClose,     ///< !close
-    kTick,      ///< !tick
+    kTick,      ///< !tick <n> (clock advance)
+    kPoseTick,  ///< !tick <id> (incremental pose request)
     kStats,     ///< !stats
     kHealthz,   ///< !healthz
     kData,      ///< a read record (CSV payload or decoded JSON sample)

@@ -27,6 +27,7 @@
 #include "core/calibration.hpp"
 #include "io/csv.hpp"
 #include "io/report_json.hpp"
+#include "rf/phase_model.hpp"
 #include "serve/journal.hpp"
 #include "serve/service.hpp"
 
@@ -469,6 +470,104 @@ TEST(Recovery, HealthzReportsJournalAndProcessGauges) {
   plain.finish();
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_NE(lines[0].find("\"journal_enabled\":false"), std::string::npos);
+}
+
+/// Track-mode JSON row for the tick-recovery stream: tag from (-1,0.6,0)
+/// down the x belt at 1 m/s past an antenna at the origin, 100 Hz reads,
+/// exact model phases.
+std::string tick_row(int i) {
+  const double t = 0.01 * i;
+  const double x = -1.0 + t;
+  const double d = std::sqrt(x * x + 0.6 * 0.6);
+  const double phase = rf::wrap_phase(rf::distance_phase(d));
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"session\":\"belt\",\"x\":0,\"y\":0,\"z\":0,"
+                "\"phase\":%.17g,\"t\":%.17g}",
+                phase, t);
+  return buf;
+}
+
+/// Track declare + rows with a `!tick` every `tick_every` rows. Every
+/// line after index 0 journals exactly one record (rows -> kAppend,
+/// ticks -> kPoseTick), so the restore-ack cursor math of
+/// crash_and_resume carries over unchanged.
+std::vector<std::string> build_tick_input(std::size_t rows,
+                                          std::size_t tick_every) {
+  std::vector<std::string> input;
+  input.push_back(
+      "!session belt mode=track center=0,0,0 dir=1,0,0 speed=1 "
+      "window=64 hop=32 hint=-1,0.6,0");
+  for (std::size_t i = 0; i < rows; ++i) {
+    input.push_back(tick_row(static_cast<int>(i)));
+    if ((i + 1) % tick_every == 0) input.push_back("!tick belt");
+  }
+  return input;
+}
+
+// The incremental `!tick` stream under kill-restart: the journal replay
+// rebuilds the solver purely from the sample stream (push / carve-retire
+// are replayed at the same indices; kPoseTick records fast-forward the
+// tick counter without re-emitting), so crashing at any offset — before
+// a tick, right after one, mid-window, across carve boundaries — must
+// resume byte-identical to the uninterrupted run, incremental fast-path
+// poses included.
+TEST(Recovery, TickStreamSurvivesCrashByteIdentical) {
+  const auto input = build_tick_input(160, 10);
+  const auto baseline = sequenced(run_plain(input));
+  ASSERT_FALSE(baseline.empty());
+  bool incremental_seen = false;
+  for (const auto& l : baseline) {
+    if (l.find("\"source\":\"incremental\"") != std::string::npos) {
+      incremental_seen = true;
+    }
+  }
+  ASSERT_TRUE(incremental_seen)
+      << "scenario never reached the incremental fast path";
+
+  // Pinned cuts: around every !tick line and both sides of the first
+  // carve (window=64 with 10:1 row:tick lines -> input index ~70); LCG
+  // fuzz fills to >= 24 offsets.
+  std::set<std::size_t> cuts = {1, 2, 70, 71, input.size() - 1};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == "!tick belt") {
+      cuts.insert(i);
+      cuts.insert(i + 1);
+    }
+  }
+  Lcg rng;
+  while (cuts.size() < 24) {
+    cuts.insert(1 + rng.next() % (input.size() - 1));
+  }
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    const auto combined = crash_and_resume(input, "belt", cut);
+    EXPECT_EQ(combined, baseline);
+  }
+}
+
+// Focused restore-state gate: crash after enough rows that the restored
+// solver must already hold a consensus baseline, then issue the first
+// `!tick` only after the restore. A post-restore incremental pose (not a
+// fallback) proves the replay rebuilt the incremental state and not just
+// the window buffer.
+TEST(Recovery, RestoreRebuildsIncrementalStateForPostCrashTicks) {
+  const auto rows = 120;
+  std::vector<std::string> input;
+  input.push_back(
+      "!session belt mode=track center=0,0,0 dir=1,0,0 speed=1 "
+      "window=1000 hop=500 hint=-1,0.6,0");
+  for (int i = 0; i < rows; ++i) input.push_back(tick_row(i));
+  input.push_back("!tick belt");
+  const auto baseline = sequenced(run_plain(input));
+  ASSERT_FALSE(baseline.empty());
+  ASSERT_NE(baseline.back().find("\"source\":\"incremental\""),
+            std::string::npos)
+      << baseline.back();
+
+  const std::size_t cut = 1 + rows;  // every row fed, the tick never sent
+  const auto combined = crash_and_resume(input, "belt", cut);
+  ASSERT_EQ(combined, baseline);
 }
 
 // A closed session's journal is gone: re-declaring after a clean close is

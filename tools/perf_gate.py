@@ -17,6 +17,13 @@ metrics in WATCHED_VALUES are gated. Baseline rows with no current
 counterpart are reported but do not fail the gate (a bench list may
 shrink deliberately); current rows without a baseline are ignored (new
 benches have no history yet).
+
+Lower-is-better metrics (latencies) are opt-in via --latency-metrics, a
+comma-separated list of value names gated in reverse: the run fails when
+the current value exceeds baseline * factor. Used by the incremental
+`!tick` gate (BENCH_7.json): an O(new rows) flush that regressed to a
+full-window recompute shows up as a ~300x latency blow-up, which even a
+loose cross-machine factor catches.
 """
 
 import argparse
@@ -58,11 +65,16 @@ def main():
                     help="committed baseline record file (default BENCH_4.json)")
     ap.add_argument("--factor", type=float, default=2.0,
                     help="maximum tolerated slowdown vs baseline (default 2)")
+    ap.add_argument("--latency-metrics", default="",
+                    help="comma-separated lower-is-better value names gated "
+                         "in reverse (fail when current > baseline * factor)")
     ap.add_argument("current", nargs="+",
                     help="record files produced by this run")
     args = ap.parse_args()
     if args.factor <= 1.0:
         raise SystemExit("--factor must be > 1")
+    latency_metrics = tuple(
+        m.strip() for m in args.latency_metrics.split(",") if m.strip())
 
     baseline = {}
     for rec in load_records(args.baseline):
@@ -92,6 +104,18 @@ def main():
             status = "ok" if got * args.factor >= want else "FAIL"
             print(f"  [{status:>4}] {key} {metric}: {got:.1f} vs baseline "
                   f"{want:.1f} ({ratio:.2f}x)")
+            if status == "FAIL":
+                failures.append((key, metric, ratio))
+        for metric in latency_metrics:
+            want = base.get("values", {}).get(metric)
+            got = cur.get("values", {}).get(metric)
+            if want is None or got is None or want <= 0:
+                continue
+            compared += 1
+            ratio = got / want
+            status = "ok" if got <= want * args.factor else "FAIL"
+            print(f"  [{status:>4}] {key} {metric}: {got:.4f} ms vs baseline "
+                  f"{want:.4f} ms ({ratio:.2f}x, lower is better)")
             if status == "FAIL":
                 failures.append((key, metric, ratio))
 
