@@ -1,0 +1,156 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace lion::obs {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+std::string Event::to_json() const {
+  std::string out = "{\"schema\":\"lion.evlog.v1\",\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"t\":";
+  append_json_number(out, wall_s);
+  out += ",\"severity\":\"";
+  out += severity_name(severity);
+  out += "\",\"type\":\"";
+  out += json_escape(type);
+  out += "\",\"session\":\"";
+  out += json_escape(session);
+  out += "\",\"detail\":\"";
+  out += json_escape(detail);
+  out += "\",\"value\":";
+  out += std::to_string(value);
+  out.push_back('}');
+  return out;
+}
+
+EventLog::EventLog(EventLogConfig config) : cfg_(std::move(config)) {
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  ring_.reserve(std::min<std::size_t>(cfg_.capacity, 4096));
+}
+
+EventLog::~EventLog() = default;
+
+double EventLog::now() const {
+  if (cfg_.clock) return cfg_.clock();
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventLog::set_sink(std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+  sink_failed_ = false;
+}
+
+bool EventLog::emit(Severity severity, std::string type, std::string session,
+                    std::string detail, std::uint64_t value) noexcept {
+  try {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double t = now();
+
+    // Per-type token bucket. The type list is small and stable (a handful
+    // of call sites), so a linear scan beats a map here.
+    if (cfg_.rate_per_s > 0.0) {
+      Bucket* bucket = nullptr;
+      for (Bucket& b : buckets_) {
+        if (b.type == type) {
+          bucket = &b;
+          break;
+        }
+      }
+      if (bucket == nullptr) {
+        buckets_.push_back({type, cfg_.burst, t});
+        bucket = &buckets_.back();
+      }
+      const double elapsed = std::max(0.0, t - bucket->last_refill_s);
+      bucket->tokens =
+          std::min(cfg_.burst, bucket->tokens + elapsed * cfg_.rate_per_s);
+      bucket->last_refill_s = t;
+      if (bucket->tokens < 1.0) {
+        ++rate_limited_;
+        return false;
+      }
+      bucket->tokens -= 1.0;
+    }
+
+    Event ev;
+    ev.seq = next_seq_++;
+    ev.wall_s = t;
+    ev.severity = severity;
+    ev.type = std::move(type);
+    ev.session = std::move(session);
+    ev.detail = std::move(detail);
+    ev.value = value;
+    ++severity_counts_[static_cast<std::size_t>(severity)];
+
+    if (sink_ != nullptr && !sink_failed_) {
+      const std::string line = ev.to_json();
+      if (std::fwrite(line.data(), 1, line.size(), sink_) != line.size() ||
+          std::fputc('\n', sink_) == EOF) {
+        sink_failed_ = true;  // latch: a full disk must not spam errno loops
+      } else {
+        std::fflush(sink_);
+      }
+    }
+
+    if (ring_.size() < cfg_.capacity) {
+      ring_.push_back(std::move(ev));
+    } else {
+      ring_[ring_head_] = std::move(ev);
+      ring_head_ = (ring_head_ + 1) % cfg_.capacity;
+      ++dropped_;
+    }
+    return true;
+  } catch (...) {
+    // Observation only: an allocation failure here must never unwind the
+    // ingest thread.
+    return false;
+  }
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t EventLog::rate_limited() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_limited_;
+}
+
+std::array<std::uint64_t, 4> EventLog::severity_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return severity_counts_;
+}
+
+}  // namespace lion::obs

@@ -1,0 +1,115 @@
+// Structured JSON event log for the ops plane.
+//
+// An EventLog is the serving stack's "what just happened" channel: slow
+// requests, residual-gate trips, journal degradation, drain progress —
+// discrete noteworthy moments, as opposed to the metrics registry's
+// aggregated counters. Each event is one flat JSON object
+// (schema lion.evlog.v1) with a monotone sequence number, wall-clock
+// timestamp, severity, type, optional session, and a free-form detail.
+//
+// Three properties make it safe to wire into a hot ingest path:
+//   - bounded memory: retention is a fixed-capacity ring; old events are
+//     overwritten and counted as dropped, never accumulated;
+//   - bounded rate: a token bucket per event *type* caps sustained
+//     emission (default 50/s with a burst of 100); excess events are
+//     counted in `rate_limited`, not stored and not written;
+//   - observation only: emitting an event never throws and never feeds
+//     back into a solver, so the serve layer's byte-determinism contract
+//     is untouched (the sink is a side channel, not the response stream).
+//
+// An optional line-oriented sink (an opened FILE, e.g. lion_served
+// --event-log) receives each retained event as one JSON line; write
+// failures latch the sink off rather than erroring the caller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lion::obs {
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+/// Stable lowercase name ("debug", "info", "warn", "error").
+const char* severity_name(Severity s);
+
+/// One retained event.
+struct Event {
+  std::uint64_t seq = 0;   ///< monotone per-log emission index
+  double wall_s = 0.0;     ///< seconds since the Unix epoch
+  Severity severity = Severity::kInfo;
+  std::string type;        ///< machine key, e.g. "slow_request"
+  std::string session;     ///< originating session id ("" = none)
+  std::string detail;      ///< human-readable context
+  std::uint64_t value = 0; ///< type-specific magnitude (ns, bytes, count)
+
+  /// Deterministic single-line lion.evlog.v1 JSON.
+  std::string to_json() const;
+};
+
+struct EventLogConfig {
+  std::size_t capacity = 1024;      ///< ring retention (events)
+  double rate_per_s = 50.0;         ///< sustained per-type emission cap
+  double burst = 100.0;             ///< per-type token-bucket depth
+  /// Wall clock in seconds since the Unix epoch; injectable so rate-limit
+  /// tests run on a virtual clock. nullptr = std::chrono::system_clock.
+  std::function<double()> clock;
+};
+
+/// Thread-safe bounded event log (see file comment for the contract).
+class EventLog {
+ public:
+  EventLog() : EventLog(EventLogConfig{}) {}
+  explicit EventLog(EventLogConfig config);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Attach a line sink; each retained event is appended as one JSON line
+  /// and flushed. The log does NOT own the FILE. nullptr detaches.
+  void set_sink(std::FILE* sink);
+
+  /// Record an event. Returns false when the type's token bucket was dry
+  /// (the event was counted as rate-limited and not retained). Never
+  /// throws.
+  bool emit(Severity severity, std::string type, std::string session,
+            std::string detail, std::uint64_t value = 0) noexcept;
+
+  /// Oldest-first copy of the retained ring.
+  std::vector<Event> snapshot() const;
+
+  std::uint64_t emitted() const;       ///< events accepted into the ring
+  std::uint64_t dropped() const;       ///< ring-overwritten (retention)
+  std::uint64_t rate_limited() const;  ///< rejected by the token bucket
+
+  /// Counts by severity for the accepted events (index = Severity).
+  std::array<std::uint64_t, 4> severity_counts() const;
+
+ private:
+  struct Bucket {
+    std::string type;
+    double tokens = 0.0;
+    double last_refill_s = 0.0;
+  };
+
+  double now() const;
+
+  EventLogConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;     ///< capacity-bounded, ring_head_ = oldest
+  std::size_t ring_head_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  std::array<std::uint64_t, 4> severity_counts_{};
+  std::vector<Bucket> buckets_;
+  std::FILE* sink_ = nullptr;
+  bool sink_failed_ = false;
+};
+
+}  // namespace lion::obs

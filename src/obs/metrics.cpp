@@ -367,6 +367,23 @@ MetricId MetricsRegistry::histogram(const std::string& name,
   return static_cast<MetricId>(slot);
 }
 
+MetricId MetricsRegistry::try_counter(const std::string& name) noexcept {
+  try {
+    return counter(name);
+  } catch (...) {
+    return kInvalidMetric;
+  }
+}
+
+MetricId MetricsRegistry::try_histogram(const std::string& name,
+                                        std::vector<double> bounds) noexcept {
+  try {
+    return histogram(name, std::move(bounds));
+  } catch (...) {
+    return kInvalidMetric;
+  }
+}
+
 MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   thread_local TlsShardCache cache;
   // Prune entries of destroyed registries while scanning: a dead

@@ -147,6 +147,17 @@ class MetricsRegistry {
   /// bounds.
   MetricId histogram(const std::string& name, std::vector<double> bounds);
 
+  /// Checked registration: like counter()/histogram() but a full registry
+  /// (or bad bounds) yields kInvalidMetric instead of throwing. Since
+  /// add()/record() no-op on invalid ids, cap overflow degrades that one
+  /// metric instead of killing the caller — the only acceptable failure
+  /// mode for a long-lived daemon whose instrumentation macros register
+  /// lazily. The instrumentation macros and every serve-path registration
+  /// use these.
+  MetricId try_counter(const std::string& name) noexcept;
+  MetricId try_histogram(const std::string& name,
+                         std::vector<double> bounds) noexcept;
+
   /// Hot path: relaxed add into this thread's shard. Invalid ids no-op.
   void add(MetricId id, std::uint64_t delta);
   /// Hot path: relaxed histogram record into this thread's shard.

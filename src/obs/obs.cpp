@@ -11,7 +11,8 @@ constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
 constexpr std::array<const char*, kStageCount> kStageNames = {
     "sanitize", "unwrap", "smooth",    "stitch", "preprocess", "radical",
     "ransac",   "irls",   "solve",     "calibrate", "offset",  "job",
-    "ingest",   "emit",
+    "ingest",   "emit",   "demux",     "queue_wait", "serve_solve",
+    "reorder",  "journal_append",      "journal_sync",
 };
 
 const std::array<MetricId, kStageCount>& stage_histogram_ids() {
@@ -19,7 +20,7 @@ const std::array<MetricId, kStageCount>& stage_histogram_ids() {
     std::array<MetricId, kStageCount> out{};
     auto& reg = MetricsRegistry::instance();
     for (std::size_t i = 0; i < kStageCount; ++i) {
-      out[i] = reg.histogram(
+      out[i] = reg.try_histogram(
           std::string("stage.") + kStageNames[i] + ".seconds",
           duration_bounds());
     }
@@ -50,13 +51,13 @@ void register_pipeline_metrics() {
         "engine.jobs", "engine.steals", "engine.exceptions", "serve.lines",
         "serve.samples", "serve.requests", "serve.errors", "serve.evictions",
         "serve.backpressure_waits", "serve.rejected_busy", "serve.timeouts",
-        "serve.oversized"}) {
-    (void)reg.counter(name);
+        "serve.oversized", "serve.ticks", "serve.tick_fallbacks"}) {
+    (void)reg.try_counter(name);
   }
-  (void)reg.histogram("ransac.inlier_fraction", fraction_bounds());
-  (void)reg.histogram("irls.iterations", count_bounds());
-  (void)reg.histogram("irls.weight_mass", fraction_bounds());
-  (void)reg.histogram("serve.queue_depth", count_bounds());
+  (void)reg.try_histogram("ransac.inlier_fraction", fraction_bounds());
+  (void)reg.try_histogram("irls.iterations", count_bounds());
+  (void)reg.try_histogram("irls.weight_mass", fraction_bounds());
+  (void)reg.try_histogram("serve.queue_depth", count_bounds());
 }
 
 void set_metrics_enabled(bool on) {

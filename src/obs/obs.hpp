@@ -43,6 +43,14 @@ enum class Stage : std::size_t {
   kJob,         ///< engine/batch: one batch job (trace arg = job id)
   kIngest,      ///< serve/service: one wire line through parse + demux
   kEmit,        ///< serve/service: ordered-emitter release of one response
+  // Serve-side request tracing (trace arg = trace id): the stations one
+  // flush visits between the ingest thread and the ordered emitter.
+  kDemux,          ///< serve/service: session lookup + admission
+  kQueueWait,      ///< serve/service: schedule() to worker pickup
+  kServeSolve,     ///< serve/service: worker-side calibration solve
+  kReorder,        ///< serve/service: emitter hold for in-order release
+  kJournalAppend,  ///< serve/journal: one record append
+  kJournalSync,    ///< serve/journal: fsync batch
   kCount
 };
 
@@ -113,24 +121,26 @@ class StageSpan {
   }
 
 /// Bump a named counter. The id resolves once (thread-safe static) on the
-/// first enabled pass through this line.
-#define LION_OBS_COUNT(name, delta)                                  \
-  do {                                                               \
-    if (::lion::obs::metrics_enabled()) {                            \
-      static const ::lion::obs::MetricId lion_obs_cid =              \
-          ::lion::obs::MetricsRegistry::instance().counter(name);    \
-      ::lion::obs::MetricsRegistry::instance().add(                  \
-          lion_obs_cid, static_cast<std::uint64_t>(delta));          \
-    }                                                                \
+/// first enabled pass through this line; a full registry degrades this
+/// one site to a no-op (try_counter) instead of throwing on a hot path.
+#define LION_OBS_COUNT(name, delta)                                   \
+  do {                                                                \
+    if (::lion::obs::metrics_enabled()) {                             \
+      static const ::lion::obs::MetricId lion_obs_cid =               \
+          ::lion::obs::MetricsRegistry::instance().try_counter(name); \
+      ::lion::obs::MetricsRegistry::instance().add(                   \
+          lion_obs_cid, static_cast<std::uint64_t>(delta));           \
+    }                                                                 \
   } while (0)
 
 /// Record a value into a named histogram with the given bounds
-/// (bounds_expr is evaluated only on the first enabled pass).
+/// (bounds_expr is evaluated only on the first enabled pass). Like
+/// LION_OBS_COUNT, registry exhaustion degrades the site to a no-op.
 #define LION_OBS_HIST(name, bounds_expr, value)                      \
   do {                                                               \
     if (::lion::obs::metrics_enabled()) {                            \
       static const ::lion::obs::MetricId lion_obs_hid =              \
-          ::lion::obs::MetricsRegistry::instance().histogram(        \
+          ::lion::obs::MetricsRegistry::instance().try_histogram(    \
               name, (bounds_expr));                                  \
       ::lion::obs::MetricsRegistry::instance().record(               \
           lion_obs_hid, static_cast<double>(value));                 \

@@ -1,0 +1,118 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace lion::obs {
+
+namespace {
+
+// Prometheus sample values: plain decimal for integers (exact), %.17g for
+// the rest. NaN/Inf are legal tokens in the exposition format but useless
+// to alert on; we render them as +Inf/-Inf/NaN per the spec.
+void append_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "lion_";
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_prometheus_sample(std::string& out, const std::string& name,
+                              const std::string& labels, double value,
+                              const char* type) {
+  if (type != nullptr && type[0] != '\0') {
+    out += "# TYPE ";
+    out += name;
+    out.push_back(' ');
+    out += type;
+    out.push_back('\n');
+  }
+  out += name;
+  if (!labels.empty()) {
+    out.push_back('{');
+    out += labels;
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  append_value(out, value);
+  out.push_back('\n');
+}
+
+std::string prometheus_render(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    append_prometheus_sample(out, prometheus_name(name) + "_total", "",
+                             static_cast<double>(value), "counter");
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string base = prometheus_name(name);
+    out += "# TYPE ";
+    out += base;
+    out += " histogram\n";
+    // Cumulative buckets: Prometheus `le` is inclusive, matching the
+    // registry's "value <= bound" bucketing exactly.
+    std::uint64_t cum = 0;
+    const auto& bounds = hist.bounds();
+    const auto& buckets = hist.buckets();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += buckets[i];
+      std::string label = "le=\"";
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%g", bounds[i]);
+      label += buf;
+      label += "\"";
+      append_prometheus_sample(out, base + "_bucket", label,
+                               static_cast<double>(cum), "");
+    }
+    cum += buckets.empty() ? 0 : buckets.back();
+    append_prometheus_sample(out, base + "_bucket", "le=\"+Inf\"",
+                             static_cast<double>(cum), "");
+    append_prometheus_sample(out, base + "_sum", "", hist.sum(), "");
+    append_prometheus_sample(out, base + "_count", "",
+                             static_cast<double>(hist.count()), "");
+  }
+  return out;
+}
+
+}  // namespace lion::obs

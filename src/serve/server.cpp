@@ -223,6 +223,12 @@ void SocketServer::serve_connection(Connection& conn) {
           send_all(fd, framed.data(), framed.size());
         },
         pool_.get());
+    // Publish the stack-owned service for telemetry walks; unpublished
+    // (under the same mutex) before it is destroyed below.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn.service = &service;
+    }
     char buf[4096];
     for (;;) {
       const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
@@ -232,6 +238,10 @@ void SocketServer::serve_connection(Connection& conn) {
           std::string_view(buf, static_cast<std::size_t>(n)));
     }
     service.finish();  // flush trailing line + drain before the fd closes
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn.service = nullptr;
+    }
   }
   // Signal EOF to the peer but leave close() to whoever joins this
   // thread — stop() may still hold our fd number, and closing here would
@@ -245,6 +255,20 @@ void SocketServer::serve_connection(Connection& conn) {
   }
   drain_cv_.notify_all();
   wake();  // let the accept loop reap us now
+}
+
+std::vector<ServiceTelemetry> SocketServer::telemetry() const {
+  // Holding mu_ across the per-service snapshots pins every published
+  // pointer (handlers unpublish under mu_ before destruction). Each
+  // snapshot takes that service's own mutex; services never take the
+  // server's, so the order here cannot deadlock.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServiceTelemetry> out;
+  out.reserve(connections_.size());
+  for (const auto& conn : connections_) {
+    if (conn->service != nullptr) out.push_back(conn->service->telemetry());
+  }
+  return out;
 }
 
 void SocketServer::reap_finished_locked() {

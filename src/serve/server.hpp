@@ -80,11 +80,18 @@ class SocketServer {
     return connections_served_.load(std::memory_order_relaxed);
   }
 
+  /// Telemetry snapshot of every live connection's service (scrape
+  /// endpoint fodder). Each handler publishes its stack-owned service
+  /// pointer under mu_ for exactly its lifetime, so the walk is safe to
+  /// run concurrently with connects/disconnects.
+  std::vector<ServiceTelemetry> telemetry() const;
+
  private:
   struct Connection {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> done{false};
+    StreamService* service = nullptr;  ///< guarded by SocketServer::mu_
   };
 
   void accept_loop();
@@ -101,7 +108,7 @@ class SocketServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_served_{0};
   std::thread accept_thread_;
-  std::mutex mu_;
+  mutable std::mutex mu_;  ///< also taken by const telemetry walks
   std::condition_variable drain_cv_;  ///< signaled as handlers finish
   std::vector<std::unique_ptr<Connection>> connections_;
   std::unique_ptr<engine::ThreadPool> pool_;  ///< shared solver pool

@@ -9,6 +9,7 @@
 
 #include "core/calibration.hpp"
 #include "linalg/small.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/process.hpp"
 
@@ -62,15 +63,37 @@ double StreamService::now() const {
       .count();
 }
 
+double StreamService::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_tp_)
+      .count();
+}
+
 std::uint64_t StreamService::reserve_seq() { return next_seq_++; }
 
 void StreamService::emit(std::uint64_t seq, std::string line) {
   LION_OBS_SPAN(obs::Stage::kEmit);
+  const std::uint64_t arrival = obs::trace_now_ns();
   std::lock_guard<std::mutex> lock(emit_mu_);
-  emit_buffer_.emplace(seq, std::move(line));
+  emit_buffer_.emplace(seq, PendingEmit{std::move(line), arrival});
+  reorder_hwm_ = std::max<std::uint64_t>(reorder_hwm_, emit_buffer_.size());
   auto it = emit_buffer_.begin();
   while (it != emit_buffer_.end() && it->first == emit_next_) {
-    if (sink_) sink_(it->second);
+    // The reorder hold — arrival to in-order release — goes to the stage
+    // histogram and the Chrome ring only: the session `!trace` ring lives
+    // behind mu_, which must never be taken under emit_mu_ (lock order).
+    const std::uint64_t held = arrival - it->second.arrival_ns;
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::instance().record(
+          obs::stage_histogram(obs::Stage::kReorder),
+          static_cast<double>(held) * 1e-9);
+    }
+    if (obs::tracing_enabled()) {
+      obs::trace_record({obs::stage_name(obs::Stage::kReorder),
+                         obs::trace_thread_id(), it->second.arrival_ns, held,
+                         it->first, true});
+    }
+    if (sink_) sink_(it->second.line);
     it = emit_buffer_.erase(it);
     ++emit_next_;
   }
@@ -83,8 +106,39 @@ void StreamService::emit_error(const std::string& session,
   ++stats_.errors;
   if (parse_error) ++stats_.parse_errors;
   LION_OBS_COUNT("serve.errors", 1);
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end()) ++it->second.request_errors;
   const std::uint64_t seq = reserve_seq();
   emit(seq, error_response(session, seq, code, detail));
+}
+
+void StreamService::record_span(StreamSession& session, std::uint64_t trace_id,
+                                obs::Stage stage, std::uint64_t start_ns,
+                                std::uint64_t end_ns) {
+  const std::uint64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::instance().record(obs::stage_histogram(stage),
+                                            static_cast<double>(dur) * 1e-9);
+  }
+  if (obs::tracing_enabled()) {
+    obs::trace_record({obs::stage_name(stage), obs::trace_thread_id(),
+                       start_ns, dur, trace_id, true});
+  }
+  // The `!trace` ring is always maintained: the dump must answer on a
+  // daemon that never enabled the metrics/tracing layers.
+  if (session.spans.size() < kSessionSpanCap) {
+    session.spans.push_back({trace_id, stage, start_ns, dur});
+  } else {
+    session.spans[session.span_head] = {trace_id, stage, start_ns, dur};
+    session.span_head = (session.span_head + 1) % kSessionSpanCap;
+  }
+}
+
+void StreamService::event(obs::Severity severity, const char* type,
+                          const std::string& session, std::string detail,
+                          std::uint64_t value) {
+  if (cfg_.events == nullptr) return;
+  cfg_.events->emit(severity, type, session, std::move(detail), value);
 }
 
 void StreamService::ingest_bytes(std::string_view bytes) {
@@ -120,6 +174,7 @@ void StreamService::handle_line(const ParsedLine& line) {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.lines;
   ++clock_ticks_;  // the virtual clock: one tick per wire line
+  ++next_trace_id_;  // trace id of this line = current_trace_id()
   LION_OBS_COUNT("serve.lines", 1);
   switch (line.kind) {
     case ParsedLine::kComment:
@@ -139,6 +194,7 @@ void StreamService::handle_line(const ParsedLine& line) {
       break;
     case ParsedLine::kTick:
       clock_ticks_ += line.ticks;
+      LION_OBS_COUNT("serve.ticks", line.ticks);
       break;
     case ParsedLine::kPoseTick:
       handle_pose_tick(lock, line.session);
@@ -148,6 +204,9 @@ void StreamService::handle_line(const ParsedLine& line) {
       break;
     case ParsedLine::kHealthz:
       emit_health_response();
+      break;
+    case ParsedLine::kTrace:
+      emit_trace_response(line.session);
       break;
     case ParsedLine::kData:
       handle_data(lock, line);
@@ -235,6 +294,8 @@ bool StreamService::attach_journal(std::unique_lock<std::mutex>& lock,
       session.journal_degraded = true;
       ++stats_.journal_errors;
       LION_OBS_COUNT("serve.journal_errors", 1);
+      event(obs::Severity::kError, "journal_degraded", session.id,
+            "could not open journal; session is not durable");
       emit_error(session.id, "journal_error",
                  "journal: could not open journal; session '" + session.id +
                      "' is not durable",
@@ -278,6 +339,8 @@ bool StreamService::attach_journal(std::unique_lock<std::mutex>& lock,
     session.journal_degraded = true;
     ++stats_.journal_errors;
     LION_OBS_COUNT("serve.journal_errors", 1);
+    event(obs::Severity::kError, "journal_degraded", session.id,
+          "could not reopen journal; session is no longer durable");
     emit_error(session.id, "journal_error",
                "journal: could not reopen journal; session '" + session.id +
                    "' is no longer durable",
@@ -285,6 +348,8 @@ bool StreamService::attach_journal(std::unique_lock<std::mutex>& lock,
   }
   ++stats_.restores;
   LION_OBS_COUNT("serve.restores", 1);
+  event(obs::Severity::kInfo, "restore", session.id,
+        "session restored from journal", rec->record_count);
   restored = std::move(rec);
   return true;
 }
@@ -375,11 +440,18 @@ void StreamService::journal_append(StreamSession& session,
                                    JournalRecordType type,
                                    std::string_view line) {
   if (!session.journal || session.journal_degraded) return;
-  if (session.journal->append(type, line, clock_ticks_, next_seq_)) return;
+  const std::uint64_t append_start = obs::trace_now_ns();
+  const bool ok =
+      session.journal->append(type, line, clock_ticks_, next_seq_);
+  record_span(session, current_trace_id(), obs::Stage::kJournalAppend,
+              append_start, obs::trace_now_ns());
+  if (ok) return;
   // Latch: one error response per session, then keep serving non-durably.
   session.journal_degraded = true;
   ++stats_.journal_errors;
   LION_OBS_COUNT("serve.journal_errors", 1);
+  event(obs::Severity::kError, "journal_degraded", session.id,
+        "append failed; session is no longer durable");
   emit_error(session.id, "journal_error",
              "journal: append failed; session '" + session.id +
                  "' is no longer durable",
@@ -388,6 +460,7 @@ void StreamService::journal_append(StreamSession& session,
 
 void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
                                 const ParsedLine& line) {
+  const std::uint64_t demux_start = obs::trace_now_ns();
   std::string id = line.session.empty() ? current_session_ : line.session;
   if (id.empty()) {
     if (!cfg_.implicit_center) {
@@ -418,6 +491,8 @@ void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
   }
   StreamSession& session = it->second;
   session.last_active = clock_ticks_;
+  record_span(session, current_trace_id(), obs::Stage::kDemux, demux_start,
+              obs::trace_now_ns());
   // Journal records are appended *after* the mutation (accept may consume
   // seqs for window solves — the record's seq snapshot must include them)
   // and the session is re-found because accept_sample can block on
@@ -528,6 +603,7 @@ void StreamService::accept_sample(std::unique_lock<std::mutex>& lock,
 
 bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
                                  const std::string& id) {
+  const std::uint64_t demux_start = obs::trace_now_ns();
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
@@ -535,6 +611,8 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
   }
   it->second.last_active = clock_ticks_;
   ++it->second.flushes;
+  record_span(it->second, current_trace_id(), obs::Stage::kDemux, demux_start,
+              obs::trace_now_ns());
   if (!wait_for_slot(lock, id)) {
     if (sessions_.count(id) != 0) {
       emit_error(id, "busy", "flush rejected: session at in-flight cap",
@@ -566,7 +644,12 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
   // batched fsync so an acked flush survives an OS crash, not just a
   // process kill.
   journal_append(session, JournalRecordType::kFlush, "");
-  if (session.journal && !session.journal_degraded) session.journal->sync();
+  if (session.journal && !session.journal_degraded) {
+    const std::uint64_t sync_start = obs::trace_now_ns();
+    session.journal->sync();
+    record_span(session, current_trace_id(), obs::Stage::kJournalSync,
+                sync_start, obs::trace_now_ns());
+  }
   return true;
 }
 
@@ -589,9 +672,13 @@ void StreamService::handle_pose_tick(std::unique_lock<std::mutex>& lock,
   // residual gate (and any solver-construction failure) routes to the
   // full-pipeline window solve instead — slower, never silently wrong.
   core::TickResult tr;
+  const std::uint64_t tick_start = obs::trace_now_ns();
   if (session.incremental) tr = session.incremental->tick();
   if (tr.valid && !tr.fallback) {
+    record_span(session, current_trace_id(), obs::Stage::kServeSolve,
+                tick_start, obs::trace_now_ns());
     ++stats_.pose_ticks;
+    ++session.requests;
     LION_OBS_COUNT("serve.pose_ticks", 1);
     const std::uint64_t tick_index = session.ticks_emitted++;
     const std::uint64_t seq = reserve_seq();
@@ -610,6 +697,9 @@ void StreamService::handle_pose_tick(std::unique_lock<std::mutex>& lock,
 
   ++stats_.tick_fallbacks;
   LION_OBS_COUNT("serve.tick_fallbacks", 1);
+  event(obs::Severity::kInfo, "tick_fallback", id,
+        "residual gate routed pose tick to the full window solve",
+        session.ticks_emitted);
   // wait_for_slot can block and invalidate `session`; a busy rejection
   // consumes no tick index, so the client can simply retry.
   if (!wait_for_slot(lock, id)) {
@@ -688,8 +778,13 @@ void StreamService::schedule(std::unique_lock<std::mutex>& lock,
   (void)lock;  // held: seq reservation below is what orders responses
   request.seq = reserve_seq();
   request.enqueue_time = now();
+  request.enqueue_ns = obs::trace_now_ns();
+  request.trace_id = current_trace_id();
   const auto it = sessions_.find(request.session);
-  if (it != sessions_.end()) ++it->second.in_flight;
+  if (it != sessions_.end()) {
+    ++it->second.in_flight;
+    ++it->second.requests;
+  }
   ++outstanding_;
   // Response accounting happens here, on the ingest thread, so stats are
   // deterministic: every scheduled request emits exactly one response.
@@ -716,6 +811,7 @@ void StreamService::run_request(SolveRequest& request) {
   bool timed_out = false;
   bool failed = false;
   std::string response;
+  const std::uint64_t solve_start = obs::trace_now_ns();
   try {
     timed_out = cfg_.request_timeout_s > 0.0 &&
                 now() - request.enqueue_time > cfg_.request_timeout_s;
@@ -758,6 +854,7 @@ void StreamService::run_request(SolveRequest& request) {
     response = error_response(request.session, request.seq, "internal_error",
                               "serve: solve failed: unknown exception");
   }
+  const std::uint64_t solve_end = obs::trace_now_ns();
   try {
     emit(request.seq, std::move(response));
   } catch (...) {
@@ -775,10 +872,29 @@ void StreamService::run_request(SolveRequest& request) {
       LION_OBS_COUNT("serve.errors", 1);
     }
     const auto it = sessions_.find(request.session);
-    if (it != sessions_.end() && it->second.in_flight > 0) {
-      --it->second.in_flight;
+    if (it != sessions_.end()) {
+      // Telemetry for the completed request: queue wait (schedule to
+      // worker pickup), the solve itself, and the session's RED series.
+      StreamSession& session = it->second;
+      record_span(session, request.trace_id, obs::Stage::kQueueWait,
+                  request.enqueue_ns, solve_start);
+      record_span(session, request.trace_id, obs::Stage::kServeSolve,
+                  solve_start, solve_end);
+      session.solve_seconds.record(static_cast<double>(solve_end -
+                                                       solve_start) *
+                                   1e-9);
+      if (failed || timed_out) ++session.request_errors;
+      if (it->second.in_flight > 0) --it->second.in_flight;
     }
     if (outstanding_ > 0) --outstanding_;
+    if (cfg_.slow_request_s > 0.0 &&
+        static_cast<double>(solve_end - request.enqueue_ns) * 1e-9 >
+            cfg_.slow_request_s) {
+      event(obs::Severity::kWarn, "slow_request", request.session,
+            timed_out ? "request exceeded its deadline"
+                      : "queue wait + solve exceeded slow_request_s",
+            solve_end - request.enqueue_ns);
+    }
   }
   cv_.notify_all();
 }
@@ -799,6 +915,8 @@ void StreamService::evict_idle(std::unique_lock<std::mutex>& lock) {
   for (const auto& [tick, id] : expired) {
     const std::uint64_t seq = reserve_seq();
     emit(seq, event_response(seq, "evict", id, tick));
+    event(obs::Severity::kInfo, "evict", id,
+          "session evicted after idle_ttl_ticks", tick);
     if (cfg_.journal != nullptr) {
       const auto it = sessions_.find(id);
       if (it != sessions_.end()) it->second.journal.reset();
@@ -839,6 +957,24 @@ void StreamService::emit_stats_response() {
   field("ticks", clock_ticks_);
   out.push_back('}');
   emit(seq, std::move(out));
+}
+
+void StreamService::emit_trace_response(const std::string& id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    emit_error(id, "unknown_session", "wire: no session '" + id + "'", false);
+    return;
+  }
+  // Unroll the ring oldest-first; the dump is out-of-band (no seq), so
+  // wall-clock span values never enter the sequenced byte stream.
+  const StreamSession& session = it->second;
+  std::vector<SpanRecord> spans;
+  spans.reserve(session.spans.size());
+  for (std::size_t i = 0; i < session.spans.size(); ++i) {
+    spans.push_back(
+        session.spans[(session.span_head + i) % session.spans.size()]);
+  }
+  emit_oob(trace_response(id, spans));
 }
 
 void StreamService::emit_oob(const std::string& line) {
@@ -890,6 +1026,24 @@ void StreamService::emit_health_response() {
   field("rss_bytes", obs::process_rss_bytes());
   field("open_fds", obs::process_open_fds());
   field("ticks", clock_ticks_);
+  // Ops-plane extras: service age, how often the incremental tick path
+  // had to fall back (a rising ratio means the residual gate is tripping
+  // — the "why did my tick get slow" answer), and the deepest the reorder
+  // buffer has been (how far ahead workers ran of in-order release).
+  out += ",\"uptime_s\":";
+  obs::append_json_number(out, uptime_s());
+  const std::uint64_t all_ticks = stats_.pose_ticks;
+  out += ",\"tick_fallback_ratio\":";
+  obs::append_json_number(
+      out, all_ticks == 0 ? 0.0
+                          : static_cast<double>(stats_.tick_fallbacks) /
+                                static_cast<double>(all_ticks));
+  {
+    // mu_ -> emit_mu_ is the designed lock order, so peeking at the
+    // reorder high-water mark from here is safe.
+    std::lock_guard<std::mutex> emit_lock(emit_mu_);
+    field("reorder_depth_hwm", reorder_hwm_);
+  }
   out.push_back('}');
   emit_oob(out);
 }
@@ -905,6 +1059,15 @@ void StreamService::finish() {
   }
   report_oversized(oversized);
   for (const std::string& line : tail) ingest_line(line);
+  if (cfg_.events != nullptr) {
+    std::uint64_t pending = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending = outstanding_;
+    }
+    event(obs::Severity::kInfo, "drain", "",
+          "end of stream: waiting for in-flight solves", pending);
+  }
   drain();
 }
 
@@ -918,6 +1081,35 @@ ServeStats StreamService::stats() const {
   ServeStats out = stats_;
   out.sessions = sessions_.size();
   out.ticks = clock_ticks_;
+  return out;
+}
+
+ServiceTelemetry StreamService::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceTelemetry out;
+  out.stats = stats_;
+  out.stats.sessions = sessions_.size();
+  out.stats.ticks = clock_ticks_;
+  out.uptime_s = uptime_s();
+  for (const auto& [id, session] : sessions_) {
+    SessionTelemetry st;
+    st.id = id;
+    st.track = session.config.mode == SessionMode::kTrack;
+    st.in_flight = session.in_flight;
+    st.samples = session.samples_accepted;
+    st.flushes = session.flushes;
+    st.requests = session.requests;
+    st.errors = session.request_errors;
+    st.pose_ticks = session.ticks_emitted;
+    st.solve_seconds = session.solve_seconds;
+    out.sessions.push_back(std::move(st));
+    if (session.journal) out.journal_lag += session.journal->unsynced();
+    if (session.journal_degraded) ++out.journal_degraded;
+  }
+  {
+    std::lock_guard<std::mutex> emit_lock(emit_mu_);
+    out.reorder_hwm = reorder_hwm_;
+  }
   return out;
 }
 

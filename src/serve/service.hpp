@@ -75,6 +75,7 @@
 // consulted.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -87,6 +88,7 @@
 #include <string_view>
 
 #include "engine/thread_pool.hpp"
+#include "obs/events.hpp"
 #include "serve/session.hpp"
 #include "serve/wire.hpp"
 
@@ -125,6 +127,14 @@ struct ServiceConfig {
   /// shared across services (the socket server owns one per daemon) and
   /// must outlive this service. nullptr = no durability.
   JournalStore* journal = nullptr;
+  /// Ops-plane event sink (slow requests, gate fallbacks, journal
+  /// degradation, evictions, drain). Shared across services, rate-limited
+  /// internally, and observation-only — may be nullptr. Must outlive this
+  /// service.
+  obs::EventLog* events = nullptr;
+  /// Requests whose queue-wait + solve exceeds this emit a "slow_request"
+  /// event; 0 disables the check.
+  double slow_request_s = 0.0;
 };
 
 /// Ingest/serve counters (snapshot; also exported as obs counters).
@@ -146,6 +156,30 @@ struct ServeStats {
   std::uint64_t tick_fallbacks = 0;  ///< pose ticks routed to the full solve
   std::uint64_t ticks = 0;           ///< virtual clock now
   std::size_t sessions = 0;          ///< live sessions
+};
+
+/// Per-session RED snapshot for the telemetry plane (/metrics, lion_top).
+struct SessionTelemetry {
+  std::string id;
+  bool track = false;
+  std::size_t in_flight = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t requests = 0;        ///< solves scheduled (rate)
+  std::uint64_t errors = 0;          ///< error responses attributed here
+  std::uint64_t pose_ticks = 0;
+  obs::HistogramData solve_seconds;  ///< duration distribution
+};
+
+/// Everything the scrape endpoint needs from one service, in one lock
+/// acquisition: aggregate stats plus the per-session RED series.
+struct ServiceTelemetry {
+  ServeStats stats;
+  double uptime_s = 0.0;
+  std::uint64_t reorder_hwm = 0;     ///< reorder-buffer depth high water
+  std::uint64_t journal_lag = 0;     ///< appended-not-fsynced records
+  std::uint64_t journal_degraded = 0;
+  std::vector<SessionTelemetry> sessions;  ///< id-sorted (map order)
 };
 
 class StreamService {
@@ -183,6 +217,10 @@ class StreamService {
 
   ServeStats stats() const;
 
+  /// Snapshot for the scrape endpoint: aggregate stats + per-session RED
+  /// series, one mu_ acquisition. Safe to call concurrently with ingest.
+  ServiceTelemetry telemetry() const;
+
  private:
   struct SolveRequest {
     std::uint64_t seq = 0;
@@ -195,6 +233,8 @@ class StreamService {
     std::uint64_t window_index = 0;
     bool pose_tick = false;
     double enqueue_time = 0.0;
+    std::uint64_t trace_id = 0;    ///< the ingest line that scheduled this
+    std::uint64_t enqueue_ns = 0;  ///< trace clock at schedule() time
   };
 
   // The handle_* / accept_sample / schedule family runs on the ingest
@@ -214,6 +254,7 @@ class StreamService {
                         const std::string& id);
   void handle_close(std::unique_lock<std::mutex>& lock, const std::string& id);
   void emit_stats_response();
+  void emit_trace_response(const std::string& id);
   void accept_sample(std::unique_lock<std::mutex>& lock, const std::string& id,
                      const sim::PhaseSample& sample);
   void report_oversized(std::size_t count);
@@ -233,6 +274,28 @@ class StreamService {
   void emit_oob(const std::string& line);
   void emit_health_response();
   double now() const;
+  double uptime_s() const;
+
+  // --- telemetry (observation only) --------------------------------------
+  /// Record one request span three ways: the stage's registry histogram
+  /// (metrics enabled), the calling thread's Chrome-trace ring (tracing
+  /// enabled), and the session's bounded `!trace` ring (always — the dump
+  /// must work on an otherwise-uninstrumented daemon). Callers hold mu_.
+  void record_span(StreamSession& session, std::uint64_t trace_id,
+                   obs::Stage stage, std::uint64_t start_ns,
+                   std::uint64_t end_ns);
+  /// Trace id of the wire line currently being handled. Exact for a
+  /// single ingest thread (the determinism-contract mode); with multiple
+  /// producers a line handled while another blocks on backpressure may
+  /// be attributed to the newer line — acceptable for diagnostics.
+  std::uint64_t current_trace_id() const {
+    return next_trace_id_ == 0 ? 0 : next_trace_id_ - 1;
+  }
+  /// Forward to cfg_.events when attached; no-op (and never throws)
+  /// otherwise.
+  void event(obs::Severity severity, const char* type,
+             const std::string& session, std::string detail,
+             std::uint64_t value = 0);
 
   // --- durability (cfg_.journal != nullptr) ------------------------------
   /// Attach a journal to a declare: restore-and-replay when the id has a
@@ -274,14 +337,27 @@ class StreamService {
   std::uint64_t next_seq_ = 0;
   std::uint64_t clock_ticks_ = 0;
   std::size_t outstanding_ = 0;  ///< scheduled solves not yet emitted
+  std::uint64_t next_trace_id_ = 0;  ///< one per ingested wire line
+  // Uptime anchors on the real monotonic clock, never cfg_.clock: uptime
+  // is an out-of-band wall quantity, and an injected (virtual/throwing)
+  // clock must see exactly the same call sequence as before uptime existed.
+  std::chrono::steady_clock::time_point start_tp_ =
+      std::chrono::steady_clock::now();
   ServeStats stats_;
 
   std::mutex decoder_mu_;
   ChunkDecoder decoder_;
 
-  std::mutex emit_mu_;
+  mutable std::mutex emit_mu_;  ///< also taken by const telemetry reads
   std::uint64_t emit_next_ = 0;
-  std::map<std::uint64_t, std::string> emit_buffer_;
+  /// Buffered out-of-order responses, stamped with their arrival on the
+  /// trace clock so the release can account the reorder-hold span.
+  struct PendingEmit {
+    std::string line;
+    std::uint64_t arrival_ns = 0;
+  };
+  std::map<std::uint64_t, PendingEmit> emit_buffer_;
+  std::uint64_t reorder_hwm_ = 0;  ///< guarded by emit_mu_
 
   engine::ThreadPool* pool_ = nullptr;     ///< scheduling target
   std::unique_ptr<engine::ThreadPool> owned_pool_;  ///< when not shared

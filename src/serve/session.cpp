@@ -197,6 +197,28 @@ std::string event_response(std::uint64_t seq, const std::string& event,
   return out;
 }
 
+std::string trace_response(const std::string& session,
+                           const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"schema\":\"lion.trace.v1\",\"session\":\"";
+  out += obs::json_escape(session);
+  out += "\",\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i) out.push_back(',');
+    const SpanRecord& s = spans[i];
+    out += "{\"trace\":";
+    out += std::to_string(s.trace_id);
+    out += ",\"stage\":\"";
+    out += obs::stage_name(s.stage);
+    out += "\",\"start_ns\":";
+    out += std::to_string(s.start_ns);
+    out += ",\"dur_ns\":";
+    out += std::to_string(s.dur_ns);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
 std::string restore_response(const std::string& session,
                              std::uint64_t records, std::uint64_t samples,
                              std::uint64_t flushes, bool torn) {

@@ -20,11 +20,26 @@
 #include "core/incremental.hpp"
 #include "core/tracker.hpp"
 #include "io/csv.hpp"
+#include "obs/obs.hpp"
 #include "serve/journal.hpp"
 #include "serve/wire.hpp"
 #include "sim/reader.hpp"
 
 namespace lion::serve {
+
+/// One recorded request span, retained per session for `!trace <id>`.
+/// Timestamps are trace_now_ns() values (monotonic, process-relative), so
+/// spans correlate with the Chrome-trace ring but never enter a sequenced
+/// response — the dump is out-of-band, outside the determinism contract.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;  ///< ingest-assigned request trace id
+  obs::Stage stage = obs::Stage::kIngest;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Spans retained per session (ring; oldest overwritten).
+inline constexpr std::size_t kSessionSpanCap = 64;
 
 /// Everything a session needs to turn buffered samples into responses.
 struct SessionConfig {
@@ -88,7 +103,22 @@ struct StreamSession {
   std::unique_ptr<JournalWriter> journal;
   bool journal_degraded = false;
   std::uint64_t restored_records = 0;  ///< records replayed at restore
+
+  /// Telemetry (observation only, never feeds a response payload).
+  /// RED counters: requests scheduled for this session, error responses
+  /// attributed to it, and the distribution of its solve durations.
+  std::uint64_t requests = 0;
+  std::uint64_t request_errors = 0;
+  obs::HistogramData solve_seconds{obs::duration_bounds()};
+  /// Recent request spans for `!trace <id>` (bounded ring).
+  std::vector<SpanRecord> spans;
+  std::size_t span_head = 0;  ///< oldest entry once the ring is full
 };
+
+/// `!trace <id>` answer (lion.trace.v1, out-of-band): the session's
+/// retained spans, oldest first.
+std::string trace_response(const std::string& session,
+                           const std::vector<SpanRecord>& spans);
 
 /// Solve one track window exactly as the streaming ConveyorTracker would:
 /// a fresh tracker over just these samples (hop/window-invariance — pinned

@@ -115,6 +115,11 @@ ParsedLine parse_control(std::string_view line) {
     if (tokens.size() != 1) return error_line("wire: usage: !healthz");
     return out;
   }
+  if (cmd == "!trace") {
+    out.kind = ParsedLine::kTrace;
+    if (!require_id(2)) return error_line("wire: usage: !trace <id>");
+    return out;
+  }
   if (cmd == "!tick") {
     if (tokens.size() != 2) {
       return error_line("wire: usage: !tick <n>|<session-id>");

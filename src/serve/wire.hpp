@@ -18,6 +18,9 @@
 //   !healthz                     emit a lion.health.v1 snapshot line
 //                                (out-of-band: carries no seq — see
 //                                service.hpp "Out-of-band responses")
+//   !trace <id>                  emit a lion.trace.v1 dump of session
+//                                <id>'s recent request spans (out-of-band,
+//                                like !healthz)
 //   @<id> x,y,z,phase[,...]      CSV read record routed to session <id>
 //   {"session":"id","x":..,...}  JSON read record (flat object)
 //   x,y,z,phase[,rssi[,ch[,t]]]  CSV read record for the *current* session
@@ -102,6 +105,7 @@ struct ParsedLine {
     kPoseTick,  ///< !tick <id> (incremental pose request)
     kStats,     ///< !stats
     kHealthz,   ///< !healthz
+    kTrace,     ///< !trace <id> (span dump)
     kData,      ///< a read record (CSV payload or decoded JSON sample)
     kError,     ///< malformed; `error` has the detail
   };

@@ -1,0 +1,178 @@
+// EventLog: ring retention and drop accounting, per-type token-bucket
+// rate limiting on a virtual clock, severity counters, lion.evlog.v1
+// JSON shape, and the line sink (including the write-failure latch).
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lion::obs {
+namespace {
+
+EventLogConfig virtual_clock_config(double* clock_s) {
+  EventLogConfig cfg;
+  cfg.clock = [clock_s] { return *clock_s; };
+  return cfg;
+}
+
+TEST(EventLog, EmitRetainsAndStamps) {
+  double clock_s = 1000.0;
+  EventLog log(virtual_clock_config(&clock_s));
+  EXPECT_TRUE(log.emit(Severity::kInfo, "restore", "cal0", "42 records", 42));
+  clock_s = 1001.5;
+  EXPECT_TRUE(log.emit(Severity::kWarn, "slow_request", "cal1", "solve", 7));
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_DOUBLE_EQ(events[0].wall_s, 1000.0);
+  EXPECT_EQ(events[0].type, "restore");
+  EXPECT_EQ(events[0].session, "cal0");
+  EXPECT_EQ(events[0].value, 42u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].severity, Severity::kWarn);
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, RingOverwritesOldestAndCountsDropped) {
+  double clock_s = 0.0;
+  EventLogConfig cfg = virtual_clock_config(&clock_s);
+  cfg.capacity = 4;
+  cfg.rate_per_s = 1e9;  // rate limiting out of the way
+  cfg.burst = 1e9;
+  EventLog log(cfg);
+  for (int i = 0; i < 10; ++i) {
+    log.emit(Severity::kInfo, "tick", "", std::to_string(i),
+             static_cast<std::uint64_t>(i));
+  }
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the surviving window is [6, 9].
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].value,
+              static_cast<std::uint64_t>(6 + i));
+  }
+  EXPECT_EQ(log.emitted(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+}
+
+TEST(EventLog, PerTypeTokenBucketLimitsSustainedRate) {
+  double clock_s = 0.0;
+  EventLogConfig cfg = virtual_clock_config(&clock_s);
+  cfg.rate_per_s = 2.0;
+  cfg.burst = 3.0;
+  EventLog log(cfg);
+
+  // The burst admits 3, then the bucket is dry.
+  for (int i = 0; i < 5; ++i) log.emit(Severity::kWarn, "hot", "", "");
+  EXPECT_EQ(log.emitted(), 3u);
+  EXPECT_EQ(log.rate_limited(), 2u);
+
+  // A different type has its own bucket.
+  EXPECT_TRUE(log.emit(Severity::kInfo, "cold", "", ""));
+
+  // 1 s refills 2 tokens for "hot".
+  clock_s = 1.0;
+  EXPECT_TRUE(log.emit(Severity::kWarn, "hot", "", ""));
+  EXPECT_TRUE(log.emit(Severity::kWarn, "hot", "", ""));
+  EXPECT_FALSE(log.emit(Severity::kWarn, "hot", "", ""));
+  EXPECT_EQ(log.rate_limited(), 3u);
+}
+
+TEST(EventLog, SeverityCountsTrackAcceptedOnly) {
+  double clock_s = 0.0;
+  EventLogConfig cfg = virtual_clock_config(&clock_s);
+  cfg.rate_per_s = 1e-9;  // burst only, effectively no refill
+  cfg.burst = 2.0;
+  EventLog log(cfg);
+  log.emit(Severity::kError, "x", "", "");
+  log.emit(Severity::kError, "x", "", "");
+  log.emit(Severity::kError, "x", "", "");  // rate-limited, not counted
+  log.emit(Severity::kDebug, "y", "", "");
+  const auto counts = log.severity_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(Severity::kDebug)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Severity::kInfo)], 0u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Severity::kError)], 2u);
+}
+
+TEST(EventLog, ToJsonIsFlatSingleLineWithEscaping) {
+  Event e;
+  e.seq = 3;
+  e.wall_s = 12.5;
+  e.severity = Severity::kWarn;
+  e.type = "slow_request";
+  e.session = "cal \"7\"";
+  e.detail = "line1\nline2";
+  e.value = 99;
+  const std::string json = e.to_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lion.evlog.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warn\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"slow_request\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":99"), std::string::npos);
+  EXPECT_NE(json.find("cal \\\"7\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+TEST(EventLog, SinkReceivesOneJsonLinePerEvent) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  double clock_s = 5.0;
+  EventLog log(virtual_clock_config(&clock_s));
+  log.set_sink(sink);
+  log.emit(Severity::kInfo, "a", "s0", "first");
+  log.emit(Severity::kWarn, "b", "s1", "second");
+  log.set_sink(nullptr);
+
+  std::rewind(sink);
+  std::vector<std::string> lines;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, sink) != nullptr) lines.emplace_back(buf);
+  std::fclose(sink);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"b\""), std::string::npos);
+  EXPECT_EQ(lines[1].back(), '\n');
+}
+
+TEST(EventLog, SinkWriteFailureLatchesOffWithoutErroring) {
+  // /dev/full accepts the fopen but fails every write with ENOSPC.
+  std::FILE* sink = std::fopen("/dev/full", "w");
+  if (sink == nullptr) GTEST_SKIP() << "/dev/full unavailable";
+  double clock_s = 0.0;
+  EventLog log(virtual_clock_config(&clock_s));
+  log.set_sink(sink);
+  // Neither emit may throw or fail the caller; the ring still retains.
+  EXPECT_TRUE(log.emit(Severity::kInfo, "a", "", ""));
+  EXPECT_TRUE(log.emit(Severity::kInfo, "b", "", ""));
+  EXPECT_EQ(log.snapshot().size(), 2u);
+  log.set_sink(nullptr);
+  std::fclose(sink);
+}
+
+TEST(EventLog, RateLimitedEventsDoNotReachTheSink) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  double clock_s = 0.0;
+  EventLogConfig cfg = virtual_clock_config(&clock_s);
+  cfg.rate_per_s = 1e-9;  // burst only, effectively no refill
+  cfg.burst = 1.0;
+  EventLog log(cfg);
+  log.set_sink(sink);
+  log.emit(Severity::kInfo, "t", "", "kept");
+  log.emit(Severity::kInfo, "t", "", "limited");
+  log.set_sink(nullptr);
+  std::rewind(sink);
+  std::size_t lines = 0;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, sink) != nullptr) ++lines;
+  std::fclose(sink);
+  EXPECT_EQ(lines, 1u);
+}
+
+}  // namespace
+}  // namespace lion::obs

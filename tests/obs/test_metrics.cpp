@@ -249,6 +249,51 @@ TEST(MetricsRegistry, RegistrationCapThrows) {
   EXPECT_THROW(reg.counter("one-too-many"), std::length_error);
 }
 
+// The checked registration path: at the cap the registry degrades
+// (kInvalidMetric, adds become no-ops) instead of throwing out of a
+// daemon's instrumentation site. Regression for the macro layer, which
+// routes through try_counter/try_histogram.
+TEST(MetricsRegistry, TryRegisterPastCapDegrades) {
+  MetricsRegistry reg;
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    ASSERT_NE(reg.try_counter("c" + std::to_string(i)), kInvalidMetric);
+  }
+  const MetricId overflow = reg.try_counter("one-too-many");
+  EXPECT_EQ(overflow, kInvalidMetric);
+  EXPECT_NO_THROW(reg.add(overflow, 7));  // silently dropped
+
+  // Existing registrations keep working and re-registration by name still
+  // resolves to the live id.
+  const MetricId c0 = reg.try_counter("c0");
+  ASSERT_NE(c0, kInvalidMetric);
+  reg.add(c0, 3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), kMaxCounters);
+  bool saw_c0 = false;
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name, "one-too-many");
+    if (name == "c0") {
+      saw_c0 = true;
+      EXPECT_EQ(value, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_c0);
+}
+
+TEST(MetricsRegistry, TryHistogramDegradesOnCapAndBadBounds) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.try_histogram("bad", {}), kInvalidMetric);
+  EXPECT_EQ(reg.try_histogram("bad2", {2.0, 1.0}), kInvalidMetric);
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    ASSERT_NE(reg.try_histogram("h" + std::to_string(i), {1.0, 2.0}),
+              kInvalidMetric);
+  }
+  const MetricId overflow = reg.try_histogram("one-too-many", {1.0, 2.0});
+  EXPECT_EQ(overflow, kInvalidMetric);
+  EXPECT_NO_THROW(reg.record(overflow, 1.5));
+  EXPECT_EQ(reg.snapshot().histograms.size(), kMaxHistograms);
+}
+
 TEST(ObsMacros, DisabledMacrosRecordNothing) {
   ASSERT_FALSE(metrics_enabled());
   LION_OBS_COUNT("test.disabled_counter", 1);

@@ -5,6 +5,8 @@
 //               [--reject-busy] [--max-conns N] [--port-file PATH]
 //               [--journal-dir DIR] [--journal-fsync N]
 //               [--drain-timeout S]
+//               [--telemetry-port PORT] [--telemetry-port-file PATH]
+//               [--event-log PATH] [--trace-out PATH] [--slow-request S]
 //
 // Defaults to an ephemeral TCP port on 127.0.0.1 and announces the bound
 // address on stdout as its first line:
@@ -22,6 +24,21 @@
 // daemon drains every connection's in-flight solves, bounded by
 // --drain-timeout seconds (default 10; 0 waits forever); an unclean drain
 // exits 1 via _Exit so wedged handler threads cannot hang teardown.
+//
+// Observability plane (all observation-only; the response byte stream is
+// unchanged whether these are on or off):
+//   --telemetry-port PORT       HTTP GET /metrics + /healthz on its own
+//                               thread (0 = ephemeral; the bound port is
+//                               announced on stdout and written to
+//                               --telemetry-port-file when given).
+//                               Enables the metrics registry.
+//   --event-log PATH            append structured lion.evlog.v1 JSON lines
+//                               (slow requests, journal degradation,
+//                               restores, evictions, drain) to PATH.
+//   --slow-request S            threshold for slow_request events
+//                               (default 1.0 when --event-log is set).
+//   --trace-out PATH            enable span tracing and dump the Chrome
+//                               trace ring to PATH at clean shutdown.
 
 #include <unistd.h>
 
@@ -36,8 +53,12 @@
 #include <thread>
 #include <chrono>
 
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "serve/journal.hpp"
 #include "serve/server.hpp"
+#include "serve/telemetry.hpp"
 
 namespace {
 
@@ -54,7 +75,11 @@ void handle_signal(int) { g_stop = 1; }
                "                   [--reject-busy] [--max-conns N]\n"
                "                   [--port-file PATH]\n"
                "                   [--journal-dir DIR] [--journal-fsync N]\n"
-               "                   [--drain-timeout S]\n");
+               "                   [--drain-timeout S]\n"
+               "                   [--telemetry-port PORT]\n"
+               "                   [--telemetry-port-file PATH]\n"
+               "                   [--event-log PATH] [--slow-request S]\n"
+               "                   [--trace-out PATH]\n");
   std::exit(2);
 }
 
@@ -111,6 +136,11 @@ int main(int argc, char** argv) {
   std::string journal_dir;
   std::size_t journal_fsync = 1024;
   double drain_timeout_s = 10.0;
+  int telemetry_port = -1;  // < 0: telemetry endpoint off
+  std::string telemetry_port_file;
+  std::string event_log_path;
+  std::string trace_out_path;
+  double slow_request_s = -1.0;  // < 0: default (1.0 when event log on)
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -157,9 +187,49 @@ int main(int argc, char** argv) {
     } else if (flag == "--drain-timeout") {
       drain_timeout_s = parse_real(flag, next());
       if (drain_timeout_s < 0.0) usage("--drain-timeout must be >= 0");
+    } else if (flag == "--telemetry-port") {
+      const std::uint64_t port = parse_uint(flag, next());
+      if (port > 65535) usage("--telemetry-port expects a port in [0, 65535]");
+      telemetry_port = static_cast<int>(port);
+    } else if (flag == "--telemetry-port-file") {
+      telemetry_port_file = next();
+    } else if (flag == "--event-log") {
+      event_log_path = next();
+    } else if (flag == "--slow-request") {
+      slow_request_s = parse_real(flag, next());
+      if (slow_request_s < 0.0) usage("--slow-request must be >= 0");
+    } else if (flag == "--trace-out") {
+      trace_out_path = next();
     } else {
       usage(("unknown flag " + flag).c_str());
     }
+  }
+
+  // Observability toggles come first so even startup (journal restore
+  // scans, first connections) is instrumented.
+  if (telemetry_port >= 0) lion::obs::set_metrics_enabled(true);
+  if (!trace_out_path.empty()) lion::obs::set_tracing_enabled(true);
+
+  std::unique_ptr<lion::obs::EventLog> events;
+  std::FILE* event_sink = nullptr;
+  if (!event_log_path.empty()) {
+    events = std::make_unique<lion::obs::EventLog>();
+    event_sink = std::fopen(event_log_path.c_str(), "a");
+    if (event_sink == nullptr) {
+      std::fprintf(stderr, "error: cannot open event log %s\n",
+                   event_log_path.c_str());
+      return 1;
+    }
+    events->set_sink(event_sink);
+    cfg.service.events = events.get();
+    cfg.service.slow_request_s = slow_request_s < 0.0 ? 1.0 : slow_request_s;
+  } else if (slow_request_s >= 0.0) {
+    // Threshold without a log still feeds the in-memory ring of an
+    // attached EventLog; without any log it is inert, so create one to
+    // make the flag meaningful for `!healthz`-style debugging.
+    events = std::make_unique<lion::obs::EventLog>();
+    cfg.service.events = events.get();
+    cfg.service.slow_request_s = slow_request_s;
   }
 
   std::unique_ptr<lion::serve::JournalStore> journal;
@@ -202,16 +272,60 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Scrape endpoint: bind failure degrades (the daemon keeps serving and
+  // says so on stderr) rather than killing a data-plane-healthy process.
+  std::unique_ptr<lion::serve::TelemetryServer> telemetry;
+  if (telemetry_port >= 0) {
+    lion::serve::TelemetryConfig tcfg;
+    tcfg.port = telemetry_port;
+    tcfg.collect = [&server] { return server.telemetry(); };
+    tcfg.events = events.get();
+    telemetry = std::make_unique<lion::serve::TelemetryServer>(tcfg);
+    std::string terror;
+    if (telemetry->start(terror)) {
+      std::printf("lion_served telemetry on 127.0.0.1:%d\n",
+                  telemetry->port());
+      if (!telemetry_port_file.empty() &&
+          !write_port_file_atomic(telemetry_port_file, telemetry->port())) {
+        std::fprintf(stderr, "warning: cannot write telemetry port file %s\n",
+                     telemetry_port_file.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "warning: telemetry disabled: %s\n",
+                   terror.c_str());
+      telemetry.reset();
+    }
+  }
+  std::fflush(stdout);
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Telemetry first: its collect() walks the server's live connections,
+  // so it must be quiesced before the drain tears them down.
+  if (telemetry) telemetry->stop();
   const bool clean =
       drain_timeout_s > 0.0 ? server.stop_with_timeout(drain_timeout_s)
                             : (server.stop(), true);
   std::fprintf(stderr, "lion_served: %llu connection(s) served\n",
                static_cast<unsigned long long>(server.connections_served()));
+  if (!trace_out_path.empty()) {
+    std::FILE* f = std::fopen(trace_out_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string json = lion::obs::trace_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot write trace %s\n",
+                   trace_out_path.c_str());
+    }
+  }
+  if (event_sink != nullptr) {
+    events->set_sink(nullptr);
+    std::fclose(event_sink);
+  }
   if (!clean) {
     // Straggler handler threads are detached and still running; normal
     // exit would hang (or race) in static destructors. Flush and leave.

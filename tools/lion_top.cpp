@@ -1,0 +1,270 @@
+// lion_top — live per-session view of a running lion_served, top(1)-style.
+//
+//   lion_top --tcp host:port [--interval S] [--iterations N] [--no-clear]
+//
+// Polls the daemon's telemetry endpoint (GET /metrics, the Prometheus
+// text exposition served with --telemetry-port), parses the
+// lion_session_* and aggregate lion_serve_* / lion_process_* series, and
+// renders one table per poll:
+//
+//   lion_top  127.0.0.1:9464  up 312s  conns 2  sessions 3  rss 14.2 MiB
+//   SESSION           REQS  ERRS  INFL  SAMPLES    TICKS  SOLVE_AVG_MS
+//   replay0             12     0     1     8160       12          1.84
+//
+// The tool is a pure scrape client: it opens one connection per poll,
+// speaks blocking HTTP/1.0, and never touches the data-plane port, so it
+// is safe to leave running against a production daemon. --iterations N
+// stops after N polls (useful for scripts/CI); the default 0 polls until
+// interrupted. Exit status is 0 iff every attempted scrape succeeded.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr, "%s",
+               "usage: lion_top --tcp host:port [--interval S]\n"
+               "                [--iterations N] [--no-clear]\n");
+  std::exit(2);
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One blocking HTTP/1.0 GET; returns the body (headers stripped) or
+/// empty on any connect/read/status failure.
+std::string http_get(const std::string& host, const std::string& port,
+                     const char* path) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 || !res) {
+    return "";
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return "";
+  const std::string request =
+      std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  std::string response;
+  if (send_all(fd, request.data(), request.size())) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/", 0) != 0) return "";
+  const std::size_t status = response.find(' ');
+  if (status == std::string::npos ||
+      response.compare(status + 1, 3, "200") != 0) {
+    return "";
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+struct SessionRow {
+  double requests = 0.0;
+  double errors = 0.0;
+  double in_flight = 0.0;
+  double samples = 0.0;
+  double ticks = 0.0;
+  double solve_sum = 0.0;
+  double solve_count = 0.0;
+};
+
+struct Scrape {
+  double connections = 0.0;
+  double live_sessions = 0.0;
+  double rss_bytes = 0.0;
+  double tick_fallback_ratio = 0.0;
+  double journal_lag = 0.0;
+  std::map<std::string, SessionRow> sessions;
+};
+
+/// Parse one exposition line of the form `name{session="id",...} value`
+/// (the label block is optional). Returns false for comments/blank lines.
+bool parse_sample(const std::string& line, std::string& name,
+                  std::string& session, double& value) {
+  if (line.empty() || line[0] == '#') return false;
+  const std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos) return false;
+  name = line.substr(0, name_end);
+  session.clear();
+  std::size_t value_pos;
+  if (line[name_end] == '{') {
+    const std::size_t close = line.find('}', name_end);
+    if (close == std::string::npos) return false;
+    const std::string labels = line.substr(name_end, close - name_end + 1);
+    const std::size_t key = labels.find("session=\"");
+    if (key != std::string::npos) {
+      const std::size_t start = key + 9;
+      const std::size_t end = labels.find('"', start);
+      if (end != std::string::npos) session = labels.substr(start, end - start);
+    }
+    value_pos = close + 1;
+  } else {
+    value_pos = name_end;
+  }
+  value_pos = line.find_first_not_of(' ', value_pos);
+  if (value_pos == std::string::npos) return false;
+  value = std::atof(line.c_str() + value_pos);
+  return true;
+}
+
+Scrape parse_metrics(const std::string& body) {
+  Scrape out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size();
+    const std::string line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    std::string name;
+    std::string session;
+    double value = 0.0;
+    if (!parse_sample(line, name, session, value)) continue;
+    if (name == "lion_serve_connections") {
+      out.connections = value;
+    } else if (name == "lion_serve_live_sessions") {
+      out.live_sessions = value;
+    } else if (name == "lion_process_rss_bytes") {
+      out.rss_bytes = value;
+    } else if (name == "lion_serve_tick_fallback_ratio") {
+      out.tick_fallback_ratio = value;
+    } else if (name == "lion_serve_journal_lag_records") {
+      out.journal_lag = value;
+    } else if (!session.empty()) {
+      SessionRow& row = out.sessions[session];
+      if (name == "lion_session_requests_total") {
+        row.requests = value;
+      } else if (name == "lion_session_errors_total") {
+        row.errors = value;
+      } else if (name == "lion_session_in_flight") {
+        row.in_flight = value;
+      } else if (name == "lion_session_samples_total") {
+        row.samples = value;
+      } else if (name == "lion_session_pose_ticks_total") {
+        row.ticks = value;
+      } else if (name == "lion_session_solve_seconds_sum") {
+        row.solve_sum = value;
+      } else if (name == "lion_session_solve_seconds_count") {
+        row.solve_count = value;
+      }
+    }
+  }
+  return out;
+}
+
+void render(const Scrape& s, const std::string& target, double uptime_s,
+            bool clear) {
+  if (clear) std::printf("\033[H\033[2J");
+  std::printf("lion_top  %s  up %.0fs  conns %.0f  sessions %.0f  "
+              "rss %.1f MiB  lag %.0f  fallback %.2f\n",
+              target.c_str(), uptime_s, s.connections, s.live_sessions,
+              s.rss_bytes / (1024.0 * 1024.0), s.journal_lag,
+              s.tick_fallback_ratio);
+  std::printf("%-18s %6s %5s %5s %9s %8s %13s\n", "SESSION", "REQS", "ERRS",
+              "INFL", "SAMPLES", "TICKS", "SOLVE_AVG_MS");
+  for (const auto& [id, row] : s.sessions) {
+    const double avg_ms =
+        row.solve_count > 0 ? row.solve_sum / row.solve_count * 1e3 : 0.0;
+    std::printf("%-18s %6.0f %5.0f %5.0f %9.0f %8.0f %13.2f\n", id.c_str(),
+                row.requests, row.errors, row.in_flight, row.samples,
+                row.ticks, avg_ms);
+  }
+  if (s.sessions.empty()) std::printf("(no live sessions)\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tcp_spec;
+  double interval_s = 2.0;
+  std::uint64_t iterations = 0;  // 0 = until interrupted
+  bool clear = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--tcp") {
+      tcp_spec = next();
+    } else if (flag == "--interval") {
+      interval_s = std::atof(next().c_str());
+      if (interval_s <= 0.0) usage("--interval must be > 0");
+    } else if (flag == "--iterations") {
+      iterations = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--no-clear") {
+      clear = false;
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (tcp_spec.empty()) usage("--tcp host:port is required");
+  const std::size_t colon = tcp_spec.rfind(':');
+  if (colon == std::string::npos) usage("--tcp expects host:port");
+  const std::string host = tcp_spec.substr(0, colon);
+  const std::string port = tcp_spec.substr(colon + 1);
+
+  const auto start = std::chrono::steady_clock::now();
+  bool all_ok = true;
+  for (std::uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+    const std::string body = http_get(host, port, "/metrics");
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (body.empty()) {
+      all_ok = false;
+      std::fprintf(stderr, "lion_top: scrape of %s failed\n",
+                   tcp_spec.c_str());
+      if (iterations == 0) continue;  // keep trying in watch mode
+      break;
+    }
+    render(parse_metrics(body), tcp_spec, uptime_s, clear);
+  }
+  return all_ok ? 0 : 1;
+}

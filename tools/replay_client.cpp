@@ -27,7 +27,10 @@
 // zero lion.error.v1 lines; on failure stderr names the first session
 // that did not complete. Throughput (read records ingested per second,
 // wall-clock from first byte written to last response read) is printed
-// to stdout.
+// to stdout, along with client-side end-to-end flush latency
+// percentiles: reports come back in flush order, so the k-th report is
+// paired with the instant the k-th session's `!flush` finished hitting
+// the wire, and p50/p95/p99 of those gaps (nearest-rank) are reported.
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -36,8 +39,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -133,6 +138,14 @@ int connect_unix(const std::string& path) {
   return fd;
 }
 
+// Nearest-rank percentile over a sorted sample (q in (0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,8 +227,11 @@ int main(int argc, char** argv) {
   std::size_t reports = 0;
   std::size_t errors = 0;
   std::size_t response_lines = 0;
-  std::thread reader([fd, &reports, &errors, &response_lines, &ack_mu,
-                      &ack_cv, &acks, &barrier_seen] {
+  // Arrival stamp of the k-th report (reports return in flush order), for
+  // the end-to-end flush-latency percentiles printed on exit.
+  std::vector<std::chrono::steady_clock::time_point> report_times;
+  std::thread reader([fd, &reports, &errors, &response_lines, &report_times,
+                      &ack_mu, &ack_cv, &acks, &barrier_seen] {
     std::string partial;
     char buf[4096];
     for (;;) {
@@ -231,6 +247,7 @@ int main(int argc, char** argv) {
         ++response_lines;
         if (line.find("\"schema\":\"lion.report.v1\"") != std::string::npos) {
           ++reports;
+          report_times.push_back(std::chrono::steady_clock::now());
         } else if (line.find("\"schema\":\"lion.error.v1\"") !=
                    std::string::npos) {
           ++errors;
@@ -285,6 +302,7 @@ int main(int argc, char** argv) {
   // first payload byte, so a mid-send failure can be pinned.
   std::string payload;
   std::vector<std::size_t> session_starts;
+  std::vector<std::size_t> session_ends;  ///< offset past each !flush line
   std::size_t resumed = 0;
   for (std::size_t s = 0; s < sessions; ++s) {
     const std::string id = id_prefix + std::to_string(s);
@@ -305,13 +323,26 @@ int main(int argc, char** argv) {
       payload += "@" + id + " " + rows[r] + "\n";
     }
     payload += (close_sessions ? "!close " : "!flush ") + id + "\n";
+    session_ends.push_back(payload.size());
   }
 
+  // flush_sent[s] is stamped the moment the chunk containing session s's
+  // terminal control line goes onto the wire.
+  std::vector<std::chrono::steady_clock::time_point> flush_sent(sessions);
+  std::size_t next_unsent_flush = 0;
   std::size_t failed_offset = 0;
   for (std::size_t off = 0; off < payload.size() && sent; off += chunk) {
     const std::size_t n = std::min(chunk, payload.size() - off);
     sent = send_all(fd, payload.data() + off, n);
-    if (!sent) failed_offset = off;
+    if (!sent) {
+      failed_offset = off;
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (next_unsent_flush < sessions &&
+           session_ends[next_unsent_flush] <= off + n) {
+      flush_sent[next_unsent_flush++] = now;
+    }
   }
   ::shutdown(fd, SHUT_WR);  // EOF -> server finish()es and closes
   reader.join();
@@ -327,6 +358,24 @@ int main(int argc, char** argv) {
               sessions, data_rows, wall,
               wall > 0 ? static_cast<double>(total_reads) / wall : 0.0,
               response_lines, reports, errors, resumed);
+  // Client-observed flush latency: k-th report (flush order) minus the
+  // wire time of the k-th flush line. A report that arrives before its
+  // stamp (can't happen with one writer, but be safe) clamps to 0.
+  std::vector<double> latencies;
+  const std::size_t paired = std::min(report_times.size(), next_unsent_flush);
+  for (std::size_t s = 0; s < paired; ++s) {
+    const double d =
+        std::chrono::duration<double>(report_times[s] - flush_sent[s]).count();
+    latencies.push_back(d > 0.0 ? d : 0.0);
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    std::printf("flush latency: p50=%.3f ms p95=%.3f ms p99=%.3f ms "
+                "(%zu flushes)\n",
+                percentile(latencies, 0.50) * 1e3,
+                percentile(latencies, 0.95) * 1e3,
+                percentile(latencies, 0.99) * 1e3, latencies.size());
+  }
   if (!sent) {
     // Pin the drop to the session whose bytes were on the wire: the last
     // session whose payload starts at or before the failing offset.

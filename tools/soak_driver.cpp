@@ -3,7 +3,7 @@
 //   soak_driver --served PATH --client PATH --file scan.csv
 //               [--duration S] [--sessions N] [--journal-dir DIR]
 //               [--rss-limit-mb M] [--fd-slack N] [--seed S]
-//               [--replays-per-server N]
+//               [--replays-per-server N] [--telemetry]
 //
 // Runs replayed fleet traffic against a real lion_served process while
 // injecting the faults a production supervisor would see:
@@ -20,8 +20,19 @@
 // --rss-limit-mb. Each incarnation ends with SIGTERM and must drain
 // cleanly (exit 0). Any gate failure makes the driver exit 1; the
 // summary on stdout is the CI nightly job's log line.
+//
+// With --telemetry each incarnation also runs the daemon's scrape
+// endpoint (--telemetry-port 0), and after every replay the driver
+// scrapes /metrics and gates on it: the scrape must answer, and the
+// serve counters (lines/samples/requests) must be monotone
+// non-decreasing within the incarnation. Restarts reset the counters —
+// each incarnation gets a fresh baseline — so the gate proves the
+// telemetry plane itself survives the kill-restart cycle.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -48,7 +59,7 @@ namespace {
                "                   [--duration S] [--sessions N]\n"
                "                   [--journal-dir DIR] [--rss-limit-mb M]\n"
                "                   [--fd-slack N] [--seed S]\n"
-               "                   [--replays-per-server N]\n");
+               "                   [--replays-per-server N] [--telemetry]\n");
   std::exit(2);
 }
 
@@ -107,6 +118,47 @@ bool wait_port_file(const std::string& path, double timeout_s, int& port) {
 
 bool alive(pid_t pid) { return ::kill(pid, 0) == 0; }
 
+/// Raw-socket GET /metrics against 127.0.0.1:port; empty body on any
+/// connect/read/status failure (the caller gates on that).
+std::string scrape_metrics(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  static const char kRequest[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  std::string response;
+  if (::send(fd, kRequest, sizeof(kRequest) - 1, MSG_NOSIGNAL) ==
+      static_cast<ssize_t>(sizeof(kRequest) - 1)) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  if (response.compare(0, 12, "HTTP/1.0 200") != 0) return "";
+  const std::size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+/// Value of an unlabelled sample line (`name value`), or 0 if absent.
+/// The body always opens with a `# TYPE` comment, so anchoring on the
+/// preceding newline is safe.
+double metric_value(const std::string& body, const char* name) {
+  const std::string needle = std::string("\n") + name + " ";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::atof(body.c_str() + pos + needle.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,6 +172,7 @@ int main(int argc, char** argv) {
   std::uint64_t fd_slack = 16;
   std::uint64_t seed = 1;
   std::size_t replays_per_server = 8;
+  bool telemetry = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -148,6 +201,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--replays-per-server") {
       replays_per_server =
           static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (flag == "--telemetry") {
+      telemetry = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -162,6 +217,8 @@ int main(int argc, char** argv) {
   Lcg rng{seed * 2654435761ULL + 1};
   const std::string port_file =
       "soak_port." + std::to_string(::getpid()) + ".txt";
+  const std::string tport_file =
+      "soak_tport." + std::to_string(::getpid()) + ".txt";
   const double deadline = now_s() + duration_s;
 
   std::uint64_t incarnations = 0;
@@ -187,9 +244,16 @@ int main(int argc, char** argv) {
 
   while (now_s() < deadline) {
     ::remove(port_file.c_str());
+    ::remove(tport_file.c_str());
     std::vector<std::string> served_args = {served_bin, "--tcp", "0",
                                             "--port-file", port_file,
                                             "--drain-timeout", "30"};
+    if (telemetry) {
+      served_args.push_back("--telemetry-port");
+      served_args.push_back("0");
+      served_args.push_back("--telemetry-port-file");
+      served_args.push_back(tport_file);
+    }
     if (!journal_dir.empty()) {
       served_args.push_back("--journal-dir");
       served_args.push_back(journal_dir);
@@ -209,6 +273,15 @@ int main(int argc, char** argv) {
     }
     const std::string tcp = "127.0.0.1:" + std::to_string(port);
     std::uint64_t baseline_fds = 0;
+    int tport = 0;
+    if (telemetry && !wait_port_file(tport_file, 15.0, tport)) {
+      fail("telemetry port file did not appear in 15 s");
+    }
+    // Per-incarnation monotonicity floor: restarts legitimately reset
+    // the registry, so the floor resets with the process.
+    double prev_lines = -1.0;
+    double prev_samples = -1.0;
+    double prev_requests = -1.0;
 
     for (std::size_t r = 0; r < replays_per_server && now_s() < deadline;
          ++r) {
@@ -218,7 +291,11 @@ int main(int argc, char** argv) {
       std::uint64_t fault = rng.next() % 4;
       // Unique session ids per replay keep replays independent; only the
       // kill-restart probe deliberately reuses the interrupted prefix.
-      std::string prefix = "s" + std::to_string(replay_counter++) + "x";
+      // Built by append, not operator+: the rvalue `"s" + to_string(..)`
+      // chain trips gcc-12's -Wrestrict false positive (PR 105329).
+      std::string prefix = "s";
+      prefix += std::to_string(replay_counter++);
+      prefix += 'x';
       if (force_clean) {
         fault = 3;
         force_clean = false;
@@ -284,6 +361,25 @@ int main(int argc, char** argv) {
         fail("fd leak: open fds grew past baseline + slack");
       }
       if (rss > rss_limit_mb * 1024 * 1024) fail("RSS over limit");
+      if (telemetry && tport > 0) {
+        const std::string body = scrape_metrics(tport);
+        if (body.empty()) {
+          fail("telemetry scrape failed on a live server");
+        } else {
+          const double lines = metric_value(body, "lion_serve_lines_total");
+          const double samples =
+              metric_value(body, "lion_serve_samples_total");
+          const double requests =
+              metric_value(body, "lion_serve_requests_total");
+          if (lines < prev_lines || samples < prev_samples ||
+              requests < prev_requests) {
+            fail("serve counters regressed within an incarnation");
+          }
+          prev_lines = lines;
+          prev_samples = samples;
+          prev_requests = requests;
+        }
+      }
     }
 
     if (alive(server)) {
@@ -300,6 +396,7 @@ int main(int argc, char** argv) {
   }
 
   ::remove(port_file.c_str());
+  ::remove(tport_file.c_str());
   std::printf(
       "soak: %llu incarnation(s), %llu clean replay(s), %llu server "
       "kill(s), %llu client kill(s), max rss %.1f MB, max fds %llu, "
