@@ -10,14 +10,24 @@
 //   - flush-to-report solve latency percentiles under the shared pool;
 //   - wire-decode overhead: raw line parse rate with solves excluded;
 //   - journaled ingest: the same workload with durability on (a
-//     JournalStore under a temp dir), gated at < 10% overhead.
+//     JournalStore under a temp dir), gated at < 10% overhead;
+//   - fleet ingest (opt-in, `--fleet N`): a sharded SocketServer hosted
+//     in-process, driven over real TCP by a forked replay_client fleet
+//     (N active + `--idle M` idle connections), reporting aggregate
+//     reads/s plus server-side fd/RSS behaviour through the idle hold.
+//     The committed full-scale run (1k active + 10k idle, 4 shards) is
+//     BENCH_9.json; CI replays a scaled-down fleet against it.
 
 #include <dirent.h>
+#include <fcntl.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -27,9 +37,11 @@
 #include "io/csv.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "obs/trace.hpp"
 #include "rf/phase_model.hpp"
 #include "serve/journal.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "sim/scenario.hpp"
 
@@ -39,6 +51,56 @@ using linalg::Vec3;
 int main(int argc, char** argv) {
   bench::BenchReporter report("serve", argc, argv);
   report.param("jobs", 8.0);
+
+  // Fleet-mode knobs. `--fleet 0` (the default) skips the fleet section
+  // entirely so the in-process rows keep their historical cost.
+  std::size_t fleet = 0;
+  std::size_t fleet_idle = 0;
+  std::size_t fleet_shards = 4;
+  std::size_t fleet_sessions = 1;
+  double fleet_hold_s = 2.0;
+  double fleet_floor = 0.0;  ///< reads/s acceptance floor; 0 = report only
+  std::string replay_client;
+  {
+    const std::string self = argv[0];
+    const auto slash = self.rfind('/');
+    const std::string bin_dir = slash == std::string::npos
+                                    ? std::string(".")
+                                    : self.substr(0, slash);
+    replay_client = bin_dir + "/../tools/replay_client";
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--fleet") {
+      fleet = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--idle") {
+      fleet_idle = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--shards") {
+      fleet_shards = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--fleet-sessions") {
+      fleet_sessions = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--fleet-hold") {
+      fleet_hold_s = std::strtod(next(), nullptr);
+    } else if (flag == "--fleet-floor") {
+      fleet_floor = std::strtod(next(), nullptr);
+    } else if (flag == "--replay-client") {
+      replay_client = next();
+    } else if (flag == "--json") {
+      next();  // consumed by BenchReporter
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (fleet_shards == 0) fleet_shards = 1;
+  if (fleet_sessions == 0) fleet_sessions = 1;
   bench::banner("Streaming service throughput",
                 "ingest sustains >= 1000 reads/s with flush-to-report "
                 "latency bounded by one calibration solve");
@@ -361,6 +423,282 @@ int main(int argc, char** argv) {
       .value("latency_p99_ms", linalg::percentile(tick_ms, 99))
       .value("fallbacks", static_cast<double>(tick_fallbacks));
 
+  // --- fleet ingest: sharded epoll front-end under a TCP fleet. --------
+  // The server lives in this process so obs::process_* gauges measure the
+  // serving side; the fleet client is a forked replay_client (its own fd
+  // table, so 10k server conns + 10k client conns never share one
+  // ulimit). The client sends declares + rows + a `!stats` barrier and no
+  // `!flush` — this row is the ingest plane (accept, decode, route,
+  // demux), not the solver. Gates:
+  //   - the client's own completion checks (every barrier answered, zero
+  //     errors/connect failures/idle drops) via its exit status;
+  //   - peak fd growth >= fleet + idle: every connection was really held
+  //     concurrently, not serialized by accept backpressure;
+  //   - through the trailing idle hold, server fds must not grow and RSS
+  //     must stay flat (the 10k-idle hold acceptance);
+  //   - after the client exits, fds return to the pre-fleet baseline (no
+  //     per-connection leak);
+  //   - optional `--fleet-floor` reads/s floor (200k for BENCH_9).
+  bool fleet_ok = true;
+  if (fleet > 0) {
+    bench::banner(
+        "Fleet ingest (sharded epoll front-end)",
+        "aggregate ingest >= 200k reads/s with 1k active readers while "
+        "10k idle connections hold without fd/RSS growth");
+
+    char csv_path[] = "/tmp/lion_bench_fleet_XXXXXX";
+    const int csv_fd = ::mkstemp(csv_path);
+    if (csv_fd < 0) {
+      std::perror("mkstemp");
+      return 1;
+    }
+    {
+      const std::string& bytes = csv.str();
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(csv_fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          std::perror("write scan csv");
+          return 1;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      ::close(csv_fd);
+    }
+
+    serve::ServerConfig scfg;
+    scfg.tcp_port = 0;
+    scfg.shards = fleet_shards;
+    scfg.max_connections = fleet + fleet_idle + 64;
+    scfg.service.threads = 2;
+    serve::SocketServer server(std::move(scfg));
+    std::string err;
+    if (!server.start(err)) {
+      std::fprintf(stderr, "error: fleet server start: %s\n", err.c_str());
+      ::unlink(csv_path);
+      return 1;
+    }
+    const std::uint64_t base_fds = obs::process_open_fds();
+    const std::string tcp_spec =
+        "127.0.0.1:" + std::to_string(server.port());
+
+    int out_pipe[2];
+    if (::pipe(out_pipe) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    const pid_t child = ::fork();
+    if (child < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (child == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      const std::string fleet_s = std::to_string(fleet);
+      const std::string idle_s = std::to_string(fleet_idle);
+      const std::string sessions_s = std::to_string(fleet_sessions);
+      char hold_s[32];
+      std::snprintf(hold_s, sizeof hold_s, "%.3f", fleet_hold_s);
+      const char* cargv[] = {replay_client.c_str(),
+                             "--tcp", tcp_spec.c_str(),
+                             "--file", csv_path,
+                             "--fleet", fleet_s.c_str(),
+                             "--idle", idle_s.c_str(),
+                             "--sessions", sessions_s.c_str(),
+                             "--fleet-hold", hold_s,
+                             "--connect-timeout", "30",
+                             "--id-prefix", "bench",
+                             nullptr};
+      ::execv(cargv[0], const_cast<char* const*>(cargv));
+      std::fprintf(stderr, "error: exec %s: %s\n", replay_client.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(out_pipe[1]);
+    ::fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+
+    // Sample the serving process while the fleet runs; drain the child's
+    // stdout as it goes so a chatty client can never fill the pipe.
+    struct FootprintSample {
+      double t_s;
+      std::uint64_t fds;
+      std::uint64_t rss;
+    };
+    std::vector<FootprintSample> footprint;
+    std::string child_out;
+    char buf[4096];
+    bench::Timer child_wall;
+    int status = 0;
+    for (;;) {
+      for (;;) {
+        const ssize_t n = ::read(out_pipe[0], buf, sizeof buf);
+        if (n > 0) {
+          child_out.append(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        break;
+      }
+      const pid_t reaped = ::waitpid(child, &status, WNOHANG);
+      if (reaped == child) break;
+      footprint.push_back({child_wall.seconds(), obs::process_open_fds(),
+                           obs::process_rss_bytes()});
+      ::usleep(50 * 1000);
+    }
+    for (;;) {  // tail of the pipe after exit
+      const ssize_t n = ::read(out_pipe[0], buf, sizeof buf);
+      if (n > 0) {
+        child_out.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    ::close(out_pipe[0]);
+    std::fwrite(child_out.data(), 1, child_out.size(), stdout);
+    const bool child_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!child_ok) {
+      std::fprintf(stderr, "error: replay_client fleet exited %s %d\n",
+                   WIFEXITED(status) ? "with status" : "on signal",
+                   WIFEXITED(status) ? WEXITSTATUS(status)
+                                     : WTERMSIG(status));
+    }
+
+    // The client prints one lion.fleet.v1 summary line; pull the numeric
+    // fields straight out of it.
+    const auto fleet_num = [&child_out](const char* key) -> double {
+      const auto rec = child_out.find("\"schema\":\"lion.fleet.v1\"");
+      if (rec == std::string::npos) return -1.0;
+      const std::string pat = std::string("\"") + key + "\":";
+      const auto pos = child_out.find(pat, rec);
+      if (pos == std::string::npos) return -1.0;
+      return std::strtod(child_out.c_str() + pos + pat.size(), nullptr);
+    };
+    const double fleet_reads = fleet_num("reads");
+    const double fleet_wall_s = fleet_num("wall_s");
+    const double fleet_reads_per_s = fleet_num("reads_per_s");
+    const double fleet_conn_p95_ms = fleet_num("conn_wall_ms_p95");
+    const double fleet_connect_p95_ms = fleet_num("connect_ms_p95");
+
+    // Peak concurrency: one server fd per connection, so the fd high-water
+    // mark proves the idle fleet was held all at once (active connections
+    // complete and close at their own pace during the ramp, so the peak is
+    // gated on the idle fleet, not idle + active).
+    std::uint64_t peak_fds = base_fds;
+    for (const FootprintSample& s : footprint) {
+      peak_fds = std::max(peak_fds, s.fds);
+    }
+    const std::uint64_t conn_peak =
+        peak_fds > base_fds ? peak_fds - base_fds : 0;
+    const bool conn_ok = conn_peak >= fleet_idle;
+
+    // Idle hold: the client keeps the idle fleet connected for the final
+    // --fleet-hold seconds. Over that window (trimmed to dodge active
+    // teardown overlap) fds must not grow and must still cover the idle
+    // fleet, and RSS must stay flat.
+    bool hold_ok = true;
+    double hold_rss_delta_mb = 0.0;
+    if (fleet_idle > 0 && fleet_hold_s >= 1.0) {
+      // Anchor on the last instant the idle fleet was still fully held:
+      // after the hold the client tears down 10k fds before exiting, and
+      // that teardown tail must not masquerade as hold drift.
+      double hold_end_t_s = -1.0;
+      for (const FootprintSample& s : footprint) {
+        if (s.fds >= base_fds + fleet_idle) hold_end_t_s = s.t_s;
+      }
+      std::vector<const FootprintSample*> window;
+      for (const FootprintSample& s : footprint) {
+        if (s.t_s >= hold_end_t_s - fleet_hold_s + 0.4 &&
+            s.t_s <= hold_end_t_s) {
+          window.push_back(&s);
+        }
+      }
+      if (hold_end_t_s < 0.0 || window.size() < 2) {
+        hold_ok = false;
+        std::fprintf(stderr,
+                     "error: fleet hold window has %zu samples (< 2)\n",
+                     window.size());
+      } else {
+        const FootprintSample& first = *window.front();
+        const FootprintSample& last = *window.back();
+        hold_rss_delta_mb =
+            (static_cast<double>(last.rss) - static_cast<double>(first.rss)) /
+            (1024.0 * 1024.0);
+        constexpr double kHoldRssBudgetMb = 16.0;
+        hold_ok = last.fds <= first.fds &&
+                  last.fds >= base_fds + fleet_idle &&
+                  hold_rss_delta_mb <= kHoldRssBudgetMb;
+        if (!hold_ok) {
+          std::fprintf(stderr,
+                       "error: idle hold drifted: fds %llu -> %llu "
+                       "(baseline %llu + %zu idle), rss %+.1f MB\n",
+                       static_cast<unsigned long long>(first.fds),
+                       static_cast<unsigned long long>(last.fds),
+                       static_cast<unsigned long long>(base_fds), fleet_idle,
+                       hold_rss_delta_mb);
+        }
+      }
+    }
+
+    // Leak check: once the fleet disconnects, the server must return to
+    // its pre-fleet fd count. Teardown of 10k connections is async, so
+    // resample for up to 2 s before calling it a leak.
+    std::uint64_t settled_fds = obs::process_open_fds();
+    {
+      bench::Timer settle;
+      while (settled_fds > base_fds && settle.seconds() < 2.0) {
+        ::usleep(50 * 1000);
+        settled_fds = obs::process_open_fds();
+      }
+    }
+    const bool leak_ok = settled_fds <= base_fds;
+    if (!leak_ok) {
+      std::fprintf(stderr,
+                   "error: %llu fds still open after fleet teardown "
+                   "(baseline %llu)\n",
+                   static_cast<unsigned long long>(settled_fds),
+                   static_cast<unsigned long long>(base_fds));
+    }
+
+    server.stop();
+    ::unlink(csv_path);
+
+    const bool floor_met =
+        fleet_floor <= 0.0 || fleet_reads_per_s >= fleet_floor;
+    fleet_ok = child_ok && conn_ok && hold_ok && leak_ok && floor_met &&
+               fleet_reads_per_s > 0.0;
+
+    std::printf(
+        "\nfleet: %zu active + %zu idle conns on %zu shards: "
+        "%.0f reads/s aggregate (%.0f reads in %.3f s)\n",
+        fleet, fleet_idle, fleet_shards, fleet_reads_per_s, fleet_reads,
+        fleet_wall_s);
+    std::printf(
+        "fleet footprint: conn peak %llu (>= %zu needed), idle-hold rss "
+        "%+.1f MB, settled fds %llu vs baseline %llu\n",
+        static_cast<unsigned long long>(conn_peak), fleet_idle,
+        hold_rss_delta_mb, static_cast<unsigned long long>(settled_fds),
+        static_cast<unsigned long long>(base_fds));
+
+    report.row("fleet")
+        .tag("build", "post")
+        .tag("method", "fleet")
+        .value("threads", static_cast<double>(fleet_shards))
+        .value("items_per_s", fleet_reads_per_s)
+        .value("reads", fleet_reads)
+        .value("wall_s", fleet_wall_s)
+        .value("fleet", static_cast<double>(fleet))
+        .value("idle", static_cast<double>(fleet_idle))
+        .value("sessions_per_conn", static_cast<double>(fleet_sessions))
+        .value("conn_peak", static_cast<double>(conn_peak))
+        .value("hold_rss_delta_mb", hold_rss_delta_mb)
+        .value("conn_wall_ms_p95", fleet_conn_p95_ms)
+        .value("connect_ms_p95", fleet_connect_p95_ms);
+  }
+
   const bool floor_ok = reads_per_s >= 1000.0;
   // The journaled path must stay within 10% of the plain path (write()
   // per record is buffered; fsync is batched), measured apples-to-apples
@@ -384,5 +722,10 @@ int main(int argc, char** argv) {
       "acceptance: `!tick` p95 %.3f ms %s full re-solve p95 %.3f ms / 5 "
       "(%zu fallbacks)\n",
       tick_p95, tick_ok ? "<=" : ">", full_p95, tick_fallbacks);
-  return floor_ok && journal_ok && telemetry_ok && tick_ok ? 0 : 1;
+  if (fleet > 0) {
+    std::printf("acceptance: fleet ingest + idle hold %s\n",
+                fleet_ok ? "ok" : "FAILED");
+  }
+  return floor_ok && journal_ok && telemetry_ok && tick_ok && fleet_ok ? 0
+                                                                       : 1;
 }

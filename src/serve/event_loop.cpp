@@ -1,0 +1,154 @@
+#include "serve/event_loop.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace lion::serve {
+
+namespace {
+
+#ifdef __linux__
+
+class EpollPoller final : public Poller {
+ public:
+  explicit EpollPoller(int epfd) : epfd_(epfd) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool add(int fd, bool want_read) override {
+    epoll_event ev{};
+    ev.events = want_read ? (EPOLLIN | EPOLLRDHUP) : EPOLLRDHUP;
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  bool set_read_interest(int fd, bool want_read) override {
+    epoll_event ev{};
+    ev.events = want_read ? (EPOLLIN | EPOLLRDHUP) : EPOLLRDHUP;
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+
+  bool remove(int fd) override {
+    // Deleting an fd that was never added returns ENOENT; callers treat
+    // remove() as idempotent cleanup, so that is success here.
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) == 0) return true;
+    return errno == ENOENT || errno == EBADF;
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    epoll_event evs[256];
+    const int n = ::epoll_wait(epfd_, evs, 256, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & EPOLLIN) != 0;
+      e.hangup =
+          (evs[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+      out.push_back(e);
+    }
+    return n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  int epfd_ = -1;
+};
+
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  bool add(int fd, bool want_read) override {
+    if (index_.count(fd) != 0) return false;
+    index_[fd] = fds_.size();
+    pollfd p{};
+    p.fd = fd;
+    p.events = want_read ? POLLIN : 0;
+    fds_.push_back(p);
+    return true;
+  }
+
+  bool set_read_interest(int fd, bool want_read) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return false;
+    fds_[it->second].events = want_read ? POLLIN : 0;
+    return true;
+  }
+
+  bool remove(int fd) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return true;  // idempotent, like epoll DEL
+    const std::size_t pos = it->second;
+    const std::size_t last = fds_.size() - 1;
+    if (pos != last) {
+      fds_[pos] = fds_[last];
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+    index_.erase(it);
+    return true;
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    if (fds_.empty()) {
+      // Nothing registered: emulate the block so callers need no special
+      // case (bounded, so a stop wakeup via a registered pipe — which
+      // cannot exist here — is not required for liveness).
+      ::poll(nullptr, 0, timeout_ms < 0 ? 50 : timeout_ms);
+      return 0;
+    }
+    const int n = ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()),
+                         timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    if (n == 0) return 0;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & POLLIN) != 0;
+      e.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+    return static_cast<int>(out.size());
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;  ///< fd -> fds_ slot
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::create(bool force_poll, std::string& error) {
+#ifdef __linux__
+  if (!force_poll) {
+    const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd >= 0) return std::make_unique<EpollPoller>(epfd);
+    error = std::string("epoll_create1: ") + std::strerror(errno);
+    // Fall through: the poll() backend serves the same contract.
+  }
+#else
+  (void)force_poll;
+#endif
+  error.clear();
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace lion::serve

@@ -1,0 +1,66 @@
+// Readiness polling for the sharded socket front-end.
+//
+// One abstraction, two backends:
+//
+//   - EpollPoller (Linux): level-triggered epoll. O(ready) wakeups, which
+//     is what makes a 10k-idle-connection hold free — sleeping fds cost
+//     nothing per wait() call.
+//   - PollPoller (portable): poll(2) over the registered set. O(n) per
+//     wait, fine for tens of fds and for platforms without epoll (macOS,
+//     the BSDs — a kqueue backend would slot in here the same way, but
+//     poll() is the correctness fallback CI can actually exercise).
+//
+// Both backends are level-triggered on purpose: the server may stop
+// consuming a readable fd (shard-queue backpressure parks it), and a
+// level-triggered poller re-reports the fd when interest is re-enabled —
+// no edge can be lost. Only read interest is dynamic; writes go through
+// blocking send() on the shard threads, so the poller never watches for
+// writability.
+//
+// Not thread-safe: one front-end thread owns the poller. Cross-thread
+// wakeups go through a registered self-pipe fd, exactly like the old
+// accept loop's.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lion::serve {
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool hangup = false;  ///< peer closed / error — treat as EOF
+  };
+
+  virtual ~Poller() = default;
+
+  /// Register `fd` with read interest on/off. False on failure (errno
+  /// preserved). Registering twice is a caller bug.
+  virtual bool add(int fd, bool want_read) = 0;
+
+  /// Flip read interest for a registered fd (backpressure parking).
+  virtual bool set_read_interest(int fd, bool want_read) = 0;
+
+  /// Deregister before close(). Safe on fds that were never added.
+  virtual bool remove(int fd) = 0;
+
+  /// Block up to timeout_ms (-1 = forever) and append ready events to
+  /// `out` (cleared first). Returns the event count, 0 on timeout, -1 on
+  /// a non-EINTR error.
+  virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
+
+  /// Backend name for logs/telemetry ("epoll" or "poll").
+  virtual const char* name() const = 0;
+
+  /// Build the best backend for this platform, or the portable poll()
+  /// backend when `force_poll` is set (conformance tests run both).
+  /// nullptr (with a reason in `error`) when the backend cannot start.
+  static std::unique_ptr<Poller> create(bool force_poll, std::string& error);
+};
+
+}  // namespace lion::serve

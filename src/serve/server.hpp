@@ -4,30 +4,56 @@
 //
 //   - run_stdio(): one service over a byte stream pair — `lion_cli serve`
 //     piping stdin to stdout, and the unit tests driving istringstreams.
-//   - SocketServer: a TCP (127.0.0.1-style) or Unix-domain listener. Each
-//     accepted connection gets its *own* StreamService — an isolated
-//     session namespace and virtual clock — while all connections share
-//     one solver ThreadPool, so a chatty client cannot starve another of
-//     threads by name collisions, only by actual solve load.
+//   - SocketServer: a TCP (127.0.0.1-style) or Unix-domain listener built
+//     as a non-blocking event loop (serve/event_loop.hpp) in front of a
+//     fixed set of *ingest shards*.
 //
-// The server is deliberately thread-per-connection: the expected client
-// count is "a handful of reader gateways", not C10K, and blocking reads
-// keep the data path identical to the stdio one (same ingest_bytes calls,
-// same backpressure semantics through the socket's flow control).
+// Sharded ingest
+// --------------
+// One front-end thread owns the listener, every connection fd, and the
+// per-connection line splitter. It classifies each complete line with
+// parse_line() and routes it — by FNV-1a hash of the line's session id —
+// to one of `shards` ingest shards. Each shard is a single thread owning
+// one StreamService: its own session namespace slice, virtual clock,
+// sequence space, reorder buffer, and journal writers. All shards share
+// one solver ThreadPool.
+//
+// Because a session id hashes to exactly one shard, every line of a
+// session is handled by one single-threaded service in arrival order —
+// the per-session determinism contract of service.hpp carries over
+// unchanged for any shard count. `!stats` / `!healthz` / `!tick <n>`
+// lines fan out to every shard (each answers for its slice; responses
+// carry "shard"/"shards" fields when shards > 1). With `--shards 1` the
+// fan-out degenerates to shard 0 and the emitted byte stream is exactly
+// the pre-shard wire format.
+//
+// Backpressure
+// ------------
+// Shard ingest queues are bounded (shard_queue_limit lines). When a
+// connection's batch does not fit, the batch is parked on the connection
+// and its read interest is dropped — the kernel socket buffer, and then
+// the client's TCP window, absorb the stall. Only connections feeding
+// the full shard stall; traffic to other shards keeps flowing. Response
+// writes happen on the shard threads (blocking send), so a client that
+// stops reading stalls — at worst — the one shard its sessions live on.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/thread_pool.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/service.hpp"
+#include "serve/wire.hpp"
 
 namespace lion::serve {
 
@@ -37,15 +63,37 @@ namespace lion::serve {
 std::uint64_t run_stdio(const ServiceConfig& config, std::istream& in,
                         std::ostream& out);
 
+/// Stable shard routing hash (FNV-1a 64). Exposed so tests can pin the
+/// id -> shard mapping across releases: journaled sessions must restore
+/// onto the same shard after a restart.
+std::uint64_t shard_hash(std::string_view session_id);
+
 struct ServerConfig {
-  ServiceConfig service;      ///< per-connection service settings
+  ServiceConfig service;      ///< per-shard service settings
   std::string unix_path;      ///< non-empty: listen on this Unix socket
   std::string tcp_host = "127.0.0.1";
   int tcp_port = -1;          ///< >= 0: listen on TCP (0 = ephemeral)
   std::size_t max_connections = 64;
+  /// Ingest shards (service instances). 1 = the conformance-mode single
+  /// pipeline; response bytes are then identical to the pre-shard server.
+  std::size_t shards = 1;
+  /// listen(2) backlog. A fleet connecting en masse overflows a small
+  /// backlog into client-visible connect timeouts, so the default is
+  /// sized for burst accepts, not the old implicit 16.
+  int backlog = 1024;
+  /// TCP only: SO_REUSEPORT on the listener, so an external supervisor
+  /// can run several server processes behind one port.
+  bool reuseport = false;
+  /// Per-shard ingest queue bound, in wire lines. A connection whose
+  /// batch would overflow the target shard is parked (read interest off)
+  /// until the shard drains.
+  std::size_t shard_queue_limit = 16384;
+  /// Use the portable poll() backend even where epoll is available
+  /// (conformance tests run both).
+  bool force_poll = false;
 };
 
-/// Blocking-accept socket server; one of unix_path / tcp_port selects the
+/// Event-loop socket server; one of unix_path / tcp_port selects the
 /// listener (unix_path wins when both are set).
 class SocketServer {
  public:
@@ -55,63 +103,170 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Bind + listen + spawn the accept thread. False (with a reason in
-  /// `error`) on any socket failure; the server is then inert.
+  /// Bind + listen + spawn the front-end and shard threads. False (with a
+  /// reason in `error`) on any socket failure; the server is then inert.
   bool start(std::string& error);
 
   /// Actual bound TCP port (after an ephemeral bind), or -1 for Unix.
   int port() const { return port_; }
 
-  /// Close the listener, wake every connection, join all threads. Safe to
-  /// call twice. In-flight solves finish and responses flush first.
+  /// Close the listener, drain every connection (EOF semantics: splitter
+  /// tails flush, in-flight solves finish, responses flush), join all
+  /// threads. Safe to call twice.
   void stop();
 
   /// Graceful drain with a deadline: stop accepting, half-close every
-  /// connection (the client sees EOF and its responses still flush), and
-  /// wait up to `timeout_s` seconds for the handlers to finish. Returns
-  /// true on a clean drain. On deadline the stragglers are detached and
-  /// their Connection records and the shared pool are deliberately leaked
-  /// (they are still in use by live threads) — the caller is expected to
-  /// exit the process without running static destructors. timeout_s < 0
-  /// waits forever (== stop()).
+  /// connection, and wait up to `timeout_s` seconds for the drain.
+  /// Returns true on a clean drain. On deadline the front-end and shard
+  /// threads are detached and the shard services, pool, and connection
+  /// records are deliberately leaked (still in use by live threads) — the
+  /// caller is expected to exit the process without running static
+  /// destructors. timeout_s < 0 waits forever (== stop()).
   bool stop_with_timeout(double timeout_s);
 
   std::uint64_t connections_served() const {
     return connections_served_.load(std::memory_order_relaxed);
   }
 
-  /// Telemetry snapshot of every live connection's service (scrape
-  /// endpoint fodder). Each handler publishes its stack-owned service
-  /// pointer under mu_ for exactly its lifetime, so the walk is safe to
-  /// run concurrently with connects/disconnects.
+  /// Connections currently live (accepted, not yet torn down).
+  std::uint64_t live_connections() const {
+    return live_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Readiness backend actually in use ("epoll" or "poll"); empty before
+  /// start().
+  std::string poller_name() const;
+
+  /// Telemetry snapshot: one entry per ingest shard (shard identity and
+  /// queue gauges filled in). Safe to call concurrently with traffic, but
+  /// it takes each shard service's lock — a shard wedged in a blocking
+  /// send to a slow consumer blocks the snapshot until that client reads
+  /// (or vanishes). Use shard_gauges() where that would be fatal.
   std::vector<ServiceTelemetry> telemetry() const;
 
+  /// Per-shard ingest-queue gauges from the lock-free atomic mirrors.
+  /// Never blocks — in particular not on a shard stalled by backpressure,
+  /// which is precisely when the queue depths are worth scraping.
+  std::vector<ShardGauges> shard_gauges() const;
+
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-    StreamService* service = nullptr;  ///< guarded by SocketServer::mu_
+  /// One queued unit of shard work. kLines carries a newline-joined batch
+  /// of complete wire lines from one connection (split back with `count`);
+  /// kOversized reports splitter-dropped lines; kEoc is the connection's
+  /// end-of-stream marker (fan-out: every shard releases the origin and
+  /// acks back to the front-end).
+  struct ShardItem {
+    enum Kind { kLines, kOversized, kEoc } kind = kLines;
+    std::uint64_t origin = 0;
+    std::string blob;
+    std::size_t count = 0;  ///< kLines: lines in blob; kOversized: drops
   };
 
-  void accept_loop();
-  void serve_connection(Connection& conn);
-  void reap_finished_locked();
-  void wake();  ///< rouse the accept loop (self-pipe)
+  /// The shard thread's response path: origin -> writer lookup happens
+  /// under sinks_mu_, the send itself under the writer's own mutex — so a
+  /// blocked send (client not reading) stalls only that shard thread,
+  /// never the lookup path of other shards.
+  struct ConnWriter {
+    int fd = -1;
+    std::mutex mu;
+  };
+
+  struct Shard {
+    std::unique_ptr<StreamService> service;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<ShardItem> items;
+    std::size_t queued_lines = 0;  ///< kLines totals only; guarded by mu
+    bool stopped = false;
+    /// Lock-free mirrors for telemetry/healthz gauges.
+    std::atomic<std::uint64_t> depth{0};
+    std::atomic<std::uint64_t> hwm{0};
+    std::atomic<std::uint64_t> stalls{0};
+  };
+
+  /// Front-end-thread-only connection state.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t origin = 0;
+    ChunkDecoder decoder;
+    /// Routing mirror of the service-side "current session": set
+    /// optimistically on `!session`, cleared on `!close`, set to
+    /// "default" when a bare data line auto-opens the implicit session.
+    std::string mirror;
+    /// Batches that did not fit their shard queue, in delivery order.
+    std::deque<std::pair<std::size_t, ShardItem>> parked;
+    bool eof = false;           ///< read side done (splitter tail flushed)
+    bool eoc_sent = false;      ///< kEoc fanned out to every shard
+    std::size_t acks_pending = 0;
+    std::shared_ptr<ConnWriter> writer;
+
+    explicit Conn(std::size_t max_line_bytes) : decoder(max_line_bytes) {}
+  };
+
+  bool open_listener(std::string& error);
+  void front_loop();
+  void shard_loop(std::size_t index);
+  void wake();  ///< rouse the front-end (self-pipe)
+
+  // Front-end helpers (front-end thread only).
+  void accept_ready();
+  void read_ready(Conn& conn);
+  void route_lines(Conn& conn, const ChunkDecoder::Lines& lines);
+  /// Classify one complete wire line and pick its target shard (or set
+  /// `broadcast`). Allocation-free for the hot paths (bare CSV rows, `@`
+  /// routes, control lines); mirrors parse_line()'s classification so a
+  /// line and its responses land on the shard that owns its session.
+  /// Updates the connection's routing mirror for `!session` / `!close` /
+  /// implicit-default lines.
+  std::size_t route_of(Conn& conn, std::string_view line, bool& broadcast);
+  /// Moves from `item` only on success (the caller parks it otherwise).
+  bool try_push(std::size_t shard, ShardItem& item);
+  void push_or_park(Conn& conn, std::size_t shard, ShardItem item);
+  void retry_parked();
+  void send_eoc(Conn& conn);
+  void on_conn_eof(Conn& conn);
+  void finalize_acked();
 
   ServerConfig cfg_;
   int listen_fd_ = -1;
   int port_ = -1;
-  /// Self-pipe: finished connections write one byte so the accept loop
-  /// wakes to reap them immediately instead of polling on a timer.
+  bool listener_unix_ = false;
+  /// Self-pipe: shard threads write one byte so the front-end wakes to
+  /// collect EOC acks and to retry parked batches after a drain.
   int wake_fds_[2] = {-1, -1};
   std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> abandon_{false};
   std::atomic<std::uint64_t> connections_served_{0};
-  std::thread accept_thread_;
-  mutable std::mutex mu_;  ///< also taken by const telemetry walks
-  std::condition_variable drain_cv_;  ///< signaled as handlers finish
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<std::uint64_t> live_connections_{0};
+  /// Nonzero while any connection has parked batches: shard threads poke
+  /// the self-pipe after draining work so the front-end retries promptly.
+  std::atomic<std::size_t> parked_conns_{0};
+
+  std::unique_ptr<Poller> poller_;  ///< front-end thread only after start
+  std::thread front_thread_;
+  /// Guards the shards_ vector itself (created in start(), cleared after
+  /// the shard threads join); the Shard contents have their own locks.
+  mutable std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<engine::ThreadPool> pool_;  ///< shared solver pool
+
+  /// fd -> connection and origin -> fd; front-end thread only.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<std::uint64_t, int> origin_fds_;
+  std::uint64_t next_origin_ = 1;  ///< 0 is the stdio/anonymous origin
+
+  mutable std::mutex sinks_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ConnWriter>> sinks_;
+
+  std::mutex ack_mu_;
+  std::vector<std::uint64_t> acked_origins_;  ///< EOC acks from shards
+
+  /// Front-end completion handshake for stop_with_timeout().
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool front_done_ = false;
 };
 
 }  // namespace lion::serve

@@ -15,10 +15,27 @@
 
 namespace lion::serve {
 
+namespace {
+
+/// Adapt a plain Sink to the origin-routing form (origins discarded).
+StreamService::RoutedSink route_plain(StreamService::Sink sink) {
+  if (!sink) return StreamService::RoutedSink{};
+  return [sink = std::move(sink)](std::string_view line, std::uint64_t) {
+    sink(line);
+  };
+}
+
+}  // namespace
+
 StreamService::StreamService(ServiceConfig config, Sink sink)
-    : StreamService(std::move(config), std::move(sink), nullptr) {}
+    : StreamService(std::move(config), route_plain(std::move(sink)),
+                    nullptr) {}
 
 StreamService::StreamService(ServiceConfig config, Sink sink,
+                             engine::ThreadPool* pool)
+    : StreamService(std::move(config), route_plain(std::move(sink)), pool) {}
+
+StreamService::StreamService(ServiceConfig config, RoutedSink sink,
                              engine::ThreadPool* pool)
     : cfg_(std::move(config)),
       sink_(std::move(sink)),
@@ -71,11 +88,12 @@ double StreamService::uptime_s() const {
 
 std::uint64_t StreamService::reserve_seq() { return next_seq_++; }
 
-void StreamService::emit(std::uint64_t seq, std::string line) {
+void StreamService::emit(std::uint64_t seq, std::string line,
+                         std::uint64_t origin) {
   LION_OBS_SPAN(obs::Stage::kEmit);
   const std::uint64_t arrival = obs::trace_now_ns();
   std::lock_guard<std::mutex> lock(emit_mu_);
-  emit_buffer_.emplace(seq, PendingEmit{std::move(line), arrival});
+  emit_buffer_.emplace(seq, PendingEmit{std::move(line), arrival, origin});
   reorder_hwm_ = std::max<std::uint64_t>(reorder_hwm_, emit_buffer_.size());
   auto it = emit_buffer_.begin();
   while (it != emit_buffer_.end() && it->first == emit_next_) {
@@ -93,7 +111,7 @@ void StreamService::emit(std::uint64_t seq, std::string line) {
                          obs::trace_thread_id(), it->second.arrival_ns, held,
                          it->first, true});
     }
-    if (sink_) sink_(it->second.line);
+    if (sink_) sink_(it->second.line, it->second.origin);
     it = emit_buffer_.erase(it);
     ++emit_next_;
   }
@@ -109,7 +127,23 @@ void StreamService::emit_error(const std::string& session,
   const auto it = sessions_.find(session);
   if (it != sessions_.end()) ++it->second.request_errors;
   const std::uint64_t seq = reserve_seq();
-  emit(seq, error_response(session, seq, code, detail));
+  emit(seq, error_response(session, seq, code, detail), current_origin_);
+}
+
+const std::string& StreamService::current_of(std::uint64_t origin) const {
+  static const std::string kNone;
+  const auto it = currents_.find(origin);
+  return it == currents_.end() ? kNone : it->second;
+}
+
+void StreamService::clear_current(const std::string& id) {
+  for (auto it = currents_.begin(); it != currents_.end();) {
+    if (it->second == id) {
+      it = currents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void StreamService::record_span(StreamSession& session, std::uint64_t trace_id,
@@ -155,8 +189,13 @@ void StreamService::ingest_bytes(std::string_view bytes) {
 }
 
 void StreamService::report_oversized(std::size_t count) {
+  report_oversized(count, 0);
+}
+
+void StreamService::report_oversized(std::size_t count, std::uint64_t origin) {
   if (count == 0) return;
   std::unique_lock<std::mutex> lock(mu_);
+  current_origin_ = origin;
   stats_.oversized += count;
   LION_OBS_COUNT("serve.oversized", count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -166,12 +205,17 @@ void StreamService::report_oversized(std::size_t count) {
 }
 
 void StreamService::ingest_line(std::string_view line) {
-  LION_OBS_SPAN(obs::Stage::kIngest);
-  handle_line(parse_line(line));
+  ingest_line(line, 0);
 }
 
-void StreamService::handle_line(const ParsedLine& line) {
+void StreamService::ingest_line(std::string_view line, std::uint64_t origin) {
+  LION_OBS_SPAN(obs::Stage::kIngest);
+  handle_line(parse_line(line), origin);
+}
+
+void StreamService::handle_line(const ParsedLine& line, std::uint64_t origin) {
   std::unique_lock<std::mutex> lock(mu_);
+  current_origin_ = origin;
   ++stats_.lines;
   ++clock_ticks_;  // the virtual clock: one tick per wire line
   ++next_trace_id_;  // trace id of this line = current_trace_id()
@@ -180,7 +224,8 @@ void StreamService::handle_line(const ParsedLine& line) {
     case ParsedLine::kComment:
       break;
     case ParsedLine::kError:
-      emit_error(line.session.empty() ? current_session_ : line.session,
+      emit_error(line.session.empty() ? current_of(current_origin_)
+                                      : line.session,
                  "parse_error", line.error, true);
       break;
     case ParsedLine::kSession:
@@ -240,6 +285,7 @@ void StreamService::handle_session_declare(std::unique_lock<std::mutex>& lock,
   session.id = id;
   session.config = config;
   session.last_active = clock_ticks_;
+  session.owner = current_origin_;
   if (config.mode == SessionMode::kTrack) {
     // Built before any journal replay so restored samples feed it too. A
     // construction failure (degenerate geometry the declare validation
@@ -267,7 +313,7 @@ void StreamService::handle_session_declare(std::unique_lock<std::mutex>& lock,
   const bool torn = restored && restored->torn;
   const bool was_restored = restored.has_value();
   sessions_.emplace(id, std::move(session));
-  current_session_ = id;  // fresh declares are silent on success
+  currents_[current_origin_] = id;  // fresh declares are silent on success
   if (was_restored) {
     emit_oob(restore_response(id, records, samples, flushes, torn));
   }
@@ -461,7 +507,8 @@ void StreamService::journal_append(StreamSession& session,
 void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
                                 const ParsedLine& line) {
   const std::uint64_t demux_start = obs::trace_now_ns();
-  std::string id = line.session.empty() ? current_session_ : line.session;
+  std::string id =
+      line.session.empty() ? current_of(current_origin_) : line.session;
   if (id.empty()) {
     if (!cfg_.implicit_center) {
       emit_error("", "unknown_session",
@@ -482,7 +529,7 @@ void StreamService::handle_data(std::unique_lock<std::mutex>& lock,
       handle_session_declare(lock, declare);
       if (sessions_.count(id) == 0) return;  // journal conflict etc.
     }
-    current_session_ = id;
+    currents_[current_origin_] = id;
   }
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
@@ -690,7 +737,8 @@ void StreamService::handle_pose_tick(std::unique_lock<std::mutex>& lock,
     fix.mean_residual = tr.rms;
     fix.valid = true;
     emit(seq, tick_response(id, seq, tick_index, fix, tr.rows,
-                            "incremental"));
+                            "incremental"),
+         current_origin_);
     journal_append(session, JournalRecordType::kPoseTick, "");
     return;
   }
@@ -735,7 +783,7 @@ void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
   const bool flushed = handle_flush(lock, id);  // close == final flush...
   const auto again = sessions_.find(id);
   if (again == sessions_.end()) {
-    if (current_session_ == id) current_session_.clear();
+    clear_current(id);
     cv_.notify_all();
     return;
   }
@@ -752,7 +800,7 @@ void StreamService::handle_close(std::unique_lock<std::mutex>& lock,
     cfg_.journal->remove(id);
   }
   sessions_.erase(again);  // ...+ eviction, only once the flush is in flight
-  if (current_session_ == id) current_session_.clear();
+  clear_current(id);
   cv_.notify_all();  // wake any producer blocked on this session's slots
 }
 
@@ -777,6 +825,7 @@ void StreamService::schedule(std::unique_lock<std::mutex>& lock,
                              SolveRequest request) {
   (void)lock;  // held: seq reservation below is what orders responses
   request.seq = reserve_seq();
+  request.origin = current_origin_;
   request.enqueue_time = now();
   request.enqueue_ns = obs::trace_now_ns();
   request.trace_id = current_trace_id();
@@ -856,7 +905,7 @@ void StreamService::run_request(SolveRequest& request) {
   }
   const std::uint64_t solve_end = obs::trace_now_ns();
   try {
-    emit(request.seq, std::move(response));
+    emit(request.seq, std::move(response), request.origin);
   } catch (...) {
     // A throwing sink leaves the entry buffered; the next emit retries
     // releasing it. Swallow so the accounting below still runs.
@@ -914,7 +963,14 @@ void StreamService::evict_idle(std::unique_lock<std::mutex>& lock) {
   std::sort(expired.begin(), expired.end());
   for (const auto& [tick, id] : expired) {
     const std::uint64_t seq = reserve_seq();
-    emit(seq, event_response(seq, "evict", id, tick));
+    // The eviction notice goes to the connection that owns the session,
+    // which need not be the one whose line triggered the sweep.
+    std::uint64_t owner = current_origin_;
+    {
+      const auto it = sessions_.find(id);
+      if (it != sessions_.end()) owner = it->second.owner;
+    }
+    emit(seq, event_response(seq, "evict", id, tick), owner);
     event(obs::Severity::kInfo, "evict", id,
           "session evicted after idle_ttl_ticks", tick);
     if (cfg_.journal != nullptr) {
@@ -923,7 +979,7 @@ void StreamService::evict_idle(std::unique_lock<std::mutex>& lock) {
       cfg_.journal->remove(id);
     }
     sessions_.erase(id);
-    if (current_session_ == id) current_session_.clear();
+    clear_current(id);
     ++stats_.evictions;
     LION_OBS_COUNT("serve.evictions", 1);
   }
@@ -955,8 +1011,15 @@ void StreamService::emit_stats_response() {
   field("pose_ticks", stats_.pose_ticks);
   field("tick_fallbacks", stats_.tick_fallbacks);
   field("ticks", clock_ticks_);
+  if (cfg_.shard_count > 1) {
+    // Sharded servers answer !stats once per shard; the annotation lets a
+    // client aggregate the set (and tells it how many lines to expect).
+    // Absent with one shard so the single-shard byte stream is unchanged.
+    field("shard", cfg_.shard_index);
+    field("shards", cfg_.shard_count);
+  }
   out.push_back('}');
-  emit(seq, std::move(out));
+  emit(seq, std::move(out), current_origin_);
 }
 
 void StreamService::emit_trace_response(const std::string& id) {
@@ -982,7 +1045,7 @@ void StreamService::emit_oob(const std::string& line) {
   // line carries no seq, so it slots between whatever the reorder buffer
   // has released — fine for ops-plane diagnostics.
   std::lock_guard<std::mutex> lock(emit_mu_);
-  if (sink_) sink_(line);
+  if (sink_) sink_(line, current_origin_);
 }
 
 void StreamService::emit_health_response() {
@@ -1044,8 +1107,43 @@ void StreamService::emit_health_response() {
     std::lock_guard<std::mutex> emit_lock(emit_mu_);
     field("reorder_depth_hwm", reorder_hwm_);
   }
+  if (cfg_.shard_count > 1) {
+    // Per-shard ops view: which shard answered, and how deep its ingest
+    // queue is right now / has ever been. Absent with one shard so the
+    // single-shard byte stream is unchanged.
+    field("shard", cfg_.shard_index);
+    field("shards", cfg_.shard_count);
+    field("queue_depth", cfg_.queue_depth ? cfg_.queue_depth() : 0);
+    field("queue_hwm", cfg_.queue_hwm ? cfg_.queue_hwm() : 0);
+    field("queue_stalls", cfg_.queue_stalls ? cfg_.queue_stalls() : 0);
+  }
   out.push_back('}');
   emit_oob(out);
+}
+
+void StreamService::release_origin(std::uint64_t origin) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // run_request emits before it decrements outstanding_, so quiescence
+  // here means every sequenced response for this origin has already been
+  // handed to the sink — nothing can route to the freed connection later.
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.owner != origin) {
+      ++it;
+      continue;
+    }
+    // Same contract as ~StreamService's detach: sync + release so a later
+    // connection (or process) can re-claim the session. The journal file
+    // is kept — EOF is teardown, not `!close`.
+    if (it->second.journal) {
+      it->second.journal->sync();
+      it->second.journal.reset();
+    }
+    if (cfg_.journal != nullptr) cfg_.journal->detach(it->first);
+    it = sessions_.erase(it);
+  }
+  currents_.erase(origin);
+  cv_.notify_all();  // wake producers blocked on released sessions' slots
 }
 
 void StreamService::finish() {
@@ -1091,6 +1189,11 @@ ServiceTelemetry StreamService::telemetry() const {
   out.stats.sessions = sessions_.size();
   out.stats.ticks = clock_ticks_;
   out.uptime_s = uptime_s();
+  out.shard = cfg_.shard_index;
+  out.shards = cfg_.shard_count;
+  out.queue_depth = cfg_.queue_depth ? cfg_.queue_depth() : 0;
+  out.queue_hwm = cfg_.queue_hwm ? cfg_.queue_hwm() : 0;
+  out.queue_stalls = cfg_.queue_stalls ? cfg_.queue_stalls() : 0;
   for (const auto& [id, session] : sessions_) {
     SessionTelemetry st;
     st.id = id;

@@ -135,6 +135,19 @@ struct ServiceConfig {
   /// Requests whose queue-wait + solve exceeds this emit a "slow_request"
   /// event; 0 disables the check.
   double slow_request_s = 0.0;
+  /// Shard identity when this service is one ingest shard of a sharded
+  /// socket server. With shard_count > 1, `!stats` and `!healthz`
+  /// responses carry `"shard"`/`"shards"` fields (so clients can count
+  /// per-shard barriers); with the default single-shard configuration the
+  /// response bytes are exactly the pre-shard wire format.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Shard ingest-queue gauges, injected by the socket server so `!healthz`
+  /// and the telemetry snapshot can report queue depth/high-water/stall
+  /// counts without the service knowing about the queue. May be null.
+  std::function<std::uint64_t()> queue_depth;
+  std::function<std::uint64_t()> queue_hwm;
+  std::function<std::uint64_t()> queue_stalls;
 };
 
 /// Ingest/serve counters (snapshot; also exported as obs counters).
@@ -179,7 +192,26 @@ struct ServiceTelemetry {
   std::uint64_t reorder_hwm = 0;     ///< reorder-buffer depth high water
   std::uint64_t journal_lag = 0;     ///< appended-not-fsynced records
   std::uint64_t journal_degraded = 0;
+  /// Shard identity and ingest-queue gauges (sharded socket server; zero
+  /// and 1 for plain stdio/per-test services).
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_hwm = 0;
+  std::uint64_t queue_stalls = 0;
   std::vector<SessionTelemetry> sessions;  ///< id-sorted (map order)
+};
+
+/// Per-shard ingest-queue gauges, readable without touching any service
+/// lock. A shard thread wedged in a blocking send to a slow consumer
+/// holds its service's mutex — which is exactly when the queue gauges
+/// matter, so the scrape/telemetry path reads these atomic mirrors
+/// instead of the full ServiceTelemetry snapshot.
+struct ShardGauges {
+  std::size_t shard = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_hwm = 0;
+  std::uint64_t queue_stalls = 0;
 };
 
 class StreamService {
@@ -188,12 +220,23 @@ class StreamService {
   /// order, serialized — never concurrently. Must not call back into the
   /// service.
   using Sink = std::function<void(std::string_view line)>;
+  /// Origin-routing sink: `origin` is the ingest_line() origin token of
+  /// the wire line that triggered the response (eviction notices use the
+  /// evicted session's declaring origin). The sharded socket server maps
+  /// origins back to connections; the plain Sink form discards them.
+  using RoutedSink =
+      std::function<void(std::string_view line, std::uint64_t origin)>;
 
   StreamService(ServiceConfig config, Sink sink);
   /// Same, scheduling on a caller-owned pool (shared across services —
-  /// the socket server gives every connection its own session namespace
+  /// the socket server gives every ingest shard its own session namespace
   /// on one pool). The pool must outlive this service.
   StreamService(ServiceConfig config, Sink sink, engine::ThreadPool* pool);
+  /// Origin-routing form: one service multiplexing many connections (an
+  /// ingest shard). Response routing and per-connection "current session"
+  /// state key off the origin tokens passed to ingest_line().
+  StreamService(ServiceConfig config, RoutedSink sink,
+                engine::ThreadPool* pool);
   ~StreamService();  ///< drains in-flight solves
 
   StreamService(const StreamService&) = delete;
@@ -206,6 +249,26 @@ class StreamService {
   /// Feed one complete line (newline already stripped). Thread-safe: the
   /// concurrency suite drives N producer threads through this.
   void ingest_line(std::string_view line);
+
+  /// Same, tagged with the connection origin the line came from. Sessions
+  /// declared by this line are owned by `origin`; responses it triggers
+  /// route back to it (RoutedSink). Origin 0 is the anonymous/stdio
+  /// origin the untagged overload uses.
+  void ingest_line(std::string_view line, std::uint64_t origin);
+
+  /// Connection teardown without `!close`: wait for full quiescence, then
+  /// drop every session owned by `origin` — journals are synced and
+  /// detached (files kept, so a later declare restores), buffers are
+  /// discarded, nothing is emitted. Mirrors what destroying the old
+  /// per-connection service did, scoped to one origin. After this returns
+  /// no response can route to `origin` again (quiescence ⇒ the reorder
+  /// buffer has released every sequenced line).
+  void release_origin(std::uint64_t origin);
+
+  /// Emit the oversized-line error responses the transport's own line
+  /// splitter detected (the sharded front-end splits lines before the
+  /// service sees bytes). Routed to `origin`.
+  void report_oversized(std::size_t count, std::uint64_t origin);
 
   /// End of stream: flush the chunk decoder's trailing partial line and
   /// block until every scheduled solve has emitted its response.
@@ -235,12 +298,13 @@ class StreamService {
     double enqueue_time = 0.0;
     std::uint64_t trace_id = 0;    ///< the ingest line that scheduled this
     std::uint64_t enqueue_ns = 0;  ///< trace clock at schedule() time
+    std::uint64_t origin = 0;      ///< connection the response routes to
   };
 
   // The handle_* / accept_sample / schedule family runs on the ingest
   // thread with `lock` holding mu_; paths that can block (backpressure)
   // release and reacquire it, so session references never survive a call.
-  void handle_line(const ParsedLine& line);
+  void handle_line(const ParsedLine& line, std::uint64_t origin);
   void handle_session_declare(std::unique_lock<std::mutex>& lock,
                               const ParsedLine& line);
   void handle_data(std::unique_lock<std::mutex>& lock, const ParsedLine& line);
@@ -257,7 +321,7 @@ class StreamService {
   void emit_trace_response(const std::string& id);
   void accept_sample(std::unique_lock<std::mutex>& lock, const std::string& id,
                      const sim::PhaseSample& sample);
-  void report_oversized(std::size_t count);
+  void report_oversized(std::size_t count);  ///< origin-0 decoder path
   /// Reserve-or-reject at the in-flight cap; returns false when the
   /// request was rejected (busy) or the session vanished while blocked.
   bool wait_for_slot(std::unique_lock<std::mutex>& lock,
@@ -266,9 +330,14 @@ class StreamService {
   void run_request(SolveRequest& request);
   void evict_idle(std::unique_lock<std::mutex>& lock);
   std::uint64_t reserve_seq();  ///< callers hold mu_
-  void emit(std::uint64_t seq, std::string line);
+  void emit(std::uint64_t seq, std::string line, std::uint64_t origin);
   void emit_error(const std::string& session, const std::string& code,
                   const std::string& detail, bool parse_error);
+  /// The "current session" of one origin ("" when none); callers hold mu_.
+  const std::string& current_of(std::uint64_t origin) const;
+  /// Drop every origin's current-session pointer equal to `id` (the
+  /// session was closed or evicted); callers hold mu_.
+  void clear_current(const std::string& id);
   /// Sequence-free ops-plane line: serialized over the sink but outside
   /// the reorder buffer (restore acks, healthz snapshots).
   void emit_oob(const std::string& line);
@@ -328,12 +397,17 @@ class StreamService {
   void detach_journals();
 
   ServiceConfig cfg_;
-  Sink sink_;
+  RoutedSink sink_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< backpressure slots + drain
   std::map<std::string, StreamSession> sessions_;
-  std::string current_session_;
+  /// Per-origin "current session" (bare data lines route here). The old
+  /// single current_session_ is currents_[0] — the stdio/test origin.
+  std::map<std::uint64_t, std::string> currents_;
+  /// Origin of the wire line being handled; guarded by mu_ (set right
+  /// after handle_line locks it).
+  std::uint64_t current_origin_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t clock_ticks_ = 0;
   std::size_t outstanding_ = 0;  ///< scheduled solves not yet emitted
@@ -355,6 +429,7 @@ class StreamService {
   struct PendingEmit {
     std::string line;
     std::uint64_t arrival_ns = 0;
+    std::uint64_t origin = 0;
   };
   std::map<std::uint64_t, PendingEmit> emit_buffer_;
   std::uint64_t reorder_hwm_ = 0;  ///< guarded by emit_mu_

@@ -84,6 +84,9 @@ struct StreamSession {
 
   std::uint64_t last_active = 0;  ///< virtual-clock tick of last traffic
   std::size_t in_flight = 0;      ///< solve requests scheduled, not done
+  /// Origin token of the connection whose declare created (or restored)
+  /// this session; its teardown (release_origin) drops the session.
+  std::uint64_t owner = 0;
   std::uint64_t samples_accepted = 0;
   std::uint64_t windows_scheduled = 0;
   std::uint64_t flushes = 0;

@@ -100,7 +100,9 @@ void append_session_counter(
 }  // namespace
 
 std::string render_metrics_body(const std::vector<ServiceTelemetry>& services,
-                                const obs::EventLog* events) {
+                                const obs::EventLog* events,
+                                const std::vector<ShardGauges>& shards,
+                                std::int64_t connections) {
   // 1. The process-wide registry (stage histograms, serve.* counters).
   std::string out =
       obs::prometheus_render(obs::MetricsRegistry::instance().snapshot());
@@ -127,8 +129,43 @@ std::string render_metrics_body(const std::vector<ServiceTelemetry>& services,
   }
   obs::append_prometheus_sample(out, "lion_serve_live_sessions", "", sessions,
                                 "gauge");
-  obs::append_prometheus_sample(out, "lion_serve_connections", "",
-                                static_cast<double>(services.size()), "gauge");
+  obs::append_prometheus_sample(
+      out, "lion_serve_connections", "",
+      static_cast<double>(connections >= 0
+                              ? connections
+                              : static_cast<std::int64_t>(services.size())),
+      "gauge");
+  if (!shards.empty()) {
+    // Per-shard ingest-queue series, from the lock-free gauge mirrors: a
+    // shard wedged by a slow consumer still reports its depth here.
+    const auto shard_label = [](const ShardGauges& g) {
+      return "shard=\"" + std::to_string(g.shard) + "\"";
+    };
+    bool first = true;
+    for (const ShardGauges& g : shards) {
+      obs::append_prometheus_sample(out, "lion_shard_queue_depth",
+                                    shard_label(g),
+                                    static_cast<double>(g.queue_depth),
+                                    first ? "gauge" : "");
+      first = false;
+    }
+    first = true;
+    for (const ShardGauges& g : shards) {
+      obs::append_prometheus_sample(out, "lion_shard_queue_hwm",
+                                    shard_label(g),
+                                    static_cast<double>(g.queue_hwm),
+                                    first ? "gauge" : "");
+      first = false;
+    }
+    first = true;
+    for (const ShardGauges& g : shards) {
+      obs::append_prometheus_sample(out, "lion_shard_queue_stalls_total",
+                                    shard_label(g),
+                                    static_cast<double>(g.queue_stalls),
+                                    first ? "counter" : "");
+      first = false;
+    }
+  }
   obs::append_prometheus_sample(out, "lion_serve_reorder_depth_hwm", "",
                                 reorder_hwm, "gauge");
   obs::append_prometheus_sample(out, "lion_serve_journal_lag_records", "",
@@ -347,9 +384,14 @@ void TelemetryServer::handle_client(int fd) {
   if (path == "/metrics") {
     std::vector<ServiceTelemetry> services;
     if (cfg_.collect) services = cfg_.collect();
+    std::vector<ShardGauges> shards;
+    if (cfg_.shard_gauges) shards = cfg_.shard_gauges();
+    const std::int64_t connections =
+        cfg_.connections ? static_cast<std::int64_t>(cfg_.connections()) : -1;
     send_response(fd, "200 OK",
                   "text/plain; version=0.0.4; charset=utf-8",
-                  render_metrics_body(services, cfg_.events));
+                  render_metrics_body(services, cfg_.events, shards,
+                                      connections));
     return;
   }
   if (path == "/healthz") {
@@ -367,7 +409,9 @@ void TelemetryServer::handle_client(int fd) {
     std::string body = "{\"status\":\"ok\",\"uptime_s\":";
     obs::append_json_number(body, uptime);
     body += ",\"connections\":";
-    body += std::to_string(services.size());
+    body += std::to_string(cfg_.connections
+                               ? cfg_.connections()
+                               : static_cast<std::uint64_t>(services.size()));
     body += ",\"sessions\":";
     body += std::to_string(sessions);
     body += "}\n";

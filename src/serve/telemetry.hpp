@@ -35,17 +35,28 @@ namespace lion::serve {
 struct TelemetryConfig {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = ephemeral (port() reports the bound one)
-  /// Snapshots of every live service (one per connection). Called per
+  /// Snapshots of every live service (one per ingest shard). Called per
   /// scrape, off the ingest threads; may be empty/null.
   std::function<std::vector<ServiceTelemetry>()> collect;
+  /// Lock-free per-shard queue gauges (SocketServer::shard_gauges). Kept
+  /// separate from collect: these stay scrapeable even while a shard
+  /// thread is wedged sending to a slow consumer. May be null.
+  std::function<std::vector<ShardGauges>()> shard_gauges;
+  /// Live transport connections (SocketServer::live_connections). The
+  /// collect() entry count stopped meaning "connections" when services
+  /// became per-shard. Null = fall back to the collect() entry count.
+  std::function<std::uint64_t()> connections;
   /// Event log to export emission counters from; may be nullptr.
   obs::EventLog* events = nullptr;
 };
 
 /// Render the scrape body (exposed for tests: the exact bytes /metrics
-/// serves, minus HTTP framing).
+/// serves, minus HTTP framing). `connections` < 0 falls back to
+/// services.size() — the pre-shard "one service per connection" layout.
 std::string render_metrics_body(
-    const std::vector<ServiceTelemetry>& services, const obs::EventLog* events);
+    const std::vector<ServiceTelemetry>& services, const obs::EventLog* events,
+    const std::vector<ShardGauges>& shards = {},
+    std::int64_t connections = -1);
 
 class TelemetryServer {
  public:

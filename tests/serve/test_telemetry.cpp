@@ -235,6 +235,42 @@ TEST(Telemetry, RenderMetricsBodyExposesSessionSeries) {
   }
 }
 
+// Sharded serving: the connection gauge comes from the transport (one
+// service entry per *shard* no longer means one per connection), and the
+// per-shard queue series render from the lock-free gauge mirrors.
+TEST(Telemetry, RenderMetricsBodyExposesShardQueueSeries) {
+  ObsFlagsGuard guard;
+  obs::set_metrics_enabled(true);
+  std::vector<serve::ShardGauges> shards(2);
+  shards[0].shard = 0;
+  shards[0].queue_depth = 5;
+  shards[0].queue_hwm = 9;
+  shards[0].queue_stalls = 2;
+  shards[1].shard = 1;
+  shards[1].queue_hwm = 3;
+  const std::string body =
+      serve::render_metrics_body({}, nullptr, shards, 7);
+  EXPECT_NE(body.find("lion_serve_connections 7"), std::string::npos);
+  EXPECT_NE(body.find("lion_shard_queue_depth{shard=\"0\"} 5"),
+            std::string::npos);
+  EXPECT_NE(body.find("lion_shard_queue_depth{shard=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(body.find("lion_shard_queue_hwm{shard=\"0\"} 9"),
+            std::string::npos);
+  EXPECT_NE(body.find("lion_shard_queue_hwm{shard=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(body.find("lion_shard_queue_stalls_total{shard=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("lion_shard_queue_stalls_total{shard=\"1\"} 0"),
+            std::string::npos);
+
+  // Legacy single-service callers (no transport plumbed in): connection
+  // count falls back to the service entry count, no shard series.
+  const std::string legacy = serve::render_metrics_body({}, nullptr);
+  EXPECT_NE(legacy.find("lion_serve_connections 0"), std::string::npos);
+  EXPECT_EQ(legacy.find("lion_shard_queue_depth"), std::string::npos);
+}
+
 // The scrape endpoint must answer correct 200s while a client hammers
 // the data plane — and the concurrent scrapes must not perturb the
 // session's responses (the replies below are still counted and checked).

@@ -71,8 +71,9 @@ namespace {
                "                 [--depth M] [--metrics <out.json>]\n"
                "                 [--trace <out.json>]\n"
                "  lion serve     [--tcp PORT | --unix PATH] [--threads M]\n"
-               "                 [--center x,y,z] [--max-inflight N]\n"
-               "                 [--ttl TICKS] [--timeout S] [--reject-busy]\n"
+               "                 [--shards N] [--center x,y,z]\n"
+               "                 [--max-inflight N] [--ttl TICKS]\n"
+               "                 [--timeout S] [--reject-busy]\n"
                "\n"
                "`serve` runs the streaming calibration service: with no\n"
                "listener flag it speaks the wire protocol on stdin/stdout\n"
@@ -120,6 +121,7 @@ struct Args {
   int tcp_port = -1;         ///< serve: TCP listener port (-1 = stdio)
   std::string unix_path;     ///< serve: Unix socket listener path
   std::size_t max_inflight = 4;
+  std::size_t shards = 1;    ///< serve: socket ingest shards
   std::uint64_t ttl_ticks = 0;
   double timeout_s = 0.0;
   bool reject_busy = false;
@@ -203,6 +205,9 @@ Args parse_args(int argc, char** argv) {
       a.unix_path = next();
     } else if (flag == "--max-inflight") {
       a.max_inflight = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--shards") {
+      a.shards = static_cast<std::size_t>(std::stoul(next()));
+      if (a.shards == 0) usage("--shards must be >= 1");
     } else if (flag == "--ttl") {
       a.ttl_ticks = std::stoull(next());
     } else if (flag == "--timeout") {
@@ -479,6 +484,7 @@ int cmd_serve(const Args& a) {
   server_cfg.service = cfg;
   server_cfg.unix_path = a.unix_path;
   server_cfg.tcp_port = a.tcp_port;
+  server_cfg.shards = a.shards;
   serve::SocketServer server(server_cfg);
   std::string error;
   if (!server.start(error)) {

@@ -1,6 +1,8 @@
 // lion_served — thin standalone daemon around serve::SocketServer.
 //
 //   lion_served [--tcp PORT] [--unix PATH] [--threads N] [--center x,y,z]
+//               [--shards N] [--queue-limit LINES] [--poller epoll|poll]
+//               [--backlog N] [--reuseport]
 //               [--max-inflight N] [--ttl TICKS] [--timeout S]
 //               [--reject-busy] [--max-conns N] [--port-file PATH]
 //               [--journal-dir DIR] [--journal-fsync N]
@@ -70,6 +72,9 @@ void handle_signal(int) { g_stop = 1; }
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr, "%s",
                "usage: lion_served [--tcp PORT] [--unix PATH] [--threads N]\n"
+               "                   [--shards N] [--queue-limit LINES]\n"
+               "                   [--poller epoll|poll] [--backlog N]\n"
+               "                   [--reuseport]\n"
                "                   [--center x,y,z] [--max-inflight N]\n"
                "                   [--ttl TICKS] [--timeout S]\n"
                "                   [--reject-busy] [--max-conns N]\n"
@@ -158,6 +163,28 @@ int main(int argc, char** argv) {
     } else if (flag == "--threads") {
       cfg.service.threads =
           static_cast<std::size_t>(parse_uint(flag, next()));
+    } else if (flag == "--shards") {
+      cfg.shards = static_cast<std::size_t>(parse_uint(flag, next()));
+      if (cfg.shards == 0) usage("--shards must be >= 1");
+    } else if (flag == "--queue-limit") {
+      cfg.shard_queue_limit =
+          static_cast<std::size_t>(parse_uint(flag, next()));
+      if (cfg.shard_queue_limit == 0) usage("--queue-limit must be >= 1");
+    } else if (flag == "--poller") {
+      const std::string backend = next();
+      if (backend == "poll") {
+        cfg.force_poll = true;
+      } else if (backend != "epoll") {
+        usage("--poller expects 'epoll' or 'poll'");
+      }
+    } else if (flag == "--backlog") {
+      const std::uint64_t backlog = parse_uint(flag, next());
+      if (backlog == 0 || backlog > 65535) {
+        usage("--backlog expects an integer in [1, 65535]");
+      }
+      cfg.backlog = static_cast<int>(backlog);
+    } else if (flag == "--reuseport") {
+      cfg.reuseport = true;
     } else if (flag == "--center") {
       lion::linalg::Vec3 v;
       if (std::sscanf(next().c_str(), "%lf,%lf,%lf", &v[0], &v[1], &v[2]) !=
@@ -264,6 +291,11 @@ int main(int argc, char** argv) {
                 server.port());
   }
   std::fflush(stdout);
+  if (cfg.shards > 1) {
+    std::fprintf(stderr, "lion_served: %llu ingest shard(s), %s poller\n",
+                 static_cast<unsigned long long>(cfg.shards),
+                 server.poller_name().c_str());
+  }
   if (!port_file.empty() &&
       !write_port_file_atomic(port_file, server.port())) {
     std::fprintf(stderr, "error: cannot write port file %s\n",
@@ -279,6 +311,8 @@ int main(int argc, char** argv) {
     lion::serve::TelemetryConfig tcfg;
     tcfg.port = telemetry_port;
     tcfg.collect = [&server] { return server.telemetry(); };
+    tcfg.shard_gauges = [&server] { return server.shard_gauges(); };
+    tcfg.connections = [&server] { return server.live_connections(); };
     tcfg.events = events.get();
     telemetry = std::make_unique<lion::serve::TelemetryServer>(tcfg);
     std::string terror;

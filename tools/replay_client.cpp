@@ -2,11 +2,14 @@
 //
 //   replay_client (--tcp host:port | --unix PATH) --file scan.csv
 //                 [--sessions N] [--chunk BYTES] [--center x,y,z]
-//                 [--id-prefix P] [--close]
+//                 [--id-prefix P] [--close] [--connect-timeout S]
+//                 [--fleet N] [--idle N] [--fleet-hold S]
 //
-// Replays a recorded scan CSV into a running lion_served as N independent
-// calibrate sessions, in two phases that make it a *resuming* client
-// against a journaled server:
+// Two modes over the same wire protocol:
+//
+// Single-connection replay (default). Replays a recorded scan CSV into a
+// running lion_served as N independent calibrate sessions, in two phases
+// that make it a *resuming* client against a journaled server:
 //
 //   1. all `!session` declares, then a `!stats` barrier — by the time the
 //      stats response arrives, every declare was processed and any
@@ -31,13 +34,43 @@
 // percentiles: reports come back in flush order, so the k-th report is
 // paired with the instant the k-th session's `!flush` finished hitting
 // the wire, and p50/p95/p99 of those gaps (nearest-rank) are reported.
+//
+// Fleet mode (--fleet N and/or --idle N). One event loop (epoll on
+// Linux, poll elsewhere) drives N *active* connections plus --idle
+// passive ones that connect and hold without sending a byte (they model
+// the quiet majority of a reader-gateway fleet and pin the server's fd
+// table). Each active connection declares --sessions sessions
+// (`<prefix>-c<conn>-s<k>`), streams every CSV row into each via `@id`
+// lines, then sends a `!stats` barrier and half-closes. The stats
+// response fans out per ingest shard, so a connection is *complete* when
+// it has read as many lion.stats.v1 lines as the server's `"shards"`
+// field announces — at that instant every row it sent has been ingested
+// by its owning shard. No `!flush` is sent: fleet mode measures the
+// ingest plane, not the solver.
+//
+// Fleet mode prints a human summary plus one machine-readable line:
+//
+//   lion.fleet.v1 {"fleet":N,"idle":M,...,"reads_per_s":R,...}
+//
+// and exits 0 iff every connection connected (within --connect-timeout,
+// failing fast with a named connect_timeout error), every active
+// connection completed its barrier, and zero lion.error.v1 lines came
+// back. --fleet-hold keeps the idle fleet connected for S extra seconds
+// after the active traffic drains, so a harness can sample the server's
+// steady-state fd/RSS footprint under the full connection count.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
 #include <algorithm>
 #include <cerrno>
@@ -47,12 +80,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace {
@@ -63,7 +98,9 @@ namespace {
                "usage: replay_client (--tcp host:port | --unix PATH)\n"
                "                     --file scan.csv [--sessions N]\n"
                "                     [--chunk BYTES] [--center x,y,z]\n"
-               "                     [--id-prefix P] [--close]\n");
+               "                     [--id-prefix P] [--close]\n"
+               "                     [--connect-timeout S]\n"
+               "                     [--fleet N] [--idle N] [--fleet-hold S]\n");
   std::exit(2);
 }
 
@@ -99,42 +136,103 @@ bool send_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
-int connect_tcp(const std::string& spec) {
-  const std::size_t colon = spec.rfind(':');
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+// Resolved listener address, shared by every connection of a fleet.
+struct Target {
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  int family = AF_UNSPEC;
+  std::string display;  ///< for error messages
+};
+
+bool resolve_target(const std::string& tcp_spec, const std::string& unix_path,
+                    Target& out) {
+  if (!unix_path.empty()) {
+    auto* un = reinterpret_cast<sockaddr_un*>(&out.addr);
+    un->sun_family = AF_UNIX;
+    if (unix_path.size() >= sizeof(un->sun_path)) usage("unix path too long");
+    std::strncpy(un->sun_path, unix_path.c_str(), sizeof(un->sun_path) - 1);
+    out.addr_len = sizeof(sockaddr_un);
+    out.family = AF_UNIX;
+    out.display = "unix:" + unix_path;
+    return true;
+  }
+  const std::size_t colon = tcp_spec.rfind(':');
   if (colon == std::string::npos) usage("--tcp expects host:port");
-  const std::string host = spec.substr(0, colon);
-  const std::string port = spec.substr(colon + 1);
+  const std::string host = tcp_spec.substr(0, colon);
+  const std::string port = tcp_spec.substr(colon + 1);
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* res = nullptr;
   if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 || !res) {
-    std::fprintf(stderr, "error: cannot resolve %s\n", spec.c_str());
-    return -1;
+    std::fprintf(stderr, "error: cannot resolve %s\n", tcp_spec.c_str());
+    return false;
   }
-  int fd = -1;
-  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    ::close(fd);
-    fd = -1;
-  }
+  std::memcpy(&out.addr, res->ai_addr, res->ai_addrlen);
+  out.addr_len = static_cast<socklen_t>(res->ai_addrlen);
+  out.family = res->ai_family;
+  out.display = tcp_spec;
   ::freeaddrinfo(res);
-  return fd;
+  return true;
 }
 
-int connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) usage("unix path too long");
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
+// Blocking-style connect with an optional deadline: non-blocking
+// connect(2) + poll(POLLOUT) + SO_ERROR. timeout_s < 0 blocks forever
+// (legacy behavior); on a deadline the named failure is "connect_timeout"
+// so callers and harnesses can tell a slow accept queue from a refusal.
+int connect_with_timeout(const Target& target, double timeout_s,
+                         std::string& error) {
+  const int fd = ::socket(target.family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::strerror(errno);
     return -1;
   }
+  if (timeout_s < 0.0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&target.addr),
+                  target.addr_len) != 0) {
+      error = std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  set_nonblocking(fd, true);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&target.addr),
+                target.addr_len) != 0) {
+    if (errno != EINPROGRESS) {
+      error = std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(timeout_s * 1e3);
+    int rc;
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      error = "connect_timeout";
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (rc < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      error = so_error != 0 ? std::strerror(so_error) : std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  }
+  set_nonblocking(fd, false);
   return fd;
 }
 
@@ -144,6 +242,563 @@ double percentile(const std::vector<double>& sorted, double q) {
   const std::size_t rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(sorted.size())));
   return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+// ---------------------------------------------------------------------
+// Fleet mode: one readiness loop over every connection. Self-contained
+// (replay_client deliberately does not link the serve library) — epoll
+// where available, poll(2) elsewhere.
+// ---------------------------------------------------------------------
+
+struct LoopEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class ClientLoop {
+ public:
+  ClientLoop() {
+#ifdef __linux__
+    ep_ = ::epoll_create1(0);
+#endif
+  }
+  ~ClientLoop() {
+#ifdef __linux__
+    if (ep_ >= 0) ::close(ep_);
+#endif
+  }
+
+  bool ok() const {
+#ifdef __linux__
+    return ep_ >= 0;
+#else
+    return true;
+#endif
+  }
+
+  void add(int fd, bool rd, bool wr) {
+#ifdef __linux__
+    epoll_event ev{};
+    ev.events = mask(rd, wr);
+    ev.data.fd = fd;
+    ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+#else
+    slots_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, pmask(rd, wr), 0});
+#endif
+  }
+
+  void mod(int fd, bool rd, bool wr) {
+#ifdef __linux__
+    epoll_event ev{};
+    ev.events = mask(rd, wr);
+    ev.data.fd = fd;
+    ::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+#else
+    const auto it = slots_.find(fd);
+    if (it != slots_.end()) fds_[it->second].events = pmask(rd, wr);
+#endif
+  }
+
+  void del(int fd) {
+#ifdef __linux__
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+#else
+    const auto it = slots_.find(fd);
+    if (it == slots_.end()) return;
+    const std::size_t slot = it->second;
+    slots_.erase(it);
+    if (slot + 1 != fds_.size()) {
+      fds_[slot] = fds_.back();
+      slots_[fds_[slot].fd] = slot;
+    }
+    fds_.pop_back();
+#endif
+  }
+
+  void wait(std::vector<LoopEvent>& out, int timeout_ms) {
+    out.clear();
+#ifdef __linux__
+    epoll_event evs[256];
+    int n;
+    do {
+      n = ::epoll_wait(ep_, evs, 256, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    for (int i = 0; i < n; ++i) {
+      LoopEvent e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLRDHUP)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.error = (evs[i].events & EPOLLERR) != 0;
+      out.push_back(e);
+    }
+#else
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      LoopEvent e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(e);
+      if (static_cast<int>(out.size()) == n) break;
+    }
+#endif
+  }
+
+ private:
+#ifdef __linux__
+  static std::uint32_t mask(bool rd, bool wr) {
+    std::uint32_t m = EPOLLRDHUP;
+    if (rd) m |= EPOLLIN;
+    if (wr) m |= EPOLLOUT;
+    return m;
+  }
+  int ep_ = -1;
+#else
+  static short pmask(bool rd, bool wr) {
+    short m = 0;
+    if (rd) m |= POLLIN;
+    if (wr) m |= POLLOUT;
+    return m;
+  }
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> slots_;
+#endif
+};
+
+struct FleetConn {
+  enum State { kUnstarted, kConnecting, kLive, kDone, kFailed };
+  int fd = -1;
+  State state = kUnstarted;
+  bool idle = false;
+  std::string payload;  ///< empty for idle connections
+  std::size_t sent = 0;
+  bool wr_done = false;  ///< payload fully sent + write side half-closed
+  std::string inbuf;
+  std::size_t stats_seen = 0;
+  bool barrier = false;  ///< all sent rows confirmed ingested
+  std::chrono::steady_clock::time_point first_attempt{};
+  std::chrono::steady_clock::time_point connected_at{};
+  std::chrono::steady_clock::time_point first_write{};
+  std::chrono::steady_clock::time_point barrier_at{};
+};
+
+struct FleetOptions {
+  std::size_t fleet = 0;     ///< active connections
+  std::size_t idle = 0;      ///< passive connections (hold, send nothing)
+  std::size_t sessions = 1;  ///< sessions per active connection
+  double connect_timeout_s = 30.0;
+  double hold_s = 0.0;  ///< keep idle fleet up after active drain
+  std::string center;
+  std::string id_prefix;
+};
+
+int run_fleet(const Target& target, const FleetOptions& opt,
+              const std::vector<std::string>& rows, std::size_t data_rows) {
+  using clock = std::chrono::steady_clock;
+  ClientLoop loop;
+  if (!loop.ok()) {
+    std::fprintf(stderr, "error: cannot create event loop\n");
+    return 1;
+  }
+
+  // Idle connections first (indices [0, idle)), active after — the idle
+  // fleet is in place before the measured traffic starts, matching the
+  // "quiet majority + active minority" shape of a reader-gateway tier.
+  const std::size_t total = opt.idle + opt.fleet;
+  std::vector<FleetConn> conns(total);
+  std::unordered_map<int, std::size_t> fd_index;
+  for (std::size_t i = 0; i < total; ++i) conns[i].idle = i < opt.idle;
+
+  std::size_t next_to_start = 0;
+  std::size_t connecting = 0;
+  std::deque<std::size_t> retry;  ///< transient connect EAGAIN (unix backlog)
+  std::size_t done_active = 0;
+  std::size_t failed_active = 0;
+  std::size_t connect_failures = 0;
+  std::size_t idle_live = 0;
+  std::size_t idle_dropped = 0;
+  std::size_t errors = 0;
+  std::size_t error_lines_shown = 0;
+  std::size_t shards_expected = 0;  ///< 0 until the first stats line lands
+  bool any_write = false;
+  clock::time_point t_first_write{};
+  clock::time_point t_last_barrier{};
+
+  auto build_payload = [&](std::size_t conn_index) {
+    std::string p;
+    std::vector<std::string> ids(opt.sessions);
+    for (std::size_t s = 0; s < opt.sessions; ++s) {
+      ids[s] = opt.id_prefix + "-c" + std::to_string(conn_index) + "-s" +
+               std::to_string(s);
+      p += "!session " + ids[s] + " center=" + opt.center + "\n";
+    }
+    for (std::size_t s = 0; s < opt.sessions; ++s) {
+      for (const std::string& row : rows) {
+        if (row[0] == '#') continue;
+        p += "@" + ids[s] + " " + row + "\n";
+      }
+    }
+    p += "!stats\n";
+    return p;
+  };
+
+  auto fail_conn = [&](FleetConn& c, const char* why) {
+    if (c.fd >= 0) {
+      if (c.state == FleetConn::kConnecting || c.state == FleetConn::kLive) {
+        loop.del(c.fd);
+      }
+      fd_index.erase(c.fd);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    if (c.state == FleetConn::kConnecting) {
+      --connecting;
+      ++connect_failures;
+    } else if (c.state == FleetConn::kLive && c.idle) {
+      ++idle_dropped;
+    }
+    // Every failed active connection settles here, whatever the stage —
+    // the drain loop waits on done_active + failed_active reaching the
+    // fleet size, so a connect-stage failure must count too.
+    if (!c.idle) ++failed_active;
+    if (error_lines_shown < 5) {
+      std::fprintf(stderr, "error: connection #%zu %s: %s\n",
+                   static_cast<std::size_t>(&c - conns.data()),
+                   c.idle ? "(idle)" : "(active)", why);
+      ++error_lines_shown;
+    }
+    c.state = FleetConn::kFailed;
+  };
+
+  auto on_connected = [&](FleetConn& c, bool newly_added) {
+    c.connected_at = clock::now();
+    c.state = FleetConn::kLive;
+    if (c.idle) {
+      ++idle_live;
+      if (newly_added) {
+        loop.add(c.fd, true, false);
+      } else {
+        loop.mod(c.fd, true, false);
+      }
+    } else if (newly_added) {
+      loop.add(c.fd, true, true);
+    } else {
+      loop.mod(c.fd, true, true);
+    }
+  };
+
+  auto start_one = [&](std::size_t idx) {
+    FleetConn& c = conns[idx];
+    if (c.first_attempt == clock::time_point{}) {
+      c.first_attempt = clock::now();
+    }
+    if (!c.idle && c.payload.empty()) {
+      c.payload = build_payload(idx - opt.idle);
+    }
+    c.fd = ::socket(target.family, SOCK_STREAM, 0);
+    if (c.fd < 0) {
+      // Route through fail_conn's kConnecting accounting (it decrements
+      // the in-flight count and records a connect failure).
+      c.state = FleetConn::kConnecting;
+      ++connecting;
+      fail_conn(c, std::strerror(errno));
+      return;
+    }
+    set_nonblocking(c.fd, true);
+    const int rc = ::connect(
+        c.fd, reinterpret_cast<const sockaddr*>(&target.addr),
+        target.addr_len);
+    if (rc == 0) {
+      fd_index[c.fd] = idx;
+      on_connected(c, /*newly_added=*/true);
+      return;
+    }
+    if (errno == EINPROGRESS) {
+      c.state = FleetConn::kConnecting;
+      ++connecting;
+      fd_index[c.fd] = idx;
+      loop.add(c.fd, false, true);
+      return;
+    }
+    if (errno == EAGAIN || errno == ECONNREFUSED) {
+      // Unix-domain listen queues reject with EAGAIN (and a racing
+      // restart can refuse briefly); retry until the connect deadline.
+      ::close(c.fd);
+      c.fd = -1;
+      if (std::chrono::duration<double>(clock::now() - c.first_attempt)
+              .count() < opt.connect_timeout_s) {
+        retry.push_back(idx);
+      } else {
+        c.state = FleetConn::kConnecting;  // fail_conn settles the counters
+        ++connecting;
+        fail_conn(c, "connect_timeout");
+      }
+      return;
+    }
+    const int connect_errno = errno;
+    ::close(c.fd);
+    c.fd = -1;
+    c.state = FleetConn::kConnecting;
+    ++connecting;
+    fail_conn(c, std::strerror(connect_errno));
+  };
+
+  auto pump_write = [&](FleetConn& c) {
+    while (c.sent < c.payload.size()) {
+      const std::size_t want =
+          std::min<std::size_t>(256 * 1024, c.payload.size() - c.sent);
+      const ssize_t n =
+          ::send(c.fd, c.payload.data() + c.sent, want, MSG_NOSIGNAL);
+      if (n > 0) {
+        if (c.sent == 0) {
+          c.first_write = clock::now();
+          if (!any_write) {
+            any_write = true;
+            t_first_write = c.first_write;
+          }
+        }
+        c.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      fail_conn(c, "send failed");
+      return false;
+    }
+    if (!c.wr_done) {
+      c.wr_done = true;
+      ::shutdown(c.fd, SHUT_WR);  // EOF: server drains then closes
+      loop.mod(c.fd, true, false);
+    }
+    return true;
+  };
+
+  auto check_barrier = [&](FleetConn& c) {
+    if (c.barrier || !c.wr_done) return;
+    if (shards_expected == 0 || c.stats_seen < shards_expected) return;
+    c.barrier = true;
+    c.barrier_at = clock::now();
+    if (t_last_barrier < c.barrier_at) t_last_barrier = c.barrier_at;
+  };
+
+  auto pump_read = [&](FleetConn& c) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0) {
+        fail_conn(c, "recv failed");
+        return;
+      }
+      if (n == 0) {
+        // Server-side close. Expected for an active connection that
+        // half-closed and completed its barrier; anything else failed.
+        if (!c.idle && c.barrier) {
+          loop.del(c.fd);
+          fd_index.erase(c.fd);
+          ::close(c.fd);
+          c.fd = -1;
+          c.state = FleetConn::kDone;
+          ++done_active;
+        } else {
+          fail_conn(c, "closed by server");
+        }
+        return;
+      }
+      c.inbuf.append(buf, static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      for (std::size_t nl = c.inbuf.find('\n', pos);
+           nl != std::string::npos; nl = c.inbuf.find('\n', pos)) {
+        const std::string line = c.inbuf.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.find("\"schema\":\"lion.stats.v1\"") != std::string::npos) {
+          ++c.stats_seen;
+          if (shards_expected == 0) {
+            const std::size_t s = json_uint_field(line, "shards");
+            shards_expected = s == 0 ? 1 : s;
+          }
+        } else if (line.find("\"schema\":\"lion.error.v1\"") !=
+                   std::string::npos) {
+          ++errors;
+          if (error_lines_shown < 5) {
+            std::fprintf(stderr, "server error: %s\n", line.c_str());
+            ++error_lines_shown;
+          }
+        }
+      }
+      c.inbuf.erase(0, pos);
+      check_barrier(c);
+    }
+  };
+
+  // Ramp-up cap: enough in-flight connects to fill a burst-sized accept
+  // backlog without stampeding a small one into timeouts.
+  const std::size_t kConnectBatch = 256;
+  std::vector<LoopEvent> events;
+  auto last_deadline_scan = clock::now();
+
+  auto all_settled = [&] {
+    return next_to_start >= total && retry.empty() && connecting == 0 &&
+           done_active + failed_active >= opt.fleet;
+  };
+
+  while (!all_settled()) {
+    while (connecting < kConnectBatch &&
+           (!retry.empty() || next_to_start < total)) {
+      std::size_t idx;
+      if (!retry.empty()) {
+        idx = retry.front();
+        retry.pop_front();
+      } else {
+        idx = next_to_start++;
+      }
+      start_one(idx);
+    }
+
+    loop.wait(events, 100);
+    for (const LoopEvent& ev : events) {
+      const auto it = fd_index.find(ev.fd);
+      if (it == fd_index.end()) continue;
+      FleetConn& c = conns[it->second];
+      if (c.state == FleetConn::kConnecting) {
+        int so_error = 0;
+        socklen_t len = sizeof so_error;
+        if (::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+            so_error != 0) {
+          fail_conn(c, so_error != 0 ? std::strerror(so_error)
+                                     : "connect failed");
+          continue;
+        }
+        --connecting;
+        on_connected(c, /*newly_added=*/false);
+        if (!c.idle && !pump_write(c)) continue;
+        continue;
+      }
+      if (c.state != FleetConn::kLive) continue;
+      if (ev.error) {
+        fail_conn(c, "socket error");
+        continue;
+      }
+      if (ev.writable && !c.idle && !c.wr_done) {
+        if (!pump_write(c)) continue;
+      }
+      if (ev.readable) pump_read(c);
+    }
+
+    // Connect deadlines fire from silence, not events — sweep at 4 Hz.
+    const auto now = clock::now();
+    if (std::chrono::duration<double>(now - last_deadline_scan).count() >
+        0.25) {
+      last_deadline_scan = now;
+      for (FleetConn& c : conns) {
+        if (c.state != FleetConn::kConnecting) continue;
+        if (std::chrono::duration<double>(now - c.first_attempt).count() >=
+            opt.connect_timeout_s) {
+          fail_conn(c, "connect_timeout");
+        }
+      }
+    }
+  }
+
+  // Active traffic has drained; optionally hold the idle fleet so a
+  // harness can sample the server's steady-state footprint.
+  if (opt.hold_s > 0.0 && idle_live > idle_dropped) {
+    const auto hold_until =
+        clock::now() + std::chrono::duration<double>(opt.hold_s);
+    while (clock::now() < hold_until) {
+      loop.wait(events, 100);
+      for (const LoopEvent& ev : events) {
+        const auto it = fd_index.find(ev.fd);
+        if (it == fd_index.end()) continue;
+        FleetConn& c = conns[it->second];
+        if (c.state == FleetConn::kLive && ev.readable) pump_read(c);
+      }
+    }
+  }
+  for (FleetConn& c : conns) {
+    if (c.fd >= 0) {
+      loop.del(c.fd);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+
+  // --- summary ---------------------------------------------------------
+  const double wall =
+      any_write && t_last_barrier > t_first_write
+          ? std::chrono::duration<double>(t_last_barrier - t_first_write)
+                .count()
+          : 0.0;
+  std::size_t barrier_conns = 0;
+  std::vector<double> connect_ms;
+  std::vector<double> conn_wall_ms;
+  for (const FleetConn& c : conns) {
+    if (c.connected_at != clock::time_point{}) {
+      connect_ms.push_back(std::chrono::duration<double>(
+                               c.connected_at - c.first_attempt)
+                               .count() *
+                           1e3);
+    }
+    if (c.idle || !c.barrier) continue;
+    ++barrier_conns;
+    conn_wall_ms.push_back(
+        std::chrono::duration<double>(c.barrier_at - c.first_write).count() *
+        1e3);
+  }
+  std::sort(connect_ms.begin(), connect_ms.end());
+  std::sort(conn_wall_ms.begin(), conn_wall_ms.end());
+  const std::size_t reads_confirmed = barrier_conns * data_rows * opt.sessions;
+  const double reads_per_s =
+      wall > 0.0 ? static_cast<double>(reads_confirmed) / wall : 0.0;
+
+  std::printf("fleet: %zu active + %zu idle conns, %zu sessions/conn, "
+              "%zu reads confirmed in %.3f s (%.0f reads/s), "
+              "%zu errors, %zu connect failures\n",
+              opt.fleet, opt.idle, opt.sessions, reads_confirmed, wall,
+              reads_per_s, errors, connect_failures);
+  std::printf("fleet conn wall: p50=%.1f ms p95=%.1f ms p99=%.1f ms; "
+              "connect: p50=%.1f ms p95=%.1f ms p99=%.1f ms\n",
+              percentile(conn_wall_ms, 0.50), percentile(conn_wall_ms, 0.95),
+              percentile(conn_wall_ms, 0.99), percentile(connect_ms, 0.50),
+              percentile(connect_ms, 0.95), percentile(connect_ms, 0.99));
+  std::printf(
+      "lion.fleet.v1 {\"schema\":\"lion.fleet.v1\",\"fleet\":%zu,"
+      "\"idle\":%zu,\"sessions_per_conn\":%zu,\"shards\":%zu,"
+      "\"reads\":%zu,\"wall_s\":%.6f,\"reads_per_s\":%.1f,"
+      "\"barrier_conns\":%zu,\"errors\":%zu,\"connect_failures\":%zu,"
+      "\"failed_active\":%zu,\"idle_dropped\":%zu,"
+      "\"conn_wall_ms_p50\":%.3f,\"conn_wall_ms_p95\":%.3f,"
+      "\"conn_wall_ms_p99\":%.3f,\"connect_ms_p50\":%.3f,"
+      "\"connect_ms_p95\":%.3f,\"connect_ms_p99\":%.3f}\n",
+      opt.fleet, opt.idle, opt.sessions, shards_expected, reads_confirmed,
+      wall, reads_per_s, barrier_conns, errors, connect_failures,
+      failed_active, idle_dropped, percentile(conn_wall_ms, 0.50),
+      percentile(conn_wall_ms, 0.95), percentile(conn_wall_ms, 0.99),
+      percentile(connect_ms, 0.50), percentile(connect_ms, 0.95),
+      percentile(connect_ms, 0.99));
+  std::fflush(stdout);
+
+  const bool ok = connect_failures == 0 && failed_active == 0 &&
+                  errors == 0 && barrier_conns == opt.fleet &&
+                  idle_dropped == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "error: fleet incomplete: %zu/%zu barriers, %zu errors, "
+                 "%zu connect failures, %zu active failed, %zu idle dropped\n",
+                 barrier_conns, opt.fleet, errors, connect_failures,
+                 failed_active, idle_dropped);
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -157,6 +812,10 @@ int main(int argc, char** argv) {
   std::size_t sessions = 1;
   std::size_t chunk = 1024;
   bool close_sessions = false;
+  double connect_timeout_s = -1.0;  // < 0: legacy blocking connect
+  std::size_t fleet = 0;
+  std::size_t idle = 0;
+  double fleet_hold_s = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -180,6 +839,16 @@ int main(int argc, char** argv) {
       id_prefix = next();
     } else if (flag == "--close") {
       close_sessions = true;
+    } else if (flag == "--connect-timeout") {
+      connect_timeout_s = std::stod(next());
+      if (connect_timeout_s <= 0.0) usage("--connect-timeout must be > 0");
+    } else if (flag == "--fleet") {
+      fleet = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--idle") {
+      idle = static_cast<std::size_t>(std::stoul(next()));
+    } else if (flag == "--fleet-hold") {
+      fleet_hold_s = std::stod(next());
+      if (fleet_hold_s < 0.0) usage("--fleet-hold must be >= 0");
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -206,10 +875,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const int fd = !unix_path.empty() ? connect_unix(unix_path)
-                                    : connect_tcp(tcp_spec);
+  Target target;
+  if (!resolve_target(tcp_spec, unix_path, target)) return 1;
+
+  if (fleet > 0 || idle > 0) {
+    FleetOptions opt;
+    opt.fleet = fleet;
+    opt.idle = idle;
+    opt.sessions = sessions;
+    opt.connect_timeout_s = connect_timeout_s > 0.0 ? connect_timeout_s : 30.0;
+    opt.hold_s = fleet_hold_s;
+    opt.center = center;
+    opt.id_prefix = id_prefix;
+    return run_fleet(target, opt, rows, data_rows);
+  }
+
+  std::string connect_error;
+  const int fd = connect_with_timeout(target, connect_timeout_s,
+                                      connect_error);
   if (fd < 0) {
-    std::fprintf(stderr, "error: cannot connect\n");
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 target.display.c_str(), connect_error.c_str());
     return 1;
   }
 

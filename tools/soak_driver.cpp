@@ -4,6 +4,7 @@
 //               [--duration S] [--sessions N] [--journal-dir DIR]
 //               [--rss-limit-mb M] [--fd-slack N] [--seed S]
 //               [--replays-per-server N] [--telemetry]
+//               [--fleet N] [--shards N]
 //
 // Runs replayed fleet traffic against a real lion_served process while
 // injecting the faults a production supervisor would see:
@@ -20,6 +21,14 @@
 // --rss-limit-mb. Each incarnation ends with SIGTERM and must drain
 // cleanly (exit 0). Any gate failure makes the driver exit 1; the
 // summary on stdout is the CI nightly job's log line.
+//
+// With --fleet N, non-probe traffic switches to the client's fleet mode:
+// N active + N idle connections per replay over one event loop, so the
+// faults land on a server holding a fleet-shaped connection table (a
+// client SIGKILL becomes a mass disconnect). The kill-restart probe
+// stays in single-connection --close mode — its journal-resume contract
+// is the thing being probed. --shards N runs every incarnation with a
+// sharded ingest plane.
 //
 // With --telemetry each incarnation also runs the daemon's scrape
 // endpoint (--telemetry-port 0), and after every replay the driver
@@ -59,7 +68,8 @@ namespace {
                "                   [--duration S] [--sessions N]\n"
                "                   [--journal-dir DIR] [--rss-limit-mb M]\n"
                "                   [--fd-slack N] [--seed S]\n"
-               "                   [--replays-per-server N] [--telemetry]\n");
+               "                   [--replays-per-server N] [--telemetry]\n"
+               "                   [--fleet N] [--shards N]\n");
   std::exit(2);
 }
 
@@ -173,6 +183,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t replays_per_server = 8;
   bool telemetry = false;
+  std::size_t fleet_conns = 0;  ///< 0: single-connection replays only
+  std::size_t shards = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -203,6 +215,11 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(next().c_str()));
     } else if (flag == "--telemetry") {
       telemetry = true;
+    } else if (flag == "--fleet") {
+      fleet_conns = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (flag == "--shards") {
+      shards = static_cast<std::size_t>(std::atol(next().c_str()));
+      if (shards == 0) usage("--shards must be >= 1");
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -248,6 +265,17 @@ int main(int argc, char** argv) {
     std::vector<std::string> served_args = {served_bin, "--tcp", "0",
                                             "--port-file", port_file,
                                             "--drain-timeout", "30"};
+    if (shards > 1) {
+      served_args.push_back("--shards");
+      served_args.push_back(std::to_string(shards));
+    }
+    if (fleet_conns > 0) {
+      // Consecutive fleet replays overlap: the previous fleet's sockets
+      // tear down asynchronously while the next one connects, so the cap
+      // must hold several fleet generations, not one.
+      served_args.push_back("--max-conns");
+      served_args.push_back(std::to_string(8 * fleet_conns + 64));
+    }
     if (telemetry) {
       served_args.push_back("--telemetry-port");
       served_args.push_back("0");
@@ -296,15 +324,29 @@ int main(int argc, char** argv) {
       std::string prefix = "s";
       prefix += std::to_string(replay_counter++);
       prefix += 'x';
+      bool probe = false;
       if (force_clean) {
         fault = 3;
         force_clean = false;
+        probe = true;
         if (!killed_prefix.empty()) prefix = killed_prefix;
       }
-      const std::vector<std::string> client_args = {
+      // Non-probe replays run fleet-shaped when requested; the probe
+      // keeps the single-connection journal-resume contract it gates on.
+      std::vector<std::string> client_args = {
           client_bin, "--tcp", tcp, "--file", csv_file,
           "--sessions", std::to_string(sessions),
-          "--id-prefix", prefix, "--close"};
+          "--id-prefix", prefix};
+      if (fleet_conns > 0 && !probe) {
+        client_args.push_back("--fleet");
+        client_args.push_back(std::to_string(fleet_conns));
+        client_args.push_back("--idle");
+        client_args.push_back(std::to_string(fleet_conns));
+        client_args.push_back("--connect-timeout");
+        client_args.push_back("10");
+      } else {
+        client_args.push_back("--close");
+      }
       const pid_t client = spawn(client_args);
       int status = 0;
       if (fault == 0) {
@@ -352,13 +394,22 @@ int main(int argc, char** argv) {
         break;
       }
       const std::uint64_t rss = lion::obs::process_rss_bytes(server);
-      const std::uint64_t fds = lion::obs::process_open_fds(server);
+      std::uint64_t fds = lion::obs::process_open_fds(server);
       if (rss > max_rss) max_rss = rss;
       if (fds > max_fds) max_fds = fds;
       if (baseline_fds == 0) {
         baseline_fds = fds;  // first sample of this incarnation
       } else if (fds > baseline_fds + fd_slack) {
-        fail("fd leak: open fds grew past baseline + slack");
+        // A fleet replay's sockets close asynchronously after the client
+        // exits; give teardown a moment before calling it a leak.
+        const double fd_deadline = now_s() + 2.0;
+        while (fds > baseline_fds + fd_slack && now_s() < fd_deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          fds = lion::obs::process_open_fds(server);
+        }
+        if (fds > baseline_fds + fd_slack) {
+          fail("fd leak: open fds grew past baseline + slack");
+        }
       }
       if (rss > rss_limit_mb * 1024 * 1024) fail("RSS over limit");
       if (telemetry && tport > 0) {
