@@ -8,41 +8,32 @@
 
 namespace lion::core {
 
-AdaptiveResult locate_adaptive(const signal::PhaseProfile& profile,
-                               const AdaptiveConfig& config) {
-  if (config.ranges.empty() || config.intervals.empty()) {
-    throw std::invalid_argument("locate_adaptive: empty candidate lists");
+LocalizerConfig adaptive_cell_config(const AdaptiveConfig& config,
+                                     double interval,
+                                     const signal::PhaseProfile& windowed) {
+  LocalizerConfig lc = config.base;
+  lc.pair_interval = interval;
+  // A fresh reference per window: the configured index refers to the
+  // full profile, which may be cropped away.
+  if (!lc.reference_index || *lc.reference_index >= windowed.size()) {
+    lc.reference_index = windowed.size() / 2;
   }
-  AdaptiveResult out;
-  out.candidates.reserve(config.ranges.size() * config.intervals.size());
+  return lc;
+}
 
-  for (double range : config.ranges) {
-    const auto windowed =
-        restrict_to_x_range(profile, config.range_center_x, range);
-    for (double interval : config.intervals) {
-      AdaptiveCandidate cand;
-      cand.range = range;
-      cand.interval = interval;
-      LocalizerConfig lc = config.base;
-      lc.pair_interval = interval;
-      // A fresh reference per window: the configured index refers to the
-      // full profile, which may be cropped away.
-      if (!lc.reference_index || *lc.reference_index >= windowed.size()) {
-        lc.reference_index = windowed.size() / 2;
-      }
-      try {
-        cand.result = LinearLocalizer(lc).locate(windowed);
-        cand.usable = cand.result.equations >= config.min_equations &&
-                      cand.result.condition <= config.max_condition &&
-                      std::isfinite(cand.result.position[0]) &&
-                      std::isfinite(cand.result.position[1]) &&
-                      std::isfinite(cand.result.position[2]);
-      } catch (const std::exception&) {
-        cand.usable = false;
-      }
-      out.candidates.push_back(std::move(cand));
-    }
-  }
+bool adaptive_candidate_usable(const LocalizationResult& result,
+                               const AdaptiveConfig& config) {
+  return result.equations >= config.min_equations &&
+         result.condition <= config.max_condition &&
+         std::isfinite(result.position[0]) &&
+         std::isfinite(result.position[1]) &&
+         std::isfinite(result.position[2]);
+}
+
+AdaptiveResult finalize_adaptive_sweep(
+    std::vector<AdaptiveCandidate> candidates, const AdaptiveConfig& config) {
+  AdaptiveResult out;
+  out.candidates = std::move(candidates);
 
   std::vector<const AdaptiveCandidate*> usable;
   for (const auto& c : out.candidates) {
@@ -76,6 +67,36 @@ AdaptiveResult locate_adaptive(const signal::PhaseProfile& profile,
   out.best_range = usable.front()->range;
   out.best_interval = usable.front()->interval;
   return out;
+}
+
+AdaptiveResult locate_adaptive(const signal::PhaseProfile& profile,
+                               const AdaptiveConfig& config) {
+  if (config.ranges.empty() || config.intervals.empty()) {
+    throw std::invalid_argument("locate_adaptive: empty candidate lists");
+  }
+  std::vector<AdaptiveCandidate> candidates;
+  candidates.reserve(config.ranges.size() * config.intervals.size());
+
+  for (double range : config.ranges) {
+    const auto windowed =
+        restrict_to_x_range(profile, config.range_center_x, range);
+    for (double interval : config.intervals) {
+      AdaptiveCandidate cand;
+      cand.range = range;
+      cand.interval = interval;
+      const LocalizerConfig lc =
+          adaptive_cell_config(config, interval, windowed);
+      try {
+        cand.result = LinearLocalizer(lc).locate(windowed);
+        cand.usable = adaptive_candidate_usable(cand.result, config);
+      } catch (const std::exception&) {
+        cand.usable = false;
+      }
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  return finalize_adaptive_sweep(std::move(candidates), config);
 }
 
 }  // namespace lion::core

@@ -114,6 +114,17 @@ CalibrationReport calibrate_antenna_robust(
     const std::vector<sim::PhaseSample>& samples, const Vec3& physical_center,
     const RobustCalibrationConfig& config,
     linalg::SolverWorkspace* workspace) {
+  return calibrate_with_sweep(samples, physical_center, config, workspace,
+                              [](const signal::PhaseProfile& profile,
+                                 const AdaptiveConfig& cfg) {
+                                return locate_adaptive(profile, cfg);
+                              });
+}
+
+CalibrationReport calibrate_with_sweep(
+    const std::vector<sim::PhaseSample>& samples, const Vec3& physical_center,
+    const RobustCalibrationConfig& config, linalg::SolverWorkspace* workspace,
+    const AdaptiveSweepFn& sweep) {
   LION_OBS_SPAN(obs::Stage::kCalibrate);
   CalibrationReport report;
   try {
@@ -158,7 +169,7 @@ CalibrationReport calibrate_antenna_robust(
     bool degraded = false;
     if (scan_rank + 1 >= 3) {
       try {
-        AdaptiveResult r = locate_adaptive(profile, cfg3);
+        AdaptiveResult r = sweep(profile, cfg3);
         CalibrationDiagnostics diag3;
         fill_sweep_diagnostics(r, diag3);
         if (diag3.condition <= config.max_condition) {
@@ -181,7 +192,7 @@ CalibrationReport calibrate_antenna_robust(
       AdaptiveConfig cfg2 = cfg3;
       cfg2.base.target_dim = 2;
       try {
-        fix = locate_adaptive(profile, cfg2);
+        fix = sweep(profile, cfg2);
         degraded = true;
         append_message(report.diagnostics,
                        "planar fallback used; z pinned to the believed "

@@ -1,0 +1,214 @@
+// Incremental calibrate-mode flushes.
+//
+// PR 7 made track-mode poses O(1); a calibrate `!flush` still re-ran the
+// full robust pipeline (LMedS-RANSAC tournament + Huber-IRLS refit per
+// sweep candidate) over the whole session buffer. The hard part of doing
+// better is that IRLS reweighting is nonlinear in the residuals and the
+// consensus mask is the output of a 64-subset sampling tournament: neither
+// can be "updated" by a rank-1 identity. What *can* be reused is the
+// anchor solution of the previous full solve:
+//
+//  - Memo tier: calibrate buffers are append-only (the session cap drops
+//    new samples, never old ones), so when the buffer digest still matches
+//    the anchor snapshot, the anchor report IS the batch answer —
+//    re-serialized bytes, O(size-check + digest) work.
+//  - Warm tier: for a small append delta, each sweep candidate re-derives
+//    its consensus mask by thresholding current-system residuals against
+//    the anchor candidate's solution, iterating the mask/OLS fixpoint to
+//    convergence. The refit is then the exact batch refit
+//    (solve_irls_masked on the exact batch rows), the condition / GDOP /
+//    selection / averaging all run through the shared batch code — so
+//    whenever the re-derived mask equals the mask the tournament would
+//    cut, the candidate result is bit-identical to the batch result.
+//
+// Mask equality cannot be proven cheaply on noisy data (the tournament
+// winner is itself a noisy fit and flips borderline rows), so the warm
+// tier is *gated*, not assumed: a relative ambiguity band around the
+// consensus threshold must be empty of residuals, the IRLS fixpoint must
+// verify (re-derived weight vector within weight_drift_max of the refit's,
+// and a weighted-gram re-solve — maintained by IncrementalNormals
+// weighted appends with O(changed-rows) re-weight downdates — within
+// solution_drift_max of the refit), the robust scale must not have
+// drifted from the anchor's, and the weighted gram must not have
+// cancelled away. Any gate trip falls back to the full batch pipeline,
+// byte-identically, with the reason counted. The differential suite
+// (tests/core/test_incremental_cal.cpp) referees all of it against fresh
+// full-pipeline solves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "linalg/small.hpp"
+#include "sim/reader.hpp"
+
+namespace lion::core {
+
+/// How a calibrate flush was (or must be) answered.
+enum class CalFlushSource {
+  kMemo,         ///< buffer unchanged since the anchor: cached report
+  kIncremental,  ///< warm-started sweep passed every gate
+  kFallback,     ///< full batch pipeline required
+};
+
+/// Why the incremental path declined a flush.
+enum class CalFallbackReason {
+  kNone,          ///< not a fallback
+  kCold,          ///< no anchor yet (first flush, or after reset)
+  kStatus,        ///< anchor report was not a clean 3D fix
+  kCarve,         ///< buffer is not an append extension of the anchor
+  kDelta,         ///< append delta too large relative to the anchor
+  kRows,          ///< a candidate system fell below the warm row floor
+  kDrift,         ///< mask/fixpoint/scale drift outside the gates
+  kCancellation,  ///< weighted gram cancelled beyond the gate
+  kSweep,         ///< sweep structure diverged (2D fallback, no usable)
+};
+
+const char* cal_flush_source_name(CalFlushSource source);
+const char* cal_fallback_reason_name(CalFallbackReason reason);
+
+/// Gate knobs of the incremental calibrate solver. The defaults are tuned
+/// against the 200-seed differential suite: tight enough that every flush
+/// the warm tier answers is bit-identical to the batch answer, loose
+/// enough that clean steady streams stay on the warm tier.
+struct IncrementalCalConfig {
+  Vec3 physical_center{};
+  RobustCalibrationConfig calibration{};
+  /// Relative ambiguity band around the derived consensus threshold: any
+  /// row with |r| in [thr*(1-band), thr*(1+band)] could plausibly flip
+  /// under a different tournament winner, so the warm mask is distrusted.
+  double threshold_margin = 0.35;
+  /// Robust-scale drift vs the anchor candidate, |scale/anchor - 1|.
+  double scale_drift_max = 0.25;
+  /// Floor-regime margin: when the consensus threshold sits on the 1e-12
+  /// floor the cut is made against rounding noise, so instead of a
+  /// relative band every masked row must be below threshold/floor_gap and
+  /// every rejected row above threshold*floor_gap.
+  double floor_gap = 25.0;
+  /// IRLS fixpoint gate: max |w_rederived - w_refit| over consensus rows.
+  /// (The refit stops at ||dx||_inf < irls.tolerance, so the weights it
+  /// used lag the final residuals by up to one Lipschitz step — the gate
+  /// is sized for that lag, not for exact equality.)
+  double weight_drift_max = 1e-6;
+  /// IRLS fixpoint gate: max |x_weighted_gram - x_refit| after the
+  /// re-weighted incremental-normals re-solve.
+  double solution_drift_max = 1e-6;
+  /// Alias-degeneracy gate: samples on a single scan line cannot tell the
+  /// tag from its rotation about that line, so every same-line pair is
+  /// *exactly* consistent with a whole alias family. When one line
+  /// contributes at least this fraction of a window's pairs, the LMedS
+  /// median can tie between basins and the tournament tie-break is
+  /// arbitrary — the warm path refuses such windows.
+  double max_single_line_fraction = 0.45;
+  /// Append delta (samples) tolerated relative to the anchor buffer size.
+  double max_delta_fraction = 0.5;
+  /// Cancellation ratio above which the weighted gram is distrusted.
+  double max_cancellation = 1e6;
+  /// Minimum rows a warm candidate system may have (below it the batch
+  /// branch structure is too easy to flip; fall back instead).
+  std::size_t min_rows = 8;
+  /// Mask/OLS fixpoint sweeps before declaring drift.
+  std::size_t max_fixpoint_sweeps = 4;
+};
+
+/// Counters of every decision the solver made (monotone).
+struct CalFlushStats {
+  std::uint64_t flushes = 0;
+  std::uint64_t memo = 0;
+  std::uint64_t incremental = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t fb_cold = 0;
+  std::uint64_t fb_status = 0;
+  std::uint64_t fb_carve = 0;
+  std::uint64_t fb_delta = 0;
+  std::uint64_t fb_rows = 0;
+  std::uint64_t fb_drift = 0;
+  std::uint64_t fb_cancellation = 0;
+  std::uint64_t fb_sweep = 0;
+};
+
+/// Outcome of a flush decision.
+struct CalFlushDecision {
+  CalFlushSource source = CalFlushSource::kFallback;
+  CalFallbackReason reason = CalFallbackReason::kCold;
+  /// True when `report` carries the answer (memo / incremental). False
+  /// means the caller must run calibrate_antenna_robust itself and then
+  /// install_anchor() the result.
+  bool report_ready = false;
+  /// Human-readable detail on a fallback (which gate tripped); empty
+  /// otherwise. Forensic only — never part of the answer bytes.
+  std::string detail;
+  CalibrationReport report;
+};
+
+/// Order-dependent FNV-1a digest of a sample prefix — the memo/carve
+/// detector (bitwise field identity, no float comparisons).
+std::uint64_t cal_buffer_digest(const std::vector<sim::PhaseSample>& buffer,
+                                std::size_t count);
+
+/// Per-session incremental calibrate solver. Not thread-safe; the serving
+/// layer serializes access under its session lock. All solver scratch is
+/// owned here, so steady-state flushes stay allocation-light.
+class IncrementalCalibrationSolver {
+ public:
+  explicit IncrementalCalibrationSolver(IncrementalCalConfig config);
+
+  /// Decide how to answer a flush over `buffer` (the session's full
+  /// calibrate buffer). Memo/warm decisions carry the finished report;
+  /// fallback decisions carry the reason. Deterministic: the same solver
+  /// state and buffer always produce the same decision and bytes.
+  CalFlushDecision flush(const std::vector<sim::PhaseSample>& buffer);
+
+  /// Install the result of a full batch solve over `buffer` as the new
+  /// anchor (the caller ran calibrate_antenna_robust on exactly this
+  /// buffer). Also called during journal replay to rebuild state.
+  void install_anchor(const std::vector<sim::PhaseSample>& buffer,
+                      const CalibrationReport& report);
+
+  /// Drop the anchor (the next flush is kCold). Used when a session is
+  /// restored without a journaled anchor.
+  void reset();
+
+  bool has_anchor() const { return anchor_valid_; }
+  std::size_t anchor_samples() const { return anchor_samples_; }
+  const CalibrationReport& anchor_report() const { return anchor_report_; }
+  const CalFlushStats& stats() const { return stats_; }
+  const IncrementalCalConfig& config() const { return config_; }
+
+ private:
+  struct AnchorCandidate {
+    bool usable = false;
+    bool consensus = false;
+    Vec3 position{};
+    double consensus_scale = 0.0;
+  };
+
+  CalFlushDecision fallback(CalFallbackReason reason, const char* detail);
+  AdaptiveResult warm_sweep(const signal::PhaseProfile& profile,
+                            const AdaptiveConfig& cfg);
+  LocalizationResult warm_candidate(const signal::PhaseProfile& windowed,
+                                    const LocalizerConfig& lc,
+                                    const AnchorCandidate& anchor);
+
+  IncrementalCalConfig config_;
+  CalFlushStats stats_;
+
+  bool anchor_valid_ = false;
+  std::size_t anchor_samples_ = 0;
+  std::uint64_t anchor_digest_ = 0;
+  CalibrationReport anchor_report_;
+  std::vector<AnchorCandidate> anchor_candidates_;
+
+  linalg::SolverWorkspace ws_;
+  linalg::IncrementalNormals normals_;
+  // Warm-path scratch (sized per candidate, reused across flushes).
+  std::vector<double> residuals_;
+  std::vector<double> scratch_;
+  std::vector<char> mask_;
+  std::vector<char> prev_mask_;
+};
+
+}  // namespace lion::core

@@ -50,9 +50,9 @@ LocalizationResult LinearLocalizer::locate(
   return locate_with_pairs(profile, pairs);
 }
 
-LocalizationResult LinearLocalizer::locate_with_pairs(
-    const signal::PhaseProfile& profile,
-    const std::vector<IndexPair>& pairs) const {
+LinearSystem LinearLocalizer::prepare_system(
+    const signal::PhaseProfile& profile, const std::vector<IndexPair>& pairs,
+    TrajectoryFrame& frame) const {
   if (profile.size() < 3) {
     throw std::invalid_argument(
         "LinearLocalizer: need at least three samples");
@@ -63,7 +63,7 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
         "configured interval?)");
   }
 
-  const TrajectoryFrame frame = analyze_frame(profile, config_.target_dim);
+  frame = analyze_frame(profile, config_.target_dim);
   if (frame.rank + 1 < config_.target_dim) {
     throw std::invalid_argument(
         "LinearLocalizer: scan dimension is more than one short of the "
@@ -72,12 +72,17 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
 
   const std::size_t ref =
       config_.reference_index.value_or(profile.size() / 2);
-  const LinearSystem sys =
-      build_system(profile, frame, pairs, ref, config_.wavelength);
+  return build_system(profile, frame, pairs, ref, config_.wavelength);
+}
 
-  linalg::LstsqResult sol;
-  double inlier_fraction = 1.0;
-  bool ws_holds_system = false;  // workspace caches exactly (sys.a, sys.k)
+LocalizationResult LinearLocalizer::locate_with_pairs(
+    const signal::PhaseProfile& profile,
+    const std::vector<IndexPair>& pairs) const {
+  TrajectoryFrame frame;
+  const LinearSystem sys = prepare_system(profile, pairs, frame);
+
+  SolveOutcome oc;
+  linalg::LstsqResult& sol = oc.solution;
   LION_OBS_SPAN(obs::Stage::kSolve);
   switch (config_.method) {
     case SolveMethod::kLeastSquares:
@@ -96,7 +101,7 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
                 ? linalg::solve_irls(sys.a, sys.k, config_.irls,
                                      *config_.workspace)
                 : linalg::solve_irls(sys.a, sys.k, config_.irls);
-      ws_holds_system = config_.workspace != nullptr;
+      oc.ws_holds_system = config_.workspace != nullptr;
       break;
     case SolveMethod::kHuberIrls:
     case SolveMethod::kTukeyIrls: {
@@ -107,24 +112,40 @@ LocalizationResult LinearLocalizer::locate_with_pairs(
       sol = config_.workspace
                 ? linalg::solve_irls(sys.a, sys.k, irls, *config_.workspace)
                 : linalg::solve_irls(sys.a, sys.k, irls);
-      ws_holds_system = config_.workspace != nullptr;
+      oc.ws_holds_system = config_.workspace != nullptr;
       break;
     }
     case SolveMethod::kRansac: {
-      const auto rr =
+      auto rr =
           config_.workspace
               ? ransac_solve(sys.a, sys.k, config_.ransac, *config_.workspace)
               : ransac_solve(sys.a, sys.k, config_.ransac);
-      sol = rr.solution;
-      inlier_fraction = rr.inlier_fraction;
-      ws_holds_system = config_.workspace != nullptr;
+      sol = std::move(rr.solution);
+      oc.inlier_fraction = rr.inlier_fraction;
+      oc.ws_holds_system = config_.workspace != nullptr;
+      oc.consensus = rr.consensus;
+      oc.consensus_scale = rr.scale;
+      oc.consensus_threshold = rr.threshold;
       break;
     }
   }
+  return assemble_result(profile, frame, sys, pairs.size(), oc);
+}
+
+LocalizationResult LinearLocalizer::assemble_result(
+    const signal::PhaseProfile& profile, const TrajectoryFrame& frame,
+    const LinearSystem& sys, std::size_t equations,
+    const SolveOutcome& oc) const {
+  const linalg::LstsqResult& sol = oc.solution;
+  const double inlier_fraction = oc.inlier_fraction;
+  const bool ws_holds_system = oc.ws_holds_system;
 
   LocalizationResult out;
   out.inlier_fraction = inlier_fraction;
-  out.equations = pairs.size();
+  out.consensus = oc.consensus;
+  out.consensus_scale = oc.consensus_scale;
+  out.consensus_threshold = oc.consensus_threshold;
+  out.equations = equations;
   out.trajectory_rank = frame.rank;
   out.condition = sys.a.rows() >= sys.a.cols()
                       ? linalg::HouseholderQR(sys.a).condition_estimate()

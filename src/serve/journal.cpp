@@ -148,7 +148,7 @@ JournalDecode decode_journal_records(std::string_view data,
     const std::uint8_t type_raw =
         static_cast<std::uint8_t>(static_cast<unsigned char>(payload[0]));
     if (type_raw < static_cast<std::uint8_t>(JournalRecordType::kDeclare) ||
-        type_raw > static_cast<std::uint8_t>(JournalRecordType::kPoseTick)) {
+        type_raw > static_cast<std::uint8_t>(JournalRecordType::kCalAnchor)) {
       break;
     }
     JournalRecord rec;
@@ -196,6 +196,7 @@ std::string normalize_declare_line(const ParsedLine& line) {
   if (line.window) num("window", static_cast<double>(*line.window));
   if (line.hop) num("hop", static_cast<double>(*line.hop));
   if (line.dim) num("dim", static_cast<double>(*line.dim));
+  if (line.smoothing) num("smoothing", static_cast<double>(*line.smoothing));
   return out;
 }
 
@@ -389,6 +390,10 @@ std::optional<RecoveredSession> JournalStore::claim(const std::string& id,
   out.id = id;
   out.declare_line = decode.records.front().line;
   out.record_count = decode.records.size();
+  out.client_records = 0;
+  for (const JournalRecord& r : decode.records) {
+    if (r.type != JournalRecordType::kCalAnchor) ++out.client_records;
+  }
   out.last_tick = decode.records.back().tick;
   out.last_seq = decode.records.back().seq;
   out.torn = decode.torn;

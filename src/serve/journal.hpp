@@ -70,6 +70,9 @@ enum class JournalRecordType : std::uint8_t {
   kJsonSample = 3,  ///< line = canonical JSON read record
   kFlush = 4,       ///< flush boundary (line empty)
   kPoseTick = 5,    ///< pose tick emitted for this session (line empty)
+  kCalFlush = 6,    ///< calibrate flush decided (line empty)
+  kCalAnchor = 7,   ///< incremental-cal anchor installed; line = decimal
+                    ///< sample count the anchoring batch solve consumed
 };
 
 /// One decoded record.
@@ -162,6 +165,12 @@ struct RecoveredSession {
   std::string declare_line;         ///< normalized declare (record 0)
   std::vector<JournalRecord> records;  ///< the rest, in LSN order
   std::uint64_t record_count = 0;   ///< including the declare record
+  /// Records that correspond 1:1 to client wire lines — record_count
+  /// minus internal bookkeeping records (kCalAnchor). This is the resume
+  /// cursor the restore ack reports: a client that fed k lines resumes
+  /// at input index == client_records no matter how many anchors the
+  /// service journaled behind its back.
+  std::uint64_t client_records = 0;
   std::uint64_t last_tick = 0;      ///< snapshots of the newest record
   std::uint64_t last_seq = 0;
   bool torn = false;                ///< a torn tail was skipped

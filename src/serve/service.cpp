@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -307,7 +308,7 @@ void StreamService::handle_session_declare(std::unique_lock<std::mutex>& lock,
     }
   }
   // Capture the ack payload before the move; replay filled these counters.
-  const std::uint64_t records = restored ? restored->record_count : 0;
+  const std::uint64_t records = restored ? restored->client_records : 0;
   const std::uint64_t samples = session.samples_accepted;
   const std::uint64_t flushes = session.flushes;
   const bool torn = restored && restored->torn;
@@ -379,7 +380,9 @@ bool StreamService::attach_journal(std::unique_lock<std::mutex>& lock,
   }
   clock_ticks_ = std::max(clock_ticks_, rec->last_tick);
   session.last_active = clock_ticks_;
-  session.restored_records = rec->record_count;
+  // The ack cursor counts only client-visible records; the writer resumes
+  // at the true on-disk LSN (anchors included) so frames stay gap-free.
+  session.restored_records = rec->client_records;
   session.journal = store->open_writer(session.id, rec->record_count);
   if (!session.journal) {
     session.journal_degraded = true;
@@ -433,6 +436,44 @@ void StreamService::replay_records(StreamSession& session,
         // index advances, so post-restore ticks continue the sequence.
         ++session.ticks_emitted;
         break;
+      case JournalRecordType::kCalFlush:
+        // The report was delivered before the crash, and a calibrate
+        // flush never carves the buffer — only the flush count advances.
+        // Anchor state replays from kCalAnchor records alone: a memo or
+        // warm decision leaves the solver untouched by contract, and a
+        // fallback's install was journaled separately when it completed.
+        ++session.flushes;
+        break;
+      case JournalRecordType::kCalAnchor: {
+        if (session.config.mode != SessionMode::kCalibrate) break;
+        // Re-run the batch solve the live path ran, over the recorded
+        // sample-count prefix — the pipeline is deterministic, so the
+        // restored anchor (digest, report bytes, per-candidate warm
+        // state) is identical to the pre-crash one.
+        char* end = nullptr;
+        const unsigned long long n =
+            std::strtoull(record.line.c_str(), &end, 10);
+        if (end == record.line.c_str() || n > session.buffer.size()) break;
+        ensure_cal_solver(session);
+        if (!session.cal) break;
+        try {
+          const std::vector<sim::PhaseSample> prefix(
+              session.buffer.begin(),
+              session.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+          thread_local linalg::SolverWorkspace solver_ws;
+          const core::CalibrationReport report =
+              core::calibrate_antenna_robust(prefix, session.config.center,
+                                             session.config.calibration,
+                                             &solver_ws);
+          session.cal->install_anchor(prefix, report);
+        } catch (...) {
+          // A solver that cannot reproduce the anchor falls back to cold
+          // (every post-restore flush takes the batch path) — degraded,
+          // never wrong.
+          session.cal->reset();
+        }
+        break;
+      }
     }
   }
 }
@@ -667,25 +708,94 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
     }
     return false;
   }
-  const auto again = sessions_.find(id);
+  auto again = sessions_.find(id);
   if (again == sessions_.end()) return false;
+  if (again->second.config.mode == SessionMode::kCalibrate &&
+      !cfg_.reject_when_busy) {
+    // Decision determinism: the anchor visible to this flush must be a
+    // function of the input lines alone, and anchors are installed by
+    // pool workers when a full solve completes. Waiting out the session's
+    // own pending solves pins the decision; the reorder buffer already
+    // queues this flush's response behind theirs, so the wait adds no
+    // output latency. Reject mode trades exactly this class of timing
+    // sensitivity for never blocking ingest — there the decision runs
+    // against whatever anchor is installed right now.
+    cv_.wait(lock, [this, &id] {
+      const auto it = sessions_.find(id);
+      return it == sessions_.end() || it->second.in_flight == 0;
+    });
+    again = sessions_.find(id);
+    if (again == sessions_.end()) return false;  // evicted while blocked
+  }
   StreamSession& session = again->second;
+  if (session.config.mode == SessionMode::kCalibrate) {
+    // The buffer is cumulative: flush solves everything seen so far and
+    // keeps accepting — exactly the batch pipeline over the same rows.
+    // The incremental tier (anchor-digest memo + warm-started sweep)
+    // answers inline on the ingest thread when its gates hold — the
+    // decision is deterministic and allocation-light, so it stays inside
+    // the sequenced section like a pose tick. Any decline schedules the
+    // full batch solve; its completion installs the session's next
+    // anchor (and journals kCalAnchor) in run_request.
+    ensure_cal_solver(session);
+    core::CalFlushDecision decision;
+    const std::uint64_t solve_start = obs::trace_now_ns();
+    if (session.cal) decision = session.cal->flush(session.buffer);
+    count_cal_decision(decision);
+    if (decision.report_ready) {
+      record_span(session, current_trace_id(), obs::Stage::kServeSolve,
+                  solve_start, obs::trace_now_ns());
+      ++stats_.reports;
+      ++session.requests;
+      const std::uint64_t seq = reserve_seq();
+      std::string response =
+          report_response(id, seq, decision.report,
+                          core::cal_flush_source_name(decision.source));
+      // Same durability boundary as the scheduled path: the decision is
+      // journaled and fsynced before the ack leaves the service.
+      journal_append(session, JournalRecordType::kCalFlush, "");
+      if (session.journal && !session.journal_degraded) {
+        const std::uint64_t sync_start = obs::trace_now_ns();
+        session.journal->sync();
+        record_span(session, current_trace_id(), obs::Stage::kJournalSync,
+                    sync_start, obs::trace_now_ns());
+      }
+      emit(seq, std::move(response), current_origin_);
+      return true;
+    }
+    if (!decision.detail.empty()) {
+      event(obs::Severity::kInfo, "cal_fallback", id, decision.detail,
+            session.buffer.size());
+    }
+    SolveRequest request;
+    request.session = id;
+    request.mode = session.config.mode;
+    request.config = session.config;
+    request.samples = session.buffer;
+    request.cal_flush = true;
+    schedule(lock, std::move(request));
+    // Flush is the client's durability boundary: journal it and force the
+    // batched fsync so an acked flush survives an OS crash, not just a
+    // process kill.
+    journal_append(session, JournalRecordType::kCalFlush, "");
+    if (session.journal && !session.journal_degraded) {
+      const std::uint64_t sync_start = obs::trace_now_ns();
+      session.journal->sync();
+      record_span(session, current_trace_id(), obs::Stage::kJournalSync,
+                  sync_start, obs::trace_now_ns());
+    }
+    return true;
+  }
   SolveRequest request;
   request.session = id;
   request.mode = session.config.mode;
   request.config = session.config;
-  if (session.config.mode == SessionMode::kCalibrate) {
-    // The buffer is cumulative: flush solves everything seen so far and
-    // keeps accepting — exactly the batch pipeline over the same rows.
-    request.samples = session.buffer;
-  } else {
-    // Track flush drains the partial window as a final (short) solve.
-    request.samples.assign(session.window_buffer.begin(),
-                           session.window_buffer.end());
-    session.window_buffer.clear();
-    if (session.incremental) session.incremental->clear();
-    request.window_index = session.windows_scheduled++;
-  }
+  // Track flush drains the partial window as a final (short) solve.
+  request.samples.assign(session.window_buffer.begin(),
+                         session.window_buffer.end());
+  session.window_buffer.clear();
+  if (session.incremental) session.incremental->clear();
+  request.window_index = session.windows_scheduled++;
   schedule(lock, std::move(request));
   // Flush is the client's durability boundary: journal it and force the
   // batched fsync so an acked flush survives an OS crash, not just a
@@ -698,6 +808,69 @@ bool StreamService::handle_flush(std::unique_lock<std::mutex>& lock,
                 sync_start, obs::trace_now_ns());
   }
   return true;
+}
+
+void StreamService::ensure_cal_solver(StreamSession& session) {
+  if (session.cal || session.config.mode != SessionMode::kCalibrate) return;
+  try {
+    core::IncrementalCalConfig cal_cfg;
+    cal_cfg.physical_center = session.config.center;
+    cal_cfg.calibration = session.config.calibration;
+    session.cal =
+        std::make_unique<core::IncrementalCalibrationSolver>(cal_cfg);
+  } catch (...) {
+    // A session without a solver still serves: every flush takes the
+    // batch path (counted as a cold fallback), nothing is silently lost.
+    session.cal.reset();
+  }
+}
+
+void StreamService::count_cal_decision(
+    const core::CalFlushDecision& decision) {
+  ++stats_.cal_flushes;
+  LION_OBS_COUNT("serve.cal_flushes", 1);
+  switch (decision.source) {
+    case core::CalFlushSource::kMemo:
+      ++stats_.cal_memo;
+      LION_OBS_COUNT("serve.cal_memo", 1);
+      return;
+    case core::CalFlushSource::kIncremental:
+      ++stats_.cal_incremental;
+      LION_OBS_COUNT("serve.cal_incremental", 1);
+      return;
+    case core::CalFlushSource::kFallback:
+      break;
+  }
+  ++stats_.cal_fallbacks;
+  LION_OBS_COUNT("serve.cal_fallbacks", 1);
+  switch (decision.reason) {
+    case core::CalFallbackReason::kNone:
+      break;
+    case core::CalFallbackReason::kCold:
+      ++stats_.cal_fb_cold;
+      break;
+    case core::CalFallbackReason::kStatus:
+      ++stats_.cal_fb_status;
+      break;
+    case core::CalFallbackReason::kCarve:
+      ++stats_.cal_fb_carve;
+      break;
+    case core::CalFallbackReason::kDelta:
+      ++stats_.cal_fb_delta;
+      break;
+    case core::CalFallbackReason::kRows:
+      ++stats_.cal_fb_rows;
+      break;
+    case core::CalFallbackReason::kDrift:
+      ++stats_.cal_fb_drift;
+      break;
+    case core::CalFallbackReason::kCancellation:
+      ++stats_.cal_fb_cancellation;
+      break;
+    case core::CalFallbackReason::kSweep:
+      ++stats_.cal_fb_sweep;
+      break;
+  }
 }
 
 void StreamService::handle_pose_tick(std::unique_lock<std::mutex>& lock,
@@ -860,6 +1033,12 @@ void StreamService::run_request(SolveRequest& request) {
   bool timed_out = false;
   bool failed = false;
   std::string response;
+  // A completed calibrate flush carries its report out of the try block:
+  // the accounting pass installs it as the session's next incremental
+  // anchor (never on timeout — a deadline report is not the batch answer
+  // for these rows and would poison the memo tier).
+  core::CalibrationReport cal_report;
+  bool cal_solved = false;
   const std::uint64_t solve_start = obs::trace_now_ns();
   try {
     timed_out = cfg_.request_timeout_s > 0.0 &&
@@ -875,8 +1054,11 @@ void StreamService::run_request(SolveRequest& request) {
         report = core::calibrate_antenna_robust(
             request.samples, request.config.center,
             request.config.calibration, &solver_ws);
+        cal_solved = true;
       }
-      response = report_response(request.session, request.seq, report);
+      response =
+          report_response(request.session, request.seq, report, "fallback");
+      if (cal_solved && request.cal_flush) cal_report = std::move(report);
     } else {
       core::TrackFix fix;
       if (timed_out) {
@@ -925,6 +1107,21 @@ void StreamService::run_request(SolveRequest& request) {
       // Telemetry for the completed request: queue wait (schedule to
       // worker pickup), the solve itself, and the session's RED series.
       StreamSession& session = it->second;
+      if (request.cal_flush && cal_solved && !failed) {
+        // Adopt-before-decide: the session kept accepting while this
+        // solve ran, so the anchor is installed over the request's row
+        // snapshot (append-only buffers make any same-or-larger later
+        // anchor a superset — never regress to an older one when two
+        // fallback solves complete out of order).
+        ensure_cal_solver(session);
+        if (session.cal &&
+            (!session.cal->has_anchor() ||
+             request.samples.size() > session.cal->anchor_samples())) {
+          session.cal->install_anchor(request.samples, cal_report);
+          journal_append(session, JournalRecordType::kCalAnchor,
+                         std::to_string(request.samples.size()));
+        }
+      }
       record_span(session, request.trace_id, obs::Stage::kQueueWait,
                   request.enqueue_ns, solve_start);
       record_span(session, request.trace_id, obs::Stage::kServeSolve,
@@ -1010,6 +1207,18 @@ void StreamService::emit_stats_response() {
   field("oversized", stats_.oversized);
   field("pose_ticks", stats_.pose_ticks);
   field("tick_fallbacks", stats_.tick_fallbacks);
+  field("cal_flushes", stats_.cal_flushes);
+  field("cal_memo", stats_.cal_memo);
+  field("cal_incremental", stats_.cal_incremental);
+  field("cal_fallbacks", stats_.cal_fallbacks);
+  field("cal_fb_cold", stats_.cal_fb_cold);
+  field("cal_fb_status", stats_.cal_fb_status);
+  field("cal_fb_carve", stats_.cal_fb_carve);
+  field("cal_fb_delta", stats_.cal_fb_delta);
+  field("cal_fb_rows", stats_.cal_fb_rows);
+  field("cal_fb_drift", stats_.cal_fb_drift);
+  field("cal_fb_cancellation", stats_.cal_fb_cancellation);
+  field("cal_fb_sweep", stats_.cal_fb_sweep);
   field("ticks", clock_ticks_);
   if (cfg_.shard_count > 1) {
     // Sharded servers answer !stats once per shard; the annotation lets a
@@ -1064,6 +1273,10 @@ void StreamService::emit_health_response() {
   field("restores", stats_.restores);
   field("pose_ticks", stats_.pose_ticks);
   field("tick_fallbacks", stats_.tick_fallbacks);
+  field("cal_flushes", stats_.cal_flushes);
+  field("cal_memo", stats_.cal_memo);
+  field("cal_incremental", stats_.cal_incremental);
+  field("cal_fallbacks", stats_.cal_fallbacks);
   out += ",\"journal_enabled\":";
   out += cfg_.journal != nullptr ? "true" : "false";
   if (cfg_.journal != nullptr) {
@@ -1101,6 +1314,15 @@ void StreamService::emit_health_response() {
       out, all_ticks == 0 ? 0.0
                           : static_cast<double>(stats_.tick_fallbacks) /
                                 static_cast<double>(all_ticks));
+  // Same story for calibrate flushes: a rising ratio means the warm
+  // tier's gates are tripping and `!flush` is paying full batch cost —
+  // the per-reason cal_fb_* split in `!stats` says which gate.
+  out += ",\"cal_fallback_ratio\":";
+  obs::append_json_number(
+      out, stats_.cal_flushes == 0
+               ? 0.0
+               : static_cast<double>(stats_.cal_fallbacks) /
+                     static_cast<double>(stats_.cal_flushes));
   {
     // mu_ -> emit_mu_ is the designed lock order, so peeking at the
     // reorder high-water mark from here is safe.

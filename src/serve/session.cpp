@@ -64,13 +64,22 @@ bool make_session_config(const ParsedLine& line, SessionConfig& out,
     }
     cfg.localizer.target_dim = line.dim.value_or(2);
     cfg.localizer.side_hint = line.hint;
+    if (line.smoothing) {
+      error = "track session: smoothing= is a calibrate option";
+      return false;
+    }
   } else {
     // Calibrate-mode sessions take no tracker knobs: rejecting them loudly
     // beats silently ignoring a client's window=... typo.
     if (line.direction || line.speed || line.window || line.hop ||
         line.dim || line.hint) {
-      error = "calibrate session accepts only center= and wavelength=";
+      error =
+          "calibrate session accepts only center=, wavelength= and "
+          "smoothing=";
       return false;
+    }
+    if (line.smoothing) {
+      cfg.calibration.preprocess.smoothing_window = *line.smoothing;
     }
   }
   out = cfg;
@@ -115,9 +124,12 @@ core::TrackFix solve_track_window(
 }
 
 std::string report_response(const std::string& session, std::uint64_t seq,
-                            const core::CalibrationReport& report) {
+                            const core::CalibrationReport& report,
+                            const char* source) {
   std::string out = envelope("lion.report.v1", session, seq);
-  out += ",\"report\":";
+  out += ",\"source\":\"";
+  out += source;
+  out += "\",\"report\":";
   out += io::report_json(report);
   out.push_back('}');
   return out;

@@ -18,6 +18,7 @@
 
 #include "core/calibration.hpp"
 #include "core/incremental.hpp"
+#include "core/incremental_cal.hpp"
 #include "core/tracker.hpp"
 #include "io/csv.hpp"
 #include "obs/obs.hpp"
@@ -100,6 +101,14 @@ struct StreamSession {
   std::unique_ptr<core::IncrementalTrackSolver> incremental;
   std::uint64_t ticks_emitted = 0;  ///< pose ticks answered (both paths)
 
+  /// Calibrate mode: the per-session incremental flush solver (memo +
+  /// warm-started sweep, PR 10). Created lazily on the first `!flush`;
+  /// its anchor advances only when a *full* batch solve completes
+  /// (journaled as kCalAnchor), so replay rebuilds identical state by
+  /// re-running the batch solve over the recorded sample-count prefix.
+  /// Null for track sessions.
+  std::unique_ptr<core::IncrementalCalibrationSolver> cal;
+
   /// Durability (journal-enabled services only). `journal` appends one
   /// record per applied mutation; a write failure latches
   /// `journal_degraded` and the session keeps serving non-durably.
@@ -135,8 +144,16 @@ core::TrackFix solve_track_window(
 // Response serialization (deterministic: fixed key order, %.17g numbers).
 // ---------------------------------------------------------------------------
 
+/// `!flush` answer for a calibrate session (lion.report.v1). `source` is
+/// "memo" when the buffer digest still matched the anchor snapshot,
+/// "incremental" when the warm-started sweep passed every gate, and
+/// "fallback" when the full batch pipeline ran; all three serialize
+/// through this one function so the bytes differ only in the tag (and
+/// the fallback tag marks the report the other two must match byte for
+/// byte — the conformance contract of the incremental tier).
 std::string report_response(const std::string& session, std::uint64_t seq,
-                            const core::CalibrationReport& report);
+                            const core::CalibrationReport& report,
+                            const char* source);
 
 std::string fix_response(const std::string& session, std::uint64_t seq,
                          std::uint64_t window_index,

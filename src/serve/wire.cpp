@@ -205,6 +205,10 @@ ParsedLine parse_control(std::string_view line) {
         std::size_t v = 0;
         ok = parse_count(val, v) && (v == 2 || v == 3);
         if (ok) out.dim = v;
+      } else if (key == "smoothing") {
+        std::size_t v = 0;
+        ok = parse_count(val, v);
+        if (ok) out.smoothing = v;
       } else {
         return error_line("wire: unknown session option '" +
                           std::string(key) + "'");

@@ -1,0 +1,422 @@
+// Differential / negative-path suite for the incremental calibrate solver.
+//
+// The solver's contract is brutal on purpose: every flush it answers
+// (memo or warm) must be BYTE-identical — compared through the same
+// io::report_json serialization the serving stack ships — to a fresh
+// full-pipeline calibrate_antenna_robust over the same buffer, and every
+// flush it cannot prove must fall back with a counted reason. The
+// 200-seed interleaving test is the referee for the first half; the
+// per-reason trip tests for the second.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/incremental_cal.hpp"
+#include "core/lion.hpp"
+#include "io/report_json.hpp"
+#include "rf/phase_model.hpp"
+#include "rf/rng.hpp"
+#include "sim/scenario.hpp"
+
+namespace lion {
+namespace {
+
+using core::CalFallbackReason;
+using core::CalFlushSource;
+using core::IncrementalCalConfig;
+using core::IncrementalCalibrationSolver;
+using linalg::Vec3;
+
+constexpr Vec3 kPhysical{0.0, 0.8, 0.0};
+
+IncrementalCalConfig make_config() {
+  IncrementalCalConfig cfg;
+  cfg.physical_center = kPhysical;
+  return cfg;
+}
+
+// Warm-tier regime config: smoothing disabled. The default moving average
+// injects window-truncation bias (~1e-3 rad) even into exact-phase
+// streams, which lifts residuals off the rounding floor and puts them in
+// a continuum around the derived threshold — the warm tier then (rightly)
+// declines every flush. Without smoothing, exact streams keep residuals
+// at rounding level, orders below the 1e-12 consensus floor, where mask
+// equality is provable and answers are bit-identical.
+IncrementalCalConfig make_clean_config() {
+  IncrementalCalConfig cfg;
+  cfg.physical_center = kPhysical;
+  cfg.calibration.preprocess.smoothing_window = 1;
+  return cfg;
+}
+
+// Noise-free analytic stream along the *continuous* Fig. 11 three-line
+// rig trajectory: exact distance phases from a known electrical center.
+// Continuity matters — phase unwrapping assumes adjacent samples are
+// close, so the stream must traverse the line transits, not jump.
+std::vector<sim::PhaseSample> clean_stream(const Vec3& center,
+                                           double phase_offset,
+                                           double dt = 0.1) {
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  const auto traj = rig.build();
+  std::vector<sim::PhaseSample> out;
+  for (double t = 0.0; t <= traj.duration(); t += dt) {
+    sim::PhaseSample s;
+    s.t = t;
+    s.position = traj.position(t);
+    const double d = linalg::distance(center, s.position);
+    s.phase = rf::wrap_phase(rf::distance_phase(d) + phase_offset);
+    s.rssi_dbm = -55.0;
+    s.channel = 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<sim::PhaseSample> noisy_stream(std::uint64_t seed) {
+  auto scenario = sim::Scenario::Builder{}
+                      .environment(sim::EnvironmentKind::kLabTypical)
+                      .add_antenna(kPhysical)
+                      .add_tag()
+                      .seed(seed)
+                      .build();
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  return scenario.sweep(0, 0, rig.build());
+}
+
+core::CalibrationReport batch(const std::vector<sim::PhaseSample>& buffer,
+                              const core::RobustCalibrationConfig& config = {}) {
+  return core::calibrate_antenna_robust(buffer, kPhysical, config);
+}
+
+std::string json(const core::CalibrationReport& report) {
+  return io::report_json(report);
+}
+
+TEST(IncrementalCal, ColdFlushFallsBack) {
+  IncrementalCalibrationSolver solver(make_config());
+  const auto stream = clean_stream(kPhysical + Vec3{0.01, -0.008, 0.005}, 1.0);
+  const auto d = solver.flush(stream);
+  EXPECT_EQ(d.source, CalFlushSource::kFallback);
+  EXPECT_EQ(d.reason, CalFallbackReason::kCold);
+  EXPECT_FALSE(d.report_ready);
+  EXPECT_EQ(solver.stats().fallbacks, 1u);
+  EXPECT_EQ(solver.stats().fb_cold, 1u);
+}
+
+TEST(IncrementalCal, MemoFlushIsByteIdentical) {
+  IncrementalCalibrationSolver solver(make_config());
+  const auto stream = clean_stream(kPhysical + Vec3{0.012, -0.01, 0.004}, 0.7);
+  const auto report = batch(stream);
+  ASSERT_EQ(report.status, core::CalibrationStatus::kOk);
+  solver.install_anchor(stream, report);
+
+  const auto d = solver.flush(stream);
+  ASSERT_EQ(d.source, CalFlushSource::kMemo);
+  ASSERT_TRUE(d.report_ready);
+  EXPECT_EQ(json(d.report), json(report));
+  EXPECT_EQ(solver.stats().memo, 1u);
+}
+
+TEST(IncrementalCal, MemoServesNonOkAnchorsToo) {
+  // The memo tier rests on pipeline determinism alone, so even a
+  // degenerate-geometry report is memoizable byte-for-byte.
+  IncrementalCalibrationSolver solver(make_config());
+  std::vector<sim::PhaseSample> stream(100);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].t = 0.01 * static_cast<double>(i);
+    stream[i].position = {0.1, 0.2, 0.0};
+    stream[i].phase = 1.0;
+  }
+  const auto report = batch(stream);
+  ASSERT_EQ(report.status, core::CalibrationStatus::kDegenerateGeometry);
+  solver.install_anchor(stream, report);
+  const auto d = solver.flush(stream);
+  ASSERT_EQ(d.source, CalFlushSource::kMemo);
+  EXPECT_EQ(json(d.report), json(report));
+}
+
+TEST(IncrementalCal, WarmAppendFlushIsByteIdenticalToBatch) {
+  const auto cfg = make_clean_config();
+  IncrementalCalibrationSolver solver(cfg);
+  const auto full = clean_stream(kPhysical + Vec3{0.009, -0.011, 0.006}, 2.1);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.end() - full.size() / 10);
+  const auto anchor = batch(buffer, cfg.calibration);
+  ASSERT_EQ(anchor.status, core::CalibrationStatus::kOk);
+  solver.install_anchor(buffer, anchor);
+
+  buffer.assign(full.begin(), full.end());
+  const auto d = solver.flush(buffer);
+  ASSERT_EQ(d.source, CalFlushSource::kIncremental) << d.detail;
+  ASSERT_TRUE(d.report_ready);
+  EXPECT_EQ(json(d.report), json(batch(buffer, cfg.calibration)));
+  EXPECT_EQ(solver.stats().incremental, 1u);
+}
+
+TEST(IncrementalCal, WarmFlushIsDeterministicAcrossRepeats) {
+  const auto cfg = make_clean_config();
+  IncrementalCalibrationSolver solver(cfg);
+  const auto full = clean_stream(kPhysical + Vec3{0.01, -0.009, 0.007}, 0.3);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.end() - full.size() / 12);
+  solver.install_anchor(buffer, batch(buffer, cfg.calibration));
+  buffer.assign(full.begin(), full.end());
+
+  const auto d1 = solver.flush(buffer);
+  const auto d2 = solver.flush(buffer);
+  ASSERT_EQ(d1.source, CalFlushSource::kIncremental) << d1.detail;
+  ASSERT_EQ(d2.source, CalFlushSource::kIncremental) << d2.detail;
+  EXPECT_EQ(json(d1.report), json(d2.report));
+}
+
+// The referee: 200 seeded interleavings of append / carve / flush over
+// clean and noisy streams. Every answered flush must serialize to the
+// same bytes as a fresh full-pipeline solve over the same buffer; every
+// fallback is followed by a batch solve + anchor install, like the
+// serving layer does.
+TEST(IncrementalCal, DifferentialInterleavings200Seeds) {
+  std::uint64_t answered = 0;
+  std::uint64_t fallbacks = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    rf::Rng rng(seed * 7919 + 13);
+    const bool noisy = (seed % 4) == 3;
+    const Vec3 center =
+        kPhysical + Vec3{0.005 + 0.0001 * static_cast<double>(seed % 17),
+                         -0.012 + 0.0002 * static_cast<double>(seed % 11),
+                         0.004};
+    const auto full =
+        noisy ? noisy_stream(seed + 1)
+              : clean_stream(center, 0.1 * static_cast<double>(seed % 31));
+    ASSERT_GE(full.size(), 60u) << "seed " << seed;
+
+    // Clean seeds run the warm-tier regime (no smoothing); noisy seeds run
+    // the production defaults, where every gate earns its keep. The fresh
+    // reference solve always uses the solver's own config — the contract
+    // is pipeline equality, not config equality.
+    const auto cfg = noisy ? make_config() : make_clean_config();
+    IncrementalCalibrationSolver solver(cfg);
+    std::vector<sim::PhaseSample> buffer(full.begin(),
+                                         full.begin() + full.size() / 2);
+    std::size_t cursor = buffer.size();
+
+    const int ops = 3 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int op = 0; op < ops; ++op) {
+      const int kind = static_cast<int>(rng.uniform_int(0, 9));
+      if (kind < 5 && cursor < full.size()) {
+        // Append a chunk of the remaining stream.
+        const std::size_t avail = full.size() - cursor;
+        const std::size_t cap = std::min<std::size_t>(avail, 12);
+        const std::size_t chunk = 1 + static_cast<std::size_t>(rng.uniform_int(
+                                          0, static_cast<std::int64_t>(cap) - 1));
+        buffer.insert(buffer.end(), full.begin() + cursor,
+                      full.begin() + cursor + chunk);
+        cursor += chunk;
+      } else if (kind < 6 && buffer.size() > 30) {
+        // Carve the tail (not something the serving buffer does, but the
+        // solver must detect it rather than trust the append invariant).
+        buffer.resize(buffer.size() - 5);
+        cursor -= 5;
+      }
+
+      auto d = solver.flush(buffer);
+      const auto fresh = batch(buffer, cfg.calibration);
+      if (d.report_ready) {
+        ++answered;
+        EXPECT_EQ(json(d.report), json(fresh))
+            << "seed " << seed << " op " << op << " source "
+            << core::cal_flush_source_name(d.source);
+      } else {
+        ++fallbacks;
+        solver.install_anchor(buffer, fresh);
+      }
+    }
+  }
+  // The split is workload-dependent, but the suite must exercise both
+  // paths heavily — an always-fallback solver would pass the byte checks
+  // vacuously.
+  EXPECT_GT(answered, 100u);
+  EXPECT_GT(fallbacks, 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths: every fallback reason must be trippable on demand, must
+// leave the decision report-less, and must bump exactly its counter.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCal, CarveTripsOnTruncationAndOnPrefixMutation) {
+  IncrementalCalibrationSolver solver(make_config());
+  auto stream = clean_stream(kPhysical + Vec3{0.008, -0.01, 0.003}, 1.4);
+  solver.install_anchor(stream, batch(stream));
+
+  auto truncated = stream;
+  truncated.pop_back();
+  EXPECT_EQ(solver.flush(truncated).reason, CalFallbackReason::kCarve);
+
+  auto mutated = stream;
+  mutated[mutated.size() / 2].phase += 1e-9;
+  EXPECT_EQ(solver.flush(mutated).reason, CalFallbackReason::kCarve);
+  EXPECT_EQ(solver.stats().fb_carve, 2u);
+}
+
+TEST(IncrementalCal, DeltaGateTripsOnOversizedAppend) {
+  auto cfg = make_config();
+  cfg.max_delta_fraction = 0.1;
+  IncrementalCalibrationSolver solver(cfg);
+  const auto full = clean_stream(kPhysical + Vec3{0.01, -0.01, 0.005}, 0.9);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.begin() + full.size() / 2);
+  solver.install_anchor(buffer, batch(buffer));
+  buffer.assign(full.begin(), full.end());
+  const auto d = solver.flush(buffer);
+  EXPECT_EQ(d.source, CalFlushSource::kFallback);
+  EXPECT_EQ(d.reason, CalFallbackReason::kDelta);
+  EXPECT_EQ(solver.stats().fb_delta, 1u);
+}
+
+TEST(IncrementalCal, RowsGateTripsWhenWarmSystemsAreTooSmall) {
+  auto cfg = make_config();
+  cfg.min_rows = 100000;  // no realistic window clears this
+  IncrementalCalibrationSolver solver(cfg);
+  const auto full = clean_stream(kPhysical + Vec3{0.01, -0.01, 0.005}, 0.4);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.end() - full.size() / 10);
+  solver.install_anchor(buffer, batch(buffer));
+  buffer.assign(full.begin(), full.end());
+  const auto d = solver.flush(buffer);
+  EXPECT_EQ(d.reason, CalFallbackReason::kRows);
+  EXPECT_EQ(solver.stats().fb_rows, 1u);
+}
+
+TEST(IncrementalCal, DriftGateTripsOnNoisyResidualBands) {
+  // Lab-typical noise puts residuals throughout the margin band around
+  // the consensus threshold: the warm mask cannot be proven equal to the
+  // tournament's, so the solver must decline.
+  IncrementalCalibrationSolver solver(make_config());
+  const auto full = noisy_stream(41);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.end() - full.size() / 10);
+  const auto anchor = batch(buffer);
+  ASSERT_TRUE(anchor.ok());
+  solver.install_anchor(buffer, anchor);
+  buffer.assign(full.begin(), full.end());
+  const auto d = solver.flush(buffer);
+  EXPECT_EQ(d.source, CalFlushSource::kFallback);
+  EXPECT_EQ(d.reason, CalFallbackReason::kDrift);
+  EXPECT_EQ(solver.stats().fb_drift, 1u);
+}
+
+TEST(IncrementalCal, CancellationGateTripsWhenConfigured) {
+  auto cfg = make_clean_config();
+  cfg.max_cancellation = 0.5;  // cancellation() >= 1 by construction
+  IncrementalCalibrationSolver solver(cfg);
+  const auto full = clean_stream(kPhysical + Vec3{0.011, -0.009, 0.006}, 1.8);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.end() - full.size() / 10);
+  solver.install_anchor(buffer, batch(buffer, cfg.calibration));
+  buffer.assign(full.begin(), full.end());
+  const auto d = solver.flush(buffer);
+  EXPECT_EQ(d.reason, CalFallbackReason::kCancellation) << d.detail;
+  EXPECT_EQ(solver.stats().fb_cancellation, 1u);
+}
+
+TEST(IncrementalCal, StatusGateTripsOnDegradedAnchor) {
+  IncrementalCalibrationSolver solver(make_config());
+  // Single-line scan: the batch pipeline degrades to 2D — a valid anchor
+  // for the memo tier but not for warm derivation.
+  std::vector<sim::PhaseSample> buffer;
+  const Vec3 center = kPhysical + Vec3{0.01, -0.01, 0.0};
+  for (double x = -0.55; x <= 0.55 + 1e-9; x += 0.01) {
+    sim::PhaseSample s;
+    s.t = static_cast<double>(buffer.size()) * 0.1;
+    s.position = {x, 0.0, 0.0};
+    s.phase = rf::wrap_phase(
+        rf::distance_phase(linalg::distance(center, s.position)) + 0.5);
+    s.rssi_dbm = -55.0;
+    s.channel = 0;
+    buffer.push_back(s);
+  }
+  const auto anchor = batch(buffer);
+  ASSERT_EQ(anchor.status, core::CalibrationStatus::kDegraded2D);
+  solver.install_anchor(buffer, anchor);
+
+  auto grown = buffer;
+  sim::PhaseSample extra = buffer.back();
+  extra.t += 0.1;
+  extra.position[0] += 0.01;
+  extra.phase = rf::wrap_phase(
+      rf::distance_phase(linalg::distance(center, extra.position)) + 0.5);
+  grown.push_back(extra);
+  const auto d = solver.flush(grown);
+  EXPECT_EQ(d.reason, CalFallbackReason::kStatus);
+  EXPECT_EQ(solver.stats().fb_status, 1u);
+}
+
+TEST(IncrementalCal, SweepGateTripsWhenTheGridChanges) {
+  // Anchor produced under the default 6x6 sweep, solver configured with a
+  // coarser grid: candidate lists no longer correspond, the warm sweep
+  // must refuse rather than mis-seed.
+  auto cfg = make_config();
+  cfg.calibration.adaptive.ranges = {0.8, 1.0};
+  IncrementalCalibrationSolver solver(cfg);
+  const auto full = clean_stream(kPhysical + Vec3{0.01, -0.008, 0.004}, 2.6);
+  std::vector<sim::PhaseSample> buffer(full.begin(),
+                                       full.end() - full.size() / 10);
+  solver.install_anchor(buffer, batch(buffer));  // default-grid report
+  buffer.assign(full.begin(), full.end());
+  const auto d = solver.flush(buffer);
+  EXPECT_EQ(d.reason, CalFallbackReason::kSweep);
+  EXPECT_EQ(solver.stats().fb_sweep, 1u);
+}
+
+TEST(IncrementalCal, ResetReturnsToCold) {
+  IncrementalCalibrationSolver solver(make_config());
+  const auto stream = clean_stream(kPhysical + Vec3{0.01, -0.01, 0.005}, 0.2);
+  solver.install_anchor(stream, batch(stream));
+  ASSERT_TRUE(solver.has_anchor());
+  solver.reset();
+  EXPECT_FALSE(solver.has_anchor());
+  EXPECT_EQ(solver.flush(stream).reason, CalFallbackReason::kCold);
+}
+
+TEST(IncrementalCal, DigestDetectsEveryFieldFlip) {
+  const auto stream = clean_stream(kPhysical + Vec3{0.01, -0.01, 0.005}, 0.2);
+  const auto base = core::cal_buffer_digest(stream, stream.size());
+  auto flip = [&](auto mutate) {
+    auto copy = stream;
+    mutate(copy[copy.size() / 3]);
+    return core::cal_buffer_digest(copy, copy.size());
+  };
+  EXPECT_NE(base, flip([](sim::PhaseSample& s) { s.t += 1e-12; }));
+  EXPECT_NE(base, flip([](sim::PhaseSample& s) { s.position[1] += 1e-12; }));
+  EXPECT_NE(base, flip([](sim::PhaseSample& s) { s.phase += 1e-12; }));
+  EXPECT_NE(base, flip([](sim::PhaseSample& s) { s.rssi_dbm += 1.0; }));
+  EXPECT_NE(base, flip([](sim::PhaseSample& s) { s.channel += 1; }));
+  // Bitwise, not numeric: -0.0 differs from 0.0 (position[2] is 0.0 on L1).
+  EXPECT_NE(base, flip([](sim::PhaseSample& s) { s.position[2] = -0.0; }));
+  // Prefix digest ignores rows past `count`.
+  auto longer = stream;
+  longer.push_back(stream.back());
+  EXPECT_EQ(base, core::cal_buffer_digest(longer, stream.size()));
+}
+
+TEST(IncrementalCal, BatchPipelineIsPureAcrossWorkspaceReuse) {
+  // The fallback contract rests on pipeline purity: the same buffer must
+  // serialize identically through a cold call and a reused-workspace call.
+  const auto stream = noisy_stream(7);
+  linalg::SolverWorkspace ws;
+  const auto warm1 = core::calibrate_antenna_robust(stream, kPhysical, {}, &ws);
+  const auto warm2 = core::calibrate_antenna_robust(stream, kPhysical, {}, &ws);
+  const auto cold = core::calibrate_antenna_robust(stream, kPhysical);
+  EXPECT_EQ(json(warm1), json(cold));
+  EXPECT_EQ(json(warm2), json(cold));
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,383 @@
+// Metamorphic suite for the *weighted* IncrementalNormals kernels: the
+// weighted rank-1 append/downdate and the in-place re-weight that back the
+// incremental calibrate-flush solver. The accumulation contract mirrors
+// the legacy weighted-gram term order, so the build-up test is bit-exact;
+// the mutation round-trips (downdate, re-weight) are pinned at 1e-12
+// relative like the unweighted suite.
+
+#include "linalg/small.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace lion::linalg {
+namespace {
+
+Matrix random_matrix(std::mt19937_64& rng, std::size_t n, std::size_t p,
+                     double scale = 1.0) {
+  std::uniform_real_distribution<double> d(-scale, scale);
+  Matrix a(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) a(i, j) = d(rng);
+  }
+  return a;
+}
+
+std::vector<double> random_vector(std::mt19937_64& rng, std::size_t n,
+                                  double lo = -1.0, double hi = 1.0) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+// Relative agreement of two packed grams / rhs vectors at `tol`.
+void expect_close(const IncrementalNormals& got, const IncrementalNormals& ref,
+                  double tol) {
+  ASSERT_EQ(got.cols(), ref.cols());
+  const std::size_t packed = got.cols() * (got.cols() + 1) / 2;
+  for (std::size_t i = 0; i < packed; ++i) {
+    const double scale = std::max(1.0, std::abs(ref.gram_packed()[i]));
+    EXPECT_NEAR(got.gram_packed()[i], ref.gram_packed()[i], tol * scale)
+        << "gram entry " << i;
+  }
+  for (std::size_t i = 0; i < got.cols(); ++i) {
+    const double scale = std::max(1.0, std::abs(ref.rhs()[i]));
+    EXPECT_NEAR(got.rhs()[i], ref.rhs()[i], tol * scale) << "rhs entry " << i;
+  }
+  EXPECT_NEAR(got.rhs_squared_sum(), ref.rhs_squared_sum(),
+              tol * std::max(1.0, std::abs(ref.rhs_squared_sum())));
+  EXPECT_NEAR(got.weight_sum(), ref.weight_sum(),
+              tol * std::max(1.0, std::abs(ref.weight_sum())));
+}
+
+// ---------------------------------------------------------------------------
+// Build-up: weighted appends in row order are bit-exact with the legacy
+// Matrix::weighted_gram / weighted_transpose_multiply accumulation.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalWeighted, AppendWeightedMatchesWeightedGramBitExact) {
+  std::mt19937_64 rng(11);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::size_t n = p + 3 + static_cast<std::size_t>(trial % 17);
+      const Matrix a = random_matrix(rng, n, p, 3.0);
+      const auto b = random_vector(rng, n, -2.0, 2.0);
+      const auto w = random_vector(rng, n, 0.0, 1.5);
+
+      IncrementalNormals inc;
+      inc.reset(p);
+      std::vector<double> row(p);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        inc.append_weighted(row.data(), b[i], w[i]);
+      }
+
+      const Matrix wg = a.weighted_gram(w);
+      const auto wtb = a.weighted_transpose_multiply(w, b);
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = i; j < p; ++j) {
+          EXPECT_EQ(inc.gram_packed()[idx++], wg(i, j))
+              << "p=" << p << " trial=" << trial;
+        }
+        EXPECT_EQ(inc.rhs()[i], wtb[i]);
+      }
+      EXPECT_EQ(inc.rows(), n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips at 1e-12: append/downdate and re-weight cycles return the
+// accumulator to a fresh accumulation of the surviving state.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalWeighted, AppendDowndateRoundTripAt1e12) {
+  std::mt19937_64 rng(23);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    for (int trial = 0; trial < 30; ++trial) {
+      const std::size_t n = 20 + static_cast<std::size_t>(trial);
+      const Matrix a = random_matrix(rng, n, p, 2.0);
+      const auto b = random_vector(rng, n);
+      const auto w = random_vector(rng, n, 0.1, 2.0);
+
+      // Append everything, then downdate a random half.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::shuffle(order.begin(), order.end(), rng);
+      const std::size_t drop = n / 2;
+
+      IncrementalNormals inc;
+      inc.reset(p);
+      std::vector<double> row(p);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        inc.append_weighted(row.data(), b[i], w[i]);
+      }
+      for (std::size_t d = 0; d < drop; ++d) {
+        const std::size_t i = order[d];
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        inc.downdate_weighted(row.data(), b[i], w[i]);
+      }
+
+      IncrementalNormals ref;
+      ref.reset(p);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::find(order.begin(), order.begin() + drop, i) !=
+            order.begin() + drop) {
+          continue;
+        }
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        ref.append_weighted(row.data(), b[i], w[i]);
+      }
+      ASSERT_EQ(inc.rows(), ref.rows());
+      expect_close(inc, ref, 1e-12);
+    }
+  }
+}
+
+TEST(IncrementalWeighted, ReweightMatchesDowndateAppendBitExact) {
+  std::mt19937_64 rng(31);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    const std::size_t n = 24;
+    const Matrix a = random_matrix(rng, n, p, 2.0);
+    const auto b = random_vector(rng, n);
+    const auto w0 = random_vector(rng, n, 0.1, 1.0);
+    const auto w1 = random_vector(rng, n, 0.1, 1.0);
+
+    IncrementalNormals fused;
+    IncrementalNormals split;
+    fused.reset(p);
+    split.reset(p);
+    std::vector<double> row(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      fused.append_weighted(row.data(), b[i], w0[i]);
+      split.append_weighted(row.data(), b[i], w0[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      fused.reweight(row.data(), b[i], w0[i], w1[i]);
+      split.downdate_weighted(row.data(), b[i], w0[i]);
+      split.append_weighted(row.data(), b[i], w1[i]);
+    }
+    const std::size_t packed = p * (p + 1) / 2;
+    for (std::size_t i = 0; i < packed; ++i) {
+      EXPECT_EQ(fused.gram_packed()[i], split.gram_packed()[i]);
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      EXPECT_EQ(fused.rhs()[i], split.rhs()[i]);
+    }
+    EXPECT_EQ(fused.rhs_squared_sum(), split.rhs_squared_sum());
+    // reweight leaves the row count alone; the split path round-trips it.
+    EXPECT_EQ(fused.rows(), split.rows());
+  }
+}
+
+TEST(IncrementalWeighted, ReweightCycleRoundTripAt1e12) {
+  std::mt19937_64 rng(41);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    const std::size_t n = 30;
+    const Matrix a = random_matrix(rng, n, p, 2.0);
+    const auto b = random_vector(rng, n);
+    const auto w = random_vector(rng, n, 0.1, 2.0);
+    const auto w_mid = random_vector(rng, n, 0.1, 2.0);
+
+    IncrementalNormals inc;
+    IncrementalNormals ref;
+    inc.reset(p);
+    ref.reset(p);
+    std::vector<double> row(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.append_weighted(row.data(), b[i], w[i]);
+      ref.append_weighted(row.data(), b[i], w[i]);
+    }
+    // Perturb every weight and restore it: w -> w_mid -> w.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.reweight(row.data(), b[i], w[i], w_mid[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.reweight(row.data(), b[i], w_mid[i], w[i]);
+    }
+    expect_close(inc, ref, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Order invariance: the accumulated state is a sum, so shuffling the rows
+// (carrying each row's weight with it) only reorders the additions.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalWeighted, RowShuffleWithWeightPermutationInvariance) {
+  std::mt19937_64 rng(53);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = 25 + static_cast<std::size_t>(trial);
+      const Matrix a = random_matrix(rng, n, p, 2.0);
+      const auto b = random_vector(rng, n);
+      const auto w = random_vector(rng, n, 0.0, 2.0);
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::shuffle(order.begin(), order.end(), rng);
+
+      IncrementalNormals fwd;
+      IncrementalNormals shuffled;
+      fwd.reset(p);
+      shuffled.reset(p);
+      std::vector<double> row(p);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        fwd.append_weighted(row.data(), b[i], w[i]);
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t i = order[s];
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        shuffled.append_weighted(row.data(), b[i], w[i]);
+      }
+      expect_close(shuffled, fwd, 1e-12);
+
+      // Permuting the weights *without* the rows is not an invariance:
+      // it changes which equation each weight trusts, so the solutions
+      // must differ for a generic system (guards against a kernel that
+      // ignores its weight argument).
+      IncrementalNormals mismatched;
+      mismatched.reset(p);
+      bool permutation_moves_weight = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::abs(w[order[i]] - w[i]) > 1e-3) {
+          permutation_moves_weight = true;
+        }
+        for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+        mismatched.append_weighted(row.data(), b[i], w[order[i]]);
+      }
+      if (permutation_moves_weight) {
+        double x_fwd[kSmallMaxCols];
+        double x_mis[kSmallMaxCols];
+        if (fwd.solve(x_fwd) && mismatched.solve(x_mis)) {
+          double diff = 0.0;
+          for (std::size_t c = 0; c < p; ++c) {
+            diff = std::max(diff, std::abs(x_fwd[c] - x_mis[c]));
+          }
+          EXPECT_GT(diff, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate weights: the gate behavior the calibrate solver relies on.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalWeighted, AllZeroWeightsRejectSolve) {
+  std::mt19937_64 rng(67);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    const std::size_t n = 16;
+    const Matrix a = random_matrix(rng, n, p, 2.0);
+    const auto b = random_vector(rng, n);
+    IncrementalNormals inc;
+    inc.reset(p);
+    std::vector<double> row(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.append_weighted(row.data(), b[i], 0.0);
+    }
+    EXPECT_EQ(inc.rows(), n);
+    EXPECT_EQ(inc.weight_sum(), 0.0);
+    double x[kSmallMaxCols];
+    EXPECT_FALSE(inc.solve(x)) << "zero gram must not factor (p=" << p << ")";
+  }
+}
+
+TEST(IncrementalWeighted, SingleInlierWeightRejectsSolve) {
+  // One surviving weight leaves a rank-1 gram: Cholesky must reject it
+  // rather than hallucinate a solution from one equation.
+  std::mt19937_64 rng(71);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    const std::size_t n = 16;
+    const Matrix a = random_matrix(rng, n, p, 2.0);
+    const auto b = random_vector(rng, n);
+    IncrementalNormals inc;
+    inc.reset(p);
+    std::vector<double> row(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.append_weighted(row.data(), b[i], i == 3 ? 1.0 : 0.0);
+    }
+    EXPECT_EQ(inc.weight_sum(), 1.0);
+    double x[kSmallMaxCols];
+    EXPECT_FALSE(inc.solve(x)) << "rank-1 gram must not factor (p=" << p
+                               << ")";
+  }
+}
+
+TEST(IncrementalWeighted, WeightedRssMatchesDirectSum) {
+  std::mt19937_64 rng(83);
+  for (std::size_t p = 2; p <= 4; ++p) {
+    const std::size_t n = 32;
+    const Matrix a = random_matrix(rng, n, p, 2.0);
+    const auto b = random_vector(rng, n);
+    const auto w = random_vector(rng, n, 0.0, 2.0);
+    IncrementalNormals inc;
+    inc.reset(p);
+    std::vector<double> row(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.append_weighted(row.data(), b[i], w[i]);
+    }
+    double x[kSmallMaxCols];
+    ASSERT_TRUE(inc.solve(x));
+    double direct = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double r = -b[i];
+      for (std::size_t j = 0; j < p; ++j) r += a(i, j) * x[j];
+      direct += w[i] * r * r;
+    }
+    EXPECT_NEAR(inc.weighted_rss(x), direct,
+                1e-9 * std::max(1.0, direct));
+  }
+}
+
+TEST(IncrementalWeighted, ReweightChurnRaisesCancellation) {
+  std::mt19937_64 rng(97);
+  const std::size_t p = 4;
+  const std::size_t n = 20;
+  const Matrix a = random_matrix(rng, n, p, 2.0);
+  const auto b = random_vector(rng, n);
+  IncrementalNormals inc;
+  inc.reset(p);
+  std::vector<double> row(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+    inc.append_weighted(row.data(), b[i], 1.0);
+  }
+  const double before = inc.cancellation();
+  // Every re-weight adds traffic without adding surviving mass beyond the
+  // final weights, so the cancellation ratio must grow monotonically —
+  // the rebuild gate the calibrate solver checks.
+  double prev = before;
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) row[j] = a(i, j);
+      inc.reweight(row.data(), b[i], 1.0, 1.0);
+    }
+    const double now = inc.cancellation();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_GT(prev, before);
+}
+
+}  // namespace
+}  // namespace lion::linalg

@@ -1,0 +1,337 @@
+// Serve-level conformance of the incremental calibrate `!flush` path.
+//
+// The contract under test (see service.hpp and core/incremental_cal.hpp):
+//   - every lion.report.v1 response carries a source tag, and a steady
+//     clean session progresses fallback (cold) -> memo (unchanged buffer)
+//     -> incremental (small append through the warm gates);
+//   - a warm-tier report is byte-identical to the full batch pipeline's
+//     report over the same buffer (the `"report":{...}` payload matches a
+//     cold solve of an identical session byte for byte);
+//   - the emitted byte stream is chunk-boundary invariant: the flush
+//     decision depends on the accepted lines, not transport framing;
+//   - each declinable gate shows up in `!stats` under its own counter
+//     (cal_fb_cold / cal_fb_drift / cal_fb_delta / cal_fb_status), the
+//     memo tier answers regardless of the anchor's status, and `!healthz`
+//     carries the aggregate calibrate counters + fallback ratio;
+//   - smoothing= is a calibrate-only declare option.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "rf/phase_model.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sim/trajectory.hpp"
+
+namespace lion::serve {
+namespace {
+
+constexpr char kDeclare[] = "!session cal center=0.009,0.789,0.006 smoothing=1";
+
+/// Clean three-line-rig scan: exact Eq. (1) phases from a slightly offset
+/// physical center plus a constant cable offset, sampled on the same
+/// dt = 0.1 grid (with full rssi/channel/t columns) as the core
+/// differential suite's clean_stream — the regime where the batch
+/// tournament is basin-stable and the warm tier's gates admit appends.
+/// Rows at index >= `corrupt_from` carry a +0.3 rad phase error — enough
+/// residual mass to trip the warm tier's drift gate without derailing the
+/// batch solve.
+std::vector<std::string> rig_rows(std::size_t corrupt_from = SIZE_MAX) {
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  const auto traj = rig.build();
+  const linalg::Vec3 center{0.009, 0.789, 0.006};
+  std::vector<std::string> rows;
+  for (double t = 0.0; t <= traj.duration(); t += 0.1) {
+    const auto p = traj.position(t);
+    double phase = rf::wrap_phase(
+        rf::distance_phase(linalg::distance(center, p)) + 2.1);
+    if (rows.size() >= corrupt_from) phase = rf::wrap_phase(phase + 0.3);
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%.17g,%.17g,-55,0,%.17g",
+                  p[0], p[1], p[2], phase, t);
+    rows.emplace_back(buf);
+  }
+  return rows;
+}
+
+/// Single-line scan (y = z = 0): 3D-degenerate on purpose, so the batch
+/// pipeline reports a non-kOk status and the anchor fails the warm tier's
+/// status gate.
+std::vector<std::string> line_rows(std::size_t n) {
+  const linalg::Vec3 center{0.0, 0.8, 0.0};
+  std::vector<std::string> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        -0.5 + static_cast<double>(i) / static_cast<double>(n - 1);
+    const linalg::Vec3 p{x, 0.0, 0.0};
+    const double phase =
+        rf::wrap_phase(rf::distance_phase(linalg::distance(center, p)));
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%.17g,0,0,%.17g", x, phase);
+    rows.emplace_back(buf);
+  }
+  return rows;
+}
+
+struct Capture {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  StreamService::Sink sink() {
+    return [this](std::string_view line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.emplace_back(line);
+    };
+  }
+};
+
+std::vector<std::string> run_stream(const std::string& input,
+                                    std::size_t chunk,
+                                    const ServiceConfig& cfg = {}) {
+  Capture cap;
+  StreamService service(cfg, cap.sink());
+  if (chunk == 0) {
+    service.ingest_bytes(input);
+  } else {
+    for (std::size_t i = 0; i < input.size(); i += chunk) {
+      service.ingest_bytes(input.substr(i, chunk));
+    }
+  }
+  service.finish();
+  return cap.lines;
+}
+
+std::vector<std::string> filter_reports(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  for (const auto& l : lines) {
+    if (l.find("\"schema\":\"lion.report.v1\"") != std::string::npos) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+std::string source_of(const std::string& report_line) {
+  const auto key = report_line.find("\"source\":\"");
+  if (key == std::string::npos) return "";
+  const auto start = key + 10;
+  return report_line.substr(start, report_line.find('"', start) - start);
+}
+
+/// The serialized report payload, independent of envelope (seq, source).
+std::string report_payload(const std::string& report_line) {
+  const auto key = report_line.find("\"report\":");
+  EXPECT_NE(key, std::string::npos) << report_line;
+  if (key == std::string::npos) return "";
+  return report_line.substr(key);
+}
+
+std::string join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tier progression and byte-identity
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCalServe, SourceTagProgressesColdMemoWarm) {
+  const auto rows = rig_rows();
+  const std::size_t base = rows.size() - rows.size() / 10;
+  std::string input = std::string(kDeclare) + "\n";
+  for (std::size_t i = 0; i < base; ++i) input += rows[i] + "\n";
+  input += "!flush cal\n";  // no anchor yet -> cold fallback
+  input += "!flush cal\n";  // unchanged buffer -> memo
+  for (std::size_t i = base; i < rows.size(); ++i) input += rows[i] + "\n";
+  input += "!flush cal\n";  // small clean append -> warm tier
+
+  const auto reports = filter_reports(run_stream(input, 0));
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(source_of(reports[0]), "fallback");
+  EXPECT_EQ(source_of(reports[1]), "memo");
+  EXPECT_EQ(source_of(reports[2]), "incremental");
+
+  // The memo answer re-serializes the anchor report: identical payload.
+  EXPECT_EQ(report_payload(reports[1]), report_payload(reports[0]));
+}
+
+TEST(IncrementalCalServe, WarmReportIsByteIdenticalToBatch) {
+  const auto rows = rig_rows();
+  const std::size_t base = rows.size() - rows.size() / 10;
+
+  // Session that answers the final flush from the warm tier.
+  std::string warm_input = std::string(kDeclare) + "\n";
+  for (std::size_t i = 0; i < base; ++i) warm_input += rows[i] + "\n";
+  warm_input += "!flush cal\n";
+  for (std::size_t i = base; i < rows.size(); ++i) warm_input += rows[i] + "\n";
+  warm_input += "!flush cal\n";
+  const auto warm_reports = filter_reports(run_stream(warm_input, 0));
+  ASSERT_EQ(warm_reports.size(), 2u);
+  ASSERT_EQ(source_of(warm_reports[1]), "incremental");
+
+  // Fresh session over the full buffer: cold full-pipeline solve.
+  std::string batch_input = std::string(kDeclare) + "\n";
+  for (const auto& r : rows) batch_input += r + "\n";
+  batch_input += "!flush cal\n";
+  const auto batch_reports = filter_reports(run_stream(batch_input, 0));
+  ASSERT_EQ(batch_reports.size(), 1u);
+  ASSERT_EQ(source_of(batch_reports[0]), "fallback");
+
+  EXPECT_EQ(report_payload(warm_reports[1]),
+            report_payload(batch_reports[0]));
+}
+
+TEST(IncrementalCalServe, FlushStreamIsChunkAndThreadInvariant) {
+  const auto rows = rig_rows();
+  const std::size_t base = rows.size() - rows.size() / 10;
+  std::string input = std::string(kDeclare) + "\n";
+  for (std::size_t i = 0; i < base; ++i) input += rows[i] + "\n";
+  input += "!flush cal\n!flush cal\n";
+  for (std::size_t i = base; i < rows.size(); ++i) input += rows[i] + "\n";
+  input += "!flush cal\n";
+
+  const auto whole = run_stream(input, 0);
+  ASSERT_FALSE(whole.empty());
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    EXPECT_EQ(run_stream(input, chunk), whole) << "chunk " << chunk;
+  }
+  ServiceConfig one;
+  one.threads = 1;
+  EXPECT_EQ(run_stream(input, 0, one), whole);
+}
+
+// ---------------------------------------------------------------------------
+// Fallback reasons and counters
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCalServe, StatsCountFallbackReasonsPerGate) {
+  const auto rows = rig_rows();
+  const auto corrupted = rig_rows(300);
+  ASSERT_GE(rows.size(), 350u);
+  std::vector<std::string> input;
+
+  // drift: the appended rows carry a phase error, so the re-derived
+  // consensus mask / IRLS fixpoint no longer verifies against the anchor.
+  input.push_back("!session drift center=0.009,0.789,0.006 smoothing=1");
+  for (std::size_t i = 0; i < 300; ++i) input.push_back(corrupted[i]);
+  input.push_back("!flush drift");  // cold
+  for (std::size_t i = 300; i < 310; ++i) input.push_back(corrupted[i]);
+  input.push_back("!flush drift");  // drift
+
+  // sweep: the library-default smoothing window re-smooths old samples on
+  // every append, so the sweep structure the anchor was solved under no
+  // longer matches the current buffer's.
+  input.push_back("!session sweep center=0.009,0.789,0.006");
+  for (std::size_t i = 0; i < 300; ++i) input.push_back(rows[i]);
+  input.push_back("!flush sweep");  // cold
+  for (std::size_t i = 300; i < 310; ++i) input.push_back(rows[i]);
+  input.push_back("!flush sweep");  // sweep
+
+  // delta: 150 appended rows on a 200-row anchor exceeds the 50% delta cap.
+  input.push_back("!session delta center=0.009,0.789,0.006 smoothing=1");
+  for (std::size_t i = 0; i < 200; ++i) input.push_back(rows[i]);
+  input.push_back("!flush delta");  // cold
+  for (std::size_t i = 200; i < 350; ++i) input.push_back(rows[i]);
+  input.push_back("!flush delta");  // delta
+
+  const auto lines = run_stream(join(input) + "!stats\n", 0);
+  const auto reports = filter_reports(lines);
+  ASSERT_EQ(reports.size(), 6u);
+  for (const auto& r : reports) EXPECT_EQ(source_of(r), "fallback") << r;
+
+  ASSERT_FALSE(lines.empty());
+  const std::string& stats = lines.back();
+  ASSERT_NE(stats.find("\"schema\":\"lion.stats.v1\""), std::string::npos);
+  EXPECT_NE(stats.find("\"cal_flushes\":6"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_fallbacks\":6"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_fb_cold\":3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_fb_drift\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_fb_sweep\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_fb_delta\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_memo\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_incremental\":0"), std::string::npos) << stats;
+}
+
+TEST(IncrementalCalServe, DegradedAnchorTripsStatusGateButMemoStillAnswers) {
+  const auto rows = line_rows(120);
+  std::string input =
+      "!session line center=0,0.8,0 smoothing=1\n";
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) input += rows[i] + "\n";
+  input += "!flush line\n";  // cold; installs a non-kOk (degenerate) anchor
+  input += "!flush line\n";  // unchanged buffer -> memo, any status
+  input += rows.back() + "\n";
+  input += "!flush line\n";  // append on a degraded anchor -> status gate
+  input += "!stats\n";
+
+  const auto lines = run_stream(input, 0);
+  const auto reports = filter_reports(lines);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(source_of(reports[0]), "fallback");
+  EXPECT_EQ(source_of(reports[1]), "memo");
+  EXPECT_EQ(report_payload(reports[1]), report_payload(reports[0]));
+  EXPECT_EQ(source_of(reports[2]), "fallback");
+
+  const std::string& stats = lines.back();
+  EXPECT_NE(stats.find("\"cal_fb_status\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cal_memo\":1"), std::string::npos) << stats;
+}
+
+TEST(IncrementalCalServe, HealthzCarriesCalCountersAndRatio) {
+  const auto rows = rig_rows();
+  const std::size_t base = rows.size() - rows.size() / 10;
+  std::string input = std::string(kDeclare) + "\n";
+  for (std::size_t i = 0; i < base; ++i) input += rows[i] + "\n";
+  input += "!flush cal\n!flush cal\n";
+  for (std::size_t i = base; i < rows.size(); ++i) input += rows[i] + "\n";
+  input += "!flush cal\n!healthz\n";
+
+  const auto lines = run_stream(input, 0);
+  ASSERT_FALSE(lines.empty());
+  const std::string& health = lines.back();
+  ASSERT_NE(health.find("\"schema\":\"lion.health.v1\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"cal_flushes\":3"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"cal_memo\":1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"cal_incremental\":1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"cal_fallbacks\":1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"cal_fallback_ratio\":"), std::string::npos)
+      << health;
+}
+
+// ---------------------------------------------------------------------------
+// Declare validation
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCalServe, SmoothingIsACalibrateOnlyOption) {
+  const auto lines = run_stream(
+      "!session trk mode=track center=0,0,0 dir=1,0,0 speed=1 "
+      "window=1000 hop=500 smoothing=1\n",
+      0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"schema\":\"lion.error.v1\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("smoothing"), std::string::npos) << lines[0];
+}
+
+TEST(IncrementalCalServe, MalformedSmoothingValueIsAnError) {
+  const auto lines =
+      run_stream("!session cal center=0,0.8,0 smoothing=banana\n", 0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"schema\":\"lion.error.v1\""), std::string::npos)
+      << lines[0];
+}
+
+}  // namespace
+}  // namespace lion::serve

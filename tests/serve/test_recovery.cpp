@@ -30,6 +30,7 @@
 #include "rf/phase_model.hpp"
 #include "serve/journal.hpp"
 #include "serve/service.hpp"
+#include "sim/trajectory.hpp"
 
 namespace lion {
 namespace {
@@ -340,7 +341,7 @@ TEST(Recovery, GoldenRigSurvivesCrashInsideDriftGate) {
   const auto samples = io::read_samples_csv_file(data_path("golden_rig.csv"));
   const std::string batch_line =
       "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,"
-      "\"report\":" +
+      "\"source\":\"fallback\",\"report\":" +
       io::report_json(
           core::calibrate_antenna_robust(samples, {0.0, 0.8, 0.0})) +
       "}";
@@ -356,7 +357,8 @@ TEST(Recovery, GoldenRigSurvivesCrashInsideDriftGate) {
     expected.pop_back();
   }
   const std::string prefix =
-      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,\"report\":";
+      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,"
+      "\"source\":\"fallback\",\"report\":";
   ASSERT_EQ(combined[0].rfind(prefix, 0), 0u);
   expect_json_near(
       expected,
@@ -568,6 +570,130 @@ TEST(Recovery, RestoreRebuildsIncrementalStateForPostCrashTicks) {
   const std::size_t cut = 1 + rows;  // every row fed, the tick never sent
   const auto combined = crash_and_resume(input, "belt", cut);
   ASSERT_EQ(combined, baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental calibrate flushes across crashes
+// ---------------------------------------------------------------------------
+
+/// Clean three-line-rig scan on the dt = 0.1 grid with full columns — the
+/// regime where the incremental calibrate solver's warm tier answers (see
+/// tests/serve/test_incremental_cal_serve.cpp).
+std::vector<std::string> cal_rig_rows() {
+  sim::ThreeLineRig rig;
+  rig.x_min = -0.55;
+  rig.x_max = 0.55;
+  const auto traj = rig.build();
+  const linalg::Vec3 center{0.009, 0.789, 0.006};
+  std::vector<std::string> rows;
+  for (double t = 0.0; t <= traj.duration(); t += 0.1) {
+    const auto p = traj.position(t);
+    const double phase = rf::wrap_phase(
+        rf::distance_phase(linalg::distance(center, p)) + 2.1);
+    char buf[200];
+    std::snprintf(buf, sizeof buf, "%.17g,%.17g,%.17g,%.17g,-55,0,%.17g",
+                  p[0], p[1], p[2], phase, t);
+    rows.emplace_back(buf);
+  }
+  return rows;
+}
+
+/// Declare + rows + flushes arranged so the uninterrupted run exercises
+/// all three calibrate tiers: cold fallback, memo, warm incremental.
+std::vector<std::string> cal_tiered_input() {
+  const auto rows = cal_rig_rows();
+  const std::size_t base = rows.size() - rows.size() / 10;
+  std::vector<std::string> input;
+  input.push_back("!session cal center=0.009,0.789,0.006 smoothing=1");
+  for (std::size_t i = 0; i < base; ++i) input.push_back(rows[i]);
+  input.push_back("!flush cal");  // cold -> fallback, installs the anchor
+  input.push_back("!flush cal");  // unchanged buffer -> memo
+  for (std::size_t i = base; i < rows.size(); ++i) input.push_back(rows[i]);
+  input.push_back("!flush cal");  // small clean append -> warm tier
+  return input;
+}
+
+// Calibrate-flush crash matrix: killed at >= 24 fuzzed offsets — pinned
+// around every flush decision plus LCG fill — the resumed stream must be
+// byte-identical to the uninterrupted baseline, source tags included. A
+// restored flush may only answer memo/incremental if the replay rebuilt
+// the exact anchor state (kCalAnchor re-solve), so tag equality is state
+// equality.
+TEST(Recovery, CalibrateFlushCrashMatrixResumesByteIdentical) {
+  const auto input = cal_tiered_input();
+  const auto baseline = sequenced(run_plain(input));
+  ASSERT_GE(baseline.size(), 3u);
+  // The baseline itself must exercise every tier, or the matrix proves
+  // less than it claims.
+  std::size_t memo = 0, warm = 0, fallback = 0;
+  for (const auto& l : baseline) {
+    if (l.find("\"schema\":\"lion.report.v1\"") == std::string::npos) continue;
+    memo += l.find("\"source\":\"memo\"") != std::string::npos;
+    warm += l.find("\"source\":\"incremental\"") != std::string::npos;
+    fallback += l.find("\"source\":\"fallback\"") != std::string::npos;
+  }
+  ASSERT_EQ(fallback, 1u);
+  ASSERT_EQ(memo, 1u);
+  ASSERT_EQ(warm, 1u);
+
+  std::set<std::size_t> cuts = {1, 2, input.size() - 1};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i].rfind("!flush", 0) == 0) {
+      cuts.insert(i);      // crash with the flush un-journaled
+      cuts.insert(i + 1);  // crash right after the kCalFlush record
+    }
+  }
+  Lcg rng;
+  while (cuts.size() < 24) {
+    cuts.insert(1 + rng.next() % (input.size() - 1));
+  }
+
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    std::uint64_t records = 0;
+    const auto combined = crash_and_resume(input, "cal", cut, &records);
+    EXPECT_EQ(records, cut);  // kCalAnchor is internal, not a cursor record
+    EXPECT_EQ(combined, baseline);
+  }
+}
+
+// Focused restore-state gate, calibrate flavor: feed the whole stream,
+// crash, and only then flush. The restored solver must answer from the
+// incremental path with exactly the bytes the pre-crash warm flush
+// produced — possible only if replay reconstructed the anchor (buffer
+// prefix + report) bit for bit.
+TEST(Recovery, PostRestoreCalibrateFlushAnswersIncremental) {
+  const auto input = cal_tiered_input();
+  const auto baseline = sequenced(run_plain(input));
+  ASSERT_FALSE(baseline.empty());
+  const std::string& warm_report = baseline.back();
+  ASSERT_NE(warm_report.find("\"source\":\"incremental\""), std::string::npos)
+      << warm_report;
+
+  TempDir dir;
+  Process p1(dir.path);
+  p1.feed(input, 0, input.size());
+  p1.crash();
+
+  Process p2(dir.path);
+  p2.service->ingest_line(input[0]);  // restore
+  ASSERT_FALSE(p2.restore_ack("cal").empty());
+  p2.service->ingest_line("!flush cal");
+  p2.service->drain();
+  p2.crash();
+
+  const auto post = sequenced(p2.lines);
+  ASSERT_FALSE(post.empty());
+  const std::string& restored_report = post.back();
+  EXPECT_NE(restored_report.find("\"source\":\"incremental\""),
+            std::string::npos)
+      << restored_report;
+  // Same report payload as the pre-crash warm flush, byte for byte.
+  const auto payload = [](const std::string& line) {
+    const auto key = line.find("\"report\":");
+    return key == std::string::npos ? std::string() : line.substr(key);
+  };
+  EXPECT_EQ(payload(restored_report), payload(warm_report));
 }
 
 // A closed session's journal is gone: re-declaring after a clean close is

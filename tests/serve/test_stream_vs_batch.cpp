@@ -109,7 +109,7 @@ void check_fixture(const std::string& stem) {
       core::calibrate_antenna_robust(samples, {0.0, 0.8, 0.0});
   const std::string batch_line =
       "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,"
-      "\"report\":" +
+      "\"source\":\"fallback\",\"report\":" +
       io::report_json(report) + "}";
 
   // Serve path, four chunkings: single bytes, a prime stride, a typical
@@ -138,7 +138,8 @@ void check_fixture(const std::string& stem) {
   }
   ASSERT_FALSE(first.empty());
   const std::string prefix =
-      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,\"report\":";
+      "{\"schema\":\"lion.report.v1\",\"session\":\"g\",\"seq\":0,"
+      "\"source\":\"fallback\",\"report\":";
   ASSERT_EQ(first[0].rfind(prefix, 0), 0u);
   ASSERT_EQ(first[0].back(), '}');
   const std::string served_report =
@@ -195,11 +196,11 @@ TEST(StreamVsBatch, InterleavedSessionsMatchSoloRuns) {
   };
   EXPECT_EQ(lines[0],
             "{\"schema\":\"lion.report.v1\",\"session\":\"rig\",\"seq\":0,"
-            "\"report\":" +
+            "\"source\":\"fallback\",\"report\":" +
                 solo("golden_rig") + "}");
   EXPECT_EQ(lines[1],
             "{\"schema\":\"lion.report.v1\",\"session\":\"circle\",\"seq\":1,"
-            "\"report\":" +
+            "\"source\":\"fallback\",\"report\":" +
                 solo("golden_circle") + "}");
 }
 
